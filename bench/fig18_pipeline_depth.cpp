@@ -1,0 +1,49 @@
+// Figure 18: effect of pipeline depth on throughput and memory for GNMT-8 on 4 V100s
+// (Cluster-A). Depth = number of in-flight minibatches admitted by the input stage.
+#include <cstdio>
+
+#include "src/common/strings.h"
+#include "src/common/table.h"
+#include "src/planner/plan.h"
+#include "src/profile/model_zoo.h"
+#include "src/simexec/pipeline_sim.h"
+
+using namespace pipedream;
+
+int main() {
+  std::printf("Reproduction of Figure 18: pipeline depth vs throughput and memory\n"
+              "(GNMT-8, 4 workers, straight pipeline; NOAM = 4).\n");
+
+  const ModelProfile profile = MakeGnmtProfile(8);
+  const PipelinePlan plan = MakeBalancedStraightPlan(profile, 4);
+  const auto topo = HardwareTopology::ClusterA(1);
+
+  Table table({"pipeline depth", "throughput (samples/s)", "max worker memory",
+               "stage stash depths"});
+  for (int depth : {2, 3, 4, 5, 6, 7}) {
+    SimOptions options;
+    options.num_minibatches = 96;
+    options.pipeline_depth_override = depth;
+    const SimResult result = SimulatePipeline(profile, plan, topo, options);
+    int64_t max_mem = 0;
+    for (int64_t m : result.worker_peak_memory) {
+      max_mem = std::max(max_mem, m);
+    }
+    std::string stashes;
+    for (size_t s = 0; s < result.stage_peak_stash.size(); ++s) {
+      if (s > 0) {
+        stashes += ",";
+      }
+      stashes += StrFormat("%d", result.stage_peak_stash[s]);
+    }
+    table.AddRow({StrFormat("%d%s", depth, depth == plan.Noam() ? " (NOAM)" : ""),
+                  StrFormat("%.0f", result.throughput_samples_per_sec),
+                  HumanBytes(static_cast<double>(max_mem)), stashes});
+  }
+  table.Print("Figure 18 — GNMT-8 pipeline-depth sweep");
+
+  std::printf("\nShape checks: (a) throughput rises with depth and saturates at ~NOAM, since\n"
+              "deeper pipelines hide more communication; (b) memory grows with depth as the\n"
+              "number of stashed weight/activation versions grows proportionally.\n");
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Microbenchmark for the partitioning optimizer. §5.5's claim: the optimizer generates
+// configurations "in under 8 seconds for all models and hardware deployments evaluated" —
+// this implementation runs in milliseconds per (model, topology) pair.
+#include <benchmark/benchmark.h>
+
+#include "src/planner/partitioner.h"
+#include "src/profile/model_zoo.h"
+
+namespace pipedream {
+namespace {
+
+void BM_PartitionFlat16(benchmark::State& state) {
+  const auto names = ModelZooNames();
+  const auto& name = names[static_cast<size_t>(state.range(0)) % names.size()];
+  const ModelProfile profile = MakeProfileByName(name);
+  for (auto _ : state) {
+    const auto result = PartitionFlat(profile, 16, 1.25e9);
+    benchmark::DoNotOptimize(result.bottleneck_seconds);
+  }
+  state.SetLabel(name);
+}
+BENCHMARK(BM_PartitionFlat16)->DenseRange(0, 6);
+
+void BM_PartitionHierarchical(benchmark::State& state) {
+  const ModelProfile profile = MakeGnmtProfile(16);
+  const auto topo = HardwareTopology::ClusterA(4);
+  for (auto _ : state) {
+    const auto result = PartitionHierarchical(profile, topo, {});
+    benchmark::DoNotOptimize(result.bottleneck_seconds);
+  }
+}
+BENCHMARK(BM_PartitionHierarchical);
+
+void BM_PartitionAllModelsAllClusters(benchmark::State& state) {
+  // The §5.5 statement measured end to end: every model on every cluster.
+  for (auto _ : state) {
+    for (const auto& name : ModelZooNames()) {
+      const ModelProfile profile = MakeProfileByName(name);
+      for (int servers : {1, 2, 4}) {
+        const auto result = PartitionHierarchical(profile, HardwareTopology::ClusterA(servers), {});
+        benchmark::DoNotOptimize(result.bottleneck_seconds);
+      }
+    }
+  }
+}
+BENCHMARK(BM_PartitionAllModelsAllClusters)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace pipedream

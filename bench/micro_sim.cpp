@@ -1,0 +1,55 @@
+// Microbenchmarks for the discrete-event engine and the pipeline simulator.
+#include <benchmark/benchmark.h>
+
+#include "src/planner/plan.h"
+#include "src/profile/model_zoo.h"
+#include "src/sim/engine.h"
+#include "src/simexec/pipeline_sim.h"
+
+namespace pipedream {
+namespace {
+
+void BM_EventEngine(benchmark::State& state) {
+  const int64_t events = state.range(0);
+  for (auto _ : state) {
+    SimEngine engine;
+    int64_t count = 0;
+    std::function<void()> tick = [&] {
+      if (++count < events) {
+        engine.ScheduleAfter(SimTime::Nanos(10), tick);
+      }
+    };
+    engine.ScheduleAt(SimTime(), tick);
+    engine.Run();
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(state.iterations() * events);
+}
+BENCHMARK(BM_EventEngine)->Arg(1000)->Arg(100000);
+
+void BM_SimulateVggPipeline(benchmark::State& state) {
+  const ModelProfile profile = MakeVgg16Profile();
+  const PipelinePlan plan = MakeBalancedStraightPlan(profile, 4);
+  const auto topo = HardwareTopology::ClusterA(1);
+  SimOptions options;
+  options.num_minibatches = state.range(0);
+  for (auto _ : state) {
+    const SimResult result = SimulatePipeline(profile, plan, topo, options);
+    benchmark::DoNotOptimize(result.total_seconds);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SimulateVggPipeline)->Arg(64)->Arg(512);
+
+void BM_SimulateDataParallel(benchmark::State& state) {
+  const ModelProfile profile = MakeVgg16Profile();
+  const auto topo = HardwareTopology::ClusterA(4);
+  for (auto _ : state) {
+    const DataParallelResult result = SimulateDataParallelBsp(profile, topo, 16);
+    benchmark::DoNotOptimize(result.iteration_seconds);
+  }
+}
+BENCHMARK(BM_SimulateDataParallel);
+
+}  // namespace
+}  // namespace pipedream

@@ -1,0 +1,72 @@
+// Microbenchmarks for the tensor substrate (GEMM, elementwise, softmax).
+#include <benchmark/benchmark.h>
+
+#include "src/common/rng.h"
+#include "src/tensor/init.h"
+#include "src/tensor/ops.h"
+
+namespace pipedream {
+namespace {
+
+void BM_Gemm(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(1);
+  Tensor a({n, n});
+  Tensor b({n, n});
+  Tensor c;
+  InitGaussian(&a, 1.0f, &rng);
+  InitGaussian(&b, 1.0f, &rng);
+  for (auto _ : state) {
+    MatMul(a, b, &c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_Gemm)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_GemmTransposedA(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(1);
+  Tensor a({n, n});
+  Tensor b({n, n});
+  Tensor c;
+  InitGaussian(&a, 1.0f, &rng);
+  InitGaussian(&b, 1.0f, &rng);
+  for (auto _ : state) {
+    Gemm(a, true, b, false, 1.0f, 0.0f, &c);
+    benchmark::DoNotOptimize(c.data());
+  }
+}
+BENCHMARK(BM_GemmTransposedA)->Arg(64)->Arg(128);
+
+void BM_SoftmaxRows(benchmark::State& state) {
+  const int64_t rows = state.range(0);
+  Rng rng(1);
+  Tensor logits({rows, 1000});
+  Tensor probs;
+  InitGaussian(&logits, 1.0f, &rng);
+  for (auto _ : state) {
+    SoftmaxRows(logits, &probs);
+    benchmark::DoNotOptimize(probs.data());
+  }
+  state.SetItemsProcessed(state.iterations() * rows * 1000);
+}
+BENCHMARK(BM_SoftmaxRows)->Arg(16)->Arg(64);
+
+void BM_Axpy(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(1);
+  Tensor a({n});
+  Tensor b({n});
+  InitGaussian(&a, 1.0f, &rng);
+  InitGaussian(&b, 1.0f, &rng);
+  for (auto _ : state) {
+    Axpy(0.5f, b, &a);
+    benchmark::DoNotOptimize(a.data());
+  }
+  state.SetBytesProcessed(state.iterations() * n * 8);
+}
+BENCHMARK(BM_Axpy)->Arg(1 << 12)->Arg(1 << 16)->Arg(1 << 20);
+
+}  // namespace
+}  // namespace pipedream

@@ -1,0 +1,33 @@
+// Shared helpers for the timeline-figure reproductions (Figures 2, 3, 4, 8): a uniform
+// model whose forward takes one time unit and backward two per stage, matching the paper's
+// figures.
+#ifndef BENCH_TIMELINE_UTIL_H_
+#define BENCH_TIMELINE_UTIL_H_
+
+#include <string>
+
+#include "src/profile/layer_profile.h"
+
+namespace pipedream {
+
+// `layers` identical layers; a balanced split into S stages gives each stage a forward of
+// `unit_ms` and a backward of 2x that (the paper's figures use exactly this ratio).
+inline ModelProfile UniformTimelineProfile(int layers, double unit_ms = 10.0) {
+  ModelProfile profile;
+  profile.model_name = "uniform";
+  profile.minibatch_size = 1;
+  for (int i = 0; i < layers; ++i) {
+    LayerProfile layer;
+    layer.name = "l" + std::to_string(i);
+    layer.fwd_seconds = unit_ms * 1e-3;
+    layer.bwd_seconds = 2.0 * layer.fwd_seconds;
+    layer.activation_bytes = 1;  // negligible transfer time, like the figures assume
+    layer.param_bytes = 1;
+    profile.layers.push_back(layer);
+  }
+  return profile;
+}
+
+}  // namespace pipedream
+
+#endif  // BENCH_TIMELINE_UTIL_H_

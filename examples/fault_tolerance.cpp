@@ -1,0 +1,88 @@
+// Fault tolerance scenario (paper §4, "Checkpointing"): every stage dumps its parameters
+// locally at each epoch boundary with no global coordination. This example trains a
+// pipeline, "crashes" it mid-run, restarts from the newest epoch for which every stage has a
+// checkpoint, and shows that training continues from consistent weights.
+//
+// Run: ./fault_tolerance
+#include <cstdio>
+#include <filesystem>
+
+#include "src/common/rng.h"
+#include "src/data/dataset.h"
+#include "src/graph/loss.h"
+#include "src/graph/models.h"
+#include "src/optim/sgd.h"
+#include "src/runtime/checkpoint.h"
+#include "src/runtime/pipeline_trainer.h"
+
+using namespace pipedream;
+
+namespace {
+
+std::unique_ptr<PipelineTrainer> MakeTrainer(const Dataset* train, const Loss* loss) {
+  Rng rng(21);
+  const auto model = BuildMlpClassifier(8, {24, 16}, 3, &rng);
+  const auto plan = MakeStraightPlan(static_cast<int>(model->size()), {2, 4});
+  Sgd sgd(0.1, 0.9);
+  return std::make_unique<PipelineTrainer>(*model, plan, loss, sgd, train, /*batch_size=*/16,
+                                           /*seed=*/5);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Per-stage checkpointing and restart (paper §4) ==\n\n");
+
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "pipedream_fault_tolerance_demo";
+  std::filesystem::create_directories(dir);
+  CheckpointManager manager(dir.string());
+
+  const Dataset all = MakeGaussianMixture(3, 8, 160, 0.3, 13);
+  Dataset train;
+  Dataset eval;
+  SplitDataset(all, 0.8, &train, &eval);
+  SoftmaxCrossEntropy loss;
+
+  // --- First life: train 3 epochs, checkpointing after each.
+  auto trainer = MakeTrainer(&train, &loss);
+  const int num_stages = trainer->plan().num_stages();
+  for (int epoch = 0; epoch < 3; ++epoch) {
+    const EpochStats stats = trainer->TrainEpoch();
+    const Status saved = trainer->SaveCheckpoint(&manager, epoch);
+    std::printf("epoch %d: loss %.4f, acc %.3f, checkpoint %s\n", epoch, stats.mean_loss,
+                trainer->EvaluateAccuracy(eval, 16), saved.ok() ? "saved" : "FAILED");
+  }
+
+  // Simulate a crash that interrupts epoch 3's checkpoint: only stage 0 gets written.
+  trainer->TrainEpoch();
+  {
+    // (Reaching into the manager the way a dying process would: write one stage only.)
+    auto partial = MakeTrainer(&train, &loss);
+    const Status s = manager.SaveStage(0, 3, partial->AssembleModel()->Params());
+    std::printf("\n-- simulated crash during epoch 3's checkpoint (only stage 0 written: %s)\n",
+                s.ok() ? "ok" : s.ToString().c_str());
+  }
+  trainer.reset();  // the "crash"
+
+  // --- Second life: find the newest complete checkpoint and resume.
+  const int64_t resume_epoch = manager.LatestCompleteEpoch(num_stages, /*max_epoch=*/10);
+  std::printf("\nrestart: newest complete checkpoint is epoch %lld (epoch 3 is incomplete)\n",
+              static_cast<long long>(resume_epoch));
+
+  auto resumed = MakeTrainer(&train, &loss);
+  const Status loaded = resumed->LoadCheckpoint(manager, resume_epoch);
+  std::printf("restored all %d stages: %s\n", num_stages, loaded.ToString().c_str());
+  std::printf("accuracy after restore: %.3f (matches end of epoch %lld)\n",
+              resumed->EvaluateAccuracy(eval, 16), static_cast<long long>(resume_epoch));
+
+  for (int epoch = 0; epoch < 3; ++epoch) {
+    const EpochStats stats = resumed->TrainEpoch();
+    std::printf("resumed epoch %d: loss %.4f, acc %.3f\n", epoch, stats.mean_loss,
+                resumed->EvaluateAccuracy(eval, 16));
+  }
+
+  std::filesystem::remove_all(dir);
+  std::printf("\ndone — no global coordination was needed for any checkpoint.\n");
+  return 0;
+}

@@ -1,0 +1,121 @@
+// Command-line planning tool: run PipeDream's optimizer (or evaluate a hand-written config)
+// for any zoo model on any Table 2 cluster, printing the plan, its analytic prediction, and
+// its simulated performance.
+//
+// Usage:
+//   plan_tool <model> <cluster> <servers> [config]
+//     model:   VGG-16 | ResNet-50 | AlexNet | GNMT-8 | GNMT-16 | AWD-LM | S2VT
+//     cluster: A | B | C        (Table 2: 4xV100/PCIe/10G, 8xV100/NVLink/25G, 1xTitanX/40G)
+//     servers: number of servers
+//     config:  optional "15-1" / "straight" / "16"-style config; omitted = run the optimizer
+//
+// Examples:
+//   plan_tool VGG-16 A 4            # optimizer's pick for 16 GPUs on Cluster-A
+//   plan_tool VGG-16 A 4 15-1       # evaluate the paper's hand config instead
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "src/common/strings.h"
+#include "src/core/pipedream.h"
+#include "src/profile/model_zoo.h"
+#include "src/simexec/pipeline_sim.h"
+
+using namespace pipedream;
+
+namespace {
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s <model> <cluster A|B|C> <servers> [config]\n"
+               "models: ");
+  for (const auto& name : ModelZooNames()) {
+    std::fprintf(stderr, "%s ", name.c_str());
+  }
+  std::fprintf(stderr, "\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 4 || argc > 5) {
+    return Usage(argv[0]);
+  }
+  const std::string model_name = argv[1];
+  const std::string cluster = argv[2];
+  const int servers = std::atoi(argv[3]);
+  if (servers < 1) {
+    return Usage(argv[0]);
+  }
+
+  HardwareTopology topology = HardwareTopology::Flat(1, 1e9);
+  DeviceSpec device = DeviceSpec::V100();
+  if (cluster == "A") {
+    topology = HardwareTopology::ClusterA(servers);
+  } else if (cluster == "B") {
+    topology = HardwareTopology::ClusterB(servers);
+  } else if (cluster == "C") {
+    topology = HardwareTopology::ClusterC(servers);
+    device = DeviceSpec::TitanX();
+  } else {
+    return Usage(argv[0]);
+  }
+
+  bool known = false;
+  for (const auto& name : ModelZooNames()) {
+    known = known || name == model_name;
+  }
+  if (!known) {
+    return Usage(argv[0]);
+  }
+  const ModelProfile profile = MakeProfileByName(model_name, device);
+
+  std::printf("model:    %s (%d layers, %.1f MB params, %.3f s compute/minibatch of %lld)\n",
+              model_name.c_str(), profile.num_layers(),
+              static_cast<double>(profile.TotalParamBytes()) / 1e6,
+              profile.TotalComputeSeconds(),
+              static_cast<long long>(profile.minibatch_size));
+  std::printf("cluster:  %s\n\n", topology.ToString().c_str());
+
+  PipelinePlan plan;
+  if (argc == 5) {
+    const auto parsed = MakePlanFromConfigString(profile, argv[4], topology.num_workers());
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "bad config: %s\n", parsed.status().ToString().c_str());
+      return 2;
+    }
+    plan = *parsed;
+    std::printf("evaluating hand-written config '%s'\n\n", argv[4]);
+  } else {
+    const AutoPlanResult planned = AutoPlan(profile, topology);
+    plan = planned.partition.plan;
+    std::printf("optimizer's pick:\n");
+  }
+
+  std::printf("%s\n", DescribePlan(plan, profile).c_str());
+
+  const PlanPrediction prediction = PredictPlan(profile, plan, topology);
+  SimOptions options;
+  options.num_minibatches = 128;
+  const SimResult sim = SimulatePipeline(profile, plan, topology, options);
+  const DataParallelResult dp =
+      SimulateDataParallelBsp(profile, topology, topology.num_workers());
+
+  std::printf("predicted throughput:  %10.0f samples/s\n",
+              prediction.throughput_samples_per_sec);
+  std::printf("simulated throughput:  %10.0f samples/s\n", sim.throughput_samples_per_sec);
+  std::printf("DP baseline:           %10.0f samples/s  (speedup %.2fx)\n",
+              dp.throughput_samples_per_sec,
+              sim.throughput_samples_per_sec / dp.throughput_samples_per_sec);
+  std::printf("comm per sample:       %10s\n",
+              HumanBytes(prediction.comm_bytes_per_sample).c_str());
+  int64_t max_memory = 0;
+  for (int64_t m : sim.worker_peak_memory) {
+    max_memory = std::max(max_memory, m);
+  }
+  std::printf("peak worker memory:    %10s\n",
+              HumanBytes(static_cast<double>(max_memory)).c_str());
+  std::printf("NOAM (pipeline depth): %10d\n", plan.Noam());
+  return 0;
+}

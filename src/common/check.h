@@ -1,0 +1,90 @@
+// Invariant-checking macros.
+//
+// PD_CHECK aborts with a diagnostic when an invariant is violated. These are used for
+// programmer errors (bad arguments, violated preconditions); recoverable conditions use
+// pipedream::Status instead (see src/common/status.h).
+#ifndef SRC_COMMON_CHECK_H_
+#define SRC_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace pipedream {
+namespace internal {
+
+// Terminates the process after printing a formatted check-failure message.
+[[noreturn]] inline void CheckFailed(const char* file, int line, const char* expr,
+                                     const std::string& msg) {
+  std::fprintf(stderr, "PD_CHECK failed at %s:%d: %s%s%s\n", file, line, expr,
+               msg.empty() ? "" : " — ", msg.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+// Stream sink that collects the optional message attached to a failing check. The process
+// terminates when the temporary is destroyed at the end of the full expression.
+class CheckMessageBuilder {
+ public:
+  CheckMessageBuilder(const char* file, int line, const char* expr)
+      : file_(file), line_(line), expr_(expr) {}
+
+  template <typename T>
+  CheckMessageBuilder& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+  [[noreturn]] ~CheckMessageBuilder() { CheckFailed(file_, line_, expr_, stream_.str()); }
+
+ private:
+  const char* file_;
+  int line_;
+  const char* expr_;
+  std::ostringstream stream_;
+};
+
+// Swallows the streamed message when a debug check is compiled out.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal
+}  // namespace pipedream
+
+// The switch wrapper makes the trailing if/else immune to dangling-else ambiguity when the
+// macro is used un-braced inside another if statement.
+#define PD_CHECK(cond)                 \
+  switch (0)                           \
+  case 0:                              \
+  default:                             \
+    if (cond) {                        \
+    } else /* NOLINT */                \
+      ::pipedream::internal::CheckMessageBuilder(__FILE__, __LINE__, #cond)
+
+#define PD_CHECK_OP(a, op, b) PD_CHECK((a)op(b)) << "(" << (a) << " vs " << (b) << ") "
+#define PD_CHECK_EQ(a, b) PD_CHECK_OP(a, ==, b)
+#define PD_CHECK_NE(a, b) PD_CHECK_OP(a, !=, b)
+#define PD_CHECK_LT(a, b) PD_CHECK_OP(a, <, b)
+#define PD_CHECK_LE(a, b) PD_CHECK_OP(a, <=, b)
+#define PD_CHECK_GT(a, b) PD_CHECK_OP(a, >, b)
+#define PD_CHECK_GE(a, b) PD_CHECK_OP(a, >=, b)
+
+#ifndef NDEBUG
+#define PD_DCHECK(cond) PD_CHECK(cond)
+#else
+#define PD_DCHECK(cond)                \
+  switch (0)                           \
+  case 0:                              \
+  default:                             \
+    if (true) {                        \
+    } else /* NOLINT */                \
+      ::pipedream::internal::NullStream()
+#endif
+
+#endif  // SRC_COMMON_CHECK_H_

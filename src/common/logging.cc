@@ -1,0 +1,65 @@
+#include "src/common/logging.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <mutex>
+
+namespace pipedream {
+namespace {
+
+std::atomic<int> g_threshold{static_cast<int>(LogLevel::kInfo)};
+std::mutex g_output_mutex;
+
+char LevelTag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return 'D';
+    case LogLevel::kInfo:
+      return 'I';
+    case LogLevel::kWarning:
+      return 'W';
+    case LogLevel::kError:
+      return 'E';
+  }
+  return '?';
+}
+
+// Strips leading directories so log lines show "tensor.cc:42" rather than the full path.
+const char* Basename(const char* path) {
+  const char* slash = std::strrchr(path, '/');
+  return slash != nullptr ? slash + 1 : path;
+}
+
+}  // namespace
+
+LogLevel SetLogThreshold(LogLevel level) {
+  return static_cast<LogLevel>(g_threshold.exchange(static_cast<int>(level)));
+}
+
+LogLevel GetLogThreshold() { return static_cast<LogLevel>(g_threshold.load()); }
+
+namespace internal {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : enabled_(static_cast<int>(level) >= g_threshold.load(std::memory_order_relaxed)),
+      level_(level),
+      file_(file),
+      line_(line) {}
+
+LogMessage::~LogMessage() {
+  if (!enabled_) {
+    return;
+  }
+  using Clock = std::chrono::system_clock;
+  const auto now = Clock::now().time_since_epoch();
+  const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(now).count();
+  std::lock_guard<std::mutex> lock(g_output_mutex);
+  std::fprintf(stderr, "[%c %lld.%03lld %s:%d] %s\n", LevelTag(level_),
+               static_cast<long long>(ms / 1000), static_cast<long long>(ms % 1000),
+               Basename(file_), line_, stream_.str().c_str());
+}
+
+}  // namespace internal
+}  // namespace pipedream

@@ -1,0 +1,62 @@
+// Minimal leveled logging. Thread-safe at the line level; output goes to stderr.
+//
+// Usage:   PD_LOG(INFO) << "profiled " << n << " layers";
+// Levels:  DEBUG < INFO < WARNING < ERROR. The global threshold defaults to INFO and can be
+// changed with SetLogThreshold() (e.g. tests silence INFO, debugging enables DEBUG).
+#ifndef SRC_COMMON_LOGGING_H_
+#define SRC_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace pipedream {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+};
+
+// Sets the minimum level that is actually emitted. Returns the previous threshold.
+LogLevel SetLogThreshold(LogLevel level);
+LogLevel GetLogThreshold();
+
+namespace internal {
+
+// Accumulates one log line and flushes it (with timestamp and level tag) on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    if (enabled_) {
+      stream_ << value;
+    }
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace pipedream
+
+#define PD_LOG_DEBUG ::pipedream::internal::LogMessage(::pipedream::LogLevel::kDebug, __FILE__, __LINE__)
+#define PD_LOG_INFO ::pipedream::internal::LogMessage(::pipedream::LogLevel::kInfo, __FILE__, __LINE__)
+#define PD_LOG_WARNING \
+  ::pipedream::internal::LogMessage(::pipedream::LogLevel::kWarning, __FILE__, __LINE__)
+#define PD_LOG_ERROR ::pipedream::internal::LogMessage(::pipedream::LogLevel::kError, __FILE__, __LINE__)
+#define PD_LOG(severity) PD_LOG_##severity
+
+#endif  // SRC_COMMON_LOGGING_H_

@@ -1,0 +1,110 @@
+// Deterministic pseudo-random number generation.
+//
+// A from-scratch xoshiro256** generator seeded through splitmix64. Every stochastic component
+// in the repository (weight init, dataset synthesis, shuffling) draws from an explicitly
+// seeded Rng so that experiments are bit-reproducible across runs and platforms.
+#ifndef SRC_COMMON_RNG_H_
+#define SRC_COMMON_RNG_H_
+
+#include <cmath>
+#include <cstdint>
+
+#include "src/common/check.h"
+
+namespace pipedream {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) { Seed(seed); }
+
+  // Re-seeds the generator. Distinct seeds produce statistically independent streams.
+  void Seed(uint64_t seed) {
+    // splitmix64 expansion of the scalar seed into the 256-bit xoshiro state.
+    uint64_t x = seed;
+    for (auto& word : state_) {
+      x += 0x9E3779B97F4A7C15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+      word = z ^ (z >> 31);
+    }
+    has_cached_gaussian_ = false;
+  }
+
+  // Next raw 64-bit value (xoshiro256**).
+  uint64_t NextU64() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() { return static_cast<double>(NextU64() >> 11) * 0x1.0p-53; }
+
+  // Uniform float in [0, 1).
+  float NextFloat() { return static_cast<float>(NextU64() >> 40) * 0x1.0p-24f; }
+
+  // Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) { return lo + (hi - lo) * NextDouble(); }
+
+  // Uniform integer in [0, n). n must be positive. Uses rejection to avoid modulo bias.
+  uint64_t UniformInt(uint64_t n) {
+    PD_CHECK_GT(n, 0u);
+    const uint64_t threshold = (0 - n) % n;
+    for (;;) {
+      const uint64_t r = NextU64();
+      if (r >= threshold) {
+        return r % n;
+      }
+    }
+  }
+
+  // Standard normal via Box–Muller (caches the second deviate).
+  double Gaussian() {
+    if (has_cached_gaussian_) {
+      has_cached_gaussian_ = false;
+      return cached_gaussian_;
+    }
+    double u1 = 0.0;
+    do {
+      u1 = NextDouble();
+    } while (u1 <= 1e-300);
+    const double u2 = NextDouble();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 2.0 * 3.14159265358979323846 * u2;
+    cached_gaussian_ = r * std::sin(theta);
+    has_cached_gaussian_ = true;
+    return r * std::cos(theta);
+  }
+
+  // Normal with the given mean and standard deviation.
+  double Gaussian(double mean, double stddev) { return mean + stddev * Gaussian(); }
+
+  // Fisher–Yates shuffle of [first, first + n).
+  template <typename T>
+  void Shuffle(T* first, size_t n) {
+    for (size_t i = n; i > 1; --i) {
+      const size_t j = static_cast<size_t>(UniformInt(i));
+      T tmp = first[i - 1];
+      first[i - 1] = first[j];
+      first[j] = tmp;
+    }
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t state_[4] = {};
+  bool has_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+}  // namespace pipedream
+
+#endif  // SRC_COMMON_RNG_H_

@@ -1,0 +1,74 @@
+// Virtual time for the discrete-event simulator.
+//
+// SimTime is a strongly typed count of integer nanoseconds. Integer (rather than floating
+// point) time keeps event ordering exact and the simulator bit-deterministic regardless of
+// the order arithmetic is performed in.
+#ifndef SRC_COMMON_SIM_TIME_H_
+#define SRC_COMMON_SIM_TIME_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+#include "src/common/check.h"
+
+namespace pipedream {
+
+class SimTime {
+ public:
+  constexpr SimTime() : ns_(0) {}
+
+  static constexpr SimTime Nanos(int64_t ns) { return SimTime(ns); }
+  static constexpr SimTime Micros(int64_t us) { return SimTime(us * 1000); }
+  static constexpr SimTime Millis(int64_t ms) { return SimTime(ms * 1000000); }
+  static constexpr SimTime Seconds(int64_t s) { return SimTime(s * 1000000000); }
+
+  // Converts a floating-point duration in seconds, rounding to the nearest nanosecond.
+  static SimTime FromSeconds(double seconds) {
+    PD_CHECK(seconds >= 0.0) << "negative duration: " << seconds;
+    return SimTime(static_cast<int64_t>(seconds * 1e9 + 0.5));
+  }
+
+  static constexpr SimTime Max() { return SimTime(INT64_MAX); }
+
+  constexpr int64_t nanos() const { return ns_; }
+  constexpr double ToSeconds() const { return static_cast<double>(ns_) * 1e-9; }
+  constexpr double ToMillis() const { return static_cast<double>(ns_) * 1e-6; }
+  constexpr double ToMicros() const { return static_cast<double>(ns_) * 1e-3; }
+
+  constexpr SimTime operator+(SimTime other) const { return SimTime(ns_ + other.ns_); }
+  constexpr SimTime operator-(SimTime other) const { return SimTime(ns_ - other.ns_); }
+  SimTime& operator+=(SimTime other) {
+    ns_ += other.ns_;
+    return *this;
+  }
+  SimTime& operator-=(SimTime other) {
+    ns_ -= other.ns_;
+    return *this;
+  }
+  constexpr SimTime operator*(int64_t k) const { return SimTime(ns_ * k); }
+
+  constexpr auto operator<=>(const SimTime&) const = default;
+
+  std::string ToString() const {
+    char buf[48];
+    if (ns_ >= 1000000000) {
+      std::snprintf(buf, sizeof(buf), "%.6gs", ToSeconds());
+    } else if (ns_ >= 1000000) {
+      std::snprintf(buf, sizeof(buf), "%.6gms", ToMillis());
+    } else if (ns_ >= 1000) {
+      std::snprintf(buf, sizeof(buf), "%.6gus", ToMicros());
+    } else {
+      std::snprintf(buf, sizeof(buf), "%lldns", static_cast<long long>(ns_));
+    }
+    return buf;
+  }
+
+ private:
+  explicit constexpr SimTime(int64_t ns) : ns_(ns) {}
+  int64_t ns_;
+};
+
+}  // namespace pipedream
+
+#endif  // SRC_COMMON_SIM_TIME_H_

@@ -1,0 +1,33 @@
+#include "src/common/stats.h"
+
+namespace pipedream {
+
+double PearsonCorrelation(const std::vector<double>& x, const std::vector<double>& y) {
+  PD_CHECK_EQ(x.size(), y.size());
+  PD_CHECK_GE(x.size(), 2u);
+  const double n = static_cast<double>(x.size());
+  double sum_x = 0.0;
+  double sum_y = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    sum_x += x[i];
+    sum_y += y[i];
+  }
+  const double mean_x = sum_x / n;
+  const double mean_y = sum_y / n;
+  double cov = 0.0;
+  double var_x = 0.0;
+  double var_y = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    const double dx = x[i] - mean_x;
+    const double dy = y[i] - mean_y;
+    cov += dx * dy;
+    var_x += dx * dx;
+    var_y += dy * dy;
+  }
+  if (var_x <= 0.0 || var_y <= 0.0) {
+    return 0.0;
+  }
+  return cov / std::sqrt(var_x * var_y);
+}
+
+}  // namespace pipedream

@@ -1,0 +1,92 @@
+// Streaming statistics helpers used by the runtime metrics and the benchmark harnesses.
+#ifndef SRC_COMMON_STATS_H_
+#define SRC_COMMON_STATS_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "src/common/check.h"
+
+namespace pipedream {
+
+// Welford's online mean/variance plus min/max.
+class RunningStat {
+ public:
+  void Add(double x) {
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+
+  int64_t count() const { return count_; }
+  double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  double variance() const { return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0; }
+  double stddev() const { return std::sqrt(variance()); }
+  double min() const { return count_ > 0 ? min_ : 0.0; }
+  double max() const { return count_ > 0 ? max_ : 0.0; }
+  double sum() const { return mean_ * static_cast<double>(count_); }
+
+ private:
+  int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 1e300;
+  double max_ = -1e300;
+};
+
+// Stores samples; supports exact quantiles. Suitable for the modest sample counts produced by
+// simulation runs (thousands, not billions).
+class SampleSet {
+ public:
+  void Add(double x) {
+    samples_.push_back(x);
+    sorted_ = false;
+  }
+
+  size_t size() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+
+  // Quantile in [0, 1], by linear interpolation between order statistics.
+  double Quantile(double q) {
+    PD_CHECK(!samples_.empty());
+    PD_CHECK(q >= 0.0 && q <= 1.0);
+    EnsureSorted();
+    const double idx = q * static_cast<double>(samples_.size() - 1);
+    const size_t lo = static_cast<size_t>(idx);
+    const size_t hi = std::min(lo + 1, samples_.size() - 1);
+    const double frac = idx - static_cast<double>(lo);
+    return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+  }
+
+  double Mean() const {
+    double total = 0.0;
+    for (double s : samples_) {
+      total += s;
+    }
+    return samples_.empty() ? 0.0 : total / static_cast<double>(samples_.size());
+  }
+
+ private:
+  void EnsureSorted() {
+    if (!sorted_) {
+      std::sort(samples_.begin(), samples_.end());
+      sorted_ = true;
+    }
+  }
+
+  std::vector<double> samples_;
+  bool sorted_ = false;
+};
+
+// Pearson correlation of two equal-length series (used by the Figure 15 reproduction to show
+// the optimizer's predictions are linearly correlated with simulated throughput).
+double PearsonCorrelation(const std::vector<double>& x, const std::vector<double>& y);
+
+}  // namespace pipedream
+
+#endif  // SRC_COMMON_STATS_H_

@@ -1,0 +1,30 @@
+// Small string helpers: printf-style formatting, split/join, human-readable byte counts.
+#ifndef SRC_COMMON_STRINGS_H_
+#define SRC_COMMON_STRINGS_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pipedream {
+
+// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+// Splits on a single-character delimiter. Consecutive delimiters produce empty fields.
+std::vector<std::string> StrSplit(std::string_view text, char delim);
+
+// Joins elements with the given separator.
+std::string StrJoin(const std::vector<std::string>& parts, std::string_view sep);
+
+// Returns e.g. "1.50 MB" for 1572864. Uses binary-ish decimal units matching the paper's
+// convention (KB = 1e3, MB = 1e6, GB = 1e9).
+std::string HumanBytes(double bytes);
+
+// True if `text` begins with `prefix`.
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+}  // namespace pipedream
+
+#endif  // SRC_COMMON_STRINGS_H_

@@ -1,0 +1,101 @@
+#include "src/common/table.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include "src/common/check.h"
+#include "src/common/logging.h"
+
+namespace pipedream {
+namespace {
+
+std::string CsvEscape(const std::string& field) {
+  if (field.find_first_of(",\"\n") == std::string::npos) {
+    return field;
+  }
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') {
+      out += "\"\"";
+    } else {
+      out += c;
+    }
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+void Table::AddRow(std::vector<std::string> row) {
+  PD_CHECK_EQ(row.size(), header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string Table::ToText() const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line;
+    for (size_t c = 0; c < row.size(); ++c) {
+      line += row[c];
+      if (c + 1 < row.size()) {
+        line.append(widths[c] - row[c].size() + 2, ' ');
+      }
+    }
+    line += '\n';
+    return line;
+  };
+  std::string out = render_row(header_);
+  size_t total = 0;
+  for (size_t c = 0; c < widths.size(); ++c) {
+    total += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+  }
+  out.append(total, '-');
+  out += '\n';
+  for (const auto& row : rows_) {
+    out += render_row(row);
+  }
+  return out;
+}
+
+std::string Table::ToCsv() const {
+  std::string out;
+  auto render = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) {
+        out += ',';
+      }
+      out += CsvEscape(row[c]);
+    }
+    out += '\n';
+  };
+  render(header_);
+  for (const auto& row : rows_) {
+    render(row);
+  }
+  return out;
+}
+
+void Table::Print(const std::string& title) const {
+  std::printf("\n== %s ==\n%s", title.c_str(), ToText().c_str());
+  std::fflush(stdout);
+}
+
+void Table::WriteCsv(const std::string& path) const {
+  std::ofstream file(path);
+  if (!file) {
+    PD_LOG(WARNING) << "failed to open " << path << " for CSV output";
+    return;
+  }
+  file << ToCsv();
+}
+
+}  // namespace pipedream

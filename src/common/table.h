@@ -1,0 +1,39 @@
+// Aligned-text table printer with optional CSV export. Used by every figure/table
+// reproduction binary in bench/ so output is uniform and machine-readable.
+#ifndef SRC_COMMON_TABLE_H_
+#define SRC_COMMON_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace pipedream {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+  // Adds a fully formatted row. Row width must match the header.
+  void AddRow(std::vector<std::string> row);
+
+  // Renders an aligned text table with a separator under the header.
+  std::string ToText() const;
+
+  // Renders RFC-4180-ish CSV (fields containing commas or quotes are quoted).
+  std::string ToCsv() const;
+
+  // Prints ToText() to stdout, preceded by a title line.
+  void Print(const std::string& title) const;
+
+  // Writes ToCsv() to the given path; logs a warning (does not abort) on I/O failure.
+  void WriteCsv(const std::string& path) const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace pipedream
+
+#endif  // SRC_COMMON_TABLE_H_

@@ -1,0 +1,56 @@
+#include "src/core/pipedream.h"
+
+#include "src/common/strings.h"
+
+namespace pipedream {
+
+AutoPlanResult AutoPlan(const ModelProfile& profile, const HardwareTopology& topology,
+                        const PartitionerOptions& options) {
+  AutoPlanResult result;
+  result.partition = Partition(profile, topology, options);
+  result.prediction = PredictPlan(profile, result.partition.plan, topology);
+  return result;
+}
+
+TtaResult TrainToAccuracy(PipelineTrainer* trainer, const Dataset& eval,
+                          const TtaOptions& options) {
+  TtaResult result;
+  for (int epoch = 0; epoch < options.max_epochs; ++epoch) {
+    const EpochStats stats = trainer->TrainEpoch();
+    const double accuracy = trainer->EvaluateAccuracy(eval, options.eval_batch);
+    result.loss_curve.push_back(stats.mean_loss);
+    result.accuracy_curve.push_back(accuracy);
+    ++result.epochs;
+    if (accuracy >= options.target_accuracy) {
+      result.reached = true;
+      break;
+    }
+  }
+  return result;
+}
+
+std::string DescribePlan(const PipelinePlan& plan, const ModelProfile& profile) {
+  std::string out =
+      StrFormat("config %s (%d stages, %d workers)\n",
+                plan.ConfigString(profile.num_layers()).c_str(), plan.num_stages(),
+                plan.total_workers());
+  for (int s = 0; s < plan.num_stages(); ++s) {
+    const StageAssignment& stage = plan.stage(s);
+    std::string workers;
+    for (size_t i = 0; i < stage.workers.size(); ++i) {
+      if (i > 0) {
+        workers += ",";
+      }
+      workers += StrFormat("%d", stage.workers[i]);
+    }
+    out += StrFormat(
+        "  stage %d: layers [%s .. %s] x%d replicas on workers {%s}, %.1f MB weights\n", s,
+        profile.layers[static_cast<size_t>(stage.begin_layer)].name.c_str(),
+        profile.layers[static_cast<size_t>(stage.end_layer - 1)].name.c_str(), stage.replicas,
+        workers.c_str(),
+        static_cast<double>(profile.ParamBytes(stage.begin_layer, stage.end_layer)) / 1e6);
+  }
+  return out;
+}
+
+}  // namespace pipedream

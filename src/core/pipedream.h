@@ -1,0 +1,53 @@
+// PipeDream's end-to-end workflow (paper Figure 6): profile -> optimizer -> runtime.
+//
+// This facade ties the pieces together:
+//   AutoPlan          — run the partitioning optimizer over a profile + topology and return
+//                       the chosen plan with its analytic performance prediction.
+//   TrainToAccuracy   — drive a PipelineTrainer epoch-by-epoch until a target validation
+//                       accuracy is reached (the paper's time-to-accuracy methodology).
+//   DescribePlan      — human-readable summary of a plan ("15-1", per-stage layers/workers).
+#ifndef SRC_CORE_PIPEDREAM_H_
+#define SRC_CORE_PIPEDREAM_H_
+
+#include <string>
+#include <vector>
+
+#include "src/planner/partitioner.h"
+#include "src/planner/predictor.h"
+#include "src/runtime/pipeline_trainer.h"
+
+namespace pipedream {
+
+struct AutoPlanResult {
+  PartitionResult partition;
+  PlanPrediction prediction;
+};
+
+// Partitions `profile` over `topology` (flat or hierarchical as appropriate) and predicts
+// the resulting pipeline's performance.
+AutoPlanResult AutoPlan(const ModelProfile& profile, const HardwareTopology& topology,
+                        const PartitionerOptions& options = {});
+
+struct TtaOptions {
+  double target_accuracy = 0.9;   // fraction correct on the eval set
+  int max_epochs = 50;
+  int64_t eval_batch = 64;
+};
+
+struct TtaResult {
+  bool reached = false;
+  int epochs = 0;                      // epochs consumed (== curve size)
+  std::vector<double> accuracy_curve;  // accuracy after each epoch
+  std::vector<double> loss_curve;      // mean training loss per epoch
+};
+
+// Trains until eval accuracy >= target (checked after each epoch) or max_epochs.
+TtaResult TrainToAccuracy(PipelineTrainer* trainer, const Dataset& eval,
+                          const TtaOptions& options);
+
+// One line per stage: layer range, replica count, worker ids.
+std::string DescribePlan(const PipelinePlan& plan, const ModelProfile& profile);
+
+}  // namespace pipedream
+
+#endif  // SRC_CORE_PIPEDREAM_H_

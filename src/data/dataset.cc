@@ -1,0 +1,216 @@
+#include "src/data/dataset.h"
+
+#include <cmath>
+#include <vector>
+
+#include "src/common/check.h"
+#include "src/common/rng.h"
+
+namespace pipedream {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+// Shuffles examples (and their labels) so minibatches mix classes even before the loader's
+// own shuffling. Operates on the flattened per-example rows.
+void ShuffleExamples(Dataset* data, Rng* rng) {
+  const int64_t n = data->size();
+  if (n <= 1) {
+    return;
+  }
+  const int64_t in_width = data->inputs.numel() / n;
+  const int64_t tgt_width = data->targets.numel() / n;
+  float* in = data->inputs.data();
+  float* tgt = data->targets.data();
+  std::vector<float> tmp(static_cast<size_t>(std::max(in_width, tgt_width)));
+  for (int64_t i = n - 1; i > 0; --i) {
+    const int64_t j = static_cast<int64_t>(rng->UniformInt(static_cast<uint64_t>(i + 1)));
+    if (i == j) {
+      continue;
+    }
+    std::copy(in + i * in_width, in + (i + 1) * in_width, tmp.begin());
+    std::copy(in + j * in_width, in + (j + 1) * in_width, in + i * in_width);
+    std::copy(tmp.begin(), tmp.begin() + in_width, in + j * in_width);
+    std::copy(tgt + i * tgt_width, tgt + (i + 1) * tgt_width, tmp.begin());
+    std::copy(tgt + j * tgt_width, tgt + (j + 1) * tgt_width, tgt + i * tgt_width);
+    std::copy(tmp.begin(), tmp.begin() + tgt_width, tgt + j * tgt_width);
+  }
+}
+
+}  // namespace
+
+Dataset MakeGaussianMixture(int64_t classes, int64_t dim, int64_t per_class, double spread,
+                            uint64_t seed) {
+  PD_CHECK_GT(classes, 0);
+  PD_CHECK_GT(dim, 0);
+  Rng rng(seed);
+  const int64_t n = classes * per_class;
+  Dataset data;
+  data.inputs = Tensor({n, dim});
+  data.targets = Tensor({n});
+
+  // Random unit-ish centers, re-used for all samples of a class.
+  Tensor centers({classes, dim});
+  for (int64_t c = 0; c < classes; ++c) {
+    for (int64_t d = 0; d < dim; ++d) {
+      centers.At(c, d) = static_cast<float>(rng.Gaussian());
+    }
+  }
+  int64_t row = 0;
+  for (int64_t c = 0; c < classes; ++c) {
+    for (int64_t s = 0; s < per_class; ++s, ++row) {
+      for (int64_t d = 0; d < dim; ++d) {
+        data.inputs.At(row, d) =
+            centers.At(c, d) + static_cast<float>(rng.Gaussian(0.0, spread));
+      }
+      data.targets[row] = static_cast<float>(c);
+    }
+  }
+  ShuffleExamples(&data, &rng);
+  return data;
+}
+
+Dataset MakeSpirals(int64_t classes, int64_t dim, int64_t per_class, double noise,
+                    uint64_t seed) {
+  PD_CHECK_GE(dim, 2);
+  Rng rng(seed);
+  const int64_t n = classes * per_class;
+  Dataset data;
+  data.inputs = Tensor({n, dim});
+  data.targets = Tensor({n});
+  int64_t row = 0;
+  for (int64_t c = 0; c < classes; ++c) {
+    for (int64_t s = 0; s < per_class; ++s, ++row) {
+      const double t = static_cast<double>(s) / static_cast<double>(per_class);
+      const double radius = 0.2 + 0.8 * t;
+      const double angle =
+          2.0 * kPi * (1.75 * t + static_cast<double>(c) / static_cast<double>(classes));
+      data.inputs.At(row, 0) =
+          static_cast<float>(radius * std::cos(angle) + rng.Gaussian(0.0, noise));
+      data.inputs.At(row, 1) =
+          static_cast<float>(radius * std::sin(angle) + rng.Gaussian(0.0, noise));
+      for (int64_t d = 2; d < dim; ++d) {
+        data.inputs.At(row, d) = static_cast<float>(rng.Gaussian(0.0, noise));
+      }
+      data.targets[row] = static_cast<float>(c);
+    }
+  }
+  ShuffleExamples(&data, &rng);
+  return data;
+}
+
+Dataset MakeSyntheticImages(int64_t classes, int64_t channels, int64_t size, int64_t per_class,
+                            double noise, uint64_t seed) {
+  Rng rng(seed);
+  const int64_t n = classes * per_class;
+  const int64_t pixels = channels * size * size;
+  Dataset data;
+  data.inputs = Tensor({n, channels, size, size});
+  data.targets = Tensor({n});
+
+  Tensor templates({classes, channels, size, size});
+  for (int64_t i = 0; i < templates.numel(); ++i) {
+    templates[i] = static_cast<float>(rng.Gaussian());
+  }
+  int64_t row = 0;
+  for (int64_t c = 0; c < classes; ++c) {
+    for (int64_t s = 0; s < per_class; ++s, ++row) {
+      float* dst = data.inputs.data() + row * pixels;
+      const float* tpl = templates.data() + c * pixels;
+      for (int64_t p = 0; p < pixels; ++p) {
+        dst[p] = tpl[p] + static_cast<float>(rng.Gaussian(0.0, noise));
+      }
+      data.targets[row] = static_cast<float>(c);
+    }
+  }
+  ShuffleExamples(&data, &rng);
+  return data;
+}
+
+Dataset MakeSequenceCopy(int64_t vocab, int64_t seq_len, int64_t num_sequences, bool reverse,
+                         uint64_t seed) {
+  PD_CHECK_GT(vocab, 1);
+  Rng rng(seed);
+  Dataset data;
+  data.inputs = Tensor({num_sequences, seq_len});
+  data.targets = Tensor({num_sequences, seq_len});
+  for (int64_t i = 0; i < num_sequences; ++i) {
+    for (int64_t t = 0; t < seq_len; ++t) {
+      const auto token = static_cast<float>(rng.UniformInt(static_cast<uint64_t>(vocab)));
+      data.inputs.At(i, t) = token;
+      const int64_t tgt_pos = reverse ? seq_len - 1 - t : t;
+      data.targets.At(i, tgt_pos) = token;
+    }
+  }
+  return data;
+}
+
+Dataset MakeMarkovLm(int64_t vocab, int64_t seq_len, int64_t num_sequences, double temperature,
+                     uint64_t seed) {
+  PD_CHECK_GT(vocab, 1);
+  Rng rng(seed);
+  // Row-stochastic transition matrix with temperature-controlled peakedness: lower
+  // temperature means more predictable chains (lower achievable perplexity).
+  std::vector<double> transition(static_cast<size_t>(vocab * vocab));
+  for (int64_t a = 0; a < vocab; ++a) {
+    double row_sum = 0.0;
+    for (int64_t b = 0; b < vocab; ++b) {
+      const double e = std::exp(rng.Gaussian() / std::max(temperature, 1e-3));
+      transition[static_cast<size_t>(a * vocab + b)] = e;
+      row_sum += e;
+    }
+    for (int64_t b = 0; b < vocab; ++b) {
+      transition[static_cast<size_t>(a * vocab + b)] /= row_sum;
+    }
+  }
+  auto sample_next = [&](int64_t current) {
+    const double u = rng.NextDouble();
+    double acc = 0.0;
+    for (int64_t b = 0; b < vocab; ++b) {
+      acc += transition[static_cast<size_t>(current * vocab + b)];
+      if (u < acc) {
+        return b;
+      }
+    }
+    return vocab - 1;
+  };
+
+  Dataset data;
+  data.inputs = Tensor({num_sequences, seq_len});
+  data.targets = Tensor({num_sequences, seq_len});
+  for (int64_t i = 0; i < num_sequences; ++i) {
+    int64_t state = static_cast<int64_t>(rng.UniformInt(static_cast<uint64_t>(vocab)));
+    for (int64_t t = 0; t < seq_len; ++t) {
+      data.inputs.At(i, t) = static_cast<float>(state);
+      state = sample_next(state);
+      data.targets.At(i, t) = static_cast<float>(state);
+    }
+  }
+  return data;
+}
+
+void SplitDataset(const Dataset& data, double train_fraction, Dataset* train, Dataset* eval) {
+  PD_CHECK(train_fraction > 0.0 && train_fraction < 1.0);
+  const int64_t n = data.size();
+  const int64_t n_train = static_cast<int64_t>(static_cast<double>(n) * train_fraction);
+  PD_CHECK(n_train > 0 && n_train < n) << "split produces an empty partition";
+  const int64_t in_width = data.inputs.numel() / n;
+  const int64_t tgt_width = data.targets.numel() / n;
+
+  auto take = [&](int64_t begin, int64_t count, Dataset* out) {
+    std::vector<int64_t> in_shape = data.inputs.shape();
+    in_shape[0] = count;
+    std::vector<int64_t> tgt_shape = data.targets.shape();
+    tgt_shape[0] = count;
+    out->inputs = Tensor(in_shape);
+    out->targets = Tensor(tgt_shape);
+    std::copy(data.inputs.data() + begin * in_width,
+              data.inputs.data() + (begin + count) * in_width, out->inputs.data());
+    std::copy(data.targets.data() + begin * tgt_width,
+              data.targets.data() + (begin + count) * tgt_width, out->targets.data());
+  };
+  take(0, n_train, train);
+  take(n_train, n - n_train, eval);
+}
+
+}  // namespace pipedream

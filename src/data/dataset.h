@@ -1,0 +1,58 @@
+// In-memory datasets and synthetic generators.
+//
+// The paper trains on ImageNet/WMT16/PTB/MSVD; those are proprietary-scale. The statistical-
+// efficiency experiments here need datasets that (a) are learnable to a crisp target accuracy
+// in seconds and (b) are hard enough that optimizer semantics (staleness, stashing, batch
+// size) visibly change convergence. These generators provide that.
+#ifndef SRC_DATA_DATASET_H_
+#define SRC_DATA_DATASET_H_
+
+#include <cstdint>
+
+#include "src/tensor/tensor.h"
+
+namespace pipedream {
+
+struct Dataset {
+  Tensor inputs;   // [N, ...]; the first dimension indexes examples.
+  Tensor targets;  // [N] class ids, or [N, T] per-token ids for sequence tasks.
+
+  int64_t size() const { return inputs.empty() ? 0 : inputs.dim(0); }
+};
+
+// Gaussian mixture: `classes` isotropic clusters in `dim` dimensions, `per_class` samples
+// each. `spread` scales within-class noise relative to unit-separated centers; larger spread
+// means harder classification.
+Dataset MakeGaussianMixture(int64_t classes, int64_t dim, int64_t per_class, double spread,
+                            uint64_t seed);
+
+// Two-dimensional k-armed spiral embedded into `dim` dimensions (first two coordinates carry
+// the signal, the rest are noise). Strongly non-linear; an MLP needs real training to fit it.
+Dataset MakeSpirals(int64_t classes, int64_t dim, int64_t per_class, double noise,
+                    uint64_t seed);
+
+// Synthetic images [N, channels, size, size]: each class has a fixed random template pattern,
+// samples are template + Gaussian pixel noise. The image-classification analogue.
+Dataset MakeSyntheticImages(int64_t classes, int64_t channels, int64_t size, int64_t per_class,
+                            double noise, uint64_t seed);
+
+// Sequence transduction ("translation" analogue): inputs are random token sequences [N, T]
+// over `vocab` symbols, targets are the element-wise reversed sequence [N, T]. Learning it
+// requires the recurrent state to carry the whole sequence, like an encoder-decoder.
+Dataset MakeSequenceCopy(int64_t vocab, int64_t seq_len, int64_t num_sequences, bool reverse,
+                         uint64_t seed);
+
+// Language-modelling analogue: sequences from a random first-order Markov chain over `vocab`
+// tokens; targets are the next token at every position. An LSTM can drive perplexity well
+// below the uniform baseline by learning the transition matrix.
+Dataset MakeMarkovLm(int64_t vocab, int64_t seq_len, int64_t num_sequences, double temperature,
+                     uint64_t seed);
+
+// Splits a dataset into train/eval partitions drawn from the same distribution: the first
+// `train_fraction` of examples go to *train, the rest to *eval. Use this (not two generator
+// calls with different seeds!) to get a validation set for the same underlying problem.
+void SplitDataset(const Dataset& data, double train_fraction, Dataset* train, Dataset* eval);
+
+}  // namespace pipedream
+
+#endif  // SRC_DATA_DATASET_H_

@@ -1,0 +1,79 @@
+#include "src/data/loader.h"
+
+#include <numeric>
+
+#include "src/common/check.h"
+
+namespace pipedream {
+
+MinibatchLoader::MinibatchLoader(const Dataset* dataset, int64_t batch_size, uint64_t seed)
+    : dataset_(dataset), batch_size_(batch_size), seed_(seed) {
+  PD_CHECK(dataset != nullptr);
+  PD_CHECK_GT(batch_size, 0);
+  PD_CHECK_GE(dataset->size(), batch_size)
+      << "dataset smaller than one minibatch (" << dataset->size() << " < " << batch_size << ")";
+  batches_per_epoch_ = dataset->size() / batch_size;
+  order_.resize(static_cast<size_t>(dataset->size()));
+  Reshuffle();
+}
+
+void MinibatchLoader::Reshuffle() {
+  // (Re)builds the permutation for epoch_. The permutation is a pure function of
+  // (seed, epoch), which is what makes BatchAt order-independent.
+  std::iota(order_.begin(), order_.end(), 0);
+  Rng rng(seed_ * 0x9E3779B97F4A7C15ULL + static_cast<uint64_t>(epoch_) + 1);
+  rng.Shuffle(order_.data(), order_.size());
+}
+
+void MinibatchLoader::NextBatch(Tensor* inputs, Tensor* targets) {
+  BatchAt(cursor_, inputs, targets);
+  ++cursor_;
+}
+
+void MinibatchLoader::BatchAt(int64_t index, Tensor* inputs, Tensor* targets) {
+  PD_CHECK_GE(index, 0);
+  const int64_t target_epoch = index / batches_per_epoch_;
+  if (target_epoch != epoch_) {
+    epoch_ = target_epoch;
+    Reshuffle();
+  }
+  const int64_t pos = index % batches_per_epoch_;
+  std::vector<int64_t> indices(static_cast<size_t>(batch_size_));
+  for (int64_t i = 0; i < batch_size_; ++i) {
+    indices[static_cast<size_t>(i)] = order_[static_cast<size_t>(pos * batch_size_ + i)];
+  }
+  GatherExamples(indices, inputs, targets);
+}
+
+void MinibatchLoader::GatherExamples(const std::vector<int64_t>& indices, Tensor* inputs,
+                                     Tensor* targets) const {
+  const int64_t n = dataset_->size();
+  const int64_t in_width = dataset_->inputs.numel() / n;
+  const int64_t tgt_width = dataset_->targets.numel() / n;
+  const auto batch = static_cast<int64_t>(indices.size());
+
+  std::vector<int64_t> in_shape = dataset_->inputs.shape();
+  in_shape[0] = batch;
+  std::vector<int64_t> tgt_shape = dataset_->targets.shape();
+  tgt_shape[0] = batch;
+  if (inputs->shape() != in_shape) {
+    *inputs = Tensor(in_shape);
+  }
+  if (targets->shape() != tgt_shape) {
+    *targets = Tensor(tgt_shape);
+  }
+
+  const float* src_in = dataset_->inputs.data();
+  const float* src_tgt = dataset_->targets.data();
+  float* dst_in = inputs->data();
+  float* dst_tgt = targets->data();
+  for (int64_t b = 0; b < batch; ++b) {
+    const int64_t idx = indices[static_cast<size_t>(b)];
+    PD_CHECK(idx >= 0 && idx < n);
+    std::copy(src_in + idx * in_width, src_in + (idx + 1) * in_width, dst_in + b * in_width);
+    std::copy(src_tgt + idx * tgt_width, src_tgt + (idx + 1) * tgt_width,
+              dst_tgt + b * tgt_width);
+  }
+}
+
+}  // namespace pipedream

@@ -1,0 +1,55 @@
+// Deterministic minibatch loader with per-epoch reshuffling.
+#ifndef SRC_DATA_LOADER_H_
+#define SRC_DATA_LOADER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/data/dataset.h"
+
+namespace pipedream {
+
+// Iterates a Dataset in shuffled minibatches. The shuffle order is a pure function of
+// (seed, epoch), so two loaders constructed identically produce identical batch streams —
+// this is what lets the pipelined and data-parallel runtimes consume *the same* sequence of
+// minibatches and makes statistical-efficiency comparisons apples-to-apples.
+class MinibatchLoader {
+ public:
+  MinibatchLoader(const Dataset* dataset, int64_t batch_size, uint64_t seed);
+
+  // Fills *inputs / *targets with the next minibatch (first dimension = batch_size).
+  // Wraps to the next epoch automatically; partial trailing batches are dropped.
+  void NextBatch(Tensor* inputs, Tensor* targets);
+
+  // Random-access variant: fills the minibatch with global index `index` (epoch =
+  // index / batches_per_epoch). Two loaders with the same (dataset, batch_size, seed)
+  // return identical batches for every index, regardless of call order — the property the
+  // pipeline runtime relies on to give every input-stage replica its round-robin share of
+  // one deterministic stream.
+  void BatchAt(int64_t index, Tensor* inputs, Tensor* targets);
+
+  int64_t batches_per_epoch() const { return batches_per_epoch_; }
+  int64_t epoch() const { return cursor_ / batches_per_epoch_; }
+  int64_t batch_size() const { return batch_size_; }
+
+  // Copies example rows `order[begin..begin+count)` from the dataset. Exposed for the
+  // round-robin input routing of replicated stages.
+  void GatherExamples(const std::vector<int64_t>& indices, Tensor* inputs,
+                      Tensor* targets) const;
+
+ private:
+  void Reshuffle();
+
+  const Dataset* dataset_;
+  int64_t batch_size_;
+  uint64_t seed_;
+  int64_t epoch_ = 0;   // epoch the current permutation belongs to
+  int64_t cursor_ = 0;  // next global batch index for NextBatch
+  int64_t batches_per_epoch_;
+  std::vector<int64_t> order_;
+};
+
+}  // namespace pipedream
+
+#endif  // SRC_DATA_LOADER_H_

@@ -1,0 +1,36 @@
+// Stateless elementwise activation layers: ReLU, Tanh, Sigmoid.
+#ifndef SRC_GRAPH_ACTIVATION_H_
+#define SRC_GRAPH_ACTIVATION_H_
+
+#include <memory>
+#include <string>
+
+#include "src/graph/layer.h"
+
+namespace pipedream {
+
+enum class ActivationKind { kRelu, kTanh, kSigmoid };
+
+const char* ActivationKindName(ActivationKind kind);
+
+class Activation : public Layer {
+ public:
+  Activation(std::string name, ActivationKind kind) : name_(std::move(name)), kind_(kind) {}
+
+  const std::string& name() const override { return name_; }
+  Tensor Forward(const Tensor& input, LayerContext* ctx, bool training) override;
+  Tensor Backward(const Tensor& grad_output, LayerContext* ctx) override;
+  std::unique_ptr<Layer> Clone() const override {
+    return std::make_unique<Activation>(name_, kind_);
+  }
+
+  ActivationKind kind() const { return kind_; }
+
+ private:
+  std::string name_;
+  ActivationKind kind_;
+};
+
+}  // namespace pipedream
+
+#endif  // SRC_GRAPH_ACTIVATION_H_

@@ -1,0 +1,148 @@
+#include "src/graph/attention.h"
+
+#include <cmath>
+
+#include "src/tensor/init.h"
+#include "src/tensor/ops.h"
+
+namespace pipedream {
+namespace {
+
+// Views row-block b (a [T, H] matrix) of a [B, T, H] tensor as its own tensor (copy).
+Tensor BatchSlice(const Tensor& seq, int64_t b) {
+  const int64_t steps = seq.dim(1);
+  const int64_t width = seq.dim(2);
+  Tensor out({steps, width});
+  std::copy(seq.data() + b * steps * width, seq.data() + (b + 1) * steps * width, out.data());
+  return out;
+}
+
+void StoreBatchSlice(const Tensor& mat, int64_t b, Tensor* seq) {
+  const int64_t steps = seq->dim(1);
+  const int64_t width = seq->dim(2);
+  std::copy(mat.data(), mat.data() + steps * width, seq->data() + b * steps * width);
+}
+
+}  // namespace
+
+Attention::Attention(std::string name, int64_t hidden, Rng* rng)
+    : name_(std::move(name)), hidden_(hidden) {
+  for (auto [param, suffix] : {std::pair<Parameter*, const char*>{&wq_, ".wq"},
+                               {&wk_, ".wk"},
+                               {&wv_, ".wv"}}) {
+    param->name = name_ + suffix;
+    param->value = Tensor({hidden, hidden});
+    InitXavier(&param->value, hidden, hidden, rng);
+    param->ZeroGrad();
+  }
+}
+
+Tensor Attention::Forward(const Tensor& input, LayerContext* ctx, bool training) {
+  PD_CHECK_EQ(input.rank(), 3u);
+  PD_CHECK_EQ(input.dim(2), hidden_);
+  const int64_t batch = input.dim(0);
+  const int64_t steps = input.dim(1);
+
+  Tensor output({batch, steps, hidden_});
+  Tensor qs({batch, steps, hidden_});
+  Tensor ks({batch, steps, hidden_});
+  Tensor vs({batch, steps, hidden_});
+  Tensor weights({batch, steps, steps});  // softmax(Q K^T / sqrt(H)) rows
+
+  const float scale = 1.0f / std::sqrt(static_cast<float>(hidden_));
+  Tensor q;
+  Tensor k;
+  Tensor v;
+  Tensor scores;
+  Tensor probs;
+  Tensor out;
+  for (int64_t b = 0; b < batch; ++b) {
+    const Tensor x = BatchSlice(input, b);
+    MatMul(x, wq_.value, &q);
+    MatMul(x, wk_.value, &k);
+    MatMul(x, wv_.value, &v);
+    Gemm(q, false, k, true, scale, 0.0f, &scores);
+    SoftmaxRows(scores, &probs);
+    MatMul(probs, v, &out);
+    StoreBatchSlice(q, b, &qs);
+    StoreBatchSlice(k, b, &ks);
+    StoreBatchSlice(v, b, &vs);
+    StoreBatchSlice(probs, b, &weights);
+    StoreBatchSlice(out, b, &output);
+  }
+
+  ctx->Clear();
+  ctx->saved.push_back(input);
+  ctx->saved.push_back(std::move(qs));
+  ctx->saved.push_back(std::move(ks));
+  ctx->saved.push_back(std::move(vs));
+  ctx->saved.push_back(std::move(weights));
+  return output;
+}
+
+Tensor Attention::Backward(const Tensor& grad_output, LayerContext* ctx) {
+  PD_CHECK_EQ(ctx->saved.size(), 5u) << name_ << ": backward without matching forward";
+  const Tensor& input = ctx->saved[0];
+  const Tensor& qs = ctx->saved[1];
+  const Tensor& ks = ctx->saved[2];
+  const Tensor& vs = ctx->saved[3];
+  const Tensor& weights = ctx->saved[4];
+  const int64_t batch = input.dim(0);
+  const int64_t steps = input.dim(1);
+  PD_CHECK(grad_output.SameShape(input));
+
+  Tensor grad_input(input.shape());
+  const float scale = 1.0f / std::sqrt(static_cast<float>(hidden_));
+  Tensor d_out;
+  Tensor d_probs;
+  Tensor d_scores({steps, steps});
+  Tensor d_q;
+  Tensor d_k;
+  Tensor d_v;
+  Tensor d_x({steps, hidden_});
+  for (int64_t b = 0; b < batch; ++b) {
+    const Tensor x = BatchSlice(input, b);
+    const Tensor q = BatchSlice(qs, b);
+    const Tensor k = BatchSlice(ks, b);
+    const Tensor v = BatchSlice(vs, b);
+    const Tensor probs = BatchSlice(weights, b);
+    d_out = BatchSlice(grad_output, b);
+
+    // dV = A^T dO; dA = dO V^T.
+    Gemm(probs, true, d_out, false, 1.0f, 0.0f, &d_v);
+    Gemm(d_out, false, v, true, 1.0f, 0.0f, &d_probs);
+    // Softmax backward per row: dS_ij = A_ij * (dA_ij - sum_k dA_ik A_ik).
+    for (int64_t i = 0; i < steps; ++i) {
+      double dot = 0.0;
+      for (int64_t j = 0; j < steps; ++j) {
+        dot += static_cast<double>(d_probs.At(i, j)) * probs.At(i, j);
+      }
+      for (int64_t j = 0; j < steps; ++j) {
+        d_scores.At(i, j) =
+            probs.At(i, j) * (d_probs.At(i, j) - static_cast<float>(dot));
+      }
+    }
+    // dQ = scale * dS K; dK = scale * dS^T Q.
+    Gemm(d_scores, false, k, false, scale, 0.0f, &d_q);
+    Gemm(d_scores, true, q, false, scale, 0.0f, &d_k);
+
+    // Parameter gradients: dW* += x^T d*.
+    Gemm(x, true, d_q, false, 1.0f, 1.0f, &wq_.grad);
+    Gemm(x, true, d_k, false, 1.0f, 1.0f, &wk_.grad);
+    Gemm(x, true, d_v, false, 1.0f, 1.0f, &wv_.grad);
+
+    // dX = dQ Wq^T + dK Wk^T + dV Wv^T.
+    Gemm(d_q, false, wq_.value, true, 1.0f, 0.0f, &d_x);
+    Gemm(d_k, false, wk_.value, true, 1.0f, 1.0f, &d_x);
+    Gemm(d_v, false, wv_.value, true, 1.0f, 1.0f, &d_x);
+    StoreBatchSlice(d_x, b, &grad_input);
+  }
+  ctx->Clear();
+  return grad_input;
+}
+
+std::unique_ptr<Layer> Attention::Clone() const {
+  return std::unique_ptr<Layer>(new Attention(*this));
+}
+
+}  // namespace pipedream

@@ -1,0 +1,39 @@
+// Single-head scaled dot-product self-attention over a sequence: [B, T, H] -> [B, T, H].
+//
+// O = softmax(Q K^T / sqrt(H)) V with Q = X Wq, K = X Wk, V = X Wv. This is the attention
+// block of the GNMT analogue (the paper's GNMT uses additive attention between encoder and
+// decoder; the self-attention form exercises the same compute/memory pattern while staying a
+// single partitionable layer).
+#ifndef SRC_GRAPH_ATTENTION_H_
+#define SRC_GRAPH_ATTENTION_H_
+
+#include <memory>
+#include <string>
+
+#include "src/graph/layer.h"
+
+namespace pipedream {
+
+class Attention : public Layer {
+ public:
+  Attention(std::string name, int64_t hidden, Rng* rng);
+
+  const std::string& name() const override { return name_; }
+  Tensor Forward(const Tensor& input, LayerContext* ctx, bool training) override;
+  Tensor Backward(const Tensor& grad_output, LayerContext* ctx) override;
+  std::vector<Parameter*> Params() override { return {&wq_, &wk_, &wv_}; }
+  std::unique_ptr<Layer> Clone() const override;
+
+ private:
+  Attention(const Attention&) = default;
+
+  std::string name_;
+  int64_t hidden_;
+  Parameter wq_;
+  Parameter wk_;
+  Parameter wv_;
+};
+
+}  // namespace pipedream
+
+#endif  // SRC_GRAPH_ATTENTION_H_

@@ -1,0 +1,122 @@
+#include "src/graph/conv.h"
+
+#include "src/tensor/init.h"
+
+namespace pipedream {
+
+Conv2D::Conv2D(std::string name, int64_t in_channels, int64_t out_channels, int64_t kernel,
+               int64_t stride, int64_t padding, Rng* rng)
+    : name_(std::move(name)),
+      in_channels_(in_channels),
+      out_channels_(out_channels),
+      kernel_(kernel),
+      stride_(stride),
+      padding_(padding) {
+  PD_CHECK_GT(stride, 0);
+  PD_CHECK_GE(padding, 0);
+  weight_.name = name_ + ".weight";
+  weight_.value = Tensor({out_channels, in_channels, kernel, kernel});
+  InitHe(&weight_.value, in_channels * kernel * kernel, rng);
+  weight_.ZeroGrad();
+  bias_.name = name_ + ".bias";
+  bias_.value = Tensor({out_channels});
+  bias_.ZeroGrad();
+}
+
+Tensor Conv2D::Forward(const Tensor& input, LayerContext* ctx, bool training) {
+  PD_CHECK_EQ(input.rank(), 4u);
+  PD_CHECK_EQ(input.dim(1), in_channels_);
+  const int64_t batch = input.dim(0);
+  const int64_t in_h = input.dim(2);
+  const int64_t in_w = input.dim(3);
+  const int64_t out_h = OutSize(in_h);
+  const int64_t out_w = OutSize(in_w);
+  PD_CHECK_GT(out_h, 0);
+  PD_CHECK_GT(out_w, 0);
+
+  Tensor out({batch, out_channels_, out_h, out_w});
+  for (int64_t n = 0; n < batch; ++n) {
+    for (int64_t oc = 0; oc < out_channels_; ++oc) {
+      const float b = bias_.value[oc];
+      for (int64_t oh = 0; oh < out_h; ++oh) {
+        for (int64_t ow = 0; ow < out_w; ++ow) {
+          float acc = b;
+          const int64_t h0 = oh * stride_ - padding_;
+          const int64_t w0 = ow * stride_ - padding_;
+          for (int64_t ic = 0; ic < in_channels_; ++ic) {
+            for (int64_t kh = 0; kh < kernel_; ++kh) {
+              const int64_t ih = h0 + kh;
+              if (ih < 0 || ih >= in_h) {
+                continue;
+              }
+              for (int64_t kw = 0; kw < kernel_; ++kw) {
+                const int64_t iw = w0 + kw;
+                if (iw < 0 || iw >= in_w) {
+                  continue;
+                }
+                acc += input.At4(n, ic, ih, iw) * weight_.value.At4(oc, ic, kh, kw);
+              }
+            }
+          }
+          out.At4(n, oc, oh, ow) = acc;
+        }
+      }
+    }
+  }
+  ctx->Clear();
+  ctx->saved.push_back(input);
+  return out;
+}
+
+Tensor Conv2D::Backward(const Tensor& grad_output, LayerContext* ctx) {
+  PD_CHECK_EQ(ctx->saved.size(), 1u) << name_ << ": backward without matching forward";
+  const Tensor& input = ctx->saved[0];
+  const int64_t batch = input.dim(0);
+  const int64_t in_h = input.dim(2);
+  const int64_t in_w = input.dim(3);
+  const int64_t out_h = grad_output.dim(2);
+  const int64_t out_w = grad_output.dim(3);
+  PD_CHECK_EQ(grad_output.dim(0), batch);
+  PD_CHECK_EQ(grad_output.dim(1), out_channels_);
+
+  Tensor grad_input(input.shape());
+  for (int64_t n = 0; n < batch; ++n) {
+    for (int64_t oc = 0; oc < out_channels_; ++oc) {
+      for (int64_t oh = 0; oh < out_h; ++oh) {
+        for (int64_t ow = 0; ow < out_w; ++ow) {
+          const float g = grad_output.At4(n, oc, oh, ow);
+          if (g == 0.0f) {
+            continue;
+          }
+          bias_.grad[oc] += g;
+          const int64_t h0 = oh * stride_ - padding_;
+          const int64_t w0 = ow * stride_ - padding_;
+          for (int64_t ic = 0; ic < in_channels_; ++ic) {
+            for (int64_t kh = 0; kh < kernel_; ++kh) {
+              const int64_t ih = h0 + kh;
+              if (ih < 0 || ih >= in_h) {
+                continue;
+              }
+              for (int64_t kw = 0; kw < kernel_; ++kw) {
+                const int64_t iw = w0 + kw;
+                if (iw < 0 || iw >= in_w) {
+                  continue;
+                }
+                weight_.grad.At4(oc, ic, kh, kw) += g * input.At4(n, ic, ih, iw);
+                grad_input.At4(n, ic, ih, iw) += g * weight_.value.At4(oc, ic, kh, kw);
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  ctx->Clear();
+  return grad_input;
+}
+
+std::unique_ptr<Layer> Conv2D::Clone() const {
+  return std::unique_ptr<Layer>(new Conv2D(*this));
+}
+
+}  // namespace pipedream

@@ -1,0 +1,43 @@
+// 2-D convolution (NCHW) with stride and zero padding. Direct-loop implementation —
+// adequate for the scaled-down CNNs the runtime trains; the simulator handles full-scale
+// models analytically.
+#ifndef SRC_GRAPH_CONV_H_
+#define SRC_GRAPH_CONV_H_
+
+#include <memory>
+#include <string>
+
+#include "src/graph/layer.h"
+
+namespace pipedream {
+
+class Conv2D : public Layer {
+ public:
+  Conv2D(std::string name, int64_t in_channels, int64_t out_channels, int64_t kernel,
+         int64_t stride, int64_t padding, Rng* rng);
+
+  const std::string& name() const override { return name_; }
+  Tensor Forward(const Tensor& input, LayerContext* ctx, bool training) override;
+  Tensor Backward(const Tensor& grad_output, LayerContext* ctx) override;
+  std::vector<Parameter*> Params() override { return {&weight_, &bias_}; }
+  std::unique_ptr<Layer> Clone() const override;
+
+  // Spatial output size for a given input size.
+  int64_t OutSize(int64_t in_size) const { return (in_size + 2 * padding_ - kernel_) / stride_ + 1; }
+
+ private:
+  Conv2D(const Conv2D&) = default;
+
+  std::string name_;
+  int64_t in_channels_;
+  int64_t out_channels_;
+  int64_t kernel_;
+  int64_t stride_;
+  int64_t padding_;
+  Parameter weight_;  // [OC, IC, K, K]
+  Parameter bias_;    // [OC]
+};
+
+}  // namespace pipedream
+
+#endif  // SRC_GRAPH_CONV_H_

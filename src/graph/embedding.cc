@@ -1,0 +1,63 @@
+#include "src/graph/embedding.h"
+
+#include "src/tensor/init.h"
+
+namespace pipedream {
+
+Embedding::Embedding(std::string name, int64_t vocab_size, int64_t embed_dim, Rng* rng)
+    : name_(std::move(name)), vocab_size_(vocab_size), embed_dim_(embed_dim) {
+  table_.name = name_ + ".table";
+  table_.value = Tensor({vocab_size, embed_dim});
+  InitGaussian(&table_.value, 0.1f, rng);
+  table_.ZeroGrad();
+}
+
+Tensor Embedding::Forward(const Tensor& input, LayerContext* ctx, bool training) {
+  PD_CHECK_EQ(input.rank(), 2u);
+  const int64_t batch = input.dim(0);
+  const int64_t steps = input.dim(1);
+  Tensor out({batch, steps, embed_dim_});
+  const float* ids = input.data();
+  const float* table = table_.value.data();
+  float* po = out.data();
+  const int64_t tokens = batch * steps;
+  for (int64_t t = 0; t < tokens; ++t) {
+    const int64_t id = static_cast<int64_t>(ids[t]);
+    PD_CHECK(id >= 0 && id < vocab_size_) << name_ << ": token id " << id << " out of range";
+    const float* row = table + id * embed_dim_;
+    float* dst = po + t * embed_dim_;
+    for (int64_t e = 0; e < embed_dim_; ++e) {
+      dst[e] = row[e];
+    }
+  }
+  ctx->Clear();
+  ctx->saved.push_back(input);
+  return out;
+}
+
+Tensor Embedding::Backward(const Tensor& grad_output, LayerContext* ctx) {
+  PD_CHECK_EQ(ctx->saved.size(), 1u) << name_ << ": backward without matching forward";
+  const Tensor& input = ctx->saved[0];
+  const int64_t tokens = input.numel();
+  PD_CHECK_EQ(grad_output.numel(), tokens * embed_dim_);
+  const float* ids = input.data();
+  const float* pg = grad_output.data();
+  float* pt = table_.grad.data();
+  for (int64_t t = 0; t < tokens; ++t) {
+    const int64_t id = static_cast<int64_t>(ids[t]);
+    float* dst = pt + id * embed_dim_;
+    const float* src = pg + t * embed_dim_;
+    for (int64_t e = 0; e < embed_dim_; ++e) {
+      dst[e] += src[e];
+    }
+  }
+  Tensor grad_input(input.shape());
+  ctx->Clear();
+  return grad_input;
+}
+
+std::unique_ptr<Layer> Embedding::Clone() const {
+  return std::unique_ptr<Layer>(new Embedding(*this));
+}
+
+}  // namespace pipedream

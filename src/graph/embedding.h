@@ -1,0 +1,38 @@
+// Token embedding lookup: [B, T] integer ids (stored as floats) -> [B, T, E].
+#ifndef SRC_GRAPH_EMBEDDING_H_
+#define SRC_GRAPH_EMBEDDING_H_
+
+#include <memory>
+#include <string>
+
+#include "src/graph/layer.h"
+
+namespace pipedream {
+
+class Embedding : public Layer {
+ public:
+  Embedding(std::string name, int64_t vocab_size, int64_t embed_dim, Rng* rng);
+
+  const std::string& name() const override { return name_; }
+  Tensor Forward(const Tensor& input, LayerContext* ctx, bool training) override;
+  // Returns a zero tensor shaped like the (discrete) input; gradients flow only into the
+  // embedding table.
+  Tensor Backward(const Tensor& grad_output, LayerContext* ctx) override;
+  std::vector<Parameter*> Params() override { return {&table_}; }
+  std::unique_ptr<Layer> Clone() const override;
+
+  int64_t vocab_size() const { return vocab_size_; }
+  int64_t embed_dim() const { return embed_dim_; }
+
+ private:
+  Embedding(const Embedding&) = default;
+
+  std::string name_;
+  int64_t vocab_size_;
+  int64_t embed_dim_;
+  Parameter table_;  // [V, E]
+};
+
+}  // namespace pipedream
+
+#endif  // SRC_GRAPH_EMBEDDING_H_

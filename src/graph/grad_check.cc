@@ -1,0 +1,77 @@
+#include "src/graph/grad_check.h"
+
+#include <cmath>
+
+namespace pipedream {
+namespace {
+
+double EvalLoss(const Sequential& model, const Loss& loss, const Tensor& input,
+                const Tensor& targets) {
+  ModelContext ctx;
+  const Tensor out = model.Forward(input, &ctx, /*training=*/false);
+  Tensor grad;
+  return loss.Compute(out, targets, &grad);
+}
+
+}  // namespace
+
+GradCheckReport CheckGradients(const Sequential& model, const Loss& loss, const Tensor& input,
+                               const Tensor& targets, const GradCheckOptions& options) {
+  GradCheckReport report;
+  Rng rng(options.seed);
+
+  // Analytic gradients. Eval mode keeps dropout out of the picture so the loss is a
+  // deterministic function of the parameters.
+  model.ZeroGrads();
+  ModelContext ctx;
+  const Tensor out = model.Forward(input, &ctx, /*training=*/false);
+  Tensor loss_grad;
+  loss.Compute(out, targets, &loss_grad);
+  model.Backward(loss_grad, &ctx);
+
+  for (Parameter* param : model.Params()) {
+    const int64_t n = param->value.numel();
+    const int64_t checks = std::min<int64_t>(n, options.max_checks_per_param);
+    for (int64_t c = 0; c < checks; ++c) {
+      const int64_t idx = static_cast<int64_t>(rng.UniformInt(static_cast<uint64_t>(n)));
+      const float original = param->value[idx];
+      auto central_difference = [&](double eps) {
+        param->value[idx] = original + static_cast<float>(eps);
+        const double loss_plus = EvalLoss(model, loss, input, targets);
+        param->value[idx] = original - static_cast<float>(eps);
+        const double loss_minus = EvalLoss(model, loss, input, targets);
+        param->value[idx] = original;
+        return (loss_plus - loss_minus) / (2.0 * eps);
+      };
+      const double numeric_coarse = central_difference(options.epsilon);
+      const double numeric_mid = central_difference(options.epsilon / 2.0);
+      const double numeric = central_difference(options.epsilon / 4.0);
+
+      const double analytic = param->grad[idx];
+      if (std::max(std::abs(numeric), std::abs(analytic)) < options.min_magnitude) {
+        continue;  // float32 noise floor — see GradCheckOptions::min_magnitude
+      }
+      const double scale = std::max(std::abs(numeric), std::abs(analytic));
+      // Non-smoothness filter: across a ReLU or max-pool kink the central difference does
+      // not converge as the step shrinks; such points say nothing about the backward pass.
+      if (std::abs(numeric_mid - numeric_coarse) > 0.2 * scale ||
+          std::abs(numeric - numeric_mid) > 0.2 * scale) {
+        continue;
+      }
+      const double rel_err = std::abs(numeric - analytic) / scale;
+      ++report.checked;
+      if (rel_err > options.tolerance) {
+        ++report.outliers;
+      }
+      if (rel_err > report.worst_relative_error) {
+        report.worst_relative_error = rel_err;
+        report.worst_param = param->name;
+        report.worst_index = idx;
+      }
+    }
+  }
+  report.passed = report.outliers <= options.max_outliers;
+  return report;
+}
+
+}  // namespace pipedream

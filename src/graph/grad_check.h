@@ -1,0 +1,42 @@
+// Numerical gradient checking via central differences. Used by the test suite to validate
+// every layer's backward pass — a prerequisite for trusting the weight-stashing experiments.
+#ifndef SRC_GRAPH_GRAD_CHECK_H_
+#define SRC_GRAPH_GRAD_CHECK_H_
+
+#include "src/common/rng.h"
+#include "src/graph/loss.h"
+#include "src/graph/sequential.h"
+
+namespace pipedream {
+
+struct GradCheckOptions {
+  double epsilon = 1e-2;          // central-difference step
+  double tolerance = 3e-2;        // max allowed relative error
+  // Elements where both the numeric and analytic derivative are below this magnitude are
+  // skipped: in float32 the central difference is cancellation noise there, not signal.
+  double min_magnitude = 1e-3;
+  int max_checks_per_param = 24;  // random sample size per parameter tensor
+  // Elements allowed to exceed the tolerance before the check fails. Non-zero values are for
+  // ReLU/max-pool architectures, where a few sampled points inevitably sit on kinks that the
+  // non-smoothness filter cannot fully reject in float32.
+  int max_outliers = 0;
+  uint64_t seed = 17;
+};
+
+struct GradCheckReport {
+  bool passed = true;
+  double worst_relative_error = 0.0;
+  std::string worst_param;
+  int64_t worst_index = -1;
+  int checked = 0;   // elements actually compared (after noise/kink filtering)
+  int outliers = 0;  // elements above tolerance
+};
+
+// Compares backprop parameter gradients against central differences of the loss for a fixed
+// (input, targets) pair. Perturbs a random sample of elements in every parameter tensor.
+GradCheckReport CheckGradients(const Sequential& model, const Loss& loss, const Tensor& input,
+                               const Tensor& targets, const GradCheckOptions& options = {});
+
+}  // namespace pipedream
+
+#endif  // SRC_GRAPH_GRAD_CHECK_H_

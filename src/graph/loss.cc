@@ -1,0 +1,63 @@
+#include "src/graph/loss.h"
+
+#include <cmath>
+
+#include "src/common/check.h"
+#include "src/tensor/ops.h"
+
+namespace pipedream {
+
+double SoftmaxCrossEntropy::Compute(const Tensor& predictions, const Tensor& targets,
+                                    Tensor* grad) const {
+  PD_CHECK_EQ(predictions.rank(), 2u);
+  const int64_t n = predictions.dim(0);
+  const int64_t classes = predictions.dim(1);
+  PD_CHECK_EQ(targets.numel(), n);
+
+  SoftmaxRows(predictions, grad);
+  double total_loss = 0.0;
+  float* pg = grad->data();
+  const float inv_n = 1.0f / static_cast<float>(n);
+  for (int64_t i = 0; i < n; ++i) {
+    const int64_t label = static_cast<int64_t>(targets[i]);
+    PD_CHECK(label >= 0 && label < classes) << "label " << label << " out of range";
+    const float p = pg[i * classes + label];
+    total_loss += -std::log(std::max(p, 1e-12f));
+    pg[i * classes + label] -= 1.0f;
+  }
+  Scale(grad, inv_n);
+  return total_loss / static_cast<double>(n);
+}
+
+double MeanSquaredError::Compute(const Tensor& predictions, const Tensor& targets,
+                                 Tensor* grad) const {
+  PD_CHECK(predictions.SameShape(targets));
+  const int64_t n = predictions.numel();
+  *grad = predictions;
+  double total = 0.0;
+  float* pg = grad->data();
+  const float* pt = targets.data();
+  for (int64_t i = 0; i < n; ++i) {
+    const float diff = pg[i] - pt[i];
+    total += static_cast<double>(diff) * diff;
+    pg[i] = 2.0f * diff / static_cast<float>(n);
+  }
+  return total / static_cast<double>(n);
+}
+
+double Accuracy(const Tensor& predictions, const Tensor& targets) {
+  PD_CHECK_EQ(predictions.rank(), 2u);
+  const int64_t n = predictions.dim(0);
+  PD_CHECK_EQ(targets.numel(), n);
+  int64_t correct = 0;
+  for (int64_t i = 0; i < n; ++i) {
+    if (ArgMaxRow(predictions, i) == static_cast<int64_t>(targets[i])) {
+      ++correct;
+    }
+  }
+  return n > 0 ? static_cast<double>(correct) / static_cast<double>(n) : 0.0;
+}
+
+double PerplexityFromLoss(double mean_cross_entropy) { return std::exp(mean_cross_entropy); }
+
+}  // namespace pipedream

@@ -1,0 +1,42 @@
+// Loss functions. Compute() returns the mean loss over the minibatch and fills the gradient
+// w.r.t. the predictions, which seeds the model's backward pass.
+#ifndef SRC_GRAPH_LOSS_H_
+#define SRC_GRAPH_LOSS_H_
+
+#include "src/tensor/tensor.h"
+
+namespace pipedream {
+
+class Loss {
+ public:
+  virtual ~Loss() = default;
+
+  // predictions: model output. targets: task-specific encoding (see subclasses).
+  // *grad receives d(mean loss)/d(predictions), shaped like predictions.
+  virtual double Compute(const Tensor& predictions, const Tensor& targets,
+                         Tensor* grad) const = 0;
+};
+
+// Softmax + cross-entropy over rows. predictions: [N, C] logits; targets: [N] class ids
+// stored as floats. The softmax is fused so the gradient is (softmax - onehot) / N.
+class SoftmaxCrossEntropy : public Loss {
+ public:
+  double Compute(const Tensor& predictions, const Tensor& targets, Tensor* grad) const override;
+};
+
+// Mean squared error; targets shaped like predictions. Loss = mean((p - t)^2).
+class MeanSquaredError : public Loss {
+ public:
+  double Compute(const Tensor& predictions, const Tensor& targets, Tensor* grad) const override;
+};
+
+// Fraction of rows whose argmax matches the integer label. predictions: [N, C];
+// targets: [N] class ids as floats.
+double Accuracy(const Tensor& predictions, const Tensor& targets);
+
+// Perplexity = exp(mean cross-entropy). Convenience for language-model evaluation.
+double PerplexityFromLoss(double mean_cross_entropy);
+
+}  // namespace pipedream
+
+#endif  // SRC_GRAPH_LOSS_H_

@@ -1,0 +1,208 @@
+#include "src/graph/lstm.h"
+
+#include <cmath>
+
+#include "src/tensor/init.h"
+#include "src/tensor/ops.h"
+
+namespace pipedream {
+namespace {
+
+// Copies time step t of a [B, T, X] tensor into a [B, X] matrix.
+void GatherStep(const Tensor& seq, int64_t t, Tensor* out) {
+  const int64_t batch = seq.dim(0);
+  const int64_t steps = seq.dim(1);
+  const int64_t width = seq.dim(2);
+  if (out->rank() != 2 || out->dim(0) != batch || out->dim(1) != width) {
+    *out = Tensor({batch, width});
+  }
+  const float* src = seq.data();
+  float* dst = out->data();
+  for (int64_t b = 0; b < batch; ++b) {
+    const float* row = src + (b * steps + t) * width;
+    float* drow = dst + b * width;
+    for (int64_t x = 0; x < width; ++x) {
+      drow[x] = row[x];
+    }
+  }
+}
+
+// Copies a [B, X] matrix into time step t of a [B, T, X] tensor.
+void ScatterStep(const Tensor& mat, int64_t t, Tensor* seq) {
+  const int64_t batch = seq->dim(0);
+  const int64_t steps = seq->dim(1);
+  const int64_t width = seq->dim(2);
+  const float* src = mat.data();
+  float* dst = seq->data();
+  for (int64_t b = 0; b < batch; ++b) {
+    const float* row = src + b * width;
+    float* drow = dst + (b * steps + t) * width;
+    for (int64_t x = 0; x < width; ++x) {
+      drow[x] = row[x];
+    }
+  }
+}
+
+float SigmoidF(float x) { return 1.0f / (1.0f + std::exp(-x)); }
+
+}  // namespace
+
+Lstm::Lstm(std::string name, int64_t in_features, int64_t hidden, Rng* rng)
+    : name_(std::move(name)), in_features_(in_features), hidden_(hidden) {
+  wx_.name = name_ + ".wx";
+  wx_.value = Tensor({in_features, 4 * hidden});
+  InitXavier(&wx_.value, in_features, hidden, rng);
+  wx_.ZeroGrad();
+  wh_.name = name_ + ".wh";
+  wh_.value = Tensor({hidden, 4 * hidden});
+  InitXavier(&wh_.value, hidden, hidden, rng);
+  wh_.ZeroGrad();
+  bias_.name = name_ + ".bias";
+  bias_.value = Tensor({4 * hidden});
+  // Forget-gate bias starts at 1 (standard trick to avoid early vanishing memory).
+  for (int64_t j = hidden; j < 2 * hidden; ++j) {
+    bias_.value[j] = 1.0f;
+  }
+  bias_.ZeroGrad();
+}
+
+Tensor Lstm::Forward(const Tensor& input, LayerContext* ctx, bool training) {
+  PD_CHECK_EQ(input.rank(), 3u);
+  PD_CHECK_EQ(input.dim(2), in_features_);
+  const int64_t batch = input.dim(0);
+  const int64_t steps = input.dim(1);
+  const int64_t h = hidden_;
+
+  Tensor output({batch, steps, h});
+  // Stashes, packed as [B, T, X] so one tensor covers all steps.
+  Tensor gates({batch, steps, 4 * h});   // post-activation i, f, g, o
+  Tensor c_prevs({batch, steps, h});     // c_{t-1}
+  Tensor tanh_cs({batch, steps, h});     // tanh(c_t)
+  Tensor h_prevs({batch, steps, h});     // h_{t-1}
+
+  Tensor h_state({batch, h});
+  Tensor c_state({batch, h});
+  Tensor x_t;
+  Tensor pre;
+
+  for (int64_t t = 0; t < steps; ++t) {
+    GatherStep(input, t, &x_t);
+    ScatterStep(h_state, t, &h_prevs);
+    ScatterStep(c_state, t, &c_prevs);
+
+    MatMul(x_t, wx_.value, &pre);
+    Gemm(h_state, false, wh_.value, false, 1.0f, 1.0f, &pre);
+    AddBiasRows(&pre, bias_.value);
+
+    float* pg = pre.data();
+    float* ph = h_state.data();
+    float* pc = c_state.data();
+    for (int64_t b = 0; b < batch; ++b) {
+      float* row = pg + b * 4 * h;
+      for (int64_t j = 0; j < h; ++j) {
+        const float gi = SigmoidF(row[j]);
+        const float gf = SigmoidF(row[h + j]);
+        const float gg = std::tanh(row[2 * h + j]);
+        const float go = SigmoidF(row[3 * h + j]);
+        row[j] = gi;
+        row[h + j] = gf;
+        row[2 * h + j] = gg;
+        row[3 * h + j] = go;
+        const float c_new = gf * pc[b * h + j] + gi * gg;
+        pc[b * h + j] = c_new;
+        const float tc = std::tanh(c_new);
+        tanh_cs[(b * steps + t) * h + j] = tc;
+        ph[b * h + j] = go * tc;
+      }
+    }
+    ScatterStep(pre, t, &gates);
+    ScatterStep(h_state, t, &output);
+  }
+
+  ctx->Clear();
+  ctx->saved.push_back(input);
+  ctx->saved.push_back(std::move(gates));
+  ctx->saved.push_back(std::move(c_prevs));
+  ctx->saved.push_back(std::move(tanh_cs));
+  ctx->saved.push_back(std::move(h_prevs));
+  return output;
+}
+
+Tensor Lstm::Backward(const Tensor& grad_output, LayerContext* ctx) {
+  PD_CHECK_EQ(ctx->saved.size(), 5u) << name_ << ": backward without matching forward";
+  const Tensor& input = ctx->saved[0];
+  const Tensor& gates = ctx->saved[1];
+  const Tensor& c_prevs = ctx->saved[2];
+  const Tensor& tanh_cs = ctx->saved[3];
+  const Tensor& h_prevs = ctx->saved[4];
+
+  const int64_t batch = input.dim(0);
+  const int64_t steps = input.dim(1);
+  const int64_t h = hidden_;
+  PD_CHECK_EQ(grad_output.dim(0), batch);
+  PD_CHECK_EQ(grad_output.dim(1), steps);
+  PD_CHECK_EQ(grad_output.dim(2), h);
+
+  Tensor grad_input(input.shape());
+  Tensor dh_next({batch, h});
+  Tensor dc_next({batch, h});
+  Tensor dpre({batch, 4 * h});
+  Tensor x_t;
+  Tensor h_prev_t;
+  Tensor dout_t;
+  Tensor dx_t;
+
+  for (int64_t t = steps - 1; t >= 0; --t) {
+    GatherStep(grad_output, t, &dout_t);
+    float* pdh = dh_next.data();
+    float* pdc = dc_next.data();
+    float* pdp = dpre.data();
+    const float* pdo = dout_t.data();
+    for (int64_t b = 0; b < batch; ++b) {
+      for (int64_t j = 0; j < h; ++j) {
+        const int64_t flat = (b * steps + t) * h + j;
+        const float gi = gates[(b * steps + t) * 4 * h + j];
+        const float gf = gates[(b * steps + t) * 4 * h + h + j];
+        const float gg = gates[(b * steps + t) * 4 * h + 2 * h + j];
+        const float go = gates[(b * steps + t) * 4 * h + 3 * h + j];
+        const float tc = tanh_cs[flat];
+        const float cp = c_prevs[flat];
+
+        const float dh = pdo[b * h + j] + pdh[b * h + j];
+        const float d_o = dh * tc;
+        const float dtc = dh * go;
+        const float dc = dtc * (1.0f - tc * tc) + pdc[b * h + j];
+        const float d_i = dc * gg;
+        const float d_g = dc * gi;
+        const float d_f = dc * cp;
+        pdc[b * h + j] = dc * gf;  // becomes dc_next for step t-1
+
+        float* prow = pdp + b * 4 * h;
+        prow[j] = d_i * gi * (1.0f - gi);
+        prow[h + j] = d_f * gf * (1.0f - gf);
+        prow[2 * h + j] = d_g * (1.0f - gg * gg);
+        prow[3 * h + j] = d_o * go * (1.0f - go);
+      }
+    }
+
+    GatherStep(input, t, &x_t);
+    GatherStep(h_prevs, t, &h_prev_t);
+
+    // dWx += x_t^T dpre; dWh += h_prev^T dpre; db += colsum(dpre)
+    Gemm(x_t, true, dpre, false, 1.0f, 1.0f, &wx_.grad);
+    Gemm(h_prev_t, true, dpre, false, 1.0f, 1.0f, &wh_.grad);
+    AccumulateColumnSums(dpre, &bias_.grad);
+
+    // dx_t = dpre Wx^T; dh_next = dpre Wh^T
+    Gemm(dpre, false, wx_.value, true, 1.0f, 0.0f, &dx_t);
+    ScatterStep(dx_t, t, &grad_input);
+    Gemm(dpre, false, wh_.value, true, 1.0f, 0.0f, &dh_next);
+  }
+
+  ctx->Clear();
+  return grad_input;
+}
+
+std::unique_ptr<Layer> Lstm::Clone() const { return std::unique_ptr<Layer>(new Lstm(*this)); }
+
+}  // namespace pipedream

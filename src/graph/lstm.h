@@ -1,0 +1,42 @@
+// Single-layer LSTM over a full sequence: [B, T, in] -> [B, T, hidden].
+//
+// Gates are computed as pre = x_t Wx + h_{t-1} Wh + b with the 4H axis laid out as
+// [input | forget | cell | output]. Backward runs full backpropagation-through-time. The
+// initial hidden and cell states are zero for every minibatch (stateless truncation), which
+// matches how the runtime feeds independent synthetic sequences.
+#ifndef SRC_GRAPH_LSTM_H_
+#define SRC_GRAPH_LSTM_H_
+
+#include <memory>
+#include <string>
+
+#include "src/graph/layer.h"
+
+namespace pipedream {
+
+class Lstm : public Layer {
+ public:
+  Lstm(std::string name, int64_t in_features, int64_t hidden, Rng* rng);
+
+  const std::string& name() const override { return name_; }
+  Tensor Forward(const Tensor& input, LayerContext* ctx, bool training) override;
+  Tensor Backward(const Tensor& grad_output, LayerContext* ctx) override;
+  std::vector<Parameter*> Params() override { return {&wx_, &wh_, &bias_}; }
+  std::unique_ptr<Layer> Clone() const override;
+
+  int64_t hidden() const { return hidden_; }
+
+ private:
+  Lstm(const Lstm&) = default;
+
+  std::string name_;
+  int64_t in_features_;
+  int64_t hidden_;
+  Parameter wx_;    // [in, 4H]
+  Parameter wh_;    // [H, 4H]
+  Parameter bias_;  // [4H]
+};
+
+}  // namespace pipedream
+
+#endif  // SRC_GRAPH_LSTM_H_

@@ -1,0 +1,101 @@
+#include "src/graph/models.h"
+
+#include "src/common/strings.h"
+#include "src/graph/activation.h"
+#include "src/graph/attention.h"
+#include "src/graph/conv.h"
+#include "src/graph/dense.h"
+#include "src/graph/embedding.h"
+#include "src/graph/lstm.h"
+#include "src/graph/pool.h"
+#include "src/graph/residual.h"
+#include "src/graph/shape_ops.h"
+
+namespace pipedream {
+
+std::unique_ptr<Sequential> BuildMlpClassifier(int64_t in_features,
+                                               const std::vector<int64_t>& hidden,
+                                               int64_t classes, Rng* rng) {
+  auto model = std::make_unique<Sequential>();
+  int64_t prev = in_features;
+  for (size_t i = 0; i < hidden.size(); ++i) {
+    model->Add(std::make_unique<Dense>(StrFormat("fc%zu", i), prev, hidden[i], rng));
+    model->Add(std::make_unique<Activation>(StrFormat("relu%zu", i), ActivationKind::kRelu));
+    prev = hidden[i];
+  }
+  model->Add(std::make_unique<Dense>("head", prev, classes, rng));
+  return model;
+}
+
+std::unique_ptr<Sequential> BuildMiniVgg(int64_t in_channels, int64_t image_size,
+                                         int64_t classes, Rng* rng) {
+  auto model = std::make_unique<Sequential>();
+  model->Add(std::make_unique<Conv2D>("conv1", in_channels, 8, /*kernel=*/3, /*stride=*/1,
+                                      /*padding=*/1, rng));
+  model->Add(std::make_unique<Activation>("relu1", ActivationKind::kRelu));
+  model->Add(std::make_unique<MaxPool2D>("pool1", /*window=*/2, /*stride=*/2));
+  model->Add(std::make_unique<Conv2D>("conv2", 8, 16, /*kernel=*/3, /*stride=*/1,
+                                      /*padding=*/1, rng));
+  model->Add(std::make_unique<Activation>("relu2", ActivationKind::kRelu));
+  model->Add(std::make_unique<MaxPool2D>("pool2", /*window=*/2, /*stride=*/2));
+  model->Add(std::make_unique<Flatten>("flatten"));
+  const int64_t spatial = image_size / 4;
+  model->Add(std::make_unique<Dense>("fc1", 16 * spatial * spatial, 64, rng));
+  model->Add(std::make_unique<Activation>("relu3", ActivationKind::kRelu));
+  model->Add(std::make_unique<Dense>("head", 64, classes, rng));
+  return model;
+}
+
+std::unique_ptr<Sequential> BuildAttentionSeqModel(int64_t vocab, int64_t embed_dim,
+                                                   int64_t hidden, Rng* rng) {
+  auto model = std::make_unique<Sequential>();
+  model->Add(std::make_unique<Embedding>("embed", vocab, embed_dim, rng));
+  model->Add(std::make_unique<Lstm>("encoder", embed_dim, hidden, rng));
+  model->Add(std::make_unique<Attention>("attention", hidden, rng));
+  model->Add(std::make_unique<Lstm>("decoder", hidden, hidden, rng));
+  model->Add(std::make_unique<TimeFlatten>("tokens"));
+  model->Add(std::make_unique<Dense>("head", hidden, vocab, rng));
+  return model;
+}
+
+std::unique_ptr<Sequential> BuildMiniResnet(int64_t in_channels, int64_t image_size,
+                                            int64_t classes, int blocks, Rng* rng) {
+  PD_CHECK_GE(blocks, 1);
+  auto model = std::make_unique<Sequential>();
+  const int64_t width = 8;
+  model->Add(std::make_unique<Conv2D>("stem", in_channels, width, 3, 1, 1, rng));
+  model->Add(std::make_unique<Activation>("stem_relu", ActivationKind::kRelu));
+  for (int b = 0; b < blocks; ++b) {
+    auto body = std::make_unique<Sequential>();
+    body->Add(std::make_unique<Conv2D>(StrFormat("block%d_conv1", b), width, width, 3, 1, 1,
+                                       rng));
+    body->Add(std::make_unique<Activation>(StrFormat("block%d_relu", b),
+                                           ActivationKind::kRelu));
+    body->Add(std::make_unique<Conv2D>(StrFormat("block%d_conv2", b), width, width, 3, 1, 1,
+                                       rng));
+    model->Add(std::make_unique<Residual>(StrFormat("block%d", b), std::move(body)));
+    model->Add(std::make_unique<Activation>(StrFormat("post%d_relu", b),
+                                            ActivationKind::kRelu));
+  }
+  model->Add(std::make_unique<AvgPool2D>("gap", image_size, image_size));
+  model->Add(std::make_unique<Flatten>("flatten"));
+  model->Add(std::make_unique<Dense>("head", width, classes, rng));
+  return model;
+}
+
+std::unique_ptr<Sequential> BuildLstmSeqModel(int64_t vocab, int64_t embed_dim, int64_t hidden,
+                                              int64_t num_layers, Rng* rng) {
+  auto model = std::make_unique<Sequential>();
+  model->Add(std::make_unique<Embedding>("embed", vocab, embed_dim, rng));
+  int64_t prev = embed_dim;
+  for (int64_t i = 0; i < num_layers; ++i) {
+    model->Add(std::make_unique<Lstm>(StrFormat("lstm%lld", static_cast<long long>(i)), prev,
+                                      hidden, rng));
+    prev = hidden;
+  }
+  model->Add(std::make_unique<TimeFlatten>("tokens"));
+  model->Add(std::make_unique<Dense>("head", hidden, vocab, rng));
+  return model;
+}
+
+}  // namespace pipedream

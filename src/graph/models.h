@@ -1,0 +1,50 @@
+// Factory functions for the scaled-down trainable analogues of the paper's models.
+//
+// The runtime experiments (statistical efficiency, §5.2) need models that train to a target
+// accuracy in seconds on one CPU core. These preserve the *structural* properties PipeDream's
+// arguments rest on: the VGG analogue has convolutional layers (small weights, large
+// activations) followed by dense layers (large weights, small activations); the GNMT/LM
+// analogues are stacked LSTMs with dense parameter matrices.
+#ifndef SRC_GRAPH_MODELS_H_
+#define SRC_GRAPH_MODELS_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/graph/sequential.h"
+
+namespace pipedream {
+
+// Multi-layer perceptron with ReLU between Dense layers:
+// in -> hidden[0] -> ... -> hidden[k-1] -> classes (no final activation; pair with
+// SoftmaxCrossEntropy).
+std::unique_ptr<Sequential> BuildMlpClassifier(int64_t in_features,
+                                               const std::vector<int64_t>& hidden,
+                                               int64_t classes, Rng* rng);
+
+// VGG-style miniature CNN for [B, channels, size, size] images:
+// [conv3x3 -> relu -> maxpool2] x 2, flatten, dense -> relu -> dense(classes).
+// Mirrors VGG-16's "conv layers cheap to sync, FC layers expensive" profile shape.
+std::unique_ptr<Sequential> BuildMiniVgg(int64_t in_channels, int64_t image_size,
+                                         int64_t classes, Rng* rng);
+
+// Stacked-LSTM sequence classifier (GNMT analogue for the synthetic sequence-copy task):
+// embedding -> LSTM x num_layers -> time-flatten -> dense(vocab). Output rows are per-token
+// logits ([B*T, vocab]); pair with SoftmaxCrossEntropy over targets [B*T].
+std::unique_ptr<Sequential> BuildLstmSeqModel(int64_t vocab, int64_t embed_dim, int64_t hidden,
+                                              int64_t num_layers, Rng* rng);
+
+// GNMT-with-attention analogue: embedding -> LSTM -> self-attention -> LSTM -> head.
+std::unique_ptr<Sequential> BuildAttentionSeqModel(int64_t vocab, int64_t embed_dim,
+                                                   int64_t hidden, Rng* rng);
+
+// ResNet analogue for [B, channels, size, size] images: stem conv, `blocks` residual blocks
+// (conv-relu-conv bodies with identity skips), global average pool, classifier head.
+std::unique_ptr<Sequential> BuildMiniResnet(int64_t in_channels, int64_t image_size,
+                                            int64_t classes, int blocks, Rng* rng);
+
+}  // namespace pipedream
+
+#endif  // SRC_GRAPH_MODELS_H_

@@ -1,0 +1,57 @@
+// 2-D max pooling (NCHW), non-overlapping or strided windows.
+#ifndef SRC_GRAPH_POOL_H_
+#define SRC_GRAPH_POOL_H_
+
+#include <memory>
+#include <string>
+
+#include "src/graph/layer.h"
+
+namespace pipedream {
+
+class MaxPool2D : public Layer {
+ public:
+  MaxPool2D(std::string name, int64_t window, int64_t stride)
+      : name_(std::move(name)), window_(window), stride_(stride) {
+    PD_CHECK_GT(window, 0);
+    PD_CHECK_GT(stride, 0);
+  }
+
+  const std::string& name() const override { return name_; }
+  Tensor Forward(const Tensor& input, LayerContext* ctx, bool training) override;
+  Tensor Backward(const Tensor& grad_output, LayerContext* ctx) override;
+  std::unique_ptr<Layer> Clone() const override {
+    return std::make_unique<MaxPool2D>(name_, window_, stride_);
+  }
+
+ private:
+  std::string name_;
+  int64_t window_;
+  int64_t stride_;
+};
+
+// 2-D average pooling (NCHW). With window == input size this is global average pooling.
+class AvgPool2D : public Layer {
+ public:
+  AvgPool2D(std::string name, int64_t window, int64_t stride)
+      : name_(std::move(name)), window_(window), stride_(stride) {
+    PD_CHECK_GT(window, 0);
+    PD_CHECK_GT(stride, 0);
+  }
+
+  const std::string& name() const override { return name_; }
+  Tensor Forward(const Tensor& input, LayerContext* ctx, bool training) override;
+  Tensor Backward(const Tensor& grad_output, LayerContext* ctx) override;
+  std::unique_ptr<Layer> Clone() const override {
+    return std::make_unique<AvgPool2D>(name_, window_, stride_);
+  }
+
+ private:
+  std::string name_;
+  int64_t window_;
+  int64_t stride_;
+};
+
+}  // namespace pipedream
+
+#endif  // SRC_GRAPH_POOL_H_

@@ -1,0 +1,32 @@
+#include "src/graph/residual.h"
+
+#include "src/tensor/ops.h"
+
+namespace pipedream {
+
+Tensor Residual::Forward(const Tensor& input, LayerContext* ctx, bool training) {
+  const int64_t slot = next_slot_++;
+  ModelContext& body_ctx = slots_[slot];
+  Tensor out = body_->Forward(input, &body_ctx, training);
+  PD_CHECK(out.SameShape(input)) << name_ << ": residual body changed the shape from "
+                                 << input.ShapeString() << " to " << out.ShapeString();
+  AddInPlace(&out, input);
+  ctx->Clear();
+  ctx->saved.push_back(Tensor::Scalar(static_cast<float>(slot)));
+  return out;
+}
+
+Tensor Residual::Backward(const Tensor& grad_output, LayerContext* ctx) {
+  PD_CHECK_EQ(ctx->saved.size(), 1u) << name_ << ": backward without matching forward";
+  const auto slot = static_cast<int64_t>(ctx->saved[0][0]);
+  const auto it = slots_.find(slot);
+  PD_CHECK(it != slots_.end()) << name_ << ": residual slot " << slot << " missing";
+  Tensor grad_input = body_->Backward(grad_output, &it->second);
+  slots_.erase(it);
+  // d/dx [x + f(x)] = 1 + f'(x): add the skip path's gradient.
+  AddInPlace(&grad_input, grad_output);
+  ctx->Clear();
+  return grad_input;
+}
+
+}  // namespace pipedream

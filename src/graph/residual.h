@@ -1,0 +1,43 @@
+// Residual wrapper: output = input + body(input), where the body is any Sequential whose
+// output shape matches its input shape. Gives the runtime ResNet-style models while keeping
+// the pipeline's layer-list structure (the wrapper is one partitionable layer).
+#ifndef SRC_GRAPH_RESIDUAL_H_
+#define SRC_GRAPH_RESIDUAL_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "src/graph/sequential.h"
+
+namespace pipedream {
+
+class Residual : public Layer {
+ public:
+  Residual(std::string name, std::unique_ptr<Sequential> body)
+      : name_(std::move(name)), body_(std::move(body)) {
+    PD_CHECK(body_ != nullptr && body_->size() > 0) << name_ << ": empty residual body";
+  }
+
+  const std::string& name() const override { return name_; }
+  Tensor Forward(const Tensor& input, LayerContext* ctx, bool training) override;
+  Tensor Backward(const Tensor& grad_output, LayerContext* ctx) override;
+  std::vector<Parameter*> Params() override { return body_->Params(); }
+  std::unique_ptr<Layer> Clone() const override {
+    return std::make_unique<Residual>(name_, body_->Clone());
+  }
+
+ private:
+  // The body's per-minibatch contexts cannot live in the body (1F1B interleaving), so they
+  // are serialized into this layer's LayerContext via an owned ModelContext store. Each
+  // forward allocates a slot; Backward consumes it.
+  std::string name_;
+  std::unique_ptr<Sequential> body_;
+  // Slot storage keyed by an id carried through LayerContext::saved[0].
+  std::map<int64_t, ModelContext> slots_;
+  int64_t next_slot_ = 0;
+};
+
+}  // namespace pipedream
+
+#endif  // SRC_GRAPH_RESIDUAL_H_

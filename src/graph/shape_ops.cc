@@ -1,0 +1,99 @@
+#include "src/graph/shape_ops.h"
+
+namespace pipedream {
+
+Tensor Flatten::Forward(const Tensor& input, LayerContext* ctx, bool training) {
+  PD_CHECK_GE(input.rank(), 2u);
+  const int64_t batch = input.dim(0);
+  const int64_t rest = input.numel() / batch;
+  ctx->Clear();
+  // Save only the original shape, not the activation — flatten needs no data for backward.
+  Tensor shape_record({static_cast<int64_t>(input.rank())});
+  for (size_t i = 0; i < input.rank(); ++i) {
+    shape_record[static_cast<int64_t>(i)] = static_cast<float>(input.dim(i));
+  }
+  ctx->saved.push_back(std::move(shape_record));
+  return input.Reshaped({batch, rest});
+}
+
+Tensor Flatten::Backward(const Tensor& grad_output, LayerContext* ctx) {
+  PD_CHECK_EQ(ctx->saved.size(), 1u) << name_ << ": backward without matching forward";
+  const Tensor& shape_record = ctx->saved[0];
+  std::vector<int64_t> shape(static_cast<size_t>(shape_record.numel()));
+  for (size_t i = 0; i < shape.size(); ++i) {
+    shape[i] = static_cast<int64_t>(shape_record[static_cast<int64_t>(i)]);
+  }
+  ctx->Clear();
+  return grad_output.Reshaped(std::move(shape));
+}
+
+Dropout::Dropout(std::string name, float rate, uint64_t seed)
+    : name_(std::move(name)), rate_(rate), seed_(seed), rng_(seed) {
+  PD_CHECK(rate >= 0.0f && rate < 1.0f) << "dropout rate must be in [0, 1): " << rate;
+}
+
+Tensor Dropout::Forward(const Tensor& input, LayerContext* ctx, bool training) {
+  ctx->Clear();
+  if (!training || rate_ == 0.0f) {
+    ctx->saved.push_back(Tensor::Scalar(0.0f));  // Marker: identity pass.
+    return input;
+  }
+  const float keep = 1.0f - rate_;
+  const float scale = 1.0f / keep;
+  Tensor mask(input.shape());
+  Tensor out = input;
+  float* pm = mask.data();
+  float* po = out.data();
+  const int64_t n = input.numel();
+  for (int64_t i = 0; i < n; ++i) {
+    const bool kept = rng_.NextFloat() < keep;
+    pm[i] = kept ? scale : 0.0f;
+    po[i] *= pm[i];
+  }
+  ctx->saved.push_back(Tensor::Scalar(1.0f));
+  ctx->saved.push_back(std::move(mask));
+  return out;
+}
+
+Tensor Dropout::Backward(const Tensor& grad_output, LayerContext* ctx) {
+  PD_CHECK_GE(ctx->saved.size(), 1u) << name_ << ": backward without matching forward";
+  const bool masked = ctx->saved[0][0] != 0.0f;
+  if (!masked) {
+    ctx->Clear();
+    return grad_output;
+  }
+  const Tensor& mask = ctx->saved[1];
+  PD_CHECK(grad_output.SameShape(mask));
+  Tensor grad_input = grad_output;
+  float* pg = grad_input.data();
+  const float* pm = mask.data();
+  const int64_t n = grad_input.numel();
+  for (int64_t i = 0; i < n; ++i) {
+    pg[i] *= pm[i];
+  }
+  ctx->Clear();
+  return grad_input;
+}
+
+Tensor TimeFlatten::Forward(const Tensor& input, LayerContext* ctx, bool training) {
+  PD_CHECK_EQ(input.rank(), 3u);
+  const int64_t batch = input.dim(0);
+  const int64_t steps = input.dim(1);
+  const int64_t width = input.dim(2);
+  ctx->Clear();
+  ctx->saved.push_back(Tensor({3}, {static_cast<float>(batch), static_cast<float>(steps),
+                                    static_cast<float>(width)}));
+  return input.Reshaped({batch * steps, width});
+}
+
+Tensor TimeFlatten::Backward(const Tensor& grad_output, LayerContext* ctx) {
+  PD_CHECK_EQ(ctx->saved.size(), 1u) << name_ << ": backward without matching forward";
+  const Tensor& dims = ctx->saved[0];
+  const auto batch = static_cast<int64_t>(dims[0]);
+  const auto steps = static_cast<int64_t>(dims[1]);
+  const auto width = static_cast<int64_t>(dims[2]);
+  ctx->Clear();
+  return grad_output.Reshaped({batch, steps, width});
+}
+
+}  // namespace pipedream

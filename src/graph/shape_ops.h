@@ -1,0 +1,64 @@
+// Shape-manipulation layers: Flatten (N-d -> 2-d) and Dropout.
+#ifndef SRC_GRAPH_SHAPE_OPS_H_
+#define SRC_GRAPH_SHAPE_OPS_H_
+
+#include <memory>
+#include <string>
+
+#include "src/graph/layer.h"
+
+namespace pipedream {
+
+// Flattens [B, ...] to [B, prod(...)] keeping the batch dimension.
+class Flatten : public Layer {
+ public:
+  explicit Flatten(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const override { return name_; }
+  Tensor Forward(const Tensor& input, LayerContext* ctx, bool training) override;
+  Tensor Backward(const Tensor& grad_output, LayerContext* ctx) override;
+  std::unique_ptr<Layer> Clone() const override { return std::make_unique<Flatten>(name_); }
+
+ private:
+  std::string name_;
+};
+
+// Inverted dropout: at train time zeroes activations with probability `rate` and scales the
+// survivors by 1/(1-rate); identity at eval time. The mask is drawn from a per-layer RNG
+// stream seeded at construction, so runs are reproducible given the seed.
+class Dropout : public Layer {
+ public:
+  Dropout(std::string name, float rate, uint64_t seed);
+
+  const std::string& name() const override { return name_; }
+  Tensor Forward(const Tensor& input, LayerContext* ctx, bool training) override;
+  Tensor Backward(const Tensor& grad_output, LayerContext* ctx) override;
+  std::unique_ptr<Layer> Clone() const override {
+    return std::make_unique<Dropout>(name_, rate_, seed_);
+  }
+
+ private:
+  std::string name_;
+  float rate_;
+  uint64_t seed_;
+  Rng rng_;
+};
+
+// Merges the batch and time axes: [B, T, X] -> [B*T, X]. Used between sequence layers
+// (LSTM) and per-token classification heads (Dense), so every token becomes a row.
+class TimeFlatten : public Layer {
+ public:
+  explicit TimeFlatten(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const override { return name_; }
+  Tensor Forward(const Tensor& input, LayerContext* ctx, bool training) override;
+  Tensor Backward(const Tensor& grad_output, LayerContext* ctx) override;
+  std::unique_ptr<Layer> Clone() const override { return std::make_unique<TimeFlatten>(name_); }
+
+ private:
+  std::string name_;
+};
+
+}  // namespace pipedream
+
+#endif  // SRC_GRAPH_SHAPE_OPS_H_

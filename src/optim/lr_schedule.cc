@@ -1,0 +1,21 @@
+#include "src/optim/lr_schedule.h"
+
+#include <cmath>
+
+namespace pipedream {
+
+double StepDecayLr::LearningRate(int64_t step) const {
+  const int64_t k = interval_ > 0 ? step / interval_ : 0;
+  return base_ * std::pow(decay_, static_cast<double>(k));
+}
+
+double WarmupLr::LearningRate(int64_t step) const {
+  if (step < warmup_steps_ && warmup_steps_ > 0) {
+    const double start = base_ / divisor_;
+    const double frac = static_cast<double>(step) / static_cast<double>(warmup_steps_);
+    return start + (base_ - start) * frac;
+  }
+  return after_ != nullptr ? after_->LearningRate(step - warmup_steps_) : base_;
+}
+
+}  // namespace pipedream

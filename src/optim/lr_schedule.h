@@ -1,0 +1,57 @@
+// Learning-rate schedules: constant, step decay, and linear warmup (the paper uses warmup
+// for large global batch sizes, after Goyal et al.).
+#ifndef SRC_OPTIM_LR_SCHEDULE_H_
+#define SRC_OPTIM_LR_SCHEDULE_H_
+
+#include <cstdint>
+#include <memory>
+
+namespace pipedream {
+
+class LrSchedule {
+ public:
+  virtual ~LrSchedule() = default;
+  // Learning rate to use for the given 0-based step (one step == one weight update).
+  virtual double LearningRate(int64_t step) const = 0;
+};
+
+class ConstantLr : public LrSchedule {
+ public:
+  explicit ConstantLr(double lr) : lr_(lr) {}
+  double LearningRate(int64_t step) const override { return lr_; }
+
+ private:
+  double lr_;
+};
+
+// lr = base * decay^(step / interval).
+class StepDecayLr : public LrSchedule {
+ public:
+  StepDecayLr(double base, double decay, int64_t interval)
+      : base_(base), decay_(decay), interval_(interval) {}
+  double LearningRate(int64_t step) const override;
+
+ private:
+  double base_;
+  double decay_;
+  int64_t interval_;
+};
+
+// Linear ramp from base/divisor to base over `warmup_steps`, then an inner schedule.
+class WarmupLr : public LrSchedule {
+ public:
+  WarmupLr(double base, int64_t warmup_steps, std::unique_ptr<LrSchedule> after,
+           double divisor = 10.0)
+      : base_(base), warmup_steps_(warmup_steps), after_(std::move(after)), divisor_(divisor) {}
+  double LearningRate(int64_t step) const override;
+
+ private:
+  double base_;
+  int64_t warmup_steps_;
+  std::unique_ptr<LrSchedule> after_;
+  double divisor_;
+};
+
+}  // namespace pipedream
+
+#endif  // SRC_OPTIM_LR_SCHEDULE_H_

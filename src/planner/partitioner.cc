@@ -1,0 +1,345 @@
+#include "src/planner/partitioner.h"
+
+#include <cmath>
+#include <functional>
+#include <limits>
+
+#include "src/common/logging.h"
+
+namespace pipedream {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// One level's dynamic-programming tables: A[i][j][m] is the time taken by the slowest stage
+// of the optimal pipeline over layers i..j (inclusive) using m workers, where a "worker" is
+// one component of the level below. Choice records how each optimum was achieved.
+struct Choice {
+  int split = -1;          // -1: single stage over the whole range; else last stage starts at split+1
+  int right_workers = 0;   // workers given to the last stage when split >= 0
+};
+
+class DpTables {
+ public:
+  DpTables(int n, int mmax)
+      : n_(n), mmax_(mmax), a_(static_cast<size_t>(n) * n * mmax, kInf),
+        choice_(static_cast<size_t>(n) * n * mmax) {}
+
+  double& A(int i, int j, int m) { return a_[Index(i, j, m)]; }
+  double A(int i, int j, int m) const { return a_[Index(i, j, m)]; }
+  Choice& choice(int i, int j, int m) { return choice_[Index(i, j, m)]; }
+  const Choice& choice(int i, int j, int m) const { return choice_[Index(i, j, m)]; }
+
+  int mmax() const { return mmax_; }
+
+ private:
+  size_t Index(int i, int j, int m) const {
+    PD_DCHECK(i >= 0 && i < n_ && j >= 0 && j < n_ && m >= 1 && m <= mmax_);
+    return (static_cast<size_t>(i) * n_ + j) * mmax_ + (m - 1);
+  }
+
+  int n_;
+  int mmax_;
+  std::vector<double> a_;
+  std::vector<Choice> choice_;
+};
+
+// Solves one level of the §3.1 recurrence.
+//   substrate(i, j): compute time of layers i..j on a single worker of this level
+//                    (level 1: sum of T_l; level k: A_{k-1}(i -> j, m_{k-1})).
+//   T(i,j,m) = (1/m) max(substrate(i,j), 2(m-1) sum_w(i,j) / (m B_coll))
+//   A(i,j,m) = min(T(i,j,m), min_{s,m'} max(A(i,s,m-m'), 2 a_s / B_p2p, T(s+1,j,m')))
+//
+// The sync term divides by m once more than the paper prints it: a ring all_reduce moves
+// 2(m-1)/m * |w| per worker per round of m minibatches, so its *wall* time per round is
+// 2(m-1)|w|/(m B). The paper's literal expression reads as a shared bus at every level,
+// which contradicts its own measured baselines (per-server NICs); the ring form matches
+// them and is what NCCL/Gloo implement. DESIGN.md records this substitution.
+// `unit_size` is the number of actual workers inside one substrate component (1 at level
+// 1). A level-k sync round aggregates gradients from units that each processed unit_size
+// minibatches, so the sync wall amortizes over m * unit_size minibatches — without this the
+// recurrence would under-amortize collectives at upper levels by the component size.
+DpTables SolveLevel(const ModelProfile& profile,
+                    const std::function<double(int, int)>& substrate, int mmax,
+                    double collective_bandwidth, double p2p_bandwidth, bool shared_bus,
+                    int unit_size, const PartitionerOptions& options) {
+  const int n = profile.num_layers();
+  DpTables tables(n, mmax);
+
+  // Prefix sums for O(1) range weight queries.
+  std::vector<double> weight_prefix(static_cast<size_t>(n + 1), 0.0);
+  for (int l = 0; l < n; ++l) {
+    weight_prefix[static_cast<size_t>(l + 1)] =
+        weight_prefix[static_cast<size_t>(l)] +
+        static_cast<double>(profile.layers[static_cast<size_t>(l)].param_bytes);
+  }
+  auto range_weight = [&](int i, int j) {
+    return weight_prefix[static_cast<size_t>(j + 1)] - weight_prefix[static_cast<size_t>(i)];
+  };
+  // Rejects stages that cannot fit on a device even with a single in-flight minibatch:
+  // weights + gradients + one weight stash + one activation stash.
+  auto stage_fits = [&](int i, int j) -> bool {
+    if (options.device_memory_bytes <= 0) {
+      return true;
+    }
+    const int64_t weights = static_cast<int64_t>(range_weight(i, j));
+    const int64_t activations = profile.ActivationBytes(i, j + 1);
+    return 3 * weights + activations <= options.device_memory_bytes;
+  };
+  // Single-stage (possibly replicated) time per the T^k formula.
+  auto stage_time = [&](int i, int j, int m) -> double {
+    const double compute = substrate(i, j);
+    if (compute == kInf || !stage_fits(i, j)) {
+      return kInf;
+    }
+    if (m == 1) {
+      return compute;
+    }
+    if (!options.allow_replication) {
+      return kInf;
+    }
+    const double ring_divisor = shared_bus ? 1.0 : static_cast<double>(m);
+    const double sync = 2.0 * static_cast<double>(m - 1) * range_weight(i, j) /
+                        (ring_divisor * collective_bandwidth * static_cast<double>(unit_size));
+    return std::max(compute, sync) / static_cast<double>(m);
+  };
+
+  for (int i = 0; i < n; ++i) {
+    for (int j = i; j < n; ++j) {
+      for (int m = 1; m <= mmax; ++m) {
+        // Option 1: the whole range as one (replicated) stage.
+        double best = stage_time(i, j, m);
+        Choice best_choice;
+        // Option 2: optimal sub-pipeline over i..s plus a single stage s+1..j.
+        for (int s = i; s < j; ++s) {
+          const double boundary =
+              2.0 * static_cast<double>(profile.BoundaryActivationBytes(s)) / p2p_bandwidth;
+          for (int mp = 1; mp < m; ++mp) {
+            const double left = tables.A(i, s, m - mp);
+            if (left == kInf) {
+              continue;
+            }
+            const double right = stage_time(s + 1, j, mp);
+            if (right == kInf) {
+              continue;
+            }
+            const double candidate = std::max({left, boundary, right});
+            if (candidate < best) {
+              best = candidate;
+              best_choice.split = s;
+              best_choice.right_workers = mp;
+            }
+          }
+        }
+        tables.A(i, j, m) = best;
+        tables.choice(i, j, m) = best_choice;
+      }
+    }
+  }
+  return tables;
+}
+
+// Recursively expands one level's choice tree into a flat stage list. `components` is one
+// contiguous worker-id block per level-(k-1) component available to this range.
+// `expand_component` renders layers i..j onto a single component (level 1: a leaf stage;
+// level k: the lower level's reconstruction).
+void ReconstructLevel(
+    const DpTables& tables, int i, int j, int m,
+    const std::vector<std::vector<int>>& components,
+    const std::function<void(int, int, const std::vector<int>&, std::vector<StageAssignment>*)>&
+        expand_component,
+    std::vector<StageAssignment>* out) {
+  PD_CHECK_EQ(static_cast<int>(components.size()), m);
+  const Choice& choice = tables.choice(i, j, m);
+  if (choice.split < 0) {
+    // Single stage replicated over the m components: expand the range onto the first
+    // component, then mirror the resulting stage structure onto the remaining components.
+    std::vector<StageAssignment> inner;
+    expand_component(i, j, components[0], &inner);
+    for (int c = 1; c < m; ++c) {
+      std::vector<StageAssignment> mirror;
+      expand_component(i, j, components[static_cast<size_t>(c)], &mirror);
+      PD_CHECK_EQ(mirror.size(), inner.size());
+      for (size_t s = 0; s < inner.size(); ++s) {
+        PD_CHECK_EQ(mirror[s].begin_layer, inner[s].begin_layer);
+        inner[s].replicas += mirror[s].replicas;
+        inner[s].workers.insert(inner[s].workers.end(), mirror[s].workers.begin(),
+                                mirror[s].workers.end());
+      }
+    }
+    out->insert(out->end(), inner.begin(), inner.end());
+    return;
+  }
+  // Left sub-pipeline over the first m - m' components, then the last stage on the rest.
+  const int mp = choice.right_workers;
+  std::vector<std::vector<int>> left_components(components.begin(),
+                                                components.end() - mp);
+  std::vector<std::vector<int>> right_components(components.end() - mp, components.end());
+  ReconstructLevel(tables, i, choice.split, m - mp, left_components, expand_component, out);
+  // The right side is a single stage over m' components — same mirroring as above.
+  std::vector<StageAssignment> inner;
+  expand_component(choice.split + 1, j, right_components[0], &inner);
+  for (int c = 1; c < mp; ++c) {
+    std::vector<StageAssignment> mirror;
+    expand_component(choice.split + 1, j, right_components[static_cast<size_t>(c)], &mirror);
+    PD_CHECK_EQ(mirror.size(), inner.size());
+    for (size_t s = 0; s < inner.size(); ++s) {
+      inner[s].replicas += mirror[s].replicas;
+      inner[s].workers.insert(inner[s].workers.end(), mirror[s].workers.begin(),
+                              mirror[s].workers.end());
+    }
+  }
+  out->insert(out->end(), inner.begin(), inner.end());
+}
+
+}  // namespace
+
+PartitionResult PartitionFlat(const ModelProfile& profile, int workers,
+                              double bandwidth_bytes_per_sec,
+                              const PartitionerOptions& options) {
+  PD_CHECK_GE(workers, 1);
+  PD_CHECK_GT(bandwidth_bytes_per_sec, 0.0);
+  const int n = profile.num_layers();
+  const int usable =
+      options.max_workers_used > 0 ? std::min(workers, options.max_workers_used) : workers;
+
+  auto substrate = [&](int i, int j) { return profile.ComputeSeconds(i, j + 1); };
+  const DpTables tables =
+      SolveLevel(profile, substrate, usable, bandwidth_bytes_per_sec * options.collective_efficiency,
+                 bandwidth_bytes_per_sec * options.p2p_efficiency,
+                 options.collective_shared_bus, /*unit_size=*/1, options);
+
+  PD_CHECK(tables.A(0, n - 1, usable) < kInf)
+      << "no feasible partition of " << profile.model_name << " over " << usable << " workers";
+
+  // Leaf expansion: one stage on one worker.
+  auto expand_leaf = [](int i, int j, const std::vector<int>& component,
+                        std::vector<StageAssignment>* out) {
+    PD_CHECK_EQ(component.size(), 1u);
+    StageAssignment s;
+    s.begin_layer = i;
+    s.end_layer = j + 1;
+    s.replicas = 1;
+    s.workers = component;
+    out->push_back(std::move(s));
+  };
+  std::vector<std::vector<int>> components;
+  components.reserve(static_cast<size_t>(usable));
+  for (int w = 0; w < usable; ++w) {
+    components.push_back({w});
+  }
+  std::vector<StageAssignment> stages;
+  ReconstructLevel(tables, 0, n - 1, usable, components, expand_leaf, &stages);
+
+  PartitionResult result;
+  result.plan = PipelinePlan(std::move(stages));
+  result.plan.Validate(n);
+  result.bottleneck_seconds = tables.A(0, n - 1, usable);
+  return result;
+}
+
+PartitionResult PartitionHierarchical(const ModelProfile& profile,
+                                      const HardwareTopology& topology,
+                                      const PartitionerOptions& options) {
+  const int n = profile.num_layers();
+  const int num_levels = topology.num_levels();
+  PD_CHECK_GE(num_levels, 1);
+
+  // Solve bottom-up: level k's substrate is level k-1's optimum on a full component.
+  std::vector<DpTables> per_level;
+  per_level.reserve(static_cast<size_t>(num_levels));
+  for (int k = 1; k <= num_levels; ++k) {
+    const int mk = topology.level(k).fanout;
+    const double coll_bw = topology.level(k).effective_collective_bandwidth();
+    const double p2p_bw = topology.level(k).effective_p2p_bandwidth();
+    std::function<double(int, int)> substrate;
+    if (k == 1) {
+      substrate = [&profile](int i, int j) { return profile.ComputeSeconds(i, j + 1); };
+    } else {
+      const DpTables& below = per_level.back();
+      const int below_m = below.mmax();
+      substrate = [&below, below_m](int i, int j) { return below.A(i, j, below_m); };
+    }
+    per_level.push_back(SolveLevel(profile, substrate, mk, coll_bw, p2p_bw,
+                                   topology.level(k).shared_bus,
+                                   topology.WorkersPerComponent(k - 1), options));
+  }
+
+  // Expansion functions, one per level, built top-down over the recursion.
+  // expand[k](i, j, component_workers, out) renders layers i..j on one level-k component.
+  std::vector<std::function<void(int, int, const std::vector<int>&,
+                                 std::vector<StageAssignment>*)>>
+      expand(static_cast<size_t>(num_levels + 1));
+  expand[0] = [](int i, int j, const std::vector<int>& component,
+                 std::vector<StageAssignment>* out) {
+    PD_CHECK_EQ(component.size(), 1u);
+    StageAssignment s;
+    s.begin_layer = i;
+    s.end_layer = j + 1;
+    s.replicas = 1;
+    s.workers = component;
+    out->push_back(std::move(s));
+  };
+  for (int k = 1; k <= num_levels; ++k) {
+    const DpTables& tables = per_level[static_cast<size_t>(k - 1)];
+    const int fanout = topology.level(k).fanout;
+    const auto& expand_below = expand[static_cast<size_t>(k - 1)];
+    expand[static_cast<size_t>(k)] = [&tables, fanout, &expand_below](
+                                         int i, int j, const std::vector<int>& component,
+                                         std::vector<StageAssignment>* out) {
+      // Split this component's workers into its level-(k-1) sub-components.
+      PD_CHECK_EQ(static_cast<int>(component.size()) % fanout, 0);
+      const size_t per = component.size() / static_cast<size_t>(fanout);
+      std::vector<std::vector<int>> sub_components;
+      sub_components.reserve(static_cast<size_t>(fanout));
+      for (int c = 0; c < fanout; ++c) {
+        sub_components.emplace_back(component.begin() + static_cast<long>(c * per),
+                                    component.begin() + static_cast<long>((c + 1) * per));
+      }
+      ReconstructLevel(tables, i, j, fanout, sub_components, expand_below, out);
+    };
+  }
+
+  const DpTables& top = per_level.back();
+  const int top_m = topology.level(num_levels).fanout;
+  PD_CHECK(top.A(0, n - 1, top_m) < kInf)
+      << "no feasible hierarchical partition of " << profile.model_name;
+
+  std::vector<int> all_workers(static_cast<size_t>(topology.num_workers()));
+  for (int w = 0; w < topology.num_workers(); ++w) {
+    all_workers[static_cast<size_t>(w)] = w;
+  }
+  std::vector<StageAssignment> stages;
+  expand[static_cast<size_t>(num_levels)](0, n - 1, all_workers, &stages);
+
+  PartitionResult result;
+  result.plan = PipelinePlan(std::move(stages));
+  result.plan.Validate(n);
+  result.bottleneck_seconds = top.A(0, n - 1, top_m);
+  return result;
+}
+
+PartitionResult Partition(const ModelProfile& profile, const HardwareTopology& topology,
+                          const PartitionerOptions& options) {
+  // The hierarchical solver composes optimal sub-pipelines per level (§3.1), but its
+  // replication factors are constrained to whole lower-level components — the paper's
+  // "15-1" on a 4x4 cluster is not expressible that way. Solve both the hierarchical and a
+  // flat relaxation (every worker pair charged the outermost level's link), then keep the
+  // plan with the lower bottleneck.
+  PartitionResult best = PartitionHierarchical(profile, topology, options);
+  if (topology.num_levels() > 1) {
+    const TopologyLevel& outer = topology.level(topology.num_levels());
+    PartitionerOptions flat_options = options;
+    flat_options.collective_efficiency = outer.collective_efficiency;
+    flat_options.p2p_efficiency = outer.p2p_efficiency;
+    flat_options.collective_shared_bus = outer.shared_bus;
+    const PartitionResult flat = PartitionFlat(profile, topology.num_workers(),
+                                               outer.bandwidth_bytes_per_sec, flat_options);
+    if (flat.bottleneck_seconds < best.bottleneck_seconds) {
+      best = flat;
+    }
+  }
+  return best;
+}
+
+}  // namespace pipedream

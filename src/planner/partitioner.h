@@ -1,0 +1,62 @@
+// PipeDream's partitioning optimizer (paper §3.1).
+//
+// Two variants:
+//   PartitionFlat         — the dynamic program over a single interconnect level, used
+//                           directly when the topology is flat and as the per-level kernel.
+//   PartitionHierarchical — the full level-by-level composition of Figure 7's hierarchy:
+//                           level k's "workers" are whole level-(k-1) components, and
+//                           replicating a stage at level k replicates the entire optimal
+//                           sub-pipeline computed for the lower level.
+//
+// Both return the plan plus the predicted slowest-stage time A (seconds per minibatch,
+// amortized per input), which upper-bounds pipeline throughput in steady state.
+#ifndef SRC_PLANNER_PARTITIONER_H_
+#define SRC_PLANNER_PARTITIONER_H_
+
+#include "src/planner/plan.h"
+#include "src/profile/layer_profile.h"
+#include "src/sim/topology.h"
+
+namespace pipedream {
+
+struct PartitionerOptions {
+  bool allow_replication = true;   // false restricts to straight pipelines (model parallel)
+  int64_t device_memory_bytes = 0;  // 0 = unconstrained; otherwise stages that cannot fit
+                                    // (weights + stashes for their in-flight depth) are
+                                    // rejected during the search
+  int max_workers_used = 0;         // 0 = use all workers; otherwise an upper bound
+  // Bandwidth derating applied by PartitionFlat (PartitionHierarchical reads the per-level
+  // factors from the topology instead). 1.0 = the raw bandwidth argument is already
+  // effective.
+  double collective_efficiency = 1.0;
+  double p2p_efficiency = 1.0;
+  // PartitionFlat only: model the interconnect as one shared medium (PCIe-tree semantics)
+  // rather than per-worker links. See TopologyLevel::shared_bus.
+  bool collective_shared_bus = false;
+};
+
+struct PartitionResult {
+  PipelinePlan plan;
+  // Effective time of the slowest stage per input minibatch (the A value of §3.1); the
+  // steady-state pipeline emits one minibatch per this interval.
+  double bottleneck_seconds = 0.0;
+};
+
+// Dynamic program over `workers` identical devices joined by links of a single bandwidth.
+PartitionResult PartitionFlat(const ModelProfile& profile, int workers,
+                              double bandwidth_bytes_per_sec,
+                              const PartitionerOptions& options = {});
+
+// Level-by-level dynamic program over a hierarchical topology. Worker ids in the returned
+// plan respect component boundaries (replicated sub-pipelines land on distinct components).
+PartitionResult PartitionHierarchical(const ModelProfile& profile,
+                                      const HardwareTopology& topology,
+                                      const PartitionerOptions& options = {});
+
+// Convenience: picks flat vs hierarchical based on the topology's level count.
+PartitionResult Partition(const ModelProfile& profile, const HardwareTopology& topology,
+                          const PartitionerOptions& options = {});
+
+}  // namespace pipedream
+
+#endif  // SRC_PLANNER_PARTITIONER_H_

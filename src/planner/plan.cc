@@ -1,0 +1,264 @@
+#include "src/planner/plan.h"
+
+#include <cstdlib>
+#include <set>
+
+#include "src/common/strings.h"
+
+namespace pipedream {
+
+int PipelinePlan::total_workers() const {
+  int total = 0;
+  for (const StageAssignment& s : stages_) {
+    total += s.replicas;
+  }
+  return total;
+}
+
+bool PipelinePlan::IsDataParallel(int num_layers) const {
+  return num_stages() == 1 && stages_[0].begin_layer == 0 && stages_[0].end_layer == num_layers;
+}
+
+bool PipelinePlan::IsStraight() const {
+  for (const StageAssignment& s : stages_) {
+    if (s.replicas != 1) {
+      return false;
+    }
+  }
+  return num_stages() > 1;
+}
+
+int PipelinePlan::Noam() const {
+  PD_CHECK_GT(num_stages(), 0);
+  const int workers = total_workers();
+  const int input_replicas = stages_[0].replicas;
+  return (workers + input_replicas - 1) / input_replicas;  // ceil
+}
+
+std::string PipelinePlan::ConfigString(int num_layers) const {
+  if (IsDataParallel(num_layers)) {
+    return StrFormat("%d", stages_[0].replicas);
+  }
+  if (IsStraight()) {
+    return "straight";
+  }
+  std::vector<std::string> parts;
+  parts.reserve(stages_.size());
+  for (const StageAssignment& s : stages_) {
+    parts.push_back(StrFormat("%d", s.replicas));
+  }
+  return StrJoin(parts, "-");
+}
+
+void PipelinePlan::Validate(int num_layers) const {
+  PD_CHECK_GT(num_stages(), 0) << "empty plan";
+  int expected_begin = 0;
+  std::set<int> seen_workers;
+  for (int i = 0; i < num_stages(); ++i) {
+    const StageAssignment& s = stages_[static_cast<size_t>(i)];
+    PD_CHECK_EQ(s.begin_layer, expected_begin)
+        << "stage " << i << " does not start where the previous stage ended";
+    PD_CHECK_GT(s.end_layer, s.begin_layer) << "stage " << i << " is empty";
+    PD_CHECK_GE(s.replicas, 1);
+    PD_CHECK_EQ(static_cast<int>(s.workers.size()), s.replicas)
+        << "stage " << i << ": replica count and worker list disagree";
+    for (int w : s.workers) {
+      PD_CHECK(seen_workers.insert(w).second) << "worker " << w << " assigned twice";
+    }
+    expected_begin = s.end_layer;
+  }
+  PD_CHECK_EQ(expected_begin, num_layers) << "plan does not cover all layers";
+}
+
+namespace {
+
+// Assigns worker ids 0..N-1 to stages in order.
+void AssignWorkersContiguously(std::vector<StageAssignment>* stages) {
+  int next = 0;
+  for (StageAssignment& s : *stages) {
+    s.workers.clear();
+    for (int r = 0; r < s.replicas; ++r) {
+      s.workers.push_back(next++);
+    }
+  }
+}
+
+}  // namespace
+
+PipelinePlan MakeDataParallelPlan(int num_layers, int workers) {
+  PD_CHECK_GE(workers, 1);
+  StageAssignment stage;
+  stage.begin_layer = 0;
+  stage.end_layer = num_layers;
+  stage.replicas = workers;
+  std::vector<StageAssignment> stages = {stage};
+  AssignWorkersContiguously(&stages);
+  PipelinePlan plan(std::move(stages));
+  plan.Validate(num_layers);
+  return plan;
+}
+
+PipelinePlan MakeStraightPlan(int num_layers, const std::vector<int>& cuts) {
+  std::vector<StageAssignment> stages;
+  int begin = 0;
+  for (int cut : cuts) {
+    PD_CHECK(cut > begin && cut < num_layers) << "bad cut " << cut;
+    StageAssignment s;
+    s.begin_layer = begin;
+    s.end_layer = cut;
+    stages.push_back(s);
+    begin = cut;
+  }
+  StageAssignment last;
+  last.begin_layer = begin;
+  last.end_layer = num_layers;
+  stages.push_back(last);
+  AssignWorkersContiguously(&stages);
+  PipelinePlan plan(std::move(stages));
+  plan.Validate(num_layers);
+  return plan;
+}
+
+PipelinePlan MakePlanFromShape(const std::vector<std::pair<int, int>>& layers_and_replicas) {
+  std::vector<StageAssignment> stages;
+  int begin = 0;
+  for (const auto& [layer_count, replicas] : layers_and_replicas) {
+    StageAssignment s;
+    s.begin_layer = begin;
+    s.end_layer = begin + layer_count;
+    s.replicas = replicas;
+    stages.push_back(s);
+    begin = s.end_layer;
+  }
+  AssignWorkersContiguously(&stages);
+  PipelinePlan plan(std::move(stages));
+  plan.Validate(begin);
+  return plan;
+}
+
+PipelinePlan MakeBalancedPlanWithReplicas(const ModelProfile& profile,
+                                          const std::vector<int>& replicas) {
+  const int n = profile.num_layers();
+  const int num_stages = static_cast<int>(replicas.size());
+  PD_CHECK(num_stages >= 1 && num_stages <= n)
+      << "cannot split " << n << " layers into " << num_stages << " stages";
+
+  // DP over (layers 0..j, k stages): minimize max per-replica compute.
+  constexpr double kInf = 1e300;
+  std::vector<std::vector<double>> best(
+      static_cast<size_t>(n + 1), std::vector<double>(static_cast<size_t>(num_stages + 1), kInf));
+  std::vector<std::vector<int>> split(
+      static_cast<size_t>(n + 1), std::vector<int>(static_cast<size_t>(num_stages + 1), -1));
+  best[0][0] = 0.0;
+  for (int j = 1; j <= n; ++j) {
+    for (int k = 1; k <= std::min(j, num_stages); ++k) {
+      const double divisor = static_cast<double>(replicas[static_cast<size_t>(k - 1)]);
+      for (int s = k - 1; s < j; ++s) {
+        if (best[static_cast<size_t>(s)][static_cast<size_t>(k - 1)] >= kInf) {
+          continue;
+        }
+        const double stage_time = profile.ComputeSeconds(s, j) / divisor;
+        const double candidate =
+            std::max(best[static_cast<size_t>(s)][static_cast<size_t>(k - 1)], stage_time);
+        if (candidate < best[static_cast<size_t>(j)][static_cast<size_t>(k)]) {
+          best[static_cast<size_t>(j)][static_cast<size_t>(k)] = candidate;
+          split[static_cast<size_t>(j)][static_cast<size_t>(k)] = s;
+        }
+      }
+    }
+  }
+  std::vector<int> boundaries;  // stage start layers, reconstructed back to front
+  int j = n;
+  for (int k = num_stages; k > 1; --k) {
+    j = split[static_cast<size_t>(j)][static_cast<size_t>(k)];
+    boundaries.push_back(j);
+  }
+  std::vector<std::pair<int, int>> shape;
+  int begin = 0;
+  for (int k = 0; k < num_stages; ++k) {
+    const int end =
+        k + 1 < num_stages ? boundaries[static_cast<size_t>(num_stages - 2 - k)] : n;
+    shape.emplace_back(end - begin, replicas[static_cast<size_t>(k)]);
+    begin = end;
+  }
+  return MakePlanFromShape(shape);
+}
+
+Result<PipelinePlan> MakePlanFromConfigString(const ModelProfile& profile,
+                                              const std::string& config, int workers) {
+  if (config == "straight") {
+    if (workers < 1 || workers > profile.num_layers()) {
+      return Status::InvalidArgument("straight config needs 1..num_layers workers");
+    }
+    return MakeBalancedStraightPlan(profile, workers);
+  }
+  std::vector<int> replicas;
+  for (const std::string& part : StrSplit(config, '-')) {
+    char* end = nullptr;
+    const long value = std::strtol(part.c_str(), &end, 10);
+    if (end == part.c_str() || *end != 0 || value < 1) {
+      return Status::InvalidArgument("bad config component '" + part + "' in '" + config +
+                                     "'");
+    }
+    replicas.push_back(static_cast<int>(value));
+  }
+  if (replicas.empty()) {
+    return Status::InvalidArgument("empty config string");
+  }
+  int total = 0;
+  for (int r : replicas) {
+    total += r;
+  }
+  if (workers > 0 && total != workers) {
+    return Status::InvalidArgument(StrFormat(
+        "config '%s' uses %d workers but %d were requested", config.c_str(), total, workers));
+  }
+  if (static_cast<int>(replicas.size()) > profile.num_layers()) {
+    return Status::InvalidArgument("more stages than layers");
+  }
+  if (replicas.size() == 1) {
+    return MakeDataParallelPlan(profile.num_layers(), replicas[0]);
+  }
+  return MakeBalancedPlanWithReplicas(profile, replicas);
+}
+
+PipelinePlan MakeBalancedStraightPlan(const ModelProfile& profile, int num_stages) {
+  const int n = profile.num_layers();
+  PD_CHECK(num_stages >= 1 && num_stages <= n)
+      << "cannot split " << n << " layers into " << num_stages << " stages";
+
+  // DP over (layers 0..j, k stages): minimize the max per-stage compute time.
+  constexpr double kInf = 1e300;
+  std::vector<std::vector<double>> best(static_cast<size_t>(n + 1),
+                                        std::vector<double>(static_cast<size_t>(num_stages + 1), kInf));
+  std::vector<std::vector<int>> split(static_cast<size_t>(n + 1),
+                                      std::vector<int>(static_cast<size_t>(num_stages + 1), -1));
+  best[0][0] = 0.0;
+  for (int j = 1; j <= n; ++j) {
+    for (int k = 1; k <= std::min(j, num_stages); ++k) {
+      for (int s = k - 1; s < j; ++s) {
+        if (best[static_cast<size_t>(s)][static_cast<size_t>(k - 1)] >= kInf) {
+          continue;
+        }
+        const double stage_time = profile.ComputeSeconds(s, j);
+        const double candidate =
+            std::max(best[static_cast<size_t>(s)][static_cast<size_t>(k - 1)], stage_time);
+        if (candidate < best[static_cast<size_t>(j)][static_cast<size_t>(k)]) {
+          best[static_cast<size_t>(j)][static_cast<size_t>(k)] = candidate;
+          split[static_cast<size_t>(j)][static_cast<size_t>(k)] = s;
+        }
+      }
+    }
+  }
+
+  std::vector<int> cuts;
+  int j = n;
+  for (int k = num_stages; k > 1; --k) {
+    j = split[static_cast<size_t>(j)][static_cast<size_t>(k)];
+    cuts.push_back(j);
+  }
+  std::vector<int> ordered(cuts.rbegin(), cuts.rend());
+  return MakeStraightPlan(n, ordered);
+}
+
+}  // namespace pipedream

@@ -1,0 +1,113 @@
+#include "src/planner/predictor.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pipedream {
+namespace {
+
+// The outermost (slowest) level any pair of the given workers must cross.
+int BottleneckLevel(const HardwareTopology& topology, const std::vector<int>& workers) {
+  int worst = 1;
+  for (size_t a = 0; a < workers.size(); ++a) {
+    for (size_t b = a + 1; b < workers.size(); ++b) {
+      worst = std::max(worst, topology.SharedLevel(workers[a], workers[b]));
+    }
+  }
+  return worst;
+}
+
+// Ring (or shared-bus) all_reduce wall time for m replicas' gradients of `bytes` each.
+double SyncWallSeconds(const HardwareTopology& topology, const std::vector<int>& workers,
+                       int64_t bytes) {
+  const TopologyLevel& level =
+      topology.level(BottleneckLevel(topology, workers));
+  const auto m = static_cast<double>(workers.size());
+  const double divisor = level.shared_bus ? 1.0 : m;
+  return 2.0 * (m - 1.0) * static_cast<double>(bytes) /
+         (divisor * level.effective_collective_bandwidth());
+}
+
+// Slowest effective point-to-point link between any worker of one stage and any of the next.
+double MinCrossP2pBandwidth(const HardwareTopology& topology, const std::vector<int>& from,
+                            const std::vector<int>& to) {
+  double min_bw = 1e300;
+  for (int a : from) {
+    for (int b : to) {
+      if (a != b) {
+        min_bw = std::min(min_bw, topology.EffectiveP2pBandwidthBetween(a, b));
+      }
+    }
+  }
+  return min_bw;
+}
+
+}  // namespace
+
+PlanPrediction PredictPlan(const ModelProfile& profile, const PipelinePlan& plan,
+                           const HardwareTopology& topology, int pipeline_depth) {
+  plan.Validate(profile.num_layers());
+  const int num_stages = plan.num_stages();
+  const int noam = pipeline_depth > 0 ? pipeline_depth : plan.Noam();
+  const int64_t batch = profile.minibatch_size;
+
+  PlanPrediction prediction;
+  prediction.stages.resize(static_cast<size_t>(num_stages));
+
+  double bottleneck = 0.0;
+  double bytes_per_minibatch = 0.0;
+
+  for (int s = 0; s < num_stages; ++s) {
+    const StageAssignment& stage = plan.stage(s);
+    StagePrediction& sp = prediction.stages[static_cast<size_t>(s)];
+    const int m = stage.replicas;
+
+    sp.compute_seconds = profile.ComputeSeconds(stage.begin_layer, stage.end_layer);
+    sp.weight_bytes = profile.ParamBytes(stage.begin_layer, stage.end_layer);
+    sp.activation_stash_bytes = profile.ActivationBytes(stage.begin_layer, stage.end_layer);
+
+    if (m > 1) {
+      // All_reduce wall time per round of m minibatches (the §3.1 sync term in its
+      // physically-consistent form — see the SolveLevel comment in partitioner.cc).
+      sp.sync_seconds = SyncWallSeconds(topology, stage.workers, sp.weight_bytes);
+      // Gradient all_reduce bytes, DDP-style: one collective aggregates the m replicas'
+      // gradients, moving 2(m-1)/m * |w| per replica — so 2(m-1)|w|/m per synchronized group
+      // of m minibatches... i.e. 2(m-1)|w|/m per minibatch group member.
+      bytes_per_minibatch +=
+          2.0 * static_cast<double>(m - 1) * static_cast<double>(sp.weight_bytes) /
+          static_cast<double>(m);
+    }
+    sp.effective_seconds = std::max(sp.compute_seconds, sp.sync_seconds) / m;
+    bottleneck = std::max(bottleneck, sp.effective_seconds);
+
+    if (s > 0) {
+      const StageAssignment& prev = plan.stage(s - 1);
+      const int64_t boundary_bytes = profile.BoundaryActivationBytes(prev.end_layer - 1);
+      const double bw = MinCrossP2pBandwidth(topology, prev.workers, stage.workers);
+      sp.input_comm_seconds = 2.0 * static_cast<double>(boundary_bytes) / bw;
+      bottleneck = std::max(bottleneck, sp.input_comm_seconds);
+      // Forward activations + backward gradients cross the boundary once per minibatch.
+      bytes_per_minibatch += 2.0 * static_cast<double>(boundary_bytes);
+    }
+
+    // 1F1B stash depth: the input stage holds NOAM in-flight minibatches; later stages hold
+    // proportionally fewer, down to 1 at the output stage.
+    sp.in_flight = std::max(
+        1, static_cast<int>(std::ceil(static_cast<double>(noam) *
+                                      static_cast<double>(num_stages - s) / num_stages)));
+    // Current weights + gradient buffer + (in_flight - 1) stashed versions + activation
+    // stashes for every in-flight minibatch.
+    sp.peak_memory_bytes = sp.weight_bytes * (sp.in_flight + 1) +
+                           sp.activation_stash_bytes * sp.in_flight;
+    prediction.max_worker_memory_bytes =
+        std::max(prediction.max_worker_memory_bytes, sp.peak_memory_bytes);
+  }
+
+  prediction.bottleneck_seconds = bottleneck;
+  prediction.throughput_samples_per_sec =
+      bottleneck > 0.0 ? static_cast<double>(batch) / bottleneck : 0.0;
+  prediction.comm_bytes_per_sample = bytes_per_minibatch / static_cast<double>(batch);
+  return prediction;
+}
+
+}  // namespace pipedream

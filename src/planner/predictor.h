@@ -1,0 +1,47 @@
+// Analytic performance predictions for a (profile, plan, topology) triple — the model the
+// optimizer reasons with. The event-driven simulator (src/simexec) measures the same
+// quantities by actually executing the schedule; Figure 15's reproduction compares the two.
+#ifndef SRC_PLANNER_PREDICTOR_H_
+#define SRC_PLANNER_PREDICTOR_H_
+
+#include <vector>
+
+#include "src/planner/plan.h"
+#include "src/profile/layer_profile.h"
+#include "src/sim/topology.h"
+
+namespace pipedream {
+
+struct StagePrediction {
+  double compute_seconds = 0.0;        // per-minibatch fwd+bwd on one replica
+  double sync_seconds = 0.0;           // weight-sync wall time if replicated (whole iteration)
+  double effective_seconds = 0.0;      // max(compute, sync) / replicas
+  double input_comm_seconds = 0.0;     // activation+gradient transfer on the inbound boundary
+  int64_t weight_bytes = 0;            // per replica
+  int64_t activation_stash_bytes = 0;  // per replica, one in-flight minibatch
+  int in_flight = 1;                   // stashed minibatch depth at this stage under 1F1B
+  int64_t peak_memory_bytes = 0;       // per replica: weights, grads, stashes
+};
+
+struct PlanPrediction {
+  std::vector<StagePrediction> stages;
+  double bottleneck_seconds = 0.0;          // pipeline emits one minibatch per this interval
+  double throughput_samples_per_sec = 0.0;  // minibatch_size / bottleneck
+  double comm_bytes_per_sample = 0.0;       // total network bytes / samples processed
+  int64_t max_worker_memory_bytes = 0;
+
+  double EpochSeconds(int64_t dataset_samples) const {
+    return throughput_samples_per_sec > 0.0
+               ? static_cast<double>(dataset_samples) / throughput_samples_per_sec
+               : 0.0;
+  }
+};
+
+// `pipeline_depth` overrides the in-flight minibatch count (0 = the plan's NOAM). Used by
+// the Figure 18 sweep; everything else derives from the paper's formulas.
+PlanPrediction PredictPlan(const ModelProfile& profile, const PipelinePlan& plan,
+                           const HardwareTopology& topology, int pipeline_depth = 0);
+
+}  // namespace pipedream
+
+#endif  // SRC_PLANNER_PREDICTOR_H_

@@ -1,0 +1,63 @@
+#include "src/profile/layer_profile.h"
+
+#include <cmath>
+
+namespace pipedream {
+
+double ModelProfile::ComputeSeconds(int begin, int end) const {
+  PD_CHECK(begin >= 0 && begin <= end && end <= num_layers());
+  double total = 0.0;
+  for (int i = begin; i < end; ++i) {
+    total += layers[static_cast<size_t>(i)].total_seconds();
+  }
+  return total;
+}
+
+int64_t ModelProfile::ParamBytes(int begin, int end) const {
+  PD_CHECK(begin >= 0 && begin <= end && end <= num_layers());
+  int64_t total = 0;
+  for (int i = begin; i < end; ++i) {
+    total += layers[static_cast<size_t>(i)].param_bytes;
+  }
+  return total;
+}
+
+int64_t ModelProfile::ActivationBytes(int begin, int end) const {
+  PD_CHECK(begin >= 0 && begin <= end && end <= num_layers());
+  int64_t total = 0;
+  for (int i = begin; i < end; ++i) {
+    total += layers[static_cast<size_t>(i)].activation_bytes;
+  }
+  return total;
+}
+
+ModelProfile ModelProfile::Scaled(double compute_speedup, double byte_factor) const {
+  PD_CHECK_GT(compute_speedup, 0.0);
+  PD_CHECK_GT(byte_factor, 0.0);
+  ModelProfile out = *this;
+  for (LayerProfile& layer : out.layers) {
+    layer.fwd_seconds /= compute_speedup;
+    layer.bwd_seconds /= compute_speedup;
+    layer.activation_bytes =
+        static_cast<int64_t>(std::llround(static_cast<double>(layer.activation_bytes) * byte_factor));
+    layer.param_bytes =
+        static_cast<int64_t>(std::llround(static_cast<double>(layer.param_bytes) * byte_factor));
+  }
+  return out;
+}
+
+ModelProfile ModelProfile::WithBatchScaled(double factor) const {
+  PD_CHECK_GT(factor, 0.0);
+  ModelProfile out = *this;
+  out.minibatch_size = std::max<int64_t>(
+      1, static_cast<int64_t>(std::llround(static_cast<double>(minibatch_size) * factor)));
+  for (LayerProfile& layer : out.layers) {
+    layer.fwd_seconds *= factor;
+    layer.bwd_seconds *= factor;
+    layer.activation_bytes = static_cast<int64_t>(
+        std::llround(static_cast<double>(layer.activation_bytes) * factor));
+  }
+  return out;
+}
+
+}  // namespace pipedream

@@ -1,0 +1,75 @@
+// Per-layer profiles — the T_l / a_l / w_l triples of paper §3.1 that drive the optimizer
+// and the cluster simulator.
+#ifndef SRC_PROFILE_LAYER_PROFILE_H_
+#define SRC_PROFILE_LAYER_PROFILE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/check.h"
+
+namespace pipedream {
+
+// A compute device. Times in the model zoo are derived as FLOPs / effective_flops().
+struct DeviceSpec {
+  std::string name;
+  double peak_flops = 0.0;    // fp32 peak
+  double efficiency = 0.45;   // achieved fraction of peak on DNN kernels (cuDNN-era MFU)
+  int64_t memory_bytes = 0;
+
+  double effective_flops() const { return peak_flops * efficiency; }
+
+  static DeviceSpec V100() { return {"V100", 15.7e12, 0.45, 16LL << 30}; }
+  static DeviceSpec Gtx1080Ti() { return {"1080Ti", 11.3e12, 0.42, 11LL << 30}; }
+  static DeviceSpec TitanX() { return {"TitanX", 6.7e12, 0.42, 12LL << 30}; }
+};
+
+struct LayerProfile {
+  std::string name;
+  double fwd_seconds = 0.0;      // forward-pass compute time for one minibatch
+  double bwd_seconds = 0.0;      // backward-pass compute time for one minibatch
+  int64_t activation_bytes = 0;  // a_l: output activations (== backward input gradient size)
+  int64_t param_bytes = 0;       // w_l: trainable parameter bytes
+
+  // T_l of the paper: total fwd+bwd compute for the layer.
+  double total_seconds() const { return fwd_seconds + bwd_seconds; }
+};
+
+struct ModelProfile {
+  std::string model_name;
+  std::string device_name;
+  int64_t minibatch_size = 0;
+  std::vector<LayerProfile> layers;
+
+  int num_layers() const { return static_cast<int>(layers.size()); }
+
+  // Sum of T_l over layers [begin, end).
+  double ComputeSeconds(int begin, int end) const;
+  double TotalComputeSeconds() const { return ComputeSeconds(0, num_layers()); }
+
+  // Sum of w_l over layers [begin, end).
+  int64_t ParamBytes(int begin, int end) const;
+  int64_t TotalParamBytes() const { return ParamBytes(0, num_layers()); }
+
+  // Sum of a_l over layers [begin, end) — the activation working set of a stage.
+  int64_t ActivationBytes(int begin, int end) const;
+
+  // a_l at the boundary after layer `index` (activation sent to the next stage).
+  int64_t BoundaryActivationBytes(int index) const {
+    PD_CHECK(index >= 0 && index < num_layers());
+    return layers[static_cast<size_t>(index)].activation_bytes;
+  }
+
+  // Returns a copy with compute scaled by 1/speedup and bytes scaled by byte_factor — used
+  // for the fp16 what-if (Figure 12: compute ~2.5x faster, tensors half the size).
+  ModelProfile Scaled(double compute_speedup, double byte_factor) const;
+
+  // Returns a copy describing a minibatch scaled by `factor` (e.g. a GPipe microbatch at
+  // factor = 1/m): compute time and activation sizes scale linearly, parameters do not.
+  ModelProfile WithBatchScaled(double factor) const;
+};
+
+}  // namespace pipedream
+
+#endif  // SRC_PROFILE_LAYER_PROFILE_H_

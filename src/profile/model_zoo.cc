@@ -1,0 +1,252 @@
+#include "src/profile/model_zoo.h"
+
+#include "src/common/strings.h"
+
+namespace pipedream {
+namespace {
+
+constexpr int64_t kF32 = 4;  // bytes per element
+
+// Accumulates layers with FLOP-derived times. Forward FLOPs are passed in; the backward pass
+// is charged at 2x forward, matching the paper's observation that "the backward pass is
+// always larger than the forward pass" (§3.2, with Figures 2/4 drawn at exactly 2x).
+class ProfileBuilder {
+ public:
+  ProfileBuilder(std::string model_name, int64_t batch, const DeviceSpec& device)
+      : batch_(batch), device_(device) {
+    profile_.model_name = std::move(model_name);
+    profile_.device_name = device.name;
+    profile_.minibatch_size = batch;
+  }
+
+  void AddRaw(const std::string& name, double fwd_flops, int64_t activation_elems,
+              int64_t param_elems) {
+    LayerProfile layer;
+    layer.name = name;
+    layer.fwd_seconds = fwd_flops / device_.effective_flops();
+    layer.bwd_seconds = 2.0 * layer.fwd_seconds;
+    layer.activation_bytes = activation_elems * kF32;
+    layer.param_bytes = param_elems * kF32;
+    profile_.layers.push_back(std::move(layer));
+  }
+
+  // Conv with square kernel, same-ish padding. (h, w) are *output* spatial dims.
+  void AddConv(const std::string& name, int64_t h, int64_t w, int64_t cin, int64_t cout,
+               int64_t kernel) {
+    const double flops =
+        2.0 * static_cast<double>(batch_ * h * w * cout) * static_cast<double>(cin) *
+        static_cast<double>(kernel * kernel);
+    AddRaw(name, flops, batch_ * cout * h * w, (kernel * kernel * cin + 1) * cout);
+  }
+
+  // Max pool: negligible compute, shrinks activations. (h, w) are output dims.
+  void AddPool(const std::string& name, int64_t h, int64_t w, int64_t channels) {
+    const double flops = static_cast<double>(batch_ * channels * h * w) * 4.0;
+    AddRaw(name, flops, batch_ * channels * h * w, 0);
+  }
+
+  void AddDense(const std::string& name, int64_t in, int64_t out, int64_t rows_per_example = 1) {
+    const double flops = 2.0 * static_cast<double>(batch_ * rows_per_example) *
+                         static_cast<double>(in) * static_cast<double>(out);
+    AddRaw(name, flops, batch_ * rows_per_example * out, (in + 1) * out);
+  }
+
+  // One LSTM layer over a sequence of `steps` tokens.
+  void AddLstm(const std::string& name, int64_t steps, int64_t in, int64_t hidden) {
+    const double flops = 2.0 * static_cast<double>(batch_ * steps) *
+                         static_cast<double>(in + hidden) * static_cast<double>(4 * hidden);
+    AddRaw(name, flops, batch_ * steps * hidden, 4 * hidden * (in + hidden + 1));
+  }
+
+  void AddEmbedding(const std::string& name, int64_t steps, int64_t vocab, int64_t dim) {
+    // Lookup is bandwidth-bound; charge a token-copy cost rather than a matmul.
+    const double flops = static_cast<double>(batch_ * steps * dim);
+    AddRaw(name, flops, batch_ * steps * dim, vocab * dim);
+  }
+
+  // Bahdanau-style attention over `steps` encoder states of width `hidden`.
+  void AddAttention(const std::string& name, int64_t steps, int64_t hidden) {
+    // Scores (B*T*T*H) plus context combination (B*T*H*H).
+    const double flops = 2.0 * static_cast<double>(batch_) *
+                         (static_cast<double>(steps * steps * hidden) +
+                          static_cast<double>(steps) * hidden * hidden);
+    AddRaw(name, flops, batch_ * steps * hidden, 2 * hidden * hidden);
+  }
+
+  // ResNet bottleneck block (1x1 -> 3x3 -> 1x1 with residual); one profile entry per block.
+  // (h, w) are output dims; `downsample` adds the 1x1 projection on the shortcut.
+  void AddBottleneck(const std::string& name, int64_t h, int64_t w, int64_t cin, int64_t cmid,
+                     int64_t cout, bool downsample) {
+    double flops = 2.0 * static_cast<double>(batch_ * h * w) *
+                   (static_cast<double>(cin) * cmid + 9.0 * static_cast<double>(cmid) * cmid +
+                    static_cast<double>(cmid) * cout);
+    int64_t params = cin * cmid + 9 * cmid * cmid + cmid * cout + 3 * cmid + cout;
+    if (downsample) {
+      flops += 2.0 * static_cast<double>(batch_ * h * w) * static_cast<double>(cin) * cout;
+      params += cin * cout;
+    }
+    AddRaw(name, flops, batch_ * cout * h * w, params);
+  }
+
+  ModelProfile Build() { return std::move(profile_); }
+
+ private:
+  int64_t batch_;
+  DeviceSpec device_;
+  ModelProfile profile_;
+};
+
+}  // namespace
+
+ModelProfile MakeVgg16Profile(int64_t batch, const DeviceSpec& device) {
+  ProfileBuilder b("VGG-16", batch, device);
+  b.AddConv("conv1_1", 224, 224, 3, 64, 3);
+  b.AddConv("conv1_2", 224, 224, 64, 64, 3);
+  b.AddPool("pool1", 112, 112, 64);
+  b.AddConv("conv2_1", 112, 112, 64, 128, 3);
+  b.AddConv("conv2_2", 112, 112, 128, 128, 3);
+  b.AddPool("pool2", 56, 56, 128);
+  b.AddConv("conv3_1", 56, 56, 128, 256, 3);
+  b.AddConv("conv3_2", 56, 56, 256, 256, 3);
+  b.AddConv("conv3_3", 56, 56, 256, 256, 3);
+  b.AddPool("pool3", 28, 28, 256);
+  b.AddConv("conv4_1", 28, 28, 256, 512, 3);
+  b.AddConv("conv4_2", 28, 28, 512, 512, 3);
+  b.AddConv("conv4_3", 28, 28, 512, 512, 3);
+  b.AddPool("pool4", 14, 14, 512);
+  b.AddConv("conv5_1", 14, 14, 512, 512, 3);
+  b.AddConv("conv5_2", 14, 14, 512, 512, 3);
+  b.AddConv("conv5_3", 14, 14, 512, 512, 3);
+  b.AddPool("pool5", 7, 7, 512);
+  b.AddDense("fc6", 25088, 4096);
+  b.AddDense("fc7", 4096, 4096);
+  b.AddDense("fc8", 4096, 1000);
+  return b.Build();
+}
+
+ModelProfile MakeResnet50Profile(int64_t batch, const DeviceSpec& device) {
+  ProfileBuilder b("ResNet-50", batch, device);
+  b.AddConv("conv1", 112, 112, 3, 64, 7);
+  b.AddPool("pool1", 56, 56, 64);
+  b.AddBottleneck("conv2_1", 56, 56, 64, 64, 256, true);
+  b.AddBottleneck("conv2_2", 56, 56, 256, 64, 256, false);
+  b.AddBottleneck("conv2_3", 56, 56, 256, 64, 256, false);
+  b.AddBottleneck("conv3_1", 28, 28, 256, 128, 512, true);
+  b.AddBottleneck("conv3_2", 28, 28, 512, 128, 512, false);
+  b.AddBottleneck("conv3_3", 28, 28, 512, 128, 512, false);
+  b.AddBottleneck("conv3_4", 28, 28, 512, 128, 512, false);
+  b.AddBottleneck("conv4_1", 14, 14, 512, 256, 1024, true);
+  b.AddBottleneck("conv4_2", 14, 14, 1024, 256, 1024, false);
+  b.AddBottleneck("conv4_3", 14, 14, 1024, 256, 1024, false);
+  b.AddBottleneck("conv4_4", 14, 14, 1024, 256, 1024, false);
+  b.AddBottleneck("conv4_5", 14, 14, 1024, 256, 1024, false);
+  b.AddBottleneck("conv4_6", 14, 14, 1024, 256, 1024, false);
+  b.AddBottleneck("conv5_1", 7, 7, 1024, 512, 2048, true);
+  b.AddBottleneck("conv5_2", 7, 7, 2048, 512, 2048, false);
+  b.AddBottleneck("conv5_3", 7, 7, 2048, 512, 2048, false);
+  b.AddPool("avgpool", 1, 1, 2048);
+  b.AddDense("fc", 2048, 1000);
+  return b.Build();
+}
+
+ModelProfile MakeAlexNetProfile(int64_t batch, const DeviceSpec& device) {
+  ProfileBuilder b("AlexNet", batch, device);
+  b.AddConv("conv1", 55, 55, 3, 64, 11);
+  b.AddPool("pool1", 27, 27, 64);
+  b.AddConv("conv2", 27, 27, 64, 192, 5);
+  b.AddPool("pool2", 13, 13, 192);
+  b.AddConv("conv3", 13, 13, 192, 384, 3);
+  b.AddConv("conv4", 13, 13, 384, 256, 3);
+  b.AddConv("conv5", 13, 13, 256, 256, 3);
+  b.AddPool("pool5", 6, 6, 256);
+  b.AddDense("fc6", 9216, 4096);
+  b.AddDense("fc7", 4096, 4096);
+  b.AddDense("fc8", 4096, 1000);
+  return b.Build();
+}
+
+ModelProfile MakeGnmtProfile(int lstm_layers, int64_t batch, const DeviceSpec& device) {
+  PD_CHECK(lstm_layers >= 2 && lstm_layers % 2 == 0)
+      << "GNMT profile needs an even LSTM count, got " << lstm_layers;
+  const int64_t hidden = 1024;
+  const int64_t vocab = 32000;
+  const int64_t steps = 40;  // average WMT16 sentence length after BPE, roughly
+  ProfileBuilder b(StrFormat("GNMT-%d", lstm_layers), batch, device);
+  const int enc = lstm_layers / 2;
+  const int dec = lstm_layers / 2;
+  b.AddEmbedding("enc_embed", steps, vocab, hidden);
+  for (int i = 0; i < enc; ++i) {
+    b.AddLstm(StrFormat("enc_lstm%d", i + 1), steps, hidden, hidden);
+  }
+  b.AddAttention("attention", steps, hidden);
+  b.AddEmbedding("dec_embed", steps, vocab, hidden);
+  for (int i = 0; i < dec; ++i) {
+    // Decoder layers consume [context; h] on the first layer.
+    const int64_t in = i == 0 ? 2 * hidden : hidden;
+    b.AddLstm(StrFormat("dec_lstm%d", i + 1), steps, in, hidden);
+  }
+  b.AddDense("softmax", hidden, vocab, steps);
+  return b.Build();
+}
+
+ModelProfile MakeAwdLmProfile(int64_t batch, const DeviceSpec& device) {
+  // Merity et al.'s AWD LM, sized so total parameters land near the paper's quoted 0.41 GB.
+  const int64_t vocab = 10000;
+  const int64_t embed = 400;
+  const int64_t hidden = 1500;
+  const int64_t steps = 70;
+  ProfileBuilder b("AWD-LM", batch, device);
+  b.AddEmbedding("embed", steps, vocab, embed);
+  b.AddLstm("lstm1", steps, embed, hidden);
+  for (int i = 2; i <= 6; ++i) {
+    b.AddLstm(StrFormat("lstm%d", i), steps, hidden, hidden);
+  }
+  b.AddDense("softmax", hidden, vocab, steps);
+  return b.Build();
+}
+
+ModelProfile MakeS2vtProfile(int64_t batch, const DeviceSpec& device) {
+  // Sequence-to-sequence video captioning: frame features -> 2-layer LSTM -> vocab.
+  const int64_t frames = 80;
+  const int64_t feature = 4096;  // per-frame CNN feature (VGG fc7)
+  const int64_t hidden = 1000;
+  const int64_t vocab = 13000;
+  ProfileBuilder b("S2VT", batch, device);
+  b.AddDense("feat_proj", feature, 500, frames);
+  b.AddLstm("lstm1", frames, 500, hidden);
+  b.AddLstm("lstm2", frames, hidden, hidden);
+  b.AddDense("softmax", hidden, vocab, frames);
+  return b.Build();
+}
+
+std::vector<std::string> ModelZooNames() {
+  return {"VGG-16", "ResNet-50", "AlexNet", "GNMT-8", "GNMT-16", "AWD-LM", "S2VT"};
+}
+
+ModelProfile MakeProfileByName(const std::string& name, const DeviceSpec& device) {
+  if (name == "VGG-16") {
+    return MakeVgg16Profile(64, device);
+  }
+  if (name == "ResNet-50") {
+    return MakeResnet50Profile(128, device);
+  }
+  if (name == "AlexNet") {
+    return MakeAlexNetProfile(256, device);
+  }
+  if (name == "GNMT-8") {
+    return MakeGnmtProfile(8, 64, device);
+  }
+  if (name == "GNMT-16") {
+    return MakeGnmtProfile(16, 64, device);
+  }
+  if (name == "AWD-LM") {
+    return MakeAwdLmProfile(80, device);
+  }
+  if (name == "S2VT") {
+    return MakeS2vtProfile(80, device);
+  }
+  PD_CHECK(false) << "unknown model: " << name;
+  return {};
+}
+
+}  // namespace pipedream

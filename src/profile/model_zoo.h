@@ -1,0 +1,49 @@
+// Analytic per-layer profiles of the paper's seven evaluation models.
+//
+// The paper obtains profiles by running 1000 minibatches on one GPU. Without GPUs, we derive
+// the same three quantities analytically from the published architectures:
+//   T_l  — FLOPs of the layer (forward; backward charged at 2x) divided by the device's
+//          effective FLOP rate,
+//   a_l  — output activation bytes for one minibatch (fp32),
+//   w_l  — parameter bytes (fp32).
+// Parameter counts and activation shapes are exact for the published architectures (modulo
+// aggregating each ResNet bottleneck into one profile entry, which only coarsens partition
+// granularity). This is the substitution DESIGN.md §1 documents: the paper itself shows
+// (Fig. 15) that throughput is predictable from exactly these quantities.
+#ifndef SRC_PROFILE_MODEL_ZOO_H_
+#define SRC_PROFILE_MODEL_ZOO_H_
+
+#include <string>
+#include <vector>
+
+#include "src/profile/layer_profile.h"
+
+namespace pipedream {
+
+// Image classification, ImageNet.
+ModelProfile MakeVgg16Profile(int64_t batch = 64, const DeviceSpec& device = DeviceSpec::V100());
+ModelProfile MakeResnet50Profile(int64_t batch = 128,
+                                 const DeviceSpec& device = DeviceSpec::V100());
+ModelProfile MakeAlexNetProfile(int64_t batch = 256,
+                                const DeviceSpec& device = DeviceSpec::V100());
+
+// Translation (WMT16 En-De). `lstm_layers` is the total LSTM count (8 or 16 in the paper),
+// split evenly between encoder and decoder.
+ModelProfile MakeGnmtProfile(int lstm_layers, int64_t batch = 64,
+                             const DeviceSpec& device = DeviceSpec::V100());
+
+// Language modelling (Penn Treebank), AWD LM.
+ModelProfile MakeAwdLmProfile(int64_t batch = 80, const DeviceSpec& device = DeviceSpec::V100());
+
+// Video captioning (MSVD), S2VT. Evaluated on Cluster-C in the paper.
+ModelProfile MakeS2vtProfile(int64_t batch = 80,
+                             const DeviceSpec& device = DeviceSpec::TitanX());
+
+// All zoo model names, and lookup by name (paper minibatch sizes).
+std::vector<std::string> ModelZooNames();
+ModelProfile MakeProfileByName(const std::string& name,
+                               const DeviceSpec& device = DeviceSpec::V100());
+
+}  // namespace pipedream
+
+#endif  // SRC_PROFILE_MODEL_ZOO_H_

@@ -1,0 +1,63 @@
+#include "src/profile/profiler.h"
+
+#include <chrono>
+
+namespace pipedream {
+namespace {
+
+double NowSeconds() {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+ModelProfile ProfileModel(const Sequential& model, const Tensor& sample_input,
+                          const std::string& model_name, const ProfilerOptions& options) {
+  PD_CHECK_GT(options.measure_batches, 0);
+  const size_t n = model.size();
+
+  ModelProfile profile;
+  profile.model_name = model_name;
+  profile.device_name = "cpu";
+  profile.minibatch_size = sample_input.dim(0);
+  profile.layers.resize(n);
+
+  std::vector<LayerContext> contexts(n);
+  const int total_passes = options.warmup_batches + options.measure_batches;
+  for (int pass = 0; pass < total_passes; ++pass) {
+    const bool timed = pass >= options.warmup_batches;
+    // Forward, per layer.
+    Tensor current = sample_input;
+    for (size_t i = 0; i < n; ++i) {
+      const double start = NowSeconds();
+      current = model.layer(i)->Forward(current, &contexts[i], /*training=*/true);
+      if (timed) {
+        profile.layers[i].fwd_seconds += NowSeconds() - start;
+        profile.layers[i].activation_bytes = current.SizeBytes();
+      }
+    }
+    // Backward, per layer, seeded with a small uniform gradient.
+    Tensor grad(current.shape());
+    grad.Fill(1e-3f);
+    model.ZeroGrads();
+    for (size_t i = n; i > 0; --i) {
+      const double start = NowSeconds();
+      grad = model.layer(i - 1)->Backward(grad, &contexts[i - 1]);
+      if (timed) {
+        profile.layers[i - 1].bwd_seconds += NowSeconds() - start;
+      }
+    }
+  }
+
+  const double inv = 1.0 / options.measure_batches;
+  for (size_t i = 0; i < n; ++i) {
+    profile.layers[i].name = model.layer(i)->name();
+    profile.layers[i].fwd_seconds *= inv;
+    profile.layers[i].bwd_seconds *= inv;
+    profile.layers[i].param_bytes = model.layer(i)->ParamBytes();
+  }
+  return profile;
+}
+
+}  // namespace pipedream

@@ -1,0 +1,25 @@
+// Runtime profiler: measures per-layer forward/backward wall time and records activation and
+// parameter sizes for a real (CPU) model — the counterpart of the paper's "short profiling
+// run on a single GPU" (Figure 6, left box).
+#ifndef SRC_PROFILE_PROFILER_H_
+#define SRC_PROFILE_PROFILER_H_
+
+#include "src/graph/sequential.h"
+#include "src/profile/layer_profile.h"
+
+namespace pipedream {
+
+struct ProfilerOptions {
+  int warmup_batches = 1;    // un-timed passes to touch memory
+  int measure_batches = 5;   // timed passes, averaged
+};
+
+// Runs `measure_batches` forward+backward passes of `model` on `sample_input` (a
+// representative minibatch) and returns a ModelProfile with measured times and exact sizes.
+// The backward pass is seeded with a uniform gradient of the output's shape.
+ModelProfile ProfileModel(const Sequential& model, const Tensor& sample_input,
+                          const std::string& model_name, const ProfilerOptions& options = {});
+
+}  // namespace pipedream
+
+#endif  // SRC_PROFILE_PROFILER_H_

@@ -1,0 +1,110 @@
+// Synchronous in-process gradient all_reduce for replicated stages and BSP data parallelism.
+//
+// Each participant contributes its parameter gradients; all block until every participant of
+// the round has arrived; everyone leaves with the element-wise mean. This is the in-process
+// stand-in for NCCL/Gloo collectives.
+#ifndef SRC_RUNTIME_ALLREDUCE_H_
+#define SRC_RUNTIME_ALLREDUCE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "src/common/check.h"
+#include "src/graph/layer.h"
+#include "src/tensor/ops.h"
+
+namespace pipedream {
+
+class GradientAllReducer {
+ public:
+  explicit GradientAllReducer(int participants) : participants_(participants) {
+    PD_CHECK_GE(participants, 1);
+  }
+
+  // Averages `params`' gradients with every other participant's. Blocks until the round
+  // completes. All participants must pass structurally identical parameter lists.
+  void AllReduce(const std::vector<Parameter*>& params) {
+    if (participants_ == 1) {
+      return;
+    }
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (accumulator_.empty()) {
+      accumulator_.reserve(params.size());
+      for (const Parameter* p : params) {
+        accumulator_.push_back(p->grad);
+      }
+    } else {
+      PD_CHECK_EQ(accumulator_.size(), params.size());
+      for (size_t i = 0; i < params.size(); ++i) {
+        AddInPlace(&accumulator_[i], params[i]->grad);
+      }
+    }
+    ++arrived_;
+    if (arrived_ == participants_) {
+      const float inv = 1.0f / static_cast<float>(participants_);
+      for (Tensor& t : accumulator_) {
+        Scale(&t, inv);
+      }
+      result_ = std::move(accumulator_);
+      accumulator_.clear();
+      arrived_ = 0;
+      remaining_readers_ = participants_;
+      ++generation_;
+      cv_.notify_all();
+    } else {
+      const uint64_t my_generation = generation_;
+      cv_.wait(lock, [&] { return generation_ != my_generation; });
+    }
+    // Copy the round's mean into this participant's gradients.
+    for (size_t i = 0; i < params.size(); ++i) {
+      params[i]->grad = result_[i];
+    }
+    if (--remaining_readers_ == 0) {
+      result_.clear();
+    }
+  }
+
+ private:
+  const int participants_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::vector<Tensor> accumulator_;
+  std::vector<Tensor> result_;
+  int arrived_ = 0;
+  int remaining_readers_ = 0;
+  uint64_t generation_ = 0;
+};
+
+// Generation-counting thread barrier (GPipe's pipeline-flush synchronization point).
+class FlushBarrier {
+ public:
+  explicit FlushBarrier(int participants) : participants_(participants) {
+    PD_CHECK_GE(participants, 1);
+  }
+
+  // Blocks until all participants arrive.
+  void Arrive() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (++arrived_ == participants_) {
+      arrived_ = 0;
+      ++generation_;
+      cv_.notify_all();
+      return;
+    }
+    const uint64_t my_generation = generation_;
+    cv_.wait(lock, [&] { return generation_ != my_generation; });
+  }
+
+ private:
+  const int participants_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  int arrived_ = 0;
+  uint64_t generation_ = 0;
+};
+
+}  // namespace pipedream
+
+#endif  // SRC_RUNTIME_ALLREDUCE_H_

@@ -1,0 +1,125 @@
+#include "src/runtime/asp_trainer.h"
+
+#include <thread>
+
+#include "src/common/check.h"
+
+namespace pipedream {
+
+AspTrainer::AspTrainer(const Sequential& model, int workers, const Loss* loss,
+                       const Optimizer& optimizer_prototype, const Dataset* dataset,
+                       int64_t batch_size, uint64_t seed, int staleness_depth)
+    : workers_(workers),
+      loss_(loss),
+      dataset_(dataset),
+      batch_size_(batch_size),
+      seed_(seed),
+      shared_model_(model.Clone()),
+      staleness_depth_(staleness_depth) {
+  PD_CHECK_GE(workers, 1);
+  PD_CHECK_GE(staleness_depth, 0);
+  shared_params_ = shared_model_->Params();
+  optimizer_ = optimizer_prototype.CloneFresh();
+}
+
+AspEpochStats AspTrainer::TrainEpoch() {
+  MinibatchLoader probe(dataset_, batch_size_, seed_);
+  const int64_t bpe = probe.batches_per_epoch();
+  const int64_t begin = next_global_batch_;
+  const int64_t end = begin + bpe;
+
+  std::vector<double> loss_sums(static_cast<size_t>(workers_), 0.0);
+  std::vector<int64_t> loss_counts(static_cast<size_t>(workers_), 0);
+
+  auto worker_fn = [&](int worker) {
+    MinibatchLoader loader(dataset_, batch_size_, seed_);
+    auto local = shared_model_->Clone();
+    const std::vector<Parameter*> local_params = local->Params();
+    Tensor x;
+    Tensor y;
+    Tensor grad;
+    for (int64_t b = begin + worker; b < end; b += workers_) {
+      loader.BatchAt(b, &x, &y);
+      // Snapshot shared weights — deliberately `staleness_depth_` updates old (see the
+      // constructor comment). No barrier: this is the staleness ASP trades accuracy for.
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        const std::vector<Tensor>* source = nullptr;
+        if (staleness_depth_ > 0 && !history_.empty()) {
+          const size_t back = std::min(history_.size() - 1,
+                                       static_cast<size_t>(staleness_depth_ - 1));
+          source = &history_[history_.size() - 1 - back];
+        }
+        for (size_t i = 0; i < local_params.size(); ++i) {
+          local_params[i]->value =
+              source != nullptr ? (*source)[i] : shared_params_[i]->value;
+        }
+      }
+      local->ZeroGrads();
+      ModelContext ctx;
+      const Tensor out = local->Forward(x, &ctx, /*training=*/true);
+      Tensor targets = y.rank() > 1 ? y.Reshaped({y.numel()}) : y;
+      loss_sums[static_cast<size_t>(worker)] += loss_->Compute(out, targets, &grad);
+      ++loss_counts[static_cast<size_t>(worker)];
+      local->Backward(grad, &ctx);
+      // Apply to whatever the shared weights are now.
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        for (size_t i = 0; i < local_params.size(); ++i) {
+          shared_params_[i]->grad = local_params[i]->grad;
+        }
+        optimizer_->Step(shared_params_);
+        if (staleness_depth_ > 0) {
+          std::vector<Tensor> snapshot;
+          snapshot.reserve(shared_params_.size());
+          for (const Parameter* param : shared_params_) {
+            snapshot.push_back(param->value);
+          }
+          history_.push_back(std::move(snapshot));
+          while (history_.size() > static_cast<size_t>(staleness_depth_)) {
+            history_.pop_front();
+          }
+        }
+      }
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(workers_));
+  for (int w = 0; w < workers_; ++w) {
+    threads.emplace_back(worker_fn, w);
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+
+  AspEpochStats stats;
+  for (int w = 0; w < workers_; ++w) {
+    stats.mean_loss += loss_sums[static_cast<size_t>(w)];
+    stats.minibatches += loss_counts[static_cast<size_t>(w)];
+  }
+  if (stats.minibatches > 0) {
+    stats.mean_loss /= static_cast<double>(stats.minibatches);
+  }
+  next_global_batch_ = end;
+  ++epochs_completed_;
+  return stats;
+}
+
+double AspTrainer::EvaluateAccuracy(const Dataset& eval, int64_t eval_batch) const {
+  MinibatchLoader loader(&eval, eval_batch, /*seed=*/1);
+  Tensor x;
+  Tensor y;
+  double total = 0.0;
+  const int64_t batches = loader.batches_per_epoch();
+  for (int64_t b = 0; b < batches; ++b) {
+    loader.BatchAt(b, &x, &y);
+    ModelContext ctx;
+    const Tensor out = shared_model_->Forward(x, &ctx, /*training=*/false);
+    Tensor targets = y.rank() > 1 ? y.Reshaped({y.numel()}) : y;
+    total += Accuracy(out, targets);
+  }
+  return batches > 0 ? total / static_cast<double>(batches) : 0.0;
+}
+
+}  // namespace pipedream

@@ -1,0 +1,65 @@
+// Asynchronous-parallel (ASP) data-parallel training baseline (§2.1, §5.2).
+//
+// Workers train concurrently against a shared parameter store with no synchronization
+// barrier: each iteration snapshots the current shared weights, computes gradients locally,
+// and applies them to whatever the shared weights have become — the classic stale-gradient
+// regime whose poor statistical efficiency the paper contrasts with 1F1B + weight stashing.
+#ifndef SRC_RUNTIME_ASP_TRAINER_H_
+#define SRC_RUNTIME_ASP_TRAINER_H_
+
+#include <memory>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "src/data/loader.h"
+#include "src/graph/loss.h"
+#include "src/graph/sequential.h"
+#include "src/optim/optimizer.h"
+
+namespace pipedream {
+
+struct AspEpochStats {
+  double mean_loss = 0.0;
+  int64_t minibatches = 0;
+};
+
+class AspTrainer {
+ public:
+  // `staleness_depth` injects controlled gradient staleness: each worker computes its
+  // gradient against the shared weights as of `staleness_depth` updates ago (0 = always the
+  // freshest). Real ASP staleness comes from wall-clock overlap between many workers; on a
+  // single CPU core threads serialize and that overlap vanishes, so the depth parameter
+  // recreates the regime the paper's ASP baseline actually ran in.
+  AspTrainer(const Sequential& model, int workers, const Loss* loss,
+             const Optimizer& optimizer_prototype, const Dataset* dataset, int64_t batch_size,
+             uint64_t seed, int staleness_depth = 0);
+
+  // One pass over the dataset, split round-robin across the asynchronous workers.
+  AspEpochStats TrainEpoch();
+
+  double EvaluateAccuracy(const Dataset& eval, int64_t eval_batch) const;
+
+  int64_t epochs_completed() const { return epochs_completed_; }
+
+ private:
+  int workers_;
+  const Loss* loss_;
+  const Dataset* dataset_;
+  int64_t batch_size_;
+  uint64_t seed_;
+
+  std::unique_ptr<Sequential> shared_model_;   // guarded by mutex_
+  std::vector<Parameter*> shared_params_;
+  std::unique_ptr<Optimizer> optimizer_;       // guarded by mutex_
+  std::mutex mutex_;
+  int staleness_depth_;
+  // Ring buffer of past parameter versions (guarded by mutex_), newest last.
+  std::deque<std::vector<Tensor>> history_;
+  int64_t epochs_completed_ = 0;
+  int64_t next_global_batch_ = 0;
+};
+
+}  // namespace pipedream
+
+#endif  // SRC_RUNTIME_ASP_TRAINER_H_

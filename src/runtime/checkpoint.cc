@@ -1,0 +1,128 @@
+#include "src/runtime/checkpoint.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include "src/common/strings.h"
+
+namespace pipedream {
+namespace {
+
+constexpr uint64_t kMagic = 0x50444350'30303031ULL;  // "PDCP0001"
+
+}  // namespace
+
+Status SaveParameters(const std::string& path, const std::vector<Parameter*>& params) {
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  if (!file) {
+    return Status::Internal("cannot open " + path + " for writing");
+  }
+  auto write_u64 = [&](uint64_t v) { file.write(reinterpret_cast<const char*>(&v), 8); };
+  write_u64(kMagic);
+  write_u64(params.size());
+  for (const Parameter* p : params) {
+    write_u64(p->name.size());
+    file.write(p->name.data(), static_cast<std::streamsize>(p->name.size()));
+    write_u64(p->value.rank());
+    for (size_t d = 0; d < p->value.rank(); ++d) {
+      write_u64(static_cast<uint64_t>(p->value.dim(d)));
+    }
+    file.write(reinterpret_cast<const char*>(p->value.data()),
+               static_cast<std::streamsize>(p->value.SizeBytes()));
+  }
+  if (!file) {
+    return Status::Internal("short write to " + path);
+  }
+  return Status::Ok();
+}
+
+Status LoadParameters(const std::string& path, const std::vector<Parameter*>& params) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) {
+    return Status::NotFound("cannot open " + path);
+  }
+  auto read_u64 = [&]() {
+    uint64_t v = 0;
+    file.read(reinterpret_cast<char*>(&v), 8);
+    return v;
+  };
+  if (read_u64() != kMagic) {
+    return Status::InvalidArgument(path + " is not a PipeDream checkpoint");
+  }
+  const uint64_t count = read_u64();
+  if (count != params.size()) {
+    return Status::InvalidArgument(
+        StrFormat("checkpoint has %llu parameters, model has %zu",
+                  static_cast<unsigned long long>(count), params.size()));
+  }
+  for (Parameter* p : params) {
+    const uint64_t name_len = read_u64();
+    std::string name(name_len, '\0');
+    file.read(name.data(), static_cast<std::streamsize>(name_len));
+    if (name != p->name) {
+      return Status::InvalidArgument("parameter order mismatch: checkpoint has '" + name +
+                                     "', model expects '" + p->name + "'");
+    }
+    const uint64_t rank = read_u64();
+    if (rank != p->value.rank()) {
+      return Status::InvalidArgument("rank mismatch for " + name);
+    }
+    for (size_t d = 0; d < rank; ++d) {
+      if (read_u64() != static_cast<uint64_t>(p->value.dim(d))) {
+        return Status::InvalidArgument("shape mismatch for " + name);
+      }
+    }
+    file.read(reinterpret_cast<char*>(p->value.data()),
+              static_cast<std::streamsize>(p->value.SizeBytes()));
+    if (!file) {
+      return Status::Internal("truncated checkpoint " + path);
+    }
+  }
+  return Status::Ok();
+}
+
+CheckpointManager::CheckpointManager(std::string directory)
+    : directory_(std::move(directory)) {}
+
+std::string CheckpointManager::StagePath(int stage, int64_t epoch) const {
+  return StrFormat("%s/stage%d.epoch%lld.ckpt", directory_.c_str(), stage,
+                   static_cast<long long>(epoch));
+}
+
+Status CheckpointManager::SaveStage(int stage, int64_t epoch,
+                                    const std::vector<Parameter*>& params) {
+  const std::string final_path = StagePath(stage, epoch);
+  const std::string tmp_path = final_path + ".tmp";
+  const Status status = SaveParameters(tmp_path, params);
+  if (!status.ok()) {
+    return status;
+  }
+  if (std::rename(tmp_path.c_str(), final_path.c_str()) != 0) {
+    return Status::Internal("rename failed for " + final_path);
+  }
+  return Status::Ok();
+}
+
+Status CheckpointManager::LoadStage(int stage, int64_t epoch,
+                                    const std::vector<Parameter*>& params) const {
+  return LoadParameters(StagePath(stage, epoch), params);
+}
+
+int64_t CheckpointManager::LatestCompleteEpoch(int num_stages, int64_t max_epoch) const {
+  for (int64_t epoch = max_epoch; epoch >= 0; --epoch) {
+    bool complete = true;
+    for (int s = 0; s < num_stages; ++s) {
+      std::ifstream probe(StagePath(s, epoch), std::ios::binary);
+      if (!probe) {
+        complete = false;
+        break;
+      }
+    }
+    if (complete) {
+      return epoch;
+    }
+  }
+  return -1;
+}
+
+}  // namespace pipedream

@@ -1,0 +1,42 @@
+// Per-stage checkpointing (paper §4): each stage dumps its own parameters locally at epoch
+// boundaries, with no global coordination; restart resumes from the newest epoch for which
+// *every* stage has a checkpoint.
+#ifndef SRC_RUNTIME_CHECKPOINT_H_
+#define SRC_RUNTIME_CHECKPOINT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/graph/layer.h"
+
+namespace pipedream {
+
+// Serializes parameters (names, shapes, fp32 payloads) to a single binary file.
+Status SaveParameters(const std::string& path, const std::vector<Parameter*>& params);
+
+// Restores parameters saved by SaveParameters. Names and shapes must match exactly.
+Status LoadParameters(const std::string& path, const std::vector<Parameter*>& params);
+
+class CheckpointManager {
+ public:
+  explicit CheckpointManager(std::string directory);
+
+  // Writes stage `stage`'s parameters for `epoch`. Atomic per stage (write + rename).
+  Status SaveStage(int stage, int64_t epoch, const std::vector<Parameter*>& params);
+
+  Status LoadStage(int stage, int64_t epoch, const std::vector<Parameter*>& params) const;
+
+  // Newest epoch for which all `num_stages` stage files exist; -1 if none.
+  int64_t LatestCompleteEpoch(int num_stages, int64_t max_epoch) const;
+
+  std::string StagePath(int stage, int64_t epoch) const;
+
+ private:
+  std::string directory_;
+};
+
+}  // namespace pipedream
+
+#endif  // SRC_RUNTIME_CHECKPOINT_H_

@@ -1,0 +1,96 @@
+// Thread-safe per-worker mailbox: the runtime analogue of the simulator's ready queues.
+//
+// Upstream/downstream stage workers push forward activations and backward gradients here;
+// the owning worker blocks until its scheduling policy can act. Messages carry minibatch ids
+// so 1F1B-RR routing and weight stashing can match forwards with backwards exactly.
+//
+// Wakeup protocol: every state change that could unblock the owner (a delivery, or any
+// change to external state the owner's wait predicate consults, signalled via Poke()) bumps
+// a change counter under the mailbox mutex. WaitUntil re-evaluates its predicate whenever
+// the counter moves, so wakeups cannot be lost between a predicate check and the sleep.
+#ifndef SRC_RUNTIME_MAILBOX_H_
+#define SRC_RUNTIME_MAILBOX_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+
+#include "src/schedule/work.h"
+#include "src/tensor/tensor.h"
+
+namespace pipedream {
+
+// One hop's payload. Forward messages carry activations plus the minibatch's training
+// targets (threaded through to the loss stage); backward messages carry the gradient with
+// respect to the receiving stage's output.
+struct PipeMessage {
+  int64_t minibatch = 0;
+  WorkType type = WorkType::kForward;
+  Tensor payload;
+  Tensor targets;             // forward only
+  int64_t input_version = 0;  // weight version assigned at the input stage (vertical sync)
+};
+
+class Mailbox {
+ public:
+  // Delivers a message (called from other workers' threads).
+  void Deliver(PipeMessage message) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      auto& queue = message.type == WorkType::kForward ? forward_ : backward_;
+      queue.emplace(message.minibatch, std::move(message));
+      ++change_count_;
+    }
+    cv_.notify_one();
+  }
+
+  // Signals that external state consulted by the owner's wait predicate changed (flush
+  // barriers, stop flags, admission tokens). Must be called *after* that state is visible.
+  void Poke() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++change_count_;
+    }
+    cv_.notify_one();
+  }
+
+  // Removes and returns the lowest-minibatch-id message of the given type, if any.
+  std::optional<PipeMessage> Take(WorkType type) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto& queue = type == WorkType::kForward ? forward_ : backward_;
+    if (queue.empty()) {
+      return std::nullopt;
+    }
+    PipeMessage message = std::move(queue.begin()->second);
+    queue.erase(queue.begin());
+    return message;
+  }
+
+  // Blocks until predicate(forward_count, backward_count) returns true. The predicate runs
+  // with the mailbox locked; it may also read external state, provided every writer of that
+  // state calls Poke() afterwards.
+  template <typename Predicate>
+  void WaitUntil(Predicate predicate) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+      if (predicate(static_cast<int>(forward_.size()), static_cast<int>(backward_.size()))) {
+        return;
+      }
+      const uint64_t seen = change_count_;
+      cv_.wait(lock, [&] { return change_count_ != seen; });
+    }
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::map<int64_t, PipeMessage> forward_;
+  std::map<int64_t, PipeMessage> backward_;
+  uint64_t change_count_ = 0;
+};
+
+}  // namespace pipedream
+
+#endif  // SRC_RUNTIME_MAILBOX_H_

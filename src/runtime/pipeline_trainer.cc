@@ -1,0 +1,526 @@
+#include "src/runtime/pipeline_trainer.h"
+
+#include <chrono>
+#include <numeric>
+#include <thread>
+
+#include "src/common/logging.h"
+#include "src/runtime/checkpoint.h"
+#include "src/tensor/ops.h"
+
+namespace pipedream {
+namespace {
+
+double NowSeconds() {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Flattens [B, T] sequence targets to the [B*T] layout per-token losses expect.
+Tensor FlattenTargets(const Tensor& targets) {
+  if (targets.rank() <= 1) {
+    return targets;
+  }
+  return targets.Reshaped({targets.numel()});
+}
+
+}  // namespace
+
+// One stage replica: the runtime equivalent of a GPU worker.
+struct PipelineTrainer::StageRuntime {
+  // --- static configuration
+  PipelineTrainer* trainer = nullptr;
+  int stage = 0;
+  int replica = 0;
+  int stage_replicas = 1;
+  bool is_input = false;
+  bool is_output = false;
+  std::unique_ptr<Sequential> model;
+  std::vector<Parameter*> params;
+  std::unique_ptr<Optimizer> optimizer;
+  std::unique_ptr<WeightStore> weights;
+  std::unique_ptr<MinibatchLoader> loader;  // input stages only
+  GradientAllReducer* reducer = nullptr;    // replicated stages only
+  Mailbox mailbox;
+
+  // --- per-epoch state (owned by the worker thread during an epoch)
+  std::unique_ptr<SchedulingPolicy> policy;
+  int64_t epoch_begin = 0;
+  int64_t epoch_end = 0;
+  int64_t next_admission = 0;
+  int in_flight = 0;
+  int admission_cap = 1;
+  int64_t bwd_quota = 0;
+  int64_t bwd_done = 0;
+  int64_t fwd_started = 0;
+  int gpipe_round_bwd = 0;
+  std::map<int64_t, ModelContext> contexts;
+  std::map<int64_t, Tensor> recompute_inputs;  // stage inputs kept for recomputation
+  int accumulated = 0;  // backwards since the last optimizer step (gradient accumulation)
+
+  // --- metrics
+  double loss_sum = 0.0;
+  int64_t loss_count = 0;
+  int64_t peak_stash_bytes = 0;
+  int64_t peak_activation_bytes = 0;
+
+  int64_t ActivationStashBytes() const {
+    int64_t total = 0;
+    for (const auto& [mb, ctx] : contexts) {
+      total += ctx.SizeBytes();
+    }
+    for (const auto& [mb, input] : recompute_inputs) {
+      total += input.SizeBytes();
+    }
+    return total;
+  }
+
+  void PrepareEpoch(int64_t begin, int64_t end, const PipelineTrainerOptions& options,
+                    const PipelinePlan& plan);
+  void RunEpoch();
+  void DoForward(int64_t minibatch, PipeMessage message);
+  void DoBackward(PipeMessage message);
+  bool GPipeMode() const {
+    return trainer->options_.schedule != ScheduleKind::kOneFOneB;
+  }
+  int GPipeRoundSize() const {
+    return trainer->options_.schedule == ScheduleKind::kModelParallel
+               ? 1
+               : trainer->options_.gpipe_microbatches;
+  }
+};
+
+PipelineTrainer::PipelineTrainer(const Sequential& model, const PipelinePlan& plan,
+                                 const Loss* loss, const Optimizer& optimizer_prototype,
+                                 const Dataset* dataset, int64_t batch_size, uint64_t seed,
+                                 PipelineTrainerOptions options)
+    : plan_(plan),
+      loss_(loss),
+      dataset_(dataset),
+      batch_size_(batch_size),
+      seed_(seed),
+      options_(options),
+      num_model_layers_(static_cast<int>(model.size())) {
+  plan_.Validate(num_model_layers_);
+  PD_CHECK(loss != nullptr);
+  PD_CHECK(dataset != nullptr);
+  if (options_.schedule != ScheduleKind::kOneFOneB) {
+    PD_CHECK(plan_.IsStraight() || plan_.num_stages() == 1)
+        << "GPipe/model-parallel runtime requires an unreplicated pipeline";
+    // Weights do not change between a round's forward and backward passes, so versioning is
+    // unnecessary (this is exactly GPipe's correctness argument).
+    options_.weight_mode = WeightMode::kNaive;
+  }
+  if (options_.weight_mode == WeightMode::kVerticalSync) {
+    PD_CHECK(plan_.IsStraight() || plan_.num_stages() == 1)
+        << "vertical sync is implemented for straight pipelines";
+  }
+  PD_CHECK_GE(options_.accumulation_steps, 1);
+  if (options_.recompute_activations) {
+    // Recomputation re-runs the forward under the stashed weights, which requires a weight
+    // version that is pinned per minibatch.
+    PD_CHECK(options_.weight_mode != WeightMode::kNaive || options_.schedule != ScheduleKind::kOneFOneB)
+        << "recompute_activations under 1F1B requires weight stashing or vertical sync";
+  }
+
+  // Keep a pristine full copy for AssembleModel's structure.
+  template_model_ = model.Clone();
+
+  const int num_stages = plan_.num_stages();
+  stage_reducers_.resize(static_cast<size_t>(num_stages));
+  by_stage_.resize(static_cast<size_t>(num_stages));
+  if (options_.schedule != ScheduleKind::kOneFOneB) {
+    flush_barrier_ = std::make_unique<FlushBarrier>(num_stages);
+  }
+  for (int s = 0; s < num_stages; ++s) {
+    const StageAssignment& assignment = plan_.stage(s);
+    if (assignment.replicas > 1) {
+      stage_reducers_[static_cast<size_t>(s)] =
+          std::make_unique<GradientAllReducer>(assignment.replicas);
+    }
+    for (int r = 0; r < assignment.replicas; ++r) {
+      auto rt = std::make_unique<StageRuntime>();
+      rt->trainer = this;
+      rt->stage = s;
+      rt->replica = r;
+      rt->stage_replicas = assignment.replicas;
+      rt->is_input = s == 0;
+      rt->is_output = s == num_stages - 1;
+      rt->model = model.CloneSlice(static_cast<size_t>(assignment.begin_layer),
+                                   static_cast<size_t>(assignment.end_layer));
+      rt->params = rt->model->Params();
+      rt->optimizer = optimizer_prototype.CloneFresh();
+      rt->weights = std::make_unique<WeightStore>(rt->params, options_.weight_mode);
+      rt->reducer = stage_reducers_[static_cast<size_t>(s)].get();
+      if (rt->is_input) {
+        rt->loader = std::make_unique<MinibatchLoader>(dataset_, batch_size_, seed_);
+      }
+      by_stage_[static_cast<size_t>(s)].push_back(rt.get());
+      runtimes_.push_back(std::move(rt));
+    }
+  }
+}
+
+PipelineTrainer::~PipelineTrainer() = default;
+
+int64_t PipelineTrainer::batches_per_epoch() const {
+  return by_stage_[0][0]->loader->batches_per_epoch();
+}
+
+PipelineTrainer::StageRuntime* PipelineTrainer::RuntimeFor(int stage,
+                                                           int64_t minibatch) const {
+  const int r = RoundRobinReplica(minibatch, plan_.stage(stage).replicas);
+  return by_stage_[static_cast<size_t>(stage)][static_cast<size_t>(r)];
+}
+
+void PipelineTrainer::StageRuntime::PrepareEpoch(int64_t begin, int64_t end,
+                                                 const PipelineTrainerOptions& options,
+                                                 const PipelinePlan& plan) {
+  epoch_begin = begin;
+  epoch_end = end;
+  if (options.schedule == ScheduleKind::kOneFOneB) {
+    admission_cap = StartupDepth(plan, stage);
+    policy = std::make_unique<OneFOneBPolicy>(admission_cap);
+  } else {
+    admission_cap = GPipeRoundSize();
+    policy = std::make_unique<GPipePolicy>(GPipeRoundSize());
+  }
+  next_admission = begin + replica;  // this replica's round-robin share
+  in_flight = 0;
+  gpipe_round_bwd = 0;
+  bwd_done = 0;
+  fwd_started = 0;
+  bwd_quota = 0;
+  for (int64_t b = begin; b < end; ++b) {
+    if (RoundRobinReplica(b, stage_replicas) == replica) {
+      ++bwd_quota;
+    }
+  }
+  contexts.clear();
+  recompute_inputs.clear();
+  accumulated = 0;
+}
+
+void PipelineTrainer::StageRuntime::RunEpoch() {
+  while (bwd_done < bwd_quota) {
+    std::optional<WorkType> action;
+    mailbox.WaitUntil([&](int fwd_count, int bwd_count) {
+      int ready_fwd = fwd_count;
+      if (is_input) {
+        bool admit = next_admission < epoch_end && in_flight < admission_cap;
+        if (GPipeMode()) {
+          // Admit only the current flush round's microbatches.
+          const int64_t round = (next_admission - epoch_begin) / GPipeRoundSize();
+          const int64_t done_rounds = bwd_done / GPipeRoundSize();
+          admit = next_admission < epoch_end && round <= done_rounds;
+        }
+        ready_fwd = admit ? 1 : 0;
+      }
+      const bool exhausted = is_input ? next_admission >= epoch_end : fwd_started == bwd_quota;
+      action = policy->Decide(ready_fwd, bwd_count, exhausted);
+      return action.has_value();
+    });
+    PD_CHECK(action.has_value());
+
+    if (*action == WorkType::kForward) {
+      PipeMessage message;
+      int64_t minibatch;
+      if (is_input) {
+        minibatch = next_admission;
+        next_admission += stage_replicas;
+        ++in_flight;
+        loader->BatchAt(minibatch, &message.payload, &message.targets);
+        message.input_version = weights->version();
+      } else {
+        std::optional<PipeMessage> taken = mailbox.Take(WorkType::kForward);
+        PD_CHECK(taken.has_value());
+        minibatch = taken->minibatch;
+        message = std::move(*taken);
+      }
+      policy->OnStarted(WorkType::kForward);
+      ++fwd_started;
+      DoForward(minibatch, std::move(message));
+    } else {
+      std::optional<PipeMessage> taken = mailbox.Take(WorkType::kBackward);
+      PD_CHECK(taken.has_value());
+      policy->OnStarted(WorkType::kBackward);
+      DoBackward(std::move(*taken));
+    }
+  }
+}
+
+void PipelineTrainer::StageRuntime::DoForward(int64_t minibatch, PipeMessage message) {
+  weights->BeginForward(minibatch, message.input_version);
+  Tensor out;
+  if (trainer->options_.recompute_activations) {
+    // Keep only the stage input; the full context is rebuilt at backward time under the
+    // same (stashed) weights.
+    ModelContext scratch;
+    out = model->Forward(message.payload, &scratch, /*training=*/true);
+    recompute_inputs[minibatch] = message.payload;
+  } else {
+    ModelContext& ctx = contexts[minibatch];
+    out = model->Forward(message.payload, &ctx, /*training=*/true);
+  }
+  weights->EndForward(minibatch);
+  peak_stash_bytes = std::max(peak_stash_bytes, weights->StashBytes());
+  peak_activation_bytes = std::max(peak_activation_bytes, ActivationStashBytes());
+
+  if (is_output) {
+    // Compute the loss locally; the backward pass becomes ready immediately.
+    Tensor grad;
+    const double loss_value =
+        trainer->loss_->Compute(out, FlattenTargets(message.targets), &grad);
+    loss_sum += loss_value;
+    ++loss_count;
+    PipeMessage backward;
+    backward.minibatch = minibatch;
+    backward.type = WorkType::kBackward;
+    backward.payload = std::move(grad);
+    mailbox.Deliver(std::move(backward));
+  } else {
+    PipeMessage forward;
+    forward.minibatch = minibatch;
+    forward.type = WorkType::kForward;
+    forward.payload = std::move(out);
+    forward.targets = std::move(message.targets);
+    forward.input_version = message.input_version;
+    trainer->RuntimeFor(stage + 1, minibatch)->mailbox.Deliver(std::move(forward));
+  }
+}
+
+void PipelineTrainer::StageRuntime::DoBackward(PipeMessage message) {
+  const int64_t minibatch = message.minibatch;
+
+  weights->BeginBackward(minibatch);
+  ModelContext recomputed;
+  ModelContext* ctx;
+  if (trainer->options_.recompute_activations) {
+    const auto input_it = recompute_inputs.find(minibatch);
+    PD_CHECK(input_it != recompute_inputs.end())
+        << "backward for minibatch " << minibatch << " without a stashed input";
+    // Rebuild the activation stash with the stashed weights already swapped in — the
+    // recomputed forward is bit-identical to the original for deterministic layers.
+    model->Forward(input_it->second, &recomputed, /*training=*/true);
+    peak_activation_bytes =
+        std::max(peak_activation_bytes, ActivationStashBytes() + recomputed.SizeBytes());
+    recompute_inputs.erase(input_it);
+    ctx = &recomputed;
+  } else {
+    const auto ctx_it = contexts.find(minibatch);
+    PD_CHECK(ctx_it != contexts.end())
+        << "backward for minibatch " << minibatch << " without a stashed forward context";
+    ctx = &ctx_it->second;
+  }
+  const bool gpipe = GPipeMode();
+  const int accumulation = trainer->options_.accumulation_steps;
+  if (!gpipe) {
+    if (accumulated == 0) {
+      model->ZeroGrads();
+    }
+  } else if (gpipe_round_bwd == 0) {
+    model->ZeroGrads();  // gradients aggregate across the round's microbatches
+  }
+  Tensor grad_in = model->Backward(message.payload, ctx);
+  contexts.erase(minibatch);
+  weights->EndBackward(minibatch);
+
+  if (!gpipe) {
+    if (++accumulated >= accumulation) {
+      if (accumulation > 1) {
+        const float inv = 1.0f / static_cast<float>(accumulation);
+        for (Parameter* p : params) {
+          Scale(&p->grad, inv);
+        }
+      }
+      if (reducer != nullptr) {
+        reducer->AllReduce(params);
+      }
+      optimizer->Step(params);
+      weights->CommitUpdate();
+      accumulated = 0;
+    }
+  } else {
+    ++gpipe_round_bwd;
+    const int64_t remaining = epoch_end - (minibatch - minibatch % GPipeRoundSize());
+    const int round_size = static_cast<int>(std::min<int64_t>(GPipeRoundSize(), remaining));
+    if (gpipe_round_bwd == round_size) {
+      // End of round: apply the aggregated update, then wait at the pipeline flush.
+      const float inv = 1.0f / static_cast<float>(round_size);
+      for (Parameter* p : params) {
+        Scale(&p->grad, inv);
+      }
+      optimizer->Step(params);
+      weights->CommitUpdate();
+      gpipe_round_bwd = 0;
+      ++bwd_done;  // count before blocking so quotas stay consistent
+      if (stage > 0) {
+        trainer->RuntimeFor(stage - 1, minibatch)->mailbox.Deliver(PipeMessage{
+            minibatch, WorkType::kBackward, std::move(grad_in), Tensor(), 0});
+      } else {
+        --in_flight;
+      }
+      trainer->flush_barrier_->Arrive();
+      static_cast<GPipePolicy*>(policy.get())->OnFlushComplete();
+      mailbox.Poke();
+      return;
+    }
+  }
+
+  ++bwd_done;
+  if (stage > 0) {
+    PipeMessage backward;
+    backward.minibatch = minibatch;
+    backward.type = WorkType::kBackward;
+    backward.payload = std::move(grad_in);
+    trainer->RuntimeFor(stage - 1, minibatch)->mailbox.Deliver(std::move(backward));
+  } else {
+    --in_flight;
+  }
+}
+
+namespace {
+
+int64_t Lcm(int64_t a, int64_t b) { return a / std::gcd(a, b) * b; }
+
+}  // namespace
+
+EpochStats PipelineTrainer::TrainEpoch() {
+  // Replicated stages synchronize gradients in rounds of `replicas` minibatches, and GPipe
+  // flushes in rounds of `microbatches`; an epoch must be a whole number of every such round
+  // or the last collective would wait forever. Truncate to the least common multiple (the
+  // dropped tail batches are few and deterministic).
+  int64_t round = 1;
+  for (const StageAssignment& stage : plan_.stages()) {
+    round = Lcm(round, stage.replicas);
+  }
+  if (options_.schedule == ScheduleKind::kGPipe) {
+    round = Lcm(round, options_.gpipe_microbatches);
+  }
+  const int64_t bpe = batches_per_epoch() / round * round;
+  PD_CHECK_GT(bpe, 0) << "dataset too small for one synchronization round per epoch";
+  const int64_t begin = next_global_minibatch_;
+  const int64_t end = begin + bpe;
+  PD_CHECK_GE(bpe, plan_.Noam()) << "epoch shorter than the pipeline depth";
+
+  for (auto& rt : runtimes_) {
+    rt->PrepareEpoch(begin, end, options_, plan_);
+    rt->loss_sum = 0.0;
+    rt->loss_count = 0;
+  }
+
+  const double start = NowSeconds();
+  std::vector<std::thread> threads;
+  threads.reserve(runtimes_.size());
+  for (auto& rt : runtimes_) {
+    threads.emplace_back([worker = rt.get()] { worker->RunEpoch(); });
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  const double wall = NowSeconds() - start;
+
+  EpochStats stats;
+  stats.wall_seconds = wall;
+  for (StageRuntime* rt : by_stage_.back()) {
+    stats.mean_loss += rt->loss_sum;
+    stats.minibatches += rt->loss_count;
+  }
+  if (stats.minibatches > 0) {
+    stats.mean_loss /= static_cast<double>(stats.minibatches);
+  }
+  next_global_minibatch_ = end;
+  ++epochs_completed_;
+  return stats;
+}
+
+std::unique_ptr<Sequential> PipelineTrainer::AssembleModel() const {
+  auto full = template_model_->Clone();
+  std::vector<Parameter*> full_params = full->Params();
+  size_t cursor = 0;
+  for (int s = 0; s < plan_.num_stages(); ++s) {
+    const StageRuntime* rt = by_stage_[static_cast<size_t>(s)][0];
+    for (Parameter* p : rt->params) {
+      PD_CHECK_LT(cursor, full_params.size());
+      PD_CHECK(full_params[cursor]->value.SameShape(p->value))
+          << "stage slice misaligned at parameter " << p->name;
+      full_params[cursor]->value = p->value;
+      ++cursor;
+    }
+  }
+  PD_CHECK_EQ(cursor, full_params.size());
+  return full;
+}
+
+double PipelineTrainer::EvaluateAccuracy(const Dataset& eval, int64_t eval_batch) const {
+  auto model = AssembleModel();
+  MinibatchLoader loader(&eval, eval_batch, /*seed=*/1);
+  Tensor x;
+  Tensor y;
+  double correct_weighted = 0.0;
+  const int64_t batches = loader.batches_per_epoch();
+  for (int64_t b = 0; b < batches; ++b) {
+    loader.BatchAt(b, &x, &y);
+    ModelContext ctx;
+    const Tensor out = model->Forward(x, &ctx, /*training=*/false);
+    correct_weighted += Accuracy(out, FlattenTargets(y));
+  }
+  return batches > 0 ? correct_weighted / static_cast<double>(batches) : 0.0;
+}
+
+double PipelineTrainer::EvaluateLoss(const Dataset& eval, int64_t eval_batch) const {
+  auto model = AssembleModel();
+  MinibatchLoader loader(&eval, eval_batch, /*seed=*/1);
+  Tensor x;
+  Tensor y;
+  Tensor grad;
+  double total = 0.0;
+  const int64_t batches = loader.batches_per_epoch();
+  for (int64_t b = 0; b < batches; ++b) {
+    loader.BatchAt(b, &x, &y);
+    ModelContext ctx;
+    const Tensor out = model->Forward(x, &ctx, /*training=*/false);
+    total += loss_->Compute(out, FlattenTargets(y), &grad);
+  }
+  return batches > 0 ? total / static_cast<double>(batches) : 0.0;
+}
+
+Status PipelineTrainer::SaveCheckpoint(CheckpointManager* manager, int64_t epoch) const {
+  for (int s = 0; s < plan_.num_stages(); ++s) {
+    const Status status =
+        manager->SaveStage(s, epoch, by_stage_[static_cast<size_t>(s)][0]->params);
+    if (!status.ok()) {
+      return status;
+    }
+  }
+  return Status::Ok();
+}
+
+Status PipelineTrainer::LoadCheckpoint(const CheckpointManager& manager, int64_t epoch) {
+  for (int s = 0; s < plan_.num_stages(); ++s) {
+    for (StageRuntime* rt : by_stage_[static_cast<size_t>(s)]) {
+      const Status status = manager.LoadStage(s, epoch, rt->params);
+      if (!status.ok()) {
+        return status;
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+const RunningStat& PipelineTrainer::StageStaleness(int stage) const {
+  PD_CHECK(stage >= 0 && stage < plan_.num_stages());
+  return by_stage_[static_cast<size_t>(stage)][0]->weights->staleness();
+}
+
+int64_t PipelineTrainer::StagePeakStashBytes(int stage) const {
+  PD_CHECK(stage >= 0 && stage < plan_.num_stages());
+  return by_stage_[static_cast<size_t>(stage)][0]->peak_stash_bytes;
+}
+
+int64_t PipelineTrainer::StagePeakActivationBytes(int stage) const {
+  PD_CHECK(stage >= 0 && stage < plan_.num_stages());
+  return by_stage_[static_cast<size_t>(stage)][0]->peak_activation_bytes;
+}
+
+}  // namespace pipedream

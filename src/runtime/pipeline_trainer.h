@@ -1,0 +1,119 @@
+// Multi-threaded pipeline-parallel training runtime.
+//
+// One OS thread per stage replica plays the role of a GPU worker: it owns a deep copy of its
+// stage's layers, an optimizer, a versioned weight store, and a 1F1B (or GPipe) scheduling
+// policy, and exchanges activations/gradients with neighbouring stages through mailboxes.
+// This is the real-numerics counterpart of the cluster simulator: identical minibatch
+// streams can be trained under 1F1B + weight stashing, naive pipelining, vertical sync,
+// GPipe, or BSP data parallelism (a single replicated stage), making statistical-efficiency
+// comparisons (paper §5.2, Figures 11/13) apples-to-apples.
+#ifndef SRC_RUNTIME_PIPELINE_TRAINER_H_
+#define SRC_RUNTIME_PIPELINE_TRAINER_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/data/loader.h"
+#include "src/graph/loss.h"
+#include "src/graph/models.h"
+#include "src/graph/sequential.h"
+#include "src/optim/optimizer.h"
+#include "src/planner/plan.h"
+#include "src/runtime/allreduce.h"
+#include "src/runtime/mailbox.h"
+#include "src/runtime/weight_store.h"
+#include "src/schedule/policy.h"
+#include "src/simexec/pipeline_sim.h"
+
+namespace pipedream {
+
+struct PipelineTrainerOptions {
+  ScheduleKind schedule = ScheduleKind::kOneFOneB;
+  WeightMode weight_mode = WeightMode::kStashing;
+  int gpipe_microbatches = 4;  // round size for ScheduleKind::kGPipe
+  // Activation recomputation (§3.3 / Chen et al.): stash only each minibatch's stage *input*
+  // and re-run the forward pass (under the stashed weights) just before the backward,
+  // trading compute for activation memory. Identical gradients for deterministic layers;
+  // incompatible with Dropout (whose mask would be redrawn).
+  bool recompute_activations = false;
+  // Gradient accumulation (§3.3's "gradient aggregation"): apply the optimizer every
+  // `accumulation_steps` minibatches with the summed gradients scaled by 1/steps, reducing
+  // update frequency (and replica sync frequency) without changing the data stream.
+  int accumulation_steps = 1;
+};
+
+struct EpochStats {
+  double mean_loss = 0.0;
+  int64_t minibatches = 0;
+  double wall_seconds = 0.0;
+};
+
+class PipelineTrainer {
+ public:
+  // `model` is the full network; each stage replica receives a deep copy of its layer slice
+  // (replicas therefore start from identical weights). `optimizer_prototype` is cloned per
+  // replica. The dataset and loss must outlive the trainer.
+  PipelineTrainer(const Sequential& model, const PipelinePlan& plan, const Loss* loss,
+                  const Optimizer& optimizer_prototype, const Dataset* dataset,
+                  int64_t batch_size, uint64_t seed, PipelineTrainerOptions options = {});
+  ~PipelineTrainer();
+
+  PipelineTrainer(const PipelineTrainer&) = delete;
+  PipelineTrainer& operator=(const PipelineTrainer&) = delete;
+
+  // Trains one epoch (batches_per_epoch minibatches through the pipeline) and returns the
+  // mean training loss. Threads are spawned per call; weights persist across epochs.
+  EpochStats TrainEpoch();
+
+  int64_t batches_per_epoch() const;
+  int64_t epochs_completed() const { return epochs_completed_; }
+
+  // Deep copy of the full model with the current weights (replica 0 of each stage), for
+  // evaluation or checkpointing.
+  std::unique_ptr<Sequential> AssembleModel() const;
+
+  // Mean classification accuracy of the assembled model over `eval`.
+  double EvaluateAccuracy(const Dataset& eval, int64_t eval_batch) const;
+  // Mean loss of the assembled model over `eval` (e.g. for perplexity).
+  double EvaluateLoss(const Dataset& eval, int64_t eval_batch) const;
+
+  // Observed update staleness (versions between gradient computation and application) for a
+  // stage's replica 0 — validates the §3.3 staleness formulas.
+  const RunningStat& StageStaleness(int stage) const;
+  // Peak bytes of stashed weight copies observed on a stage's replica 0.
+  int64_t StagePeakStashBytes(int stage) const;
+  // Peak bytes of stashed activations (layer contexts + recompute inputs) on replica 0.
+  int64_t StagePeakActivationBytes(int stage) const;
+
+  const PipelinePlan& plan() const { return plan_; }
+
+  // Per-stage checkpointing (§4): each stage's replica-0 parameters are written for the
+  // given epoch; LoadCheckpoint restores every stage (and broadcasts to replicas).
+  Status SaveCheckpoint(class CheckpointManager* manager, int64_t epoch) const;
+  Status LoadCheckpoint(const class CheckpointManager& manager, int64_t epoch);
+
+ private:
+  struct StageRuntime;  // one per stage replica; defined in the .cc
+
+  StageRuntime* RuntimeFor(int stage, int64_t minibatch) const;
+
+  PipelinePlan plan_;
+  std::unique_ptr<Sequential> template_model_;  // pristine structure for AssembleModel
+  const Loss* loss_;
+  const Dataset* dataset_;
+  int64_t batch_size_;
+  uint64_t seed_;
+  PipelineTrainerOptions options_;
+  int num_model_layers_;
+
+  std::vector<std::unique_ptr<StageRuntime>> runtimes_;           // flattened
+  std::vector<std::vector<StageRuntime*>> by_stage_;              // [stage][replica]
+  std::vector<std::unique_ptr<GradientAllReducer>> stage_reducers_;
+  std::unique_ptr<FlushBarrier> flush_barrier_;                   // GPipe only
+  int64_t epochs_completed_ = 0;
+  int64_t next_global_minibatch_ = 0;
+};
+
+}  // namespace pipedream
+
+#endif  // SRC_RUNTIME_PIPELINE_TRAINER_H_

@@ -1,0 +1,179 @@
+#include "src/runtime/weight_store.h"
+
+#include <algorithm>
+
+namespace pipedream {
+
+const char* WeightModeName(WeightMode mode) {
+  switch (mode) {
+    case WeightMode::kNaive:
+      return "naive";
+    case WeightMode::kStashing:
+      return "stashing";
+    case WeightMode::kVerticalSync:
+      return "vertical_sync";
+  }
+  return "?";
+}
+
+WeightStore::WeightStore(std::vector<Parameter*> params, WeightMode mode)
+    : params_(std::move(params)), mode_(mode) {
+  if (mode_ == WeightMode::kVerticalSync) {
+    snapshots_[0] = CopyParams();  // version 0: the initial weights
+  }
+}
+
+std::vector<Tensor> WeightStore::CopyParams() const {
+  std::vector<Tensor> out;
+  out.reserve(params_.size());
+  for (const Parameter* p : params_) {
+    out.push_back(p->value);
+  }
+  return out;
+}
+
+void WeightStore::LoadParams(const std::vector<Tensor>& values) {
+  PD_CHECK_EQ(values.size(), params_.size());
+  for (size_t i = 0; i < params_.size(); ++i) {
+    params_[i]->value = values[i];
+  }
+}
+
+void WeightStore::BeginForward(int64_t minibatch, int64_t input_version) {
+  switch (mode_) {
+    case WeightMode::kNaive:
+      return;
+    case WeightMode::kStashing:
+      // Forward uses the latest weights as-is; the stash is taken in EndForward.
+      stashes_[minibatch].version = version_;
+      return;
+    case WeightMode::kVerticalSync: {
+      const auto it = snapshots_.find(input_version);
+      PD_CHECK(it != snapshots_.end())
+          << "vertical sync: version " << input_version << " not retained (have "
+          << snapshots_.size() << " snapshots, local version " << version_ << ")";
+      PD_CHECK(!swapped_);
+      latest_ = CopyParams();
+      LoadParams(it->second);
+      swapped_ = true;
+      Stash& stash = stashes_[minibatch];
+      stash.version = input_version;
+      ++snapshot_refs_[input_version];
+      // Labels are assigned monotonically at the input stage, so no future minibatch can
+      // reference a version older than this one.
+      last_seen_label_ = std::max(last_seen_label_, input_version);
+      return;
+    }
+  }
+}
+
+void WeightStore::EndForward(int64_t minibatch) {
+  switch (mode_) {
+    case WeightMode::kNaive:
+      return;
+    case WeightMode::kStashing: {
+      Stash& stash = stashes_[minibatch];
+      stash.values = CopyParams();
+      return;
+    }
+    case WeightMode::kVerticalSync:
+      PD_CHECK(swapped_);
+      LoadParams(latest_);
+      latest_.clear();
+      swapped_ = false;
+      return;
+  }
+}
+
+int64_t WeightStore::BeginBackward(int64_t minibatch) {
+  switch (mode_) {
+    case WeightMode::kNaive:
+      pending_backward_version_ = version_;
+      return version_;
+    case WeightMode::kStashing: {
+      const auto it = stashes_.find(minibatch);
+      PD_CHECK(it != stashes_.end()) << "backward for unstashed minibatch " << minibatch;
+      PD_CHECK(!swapped_);
+      if (it->second.version != version_) {
+        // Weights advanced since this minibatch's forward: swap the stashed version in.
+        latest_ = CopyParams();
+        LoadParams(it->second.values);
+        swapped_ = true;
+      }
+      pending_backward_version_ = it->second.version;
+      return it->second.version;
+    }
+    case WeightMode::kVerticalSync: {
+      const auto it = stashes_.find(minibatch);
+      PD_CHECK(it != stashes_.end()) << "backward for unstashed minibatch " << minibatch;
+      const auto snap = snapshots_.find(it->second.version);
+      PD_CHECK(snap != snapshots_.end());
+      PD_CHECK(!swapped_);
+      latest_ = CopyParams();
+      LoadParams(snap->second);
+      swapped_ = true;
+      pending_backward_version_ = it->second.version;
+      return it->second.version;
+    }
+  }
+  return version_;
+}
+
+void WeightStore::EndBackward(int64_t minibatch) {
+  if (swapped_) {
+    LoadParams(latest_);
+    latest_.clear();
+    swapped_ = false;
+  }
+  if (mode_ == WeightMode::kVerticalSync) {
+    const auto it = stashes_.find(minibatch);
+    PD_CHECK(it != stashes_.end());
+    const int64_t v = it->second.version;
+    if (--snapshot_refs_[v] == 0) {
+      snapshot_refs_.erase(v);
+      // Retain every version a future minibatch could still name: labels are monotone, so
+      // anything older than both the oldest live reference and the newest label seen so far
+      // is unreachable.
+      const int64_t min_ref =
+          snapshot_refs_.empty() ? last_seen_label_ : snapshot_refs_.begin()->first;
+      const int64_t min_keep = std::min(min_ref, last_seen_label_);
+      for (auto s = snapshots_.begin(); s != snapshots_.end();) {
+        if (s->first < min_keep && snapshot_refs_.find(s->first) == snapshot_refs_.end()) {
+          s = snapshots_.erase(s);
+        } else {
+          ++s;
+        }
+      }
+    }
+  }
+  stashes_.erase(minibatch);
+}
+
+void WeightStore::CommitUpdate() {
+  PD_CHECK(!swapped_) << "update committed while stashed weights are swapped in";
+  if (pending_backward_version_ >= 0) {
+    staleness_.Add(static_cast<double>(version_ - pending_backward_version_));
+    pending_backward_version_ = -1;
+  }
+  ++version_;
+  if (mode_ == WeightMode::kVerticalSync) {
+    snapshots_[version_] = CopyParams();
+  }
+}
+
+int64_t WeightStore::StashBytes() const {
+  int64_t total = 0;
+  for (const auto& [mb, stash] : stashes_) {
+    for (const Tensor& t : stash.values) {
+      total += t.SizeBytes();
+    }
+  }
+  for (const auto& [v, values] : snapshots_) {
+    for (const Tensor& t : values) {
+      total += t.SizeBytes();
+    }
+  }
+  return total;
+}
+
+}  // namespace pipedream

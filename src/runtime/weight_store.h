@@ -1,0 +1,99 @@
+// Weight versioning for pipeline-parallel training (paper §3.3).
+//
+// Modes:
+//   kNaive        — no versioning. Forward and backward both use whatever the parameters are
+//                   at that moment, so a minibatch's backward generally runs against weights
+//                   that already absorbed other minibatches' updates — the "invalid
+//                   gradients" baseline the paper warns about.
+//   kStashing     — weight stashing: the forward pass uses the latest weights and stashes a
+//                   copy; the matching backward swaps the stash back in, so the gradient is a
+//                   valid gradient of the loss at the stashed weights.
+//   kVerticalSync — additionally pins the version *across* stages: each minibatch carries the
+//                   input stage's version number, and every stage runs both passes with its
+//                   own snapshot of that version.
+//
+// The store wraps a stage replica's parameters in place: callers bracket passes with
+// BeginForward/EndForward and BeginBackward/EndBackward, and call CommitUpdate after each
+// optimizer step.
+#ifndef SRC_RUNTIME_WEIGHT_STORE_H_
+#define SRC_RUNTIME_WEIGHT_STORE_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "src/common/stats.h"
+#include "src/graph/layer.h"
+
+namespace pipedream {
+
+enum class WeightMode {
+  kNaive,
+  kStashing,
+  kVerticalSync,
+};
+
+const char* WeightModeName(WeightMode mode);
+
+class WeightStore {
+ public:
+  WeightStore(std::vector<Parameter*> params, WeightMode mode);
+
+  WeightMode mode() const { return mode_; }
+  // Number of optimizer updates applied so far.
+  int64_t version() const { return version_; }
+
+  // Brackets the forward pass of `minibatch`. `input_version` is the version stamped by the
+  // input stage (used only by vertical sync). Under stashing, EndForward stashes the weights
+  // the forward just used.
+  void BeginForward(int64_t minibatch, int64_t input_version);
+  void EndForward(int64_t minibatch);
+
+  // Brackets the backward pass: swaps in the weights the forward of `minibatch` used and
+  // returns their version. EndBackward restores the latest weights (so the optimizer update
+  // applies to them) and releases the stash.
+  int64_t BeginBackward(int64_t minibatch);
+  void EndBackward(int64_t minibatch);
+
+  // Records that the optimizer applied one update to the (restored) latest weights.
+  void CommitUpdate();
+
+  // Bytes held by stashed weight copies (excludes the live parameters).
+  int64_t StashBytes() const;
+  size_t StashCount() const { return stashes_.size(); }
+
+  // Staleness of each applied update, in versions: version at update minus version used to
+  // compute the gradient. For a straight n-stage pipeline under stashing, stage s observes a
+  // constant staleness of n - 1 - s (the formulas of §3.3).
+  const RunningStat& staleness() const { return staleness_; }
+
+ private:
+  std::vector<Tensor> CopyParams() const;
+  void LoadParams(const std::vector<Tensor>& values);
+
+  std::vector<Parameter*> params_;
+  WeightMode mode_;
+  int64_t version_ = 0;
+
+  struct Stash {
+    std::vector<Tensor> values;
+    int64_t version = 0;
+  };
+  std::map<int64_t, Stash> stashes_;        // minibatch id -> weights used by its forward
+  std::vector<Tensor> latest_;              // current weights parked during a swapped pass
+  bool swapped_ = false;
+  int64_t pending_backward_version_ = -1;   // version used by the in-progress backward
+
+  // Vertical sync: snapshots of this stage's weights by version, plus reference counts from
+  // in-flight minibatches.
+  std::map<int64_t, std::vector<Tensor>> snapshots_;
+  std::map<int64_t, int> snapshot_refs_;
+
+  int64_t last_seen_label_ = 0;  // newest vertical-sync label observed
+
+  RunningStat staleness_;
+};
+
+}  // namespace pipedream
+
+#endif  // SRC_RUNTIME_WEIGHT_STORE_H_

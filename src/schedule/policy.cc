@@ -1,0 +1,97 @@
+#include "src/schedule/policy.h"
+
+#include "src/common/check.h"
+
+namespace pipedream {
+
+int StartupDepth(const PipelinePlan& plan, int stage) {
+  PD_CHECK(stage >= 0 && stage < plan.num_stages());
+  int downstream_workers = 0;
+  for (int s = stage; s < plan.num_stages(); ++s) {
+    downstream_workers += plan.stage(s).replicas;
+  }
+  const int replicas = plan.stage(stage).replicas;
+  return (downstream_workers + replicas - 1) / replicas;  // ceil
+}
+
+OneFOneBPolicy::OneFOneBPolicy(int startup_depth) : startup_remaining_(startup_depth) {
+  PD_CHECK_GE(startup_depth, 1);
+}
+
+std::optional<WorkType> OneFOneBPolicy::Decide(int ready_forward, int ready_backward,
+                                               bool forwards_exhausted) {
+  if (startup_remaining_ > 0) {
+    // Startup phase: fill the pipeline to this stage's depth with forwards. Backwards are
+    // taken only once the forward stream has ended (runs shorter than the pipeline depth).
+    if (ready_forward > 0) {
+      return WorkType::kForward;
+    }
+    if (forwards_exhausted && ready_backward > 0) {
+      return WorkType::kBackward;
+    }
+    return std::nullopt;
+  }
+  // Steady state: strict alternation. Waiting for the due direction (rather than running
+  // whatever is ready) makes every worker's op sequence a deterministic function of the
+  // schedule; the only exception is the drain at the end of the forward stream.
+  if (preference_ == WorkType::kBackward || forwards_exhausted) {
+    return ready_backward > 0 ? std::optional<WorkType>(WorkType::kBackward) : std::nullopt;
+  }
+  return ready_forward > 0 ? std::optional<WorkType>(WorkType::kForward) : std::nullopt;
+}
+
+void OneFOneBPolicy::OnStarted(WorkType type) {
+  if (startup_remaining_ > 0) {
+    if (type == WorkType::kForward) {
+      --startup_remaining_;
+      if (startup_remaining_ == 0) {
+        preference_ = WorkType::kBackward;  // first steady-state op is a backward
+      }
+    }
+    return;
+  }
+  if (type == preference_) {
+    preference_ =
+        preference_ == WorkType::kForward ? WorkType::kBackward : WorkType::kForward;
+  }
+}
+
+GPipePolicy::GPipePolicy(int microbatches) : microbatches_(microbatches) {
+  PD_CHECK_GE(microbatches, 1);
+}
+
+std::optional<WorkType> GPipePolicy::Decide(int ready_forward, int ready_backward,
+                                            bool forwards_exhausted) {
+  if (waiting_for_flush_) {
+    return std::nullopt;
+  }
+  if (forwards_started_ < microbatches_ && ready_forward > 0) {
+    return WorkType::kForward;
+  }
+  if (backwards_started_ < microbatches_ && ready_backward > 0) {
+    return WorkType::kBackward;
+  }
+  return std::nullopt;
+}
+
+void GPipePolicy::OnStarted(WorkType type) {
+  if (type == WorkType::kForward) {
+    PD_CHECK_LT(forwards_started_, microbatches_);
+    ++forwards_started_;
+  } else {
+    PD_CHECK_LT(backwards_started_, microbatches_);
+    ++backwards_started_;
+    if (backwards_started_ == microbatches_) {
+      waiting_for_flush_ = true;  // all microbatches done; stall for the pipeline flush
+    }
+  }
+}
+
+void GPipePolicy::OnFlushComplete() {
+  PD_CHECK(waiting_for_flush_) << "flush completed while the stage was still working";
+  forwards_started_ = 0;
+  backwards_started_ = 0;
+  waiting_for_flush_ = false;
+}
+
+}  // namespace pipedream

@@ -1,0 +1,87 @@
+// Work-scheduling policies (paper §3.2).
+//
+// A policy instance is owned by one stage replica and decides, whenever its worker is free,
+// whether to run a forward pass, a backward pass, or wait. The same objects drive both the
+// discrete-event simulator and the threaded training runtime, so the scheduling behaviour
+// being measured and the behaviour being trained with are one implementation.
+#ifndef SRC_SCHEDULE_POLICY_H_
+#define SRC_SCHEDULE_POLICY_H_
+
+#include <memory>
+#include <optional>
+
+#include "src/planner/plan.h"
+#include "src/schedule/work.h"
+
+namespace pipedream {
+
+// Startup pipeline depth for a stage: how many forward passes a replica performs before its
+// first backward, ceil(workers at or downstream of the stage / this stage's replicas).
+// For a straight pipeline this is (num_stages - stage); the input stage's depth equals NOAM.
+int StartupDepth(const PipelinePlan& plan, int stage);
+
+class SchedulingPolicy {
+ public:
+  virtual ~SchedulingPolicy() = default;
+
+  // Decides the next action given how many minibatches are ready in each direction.
+  // `forwards_exhausted` signals that no further forward work will ever arrive (end of the
+  // run), letting strict policies drain. Returning nullopt means "wait" even if some work is
+  // ready (strict alternation).
+  virtual std::optional<WorkType> Decide(int ready_forward, int ready_backward,
+                                         bool forwards_exhausted) = 0;
+
+  // Informs the policy that an op of the given type was started.
+  virtual void OnStarted(WorkType type) = 0;
+};
+
+// One-forward-one-backward (1F1B): `startup_depth` forwards first, then strict alternation
+// starting with a backward pass. Strictness makes the op sequence of every worker a pure
+// function of the schedule (the "static schedule" of §3.2) — backward passes are applied at
+// regular intervals and the activation stash is bounded by the startup depth.
+class OneFOneBPolicy : public SchedulingPolicy {
+ public:
+  explicit OneFOneBPolicy(int startup_depth);
+
+  std::optional<WorkType> Decide(int ready_forward, int ready_backward,
+                                 bool forwards_exhausted) override;
+  void OnStarted(WorkType type) override;
+
+ private:
+  int startup_remaining_;
+  WorkType preference_ = WorkType::kForward;
+};
+
+// GPipe-style scheduling (§2.2, Figure 3): run `microbatches` forwards, then the matching
+// backwards, then stall until the flush barrier releases the next round. The owner signals
+// the barrier via OnFlushComplete().
+class GPipePolicy : public SchedulingPolicy {
+ public:
+  explicit GPipePolicy(int microbatches);
+
+  std::optional<WorkType> Decide(int ready_forward, int ready_backward,
+                                 bool forwards_exhausted) override;
+  void OnStarted(WorkType type) override;
+
+  // Called when all stages finished the round and weights were updated.
+  void OnFlushComplete();
+
+  bool waiting_for_flush() const { return waiting_for_flush_; }
+
+ private:
+  int microbatches_;
+  int forwards_started_ = 0;
+  int backwards_started_ = 0;
+  bool waiting_for_flush_ = false;
+};
+
+// Non-pipelined model parallelism (§2.1, Figure 2): one minibatch in the system at a time —
+// equivalent to GPipe with a single microbatch per flush.
+class ModelParallelPolicy : public GPipePolicy {
+ public:
+  ModelParallelPolicy() : GPipePolicy(1) {}
+};
+
+}  // namespace pipedream
+
+#endif  // SRC_SCHEDULE_POLICY_H_

@@ -1,0 +1,162 @@
+#include "src/schedule/trace.h"
+
+#include <algorithm>
+#include <map>
+
+#include "src/common/strings.h"
+
+namespace pipedream {
+
+SimTime ExecutionTrace::end_time() const {
+  SimTime latest;
+  for (const TraceEvent& e : events_) {
+    latest = std::max(latest, e.end);
+  }
+  return latest;
+}
+
+Status ExecutionTrace::Validate(const PipelinePlan& plan) const {
+  const int num_stages = plan.num_stages();
+
+  // Index events by (stage, minibatch, type) and by worker.
+  std::map<std::tuple<int, int64_t, int>, const TraceEvent*> by_op;
+  std::map<int, std::vector<const TraceEvent*>> by_worker;
+  for (const TraceEvent& e : events_) {
+    const auto key = std::make_tuple(e.stage, e.minibatch, static_cast<int>(e.type));
+    if (!by_op.emplace(key, &e).second) {
+      return Status::Internal(StrFormat("duplicate %s of minibatch %lld at stage %d",
+                                        WorkTypeName(e.type),
+                                        static_cast<long long>(e.minibatch), e.stage));
+    }
+    by_worker[e.worker].push_back(&e);
+    if (e.end < e.start) {
+      return Status::Internal("event ends before it starts");
+    }
+  }
+
+  // (a) worker exclusivity.
+  for (auto& [worker, ops] : by_worker) {
+    std::sort(ops.begin(), ops.end(),
+              [](const TraceEvent* a, const TraceEvent* b) { return a->start < b->start; });
+    for (size_t i = 1; i < ops.size(); ++i) {
+      if (ops[i]->start < ops[i - 1]->end) {
+        return Status::Internal(StrFormat("worker %d runs two ops concurrently", worker));
+      }
+    }
+  }
+
+  auto find = [&](int stage, int64_t minibatch, WorkType type) -> const TraceEvent* {
+    const auto it = by_op.find(std::make_tuple(stage, minibatch, static_cast<int>(type)));
+    return it == by_op.end() ? nullptr : it->second;
+  };
+
+  for (const TraceEvent& e : events_) {
+    // (e) round-robin routing and worker-set membership.
+    const StageAssignment& stage = plan.stage(e.stage);
+    const int expected_replica = RoundRobinReplica(e.minibatch, stage.replicas);
+    const int expected_worker = stage.workers[static_cast<size_t>(expected_replica)];
+    if (e.worker != expected_worker) {
+      return Status::Internal(StrFormat(
+          "minibatch %lld at stage %d ran on worker %d; round-robin expects worker %d",
+          static_cast<long long>(e.minibatch), e.stage, e.worker, expected_worker));
+    }
+
+    if (e.type == WorkType::kForward) {
+      // (b) forward dependency on the previous stage.
+      if (e.stage > 0) {
+        const TraceEvent* upstream = find(e.stage - 1, e.minibatch, WorkType::kForward);
+        if (upstream == nullptr) {
+          return Status::Internal(StrFormat("forward %lld at stage %d has no upstream forward",
+                                            static_cast<long long>(e.minibatch), e.stage));
+        }
+        if (e.start < upstream->end) {
+          return Status::Internal(
+              StrFormat("forward %lld at stage %d starts before stage %d finished",
+                        static_cast<long long>(e.minibatch), e.stage, e.stage - 1));
+        }
+      }
+    } else {
+      // (c) backward dependency on the next stage (or own forward at the output stage).
+      const TraceEvent* dependency =
+          e.stage == num_stages - 1 ? find(e.stage, e.minibatch, WorkType::kForward)
+                                    : find(e.stage + 1, e.minibatch, WorkType::kBackward);
+      if (dependency == nullptr) {
+        return Status::Internal(StrFormat("backward %lld at stage %d has no producer",
+                                          static_cast<long long>(e.minibatch), e.stage));
+      }
+      if (e.start < dependency->end) {
+        return Status::Internal(StrFormat("backward %lld at stage %d starts too early",
+                                          static_cast<long long>(e.minibatch), e.stage));
+      }
+      // (d) forward/backward affinity — same worker must run both (weight stashing).
+      const TraceEvent* own_forward = find(e.stage, e.minibatch, WorkType::kForward);
+      if (own_forward == nullptr) {
+        return Status::Internal(StrFormat("backward %lld at stage %d without a forward",
+                                          static_cast<long long>(e.minibatch), e.stage));
+      }
+      if (own_forward->worker != e.worker) {
+        return Status::Internal(
+            StrFormat("minibatch %lld at stage %d: forward on worker %d, backward on %d",
+                      static_cast<long long>(e.minibatch), e.stage, own_forward->worker,
+                      e.worker));
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+double ExecutionTrace::WorkerUtilization(int worker) const {
+  SimTime busy;
+  SimTime first = SimTime::Max();
+  SimTime last;
+  bool any = false;
+  for (const TraceEvent& e : events_) {
+    if (e.worker != worker) {
+      continue;
+    }
+    any = true;
+    busy += e.end - e.start;
+    first = std::min(first, e.start);
+    last = std::max(last, e.end);
+  }
+  if (!any || last <= first) {
+    return 0.0;
+  }
+  return busy.ToSeconds() / (last - first).ToSeconds();
+}
+
+std::string ExecutionTrace::RenderAscii(SimTime slot, int num_workers, int max_columns) const {
+  PD_CHECK_GT(slot.nanos(), 0);
+  const int64_t columns =
+      std::min<int64_t>(max_columns, (end_time().nanos() + slot.nanos() - 1) / slot.nanos());
+  // cells[worker][column] -> token
+  std::vector<std::vector<std::string>> cells(
+      static_cast<size_t>(num_workers),
+      std::vector<std::string>(static_cast<size_t>(columns), " . "));
+  for (const TraceEvent& e : events_) {
+    if (e.worker >= num_workers) {
+      continue;
+    }
+    const int64_t c0 = e.start.nanos() / slot.nanos();
+    // A slot belongs to an op if the op covers the slot's midpoint.
+    const int64_t c1 = std::min<int64_t>(columns, (e.end.nanos() + slot.nanos() - 1) / slot.nanos());
+    for (int64_t c = c0; c < c1 && c < columns; ++c) {
+      cells[static_cast<size_t>(e.worker)][static_cast<size_t>(c)] =
+          StrFormat("%2lld%s", static_cast<long long>(e.minibatch % 100),
+                    e.type == WorkType::kForward ? " " : "*");
+    }
+  }
+  std::string out;
+  for (int w = 0; w < num_workers; ++w) {
+    out += StrFormat("worker %2d |", w);
+    for (int64_t c = 0; c < columns; ++c) {
+      out += cells[static_cast<size_t>(w)][static_cast<size_t>(c)];
+      out += '|';
+    }
+    out += '\n';
+  }
+  out += "(numbers are minibatch ids; '*' marks backward passes; '.' is idle)\n";
+  return out;
+}
+
+}  // namespace pipedream

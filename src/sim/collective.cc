@@ -1,0 +1,45 @@
+#include "src/sim/collective.h"
+
+namespace pipedream {
+
+double RingAllReduceSeconds(int64_t bytes, int m, double bandwidth_bytes_per_sec,
+                            double latency_sec) {
+  PD_CHECK_GE(m, 1);
+  PD_CHECK_GT(bandwidth_bytes_per_sec, 0.0);
+  if (m == 1) {
+    return 0.0;
+  }
+  const double factor = 2.0 * static_cast<double>(m - 1) / static_cast<double>(m);
+  const double transfer = factor * static_cast<double>(bytes) / bandwidth_bytes_per_sec;
+  const double steps = 2.0 * static_cast<double>(m - 1);
+  return transfer + steps * latency_sec;
+}
+
+double HierarchicalAllReduceSeconds(int64_t bytes, const HardwareTopology& topology, int first,
+                                    int count) {
+  if (count <= 1 || bytes == 0) {
+    return 0.0;
+  }
+  const double bandwidth = topology.BottleneckBandwidthAmong(first, count);
+  // Latency charged at the bottleneck level's figure; a refinement could mix levels, but the
+  // bandwidth term dominates for DNN-sized tensors.
+  double latency = 0.0;
+  for (int k = 1; k <= topology.num_levels(); ++k) {
+    if (topology.level(k).bandwidth_bytes_per_sec == bandwidth) {
+      latency = topology.level(k).latency_sec;
+      break;
+    }
+  }
+  return RingAllReduceSeconds(bytes, count, bandwidth, latency);
+}
+
+double PointToPointSeconds(int64_t bytes, const HardwareTopology& topology, int worker_a,
+                           int worker_b) {
+  if (worker_a == worker_b || bytes == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(bytes) / topology.BandwidthBetween(worker_a, worker_b) +
+         topology.LatencyBetween(worker_a, worker_b);
+}
+
+}  // namespace pipedream

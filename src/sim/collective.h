@@ -1,0 +1,32 @@
+// Collective-communication cost models.
+//
+// The paper (§3.1) estimates data-parallel weight synchronization assuming an efficient ring
+// all_reduce: each of m workers sends 2(m-1)/m * |w| bytes and receives the same. These
+// helpers implement that estimate, including the hierarchical-bottleneck variant used by the
+// optimizer and the Figure 1 reproduction.
+#ifndef SRC_SIM_COLLECTIVE_H_
+#define SRC_SIM_COLLECTIVE_H_
+
+#include <cstdint>
+
+#include "src/sim/topology.h"
+
+namespace pipedream {
+
+// Time for a ring all_reduce of `bytes` over `m` workers on links of `bandwidth` bytes/s.
+// m == 1 returns 0. Latency is charged per ring step (2(m-1) steps).
+double RingAllReduceSeconds(int64_t bytes, int m, double bandwidth_bytes_per_sec,
+                            double latency_sec = 0.0);
+
+// Ring all_reduce over workers [first, first+count) of a hierarchical topology: the slowest
+// link the ring must cross bounds the transfer.
+double HierarchicalAllReduceSeconds(int64_t bytes, const HardwareTopology& topology, int first,
+                                    int count);
+
+// Point-to-point transfer time between two specific workers.
+double PointToPointSeconds(int64_t bytes, const HardwareTopology& topology, int worker_a,
+                           int worker_b);
+
+}  // namespace pipedream
+
+#endif  // SRC_SIM_COLLECTIVE_H_

@@ -1,0 +1,76 @@
+// Discrete-event simulation engine: a virtual clock plus an event queue.
+#ifndef SRC_SIM_ENGINE_H_
+#define SRC_SIM_ENGINE_H_
+
+#include <cstdint>
+
+#include "src/common/sim_time.h"
+#include "src/sim/event_queue.h"
+
+namespace pipedream {
+
+class SimEngine {
+ public:
+  SimTime now() const { return now_; }
+  int64_t events_processed() const { return events_processed_; }
+
+  // Schedules a callback at an absolute virtual time (must not be in the past).
+  void ScheduleAt(SimTime at, EventQueue::Callback callback) {
+    PD_CHECK(at >= now_) << "scheduling into the past: " << at.ToString() << " < "
+                         << now_.ToString();
+    queue_.Push(at, std::move(callback));
+  }
+
+  // Schedules a callback `delay` after the current virtual time.
+  void ScheduleAfter(SimTime delay, EventQueue::Callback callback) {
+    ScheduleAt(now_ + delay, std::move(callback));
+  }
+
+  // Runs until the queue drains or the virtual clock passes `until`.
+  // Returns the number of events processed by this call.
+  int64_t Run(SimTime until = SimTime::Max()) {
+    int64_t processed = 0;
+    while (!queue_.empty() && queue_.PeekTime() <= until) {
+      SimTime at;
+      EventQueue::Callback cb = queue_.Pop(&at);
+      now_ = at;
+      cb();
+      ++processed;
+      ++events_processed_;
+    }
+    return processed;
+  }
+
+  bool idle() const { return queue_.empty(); }
+
+ private:
+  SimTime now_;
+  EventQueue queue_;
+  int64_t events_processed_ = 0;
+};
+
+// Tracks when a serially shared resource (a GPU's compute engine, a NIC's egress port) is
+// next free, serializing acquisitions in request order.
+class ResourceTimeline {
+ public:
+  // Reserves the resource for `duration` starting no earlier than `earliest`.
+  // Returns the actual start time; the resource is then busy until start + duration.
+  SimTime Acquire(SimTime earliest, SimTime duration) {
+    const SimTime start = next_free_ > earliest ? next_free_ : earliest;
+    next_free_ = start + duration;
+    busy_ += duration;
+    return start;
+  }
+
+  SimTime next_free() const { return next_free_; }
+  // Total busy time accumulated — used for utilization accounting.
+  SimTime total_busy() const { return busy_; }
+
+ private:
+  SimTime next_free_;
+  SimTime busy_;
+};
+
+}  // namespace pipedream
+
+#endif  // SRC_SIM_ENGINE_H_

@@ -1,0 +1,65 @@
+// Deterministic discrete-event queue.
+//
+// Events at equal timestamps are dispatched in insertion (FIFO) order via a monotonically
+// increasing sequence number, so simulation results never depend on heap tie-breaking.
+#ifndef SRC_SIM_EVENT_QUEUE_H_
+#define SRC_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "src/common/sim_time.h"
+
+namespace pipedream {
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  void Push(SimTime at, Callback callback) {
+    events_.push(Event{at, next_seq_++, std::move(callback)});
+  }
+
+  bool empty() const { return events_.empty(); }
+  size_t size() const { return events_.size(); }
+
+  SimTime PeekTime() const {
+    PD_CHECK(!events_.empty());
+    return events_.top().at;
+  }
+
+  // Removes and returns the earliest event's callback (FIFO among ties).
+  Callback Pop(SimTime* at) {
+    PD_CHECK(!events_.empty());
+    // std::priority_queue::top returns const&; the callback must be moved out, which is safe
+    // because the element is popped immediately after.
+    Event& top = const_cast<Event&>(events_.top());
+    *at = top.at;
+    Callback cb = std::move(top.callback);
+    events_.pop();
+    return cb;
+  }
+
+ private:
+  struct Event {
+    SimTime at;
+    uint64_t seq;
+    Callback callback;
+
+    bool operator>(const Event& other) const {
+      if (at != other.at) {
+        return at > other.at;
+      }
+      return seq > other.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> events_;
+  uint64_t next_seq_ = 0;
+};
+
+}  // namespace pipedream
+
+#endif  // SRC_SIM_EVENT_QUEUE_H_

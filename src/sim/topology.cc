@@ -1,0 +1,162 @@
+#include "src/sim/topology.h"
+
+#include "src/common/strings.h"
+
+namespace pipedream {
+namespace {
+
+constexpr double kGbps = 1e9 / 8.0;   // bits/s -> bytes/s
+constexpr double kGBps = 1e9;         // gigabytes/s -> bytes/s
+
+}  // namespace
+
+HardwareTopology::HardwareTopology(std::string name, std::vector<TopologyLevel> levels)
+    : name_(std::move(name)), levels_(std::move(levels)) {
+  PD_CHECK(!levels_.empty()) << "a topology needs at least one level";
+  for (const TopologyLevel& level : levels_) {
+    PD_CHECK_GE(level.fanout, 1);
+    PD_CHECK_GT(level.bandwidth_bytes_per_sec, 0.0);
+    num_workers_ *= level.fanout;
+  }
+}
+
+int HardwareTopology::WorkersPerComponent(int k) const {
+  PD_CHECK(k >= 0 && k <= num_levels());
+  int workers = 1;
+  for (int i = 1; i <= k; ++i) {
+    workers *= level(i).fanout;
+  }
+  return workers;
+}
+
+int HardwareTopology::SharedLevel(int worker_a, int worker_b) const {
+  PD_CHECK(worker_a >= 0 && worker_a < num_workers_);
+  PD_CHECK(worker_b >= 0 && worker_b < num_workers_);
+  if (worker_a == worker_b) {
+    return 0;
+  }
+  for (int k = 1; k <= num_levels(); ++k) {
+    const int span = WorkersPerComponent(k);
+    if (worker_a / span == worker_b / span) {
+      return k;
+    }
+  }
+  PD_CHECK(false) << "workers " << worker_a << " and " << worker_b
+                  << " share no level — inconsistent topology";
+  return -1;
+}
+
+double HardwareTopology::BandwidthBetween(int worker_a, int worker_b) const {
+  const int k = SharedLevel(worker_a, worker_b);
+  PD_CHECK_GT(k, 0) << "no link between a worker and itself";
+  return level(k).bandwidth_bytes_per_sec;
+}
+
+double HardwareTopology::LatencyBetween(int worker_a, int worker_b) const {
+  const int k = SharedLevel(worker_a, worker_b);
+  PD_CHECK_GT(k, 0);
+  return level(k).latency_sec;
+}
+
+int HardwareTopology::ContainingLevel(int first, int count) const {
+  PD_CHECK_GE(count, 1);
+  PD_CHECK(first >= 0 && first + count <= num_workers_);
+  if (count == 1) {
+    return 1;
+  }
+  for (int k = 1; k <= num_levels(); ++k) {
+    const int span = WorkersPerComponent(k);
+    if (first / span == (first + count - 1) / span) {
+      return k;
+    }
+  }
+  PD_CHECK(false) << "worker range [" << first << ", " << first + count
+                  << ") not contained in the topology";
+  return -1;
+}
+
+double HardwareTopology::BottleneckBandwidthAmong(int first, int count) const {
+  // The slowest link used is the one at the smallest level whose component contains the
+  // whole range (any collective among these workers must cross links of that level).
+  return level(ContainingLevel(first, count)).bandwidth_bytes_per_sec;
+}
+
+double HardwareTopology::EffectiveCollectiveBandwidthAmong(int first, int count) const {
+  return level(ContainingLevel(first, count)).effective_collective_bandwidth();
+}
+
+double HardwareTopology::EffectiveP2pBandwidthBetween(int worker_a, int worker_b) const {
+  const int k = SharedLevel(worker_a, worker_b);
+  PD_CHECK_GT(k, 0);
+  return level(k).effective_p2p_bandwidth();
+}
+
+std::string HardwareTopology::ToString() const {
+  std::string out = name_ + " (" + StrFormat("%d workers", num_workers_) + "):";
+  for (int k = 1; k <= num_levels(); ++k) {
+    const TopologyLevel& l = level(k);
+    out += StrFormat(" L%d[x%d @ %.2f GB/s]", k, l.fanout,
+                     l.bandwidth_bytes_per_sec / 1e9);
+  }
+  return out;
+}
+
+HardwareTopology HardwareTopology::ClusterA(int num_servers) {
+  // 4x V100 per server on a shared PCIe tree (~12 GB/s effective), 10 Gbps Ethernet across.
+  std::vector<TopologyLevel> levels;
+  levels.push_back({4, 12.0 * kGBps, 10e-6, 0.70, 0.90, /*shared_bus=*/true});
+  if (num_servers > 1) {
+    levels.push_back({num_servers, 10.0 * kGbps, 50e-6, 0.30, 0.70});
+  }
+  return HardwareTopology(StrFormat("Cluster-A(%dx4xV100,PCIe,10Gbps)", num_servers),
+                          std::move(levels));
+}
+
+HardwareTopology HardwareTopology::ClusterB(int num_servers) {
+  // 8x V100 per server with point-to-point NVLink (~25 GB/s), 25 Gbps Ethernet across.
+  std::vector<TopologyLevel> levels;
+  levels.push_back({8, 25.0 * kGBps, 5e-6, 0.80, 0.90});
+  if (num_servers > 1) {
+    levels.push_back({num_servers, 25.0 * kGbps, 50e-6, 0.30, 0.70});
+  }
+  return HardwareTopology(StrFormat("Cluster-B(%dx8xV100,NVLink,25Gbps)", num_servers),
+                          std::move(levels));
+}
+
+HardwareTopology HardwareTopology::ClusterC(int num_servers) {
+  // One Titan X per server, 40 Gbps Ethernet across — a single interconnect level.
+  std::vector<TopologyLevel> levels;
+  levels.push_back({num_servers, 40.0 * kGbps, 50e-6, 0.30, 0.70});
+  return HardwareTopology(StrFormat("Cluster-C(%dx1xTitanX,40Gbps)", num_servers),
+                          std::move(levels));
+}
+
+HardwareTopology HardwareTopology::Private1080Ti(int num_servers) {
+  std::vector<TopologyLevel> levels;
+  levels.push_back({8, 10.0 * kGBps, 10e-6, 0.70, 0.90, /*shared_bus=*/true});
+  if (num_servers > 1) {
+    levels.push_back({num_servers, 25.0 * kGbps, 50e-6, 0.30, 0.70});
+  }
+  return HardwareTopology(StrFormat("Private(%dx8x1080Ti,PCIe,25Gbps)", num_servers),
+                          std::move(levels));
+}
+
+HardwareTopology HardwareTopology::DedicatedCluster(int num_servers) {
+  std::vector<TopologyLevel> levels;
+  levels.push_back({8, 25.0 * kGBps, 5e-6, 0.80, 0.90});
+  if (num_servers > 1) {
+    // Dedicated RDMA-class fabric: far better collective efficiency than cloud TCP.
+    levels.push_back({num_servers, 100.0 * kGbps, 20e-6, 0.70, 0.85});
+  }
+  return HardwareTopology(StrFormat("Dedicated(%dx8xV100,NVLink,100Gbps)", num_servers),
+                          std::move(levels));
+}
+
+HardwareTopology HardwareTopology::Flat(int num_workers, double bandwidth_bytes_per_sec,
+                                        double latency_sec) {
+  std::vector<TopologyLevel> levels;
+  levels.push_back({num_workers, bandwidth_bytes_per_sec, latency_sec});
+  return HardwareTopology(StrFormat("Flat(%d)", num_workers), std::move(levels));
+}
+
+}  // namespace pipedream

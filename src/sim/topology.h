@@ -1,0 +1,99 @@
+// Hierarchical interconnect topology (paper §3.1, Figure 7).
+//
+// A topology is a list of levels, bottom-up. Level k groups m_k components of level k-1 and
+// connects them with links of bandwidth B_k; level 0 is a single device. Workers are numbered
+// consecutively, filling innermost groups first (workers 0..m_1-1 share the first level-1
+// group, and so on).
+#ifndef SRC_SIM_TOPOLOGY_H_
+#define SRC_SIM_TOPOLOGY_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/check.h"
+
+namespace pipedream {
+
+struct TopologyLevel {
+  int fanout = 1;                    // m_k: components of level k-1 per level-k component
+  double bandwidth_bytes_per_sec = 0;  // B_k: nominal link bandwidth at this level
+  double latency_sec = 0;            // per-message latency at this level
+  // Achieved fraction of nominal bandwidth. Collectives over TCP/Ethernet reach ~30% of
+  // line rate in practice (protocol overhead, imperfect overlap — this is what makes the
+  // paper's Figure 1 overheads as high as they are); point-to-point streams do better.
+  // NVLink/PCIe collectives are much closer to nominal.
+  double collective_efficiency = 1.0;
+  double p2p_efficiency = 1.0;
+  // True when the level's bandwidth is one shared medium (a PCIe tree through the root
+  // complex): a collective's traffic contends for the same B, costing 2(m-1)|w|/B wall.
+  // False for per-participant links (NVLink lanes, per-server NICs), where a ring overlaps
+  // transfers and costs 2(m-1)|w|/(m B).
+  bool shared_bus = false;
+
+  double effective_collective_bandwidth() const {
+    return bandwidth_bytes_per_sec * collective_efficiency;
+  }
+  double effective_p2p_bandwidth() const { return bandwidth_bytes_per_sec * p2p_efficiency; }
+};
+
+class HardwareTopology {
+ public:
+  HardwareTopology(std::string name, std::vector<TopologyLevel> levels);
+
+  const std::string& name() const { return name_; }
+  int num_levels() const { return static_cast<int>(levels_.size()); }
+  // Level k in 1..num_levels(); level(1) is the innermost interconnect.
+  const TopologyLevel& level(int k) const {
+    PD_CHECK(k >= 1 && k <= num_levels()) << "level " << k << " out of range";
+    return levels_[static_cast<size_t>(k - 1)];
+  }
+
+  int num_workers() const { return num_workers_; }
+
+  // Number of workers inside one level-k component (k = 0 means a single device).
+  int WorkersPerComponent(int k) const;
+
+  // Smallest level whose component contains both workers (1..num_levels); 0 if a == b.
+  int SharedLevel(int worker_a, int worker_b) const;
+
+  // Bandwidth / latency of the link crossed between two distinct workers (the shared level's
+  // parameters — the slowest hop on the path, which bounds the transfer).
+  double BandwidthBetween(int worker_a, int worker_b) const;
+  double LatencyBetween(int worker_a, int worker_b) const;
+  // Effective point-to-point bandwidth between two workers (nominal x p2p efficiency).
+  double EffectiveP2pBandwidthBetween(int worker_a, int worker_b) const;
+
+  // Bandwidth of the slowest level spanned when `count` consecutive workers starting at
+  // `first` must all communicate (used for replicated-stage weight sync estimates).
+  double BottleneckBandwidthAmong(int first, int count) const;
+  // Same, derated by that level's collective efficiency.
+  double EffectiveCollectiveBandwidthAmong(int first, int count) const;
+  // The level whose component is the smallest containing the whole range.
+  int ContainingLevel(int first, int count) const;
+
+  std::string ToString() const;
+
+  // --- Cluster presets matching the paper's Table 2 (plus the Figure 1 private cluster).
+  // Cluster-A: Azure NC24 v3 — 4x V100 per server on shared PCIe, 10 Gbps Ethernet across.
+  static HardwareTopology ClusterA(int num_servers);
+  // Cluster-B: AWS p3.16xlarge — 8x V100 per server with NVLink, 25 Gbps across.
+  static HardwareTopology ClusterB(int num_servers);
+  // Cluster-C: one Titan X per server, 40 Gbps across.
+  static HardwareTopology ClusterC(int num_servers);
+  // Private cluster from Figure 1a: 8x 1080Ti per server on PCIe, 25 Gbps across.
+  static HardwareTopology Private1080Ti(int num_servers);
+  // Dedicated supercomputer-style cluster (MLPerf entries, Table 3): NVLink + 100 Gbps.
+  static HardwareTopology DedicatedCluster(int num_servers);
+  // Single flat level, for unit tests and microbenchmarks.
+  static HardwareTopology Flat(int num_workers, double bandwidth_bytes_per_sec,
+                               double latency_sec = 10e-6);
+
+ private:
+  std::string name_;
+  std::vector<TopologyLevel> levels_;
+  int num_workers_ = 1;
+};
+
+}  // namespace pipedream
+
+#endif  // SRC_SIM_TOPOLOGY_H_

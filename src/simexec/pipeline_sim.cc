@@ -1,0 +1,479 @@
+#include "src/simexec/pipeline_sim.h"
+
+#include <algorithm>
+#include <memory>
+#include <set>
+
+#include "src/common/logging.h"
+#include "src/schedule/policy.h"
+#include "src/sim/engine.h"
+
+namespace pipedream {
+namespace {
+
+// Simulator for one run; holds all mutable state so SimulatePipeline stays re-entrant.
+class PipelineSimulation {
+ public:
+  PipelineSimulation(const ModelProfile& profile, const PipelinePlan& plan,
+                     const HardwareTopology& topology, const SimOptions& options)
+      : profile_(profile), plan_(plan), topology_(topology), options_(options) {
+    plan.Validate(profile.num_layers());
+    BuildStages();
+  }
+
+  SimResult Run();
+
+ private:
+  struct Replica {
+    int stage = 0;
+    int replica = 0;
+    int worker = 0;
+    std::set<int64_t> ready_forward;   // arrived activations (non-input stages)
+    std::set<int64_t> ready_backward;  // arrived gradients (or local loss at the last stage)
+    std::unique_ptr<SchedulingPolicy> policy;
+    bool busy = false;
+    int64_t next_admission = 0;  // input stage: next minibatch id in this replica's share
+    int in_flight = 0;           // input stage: admitted but not yet backward-complete
+    int admission_cap = 1;
+    int stash = 0;
+    int peak_stash = 0;
+    SimTime busy_time;
+    int64_t fwd_started = 0;
+    int64_t fwd_quota = 0;  // total forwards this replica will ever run
+    int64_t bwd_done = 0;
+    ResourceTimeline egress;  // NIC send port, serializes outgoing transfers
+  };
+
+  struct StageInfo {
+    double fwd_seconds = 0.0;
+    double bwd_seconds = 0.0;
+    int64_t weight_bytes = 0;
+    int64_t activation_bytes = 0;       // full stash per in-flight minibatch
+    int64_t boundary_out_bytes = 0;     // activation shipped to the next stage
+    double sync_seconds = 0.0;          // ring all_reduce wall time per sync round
+    int bwd_in_round = 0;               // progress toward the next weight-sync collective
+    int64_t rounds_started = 0;         // collectives launched
+    int64_t rounds_synced = 0;          // collectives finished
+    ResourceTimeline sync_timeline;
+  };
+
+  void BuildStages();
+  Replica* ReplicaFor(int stage, int64_t minibatch);
+  void TryDispatch(Replica* r);
+  void OnComplete(Replica* r, WorkType type, int64_t minibatch);
+  void SendBoundary(Replica* from, int dest_stage, int64_t minibatch, WorkType type);
+  void MaybeFlushGPipe();
+  bool IsGPipeLike() const {
+    return options_.schedule == ScheduleKind::kGPipe ||
+           options_.schedule == ScheduleKind::kModelParallel;
+  }
+  int RoundSize() const {
+    return options_.schedule == ScheduleKind::kModelParallel ? 1 : options_.gpipe_microbatches;
+  }
+
+  const ModelProfile& profile_;
+  const PipelinePlan& plan_;
+  const HardwareTopology& topology_;
+  SimOptions options_;
+
+  SimEngine engine_;
+  std::vector<StageInfo> stages_;
+  std::vector<std::vector<std::unique_ptr<Replica>>> replicas_;  // [stage][replica]
+  std::vector<Replica*> all_replicas_;
+
+  double comm_bytes_ = 0.0;
+  int64_t completed_minibatches_ = 0;
+  std::vector<SimTime> completion_times_;
+  int64_t round_bwd_done_ = 0;  // GPipe: backwards finished in the current round
+  int64_t current_round_ = 0;
+  ExecutionTrace trace_;
+};
+
+void PipelineSimulation::BuildStages() {
+  const int num_stages = plan_.num_stages();
+  if (IsGPipeLike()) {
+    PD_CHECK(plan_.IsStraight() || num_stages == 1)
+        << "GPipe/model-parallel simulation requires an unreplicated pipeline";
+  }
+  stages_.resize(static_cast<size_t>(num_stages));
+  replicas_.resize(static_cast<size_t>(num_stages));
+  for (int s = 0; s < num_stages; ++s) {
+    const StageAssignment& assignment = plan_.stage(s);
+    StageInfo& info = stages_[static_cast<size_t>(s)];
+    for (int l = assignment.begin_layer; l < assignment.end_layer; ++l) {
+      info.fwd_seconds += profile_.layers[static_cast<size_t>(l)].fwd_seconds;
+      info.bwd_seconds += profile_.layers[static_cast<size_t>(l)].bwd_seconds;
+    }
+    if (IsGPipeLike() && options_.gpipe_recompute_overhead > 0.0) {
+      info.bwd_seconds += options_.gpipe_recompute_overhead * info.fwd_seconds;
+    }
+    info.weight_bytes = profile_.ParamBytes(assignment.begin_layer, assignment.end_layer);
+    info.activation_bytes =
+        profile_.ActivationBytes(assignment.begin_layer, assignment.end_layer);
+    info.boundary_out_bytes =
+        s + 1 < num_stages ? profile_.BoundaryActivationBytes(assignment.end_layer - 1) : 0;
+    if (assignment.replicas > 1) {
+      int worst_level = 1;
+      for (size_t a = 0; a < assignment.workers.size(); ++a) {
+        for (size_t b = a + 1; b < assignment.workers.size(); ++b) {
+          worst_level = std::max(worst_level, topology_.SharedLevel(assignment.workers[a],
+                                                                    assignment.workers[b]));
+        }
+      }
+      const TopologyLevel& level = topology_.level(worst_level);
+      // All_reduce wall time for one sync round (aggregating the m replicas' gradients):
+      // ring over per-participant links, or serialized traffic on a shared bus.
+      const double divisor =
+          level.shared_bus ? 1.0 : static_cast<double>(assignment.replicas);
+      info.sync_seconds = 2.0 * static_cast<double>(assignment.replicas - 1) *
+                          static_cast<double>(info.weight_bytes) /
+                          (divisor * level.effective_collective_bandwidth());
+    }
+
+    for (int r = 0; r < assignment.replicas; ++r) {
+      auto replica = std::make_unique<Replica>();
+      replica->stage = s;
+      replica->replica = r;
+      replica->worker = assignment.workers[static_cast<size_t>(r)];
+      replica->next_admission = r;  // round-robin share of the input stream
+      for (int64_t b = r; b < options_.num_minibatches; b += assignment.replicas) {
+        ++replica->fwd_quota;
+      }
+      if (IsGPipeLike()) {
+        replica->policy = std::make_unique<GPipePolicy>(RoundSize());
+        replica->admission_cap = RoundSize();
+      } else {
+        int depth = StartupDepth(plan_, s);
+        if (options_.pipeline_depth_override > 0) {
+          depth = std::max(1, std::min(depth, options_.pipeline_depth_override - s));
+        }
+        replica->policy = std::make_unique<OneFOneBPolicy>(depth);
+        replica->admission_cap = depth;
+      }
+      all_replicas_.push_back(replica.get());
+      replicas_[static_cast<size_t>(s)].push_back(std::move(replica));
+    }
+  }
+}
+
+PipelineSimulation::Replica* PipelineSimulation::ReplicaFor(int stage, int64_t minibatch) {
+  const int r = RoundRobinReplica(minibatch, plan_.stage(stage).replicas);
+  return replicas_[static_cast<size_t>(stage)][static_cast<size_t>(r)].get();
+}
+
+void PipelineSimulation::TryDispatch(Replica* r) {
+  if (r->busy) {
+    return;
+  }
+  // Input-stage forward availability = admission control; other stages consume arrivals.
+  int ready_fwd;
+  if (r->stage == 0) {
+    const bool have_data = r->next_admission < options_.num_minibatches;
+    bool admit = have_data;
+    if (IsGPipeLike()) {
+      // Only admit microbatches of the current flush round.
+      admit = have_data && r->next_admission / RoundSize() <= current_round_;
+    } else {
+      admit = have_data && r->in_flight < r->admission_cap;
+    }
+    ready_fwd = admit ? 1 : 0;
+  } else {
+    ready_fwd = static_cast<int>(r->ready_forward.size());
+  }
+  int ready_bwd = static_cast<int>(r->ready_backward.size());
+  // BSP gating for replicated stages: at most one weight-sync collective may be outstanding,
+  // so a replica cannot run the backward of round k until round k-2's gradients finished
+  // synchronizing. This is what throttles sync-bound stages (including vanilla DP, the
+  // single-replicated-stage special case) to the all_reduce rate.
+  const StageInfo& stage_info = stages_[static_cast<size_t>(r->stage)];
+  if (ready_bwd > 0 && plan_.stage(r->stage).replicas > 1 &&
+      r->bwd_done > stage_info.rounds_synced + 1) {
+    ready_bwd = 0;
+  }
+  const bool exhausted = r->stage == 0 ? r->next_admission >= options_.num_minibatches
+                                       : r->fwd_started == r->fwd_quota;
+
+  const std::optional<WorkType> action = r->policy->Decide(ready_fwd, ready_bwd, exhausted);
+  if (!action.has_value()) {
+    return;
+  }
+
+  int64_t minibatch;
+  double duration;
+  StageInfo& stage = stages_[static_cast<size_t>(r->stage)];
+  if (*action == WorkType::kForward) {
+    if (r->stage == 0) {
+      minibatch = r->next_admission;
+      r->next_admission += plan_.stage(0).replicas;
+      ++r->in_flight;
+    } else {
+      minibatch = *r->ready_forward.begin();
+      r->ready_forward.erase(r->ready_forward.begin());
+    }
+    ++r->stash;
+    ++r->fwd_started;
+    r->peak_stash = std::max(r->peak_stash, r->stash);
+    duration = stage.fwd_seconds;
+  } else {
+    minibatch = *r->ready_backward.begin();
+    r->ready_backward.erase(r->ready_backward.begin());
+    duration = stage.bwd_seconds;
+  }
+
+  r->busy = true;
+  r->policy->OnStarted(*action);
+  const SimTime start = engine_.now();
+  const SimTime dur = SimTime::FromSeconds(duration);
+  if (options_.record_trace) {
+    trace_.Add({r->worker, r->stage, *action, minibatch, start, start + dur});
+  }
+  r->busy_time += dur;
+  engine_.ScheduleAfter(dur, [this, r, type = *action, minibatch] {
+    OnComplete(r, type, minibatch);
+  });
+}
+
+void PipelineSimulation::SendBoundary(Replica* from, int dest_stage, int64_t minibatch,
+                                      WorkType type) {
+  Replica* dest = ReplicaFor(dest_stage, minibatch);
+  const int64_t bytes = type == WorkType::kForward
+                            ? stages_[static_cast<size_t>(from->stage)].boundary_out_bytes
+                            : stages_[static_cast<size_t>(dest_stage)].boundary_out_bytes;
+  SimTime arrival = engine_.now();
+  if (bytes > 0 && from->worker != dest->worker) {
+    const double bw = topology_.EffectiveP2pBandwidthBetween(from->worker, dest->worker);
+    const double lat = topology_.LatencyBetween(from->worker, dest->worker);
+    const SimTime duration = SimTime::FromSeconds(static_cast<double>(bytes) / bw);
+    const SimTime depart = from->egress.Acquire(engine_.now(), duration);
+    arrival = depart + duration + SimTime::FromSeconds(lat);
+    comm_bytes_ += static_cast<double>(bytes);
+  }
+  engine_.ScheduleAt(arrival, [this, dest, minibatch, type] {
+    if (type == WorkType::kForward) {
+      dest->ready_forward.insert(minibatch);
+    } else {
+      dest->ready_backward.insert(minibatch);
+    }
+    TryDispatch(dest);
+  });
+}
+
+void PipelineSimulation::MaybeFlushGPipe() {
+  const int64_t round_start = current_round_ * RoundSize();
+  const int64_t round_size =
+      std::min<int64_t>(RoundSize(), options_.num_minibatches - round_start);
+  if (round_bwd_done_ < round_size * plan_.num_stages()) {
+    return;
+  }
+  // Pipeline flush: every stage applies its aggregated weight update, then the next round's
+  // microbatches may enter. Update time is negligible relative to compute and is charged 0.
+  round_bwd_done_ = 0;
+  ++current_round_;
+  for (Replica* r : all_replicas_) {
+    static_cast<GPipePolicy*>(r->policy.get())->OnFlushComplete();
+  }
+  for (Replica* r : all_replicas_) {
+    TryDispatch(r);
+  }
+}
+
+void PipelineSimulation::OnComplete(Replica* r, WorkType type, int64_t minibatch) {
+  r->busy = false;
+  StageInfo& stage = stages_[static_cast<size_t>(r->stage)];
+  const int num_stages = plan_.num_stages();
+
+  if (type == WorkType::kForward) {
+    if (r->stage + 1 < num_stages) {
+      SendBoundary(r, r->stage + 1, minibatch, WorkType::kForward);
+    } else {
+      // Output stage: the loss gradient is local; the backward is immediately ready.
+      r->ready_backward.insert(minibatch);
+    }
+  } else {
+    --r->stash;
+    ++r->bwd_done;
+    if (r->stage > 0) {
+      SendBoundary(r, r->stage - 1, minibatch, WorkType::kBackward);
+    } else {
+      --r->in_flight;
+      ++completed_minibatches_;
+      completion_times_.push_back(engine_.now());
+    }
+    // Replicated-stage weight synchronization: one collective per round of `replicas`
+    // backwards, overlapped with compute (wait-free), serialized on the stage's collective
+    // engine.
+    const int replicas = plan_.stage(r->stage).replicas;
+    if (replicas > 1) {
+      if (++stage.bwd_in_round == replicas) {
+        stage.bwd_in_round = 0;
+        ++stage.rounds_started;
+        const SimTime start = stage.sync_timeline.Acquire(
+            engine_.now(), SimTime::FromSeconds(stage.sync_seconds));
+        comm_bytes_ += 2.0 * static_cast<double>(replicas - 1) *
+                       static_cast<double>(stage.weight_bytes);
+        StageInfo* stage_ptr = &stage;
+        const int stage_index = r->stage;
+        engine_.ScheduleAt(start + SimTime::FromSeconds(stage.sync_seconds),
+                           [this, stage_ptr, stage_index] {
+                             ++stage_ptr->rounds_synced;
+                             for (auto& replica : replicas_[static_cast<size_t>(stage_index)]) {
+                               TryDispatch(replica.get());
+                             }
+                           });
+      }
+    }
+    if (IsGPipeLike()) {
+      ++round_bwd_done_;
+      MaybeFlushGPipe();
+    }
+  }
+  TryDispatch(r);
+}
+
+SimResult PipelineSimulation::Run() {
+  for (Replica* r : all_replicas_) {
+    TryDispatch(r);
+  }
+  engine_.Run();
+  PD_CHECK_EQ(completed_minibatches_, options_.num_minibatches)
+      << "simulation deadlocked: " << completed_minibatches_ << " of "
+      << options_.num_minibatches << " minibatches completed";
+
+  SimResult result;
+  // Account trailing weight-sync collectives into the makespan.
+  SimTime end = engine_.now();
+  for (StageInfo& s : stages_) {
+    end = std::max(end, s.sync_timeline.next_free());
+  }
+  result.total_seconds = end.ToSeconds();
+
+  // Steady-state throughput over the back half of the run (skips pipeline fill).
+  const size_t n = completion_times_.size();
+  if (n >= 4) {
+    const size_t half = n / 2;
+    const double window =
+        (completion_times_[n - 1] - completion_times_[half - 1]).ToSeconds();
+    if (window > 0.0) {
+      result.throughput_samples_per_sec = static_cast<double>(n - half) *
+                                          static_cast<double>(profile_.minibatch_size) /
+                                          window;
+    }
+  }
+  if (result.throughput_samples_per_sec == 0.0 && result.total_seconds > 0.0) {
+    result.throughput_samples_per_sec =
+        static_cast<double>(options_.num_minibatches) *
+        static_cast<double>(profile_.minibatch_size) / result.total_seconds;
+  }
+  result.comm_bytes_total = comm_bytes_;
+
+  const int max_worker = topology_.num_workers();
+  result.worker_utilization.assign(static_cast<size_t>(max_worker), 0.0);
+  result.worker_peak_memory.assign(static_cast<size_t>(max_worker), 0);
+  result.stage_peak_stash.assign(static_cast<size_t>(plan_.num_stages()), 0);
+  for (Replica* r : all_replicas_) {
+    if (result.total_seconds > 0.0) {
+      result.worker_utilization[static_cast<size_t>(r->worker)] =
+          r->busy_time.ToSeconds() / result.total_seconds;
+    }
+    const StageInfo& stage = stages_[static_cast<size_t>(r->stage)];
+    // Weight versions: current + gradient + (stash) stashed copies under weight stashing;
+    // GPipe keeps a single version (updates only at flushes).
+    const int64_t weight_copies = IsGPipeLike() ? 2 : 2 + std::max(0, r->peak_stash - 1);
+    int64_t activation_footprint;
+    if (IsGPipeLike() && options_.gpipe_discard_activations) {
+      // Only boundary inputs are stashed; one full activation set materializes during the
+      // recomputed backward.
+      const int64_t boundary = r->stage > 0
+                                   ? profile_.BoundaryActivationBytes(
+                                         plan_.stage(r->stage).begin_layer - 1)
+                                   : 0;
+      activation_footprint = boundary * r->peak_stash + stage.activation_bytes;
+    } else {
+      activation_footprint = stage.activation_bytes * r->peak_stash;
+    }
+    const int64_t memory = stage.weight_bytes * weight_copies + activation_footprint;
+    result.worker_peak_memory[static_cast<size_t>(r->worker)] = memory;
+    result.stage_peak_stash[static_cast<size_t>(r->stage)] =
+        std::max(result.stage_peak_stash[static_cast<size_t>(r->stage)], r->peak_stash);
+  }
+  result.trace = std::move(trace_);
+  return result;
+}
+
+}  // namespace
+
+SimResult SimulatePipeline(const ModelProfile& profile, const PipelinePlan& plan,
+                           const HardwareTopology& topology, const SimOptions& options) {
+  PipelineSimulation sim(profile, plan, topology, options);
+  return sim.Run();
+}
+
+DataParallelResult SimulateDataParallelBsp(const ModelProfile& profile,
+                                           const HardwareTopology& topology, int workers) {
+  PD_CHECK_GE(workers, 1);
+  PD_CHECK_LE(workers, topology.num_workers());
+  DataParallelResult result;
+  const int n = profile.num_layers();
+  double compute = 0.0;
+  for (const LayerProfile& l : profile.layers) {
+    compute += l.total_seconds();
+  }
+  result.compute_seconds = compute;
+  if (workers == 1) {
+    result.iteration_seconds = compute;
+    result.throughput_samples_per_sec =
+        static_cast<double>(profile.minibatch_size) / compute;
+    return result;
+  }
+
+  // Per-layer all_reduce cost over the hierarchy, NCCL-style: a reduce phase inside each
+  // level (engaging n_k components) per level, each at that level's effective collective
+  // bandwidth. Wait-free backprop: layer l's gradient chunk becomes ready when its backward
+  // finishes; chunks serialize on the NIC. Forward runs first, then backwards from the last
+  // layer down.
+  auto allreduce_seconds = [&](int64_t bytes) {
+    double total = 0.0;
+    for (int k = 1; k <= topology.num_levels(); ++k) {
+      const int below = topology.WorkersPerComponent(k - 1);
+      const int engaged = std::min(topology.level(k).fanout, (workers + below - 1) / below);
+      if (engaged <= 1) {
+        continue;
+      }
+      const double divisor =
+          topology.level(k).shared_bus ? 1.0 : static_cast<double>(engaged);
+      total += 2.0 * static_cast<double>(engaged - 1) / divisor * static_cast<double>(bytes) /
+               topology.level(k).effective_collective_bandwidth();
+    }
+    return total;
+  };
+  double fwd_total = 0.0;
+  for (const LayerProfile& l : profile.layers) {
+    fwd_total += l.fwd_seconds;
+  }
+  double t = fwd_total;
+  double comm_free = 0.0;
+  double total_weight_bytes = 0.0;
+  for (int l = n - 1; l >= 0; --l) {
+    const LayerProfile& layer = profile.layers[static_cast<size_t>(l)];
+    t += layer.bwd_seconds;  // backward of layer l completes at time t
+    if (layer.param_bytes == 0) {
+      continue;
+    }
+    total_weight_bytes += static_cast<double>(layer.param_bytes);
+    const double chunk = allreduce_seconds(layer.param_bytes);
+    const double start = std::max(t, comm_free);
+    comm_free = start + chunk;
+  }
+  const double iteration = std::max(compute, comm_free);
+  result.iteration_seconds = iteration;
+  result.stall_seconds = iteration - compute;
+  result.comm_overhead_fraction = iteration > 0.0 ? result.stall_seconds / iteration : 0.0;
+  result.throughput_samples_per_sec = static_cast<double>(workers) *
+                                      static_cast<double>(profile.minibatch_size) / iteration;
+  result.comm_bytes_per_sample =
+      2.0 * static_cast<double>(workers - 1) * total_weight_bytes /
+      (static_cast<double>(workers) * static_cast<double>(profile.minibatch_size));
+  return result;
+}
+
+}  // namespace pipedream

@@ -1,0 +1,71 @@
+// Event-driven cluster simulator for pipeline-parallel training.
+//
+// Executes a (profile, plan, topology) triple under a scheduling policy — 1F1B / 1F1B-RR,
+// GPipe with m microbatches per flush, or non-pipelined model parallelism — in deterministic
+// virtual time, modelling per-worker compute serialization, per-worker NIC egress
+// serialization for activations/gradients, and per-stage weight-synchronization collectives
+// for replicated stages. This is the measurement substrate standing in for the paper's GPU
+// clusters: it reports the throughput, utilization, memory, and communication quantities the
+// evaluation section's tables and figures are built from.
+#ifndef SRC_SIMEXEC_PIPELINE_SIM_H_
+#define SRC_SIMEXEC_PIPELINE_SIM_H_
+
+#include <vector>
+
+#include "src/planner/plan.h"
+#include "src/profile/layer_profile.h"
+#include "src/schedule/trace.h"
+#include "src/sim/topology.h"
+
+namespace pipedream {
+
+enum class ScheduleKind {
+  kOneFOneB,        // PipeDream's 1F1B / 1F1B-RR (replicated stages round-robin)
+  kGPipe,           // microbatch rounds with a pipeline flush per round
+  kModelParallel,   // one minibatch in flight (GPipe with one microbatch)
+};
+
+struct SimOptions {
+  ScheduleKind schedule = ScheduleKind::kOneFOneB;
+  int64_t num_minibatches = 200;
+  int gpipe_microbatches = 4;        // pipeline depth per flush for kGPipe
+  int pipeline_depth_override = 0;   // 1F1B in-flight depth; 0 = the plan's startup depths
+  double gpipe_recompute_overhead = 0.0;  // extra backward time as a fraction of forward
+                                          // (activation recomputation, Chen et al.)
+  bool gpipe_discard_activations = false;  // stash only boundary activations (with recompute)
+  bool record_trace = false;
+  int trace_worker_limit = 16;
+};
+
+struct SimResult {
+  double total_seconds = 0.0;                 // makespan of the whole run
+  double throughput_samples_per_sec = 0.0;    // steady-state, measured over the back half
+  double comm_bytes_total = 0.0;              // activations + gradients + weight sync
+  std::vector<double> worker_utilization;     // busy fraction per worker
+  std::vector<int64_t> worker_peak_memory;    // bytes, per worker
+  std::vector<int> stage_peak_stash;          // max in-flight minibatches per stage
+  ExecutionTrace trace;                       // populated when record_trace is set
+};
+
+SimResult SimulatePipeline(const ModelProfile& profile, const PipelinePlan& plan,
+                           const HardwareTopology& topology, const SimOptions& options = {});
+
+// Data-parallel BSP with wait-free backpropagation: per-layer gradient all_reduce chunks are
+// enqueued as each layer's backward completes and overlap with the remaining backward
+// compute; the next iteration's forward waits for both. Returns per-iteration stall
+// accounting — the generator for Figure 1.
+struct DataParallelResult {
+  double iteration_seconds = 0.0;       // steady-state wall time per iteration
+  double compute_seconds = 0.0;         // single-worker fwd+bwd time
+  double stall_seconds = 0.0;           // communication not hidden by compute
+  double comm_overhead_fraction = 0.0;  // stall / iteration (the Figure 1 metric)
+  double throughput_samples_per_sec = 0.0;  // workers * minibatch / iteration
+  double comm_bytes_per_sample = 0.0;
+};
+
+DataParallelResult SimulateDataParallelBsp(const ModelProfile& profile,
+                                           const HardwareTopology& topology, int workers);
+
+}  // namespace pipedream
+
+#endif  // SRC_SIMEXEC_PIPELINE_SIM_H_

@@ -1,0 +1,34 @@
+#include "src/tensor/init.h"
+
+#include <cmath>
+
+namespace pipedream {
+
+void InitUniform(Tensor* t, float limit, Rng* rng) {
+  float* p = t->data();
+  const int64_t n = t->numel();
+  for (int64_t i = 0; i < n; ++i) {
+    p[i] = static_cast<float>(rng->Uniform(-limit, limit));
+  }
+}
+
+void InitGaussian(Tensor* t, float stddev, Rng* rng) {
+  float* p = t->data();
+  const int64_t n = t->numel();
+  for (int64_t i = 0; i < n; ++i) {
+    p[i] = static_cast<float>(rng->Gaussian(0.0, stddev));
+  }
+}
+
+void InitXavier(Tensor* t, int64_t fan_in, int64_t fan_out, Rng* rng) {
+  PD_CHECK_GT(fan_in + fan_out, 0);
+  const float limit = std::sqrt(6.0f / static_cast<float>(fan_in + fan_out));
+  InitUniform(t, limit, rng);
+}
+
+void InitHe(Tensor* t, int64_t fan_in, Rng* rng) {
+  PD_CHECK_GT(fan_in, 0);
+  InitGaussian(t, std::sqrt(2.0f / static_cast<float>(fan_in)), rng);
+}
+
+}  // namespace pipedream

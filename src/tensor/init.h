@@ -1,0 +1,24 @@
+// Parameter initialization schemes.
+#ifndef SRC_TENSOR_INIT_H_
+#define SRC_TENSOR_INIT_H_
+
+#include "src/common/rng.h"
+#include "src/tensor/tensor.h"
+
+namespace pipedream {
+
+// Uniform in [-limit, limit].
+void InitUniform(Tensor* t, float limit, Rng* rng);
+
+// Gaussian with the given standard deviation.
+void InitGaussian(Tensor* t, float stddev, Rng* rng);
+
+// Glorot/Xavier uniform: limit = sqrt(6 / (fan_in + fan_out)).
+void InitXavier(Tensor* t, int64_t fan_in, int64_t fan_out, Rng* rng);
+
+// He/Kaiming normal: stddev = sqrt(2 / fan_in). Preferred before ReLU.
+void InitHe(Tensor* t, int64_t fan_in, Rng* rng);
+
+}  // namespace pipedream
+
+#endif  // SRC_TENSOR_INIT_H_

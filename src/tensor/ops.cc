@@ -1,0 +1,239 @@
+#include "src/tensor/ops.h"
+
+#include <cmath>
+
+namespace pipedream {
+namespace {
+
+// Extracts the logical (rows, cols) of a possibly transposed rank-2 operand.
+void LogicalDims(const Tensor& t, bool transpose, int64_t* rows, int64_t* cols) {
+  PD_CHECK_EQ(t.rank(), 2u);
+  if (transpose) {
+    *rows = t.dim(1);
+    *cols = t.dim(0);
+  } else {
+    *rows = t.dim(0);
+    *cols = t.dim(1);
+  }
+}
+
+}  // namespace
+
+void Gemm(const Tensor& a, bool transpose_a, const Tensor& b, bool transpose_b, float alpha,
+          float beta, Tensor* out) {
+  int64_t m = 0;
+  int64_t k = 0;
+  int64_t k2 = 0;
+  int64_t n = 0;
+  LogicalDims(a, transpose_a, &m, &k);
+  LogicalDims(b, transpose_b, &k2, &n);
+  PD_CHECK_EQ(k, k2) << "GEMM inner dimensions disagree: " << a.ShapeString() << " x "
+                     << b.ShapeString();
+  if (beta == 0.0f) {
+    if (out->rank() != 2 || out->dim(0) != m || out->dim(1) != n) {
+      *out = Tensor({m, n});
+    } else {
+      out->SetZero();
+    }
+  } else {
+    PD_CHECK(out->rank() == 2 && out->dim(0) == m && out->dim(1) == n)
+        << "GEMM accumulate into mismatched output " << out->ShapeString();
+    if (beta != 1.0f) {
+      Scale(out, beta);
+    }
+  }
+
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = out->data();
+  const int64_t lda = a.dim(1);
+  const int64_t ldb = b.dim(1);
+
+  // i-k-j loop order keeps the innermost loop streaming over contiguous memory for the
+  // common (no-transpose) case; the transposed cases index through strides.
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t kk = 0; kk < k; ++kk) {
+      const float a_ik = transpose_a ? pa[kk * lda + i] : pa[i * lda + kk];
+      if (a_ik == 0.0f) {
+        continue;
+      }
+      const float scaled = alpha * a_ik;
+      float* c_row = pc + i * n;
+      if (!transpose_b) {
+        const float* b_row = pb + kk * ldb;
+        for (int64_t j = 0; j < n; ++j) {
+          c_row[j] += scaled * b_row[j];
+        }
+      } else {
+        for (int64_t j = 0; j < n; ++j) {
+          c_row[j] += scaled * pb[j * ldb + kk];
+        }
+      }
+    }
+  }
+}
+
+void MatMul(const Tensor& a, const Tensor& b, Tensor* out) {
+  Gemm(a, false, b, false, 1.0f, 0.0f, out);
+}
+
+void Add(const Tensor& a, const Tensor& b, Tensor* out) {
+  PD_CHECK(a.SameShape(b));
+  *out = a;
+  AddInPlace(out, b);
+}
+
+void AddInPlace(Tensor* a, const Tensor& b) {
+  PD_CHECK(a->SameShape(b));
+  float* pa = a->data();
+  const float* pb = b.data();
+  const int64_t n = a->numel();
+  for (int64_t i = 0; i < n; ++i) {
+    pa[i] += pb[i];
+  }
+}
+
+void Axpy(float alpha, const Tensor& b, Tensor* a) {
+  PD_CHECK(a->SameShape(b));
+  float* pa = a->data();
+  const float* pb = b.data();
+  const int64_t n = a->numel();
+  for (int64_t i = 0; i < n; ++i) {
+    pa[i] += alpha * pb[i];
+  }
+}
+
+void Sub(const Tensor& a, const Tensor& b, Tensor* out) {
+  PD_CHECK(a.SameShape(b));
+  *out = a;
+  float* po = out->data();
+  const float* pb = b.data();
+  const int64_t n = a.numel();
+  for (int64_t i = 0; i < n; ++i) {
+    po[i] -= pb[i];
+  }
+}
+
+void Mul(const Tensor& a, const Tensor& b, Tensor* out) {
+  PD_CHECK(a.SameShape(b));
+  *out = a;
+  float* po = out->data();
+  const float* pb = b.data();
+  const int64_t n = a.numel();
+  for (int64_t i = 0; i < n; ++i) {
+    po[i] *= pb[i];
+  }
+}
+
+void Scale(Tensor* a, float scalar) {
+  float* pa = a->data();
+  const int64_t n = a->numel();
+  for (int64_t i = 0; i < n; ++i) {
+    pa[i] *= scalar;
+  }
+}
+
+void AddBiasRows(Tensor* matrix, const Tensor& bias) {
+  PD_CHECK_EQ(matrix->rank(), 2u);
+  PD_CHECK_EQ(bias.numel(), matrix->dim(1));
+  const int64_t m = matrix->dim(0);
+  const int64_t n = matrix->dim(1);
+  float* pm = matrix->data();
+  const float* pb = bias.data();
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      pm[i * n + j] += pb[j];
+    }
+  }
+}
+
+void AccumulateColumnSums(const Tensor& matrix, Tensor* bias_grad) {
+  PD_CHECK_EQ(matrix.rank(), 2u);
+  PD_CHECK_EQ(bias_grad->numel(), matrix.dim(1));
+  const int64_t m = matrix.dim(0);
+  const int64_t n = matrix.dim(1);
+  const float* pm = matrix.data();
+  float* pg = bias_grad->data();
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      pg[j] += pm[i * n + j];
+    }
+  }
+}
+
+double Sum(const Tensor& a) {
+  double total = 0.0;
+  const float* pa = a.data();
+  const int64_t n = a.numel();
+  for (int64_t i = 0; i < n; ++i) {
+    total += pa[i];
+  }
+  return total;
+}
+
+double Norm(const Tensor& a) {
+  double total = 0.0;
+  const float* pa = a.data();
+  const int64_t n = a.numel();
+  for (int64_t i = 0; i < n; ++i) {
+    total += static_cast<double>(pa[i]) * pa[i];
+  }
+  return std::sqrt(total);
+}
+
+int64_t ArgMaxRow(const Tensor& a, int64_t r) {
+  PD_CHECK_EQ(a.rank(), 2u);
+  PD_CHECK(r >= 0 && r < a.dim(0));
+  const int64_t n = a.dim(1);
+  const float* row = a.data() + r * n;
+  int64_t best = 0;
+  for (int64_t j = 1; j < n; ++j) {
+    if (row[j] > row[best]) {
+      best = j;
+    }
+  }
+  return best;
+}
+
+void SoftmaxRows(const Tensor& logits, Tensor* probs) {
+  PD_CHECK_EQ(logits.rank(), 2u);
+  if (!probs->SameShape(logits)) {
+    *probs = Tensor(logits.shape());
+  }
+  const int64_t m = logits.dim(0);
+  const int64_t n = logits.dim(1);
+  const float* pl = logits.data();
+  float* pp = probs->data();
+  for (int64_t i = 0; i < m; ++i) {
+    const float* row = pl + i * n;
+    float* out = pp + i * n;
+    float max_val = row[0];
+    for (int64_t j = 1; j < n; ++j) {
+      max_val = std::max(max_val, row[j]);
+    }
+    double denom = 0.0;
+    for (int64_t j = 0; j < n; ++j) {
+      const float e = std::exp(row[j] - max_val);
+      out[j] = e;
+      denom += e;
+    }
+    const float inv = static_cast<float>(1.0 / denom);
+    for (int64_t j = 0; j < n; ++j) {
+      out[j] *= inv;
+    }
+  }
+}
+
+double MaxAbsDiff(const Tensor& a, const Tensor& b) {
+  PD_CHECK(a.SameShape(b));
+  double max_diff = 0.0;
+  const float* pa = a.data();
+  const float* pb = b.data();
+  const int64_t n = a.numel();
+  for (int64_t i = 0; i < n; ++i) {
+    max_diff = std::max(max_diff, std::abs(static_cast<double>(pa[i]) - pb[i]));
+  }
+  return max_diff;
+}
+
+}  // namespace pipedream

@@ -1,0 +1,56 @@
+// Tensor operations: GEMM, elementwise arithmetic, reductions, softmax.
+//
+// All ops take explicit output tensors (resized as needed) so callers control allocation
+// and the training runtime can reuse buffers across minibatches.
+#ifndef SRC_TENSOR_OPS_H_
+#define SRC_TENSOR_OPS_H_
+
+#include <cstdint>
+
+#include "src/tensor/tensor.h"
+
+namespace pipedream {
+
+// out = alpha * op(a) @ op(b) + beta * out, where op transposes when the flag is set.
+// Shapes: op(a) is [m, k], op(b) is [k, n], out is [m, n]. When beta == 0 the previous
+// contents of out are ignored (out is resized to [m, n]).
+void Gemm(const Tensor& a, bool transpose_a, const Tensor& b, bool transpose_b, float alpha,
+          float beta, Tensor* out);
+
+// out = a @ b, convenience wrapper over Gemm with alpha=1, beta=0.
+void MatMul(const Tensor& a, const Tensor& b, Tensor* out);
+
+// Elementwise out = a + b (shapes must match).
+void Add(const Tensor& a, const Tensor& b, Tensor* out);
+// Elementwise a += b.
+void AddInPlace(Tensor* a, const Tensor& b);
+// a += alpha * b (axpy).
+void Axpy(float alpha, const Tensor& b, Tensor* a);
+// Elementwise out = a - b.
+void Sub(const Tensor& a, const Tensor& b, Tensor* out);
+// Elementwise out = a * b (Hadamard).
+void Mul(const Tensor& a, const Tensor& b, Tensor* out);
+// Elementwise a *= scalar.
+void Scale(Tensor* a, float scalar);
+
+// Adds a length-n bias row to every row of a [m, n] matrix.
+void AddBiasRows(Tensor* matrix, const Tensor& bias);
+// Accumulates column sums of a [m, n] matrix into a length-n vector: bias_grad += colsum.
+void AccumulateColumnSums(const Tensor& matrix, Tensor* bias_grad);
+
+// Sum of all elements.
+double Sum(const Tensor& a);
+// L2 norm of all elements.
+double Norm(const Tensor& a);
+// Index of the maximum element in row r of a rank-2 tensor.
+int64_t ArgMaxRow(const Tensor& a, int64_t r);
+
+// Row-wise softmax of a [m, n] matrix.
+void SoftmaxRows(const Tensor& logits, Tensor* probs);
+
+// Maximum absolute elementwise difference between two same-shaped tensors.
+double MaxAbsDiff(const Tensor& a, const Tensor& b);
+
+}  // namespace pipedream
+
+#endif  // SRC_TENSOR_OPS_H_

@@ -1,0 +1,19 @@
+#include "src/tensor/tensor.h"
+
+#include "src/common/strings.h"
+
+namespace pipedream {
+
+std::string Tensor::ShapeString() const {
+  std::string out = "[";
+  for (size_t i = 0; i < shape_.size(); ++i) {
+    if (i > 0) {
+      out += ", ";
+    }
+    out += StrFormat("%lld", static_cast<long long>(shape_[i]));
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace pipedream

@@ -1,0 +1,120 @@
+// A minimal dense float tensor with value semantics.
+//
+// This is the numerical substrate for the real (non-simulated) training runtime. It is
+// deliberately simple: row-major contiguous float32 storage, explicit shapes, no views, no
+// broadcasting beyond what the op library implements. The goal is numerically transparent
+// gradient computation (so weight-stashing semantics can be verified exactly), not peak
+// FLOPs.
+#ifndef SRC_TENSOR_TENSOR_H_
+#define SRC_TENSOR_TENSOR_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "src/common/check.h"
+
+namespace pipedream {
+
+class Tensor {
+ public:
+  Tensor() = default;
+
+  // Constructs a zero-filled tensor of the given shape. All dimensions must be positive.
+  explicit Tensor(std::vector<int64_t> shape) : shape_(std::move(shape)) {
+    data_.assign(static_cast<size_t>(ComputeNumel(shape_)), 0.0f);
+  }
+
+  Tensor(std::initializer_list<int64_t> shape) : Tensor(std::vector<int64_t>(shape)) {}
+
+  // Constructs from explicit contents; data.size() must match the shape's element count.
+  Tensor(std::vector<int64_t> shape, std::vector<float> data)
+      : shape_(std::move(shape)), data_(std::move(data)) {
+    PD_CHECK_EQ(static_cast<int64_t>(data_.size()), ComputeNumel(shape_));
+  }
+
+  static Tensor Scalar(float value) { return Tensor({1}, {value}); }
+
+  const std::vector<int64_t>& shape() const { return shape_; }
+  int64_t dim(size_t i) const {
+    PD_CHECK_LT(i, shape_.size());
+    return shape_[i];
+  }
+  size_t rank() const { return shape_.size(); }
+  int64_t numel() const { return static_cast<int64_t>(data_.size()); }
+  bool empty() const { return data_.empty(); }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  float& operator[](int64_t i) {
+    PD_DCHECK(i >= 0 && i < numel());
+    return data_[static_cast<size_t>(i)];
+  }
+  float operator[](int64_t i) const {
+    PD_DCHECK(i >= 0 && i < numel());
+    return data_[static_cast<size_t>(i)];
+  }
+
+  // 2-D indexed access (row-major). The tensor must be rank 2.
+  float& At(int64_t r, int64_t c) {
+    PD_DCHECK(rank() == 2);
+    PD_DCHECK(r >= 0 && r < shape_[0] && c >= 0 && c < shape_[1]);
+    return data_[static_cast<size_t>(r * shape_[1] + c)];
+  }
+  float At(int64_t r, int64_t c) const { return const_cast<Tensor*>(this)->At(r, c); }
+
+  // 4-D indexed access (NCHW). The tensor must be rank 4.
+  float& At4(int64_t n, int64_t c, int64_t h, int64_t w) {
+    PD_DCHECK(rank() == 4);
+    const int64_t idx = ((n * shape_[1] + c) * shape_[2] + h) * shape_[3] + w;
+    PD_DCHECK(idx >= 0 && idx < numel());
+    return data_[static_cast<size_t>(idx)];
+  }
+  float At4(int64_t n, int64_t c, int64_t h, int64_t w) const {
+    return const_cast<Tensor*>(this)->At4(n, c, h, w);
+  }
+
+  void Fill(float value) { std::fill(data_.begin(), data_.end(), value); }
+  void SetZero() { Fill(0.0f); }
+
+  // Returns a copy with a new shape covering the same number of elements.
+  Tensor Reshaped(std::vector<int64_t> new_shape) const {
+    Tensor out = *this;
+    PD_CHECK_EQ(ComputeNumel(new_shape), numel());
+    out.shape_ = std::move(new_shape);
+    return out;
+  }
+
+  // In-place reshape (same element count).
+  void Reshape(std::vector<int64_t> new_shape) {
+    PD_CHECK_EQ(ComputeNumel(new_shape), numel());
+    shape_ = std::move(new_shape);
+  }
+
+  bool SameShape(const Tensor& other) const { return shape_ == other.shape_; }
+
+  // Approximate number of bytes held (payload only).
+  int64_t SizeBytes() const { return numel() * static_cast<int64_t>(sizeof(float)); }
+
+  std::string ShapeString() const;
+
+ private:
+  static int64_t ComputeNumel(const std::vector<int64_t>& shape) {
+    int64_t n = 1;
+    for (int64_t d : shape) {
+      PD_CHECK_GT(d, 0);
+      n *= d;
+    }
+    return n;
+  }
+
+  std::vector<int64_t> shape_;
+  std::vector<float> data_;
+};
+
+}  // namespace pipedream
+
+#endif  // SRC_TENSOR_TENSOR_H_

@@ -1,0 +1,106 @@
+// End-to-end integration: profile a real model -> partition -> predict -> simulate -> train,
+// the full Figure 6 workflow.
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/core/pipedream.h"
+#include "src/data/dataset.h"
+#include "src/graph/loss.h"
+#include "src/graph/models.h"
+#include "src/optim/sgd.h"
+#include "src/profile/model_zoo.h"
+#include "src/profile/profiler.h"
+#include "src/simexec/pipeline_sim.h"
+
+namespace pipedream {
+namespace {
+
+TEST(IntegrationTest, AutoPlanOnZooModel) {
+  const auto profile = MakeVgg16Profile();
+  const auto topo = HardwareTopology::ClusterA(4);
+  const auto result = AutoPlan(profile, topo);
+  result.partition.plan.Validate(profile.num_layers());
+  EXPECT_EQ(result.partition.plan.total_workers(), 16);
+  EXPECT_GT(result.prediction.throughput_samples_per_sec, 0.0);
+  const std::string description = DescribePlan(result.partition.plan, profile);
+  EXPECT_NE(description.find("stage 0"), std::string::npos);
+}
+
+TEST(IntegrationTest, ProfileRealModelThenPartitionThenSimulate) {
+  // Figure 6 end to end, with a real profiled CPU model instead of analytic estimates.
+  Rng rng(1);
+  const auto model = BuildMlpClassifier(32, {64, 48, 24}, 4, &rng);
+  Tensor sample({16, 32});
+  const auto profile = ProfileModel(*model, sample, "mlp");
+
+  const auto partition = PartitionFlat(profile, 3, 1e9);
+  partition.plan.Validate(profile.num_layers());
+
+  SimOptions options;
+  options.num_minibatches = 50;
+  options.record_trace = true;
+  const auto topo = HardwareTopology::Flat(3, 1e9);
+  const auto sim = SimulatePipeline(profile, partition.plan, topo, options);
+  EXPECT_GT(sim.throughput_samples_per_sec, 0.0);
+  EXPECT_TRUE(sim.trace.Validate(partition.plan).ok());
+}
+
+TEST(IntegrationTest, PlanDrivesRealTrainingViaTrainToAccuracy) {
+  const Dataset all = MakeGaussianMixture(3, 6, 128, 0.25, 21);
+  Dataset data;
+  Dataset eval;
+  SplitDataset(all, 0.75, &data, &eval);
+  Rng rng(2);
+  const auto model = BuildMlpClassifier(6, {16, 12}, 3, &rng);
+
+  // Profile the real model and let the optimizer split it over 3 workers.
+  Tensor sample({12, 6});
+  const auto profile = ProfileModel(*model, sample, "mlp");
+  PartitionerOptions popts;
+  popts.allow_replication = false;  // keep the runtime plan straight for this test
+  const auto partition = PartitionFlat(profile, 3, 1e9, popts);
+
+  SoftmaxCrossEntropy loss;
+  Sgd sgd(0.1, 0.9);
+  PipelineTrainer trainer(*model, partition.plan, &loss, sgd, &data, 12, 5);
+  TtaOptions tta;
+  tta.target_accuracy = 0.85;
+  tta.max_epochs = 25;
+  tta.eval_batch = 12;
+  const auto result = TrainToAccuracy(&trainer, eval, tta);
+  EXPECT_TRUE(result.reached) << "best accuracy "
+                              << (result.accuracy_curve.empty()
+                                      ? 0.0
+                                      : result.accuracy_curve.back());
+  EXPECT_EQ(result.epochs, static_cast<int>(result.accuracy_curve.size()));
+}
+
+TEST(IntegrationTest, SimulatedSpeedupShapeVggOnClusterA) {
+  // Table 1 shape: PipeDream's plan beats 16-way DP for VGG-16 on Cluster-A by a large
+  // factor (the paper reports 5.28x on epoch time).
+  const auto profile = MakeVgg16Profile();
+  const auto topo = HardwareTopology::ClusterA(4);
+  const auto pd = AutoPlan(profile, topo);
+  const auto dp = SimulateDataParallelBsp(profile, topo, 16);
+  const double speedup = pd.prediction.throughput_samples_per_sec /
+                         dp.throughput_samples_per_sec;
+  EXPECT_GT(speedup, 2.0);
+}
+
+TEST(IntegrationTest, ResnetGainsLittleVggGainsMuch) {
+  // Table 1's shape: PipeDream's advantage over DP is ~1x for ResNet-50 but large for
+  // VGG-16 on the same cluster.
+  const auto topo = HardwareTopology::ClusterA(4);
+  auto speedup_over_dp = [&](const ModelProfile& profile) {
+    const auto pd = AutoPlan(profile, topo);
+    const auto dp = SimulateDataParallelBsp(profile, topo, 16);
+    return pd.prediction.throughput_samples_per_sec / dp.throughput_samples_per_sec;
+  };
+  const double resnet = speedup_over_dp(MakeResnet50Profile());
+  const double vgg = speedup_over_dp(MakeVgg16Profile());
+  EXPECT_LT(resnet, 1.6);
+  EXPECT_GT(vgg, resnet * 1.5);
+}
+
+}  // namespace
+}  // namespace pipedream

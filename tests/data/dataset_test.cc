@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "src/data/dataset.h"
+
+namespace pipedream {
+namespace {
+
+TEST(GaussianMixtureTest, ShapesAndLabels) {
+  const Dataset data = MakeGaussianMixture(3, 5, 10, 0.1, 42);
+  EXPECT_EQ(data.size(), 30);
+  EXPECT_EQ(data.inputs.dim(1), 5);
+  EXPECT_EQ(data.targets.numel(), 30);
+  std::set<int> classes;
+  for (int64_t i = 0; i < 30; ++i) {
+    classes.insert(static_cast<int>(data.targets[i]));
+  }
+  EXPECT_EQ(classes.size(), 3u);
+}
+
+TEST(GaussianMixtureTest, DeterministicForSeed) {
+  const Dataset a = MakeGaussianMixture(2, 3, 5, 0.2, 7);
+  const Dataset b = MakeGaussianMixture(2, 3, 5, 0.2, 7);
+  for (int64_t i = 0; i < a.inputs.numel(); ++i) {
+    EXPECT_EQ(a.inputs[i], b.inputs[i]);
+  }
+}
+
+TEST(GaussianMixtureTest, ShuffledNotClassSorted) {
+  const Dataset data = MakeGaussianMixture(2, 2, 50, 0.1, 9);
+  // If examples were class-sorted, the first half would all be one class.
+  int first_half_class0 = 0;
+  for (int64_t i = 0; i < 50; ++i) {
+    first_half_class0 += data.targets[i] == 0.0f ? 1 : 0;
+  }
+  EXPECT_GT(first_half_class0, 5);
+  EXPECT_LT(first_half_class0, 45);
+}
+
+TEST(SpiralsTest, SignalInFirstTwoDims) {
+  const Dataset data = MakeSpirals(3, 4, 20, 0.01, 11);
+  EXPECT_EQ(data.size(), 60);
+  EXPECT_EQ(data.inputs.dim(1), 4);
+  // Spiral points lie within ~unit radius.
+  for (int64_t i = 0; i < data.size(); ++i) {
+    const double r = std::hypot(data.inputs.At(i, 0), data.inputs.At(i, 1));
+    ASSERT_LT(r, 1.3);
+  }
+}
+
+TEST(SyntheticImagesTest, ShapeIsNchw) {
+  const Dataset data = MakeSyntheticImages(4, 2, 8, 6, 0.3, 13);
+  EXPECT_EQ(data.inputs.rank(), 4u);
+  EXPECT_EQ(data.inputs.dim(0), 24);
+  EXPECT_EQ(data.inputs.dim(1), 2);
+  EXPECT_EQ(data.inputs.dim(2), 8);
+}
+
+TEST(SequenceCopyTest, TargetsEqualInputs) {
+  const Dataset data = MakeSequenceCopy(10, 6, 5, /*reverse=*/false, 17);
+  for (int64_t i = 0; i < data.size(); ++i) {
+    for (int64_t t = 0; t < 6; ++t) {
+      EXPECT_EQ(data.inputs.At(i, t), data.targets.At(i, t));
+    }
+  }
+}
+
+TEST(SequenceCopyTest, ReverseReversesTargets) {
+  const Dataset data = MakeSequenceCopy(10, 6, 5, /*reverse=*/true, 17);
+  for (int64_t i = 0; i < data.size(); ++i) {
+    for (int64_t t = 0; t < 6; ++t) {
+      EXPECT_EQ(data.inputs.At(i, t), data.targets.At(i, 5 - t));
+    }
+  }
+}
+
+TEST(SequenceCopyTest, TokensInVocab) {
+  const Dataset data = MakeSequenceCopy(7, 4, 20, false, 19);
+  for (int64_t i = 0; i < data.inputs.numel(); ++i) {
+    ASSERT_GE(data.inputs[i], 0.0f);
+    ASSERT_LT(data.inputs[i], 7.0f);
+  }
+}
+
+TEST(MarkovLmTest, TargetsAreNextTokens) {
+  const Dataset data = MakeMarkovLm(5, 8, 10, 1.0, 23);
+  // target[t] must equal input[t+1] within a sequence.
+  for (int64_t i = 0; i < data.size(); ++i) {
+    for (int64_t t = 0; t + 1 < 8; ++t) {
+      EXPECT_EQ(data.targets.At(i, t), data.inputs.At(i, t + 1));
+    }
+  }
+}
+
+TEST(MarkovLmTest, LowTemperatureIsMorePredictable) {
+  // Count how often the most frequent successor follows each token; peaked chains beat flat.
+  auto predictability = [](const Dataset& data, int vocab) {
+    std::vector<std::vector<int>> counts(static_cast<size_t>(vocab),
+                                         std::vector<int>(static_cast<size_t>(vocab), 0));
+    for (int64_t i = 0; i < data.size(); ++i) {
+      for (int64_t t = 0; t < data.inputs.dim(1); ++t) {
+        ++counts[static_cast<size_t>(data.inputs.At(i, t))]
+                [static_cast<size_t>(data.targets.At(i, t))];
+      }
+    }
+    double top = 0.0;
+    double total = 0.0;
+    for (const auto& row : counts) {
+      int best = 0;
+      int sum = 0;
+      for (int c : row) {
+        best = std::max(best, c);
+        sum += c;
+      }
+      top += best;
+      total += sum;
+    }
+    return top / total;
+  };
+  const Dataset peaked = MakeMarkovLm(6, 20, 200, 0.2, 31);
+  const Dataset flat = MakeMarkovLm(6, 20, 200, 10.0, 31);
+  EXPECT_GT(predictability(peaked, 6), predictability(flat, 6) + 0.1);
+}
+
+TEST(SplitDatasetTest, PartitionsWithoutOverlap) {
+  const Dataset all = MakeGaussianMixture(2, 3, 20, 0.2, 5);
+  Dataset train;
+  Dataset eval;
+  SplitDataset(all, 0.75, &train, &eval);
+  EXPECT_EQ(train.size(), 30);
+  EXPECT_EQ(eval.size(), 10);
+  for (int64_t d = 0; d < 3; ++d) {
+    EXPECT_EQ(train.inputs.At(0, d), all.inputs.At(0, d));
+    EXPECT_EQ(eval.inputs.At(0, d), all.inputs.At(30, d));
+  }
+  EXPECT_EQ(train.targets[0], all.targets[0]);
+  EXPECT_EQ(eval.targets[0], all.targets[30]);
+}
+
+TEST(SplitDatasetTest, PreservesSequenceTargetShape) {
+  const Dataset all = MakeSequenceCopy(6, 5, 40, false, 7);
+  Dataset train;
+  Dataset eval;
+  SplitDataset(all, 0.5, &train, &eval);
+  EXPECT_EQ(train.targets.rank(), 2u);
+  EXPECT_EQ(train.targets.dim(1), 5);
+  EXPECT_EQ(eval.size(), 20);
+}
+
+TEST(SplitDatasetTest, RejectsDegenerateFractions) {
+  const Dataset all = MakeGaussianMixture(2, 3, 4, 0.2, 5);
+  Dataset train;
+  Dataset eval;
+  EXPECT_DEATH(SplitDataset(all, 0.0, &train, &eval), "");
+  EXPECT_DEATH(SplitDataset(all, 1.0, &train, &eval), "");
+}
+
+}  // namespace
+}  // namespace pipedream

@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/data/loader.h"
+#include "src/tensor/ops.h"
+
+namespace pipedream {
+namespace {
+
+Dataset TinyDataset(int64_t n) {
+  Dataset data;
+  data.inputs = Tensor({n, 2});
+  data.targets = Tensor({n});
+  for (int64_t i = 0; i < n; ++i) {
+    data.inputs.At(i, 0) = static_cast<float>(i);
+    data.inputs.At(i, 1) = static_cast<float>(-i);
+    data.targets[i] = static_cast<float>(i % 3);
+  }
+  return data;
+}
+
+TEST(LoaderTest, BatchesPerEpochDropsPartial) {
+  const Dataset data = TinyDataset(10);
+  MinibatchLoader loader(&data, 3, 1);
+  EXPECT_EQ(loader.batches_per_epoch(), 3);
+}
+
+TEST(LoaderTest, BatchShapes) {
+  const Dataset data = TinyDataset(12);
+  MinibatchLoader loader(&data, 4, 1);
+  Tensor x;
+  Tensor y;
+  loader.NextBatch(&x, &y);
+  EXPECT_EQ(x.dim(0), 4);
+  EXPECT_EQ(x.dim(1), 2);
+  EXPECT_EQ(y.numel(), 4);
+}
+
+TEST(LoaderTest, EpochCoversDatasetOnce) {
+  const Dataset data = TinyDataset(12);
+  MinibatchLoader loader(&data, 4, 1);
+  std::set<float> seen;
+  Tensor x;
+  Tensor y;
+  for (int b = 0; b < 3; ++b) {
+    loader.NextBatch(&x, &y);
+    for (int64_t i = 0; i < 4; ++i) {
+      seen.insert(x.At(i, 0));
+    }
+  }
+  EXPECT_EQ(seen.size(), 12u);  // every example exactly once
+}
+
+TEST(LoaderTest, InputRowMatchesTargetRow) {
+  const Dataset data = TinyDataset(12);
+  MinibatchLoader loader(&data, 4, 5);
+  Tensor x;
+  Tensor y;
+  for (int b = 0; b < 6; ++b) {
+    loader.NextBatch(&x, &y);
+    for (int64_t i = 0; i < 4; ++i) {
+      const auto example = static_cast<int64_t>(x.At(i, 0));
+      EXPECT_EQ(y[i], static_cast<float>(example % 3));
+    }
+  }
+}
+
+TEST(LoaderTest, EpochsReshuffle) {
+  const Dataset data = TinyDataset(32);
+  MinibatchLoader loader(&data, 32, 1);
+  Tensor x1;
+  Tensor y;
+  loader.NextBatch(&x1, &y);
+  Tensor x2;
+  loader.NextBatch(&x2, &y);  // epoch 1
+  EXPECT_GT(MaxAbsDiff(x1, x2), 0.0);
+}
+
+TEST(LoaderTest, BatchAtIsOrderIndependent) {
+  const Dataset data = TinyDataset(24);
+  MinibatchLoader forward_order(&data, 4, 9);
+  MinibatchLoader reverse_order(&data, 4, 9);
+  Tensor xa;
+  Tensor ya;
+  Tensor xb;
+  Tensor yb;
+  // Read batches 0..11 in opposite orders; contents must agree index-by-index.
+  for (int64_t b = 0; b < 12; ++b) {
+    forward_order.BatchAt(b, &xa, &ya);
+    reverse_order.BatchAt(11 - b, &xb, &yb);
+    Tensor xa2;
+    Tensor ya2;
+    forward_order.BatchAt(11 - b, &xa2, &ya2);
+    EXPECT_EQ(MaxAbsDiff(xa2, xb), 0.0) << "batch " << 11 - b;
+  }
+}
+
+TEST(LoaderTest, NextBatchEqualsBatchAt) {
+  const Dataset data = TinyDataset(24);
+  MinibatchLoader sequential(&data, 4, 9);
+  MinibatchLoader indexed(&data, 4, 9);
+  Tensor xs;
+  Tensor ys;
+  Tensor xi;
+  Tensor yi;
+  for (int64_t b = 0; b < 10; ++b) {  // crosses an epoch boundary
+    sequential.NextBatch(&xs, &ys);
+    indexed.BatchAt(b, &xi, &yi);
+    EXPECT_EQ(MaxAbsDiff(xs, xi), 0.0) << "batch " << b;
+    EXPECT_EQ(MaxAbsDiff(ys, yi), 0.0);
+  }
+}
+
+TEST(LoaderTest, SameSeedSameStream) {
+  const Dataset data = TinyDataset(16);
+  MinibatchLoader a(&data, 4, 3);
+  MinibatchLoader b(&data, 4, 3);
+  Tensor xa;
+  Tensor ya;
+  Tensor xb;
+  Tensor yb;
+  for (int i = 0; i < 8; ++i) {
+    a.NextBatch(&xa, &ya);
+    b.NextBatch(&xb, &yb);
+    EXPECT_EQ(MaxAbsDiff(xa, xb), 0.0);
+  }
+}
+
+TEST(LoaderTest, SequenceTargetsKeepShape) {
+  Dataset data;
+  data.inputs = Tensor({8, 5});
+  data.targets = Tensor({8, 5});
+  for (int64_t i = 0; i < data.targets.numel(); ++i) {
+    data.targets[i] = static_cast<float>(i);
+  }
+  MinibatchLoader loader(&data, 2, 1);
+  Tensor x;
+  Tensor y;
+  loader.NextBatch(&x, &y);
+  EXPECT_EQ(y.rank(), 2u);
+  EXPECT_EQ(y.dim(1), 5);
+}
+
+}  // namespace
+}  // namespace pipedream

@@ -1,0 +1,212 @@
+// Tests for the extended layer set: Attention, Residual, AvgPool2D, and the model builders
+// that use them.
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/graph/activation.h"
+#include "src/graph/attention.h"
+#include "src/graph/conv.h"
+#include "src/graph/dense.h"
+#include "src/graph/grad_check.h"
+#include "src/graph/models.h"
+#include "src/graph/pool.h"
+#include "src/graph/residual.h"
+#include "src/graph/shape_ops.h"
+#include "src/tensor/init.h"
+#include "src/tensor/ops.h"
+
+namespace pipedream {
+namespace {
+
+Tensor RandomInput(std::vector<int64_t> shape, uint64_t seed) {
+  Rng rng(seed);
+  Tensor t(std::move(shape));
+  InitGaussian(&t, 1.0f, &rng);
+  return t;
+}
+
+Tensor RandomLabels(int64_t n, int64_t classes, uint64_t seed) {
+  Rng rng(seed);
+  Tensor t({n});
+  for (int64_t i = 0; i < n; ++i) {
+    t[i] = static_cast<float>(rng.UniformInt(static_cast<uint64_t>(classes)));
+  }
+  return t;
+}
+
+TEST(AvgPoolTest, AveragesWindows) {
+  AvgPool2D pool("p", 2, 2);
+  LayerContext ctx;
+  Tensor in({1, 1, 2, 2}, {1, 2, 3, 4});
+  const Tensor out = pool.Forward(in, &ctx, true);
+  EXPECT_EQ(out.numel(), 1);
+  EXPECT_FLOAT_EQ(out[0], 2.5f);
+}
+
+TEST(AvgPoolTest, BackwardSpreadsUniformly) {
+  AvgPool2D pool("p", 2, 2);
+  LayerContext ctx;
+  Tensor in({1, 1, 2, 2}, {1, 2, 3, 4});
+  pool.Forward(in, &ctx, true);
+  Tensor grad({1, 1, 1, 1}, {8.0f});
+  const Tensor gin = pool.Backward(grad, &ctx);
+  for (int64_t i = 0; i < 4; ++i) {
+    EXPECT_FLOAT_EQ(gin[i], 2.0f);
+  }
+}
+
+TEST(AvgPoolTest, GlobalPoolGradCheck) {
+  Rng rng(1);
+  Sequential model;
+  model.Add(std::make_unique<Conv2D>("conv", 1, 3, 3, 1, 1, &rng));
+  model.Add(std::make_unique<AvgPool2D>("gap", 4, 4));
+  model.Add(std::make_unique<Flatten>("flat"));
+  model.Add(std::make_unique<Dense>("fc", 3, 2, &rng));
+  SoftmaxCrossEntropy loss;
+  const auto report =
+      CheckGradients(model, loss, RandomInput({2, 1, 4, 4}, 2), RandomLabels(2, 2, 3));
+  EXPECT_TRUE(report.passed) << report.worst_param << " " << report.worst_relative_error;
+}
+
+TEST(AttentionTest, OutputShape) {
+  Rng rng(1);
+  Attention attn("a", 6, &rng);
+  LayerContext ctx;
+  const Tensor out = attn.Forward(RandomInput({2, 5, 6}, 2), &ctx, true);
+  EXPECT_EQ(out.dim(0), 2);
+  EXPECT_EQ(out.dim(1), 5);
+  EXPECT_EQ(out.dim(2), 6);
+}
+
+TEST(AttentionTest, OutputIsConvexCombinationOfValues) {
+  // With softmax weights, each output row lies within the convex hull of the value rows:
+  // its max cannot exceed the max value entry.
+  Rng rng(1);
+  Attention attn("a", 4, &rng);
+  LayerContext ctx;
+  const Tensor in = RandomInput({1, 6, 4}, 5);
+  const Tensor out = attn.Forward(in, &ctx, true);
+  // Compute V = X Wv and compare column-wise bounds.
+  Tensor x({6, 4});
+  std::copy(in.data(), in.data() + 24, x.data());
+  Tensor v;
+  MatMul(x, attn.Params()[2]->value, &v);
+  for (int64_t col = 0; col < 4; ++col) {
+    float vmax = -1e30f;
+    float vmin = 1e30f;
+    for (int64_t t = 0; t < 6; ++t) {
+      vmax = std::max(vmax, v.At(t, col));
+      vmin = std::min(vmin, v.At(t, col));
+    }
+    for (int64_t t = 0; t < 6; ++t) {
+      ASSERT_LE(out[t * 4 + col], vmax + 1e-5f);
+      ASSERT_GE(out[t * 4 + col], vmin - 1e-5f);
+    }
+  }
+}
+
+TEST(AttentionTest, GradCheck) {
+  Rng rng(1);
+  Sequential model;
+  model.Add(std::make_unique<Attention>("attn", 4, &rng));
+  model.Add(std::make_unique<TimeFlatten>("tokens"));
+  model.Add(std::make_unique<Dense>("head", 4, 3, &rng));
+  SoftmaxCrossEntropy loss;
+  const auto report =
+      CheckGradients(model, loss, RandomInput({2, 4, 4}, 7), RandomLabels(8, 3, 8));
+  EXPECT_TRUE(report.passed) << report.worst_param << " " << report.worst_relative_error;
+}
+
+TEST(ResidualTest, IdentityBodyDoublesInput) {
+  // Body = Dense initialized to the identity: residual output should be exactly 2x input.
+  Rng rng(1);
+  auto body = std::make_unique<Sequential>();
+  auto dense = std::make_unique<Dense>("fc", 3, 3, &rng);
+  dense->Params()[0]->value.SetZero();
+  for (int64_t i = 0; i < 3; ++i) {
+    dense->Params()[0]->value.At(i, i) = 1.0f;
+  }
+  dense->Params()[1]->value.SetZero();
+  body->Add(std::move(dense));
+  Residual residual("res", std::move(body));
+  LayerContext ctx;
+  Tensor in({2, 3}, {1, 2, 3, 4, 5, 6});
+  const Tensor out = residual.Forward(in, &ctx, true);
+  for (int64_t i = 0; i < 6; ++i) {
+    EXPECT_FLOAT_EQ(out[i], 2.0f * in[i]);
+  }
+}
+
+TEST(ResidualTest, GradCheck) {
+  Rng rng(1);
+  auto body = std::make_unique<Sequential>();
+  body->Add(std::make_unique<Dense>("fc1", 4, 4, &rng));
+  body->Add(std::make_unique<Activation>("tanh", ActivationKind::kTanh));
+  body->Add(std::make_unique<Dense>("fc2", 4, 4, &rng));
+  Sequential model;
+  model.Add(std::make_unique<Residual>("res", std::move(body)));
+  model.Add(std::make_unique<Dense>("head", 4, 3, &rng));
+  SoftmaxCrossEntropy loss;
+  const auto report =
+      CheckGradients(model, loss, RandomInput({3, 4}, 9), RandomLabels(3, 3, 10));
+  EXPECT_TRUE(report.passed) << report.worst_param << " " << report.worst_relative_error;
+}
+
+TEST(ResidualTest, InterleavedMinibatchesKeepSeparateStashes) {
+  // The 1F1B property: forward A, forward B, backward A, backward B must work.
+  Rng rng(1);
+  auto body = std::make_unique<Sequential>();
+  body->Add(std::make_unique<Dense>("fc", 3, 3, &rng));
+  Residual residual("res", std::move(body));
+  LayerContext ctx_a;
+  LayerContext ctx_b;
+  const Tensor in_a = RandomInput({2, 3}, 11);
+  const Tensor in_b = RandomInput({2, 3}, 12);
+  residual.Forward(in_a, &ctx_a, true);
+  residual.Forward(in_b, &ctx_b, true);
+  residual.ZeroGrads();
+  Tensor grad({2, 3});
+  grad.Fill(1.0f);
+  const Tensor ga = residual.Backward(grad, &ctx_a);
+  const Tensor gb = residual.Backward(grad, &ctx_b);
+  EXPECT_EQ(ga.numel(), 6);
+  EXPECT_EQ(gb.numel(), 6);
+}
+
+TEST(MiniResnetTest, BuildsAndGradChecks) {
+  Rng rng(1);
+  const auto model = BuildMiniResnet(1, 6, 3, /*blocks=*/2, &rng);
+  SoftmaxCrossEntropy loss;
+  GradCheckOptions options;
+  options.max_outliers = 6;  // many ReLUs in the residual bodies sample kinks
+  const auto report = CheckGradients(*model, loss, RandomInput({2, 1, 6, 6}, 13),
+                                     RandomLabels(2, 3, 14), options);
+  EXPECT_TRUE(report.passed) << report.worst_param << " " << report.worst_relative_error;
+}
+
+TEST(AttentionSeqModelTest, BuildsAndGradChecks) {
+  Rng rng(1);
+  const auto model = BuildAttentionSeqModel(/*vocab=*/6, /*embed=*/4, /*hidden=*/5, &rng);
+  SoftmaxCrossEntropy loss;
+  Rng token_rng(15);
+  Tensor tokens({2, 4});
+  for (int64_t i = 0; i < tokens.numel(); ++i) {
+    tokens[i] = static_cast<float>(token_rng.UniformInt(6));
+  }
+  const auto report = CheckGradients(*model, loss, tokens, RandomLabels(8, 6, 16));
+  EXPECT_TRUE(report.passed) << report.worst_param << " " << report.worst_relative_error;
+}
+
+TEST(ResidualTest, CloneIsDeepAndIndependent) {
+  Rng rng(1);
+  auto body = std::make_unique<Sequential>();
+  body->Add(std::make_unique<Dense>("fc", 3, 3, &rng));
+  Residual residual("res", std::move(body));
+  auto clone = residual.Clone();
+  EXPECT_EQ(MaxAbsDiff(residual.Params()[0]->value, clone->Params()[0]->value), 0.0);
+  clone->Params()[0]->value.Fill(5.0f);
+  EXPECT_NE(residual.Params()[0]->value[0], 5.0f);
+}
+
+}  // namespace
+}  // namespace pipedream

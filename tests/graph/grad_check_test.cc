@@ -1,0 +1,207 @@
+// Central-difference gradient checks for every layer type — the numerical foundation the
+// weight-stashing experiments rest on.
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/graph/activation.h"
+#include "src/graph/conv.h"
+#include "src/graph/dense.h"
+#include "src/graph/embedding.h"
+#include "src/graph/grad_check.h"
+#include "src/graph/lstm.h"
+#include "src/graph/models.h"
+#include "src/graph/pool.h"
+#include "src/graph/shape_ops.h"
+#include "src/tensor/init.h"
+
+namespace pipedream {
+namespace {
+
+Tensor RandomInput(std::vector<int64_t> shape, uint64_t seed) {
+  Rng rng(seed);
+  Tensor t(std::move(shape));
+  InitGaussian(&t, 1.0f, &rng);
+  return t;
+}
+
+Tensor RandomLabels(int64_t n, int64_t classes, uint64_t seed) {
+  Rng rng(seed);
+  Tensor t({n});
+  for (int64_t i = 0; i < n; ++i) {
+    t[i] = static_cast<float>(rng.UniformInt(static_cast<uint64_t>(classes)));
+  }
+  return t;
+}
+
+TEST(GradCheckTest, DenseLayer) {
+  Rng rng(1);
+  Sequential model;
+  model.Add(std::make_unique<Dense>("fc", 6, 4, &rng));
+  SoftmaxCrossEntropy loss;
+  const auto report =
+      CheckGradients(model, loss, RandomInput({5, 6}, 2), RandomLabels(5, 4, 3));
+  EXPECT_TRUE(report.passed) << report.worst_param << " rel err "
+                             << report.worst_relative_error;
+}
+
+TEST(GradCheckTest, DenseStack) {
+  Rng rng(1);
+  const auto model = BuildMlpClassifier(8, {16, 12}, 5, &rng);
+  SoftmaxCrossEntropy loss;
+  const auto report =
+      CheckGradients(*model, loss, RandomInput({4, 8}, 2), RandomLabels(4, 5, 3));
+  EXPECT_TRUE(report.passed) << report.worst_param << " rel err "
+                             << report.worst_relative_error;
+}
+
+class ActivationGradTest : public ::testing::TestWithParam<ActivationKind> {};
+
+TEST_P(ActivationGradTest, ThroughDense) {
+  Rng rng(1);
+  Sequential model;
+  model.Add(std::make_unique<Dense>("fc1", 6, 8, &rng));
+  model.Add(std::make_unique<Activation>("act", GetParam()));
+  model.Add(std::make_unique<Dense>("fc2", 8, 3, &rng));
+  SoftmaxCrossEntropy loss;
+  const auto report =
+      CheckGradients(model, loss, RandomInput({4, 6}, 2), RandomLabels(4, 3, 3));
+  EXPECT_TRUE(report.passed) << ActivationKindName(GetParam()) << ": "
+                             << report.worst_relative_error;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllActivations, ActivationGradTest,
+                         ::testing::Values(ActivationKind::kRelu, ActivationKind::kTanh,
+                                           ActivationKind::kSigmoid));
+
+TEST(GradCheckTest, Conv2D) {
+  GradCheckOptions options;
+  options.max_outliers = 2;  // ReLU-free but float32 conv sums are noisy
+  Rng rng(1);
+  Sequential model;
+  model.Add(std::make_unique<Conv2D>("conv", 2, 3, /*kernel=*/3, /*stride=*/1,
+                                     /*padding=*/1, &rng));
+  model.Add(std::make_unique<Flatten>("flat"));
+  model.Add(std::make_unique<Dense>("fc", 3 * 5 * 5, 4, &rng));
+  SoftmaxCrossEntropy loss;
+  const auto report =
+      CheckGradients(model, loss, RandomInput({2, 2, 5, 5}, 2), RandomLabels(2, 4, 3), options);
+  EXPECT_TRUE(report.passed) << report.worst_param << " rel err "
+                             << report.worst_relative_error;
+}
+
+TEST(GradCheckTest, Conv2DStrided) {
+  Rng rng(1);
+  Sequential model;
+  model.Add(std::make_unique<Conv2D>("conv", 1, 2, /*kernel=*/3, /*stride=*/2,
+                                     /*padding=*/1, &rng));
+  model.Add(std::make_unique<Flatten>("flat"));
+  model.Add(std::make_unique<Dense>("fc", 2 * 3 * 3, 3, &rng));
+  SoftmaxCrossEntropy loss;
+  const auto report =
+      CheckGradients(model, loss, RandomInput({2, 1, 6, 6}, 4), RandomLabels(2, 3, 5));
+  EXPECT_TRUE(report.passed) << report.worst_relative_error;
+}
+
+TEST(GradCheckTest, MaxPoolPath) {
+  Rng rng(1);
+  Sequential model;
+  model.Add(std::make_unique<Conv2D>("conv", 1, 2, 3, 1, 1, &rng));
+  model.Add(std::make_unique<MaxPool2D>("pool", 2, 2));
+  model.Add(std::make_unique<Flatten>("flat"));
+  model.Add(std::make_unique<Dense>("fc", 2 * 3 * 3, 3, &rng));
+  SoftmaxCrossEntropy loss;
+  const auto report =
+      CheckGradients(model, loss, RandomInput({2, 1, 6, 6}, 6), RandomLabels(2, 3, 7));
+  EXPECT_TRUE(report.passed) << report.worst_relative_error;
+}
+
+TEST(GradCheckTest, MiniVgg) {
+  Rng rng(1);
+  const auto model = BuildMiniVgg(1, 8, 4, &rng);
+  SoftmaxCrossEntropy loss;
+  GradCheckOptions options;
+  options.max_outliers = 4;  // two ReLUs and two max-pools make kinks unavoidable
+  const auto report =
+      CheckGradients(*model, loss, RandomInput({2, 1, 8, 8}, 2), RandomLabels(2, 4, 3), options);
+  EXPECT_TRUE(report.passed) << report.worst_param << " rel err "
+                             << report.worst_relative_error;
+}
+
+TEST(GradCheckTest, LstmLayer) {
+  Rng rng(1);
+  Sequential model;
+  model.Add(std::make_unique<Lstm>("lstm", 4, 6, &rng));
+  model.Add(std::make_unique<TimeFlatten>("tokens"));
+  model.Add(std::make_unique<Dense>("head", 6, 3, &rng));
+  SoftmaxCrossEntropy loss;
+  const Tensor input = RandomInput({2, 5, 4}, 8);
+  const Tensor labels = RandomLabels(2 * 5, 3, 9);
+  const auto report = CheckGradients(model, loss, input, labels);
+  EXPECT_TRUE(report.passed) << report.worst_param << " rel err "
+                             << report.worst_relative_error;
+}
+
+TEST(GradCheckTest, StackedLstm) {
+  Rng rng(1);
+  Sequential model;
+  model.Add(std::make_unique<Lstm>("lstm1", 3, 5, &rng));
+  model.Add(std::make_unique<Lstm>("lstm2", 5, 4, &rng));
+  model.Add(std::make_unique<TimeFlatten>("tokens"));
+  model.Add(std::make_unique<Dense>("head", 4, 3, &rng));
+  SoftmaxCrossEntropy loss;
+  const auto report =
+      CheckGradients(model, loss, RandomInput({2, 4, 3}, 10), RandomLabels(8, 3, 11));
+  EXPECT_TRUE(report.passed) << report.worst_param << " rel err "
+                             << report.worst_relative_error;
+}
+
+TEST(GradCheckTest, EmbeddingLstmModel) {
+  Rng rng(1);
+  const auto model = BuildLstmSeqModel(/*vocab=*/7, /*embed=*/4, /*hidden=*/5,
+                                       /*num_layers=*/1, &rng);
+  SoftmaxCrossEntropy loss;
+  Rng token_rng(12);
+  Tensor tokens({2, 4});
+  for (int64_t i = 0; i < tokens.numel(); ++i) {
+    tokens[i] = static_cast<float>(token_rng.UniformInt(7));
+  }
+  const auto report = CheckGradients(*model, loss, tokens, RandomLabels(8, 7, 13));
+  EXPECT_TRUE(report.passed) << report.worst_param << " rel err "
+                             << report.worst_relative_error;
+}
+
+TEST(GradCheckTest, MseLoss) {
+  Rng rng(1);
+  Sequential model;
+  model.Add(std::make_unique<Dense>("fc", 4, 2, &rng));
+  MeanSquaredError loss;
+  const Tensor input = RandomInput({3, 4}, 2);
+  const Tensor targets = RandomInput({3, 2}, 3);
+  const auto report = CheckGradients(model, loss, input, targets);
+  EXPECT_TRUE(report.passed) << report.worst_relative_error;
+}
+
+// Property sweep: random MLP shapes all pass the gradient check.
+class RandomMlpGradTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomMlpGradTest, Passes) {
+  const int seed = GetParam();
+  Rng rng(static_cast<uint64_t>(seed));
+  const int64_t in = 3 + static_cast<int64_t>(rng.UniformInt(6));
+  const int64_t hidden = 4 + static_cast<int64_t>(rng.UniformInt(8));
+  const int64_t classes = 2 + static_cast<int64_t>(rng.UniformInt(4));
+  const auto model = BuildMlpClassifier(in, {hidden}, classes, &rng);
+  SoftmaxCrossEntropy loss;
+  GradCheckOptions options;
+  options.max_outliers = 1;  // single-ReLU nets occasionally sample a kink
+  const auto report = CheckGradients(
+      *model, loss, RandomInput({3, in}, static_cast<uint64_t>(seed) + 100),
+      RandomLabels(3, classes, static_cast<uint64_t>(seed) + 200), options);
+  EXPECT_TRUE(report.passed) << "seed " << seed << ": " << report.worst_param << " rel err "
+                             << report.worst_relative_error;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomMlpGradTest, ::testing::Range(1, 11));
+
+}  // namespace
+}  // namespace pipedream

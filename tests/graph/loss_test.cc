@@ -1,0 +1,77 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/graph/loss.h"
+#include "src/tensor/ops.h"
+
+namespace pipedream {
+namespace {
+
+TEST(SoftmaxCrossEntropyTest, UniformLogitsGiveLogC) {
+  SoftmaxCrossEntropy loss;
+  Tensor logits({2, 4});
+  Tensor labels({2}, {0, 3});
+  Tensor grad;
+  const double value = loss.Compute(logits, labels, &grad);
+  EXPECT_NEAR(value, std::log(4.0), 1e-6);
+}
+
+TEST(SoftmaxCrossEntropyTest, ConfidentCorrectIsNearZero) {
+  SoftmaxCrossEntropy loss;
+  Tensor logits({1, 3}, {100, 0, 0});
+  Tensor labels({1}, {0});
+  Tensor grad;
+  EXPECT_NEAR(loss.Compute(logits, labels, &grad), 0.0, 1e-6);
+}
+
+TEST(SoftmaxCrossEntropyTest, GradientIsSoftmaxMinusOnehotOverN) {
+  SoftmaxCrossEntropy loss;
+  Tensor logits({2, 2});  // uniform -> softmax = 0.5
+  Tensor labels({2}, {0, 1});
+  Tensor grad;
+  loss.Compute(logits, labels, &grad);
+  EXPECT_NEAR(grad.At(0, 0), (0.5 - 1.0) / 2.0, 1e-6);
+  EXPECT_NEAR(grad.At(0, 1), 0.5 / 2.0, 1e-6);
+  EXPECT_NEAR(grad.At(1, 1), (0.5 - 1.0) / 2.0, 1e-6);
+}
+
+TEST(SoftmaxCrossEntropyTest, GradientRowsSumToZero) {
+  SoftmaxCrossEntropy loss;
+  Tensor logits({3, 5}, {1, 2, 3, 4, 5, -1, 0, 1, 0, -1, 2, 2, 2, 2, 2});
+  Tensor labels({3}, {4, 2, 0});
+  Tensor grad;
+  loss.Compute(logits, labels, &grad);
+  for (int64_t r = 0; r < 3; ++r) {
+    double sum = 0.0;
+    for (int64_t c = 0; c < 5; ++c) {
+      sum += grad.At(r, c);
+    }
+    EXPECT_NEAR(sum, 0.0, 1e-6);
+  }
+}
+
+TEST(MeanSquaredErrorTest, ValueAndGradient) {
+  MeanSquaredError loss;
+  Tensor pred({1, 2}, {3, 5});
+  Tensor target({1, 2}, {1, 5});
+  Tensor grad;
+  const double value = loss.Compute(pred, target, &grad);
+  EXPECT_NEAR(value, 4.0 / 2.0, 1e-6);  // mean of (2^2, 0)
+  EXPECT_NEAR(grad[0], 2.0 * 2.0 / 2.0, 1e-6);
+  EXPECT_NEAR(grad[1], 0.0, 1e-6);
+}
+
+TEST(AccuracyTest, CountsArgmaxMatches) {
+  Tensor pred({3, 2}, {0.9f, 0.1f, 0.2f, 0.8f, 0.6f, 0.4f});
+  Tensor labels({3}, {0, 1, 1});
+  EXPECT_NEAR(Accuracy(pred, labels), 2.0 / 3.0, 1e-9);
+}
+
+TEST(PerplexityTest, ExpOfLoss) {
+  EXPECT_NEAR(PerplexityFromLoss(std::log(50.0)), 50.0, 1e-9);
+  EXPECT_NEAR(PerplexityFromLoss(0.0), 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace pipedream

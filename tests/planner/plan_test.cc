@@ -1,0 +1,211 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/planner/plan.h"
+#include "src/profile/model_zoo.h"
+
+namespace pipedream {
+namespace {
+
+TEST(PlanTest, DataParallelPlan) {
+  const auto plan = MakeDataParallelPlan(10, 4);
+  EXPECT_EQ(plan.num_stages(), 1);
+  EXPECT_EQ(plan.total_workers(), 4);
+  EXPECT_TRUE(plan.IsDataParallel(10));
+  EXPECT_FALSE(plan.IsStraight());
+  EXPECT_EQ(plan.ConfigString(10), "4");
+  EXPECT_EQ(plan.Noam(), 1);
+}
+
+TEST(PlanTest, StraightPlan) {
+  const auto plan = MakeStraightPlan(10, {3, 7});
+  EXPECT_EQ(plan.num_stages(), 3);
+  EXPECT_TRUE(plan.IsStraight());
+  EXPECT_EQ(plan.ConfigString(10), "straight");
+  EXPECT_EQ(plan.Noam(), 3);
+  EXPECT_EQ(plan.stage(0).end_layer, 3);
+  EXPECT_EQ(plan.stage(1).begin_layer, 3);
+  EXPECT_EQ(plan.stage(2).end_layer, 10);
+}
+
+TEST(PlanTest, ShapePlanConfigString) {
+  // The paper's "2-1-1" S2VT configuration.
+  const auto plan = MakePlanFromShape({{2, 2}, {1, 1}, {2, 1}});
+  EXPECT_EQ(plan.num_stages(), 3);
+  EXPECT_EQ(plan.total_workers(), 4);
+  EXPECT_EQ(plan.ConfigString(5), "2-1-1");
+  // NOAM = ceil(4 / 2) = 2 per input replica.
+  EXPECT_EQ(plan.Noam(), 2);
+}
+
+TEST(PlanTest, FifteenOneConfig) {
+  const auto plan = MakePlanFromShape({{18, 15}, {3, 1}});
+  EXPECT_EQ(plan.total_workers(), 16);
+  EXPECT_EQ(plan.ConfigString(21), "15-1");
+  EXPECT_EQ(plan.Noam(), 2);  // ceil(16/15)
+}
+
+TEST(PlanTest, WorkersAssignedContiguouslyAndUniquely) {
+  const auto plan = MakePlanFromShape({{2, 3}, {2, 2}, {1, 1}});
+  std::set<int> seen;
+  for (const auto& stage : plan.stages()) {
+    for (int w : stage.workers) {
+      EXPECT_TRUE(seen.insert(w).second);
+    }
+  }
+  EXPECT_EQ(seen.size(), 6u);
+  EXPECT_EQ(*seen.begin(), 0);
+  EXPECT_EQ(*seen.rbegin(), 5);
+}
+
+TEST(PlanTest, ValidateRejectsGaps) {
+  StageAssignment s0;
+  s0.begin_layer = 0;
+  s0.end_layer = 3;
+  s0.replicas = 1;
+  s0.workers = {0};
+  StageAssignment s1;
+  s1.begin_layer = 4;  // gap: layer 3 uncovered
+  s1.end_layer = 6;
+  s1.replicas = 1;
+  s1.workers = {1};
+  PipelinePlan plan({s0, s1});
+  EXPECT_DEATH(plan.Validate(6), "does not start");
+}
+
+TEST(PlanTest, ValidateRejectsDuplicateWorkers) {
+  StageAssignment s0;
+  s0.begin_layer = 0;
+  s0.end_layer = 3;
+  s0.replicas = 1;
+  s0.workers = {0};
+  StageAssignment s1;
+  s1.begin_layer = 3;
+  s1.end_layer = 6;
+  s1.replicas = 1;
+  s1.workers = {0};  // reused
+  PipelinePlan plan({s0, s1});
+  EXPECT_DEATH(plan.Validate(6), "assigned twice");
+}
+
+TEST(BalancedStraightPlanTest, BalancesComputeNotLayerCount) {
+  // One huge layer and many small ones: the huge layer should sit alone in its stage.
+  ModelProfile profile;
+  profile.model_name = "synthetic";
+  profile.minibatch_size = 1;
+  for (int i = 0; i < 8; ++i) {
+    LayerProfile layer;
+    layer.name = "small" + std::to_string(i);
+    layer.fwd_seconds = 0.01;
+    layer.bwd_seconds = 0.02;
+    layer.activation_bytes = 100;
+    profile.layers.push_back(layer);
+  }
+  LayerProfile huge;
+  huge.name = "huge";
+  huge.fwd_seconds = 1.0;
+  huge.bwd_seconds = 2.0;
+  huge.activation_bytes = 100;
+  profile.layers.insert(profile.layers.begin() + 4, huge);
+
+  const auto plan = MakeBalancedStraightPlan(profile, 3);
+  EXPECT_EQ(plan.num_stages(), 3);
+  // Find the stage containing the huge layer (index 4) — it should contain only it.
+  for (const auto& stage : plan.stages()) {
+    if (stage.begin_layer <= 4 && 4 < stage.end_layer) {
+      EXPECT_EQ(stage.num_layers(), 1);
+    }
+  }
+}
+
+TEST(BalancedStraightPlanTest, UniformLayersSplitEvenly) {
+  ModelProfile profile;
+  profile.minibatch_size = 1;
+  for (int i = 0; i < 12; ++i) {
+    LayerProfile layer;
+    layer.name = "l" + std::to_string(i);
+    layer.fwd_seconds = 0.1;
+    layer.bwd_seconds = 0.2;
+    profile.layers.push_back(layer);
+  }
+  const auto plan = MakeBalancedStraightPlan(profile, 4);
+  for (const auto& stage : plan.stages()) {
+    EXPECT_EQ(stage.num_layers(), 3);
+  }
+}
+
+TEST(BalancedStraightPlanTest, OneStagePerLayerAtMax) {
+  const auto profile = MakeAlexNetProfile();
+  const auto plan = MakeBalancedStraightPlan(profile, profile.num_layers());
+  EXPECT_EQ(plan.num_stages(), profile.num_layers());
+}
+
+TEST(ConfigStringTest, ParsesDataParallel) {
+  const auto profile = MakeAlexNetProfile();
+  const auto plan = MakePlanFromConfigString(profile, "16", 16);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_TRUE(plan->IsDataParallel(profile.num_layers()));
+  EXPECT_EQ(plan->total_workers(), 16);
+}
+
+TEST(ConfigStringTest, ParsesHybrid) {
+  const auto profile = MakeVgg16Profile();
+  const auto plan = MakePlanFromConfigString(profile, "15-1", 16);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->num_stages(), 2);
+  EXPECT_EQ(plan->stage(0).replicas, 15);
+  EXPECT_EQ(plan->stage(1).replicas, 1);
+  EXPECT_EQ(plan->ConfigString(profile.num_layers()), "15-1");
+}
+
+TEST(ConfigStringTest, ParsesStraight) {
+  const auto profile = MakeGnmtProfile(8);
+  const auto plan = MakePlanFromConfigString(profile, "straight", 4);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_TRUE(plan->IsStraight());
+  EXPECT_EQ(plan->num_stages(), 4);
+}
+
+TEST(ConfigStringTest, RejectsWorkerMismatch) {
+  const auto profile = MakeVgg16Profile();
+  const auto plan = MakePlanFromConfigString(profile, "15-1", 8);
+  EXPECT_FALSE(plan.ok());
+  EXPECT_EQ(plan.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ConfigStringTest, RejectsGarbage) {
+  const auto profile = MakeVgg16Profile();
+  EXPECT_FALSE(MakePlanFromConfigString(profile, "15-x", 0).ok());
+  EXPECT_FALSE(MakePlanFromConfigString(profile, "", 0).ok());
+  EXPECT_FALSE(MakePlanFromConfigString(profile, "0-4", 0).ok());
+}
+
+TEST(ConfigStringTest, RoundTripsThroughConfigString) {
+  const auto profile = MakeVgg16Profile();
+  for (const char* config : {"16", "15-1", "8-4-4", "2-2"}) {
+    const auto plan = MakePlanFromConfigString(profile, config, 0);
+    ASSERT_TRUE(plan.ok()) << config;
+    EXPECT_EQ(plan->ConfigString(profile.num_layers()), config);
+  }
+}
+
+TEST(BalancedReplicasTest, WeightsLayersByReplicaCount) {
+  // With replicas {3, 1} on a uniform profile, the 3-replica stage should get ~3x the
+  // layers (equalizing per-replica compute).
+  ModelProfile profile;
+  profile.minibatch_size = 1;
+  for (int i = 0; i < 12; ++i) {
+    LayerProfile layer;
+    layer.name = "l" + std::to_string(i);
+    layer.fwd_seconds = 0.1;
+    layer.bwd_seconds = 0.2;
+    profile.layers.push_back(layer);
+  }
+  const auto plan = MakeBalancedPlanWithReplicas(profile, {3, 1});
+  EXPECT_EQ(plan.stage(0).num_layers(), 9);
+  EXPECT_EQ(plan.stage(1).num_layers(), 3);
+}
+
+}  // namespace
+}  // namespace pipedream

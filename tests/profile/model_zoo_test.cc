@@ -1,0 +1,148 @@
+// Sanity checks that the analytic profiles reproduce the published architectures' parameter
+// counts and the structural properties the paper's arguments depend on.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "src/profile/model_zoo.h"
+
+namespace pipedream {
+namespace {
+
+double TotalParamsMillions(const ModelProfile& p) {
+  return static_cast<double>(p.TotalParamBytes()) / 4.0 / 1e6;
+}
+
+TEST(ModelZooTest, Vgg16ParameterCount) {
+  const auto p = MakeVgg16Profile();
+  // Published VGG-16: ~138M parameters.
+  EXPECT_NEAR(TotalParamsMillions(p), 138.0, 3.0);
+}
+
+TEST(ModelZooTest, Resnet50ParameterCount) {
+  const auto p = MakeResnet50Profile();
+  // Published ResNet-50: ~25.5M parameters.
+  EXPECT_NEAR(TotalParamsMillions(p), 25.5, 2.0);
+}
+
+TEST(ModelZooTest, AlexNetParameterCount) {
+  const auto p = MakeAlexNetProfile();
+  // Published AlexNet: ~61M parameters.
+  EXPECT_NEAR(TotalParamsMillions(p), 61.0, 3.0);
+}
+
+TEST(ModelZooTest, AwdLmParamBytesNearPaperFigure) {
+  const auto p = MakeAwdLmProfile();
+  // §5.2: "a large number of model parameters (0.41 GB)".
+  EXPECT_NEAR(static_cast<double>(p.TotalParamBytes()) / 1e9, 0.41, 0.12);
+}
+
+TEST(ModelZooTest, Gnmt16HasTwiceTheLstmsOfGnmt8) {
+  const auto g8 = MakeGnmtProfile(8);
+  const auto g16 = MakeGnmtProfile(16);
+  EXPECT_EQ(g16.num_layers() - g8.num_layers(), 8);
+  EXPECT_GT(g16.TotalComputeSeconds(), g8.TotalComputeSeconds());
+}
+
+TEST(ModelZooTest, Vgg16ConvVsFcProfileShape) {
+  // The property PipeDream's VGG speedup rests on: convolutional layers hold a small
+  // fraction of the weights but most of the compute; FC layers are the opposite.
+  const auto p = MakeVgg16Profile();
+  int64_t conv_params = 0;
+  int64_t fc_params = 0;
+  double conv_time = 0.0;
+  double fc_time = 0.0;
+  for (const auto& layer : p.layers) {
+    if (layer.name.rfind("fc", 0) == 0) {
+      fc_params += layer.param_bytes;
+      fc_time += layer.total_seconds();
+    } else {
+      conv_params += layer.param_bytes;
+      conv_time += layer.total_seconds();
+    }
+  }
+  EXPECT_GT(fc_params, 5 * conv_params);   // weights live in the FC layers
+  EXPECT_GT(conv_time, 10 * fc_time);      // compute lives in the convolutions
+}
+
+TEST(ModelZooTest, Resnet50HasCompactWeightsLargeActivations) {
+  // Why the optimizer picks vanilla DP for ResNet-50 (§5.2/§5.5): at the typical candidate
+  // split, the activation crossing the boundary is as large as the *entire* weight set, so
+  // pipelining buys nothing over synchronizing the compact weights.
+  const auto p = MakeResnet50Profile();
+  const int64_t total_weights = p.TotalParamBytes();
+  std::vector<int64_t> boundaries;
+  for (int l = 0; l + 1 < p.num_layers(); ++l) {
+    boundaries.push_back(p.BoundaryActivationBytes(l));
+  }
+  std::sort(boundaries.begin(), boundaries.end());
+  const int64_t median = boundaries[boundaries.size() / 2];
+  EXPECT_GT(median, total_weights / 2);
+}
+
+TEST(ModelZooTest, GnmtActivationsSmallRelativeToWeights) {
+  // Why straight pipelines win for GNMT: layer outputs are tiny next to the weights.
+  const auto p = MakeGnmtProfile(16);
+  const int64_t total_weights = p.TotalParamBytes();
+  int64_t max_boundary = 0;
+  for (int l = 0; l + 1 < p.num_layers(); ++l) {
+    max_boundary = std::max(max_boundary, p.BoundaryActivationBytes(l));
+  }
+  EXPECT_LT(max_boundary * 20, total_weights);
+}
+
+TEST(ModelZooTest, BackwardIsTwiceForward) {
+  for (const auto& name : ModelZooNames()) {
+    const auto p = MakeProfileByName(name);
+    for (const auto& layer : p.layers) {
+      EXPECT_NEAR(layer.bwd_seconds, 2.0 * layer.fwd_seconds, 1e-12) << name << "/" << layer.name;
+    }
+  }
+}
+
+TEST(ModelZooTest, AllModelsBuildWithPositiveTotals) {
+  for (const auto& name : ModelZooNames()) {
+    const auto p = MakeProfileByName(name);
+    EXPECT_GT(p.num_layers(), 3) << name;
+    EXPECT_GT(p.TotalComputeSeconds(), 0.0) << name;
+    EXPECT_GT(p.TotalParamBytes(), 0) << name;
+    EXPECT_EQ(p.model_name, name);
+  }
+}
+
+TEST(ModelZooTest, FasterDeviceShrinksCompute) {
+  const auto v100 = MakeVgg16Profile(64, DeviceSpec::V100());
+  const auto titan = MakeVgg16Profile(64, DeviceSpec::TitanX());
+  EXPECT_LT(v100.TotalComputeSeconds(), titan.TotalComputeSeconds());
+  EXPECT_EQ(v100.TotalParamBytes(), titan.TotalParamBytes());
+}
+
+TEST(ModelProfileTest, ScaledHalvesBytesSpeedsCompute) {
+  const auto p = MakeGnmtProfile(8);
+  const auto fp16 = p.Scaled(2.5, 0.5);
+  EXPECT_NEAR(fp16.TotalComputeSeconds(), p.TotalComputeSeconds() / 2.5, 1e-9);
+  EXPECT_NEAR(static_cast<double>(fp16.TotalParamBytes()),
+              static_cast<double>(p.TotalParamBytes()) / 2.0,
+              static_cast<double>(p.num_layers()));
+}
+
+TEST(ModelProfileTest, WithBatchScaledScalesComputeAndActivationsOnly) {
+  const auto p = MakeVgg16Profile(64);
+  const auto micro = p.WithBatchScaled(0.25);
+  EXPECT_EQ(micro.minibatch_size, 16);
+  EXPECT_NEAR(micro.TotalComputeSeconds(), p.TotalComputeSeconds() * 0.25, 1e-9);
+  EXPECT_EQ(micro.TotalParamBytes(), p.TotalParamBytes());
+  EXPECT_LT(micro.ActivationBytes(0, micro.num_layers()),
+            p.ActivationBytes(0, p.num_layers()));
+}
+
+TEST(ModelProfileTest, RangeQueriesConsistent) {
+  const auto p = MakeAlexNetProfile();
+  const int n = p.num_layers();
+  EXPECT_NEAR(p.ComputeSeconds(0, 3) + p.ComputeSeconds(3, n), p.TotalComputeSeconds(), 1e-12);
+  EXPECT_EQ(p.ParamBytes(0, 3) + p.ParamBytes(3, n), p.TotalParamBytes());
+}
+
+}  // namespace
+}  // namespace pipedream

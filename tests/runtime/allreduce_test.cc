@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "src/runtime/allreduce.h"
+
+namespace pipedream {
+namespace {
+
+TEST(GradientAllReducerTest, SingleParticipantIsIdentity) {
+  GradientAllReducer reducer(1);
+  Parameter p;
+  p.value = Tensor({2}, {0, 0});
+  p.grad = Tensor({2}, {3, 4});
+  reducer.AllReduce({&p});
+  EXPECT_EQ(p.grad[0], 3.0f);
+}
+
+TEST(GradientAllReducerTest, AveragesAcrossThreads) {
+  const int n = 4;
+  GradientAllReducer reducer(n);
+  std::vector<Parameter> params(static_cast<size_t>(n));
+  std::vector<std::thread> threads;
+  for (int i = 0; i < n; ++i) {
+    params[static_cast<size_t>(i)].value = Tensor({2});
+    params[static_cast<size_t>(i)].grad =
+        Tensor({2}, {static_cast<float>(i), static_cast<float>(2 * i)});
+  }
+  for (int i = 0; i < n; ++i) {
+    threads.emplace_back(
+        [&reducer, &params, i] { reducer.AllReduce({&params[static_cast<size_t>(i)]}); });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  // Mean of 0..3 = 1.5; mean of 0,2,4,6 = 3.
+  for (int i = 0; i < n; ++i) {
+    EXPECT_NEAR(params[static_cast<size_t>(i)].grad[0], 1.5f, 1e-6);
+    EXPECT_NEAR(params[static_cast<size_t>(i)].grad[1], 3.0f, 1e-6);
+  }
+}
+
+TEST(GradientAllReducerTest, MultipleRoundsStayConsistent) {
+  const int n = 3;
+  GradientAllReducer reducer(n);
+  std::vector<Parameter> params(static_cast<size_t>(n));
+  for (auto& p : params) {
+    p.value = Tensor({1});
+    p.grad = Tensor({1});
+  }
+  const int rounds = 50;
+  std::vector<std::thread> threads;
+  std::vector<std::vector<float>> results(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    threads.emplace_back([&, i] {
+      for (int r = 0; r < rounds; ++r) {
+        params[static_cast<size_t>(i)].grad[0] = static_cast<float>(r * 10 + i);
+        reducer.AllReduce({&params[static_cast<size_t>(i)]});
+        results[static_cast<size_t>(i)].push_back(params[static_cast<size_t>(i)].grad[0]);
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  for (int r = 0; r < rounds; ++r) {
+    const float expected = static_cast<float>(r * 10 + 1);  // mean of {r10, r10+1, r10+2}
+    for (int i = 0; i < n; ++i) {
+      ASSERT_NEAR(results[static_cast<size_t>(i)][static_cast<size_t>(r)], expected, 1e-5)
+          << "round " << r << " thread " << i;
+    }
+  }
+}
+
+TEST(FlushBarrierTest, ReleasesAllParticipants) {
+  const int n = 4;
+  FlushBarrier barrier(n);
+  std::atomic<int> arrived{0};
+  std::atomic<int> released{0};
+  std::vector<std::thread> threads;
+  for (int i = 0; i < n; ++i) {
+    threads.emplace_back([&] {
+      ++arrived;
+      barrier.Arrive();
+      ++released;
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(arrived.load(), n);
+  EXPECT_EQ(released.load(), n);
+}
+
+TEST(FlushBarrierTest, ReusableAcrossGenerations) {
+  const int n = 2;
+  FlushBarrier barrier(n);
+  std::atomic<int> count{0};
+  std::vector<std::thread> threads;
+  for (int i = 0; i < n; ++i) {
+    threads.emplace_back([&] {
+      for (int round = 0; round < 100; ++round) {
+        barrier.Arrive();
+        ++count;
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(count.load(), 200);
+}
+
+}  // namespace
+}  // namespace pipedream

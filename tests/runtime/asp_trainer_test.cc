@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/data/dataset.h"
+#include "src/graph/loss.h"
+#include "src/graph/models.h"
+#include "src/optim/sgd.h"
+#include "src/runtime/asp_trainer.h"
+
+namespace pipedream {
+namespace {
+
+TEST(AspTrainerTest, SingleWorkerTrainsLikeSgd) {
+  const Dataset data = MakeGaussianMixture(3, 6, 96, 0.3, 11);
+  Rng rng(1);
+  const auto model = BuildMlpClassifier(6, {16}, 3, &rng);
+  SoftmaxCrossEntropy loss;
+  Sgd sgd(0.1);
+  AspTrainer trainer(*model, 1, &loss, sgd, &data, 12, 5);
+  const auto first = trainer.TrainEpoch();
+  AspEpochStats last{};
+  for (int e = 0; e < 8; ++e) {
+    last = trainer.TrainEpoch();
+  }
+  EXPECT_LT(last.mean_loss, first.mean_loss * 0.7);
+  EXPECT_EQ(first.minibatches, 24);  // 3 classes x 96 / batch 12
+}
+
+TEST(AspTrainerTest, MultiWorkerStillConvergesOnEasyProblem) {
+  const Dataset all = MakeGaussianMixture(3, 6, 96, 0.3, 13);
+  Dataset data;
+  Dataset eval;
+  SplitDataset(all, 0.75, &data, &eval);
+  Rng rng(1);
+  const auto model = BuildMlpClassifier(6, {16}, 3, &rng);
+  SoftmaxCrossEntropy loss;
+  Sgd sgd(0.05);
+  AspTrainer trainer(*model, 4, &loss, sgd, &data, 12, 5);
+  for (int e = 0; e < 15; ++e) {
+    trainer.TrainEpoch();
+  }
+  EXPECT_GT(trainer.EvaluateAccuracy(eval, 12), 0.8);
+}
+
+TEST(AspTrainerTest, EpochCountsAdvance) {
+  const Dataset data = MakeGaussianMixture(2, 4, 32, 0.3, 17);
+  Rng rng(1);
+  const auto model = BuildMlpClassifier(4, {8}, 2, &rng);
+  SoftmaxCrossEntropy loss;
+  Sgd sgd(0.1);
+  AspTrainer trainer(*model, 2, &loss, sgd, &data, 8, 5);
+  trainer.TrainEpoch();
+  trainer.TrainEpoch();
+  EXPECT_EQ(trainer.epochs_completed(), 2);
+}
+
+TEST(AspTrainerTest, ControlledStalenessStillTrainsOnEasyTask) {
+  const Dataset data = MakeGaussianMixture(3, 6, 96, 0.3, 21);
+  Rng rng(1);
+  const auto model = BuildMlpClassifier(6, {16}, 3, &rng);
+  SoftmaxCrossEntropy loss;
+  Sgd sgd(0.05);
+  AspTrainer trainer(*model, 2, &loss, sgd, &data, 12, 5, /*staleness_depth=*/4);
+  const auto first = trainer.TrainEpoch();
+  AspEpochStats last{};
+  for (int e = 0; e < 10; ++e) {
+    last = trainer.TrainEpoch();
+  }
+  EXPECT_LT(last.mean_loss, first.mean_loss);
+}
+
+TEST(AspTrainerTest, SingleWorkerStalenessIsDeterministic) {
+  // With one worker there is no thread interleaving, so the delayed-snapshot mechanism must
+  // be exactly reproducible.
+  const Dataset data = MakeGaussianMixture(2, 4, 48, 0.4, 23);
+  auto run = [&] {
+    Rng rng(1);
+    const auto model = BuildMlpClassifier(4, {8}, 2, &rng);
+    SoftmaxCrossEntropy loss;
+    Sgd sgd(0.05);
+    AspTrainer trainer(*model, 1, &loss, sgd, &data, 8, 5, /*staleness_depth=*/3);
+    double loss_sum = 0.0;
+    for (int e = 0; e < 3; ++e) {
+      loss_sum += trainer.TrainEpoch().mean_loss;
+    }
+    return loss_sum;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(AspTrainerTest, StalenessChangesTrajectory) {
+  const Dataset data = MakeGaussianMixture(2, 4, 48, 0.4, 23);
+  auto final_loss = [&](int depth) {
+    Rng rng(1);
+    const auto model = BuildMlpClassifier(4, {8}, 2, &rng);
+    SoftmaxCrossEntropy loss;
+    Sgd sgd(0.05);
+    AspTrainer trainer(*model, 1, &loss, sgd, &data, 8, 5, depth);
+    double last = 0.0;
+    for (int e = 0; e < 3; ++e) {
+      last = trainer.TrainEpoch().mean_loss;
+    }
+    return last;
+  };
+  EXPECT_NE(final_loss(0), final_loss(6));
+}
+
+}  // namespace
+}  // namespace pipedream

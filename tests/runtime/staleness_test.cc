@@ -1,0 +1,79 @@
+// Validates the §3.3 staleness formulas: under 1F1B + weight stashing on a straight n-stage
+// pipeline, stage s (0-indexed) applies updates whose gradients were computed n-1-s versions
+// earlier; vertical sync makes every stage's staleness equal to that of stage 0.
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/data/dataset.h"
+#include "src/graph/loss.h"
+#include "src/graph/models.h"
+#include "src/optim/sgd.h"
+#include "src/runtime/pipeline_trainer.h"
+
+namespace pipedream {
+namespace {
+
+std::unique_ptr<Sequential> FourLayerModel() {
+  Rng rng(5);
+  return BuildMlpClassifier(4, {8, 8, 8}, 3, &rng);  // 7 layers: D R D R D R D
+}
+
+TEST(StalenessTest, StashingStalenessIsStageDistanceFromOutput) {
+  const Dataset data = MakeGaussianMixture(3, 4, 64, 0.4, 7);
+  auto model = FourLayerModel();
+  // 4 stages: cut after layers 2, 4, 6 (each stage = Dense[+ReLU]).
+  const auto plan = MakeStraightPlan(static_cast<int>(model->size()), {2, 4, 6});
+  SoftmaxCrossEntropy loss;
+  Sgd sgd(0.01);
+  PipelineTrainer trainer(*model, plan, &loss, sgd, &data, /*batch=*/8, /*seed=*/3);
+  trainer.TrainEpoch();
+  trainer.TrainEpoch();
+
+  // In steady state, stage s's staleness is n-1-s = 3-s. Epoch boundaries (drain + refill)
+  // produce transient smaller values, so the mean is slightly below and the max equals it.
+  const int n = plan.num_stages();
+  for (int s = 0; s < n; ++s) {
+    const RunningStat& staleness = trainer.StageStaleness(s);
+    EXPECT_GT(staleness.count(), 0) << s;
+    EXPECT_EQ(static_cast<int>(staleness.max()), n - 1 - s) << "stage " << s;
+    EXPECT_LE(staleness.mean(), n - 1 - s) << "stage " << s;
+    EXPECT_GE(staleness.mean(), std::max(0.0, n - 1.5 - s)) << "stage " << s;
+  }
+  // The output stage always computes gradients at current weights.
+  EXPECT_EQ(trainer.StageStaleness(n - 1).max(), 0.0);
+}
+
+TEST(StalenessTest, ModelParallelHasZeroStaleness) {
+  const Dataset data = MakeGaussianMixture(3, 4, 64, 0.4, 7);
+  auto model = FourLayerModel();
+  const auto plan = MakeStraightPlan(static_cast<int>(model->size()), {2, 4, 6});
+  SoftmaxCrossEntropy loss;
+  Sgd sgd(0.01);
+  PipelineTrainerOptions options;
+  options.schedule = ScheduleKind::kModelParallel;
+  PipelineTrainer trainer(*model, plan, &loss, sgd, &data, 8, 3, options);
+  trainer.TrainEpoch();
+  for (int s = 0; s < plan.num_stages(); ++s) {
+    EXPECT_EQ(trainer.StageStaleness(s).max(), 0.0) << s;
+  }
+}
+
+TEST(StalenessTest, StashBytesGrowWithStageDepth) {
+  // The input stage stashes NOAM weight versions; the output stage stashes none beyond the
+  // live copy. Peak stash bytes must be monotonically non-increasing along the pipeline
+  // relative to each stage's weight size.
+  const Dataset data = MakeGaussianMixture(3, 4, 64, 0.4, 7);
+  auto model = FourLayerModel();
+  const auto plan = MakeStraightPlan(static_cast<int>(model->size()), {2, 4, 6});
+  SoftmaxCrossEntropy loss;
+  Sgd sgd(0.01);
+  PipelineTrainer trainer(*model, plan, &loss, sgd, &data, 8, 3);
+  trainer.TrainEpoch();
+  // Stage 0 keeps up to 4 in-flight stashes; the last stage's backward runs immediately
+  // after its forward, so at most one stash is ever held.
+  EXPECT_GT(trainer.StagePeakStashBytes(0), 0);
+  EXPECT_GT(trainer.StagePeakStashBytes(0), trainer.StagePeakStashBytes(3));
+}
+
+}  // namespace
+}  // namespace pipedream

@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include "src/runtime/weight_store.h"
+#include "src/tensor/ops.h"
+
+namespace pipedream {
+namespace {
+
+class WeightStoreTest : public ::testing::Test {
+ protected:
+  WeightStoreTest() {
+    param_.name = "w";
+    param_.value = Tensor({2}, {1.0f, 2.0f});
+    param_.ZeroGrad();
+  }
+
+  void ApplyUpdate(float delta) {
+    param_.value[0] += delta;
+    param_.value[1] += delta;
+  }
+
+  Parameter param_;
+};
+
+TEST_F(WeightStoreTest, StashingRestoresForwardWeightsAtBackward) {
+  WeightStore store({&param_}, WeightMode::kStashing);
+  // Forward of minibatch 0 sees (1, 2) and stashes it.
+  store.BeginForward(0, 0);
+  store.EndForward(0);
+  // Two updates land before minibatch 0's backward.
+  ApplyUpdate(10.0f);
+  store.CommitUpdate();
+  ApplyUpdate(10.0f);
+  store.CommitUpdate();
+  // Backward must see the stashed (1, 2).
+  store.BeginBackward(0);
+  EXPECT_EQ(param_.value[0], 1.0f);
+  EXPECT_EQ(param_.value[1], 2.0f);
+  // After the backward, the latest weights return.
+  store.EndBackward(0);
+  EXPECT_EQ(param_.value[0], 21.0f);
+}
+
+TEST_F(WeightStoreTest, StashingNoSwapWhenVersionUnchanged) {
+  WeightStore store({&param_}, WeightMode::kStashing);
+  store.BeginForward(0, 0);
+  store.EndForward(0);
+  const int64_t version = store.BeginBackward(0);
+  EXPECT_EQ(version, 0);
+  EXPECT_EQ(param_.value[0], 1.0f);
+  store.EndBackward(0);
+}
+
+TEST_F(WeightStoreTest, NaiveModeNeverSwaps) {
+  WeightStore store({&param_}, WeightMode::kNaive);
+  store.BeginForward(0, 0);
+  store.EndForward(0);
+  ApplyUpdate(5.0f);
+  store.CommitUpdate();
+  store.BeginBackward(0);
+  // Naive pipelining: the backward sees the *newer* weights — the §3.3 mismatch.
+  EXPECT_EQ(param_.value[0], 6.0f);
+  store.EndBackward(0);
+}
+
+TEST_F(WeightStoreTest, MultipleInFlightStashes) {
+  WeightStore store({&param_}, WeightMode::kStashing);
+  store.BeginForward(0, 0);
+  store.EndForward(0);  // stashes (1, 2)
+  ApplyUpdate(1.0f);
+  store.CommitUpdate();
+  store.BeginForward(1, 1);
+  store.EndForward(1);  // stashes (2, 3)
+  ApplyUpdate(1.0f);
+  store.CommitUpdate();
+  EXPECT_EQ(store.StashCount(), 2u);
+
+  store.BeginBackward(0);
+  EXPECT_EQ(param_.value[0], 1.0f);
+  store.EndBackward(0);
+  store.BeginBackward(1);
+  EXPECT_EQ(param_.value[0], 2.0f);
+  store.EndBackward(1);
+  EXPECT_EQ(param_.value[0], 3.0f);  // latest restored
+  EXPECT_EQ(store.StashCount(), 0u);
+}
+
+TEST_F(WeightStoreTest, StashBytesTracksCopies) {
+  WeightStore store({&param_}, WeightMode::kStashing);
+  EXPECT_EQ(store.StashBytes(), 0);
+  store.BeginForward(0, 0);
+  store.EndForward(0);
+  EXPECT_EQ(store.StashBytes(), param_.value.SizeBytes());
+  store.BeginBackward(0);
+  store.EndBackward(0);
+  EXPECT_EQ(store.StashBytes(), 0);
+}
+
+TEST_F(WeightStoreTest, StalenessRecorded) {
+  WeightStore store({&param_}, WeightMode::kStashing);
+  store.BeginForward(0, 0);
+  store.EndForward(0);
+  ApplyUpdate(1.0f);
+  store.CommitUpdate();  // unrelated update (version 1)
+  store.BeginBackward(0);
+  store.EndBackward(0);
+  store.CommitUpdate();  // applies minibatch 0's gradient at version 1, computed at 0
+  EXPECT_EQ(store.staleness().count(), 1);
+  EXPECT_EQ(store.staleness().mean(), 1.0);
+}
+
+TEST_F(WeightStoreTest, VersionCountsUpdates) {
+  WeightStore store({&param_}, WeightMode::kStashing);
+  EXPECT_EQ(store.version(), 0);
+  store.CommitUpdate();
+  store.CommitUpdate();
+  EXPECT_EQ(store.version(), 2);
+}
+
+TEST_F(WeightStoreTest, VerticalSyncUsesLabeledVersionForBothPasses) {
+  WeightStore store({&param_}, WeightMode::kVerticalSync);
+  // Version 0 snapshot taken at construction: (1, 2).
+  ApplyUpdate(10.0f);
+  store.CommitUpdate();  // version 1: (11, 12)
+  // A minibatch labeled with version 0 must run forward AND backward at (1, 2).
+  store.BeginForward(7, /*input_version=*/0);
+  EXPECT_EQ(param_.value[0], 1.0f);
+  store.EndForward(7);
+  EXPECT_EQ(param_.value[0], 11.0f);  // latest restored between passes
+  store.BeginBackward(7);
+  EXPECT_EQ(param_.value[0], 1.0f);
+  store.EndBackward(7);
+  EXPECT_EQ(param_.value[0], 11.0f);
+}
+
+TEST_F(WeightStoreTest, VerticalSyncPrunesOldSnapshots) {
+  WeightStore store({&param_}, WeightMode::kVerticalSync);
+  store.BeginForward(0, 0);
+  store.EndForward(0);
+  ApplyUpdate(1.0f);
+  store.CommitUpdate();  // snapshot v1
+  store.BeginBackward(0);
+  store.EndBackward(0);  // v0 now unreferenced and prunable
+  ApplyUpdate(1.0f);
+  store.CommitUpdate();  // snapshot v2
+  // Only recent snapshots should remain: bytes bounded by ~2 copies.
+  EXPECT_LE(store.StashBytes(), 3 * param_.value.SizeBytes());
+}
+
+TEST_F(WeightStoreTest, ModeNames) {
+  EXPECT_STREQ(WeightModeName(WeightMode::kNaive), "naive");
+  EXPECT_STREQ(WeightModeName(WeightMode::kStashing), "stashing");
+  EXPECT_STREQ(WeightModeName(WeightMode::kVerticalSync), "vertical_sync");
+}
+
+}  // namespace
+}  // namespace pipedream

@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include "src/schedule/policy.h"
+
+namespace pipedream {
+namespace {
+
+TEST(StartupDepthTest, StraightPipeline) {
+  const auto plan = MakeStraightPlan(8, {2, 4, 6});
+  EXPECT_EQ(StartupDepth(plan, 0), 4);
+  EXPECT_EQ(StartupDepth(plan, 1), 3);
+  EXPECT_EQ(StartupDepth(plan, 2), 2);
+  EXPECT_EQ(StartupDepth(plan, 3), 1);
+}
+
+TEST(StartupDepthTest, ReplicatedInputStage) {
+  // Figure 8's 2-1 configuration: each input replica runs 2 forwards before its first
+  // backward; the output stage runs 1.
+  const auto plan = MakePlanFromShape({{3, 2}, {3, 1}});
+  EXPECT_EQ(StartupDepth(plan, 0), 2);  // ceil(3 / 2)
+  EXPECT_EQ(StartupDepth(plan, 1), 1);
+}
+
+TEST(StartupDepthTest, FifteenOne) {
+  const auto plan = MakePlanFromShape({{18, 15}, {3, 1}});
+  EXPECT_EQ(StartupDepth(plan, 0), 2);  // ceil(16/15) == NOAM
+  EXPECT_EQ(plan.Noam(), StartupDepth(plan, 0));
+}
+
+TEST(OneFOneBPolicyTest, StartupForwardsThenStrictAlternation) {
+  OneFOneBPolicy policy(3);
+  // Startup: three forwards.
+  for (int i = 0; i < 3; ++i) {
+    const auto action = policy.Decide(1, 1, false);
+    ASSERT_TRUE(action.has_value());
+    EXPECT_EQ(*action, WorkType::kForward) << i;
+    policy.OnStarted(*action);
+  }
+  // Steady state: backward first, then alternate.
+  const WorkType expected[] = {WorkType::kBackward, WorkType::kForward, WorkType::kBackward,
+                               WorkType::kForward};
+  for (WorkType want : expected) {
+    const auto action = policy.Decide(1, 1, false);
+    ASSERT_TRUE(action.has_value());
+    EXPECT_EQ(*action, want);
+    policy.OnStarted(*action);
+  }
+}
+
+TEST(OneFOneBPolicyTest, StrictWaitsForDueDirection) {
+  OneFOneBPolicy policy(1);
+  policy.OnStarted(*policy.Decide(1, 0, false));  // startup forward
+  // Due direction is backward; a ready forward must NOT be taken.
+  EXPECT_FALSE(policy.Decide(1, 0, false).has_value());
+  // The backward arrives; it is taken.
+  const auto action = policy.Decide(1, 1, false);
+  ASSERT_TRUE(action.has_value());
+  EXPECT_EQ(*action, WorkType::kBackward);
+}
+
+TEST(OneFOneBPolicyTest, StartupWaitsForForwards) {
+  OneFOneBPolicy policy(2);
+  EXPECT_FALSE(policy.Decide(0, 1, false).has_value());  // backward ready, but startup
+}
+
+TEST(OneFOneBPolicyTest, DrainTakesBackwardsWhenForwardsExhausted) {
+  OneFOneBPolicy policy(2);
+  policy.OnStarted(*policy.Decide(1, 0, false));
+  policy.OnStarted(*policy.Decide(1, 0, false));
+  policy.OnStarted(*policy.Decide(0, 1, false));  // steady backward
+  // Due: forward, but the stream has ended — drain the remaining backward.
+  const auto action = policy.Decide(0, 1, true);
+  ASSERT_TRUE(action.has_value());
+  EXPECT_EQ(*action, WorkType::kBackward);
+}
+
+TEST(OneFOneBPolicyTest, ShortRunDrainsDuringStartup) {
+  OneFOneBPolicy policy(4);
+  policy.OnStarted(*policy.Decide(1, 0, false));
+  // Only one minibatch ever existed; its backward must still be runnable.
+  const auto action = policy.Decide(0, 1, true);
+  ASSERT_TRUE(action.has_value());
+  EXPECT_EQ(*action, WorkType::kBackward);
+}
+
+TEST(GPipePolicyTest, ForwardsThenBackwardsThenFlush) {
+  GPipePolicy policy(3);
+  for (int i = 0; i < 3; ++i) {
+    const auto action = policy.Decide(1, 0, false);
+    ASSERT_TRUE(action.has_value());
+    EXPECT_EQ(*action, WorkType::kForward);
+    policy.OnStarted(*action);
+  }
+  // No fourth forward within the round.
+  EXPECT_FALSE(policy.Decide(1, 0, false).has_value());
+  for (int i = 0; i < 3; ++i) {
+    const auto action = policy.Decide(1, 1, false);
+    ASSERT_TRUE(action.has_value());
+    EXPECT_EQ(*action, WorkType::kBackward);
+    policy.OnStarted(*action);
+  }
+  // Round complete: stall for the flush.
+  EXPECT_TRUE(policy.waiting_for_flush());
+  EXPECT_FALSE(policy.Decide(1, 1, false).has_value());
+  policy.OnFlushComplete();
+  EXPECT_FALSE(policy.waiting_for_flush());
+  const auto action = policy.Decide(1, 0, false);
+  ASSERT_TRUE(action.has_value());
+  EXPECT_EQ(*action, WorkType::kForward);
+}
+
+TEST(GPipePolicyTest, InterleavesBackwardWhenNoForwardReady) {
+  // A middle stage may see backwards before all its forwards arrived; backwards proceed
+  // whenever no forward is pending.
+  GPipePolicy policy(2);
+  policy.OnStarted(*policy.Decide(1, 0, false));
+  const auto action = policy.Decide(0, 1, false);
+  ASSERT_TRUE(action.has_value());
+  EXPECT_EQ(*action, WorkType::kBackward);
+}
+
+TEST(ModelParallelPolicyTest, OneMinibatchAtATime) {
+  ModelParallelPolicy policy;
+  const auto f = policy.Decide(1, 0, false);
+  ASSERT_TRUE(f.has_value());
+  policy.OnStarted(*f);
+  EXPECT_FALSE(policy.Decide(1, 0, false).has_value());  // next fwd blocked until flush
+  const auto b = policy.Decide(0, 1, false);
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(*b, WorkType::kBackward);
+  policy.OnStarted(*b);
+  EXPECT_TRUE(policy.waiting_for_flush());
+}
+
+TEST(RoundRobinTest, ReplicaAssignment) {
+  EXPECT_EQ(RoundRobinReplica(0, 2), 0);
+  EXPECT_EQ(RoundRobinReplica(1, 2), 1);
+  EXPECT_EQ(RoundRobinReplica(2, 2), 0);
+  EXPECT_EQ(RoundRobinReplica(7, 3), 1);
+  EXPECT_EQ(RoundRobinReplica(5, 1), 0);
+}
+
+}  // namespace
+}  // namespace pipedream

@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include "src/schedule/trace.h"
+
+namespace pipedream {
+namespace {
+
+TraceEvent Event(int worker, int stage, WorkType type, int64_t mb, int64_t start_us,
+                 int64_t end_us) {
+  return {worker, stage, type, mb, SimTime::Micros(start_us), SimTime::Micros(end_us)};
+}
+
+PipelinePlan TwoStagePlan() { return MakeStraightPlan(4, {2}); }
+
+TEST(TraceTest, ValidSequencePasses) {
+  ExecutionTrace trace;
+  trace.Add(Event(0, 0, WorkType::kForward, 0, 0, 10));
+  trace.Add(Event(1, 1, WorkType::kForward, 0, 10, 20));
+  trace.Add(Event(1, 1, WorkType::kBackward, 0, 20, 40));
+  trace.Add(Event(0, 0, WorkType::kBackward, 0, 40, 60));
+  EXPECT_TRUE(trace.Validate(TwoStagePlan()).ok());
+}
+
+TEST(TraceTest, DetectsForwardBeforeUpstreamDone) {
+  ExecutionTrace trace;
+  trace.Add(Event(0, 0, WorkType::kForward, 0, 0, 10));
+  trace.Add(Event(1, 1, WorkType::kForward, 0, 5, 15));  // starts before upstream ends
+  const Status status = trace.Validate(TwoStagePlan());
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("starts before"), std::string::npos);
+}
+
+TEST(TraceTest, DetectsBackwardWithoutProducer) {
+  ExecutionTrace trace;
+  trace.Add(Event(0, 0, WorkType::kForward, 0, 0, 10));
+  trace.Add(Event(0, 0, WorkType::kBackward, 0, 10, 20));  // stage 1 never ran
+  EXPECT_FALSE(trace.Validate(TwoStagePlan()).ok());
+}
+
+TEST(TraceTest, DetectsWorkerOverlap) {
+  ExecutionTrace trace;
+  trace.Add(Event(0, 0, WorkType::kForward, 0, 0, 10));
+  trace.Add(Event(0, 0, WorkType::kForward, 1, 5, 15));  // same worker, overlapping
+  const Status status = trace.Validate(TwoStagePlan());
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("concurrently"), std::string::npos);
+}
+
+TEST(TraceTest, DetectsRoundRobinViolation) {
+  // Stage 0 replicated over workers {0, 1}: minibatch 1 must run on worker 1.
+  const auto plan = MakePlanFromShape({{2, 2}, {2, 1}});
+  ExecutionTrace trace;
+  trace.Add(Event(0, 0, WorkType::kForward, 1, 0, 10));  // wrong replica
+  const Status status = trace.Validate(plan);
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("round-robin"), std::string::npos);
+}
+
+TEST(TraceTest, DetectsAffinityViolation) {
+  // Forward and backward of a minibatch must run on the same worker (weight stashing).
+  // Build a plan where stage 0 has two replicas and forge a backward on the wrong one.
+  const auto plan = MakePlanFromShape({{2, 2}, {2, 1}});
+  ExecutionTrace trace;
+  trace.Add(Event(0, 0, WorkType::kForward, 0, 0, 10));
+  trace.Add(Event(2, 1, WorkType::kForward, 0, 10, 20));
+  trace.Add(Event(2, 1, WorkType::kBackward, 0, 20, 30));
+  trace.Add(Event(1, 0, WorkType::kBackward, 0, 30, 40));  // forward ran on worker 0
+  const Status status = trace.Validate(plan);
+  EXPECT_FALSE(status.ok());
+}
+
+TEST(TraceTest, DetectsDuplicateOps) {
+  ExecutionTrace trace;
+  trace.Add(Event(0, 0, WorkType::kForward, 0, 0, 10));
+  trace.Add(Event(0, 0, WorkType::kForward, 0, 10, 20));
+  const Status status = trace.Validate(TwoStagePlan());
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("duplicate"), std::string::npos);
+}
+
+TEST(TraceTest, UtilizationIsBusyFraction) {
+  ExecutionTrace trace;
+  trace.Add(Event(0, 0, WorkType::kForward, 0, 0, 10));
+  trace.Add(Event(0, 0, WorkType::kBackward, 0, 30, 40));
+  EXPECT_NEAR(trace.WorkerUtilization(0), 0.5, 1e-9);
+}
+
+TEST(TraceTest, EndTime) {
+  ExecutionTrace trace;
+  trace.Add(Event(0, 0, WorkType::kForward, 0, 0, 10));
+  trace.Add(Event(1, 1, WorkType::kForward, 0, 10, 25));
+  EXPECT_EQ(trace.end_time(), SimTime::Micros(25));
+}
+
+TEST(TraceTest, AsciiRenderingShowsOps) {
+  ExecutionTrace trace;
+  trace.Add(Event(0, 0, WorkType::kForward, 1, 0, 10));
+  trace.Add(Event(0, 0, WorkType::kBackward, 1, 10, 20));
+  const std::string art = trace.RenderAscii(SimTime::Micros(10), 1);
+  EXPECT_NE(art.find("worker  0"), std::string::npos);
+  EXPECT_NE(art.find("1*"), std::string::npos);  // backward marker
+}
+
+}  // namespace
+}  // namespace pipedream

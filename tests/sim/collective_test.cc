@@ -1,0 +1,50 @@
+#include <gtest/gtest.h>
+
+#include "src/sim/collective.h"
+
+namespace pipedream {
+namespace {
+
+TEST(RingAllReduceTest, SingleWorkerIsFree) {
+  EXPECT_DOUBLE_EQ(RingAllReduceSeconds(1 << 20, 1, 1e9), 0.0);
+}
+
+TEST(RingAllReduceTest, MatchesPaperFormula) {
+  // Each worker moves 2(m-1)/m * bytes.
+  const double t = RingAllReduceSeconds(1000000000, 4, 1e9);
+  EXPECT_NEAR(t, 2.0 * 3.0 / 4.0, 1e-9);
+}
+
+TEST(RingAllReduceTest, ApproachesTwoXBandwidthLimit) {
+  const double t8 = RingAllReduceSeconds(1000000000, 8, 1e9);
+  const double t64 = RingAllReduceSeconds(1000000000, 64, 1e9);
+  EXPECT_LT(t8, t64);
+  EXPECT_LT(t64, 2.0 + 1e-6);
+}
+
+TEST(RingAllReduceTest, LatencyPerStep) {
+  const double with_latency = RingAllReduceSeconds(0, 5, 1e9, 1e-5);
+  EXPECT_NEAR(with_latency, 2 * 4 * 1e-5, 1e-12);
+}
+
+TEST(HierarchicalAllReduceTest, UsesBottleneckLevel) {
+  const auto topo = HardwareTopology::ClusterA(2);
+  // Within one server: PCIe bandwidth governs.
+  const double intra = HierarchicalAllReduceSeconds(1 << 30, topo, 0, 4);
+  // Across servers: Ethernet governs, so much slower.
+  const double inter = HierarchicalAllReduceSeconds(1 << 30, topo, 0, 8);
+  EXPECT_GT(inter, intra * 3.0);
+}
+
+TEST(PointToPointTest, BytesOverBandwidthPlusLatency) {
+  const auto topo = HardwareTopology::Flat(2, 1e9, 1e-5);
+  EXPECT_NEAR(PointToPointSeconds(1000000, topo, 0, 1), 1e-3 + 1e-5, 1e-12);
+}
+
+TEST(PointToPointTest, SelfTransferIsFree) {
+  const auto topo = HardwareTopology::Flat(2, 1e9);
+  EXPECT_DOUBLE_EQ(PointToPointSeconds(1 << 20, topo, 1, 1), 0.0);
+}
+
+}  // namespace
+}  // namespace pipedream

@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include "src/sim/topology.h"
+
+namespace pipedream {
+namespace {
+
+TEST(TopologyTest, FlatTopology) {
+  const auto topo = HardwareTopology::Flat(8, 1e9);
+  EXPECT_EQ(topo.num_workers(), 8);
+  EXPECT_EQ(topo.num_levels(), 1);
+  EXPECT_EQ(topo.SharedLevel(0, 7), 1);
+  EXPECT_DOUBLE_EQ(topo.BandwidthBetween(0, 7), 1e9);
+}
+
+TEST(TopologyTest, ClusterAStructure) {
+  const auto topo = HardwareTopology::ClusterA(4);  // 4 servers x 4 GPUs
+  EXPECT_EQ(topo.num_workers(), 16);
+  EXPECT_EQ(topo.num_levels(), 2);
+  EXPECT_EQ(topo.WorkersPerComponent(1), 4);
+  EXPECT_EQ(topo.WorkersPerComponent(2), 16);
+}
+
+TEST(TopologyTest, SharedLevelWithinAndAcrossServers) {
+  const auto topo = HardwareTopology::ClusterA(2);  // workers 0-3 server 0, 4-7 server 1
+  EXPECT_EQ(topo.SharedLevel(0, 0), 0);
+  EXPECT_EQ(topo.SharedLevel(0, 3), 1);
+  EXPECT_EQ(topo.SharedLevel(3, 4), 2);
+  EXPECT_EQ(topo.SharedLevel(0, 7), 2);
+}
+
+TEST(TopologyTest, IntraServerFasterThanInter) {
+  const auto topo = HardwareTopology::ClusterA(2);
+  EXPECT_GT(topo.BandwidthBetween(0, 1), topo.BandwidthBetween(0, 4));
+}
+
+TEST(TopologyTest, ClusterBNvlinkFasterThanClusterAPcie) {
+  const auto a = HardwareTopology::ClusterA(1);
+  const auto b = HardwareTopology::ClusterB(1);
+  EXPECT_GT(b.BandwidthBetween(0, 1), a.BandwidthBetween(0, 1));
+}
+
+TEST(TopologyTest, ClusterCIsSingleGpuServers) {
+  const auto topo = HardwareTopology::ClusterC(4);
+  EXPECT_EQ(topo.num_workers(), 4);
+  EXPECT_EQ(topo.num_levels(), 1);
+}
+
+TEST(TopologyTest, BottleneckWithinServer) {
+  const auto topo = HardwareTopology::ClusterA(2);
+  // Workers 0..3 fit inside one server: bottleneck is the PCIe level.
+  EXPECT_DOUBLE_EQ(topo.BottleneckBandwidthAmong(0, 4),
+                   topo.level(1).bandwidth_bytes_per_sec);
+  // Workers 0..7 span servers: bottleneck is Ethernet.
+  EXPECT_DOUBLE_EQ(topo.BottleneckBandwidthAmong(0, 8),
+                   topo.level(2).bandwidth_bytes_per_sec);
+  // A range crossing a server boundary also pays the Ethernet price.
+  EXPECT_DOUBLE_EQ(topo.BottleneckBandwidthAmong(2, 4),
+                   topo.level(2).bandwidth_bytes_per_sec);
+}
+
+TEST(TopologyTest, LatencyMatchesLevel) {
+  const auto topo = HardwareTopology::ClusterA(2);
+  EXPECT_LT(topo.LatencyBetween(0, 1), topo.LatencyBetween(0, 4));
+}
+
+TEST(TopologyTest, ToStringMentionsLevels) {
+  const auto topo = HardwareTopology::ClusterA(2);
+  const std::string s = topo.ToString();
+  EXPECT_NE(s.find("8 workers"), std::string::npos);
+  EXPECT_NE(s.find("L1"), std::string::npos);
+  EXPECT_NE(s.find("L2"), std::string::npos);
+}
+
+TEST(TopologyTest, DedicatedFasterInterconnectThanClusterB) {
+  const auto dedicated = HardwareTopology::DedicatedCluster(8);
+  const auto cloud = HardwareTopology::ClusterB(8);
+  EXPECT_GT(dedicated.BandwidthBetween(0, 63), cloud.BandwidthBetween(0, 63));
+}
+
+TEST(TopologyTest, EfficienciesDeratedBandwidths) {
+  const auto topo = HardwareTopology::ClusterA(2);
+  const TopologyLevel& pcie = topo.level(1);
+  const TopologyLevel& ethernet = topo.level(2);
+  EXPECT_LT(pcie.effective_collective_bandwidth(), pcie.bandwidth_bytes_per_sec);
+  EXPECT_LT(ethernet.effective_collective_bandwidth(), ethernet.effective_p2p_bandwidth());
+  // TCP collectives are far less efficient than intra-server ones.
+  EXPECT_LT(ethernet.collective_efficiency, pcie.collective_efficiency);
+}
+
+TEST(TopologyTest, PcieIsSharedBusEthernetIsNot) {
+  const auto a = HardwareTopology::ClusterA(2);
+  EXPECT_TRUE(a.level(1).shared_bus);   // PCIe tree through the root complex
+  EXPECT_FALSE(a.level(2).shared_bus);  // per-server NICs
+  const auto b = HardwareTopology::ClusterB(2);
+  EXPECT_FALSE(b.level(1).shared_bus);  // point-to-point NVLink
+}
+
+TEST(TopologyTest, ContainingLevel) {
+  const auto topo = HardwareTopology::ClusterA(2);
+  EXPECT_EQ(topo.ContainingLevel(0, 1), 1);
+  EXPECT_EQ(topo.ContainingLevel(0, 4), 1);
+  EXPECT_EQ(topo.ContainingLevel(0, 5), 2);
+  EXPECT_EQ(topo.ContainingLevel(4, 4), 1);  // second server's GPUs
+}
+
+TEST(TopologyTest, EffectiveCollectiveBandwidthUsesContainingLevel) {
+  const auto topo = HardwareTopology::ClusterA(2);
+  EXPECT_DOUBLE_EQ(topo.EffectiveCollectiveBandwidthAmong(0, 4),
+                   topo.level(1).effective_collective_bandwidth());
+  EXPECT_DOUBLE_EQ(topo.EffectiveCollectiveBandwidthAmong(0, 8),
+                   topo.level(2).effective_collective_bandwidth());
+}
+
+}  // namespace
+}  // namespace pipedream

@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/rng.h"
+#include "src/tensor/init.h"
+#include "src/tensor/ops.h"
+
+namespace pipedream {
+namespace {
+
+// Reference O(n^3) matmul used to cross-check every Gemm configuration.
+Tensor NaiveMatMul(const Tensor& a, bool ta, const Tensor& b, bool tb) {
+  const int64_t m = ta ? a.dim(1) : a.dim(0);
+  const int64_t k = ta ? a.dim(0) : a.dim(1);
+  const int64_t n = tb ? b.dim(0) : b.dim(1);
+  Tensor out({m, n});
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (int64_t x = 0; x < k; ++x) {
+        const float av = ta ? a.At(x, i) : a.At(i, x);
+        const float bv = tb ? b.At(j, x) : b.At(x, j);
+        acc += static_cast<double>(av) * bv;
+      }
+      out.At(i, j) = static_cast<float>(acc);
+    }
+  }
+  return out;
+}
+
+class GemmTransposeTest : public ::testing::TestWithParam<std::tuple<bool, bool>> {};
+
+TEST_P(GemmTransposeTest, MatchesNaiveReference) {
+  const auto [ta, tb] = GetParam();
+  Rng rng(17);
+  const int64_t m = 7;
+  const int64_t k = 5;
+  const int64_t n = 6;
+  Tensor a(ta ? std::vector<int64_t>{k, m} : std::vector<int64_t>{m, k});
+  Tensor b(tb ? std::vector<int64_t>{n, k} : std::vector<int64_t>{k, n});
+  InitGaussian(&a, 1.0f, &rng);
+  InitGaussian(&b, 1.0f, &rng);
+  Tensor got;
+  Gemm(a, ta, b, tb, 1.0f, 0.0f, &got);
+  const Tensor want = NaiveMatMul(a, ta, b, tb);
+  EXPECT_LT(MaxAbsDiff(got, want), 1e-4);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTransposes, GemmTransposeTest,
+                         ::testing::Combine(::testing::Bool(), ::testing::Bool()));
+
+TEST(GemmTest, AccumulateWithBeta) {
+  Tensor a({2, 2}, {1, 0, 0, 1});
+  Tensor b({2, 2}, {1, 2, 3, 4});
+  Tensor out({2, 2}, {10, 10, 10, 10});
+  Gemm(a, false, b, false, 1.0f, 1.0f, &out);  // out += I * b
+  EXPECT_EQ(out.At(0, 0), 11.0f);
+  EXPECT_EQ(out.At(0, 1), 12.0f);
+  EXPECT_EQ(out.At(1, 1), 14.0f);
+}
+
+TEST(GemmTest, AlphaScaling) {
+  Tensor a({1, 1}, {3});
+  Tensor b({1, 1}, {4});
+  Tensor out;
+  Gemm(a, false, b, false, 2.0f, 0.0f, &out);
+  EXPECT_EQ(out[0], 24.0f);
+}
+
+TEST(OpsTest, AddSubMul) {
+  Tensor a({3}, {1, 2, 3});
+  Tensor b({3}, {10, 20, 30});
+  Tensor out;
+  Add(a, b, &out);
+  EXPECT_EQ(out[2], 33.0f);
+  Sub(b, a, &out);
+  EXPECT_EQ(out[0], 9.0f);
+  Mul(a, b, &out);
+  EXPECT_EQ(out[1], 40.0f);
+}
+
+TEST(OpsTest, AxpyAndScale) {
+  Tensor a({2}, {1, 1});
+  Tensor b({2}, {2, 4});
+  Axpy(0.5f, b, &a);
+  EXPECT_EQ(a[0], 2.0f);
+  EXPECT_EQ(a[1], 3.0f);
+  Scale(&a, 2.0f);
+  EXPECT_EQ(a[1], 6.0f);
+}
+
+TEST(OpsTest, AddBiasRows) {
+  Tensor m({2, 3}, {0, 0, 0, 1, 1, 1});
+  Tensor bias({3}, {1, 2, 3});
+  AddBiasRows(&m, bias);
+  EXPECT_EQ(m.At(0, 2), 3.0f);
+  EXPECT_EQ(m.At(1, 0), 2.0f);
+}
+
+TEST(OpsTest, AccumulateColumnSums) {
+  Tensor m({2, 2}, {1, 2, 3, 4});
+  Tensor sums({2});
+  AccumulateColumnSums(m, &sums);
+  EXPECT_EQ(sums[0], 4.0f);
+  EXPECT_EQ(sums[1], 6.0f);
+  AccumulateColumnSums(m, &sums);  // accumulates, not overwrites
+  EXPECT_EQ(sums[0], 8.0f);
+}
+
+TEST(OpsTest, SumNormArgmax) {
+  Tensor t({2, 3}, {1, 5, 2, -1, 0, 3});
+  EXPECT_DOUBLE_EQ(Sum(t), 10.0);
+  EXPECT_NEAR(Norm(t), std::sqrt(1 + 25 + 4 + 1 + 0 + 9), 1e-6);
+  EXPECT_EQ(ArgMaxRow(t, 0), 1);
+  EXPECT_EQ(ArgMaxRow(t, 1), 2);
+}
+
+TEST(OpsTest, SoftmaxRowsSumToOne) {
+  Tensor logits({2, 4}, {1, 2, 3, 4, -1, -1, -1, -1});
+  Tensor probs;
+  SoftmaxRows(logits, &probs);
+  for (int64_t r = 0; r < 2; ++r) {
+    double sum = 0.0;
+    for (int64_t c = 0; c < 4; ++c) {
+      sum += probs.At(r, c);
+      ASSERT_GT(probs.At(r, c), 0.0f);
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-6);
+  }
+  // Uniform logits -> uniform probabilities.
+  EXPECT_NEAR(probs.At(1, 0), 0.25f, 1e-6);
+  // Monotonicity in the logits.
+  EXPECT_LT(probs.At(0, 0), probs.At(0, 3));
+}
+
+TEST(OpsTest, SoftmaxNumericallyStableForLargeLogits) {
+  Tensor logits({1, 2}, {1000.0f, 1001.0f});
+  Tensor probs;
+  SoftmaxRows(logits, &probs);
+  EXPECT_FALSE(std::isnan(probs[0]));
+  EXPECT_NEAR(probs[0] + probs[1], 1.0, 1e-6);
+  EXPECT_GT(probs[1], probs[0]);
+}
+
+TEST(OpsTest, MaxAbsDiff) {
+  Tensor a({3}, {1, 2, 3});
+  Tensor b({3}, {1, 2.5, 3});
+  EXPECT_NEAR(MaxAbsDiff(a, b), 0.5, 1e-7);
+}
+
+}  // namespace
+}  // namespace pipedream

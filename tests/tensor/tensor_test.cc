@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include "src/tensor/init.h"
+#include "src/tensor/tensor.h"
+
+namespace pipedream {
+namespace {
+
+TEST(TensorTest, DefaultIsEmpty) {
+  Tensor t;
+  EXPECT_EQ(t.numel(), 0);
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.rank(), 0u);
+}
+
+TEST(TensorTest, ShapeConstructorZeroFills) {
+  Tensor t({2, 3});
+  EXPECT_EQ(t.numel(), 6);
+  EXPECT_EQ(t.rank(), 2u);
+  EXPECT_EQ(t.dim(0), 2);
+  EXPECT_EQ(t.dim(1), 3);
+  for (int64_t i = 0; i < t.numel(); ++i) {
+    EXPECT_EQ(t[i], 0.0f);
+  }
+}
+
+TEST(TensorTest, DataConstructorChecksSize) {
+  Tensor t({2, 2}, {1, 2, 3, 4});
+  EXPECT_EQ(t.At(0, 0), 1.0f);
+  EXPECT_EQ(t.At(1, 1), 4.0f);
+}
+
+TEST(TensorTest, At2dRowMajor) {
+  Tensor t({2, 3});
+  t.At(1, 2) = 7.0f;
+  EXPECT_EQ(t[5], 7.0f);
+}
+
+TEST(TensorTest, At4dNchw) {
+  Tensor t({2, 3, 4, 5});
+  t.At4(1, 2, 3, 4) = 9.0f;
+  EXPECT_EQ(t[((1 * 3 + 2) * 4 + 3) * 5 + 4], 9.0f);
+}
+
+TEST(TensorTest, ReshapePreservesData) {
+  Tensor t({2, 3}, {1, 2, 3, 4, 5, 6});
+  const Tensor r = t.Reshaped({3, 2});
+  EXPECT_EQ(r.At(2, 1), 6.0f);
+  EXPECT_EQ(r.numel(), 6);
+}
+
+TEST(TensorTest, FillAndZero) {
+  Tensor t({4});
+  t.Fill(2.5f);
+  EXPECT_EQ(t[3], 2.5f);
+  t.SetZero();
+  EXPECT_EQ(t[0], 0.0f);
+}
+
+TEST(TensorTest, SizeBytes) {
+  Tensor t({10, 10});
+  EXPECT_EQ(t.SizeBytes(), 400);
+}
+
+TEST(TensorTest, ShapeString) {
+  Tensor t({2, 3, 4});
+  EXPECT_EQ(t.ShapeString(), "[2, 3, 4]");
+}
+
+TEST(TensorTest, ScalarFactory) {
+  const Tensor s = Tensor::Scalar(3.0f);
+  EXPECT_EQ(s.numel(), 1);
+  EXPECT_EQ(s[0], 3.0f);
+}
+
+TEST(TensorTest, ValueSemantics) {
+  Tensor a({2}, {1, 2});
+  Tensor b = a;
+  b[0] = 99.0f;
+  EXPECT_EQ(a[0], 1.0f);  // deep copy
+}
+
+TEST(InitTest, XavierRespectsLimit) {
+  Rng rng(5);
+  Tensor t({100, 100});
+  InitXavier(&t, 100, 100, &rng);
+  const float limit = std::sqrt(6.0f / 200.0f);
+  for (int64_t i = 0; i < t.numel(); ++i) {
+    ASSERT_LE(std::abs(t[i]), limit);
+  }
+}
+
+TEST(InitTest, HeStddevApproximatelyCorrect) {
+  Rng rng(5);
+  Tensor t({200, 200});
+  InitHe(&t, 200, &rng);
+  double sq = 0.0;
+  for (int64_t i = 0; i < t.numel(); ++i) {
+    sq += static_cast<double>(t[i]) * t[i];
+  }
+  const double var = sq / static_cast<double>(t.numel());
+  EXPECT_NEAR(var, 2.0 / 200.0, 2.0 / 200.0 * 0.1);
+}
+
+TEST(InitTest, DeterministicGivenSeed) {
+  Rng rng1(11);
+  Rng rng2(11);
+  Tensor a({50});
+  Tensor b({50});
+  InitGaussian(&a, 1.0f, &rng1);
+  InitGaussian(&b, 1.0f, &rng2);
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    EXPECT_EQ(a[i], b[i]);
+  }
+}
+
+}  // namespace
+}  // namespace pipedream
