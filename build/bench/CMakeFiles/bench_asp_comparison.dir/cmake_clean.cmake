@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_asp_comparison.dir/asp_comparison.cpp.o"
+  "CMakeFiles/bench_asp_comparison.dir/asp_comparison.cpp.o.d"
+  "bench_asp_comparison"
+  "bench_asp_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_asp_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

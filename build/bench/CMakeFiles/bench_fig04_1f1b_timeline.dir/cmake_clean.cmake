@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig04_1f1b_timeline.dir/fig04_1f1b_timeline.cpp.o"
+  "CMakeFiles/bench_fig04_1f1b_timeline.dir/fig04_1f1b_timeline.cpp.o.d"
+  "bench_fig04_1f1b_timeline"
+  "bench_fig04_1f1b_timeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig04_1f1b_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig04_1f1b_timeline.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_lars.dir/fig13_lars.cpp.o"
+  "CMakeFiles/bench_fig13_lars.dir/fig13_lars.cpp.o.d"
+  "bench_fig13_lars"
+  "bench_fig13_lars.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_lars.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig17_comm_per_sample.dir/fig17_comm_per_sample.cpp.o"
+  "CMakeFiles/bench_fig17_comm_per_sample.dir/fig17_comm_per_sample.cpp.o.d"
+  "bench_fig17_comm_per_sample"
+  "bench_fig17_comm_per_sample.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_comm_per_sample.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_gpipe_comparison.dir/gpipe_comparison.cpp.o"
+  "CMakeFiles/bench_gpipe_comparison.dir/gpipe_comparison.cpp.o.d"
+  "bench_gpipe_comparison"
+  "bench_gpipe_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_gpipe_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_planner.dir/micro_planner.cpp.o"
+  "CMakeFiles/bench_micro_planner.dir/micro_planner.cpp.o.d"
+  "bench_micro_planner"
+  "bench_micro_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_mlperf_cloud.dir/table3_mlperf_cloud.cpp.o"
+  "CMakeFiles/bench_table3_mlperf_cloud.dir/table3_mlperf_cloud.cpp.o.d"
+  "bench_table3_mlperf_cloud"
+  "bench_table3_mlperf_cloud.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_mlperf_cloud.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

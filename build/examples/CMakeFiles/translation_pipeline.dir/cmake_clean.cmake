@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/translation_pipeline.dir/translation_pipeline.cpp.o"
+  "CMakeFiles/translation_pipeline.dir/translation_pipeline.cpp.o.d"
+  "translation_pipeline"
+  "translation_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/translation_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

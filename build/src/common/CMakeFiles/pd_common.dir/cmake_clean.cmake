@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pd_common.dir/logging.cc.o"
+  "CMakeFiles/pd_common.dir/logging.cc.o.d"
+  "CMakeFiles/pd_common.dir/stats.cc.o"
+  "CMakeFiles/pd_common.dir/stats.cc.o.d"
+  "CMakeFiles/pd_common.dir/strings.cc.o"
+  "CMakeFiles/pd_common.dir/strings.cc.o.d"
+  "CMakeFiles/pd_common.dir/table.cc.o"
+  "CMakeFiles/pd_common.dir/table.cc.o.d"
+  "libpd_common.a"
+  "libpd_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pd_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

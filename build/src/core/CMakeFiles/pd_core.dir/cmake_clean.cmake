@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pd_core.dir/pipedream.cc.o"
+  "CMakeFiles/pd_core.dir/pipedream.cc.o.d"
+  "libpd_core.a"
+  "libpd_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pd_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pd_data.dir/dataset.cc.o"
+  "CMakeFiles/pd_data.dir/dataset.cc.o.d"
+  "CMakeFiles/pd_data.dir/loader.cc.o"
+  "CMakeFiles/pd_data.dir/loader.cc.o.d"
+  "libpd_data.a"
+  "libpd_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pd_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

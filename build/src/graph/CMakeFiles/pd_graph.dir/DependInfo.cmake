@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/activation.cc" "src/graph/CMakeFiles/pd_graph.dir/activation.cc.o" "gcc" "src/graph/CMakeFiles/pd_graph.dir/activation.cc.o.d"
+  "/root/repo/src/graph/attention.cc" "src/graph/CMakeFiles/pd_graph.dir/attention.cc.o" "gcc" "src/graph/CMakeFiles/pd_graph.dir/attention.cc.o.d"
+  "/root/repo/src/graph/conv.cc" "src/graph/CMakeFiles/pd_graph.dir/conv.cc.o" "gcc" "src/graph/CMakeFiles/pd_graph.dir/conv.cc.o.d"
+  "/root/repo/src/graph/dense.cc" "src/graph/CMakeFiles/pd_graph.dir/dense.cc.o" "gcc" "src/graph/CMakeFiles/pd_graph.dir/dense.cc.o.d"
+  "/root/repo/src/graph/embedding.cc" "src/graph/CMakeFiles/pd_graph.dir/embedding.cc.o" "gcc" "src/graph/CMakeFiles/pd_graph.dir/embedding.cc.o.d"
+  "/root/repo/src/graph/grad_check.cc" "src/graph/CMakeFiles/pd_graph.dir/grad_check.cc.o" "gcc" "src/graph/CMakeFiles/pd_graph.dir/grad_check.cc.o.d"
+  "/root/repo/src/graph/loss.cc" "src/graph/CMakeFiles/pd_graph.dir/loss.cc.o" "gcc" "src/graph/CMakeFiles/pd_graph.dir/loss.cc.o.d"
+  "/root/repo/src/graph/lstm.cc" "src/graph/CMakeFiles/pd_graph.dir/lstm.cc.o" "gcc" "src/graph/CMakeFiles/pd_graph.dir/lstm.cc.o.d"
+  "/root/repo/src/graph/models.cc" "src/graph/CMakeFiles/pd_graph.dir/models.cc.o" "gcc" "src/graph/CMakeFiles/pd_graph.dir/models.cc.o.d"
+  "/root/repo/src/graph/pool.cc" "src/graph/CMakeFiles/pd_graph.dir/pool.cc.o" "gcc" "src/graph/CMakeFiles/pd_graph.dir/pool.cc.o.d"
+  "/root/repo/src/graph/residual.cc" "src/graph/CMakeFiles/pd_graph.dir/residual.cc.o" "gcc" "src/graph/CMakeFiles/pd_graph.dir/residual.cc.o.d"
+  "/root/repo/src/graph/sequential.cc" "src/graph/CMakeFiles/pd_graph.dir/sequential.cc.o" "gcc" "src/graph/CMakeFiles/pd_graph.dir/sequential.cc.o.d"
+  "/root/repo/src/graph/shape_ops.cc" "src/graph/CMakeFiles/pd_graph.dir/shape_ops.cc.o" "gcc" "src/graph/CMakeFiles/pd_graph.dir/shape_ops.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/pd_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pd_graph.dir/activation.cc.o"
+  "CMakeFiles/pd_graph.dir/activation.cc.o.d"
+  "CMakeFiles/pd_graph.dir/attention.cc.o"
+  "CMakeFiles/pd_graph.dir/attention.cc.o.d"
+  "CMakeFiles/pd_graph.dir/conv.cc.o"
+  "CMakeFiles/pd_graph.dir/conv.cc.o.d"
+  "CMakeFiles/pd_graph.dir/dense.cc.o"
+  "CMakeFiles/pd_graph.dir/dense.cc.o.d"
+  "CMakeFiles/pd_graph.dir/embedding.cc.o"
+  "CMakeFiles/pd_graph.dir/embedding.cc.o.d"
+  "CMakeFiles/pd_graph.dir/grad_check.cc.o"
+  "CMakeFiles/pd_graph.dir/grad_check.cc.o.d"
+  "CMakeFiles/pd_graph.dir/loss.cc.o"
+  "CMakeFiles/pd_graph.dir/loss.cc.o.d"
+  "CMakeFiles/pd_graph.dir/lstm.cc.o"
+  "CMakeFiles/pd_graph.dir/lstm.cc.o.d"
+  "CMakeFiles/pd_graph.dir/models.cc.o"
+  "CMakeFiles/pd_graph.dir/models.cc.o.d"
+  "CMakeFiles/pd_graph.dir/pool.cc.o"
+  "CMakeFiles/pd_graph.dir/pool.cc.o.d"
+  "CMakeFiles/pd_graph.dir/residual.cc.o"
+  "CMakeFiles/pd_graph.dir/residual.cc.o.d"
+  "CMakeFiles/pd_graph.dir/sequential.cc.o"
+  "CMakeFiles/pd_graph.dir/sequential.cc.o.d"
+  "CMakeFiles/pd_graph.dir/shape_ops.cc.o"
+  "CMakeFiles/pd_graph.dir/shape_ops.cc.o.d"
+  "libpd_graph.a"
+  "libpd_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pd_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

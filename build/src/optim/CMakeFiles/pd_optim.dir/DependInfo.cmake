@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/optim/adam.cc" "src/optim/CMakeFiles/pd_optim.dir/adam.cc.o" "gcc" "src/optim/CMakeFiles/pd_optim.dir/adam.cc.o.d"
+  "/root/repo/src/optim/lars.cc" "src/optim/CMakeFiles/pd_optim.dir/lars.cc.o" "gcc" "src/optim/CMakeFiles/pd_optim.dir/lars.cc.o.d"
+  "/root/repo/src/optim/lr_schedule.cc" "src/optim/CMakeFiles/pd_optim.dir/lr_schedule.cc.o" "gcc" "src/optim/CMakeFiles/pd_optim.dir/lr_schedule.cc.o.d"
+  "/root/repo/src/optim/sgd.cc" "src/optim/CMakeFiles/pd_optim.dir/sgd.cc.o" "gcc" "src/optim/CMakeFiles/pd_optim.dir/sgd.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/pd_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/pd_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pd_optim.dir/adam.cc.o"
+  "CMakeFiles/pd_optim.dir/adam.cc.o.d"
+  "CMakeFiles/pd_optim.dir/lars.cc.o"
+  "CMakeFiles/pd_optim.dir/lars.cc.o.d"
+  "CMakeFiles/pd_optim.dir/lr_schedule.cc.o"
+  "CMakeFiles/pd_optim.dir/lr_schedule.cc.o.d"
+  "CMakeFiles/pd_optim.dir/sgd.cc.o"
+  "CMakeFiles/pd_optim.dir/sgd.cc.o.d"
+  "libpd_optim.a"
+  "libpd_optim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pd_optim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pd_planner.dir/partitioner.cc.o"
+  "CMakeFiles/pd_planner.dir/partitioner.cc.o.d"
+  "CMakeFiles/pd_planner.dir/plan.cc.o"
+  "CMakeFiles/pd_planner.dir/plan.cc.o.d"
+  "CMakeFiles/pd_planner.dir/predictor.cc.o"
+  "CMakeFiles/pd_planner.dir/predictor.cc.o.d"
+  "libpd_planner.a"
+  "libpd_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pd_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/profile/layer_profile.cc" "src/profile/CMakeFiles/pd_profile.dir/layer_profile.cc.o" "gcc" "src/profile/CMakeFiles/pd_profile.dir/layer_profile.cc.o.d"
+  "/root/repo/src/profile/model_zoo.cc" "src/profile/CMakeFiles/pd_profile.dir/model_zoo.cc.o" "gcc" "src/profile/CMakeFiles/pd_profile.dir/model_zoo.cc.o.d"
+  "/root/repo/src/profile/profiler.cc" "src/profile/CMakeFiles/pd_profile.dir/profiler.cc.o" "gcc" "src/profile/CMakeFiles/pd_profile.dir/profiler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/pd_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pd_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/pd_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

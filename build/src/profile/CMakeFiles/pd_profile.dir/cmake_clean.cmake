@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pd_profile.dir/layer_profile.cc.o"
+  "CMakeFiles/pd_profile.dir/layer_profile.cc.o.d"
+  "CMakeFiles/pd_profile.dir/model_zoo.cc.o"
+  "CMakeFiles/pd_profile.dir/model_zoo.cc.o.d"
+  "CMakeFiles/pd_profile.dir/profiler.cc.o"
+  "CMakeFiles/pd_profile.dir/profiler.cc.o.d"
+  "libpd_profile.a"
+  "libpd_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pd_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pd_runtime.dir/asp_trainer.cc.o"
+  "CMakeFiles/pd_runtime.dir/asp_trainer.cc.o.d"
+  "CMakeFiles/pd_runtime.dir/checkpoint.cc.o"
+  "CMakeFiles/pd_runtime.dir/checkpoint.cc.o.d"
+  "CMakeFiles/pd_runtime.dir/pipeline_trainer.cc.o"
+  "CMakeFiles/pd_runtime.dir/pipeline_trainer.cc.o.d"
+  "CMakeFiles/pd_runtime.dir/weight_store.cc.o"
+  "CMakeFiles/pd_runtime.dir/weight_store.cc.o.d"
+  "libpd_runtime.a"
+  "libpd_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pd_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pd_schedule.dir/policy.cc.o"
+  "CMakeFiles/pd_schedule.dir/policy.cc.o.d"
+  "CMakeFiles/pd_schedule.dir/trace.cc.o"
+  "CMakeFiles/pd_schedule.dir/trace.cc.o.d"
+  "libpd_schedule.a"
+  "libpd_schedule.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pd_schedule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

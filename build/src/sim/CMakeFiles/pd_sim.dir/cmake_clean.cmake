@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pd_sim.dir/collective.cc.o"
+  "CMakeFiles/pd_sim.dir/collective.cc.o.d"
+  "CMakeFiles/pd_sim.dir/topology.cc.o"
+  "CMakeFiles/pd_sim.dir/topology.cc.o.d"
+  "libpd_sim.a"
+  "libpd_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pd_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

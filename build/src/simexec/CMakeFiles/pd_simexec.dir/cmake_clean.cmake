@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pd_simexec.dir/pipeline_sim.cc.o"
+  "CMakeFiles/pd_simexec.dir/pipeline_sim.cc.o.d"
+  "libpd_simexec.a"
+  "libpd_simexec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pd_simexec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

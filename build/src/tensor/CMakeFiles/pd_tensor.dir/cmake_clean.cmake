@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pd_tensor.dir/init.cc.o"
+  "CMakeFiles/pd_tensor.dir/init.cc.o.d"
+  "CMakeFiles/pd_tensor.dir/ops.cc.o"
+  "CMakeFiles/pd_tensor.dir/ops.cc.o.d"
+  "CMakeFiles/pd_tensor.dir/tensor.cc.o"
+  "CMakeFiles/pd_tensor.dir/tensor.cc.o.d"
+  "libpd_tensor.a"
+  "libpd_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pd_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

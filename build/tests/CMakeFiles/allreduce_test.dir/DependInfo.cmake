@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/runtime/allreduce_test.cc" "tests/CMakeFiles/allreduce_test.dir/runtime/allreduce_test.cc.o" "gcc" "tests/CMakeFiles/allreduce_test.dir/runtime/allreduce_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/pd_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/pd_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/simexec/CMakeFiles/pd_simexec.dir/DependInfo.cmake"
+  "/root/repo/build/src/schedule/CMakeFiles/pd_schedule.dir/DependInfo.cmake"
+  "/root/repo/build/src/planner/CMakeFiles/pd_planner.dir/DependInfo.cmake"
+  "/root/repo/build/src/profile/CMakeFiles/pd_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pd_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/optim/CMakeFiles/pd_optim.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/pd_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/pd_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/pd_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

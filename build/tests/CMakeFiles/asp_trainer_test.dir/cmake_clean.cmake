@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asp_trainer_test.dir/runtime/asp_trainer_test.cc.o"
+  "CMakeFiles/asp_trainer_test.dir/runtime/asp_trainer_test.cc.o.d"
+  "asp_trainer_test"
+  "asp_trainer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asp_trainer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

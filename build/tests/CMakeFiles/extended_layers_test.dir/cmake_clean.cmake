@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extended_layers_test.dir/graph/extended_layers_test.cc.o"
+  "CMakeFiles/extended_layers_test.dir/graph/extended_layers_test.cc.o.d"
+  "extended_layers_test"
+  "extended_layers_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extended_layers_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grad_check_test.dir/graph/grad_check_test.cc.o"
+  "CMakeFiles/grad_check_test.dir/graph/grad_check_test.cc.o.d"
+  "grad_check_test"
+  "grad_check_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grad_check_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipeline_sim_test.dir/simexec/pipeline_sim_test.cc.o"
+  "CMakeFiles/pipeline_sim_test.dir/simexec/pipeline_sim_test.cc.o.d"
+  "pipeline_sim_test"
+  "pipeline_sim_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipeline_sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipeline_trainer_test.dir/runtime/pipeline_trainer_test.cc.o"
+  "CMakeFiles/pipeline_trainer_test.dir/runtime/pipeline_trainer_test.cc.o.d"
+  "pipeline_trainer_test"
+  "pipeline_trainer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipeline_trainer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

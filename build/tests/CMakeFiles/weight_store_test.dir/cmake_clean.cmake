@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/weight_store_test.dir/runtime/weight_store_test.cc.o"
+  "CMakeFiles/weight_store_test.dir/runtime/weight_store_test.cc.o.d"
+  "weight_store_test"
+  "weight_store_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/weight_store_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
