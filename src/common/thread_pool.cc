@@ -1,0 +1,152 @@
+#include "src/common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+
+#include "src/common/check.h"
+
+namespace pipedream {
+namespace {
+
+thread_local int tls_kernel_budget = 0;   // 0 = unset (full pool)
+thread_local bool tls_in_pool_worker = false;
+
+int ConfiguredThreads() {
+  if (const char* env = std::getenv("PIPEDREAM_NUM_THREADS")) {
+    const int n = std::atoi(env);
+    if (n > 0) {
+      return n;
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+}  // namespace
+
+ThreadPool::ThreadPool(int workers) {
+  PD_CHECK_GE(workers, 0);
+  threads_.reserve(static_cast<size_t>(workers));
+  for (int i = 0; i < workers; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutting_down_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : threads_) {
+    t.join();
+  }
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  tls_in_pool_worker = true;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return shutting_down_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        return;  // shutting down and drained
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+ThreadPool& ThreadPool::Global() {
+  static ThreadPool* pool = new ThreadPool(std::max(0, ConfiguredThreads() - 1));
+  return *pool;
+}
+
+int ThreadPool::GlobalThreads() { return Global().workers() + 1; }
+
+int KernelBudget() {
+  return tls_kernel_budget > 0 ? tls_kernel_budget : ThreadPool::GlobalThreads();
+}
+
+ScopedKernelBudget::ScopedKernelBudget(int budget) : previous_(tls_kernel_budget) {
+  PD_CHECK_GE(budget, 1);
+  tls_kernel_budget = budget;
+}
+
+ScopedKernelBudget::~ScopedKernelBudget() { tls_kernel_budget = previous_; }
+
+int KernelBudgetForWorkers(int concurrent_workers) {
+  PD_CHECK_GE(concurrent_workers, 1);
+  return std::max(1, ThreadPool::GlobalThreads() / concurrent_workers);
+}
+
+int64_t ParallelChunkCount(int64_t begin, int64_t end, int64_t grain) {
+  PD_CHECK_GT(grain, 0);
+  const int64_t n = end - begin;
+  return n <= 0 ? 0 : (n + grain - 1) / grain;
+}
+
+void ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                 const std::function<void(int64_t, int64_t, int64_t)>& fn) {
+  const int64_t chunks = ParallelChunkCount(begin, end, grain);
+  if (chunks <= 0) {
+    return;
+  }
+  // Pool workers never re-enter the pool (a nested wait could deadlock on a saturated
+  // queue), and a budget of 1 or a single chunk needs no coordination at all.
+  const int budget = tls_in_pool_worker ? 1 : KernelBudget();
+  const int helpers =
+      static_cast<int>(std::min<int64_t>(chunks - 1, std::min(budget - 1, ThreadPool::Global().workers())));
+  if (helpers <= 0) {
+    for (int64_t c = 0; c < chunks; ++c) {
+      const int64_t lo = begin + c * grain;
+      fn(c, lo, std::min(end, lo + grain));
+    }
+    return;
+  }
+
+  // Chunks are fixed up front; caller and helpers race to claim them via an atomic cursor.
+  struct State {
+    std::atomic<int64_t> next{0};
+    std::atomic<int64_t> done{0};
+    std::mutex mu;
+    std::condition_variable cv;
+  };
+  auto state = std::make_shared<State>();
+  auto run_chunks = [state, begin, end, grain, chunks, &fn] {
+    for (;;) {
+      const int64_t c = state->next.fetch_add(1, std::memory_order_relaxed);
+      if (c >= chunks) {
+        return;
+      }
+      const int64_t lo = begin + c * grain;
+      fn(c, lo, std::min(end, lo + grain));
+      if (state->done.fetch_add(1, std::memory_order_acq_rel) + 1 == chunks) {
+        std::lock_guard<std::mutex> lock(state->mu);
+        state->cv.notify_all();
+      }
+    }
+  };
+  // Helpers capture fn by reference: the caller blocks below until every chunk completed,
+  // so fn outlives all uses. A helper that never claimed a chunk touches nothing.
+  for (int h = 0; h < helpers; ++h) {
+    ThreadPool::Global().Submit(run_chunks);
+  }
+  run_chunks();
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->cv.wait(lock, [&] { return state->done.load(std::memory_order_acquire) == chunks; });
+}
+
+}  // namespace pipedream

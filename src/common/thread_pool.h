@@ -1,0 +1,95 @@
+// A small shared worker pool with a deterministic parallel-for partitioner.
+//
+// Kernels (GEMM, conv, elementwise, reductions) split their work into chunks whose
+// boundaries depend only on the problem shape and a grain size — never on the number of
+// threads. Threads merely race to execute pre-defined chunks, and every chunk writes a
+// disjoint output region (or an indexed partial slot combined in chunk order), so results
+// are bitwise identical whether a loop runs inline, on 2 workers, or on 16. That invariant
+// is what lets the equivalence tests demand *identical weights* between the threaded
+// pipeline runtime and its single-threaded oracle.
+//
+// Sharing policy: the pipeline trainer runs one OS thread per stage replica, each of which
+// calls into the same kernels. To avoid oversubscription the pool is a process-wide
+// singleton and every caller has a thread-local *parallelism budget* — the maximum number
+// of chunks it may run concurrently (itself included). Stage workers receive
+// max(1, total_threads / num_stage_workers) via ScopedKernelBudget; a budget of 1 makes
+// every kernel run inline on the calling thread.
+#ifndef SRC_COMMON_THREAD_POOL_H_
+#define SRC_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pipedream {
+
+class ThreadPool {
+ public:
+  // `workers` is the number of pool threads (callers participate too, so total achievable
+  // parallelism is workers + 1). Zero workers is valid: every ParallelFor runs inline.
+  explicit ThreadPool(int workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int workers() const { return static_cast<int>(threads_.size()); }
+
+  // Enqueues a task. Tasks must not block waiting for other pool tasks.
+  void Submit(std::function<void()> task);
+
+  // Process-wide pool, created on first use with PIPEDREAM_NUM_THREADS - 1 workers
+  // (default: hardware concurrency - 1).
+  static ThreadPool& Global();
+
+  // Total parallelism the global pool was configured for (workers + 1).
+  static int GlobalThreads();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool shutting_down_ = false;
+  std::vector<std::thread> threads_;
+};
+
+// The calling thread's kernel-parallelism budget; 0 means "unset" (use the full pool).
+int KernelBudget();
+
+// RAII override of the calling thread's budget, used by trainer worker threads so that
+// concurrent pipeline stages share the machine instead of each fanning out to every core.
+class ScopedKernelBudget {
+ public:
+  explicit ScopedKernelBudget(int budget);
+  ~ScopedKernelBudget();
+
+  ScopedKernelBudget(const ScopedKernelBudget&) = delete;
+  ScopedKernelBudget& operator=(const ScopedKernelBudget&) = delete;
+
+ private:
+  int previous_;
+};
+
+// Fair per-worker budget when `concurrent_workers` threads will run kernels at once.
+int KernelBudgetForWorkers(int concurrent_workers);
+
+// Runs fn(chunk_index, begin, end) over [begin, end) split into ceil(n / grain) contiguous
+// chunks. Chunk boundaries depend only on (begin, end, grain); the caller's budget and the
+// pool decide how many run concurrently. fn must write only to chunk-private state or to
+// the disjoint [begin, end) slice it was handed. Blocks until every chunk has run.
+void ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                 const std::function<void(int64_t, int64_t, int64_t)>& fn);
+
+// Number of chunks ParallelFor will create for a range — for sizing partial-result arrays
+// when implementing deterministic reductions (combine partials in chunk order).
+int64_t ParallelChunkCount(int64_t begin, int64_t end, int64_t grain);
+
+}  // namespace pipedream
+
+#endif  // SRC_COMMON_THREAD_POOL_H_

@@ -1,6 +1,7 @@
 #include "src/graph/conv.h"
 
 #include "src/tensor/init.h"
+#include "src/tensor/ops.h"
 
 namespace pipedream {
 
@@ -23,46 +24,27 @@ Conv2D::Conv2D(std::string name, int64_t in_channels, int64_t out_channels, int6
   bias_.ZeroGrad();
 }
 
-Tensor Conv2D::Forward(const Tensor& input, LayerContext* ctx, bool training) {
+ConvGeometry Conv2D::GeometryFor(const Tensor& input) const {
   PD_CHECK_EQ(input.rank(), 4u);
   PD_CHECK_EQ(input.dim(1), in_channels_);
-  const int64_t batch = input.dim(0);
-  const int64_t in_h = input.dim(2);
-  const int64_t in_w = input.dim(3);
-  const int64_t out_h = OutSize(in_h);
-  const int64_t out_w = OutSize(in_w);
-  PD_CHECK_GT(out_h, 0);
-  PD_CHECK_GT(out_w, 0);
+  ConvGeometry g;
+  g.batch = input.dim(0);
+  g.in_channels = in_channels_;
+  g.in_h = input.dim(2);
+  g.in_w = input.dim(3);
+  g.out_channels = out_channels_;
+  g.kernel = kernel_;
+  g.stride = stride_;
+  g.padding = padding_;
+  return g;
+}
 
-  Tensor out({batch, out_channels_, out_h, out_w});
-  for (int64_t n = 0; n < batch; ++n) {
-    for (int64_t oc = 0; oc < out_channels_; ++oc) {
-      const float b = bias_.value[oc];
-      for (int64_t oh = 0; oh < out_h; ++oh) {
-        for (int64_t ow = 0; ow < out_w; ++ow) {
-          float acc = b;
-          const int64_t h0 = oh * stride_ - padding_;
-          const int64_t w0 = ow * stride_ - padding_;
-          for (int64_t ic = 0; ic < in_channels_; ++ic) {
-            for (int64_t kh = 0; kh < kernel_; ++kh) {
-              const int64_t ih = h0 + kh;
-              if (ih < 0 || ih >= in_h) {
-                continue;
-              }
-              for (int64_t kw = 0; kw < kernel_; ++kw) {
-                const int64_t iw = w0 + kw;
-                if (iw < 0 || iw >= in_w) {
-                  continue;
-                }
-                acc += input.At4(n, ic, ih, iw) * weight_.value.At4(oc, ic, kh, kw);
-              }
-            }
-          }
-          out.At4(n, oc, oh, ow) = acc;
-        }
-      }
-    }
-  }
+Tensor Conv2D::Forward(const Tensor& input, LayerContext* ctx, bool training) {
+  const ConvGeometry g = GeometryFor(input);
+  PD_CHECK_GT(g.out_h(), 0);
+  PD_CHECK_GT(g.out_w(), 0);
+  Tensor out;
+  Conv2dForward(input, weight_.value, bias_.value, g, &out);
   ctx->Clear();
   ctx->saved.push_back(input);
   return out;
@@ -71,46 +53,10 @@ Tensor Conv2D::Forward(const Tensor& input, LayerContext* ctx, bool training) {
 Tensor Conv2D::Backward(const Tensor& grad_output, LayerContext* ctx) {
   PD_CHECK_EQ(ctx->saved.size(), 1u) << name_ << ": backward without matching forward";
   const Tensor& input = ctx->saved[0];
-  const int64_t batch = input.dim(0);
-  const int64_t in_h = input.dim(2);
-  const int64_t in_w = input.dim(3);
-  const int64_t out_h = grad_output.dim(2);
-  const int64_t out_w = grad_output.dim(3);
-  PD_CHECK_EQ(grad_output.dim(0), batch);
-  PD_CHECK_EQ(grad_output.dim(1), out_channels_);
-
-  Tensor grad_input(input.shape());
-  for (int64_t n = 0; n < batch; ++n) {
-    for (int64_t oc = 0; oc < out_channels_; ++oc) {
-      for (int64_t oh = 0; oh < out_h; ++oh) {
-        for (int64_t ow = 0; ow < out_w; ++ow) {
-          const float g = grad_output.At4(n, oc, oh, ow);
-          if (g == 0.0f) {
-            continue;
-          }
-          bias_.grad[oc] += g;
-          const int64_t h0 = oh * stride_ - padding_;
-          const int64_t w0 = ow * stride_ - padding_;
-          for (int64_t ic = 0; ic < in_channels_; ++ic) {
-            for (int64_t kh = 0; kh < kernel_; ++kh) {
-              const int64_t ih = h0 + kh;
-              if (ih < 0 || ih >= in_h) {
-                continue;
-              }
-              for (int64_t kw = 0; kw < kernel_; ++kw) {
-                const int64_t iw = w0 + kw;
-                if (iw < 0 || iw >= in_w) {
-                  continue;
-                }
-                weight_.grad.At4(oc, ic, kh, kw) += g * input.At4(n, ic, ih, iw);
-                grad_input.At4(n, ic, ih, iw) += g * weight_.value.At4(oc, ic, kh, kw);
-              }
-            }
-          }
-        }
-      }
-    }
-  }
+  const ConvGeometry g = GeometryFor(input);
+  Tensor grad_input;
+  Conv2dBackward(input, weight_.value, grad_output, g, &weight_.grad, &bias_.grad,
+                 &grad_input);
   ctx->Clear();
   return grad_input;
 }

@@ -1,6 +1,6 @@
-// 2-D convolution (NCHW) with stride and zero padding. Direct-loop implementation —
-// adequate for the scaled-down CNNs the runtime trains; the simulator handles full-scale
-// models analytically.
+// 2-D convolution (NCHW) with stride and zero padding. Lowers onto the tensor library's
+// im2col + blocked-GEMM kernels (ops.h); the original direct-loop implementation survives
+// as the ref:: oracle behind PIPEDREAM_NAIVE_KERNELS=1.
 #ifndef SRC_GRAPH_CONV_H_
 #define SRC_GRAPH_CONV_H_
 
@@ -8,6 +8,7 @@
 #include <string>
 
 #include "src/graph/layer.h"
+#include "src/tensor/ops.h"
 
 namespace pipedream {
 
@@ -27,6 +28,9 @@ class Conv2D : public Layer {
 
  private:
   Conv2D(const Conv2D&) = default;
+
+  // Kernel geometry for an input batch (validates channel count).
+  ConvGeometry GeometryFor(const Tensor& input) const;
 
   std::string name_;
   int64_t in_channels_;

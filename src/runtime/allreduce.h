@@ -24,31 +24,39 @@ class GradientAllReducer {
   }
 
   // Averages `params`' gradients with every other participant's. Blocks until the round
-  // completes. All participants must pass structurally identical parameter lists.
-  void AllReduce(const std::vector<Parameter*>& params) {
+  // completes. All participants must pass structurally identical parameter lists. `rank`
+  // identifies the caller's slot in [0, participants): contributions are deposited per rank
+  // and summed in rank order once everyone has arrived, so the mean is independent of
+  // thread arrival order (float addition is not associative).
+  void AllReduce(int rank, const std::vector<Parameter*>& params) {
     if (participants_ == 1) {
       return;
     }
+    PD_CHECK(rank >= 0 && rank < participants_);
     std::unique_lock<std::mutex> lock(mutex_);
-    if (accumulator_.empty()) {
-      accumulator_.reserve(params.size());
-      for (const Parameter* p : params) {
-        accumulator_.push_back(p->grad);
-      }
-    } else {
-      PD_CHECK_EQ(accumulator_.size(), params.size());
-      for (size_t i = 0; i < params.size(); ++i) {
-        AddInPlace(&accumulator_[i], params[i]->grad);
-      }
+    if (contributions_.empty()) {
+      contributions_.resize(static_cast<size_t>(participants_));
+    }
+    auto& slot = contributions_[static_cast<size_t>(rank)];
+    PD_CHECK(slot.empty()) << "rank " << rank << " contributed twice in one round";
+    slot.reserve(params.size());
+    for (const Parameter* p : params) {
+      slot.push_back(p->grad);
     }
     ++arrived_;
     if (arrived_ == participants_) {
+      result_ = std::move(contributions_[0]);
+      for (size_t r = 1; r < contributions_.size(); ++r) {
+        PD_CHECK_EQ(contributions_[r].size(), result_.size());
+        for (size_t i = 0; i < result_.size(); ++i) {
+          AddInPlace(&result_[i], contributions_[r][i]);
+        }
+      }
       const float inv = 1.0f / static_cast<float>(participants_);
-      for (Tensor& t : accumulator_) {
+      for (Tensor& t : result_) {
         Scale(&t, inv);
       }
-      result_ = std::move(accumulator_);
-      accumulator_.clear();
+      contributions_.clear();
       arrived_ = 0;
       remaining_readers_ = participants_;
       ++generation_;
@@ -70,7 +78,7 @@ class GradientAllReducer {
   const int participants_;
   std::mutex mutex_;
   std::condition_variable cv_;
-  std::vector<Tensor> accumulator_;
+  std::vector<std::vector<Tensor>> contributions_;  // one slot per rank
   std::vector<Tensor> result_;
   int arrived_ = 0;
   int remaining_readers_ = 0;

@@ -3,6 +3,7 @@
 #include <thread>
 
 #include "src/common/check.h"
+#include "src/common/thread_pool.h"
 
 namespace pipedream {
 
@@ -84,10 +85,15 @@ AspEpochStats AspTrainer::TrainEpoch() {
     }
   };
 
+  // Concurrent ASP workers share the kernel pool like pipeline stages do.
+  const int kernel_budget = KernelBudgetForWorkers(workers_);
   std::vector<std::thread> threads;
   threads.reserve(static_cast<size_t>(workers_));
   for (int w = 0; w < workers_; ++w) {
-    threads.emplace_back(worker_fn, w);
+    threads.emplace_back([&worker_fn, kernel_budget](int worker) {
+      ScopedKernelBudget budget(kernel_budget);
+      worker_fn(worker);
+    }, w);
   }
   for (std::thread& t : threads) {
     t.join();

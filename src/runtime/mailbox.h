@@ -68,14 +68,20 @@ class Mailbox {
     return message;
   }
 
-  // Blocks until predicate(forward_count, backward_count) returns true. The predicate runs
-  // with the mailbox locked; it may also read external state, provided every writer of that
-  // state calls Poke() afterwards.
+  // Blocks until predicate(min_forward_id, min_backward_id) returns true, where each
+  // argument is the lowest queued minibatch id of that type or -1 when none is queued.
+  // Exposing ids rather than counts lets the owner consume work in its deterministic
+  // round-robin order even when neighbouring replicated stages deliver out of order (a
+  // message being *present* does not make it *next*). The predicate runs with the mailbox
+  // locked; it may also read external state, provided every writer of that state calls
+  // Poke() afterwards.
   template <typename Predicate>
   void WaitUntil(Predicate predicate) {
     std::unique_lock<std::mutex> lock(mutex_);
     for (;;) {
-      if (predicate(static_cast<int>(forward_.size()), static_cast<int>(backward_.size()))) {
+      const int64_t min_fwd = forward_.empty() ? -1 : forward_.begin()->first;
+      const int64_t min_bwd = backward_.empty() ? -1 : backward_.begin()->first;
+      if (predicate(min_fwd, min_bwd)) {
         return;
       }
       const uint64_t seen = change_count_;

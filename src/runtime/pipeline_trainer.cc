@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "src/common/logging.h"
+#include "src/common/thread_pool.h"
 #include "src/runtime/checkpoint.h"
 #include "src/tensor/ops.h"
 
@@ -48,6 +49,8 @@ struct PipelineTrainer::StageRuntime {
   int64_t epoch_begin = 0;
   int64_t epoch_end = 0;
   int64_t next_admission = 0;
+  int64_t next_forward = 0;   // next minibatch to consume from the forward queue
+  int64_t next_backward = 0;  // next minibatch to consume from the backward queue
   int in_flight = 0;
   int admission_cap = 1;
   int64_t bwd_quota = 0;
@@ -186,6 +189,8 @@ void PipelineTrainer::StageRuntime::PrepareEpoch(int64_t begin, int64_t end,
     policy = std::make_unique<GPipePolicy>(GPipeRoundSize());
   }
   next_admission = begin + replica;  // this replica's round-robin share
+  next_forward = begin + replica;
+  next_backward = begin + replica;
   in_flight = 0;
   gpipe_round_bwd = 0;
   bwd_done = 0;
@@ -204,8 +209,12 @@ void PipelineTrainer::StageRuntime::PrepareEpoch(int64_t begin, int64_t end,
 void PipelineTrainer::StageRuntime::RunEpoch() {
   while (bwd_done < bwd_quota) {
     std::optional<WorkType> action;
-    mailbox.WaitUntil([&](int fwd_count, int bwd_count) {
-      int ready_fwd = fwd_count;
+    mailbox.WaitUntil([&](int64_t min_fwd, int64_t min_bwd) {
+      // A minibatch is ready only when it is the NEXT one in this replica's round-robin
+      // share. Out-of-order arrivals (possible whenever a neighbouring stage is replicated)
+      // are held back, so every replica consumes work in a schedule-determined order and the
+      // training trajectory is independent of thread timing.
+      int ready_fwd = min_fwd == next_forward ? 1 : 0;
       if (is_input) {
         bool admit = next_admission < epoch_end && in_flight < admission_cap;
         if (GPipeMode()) {
@@ -216,8 +225,9 @@ void PipelineTrainer::StageRuntime::RunEpoch() {
         }
         ready_fwd = admit ? 1 : 0;
       }
+      const int ready_bwd = min_bwd == next_backward ? 1 : 0;
       const bool exhausted = is_input ? next_admission >= epoch_end : fwd_started == bwd_quota;
-      action = policy->Decide(ready_fwd, bwd_count, exhausted);
+      action = policy->Decide(ready_fwd, ready_bwd, exhausted);
       return action.has_value();
     });
     PD_CHECK(action.has_value());
@@ -234,8 +244,10 @@ void PipelineTrainer::StageRuntime::RunEpoch() {
       } else {
         std::optional<PipeMessage> taken = mailbox.Take(WorkType::kForward);
         PD_CHECK(taken.has_value());
+        PD_CHECK_EQ(taken->minibatch, next_forward);
         minibatch = taken->minibatch;
         message = std::move(*taken);
+        next_forward += stage_replicas;
       }
       policy->OnStarted(WorkType::kForward);
       ++fwd_started;
@@ -243,6 +255,8 @@ void PipelineTrainer::StageRuntime::RunEpoch() {
     } else {
       std::optional<PipeMessage> taken = mailbox.Take(WorkType::kBackward);
       PD_CHECK(taken.has_value());
+      PD_CHECK_EQ(taken->minibatch, next_backward);
+      next_backward += stage_replicas;
       policy->OnStarted(WorkType::kBackward);
       DoBackward(std::move(*taken));
     }
@@ -334,7 +348,7 @@ void PipelineTrainer::StageRuntime::DoBackward(PipeMessage message) {
         }
       }
       if (reducer != nullptr) {
-        reducer->AllReduce(params);
+        reducer->AllReduce(replica, params);
       }
       optimizer->Step(params);
       weights->CommitUpdate();
@@ -410,10 +424,16 @@ EpochStats PipelineTrainer::TrainEpoch() {
   }
 
   const double start = NowSeconds();
+  // Every stage replica runs kernels concurrently; split the shared pool's parallelism
+  // between them so intra-op threading never oversubscribes the machine.
+  const int kernel_budget = KernelBudgetForWorkers(static_cast<int>(runtimes_.size()));
   std::vector<std::thread> threads;
   threads.reserve(runtimes_.size());
   for (auto& rt : runtimes_) {
-    threads.emplace_back([worker = rt.get()] { worker->RunEpoch(); });
+    threads.emplace_back([worker = rt.get(), kernel_budget] {
+      ScopedKernelBudget budget(kernel_budget);
+      worker->RunEpoch();
+    });
   }
   for (std::thread& t : threads) {
     t.join();

@@ -1,9 +1,208 @@
 #include "src/tensor/ops.h"
 
+#include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+#include "src/common/thread_pool.h"
+#include "src/tensor/ref_ops.h"
 
 namespace pipedream {
 namespace {
+
+// ---------------------------------------------------------------------------------------
+// Kernel dispatch: PIPEDREAM_NAIVE_KERNELS=1 (or the test hook) routes every op through
+// the naive reference implementations in ref_ops.cc.
+// ---------------------------------------------------------------------------------------
+
+std::atomic<int> g_naive_override{-1};  // -1 = follow the environment
+
+bool NaiveKernelsFromEnv() {
+  static const bool value = [] {
+    const char* env = std::getenv("PIPEDREAM_NAIVE_KERNELS");
+    return env != nullptr && env[0] != '\0' && std::strcmp(env, "0") != 0;
+  }();
+  return value;
+}
+
+// ---------------------------------------------------------------------------------------
+// Blocked GEMM.
+//
+// Goto-style three-level blocking: B panels of kKc x kNc are packed into NR-wide column
+// strips, A blocks of kMc x kKc into MR-tall row strips, and a register-tiled MR x NR
+// microkernel accumulates over the packed K block. Packing normalizes both transpose
+// flags, so one microkernel serves all four operand layouts. Work is parallelized over
+// the MC row blocks of C: every block owns a disjoint row slice of the output and the K
+// loop stays sequential, so results are bitwise independent of the thread count.
+// ---------------------------------------------------------------------------------------
+
+constexpr int64_t kMr = 6;    // microkernel rows (register tiling)
+constexpr int64_t kNr = 16;   // microkernel columns (two 8-float vectors)
+constexpr int64_t kMc = 96;   // rows of C per packed A block (multiple of kMr)
+constexpr int64_t kKc = 256;  // K extent of packed blocks
+constexpr int64_t kNc = 512;  // columns of C per packed B panel (multiple of kNr)
+
+// Problems below this FLOP count skip packing entirely; the naive loops win there.
+constexpr int64_t kTinyGemmElems = 32 * 32 * 32;
+
+inline float OpAt(const float* p, int64_t ld, bool transpose, int64_t r, int64_t c) {
+  return transpose ? p[c * ld + r] : p[r * ld + c];
+}
+
+// Packs rows [i0, i0+m_blk) x cols [k0, k0+kc) of op(A) into MR-tall strips:
+// buf[strip][kk][r], zero-padded to a whole strip.
+void PackA(const float* a, int64_t lda, bool ta, int64_t i0, int64_t m_blk, int64_t k0,
+           int64_t kc, float* buf) {
+  const int64_t strips = (m_blk + kMr - 1) / kMr;
+  for (int64_t s = 0; s < strips; ++s) {
+    const int64_t rows = std::min(kMr, m_blk - s * kMr);
+    float* dst = buf + s * kc * kMr;
+    for (int64_t kk = 0; kk < kc; ++kk) {
+      for (int64_t r = 0; r < rows; ++r) {
+        dst[kk * kMr + r] = OpAt(a, lda, ta, i0 + s * kMr + r, k0 + kk);
+      }
+      for (int64_t r = rows; r < kMr; ++r) {
+        dst[kk * kMr + r] = 0.0f;
+      }
+    }
+  }
+}
+
+// Packs rows [k0, k0+kc) x cols [j0, j0+n_blk) of op(B) into NR-wide strips:
+// buf[strip][kk][j], zero-padded to a whole strip.
+void PackB(const float* b, int64_t ldb, bool tb, int64_t k0, int64_t kc, int64_t j0,
+           int64_t n_blk, float* buf) {
+  const int64_t strips = (n_blk + kNr - 1) / kNr;
+  for (int64_t s = 0; s < strips; ++s) {
+    const int64_t cols = std::min(kNr, n_blk - s * kNr);
+    float* dst = buf + s * kc * kNr;
+    if (!tb && cols == kNr) {
+      // Fast path: op(B) rows are contiguous 16-float runs.
+      const float* src = b + k0 * ldb + j0 + s * kNr;
+      for (int64_t kk = 0; kk < kc; ++kk) {
+        std::memcpy(dst + kk * kNr, src + kk * ldb, kNr * sizeof(float));
+      }
+      continue;
+    }
+    for (int64_t kk = 0; kk < kc; ++kk) {
+      for (int64_t j = 0; j < cols; ++j) {
+        dst[kk * kNr + j] = OpAt(b, ldb, tb, k0 + kk, j0 + s * kNr + j);
+      }
+      for (int64_t j = cols; j < kNr; ++j) {
+        dst[kk * kNr + j] = 0.0f;
+      }
+    }
+  }
+}
+
+// acc[MR][NR] = sum_k apanel[k][MR] (x) bpanel[k][NR].
+//
+// The accumulator tile lives in named vector variables — 12 8-float vectors for the
+// 6x16 tile — because an indexed local array reliably ends up in memory instead of
+// registers, which costs ~10x. GCC/Clang vector extensions compile to broadcast-FMA
+// sequences on any SIMD ISA (and to scalar code elsewhere).
+#if defined(__GNUC__) || defined(__clang__)
+
+typedef float Vec8 __attribute__((vector_size(32)));
+
+inline Vec8 LoadU(const float* p) {
+  Vec8 v;
+  __builtin_memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+inline void StoreU(float* p, Vec8 v) { __builtin_memcpy(p, &v, sizeof(v)); }
+
+inline Vec8 Splat(float x) { return Vec8{x, x, x, x, x, x, x, x}; }
+
+inline void MicroKernel(int64_t kc, const float* __restrict__ apanel,
+                        const float* __restrict__ bpanel, float* __restrict__ acc) {
+  Vec8 c00{}, c01{}, c10{}, c11{}, c20{}, c21{}, c30{}, c31{}, c40{}, c41{}, c50{}, c51{};
+  for (int64_t kk = 0; kk < kc; ++kk) {
+    const Vec8 b0 = LoadU(bpanel + kk * kNr);
+    const Vec8 b1 = LoadU(bpanel + kk * kNr + 8);
+    const float* a = apanel + kk * kMr;
+    Vec8 av;
+    av = Splat(a[0]); c00 += av * b0; c01 += av * b1;
+    av = Splat(a[1]); c10 += av * b0; c11 += av * b1;
+    av = Splat(a[2]); c20 += av * b0; c21 += av * b1;
+    av = Splat(a[3]); c30 += av * b0; c31 += av * b1;
+    av = Splat(a[4]); c40 += av * b0; c41 += av * b1;
+    av = Splat(a[5]); c50 += av * b0; c51 += av * b1;
+  }
+  StoreU(acc + 0 * kNr, c00); StoreU(acc + 0 * kNr + 8, c01);
+  StoreU(acc + 1 * kNr, c10); StoreU(acc + 1 * kNr + 8, c11);
+  StoreU(acc + 2 * kNr, c20); StoreU(acc + 2 * kNr + 8, c21);
+  StoreU(acc + 3 * kNr, c30); StoreU(acc + 3 * kNr + 8, c31);
+  StoreU(acc + 4 * kNr, c40); StoreU(acc + 4 * kNr + 8, c41);
+  StoreU(acc + 5 * kNr, c50); StoreU(acc + 5 * kNr + 8, c51);
+}
+
+#else  // portable fallback
+
+inline void MicroKernel(int64_t kc, const float* __restrict__ apanel,
+                        const float* __restrict__ bpanel, float* __restrict__ acc) {
+  for (int64_t r = 0; r < kMr * kNr; ++r) {
+    acc[r] = 0.0f;
+  }
+  for (int64_t kk = 0; kk < kc; ++kk) {
+    const float* a = apanel + kk * kMr;
+    const float* b = bpanel + kk * kNr;
+    for (int64_t r = 0; r < kMr; ++r) {
+      const float av = a[r];
+      float* c = acc + r * kNr;
+      for (int64_t j = 0; j < kNr; ++j) {
+        c[j] += av * b[j];
+      }
+    }
+  }
+}
+
+#endif
+
+// C[m, n] (leading dimension ldc) += alpha * op(A) @ op(B). C must already hold its beta
+// contribution. Deterministic for fixed shapes regardless of threading.
+void BlockedGemmCore(const float* a, int64_t lda, bool ta, const float* b, int64_t ldb,
+                     bool tb, int64_t m, int64_t n, int64_t k, float alpha, float* c,
+                     int64_t ldc) {
+  std::vector<float> bpack(static_cast<size_t>(kKc) * kNc);
+  const int64_t m_blocks = (m + kMc - 1) / kMc;
+  for (int64_t jc = 0; jc < n; jc += kNc) {
+    const int64_t n_blk = std::min(kNc, n - jc);
+    const int64_t n_strips = (n_blk + kNr - 1) / kNr;
+    for (int64_t pc = 0; pc < k; pc += kKc) {
+      const int64_t kc = std::min(kKc, k - pc);
+      PackB(b, ldb, tb, pc, kc, jc, n_blk, bpack.data());
+      ParallelFor(0, m_blocks, 1, [&](int64_t /*chunk*/, int64_t blk_lo, int64_t blk_hi) {
+        std::vector<float> apack(static_cast<size_t>(kMc) * kKc);
+        for (int64_t blk = blk_lo; blk < blk_hi; ++blk) {
+          const int64_t i0 = blk * kMc;
+          const int64_t m_blk = std::min(kMc, m - i0);
+          PackA(a, lda, ta, i0, m_blk, pc, kc, apack.data());
+          const int64_t m_strips = (m_blk + kMr - 1) / kMr;
+          for (int64_t js = 0; js < n_strips; ++js) {
+            const int64_t cols = std::min(kNr, n_blk - js * kNr);
+            for (int64_t is = 0; is < m_strips; ++is) {
+              const int64_t rows = std::min(kMr, m_blk - is * kMr);
+              float acc[kMr * kNr];  // fully written by MicroKernel
+              MicroKernel(kc, apack.data() + is * kc * kMr, bpack.data() + js * kc * kNr,
+                          acc);
+              float* cblk = c + (i0 + is * kMr) * ldc + jc + js * kNr;
+              for (int64_t r = 0; r < rows; ++r) {
+                for (int64_t j = 0; j < cols; ++j) {
+                  cblk[r * ldc + j] += alpha * acc[r * kNr + j];
+                }
+              }
+            }
+          }
+        }
+      });
+    }
+  }
+}
 
 // Extracts the logical (rows, cols) of a possibly transposed rank-2 operand.
 void LogicalDims(const Tensor& t, bool transpose, int64_t* rows, int64_t* cols) {
@@ -17,7 +216,24 @@ void LogicalDims(const Tensor& t, bool transpose, int64_t* rows, int64_t* cols) 
   }
 }
 
+// Grain sizes for parallel elementwise / reduction loops. Chunk boundaries are a pure
+// function of the element count, never of the thread budget (determinism).
+constexpr int64_t kElementwiseGrain = 1 << 15;
+constexpr int64_t kReduceGrain = 1 << 15;
+
 }  // namespace
+
+bool UseNaiveKernels() {
+  const int override_value = g_naive_override.load(std::memory_order_relaxed);
+  if (override_value >= 0) {
+    return override_value != 0;
+  }
+  return NaiveKernelsFromEnv();
+}
+
+void SetNaiveKernelsForTesting(bool naive) {
+  g_naive_override.store(naive ? 1 : 0, std::memory_order_relaxed);
+}
 
 void Gemm(const Tensor& a, bool transpose_a, const Tensor& b, bool transpose_b, float alpha,
           float beta, Tensor* out) {
@@ -29,6 +245,10 @@ void Gemm(const Tensor& a, bool transpose_a, const Tensor& b, bool transpose_b, 
   LogicalDims(b, transpose_b, &k2, &n);
   PD_CHECK_EQ(k, k2) << "GEMM inner dimensions disagree: " << a.ShapeString() << " x "
                      << b.ShapeString();
+  if (UseNaiveKernels() || m * n * k <= kTinyGemmElems) {
+    ref::Gemm(a, transpose_a, b, transpose_b, alpha, beta, out);
+    return;
+  }
   if (beta == 0.0f) {
     if (out->rank() != 2 || out->dim(0) != m || out->dim(1) != n) {
       *out = Tensor({m, n});
@@ -42,40 +262,185 @@ void Gemm(const Tensor& a, bool transpose_a, const Tensor& b, bool transpose_b, 
       Scale(out, beta);
     }
   }
+  BlockedGemmCore(a.data(), a.dim(1), transpose_a, b.data(), b.dim(1), transpose_b, m, n, k,
+                  alpha, out->data(), n);
+}
 
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* pc = out->data();
-  const int64_t lda = a.dim(1);
-  const int64_t ldb = b.dim(1);
+void MatMul(const Tensor& a, const Tensor& b, Tensor* out) {
+  Gemm(a, false, b, false, 1.0f, 0.0f, out);
+}
 
-  // i-k-j loop order keeps the innermost loop streaming over contiguous memory for the
-  // common (no-transpose) case; the transposed cases index through strides.
-  for (int64_t i = 0; i < m; ++i) {
-    for (int64_t kk = 0; kk < k; ++kk) {
-      const float a_ik = transpose_a ? pa[kk * lda + i] : pa[i * lda + kk];
-      if (a_ik == 0.0f) {
-        continue;
-      }
-      const float scaled = alpha * a_ik;
-      float* c_row = pc + i * n;
-      if (!transpose_b) {
-        const float* b_row = pb + kk * ldb;
-        for (int64_t j = 0; j < n; ++j) {
-          c_row[j] += scaled * b_row[j];
-        }
-      } else {
-        for (int64_t j = 0; j < n; ++j) {
-          c_row[j] += scaled * pb[j * ldb + kk];
+// ---------------------------------------------------------------------------------------
+// Convolution: im2col lowering onto the blocked GEMM.
+// ---------------------------------------------------------------------------------------
+
+void ConvGeometry::Check(const Tensor& input, const Tensor& weight, const Tensor& bias) const {
+  PD_CHECK_EQ(input.rank(), 4u);
+  PD_CHECK_EQ(input.dim(0), batch);
+  PD_CHECK_EQ(input.dim(1), in_channels);
+  PD_CHECK_EQ(input.dim(2), in_h);
+  PD_CHECK_EQ(input.dim(3), in_w);
+  PD_CHECK_EQ(weight.rank(), 4u);
+  PD_CHECK_EQ(weight.dim(0), out_channels);
+  PD_CHECK_EQ(weight.dim(1), in_channels);
+  PD_CHECK_EQ(weight.dim(2), kernel);
+  PD_CHECK_EQ(weight.dim(3), kernel);
+  PD_CHECK_EQ(bias.numel(), out_channels);
+  PD_CHECK_GT(stride, 0);
+  PD_CHECK_GE(padding, 0);
+  PD_CHECK_GT(out_h(), 0);
+  PD_CHECK_GT(out_w(), 0);
+}
+
+namespace {
+
+// Unfolds one sample's [IC, H, W] slab into a [IC*K*K, OH*OW] patch matrix (zero padding
+// included); row (ic*K + kh)*K + kw holds input[ic, oh*s - p + kh, ow*s - p + kw].
+void Im2Col(const float* in, const ConvGeometry& g, float* col) {
+  const int64_t out_h = g.out_h();
+  const int64_t out_w = g.out_w();
+  const int64_t spatial = out_h * out_w;
+  for (int64_t ic = 0; ic < g.in_channels; ++ic) {
+    const float* plane = in + ic * g.in_h * g.in_w;
+    for (int64_t kh = 0; kh < g.kernel; ++kh) {
+      for (int64_t kw = 0; kw < g.kernel; ++kw) {
+        float* row = col + ((ic * g.kernel + kh) * g.kernel + kw) * spatial;
+        for (int64_t oh = 0; oh < out_h; ++oh) {
+          const int64_t ih = oh * g.stride - g.padding + kh;
+          float* dst = row + oh * out_w;
+          if (ih < 0 || ih >= g.in_h) {
+            std::fill(dst, dst + out_w, 0.0f);
+            continue;
+          }
+          const float* src = plane + ih * g.in_w;
+          for (int64_t ow = 0; ow < out_w; ++ow) {
+            const int64_t iw = ow * g.stride - g.padding + kw;
+            dst[ow] = (iw < 0 || iw >= g.in_w) ? 0.0f : src[iw];
+          }
         }
       }
     }
   }
 }
 
-void MatMul(const Tensor& a, const Tensor& b, Tensor* out) {
-  Gemm(a, false, b, false, 1.0f, 0.0f, out);
+// Scatter-adds a [IC*K*K, OH*OW] patch-gradient matrix back into a [IC, H, W] slab
+// (transpose of Im2Col).
+void Col2Im(const float* col, const ConvGeometry& g, float* in_grad) {
+  const int64_t out_h = g.out_h();
+  const int64_t out_w = g.out_w();
+  const int64_t spatial = out_h * out_w;
+  for (int64_t ic = 0; ic < g.in_channels; ++ic) {
+    float* plane = in_grad + ic * g.in_h * g.in_w;
+    for (int64_t kh = 0; kh < g.kernel; ++kh) {
+      for (int64_t kw = 0; kw < g.kernel; ++kw) {
+        const float* row = col + ((ic * g.kernel + kh) * g.kernel + kw) * spatial;
+        for (int64_t oh = 0; oh < out_h; ++oh) {
+          const int64_t ih = oh * g.stride - g.padding + kh;
+          if (ih < 0 || ih >= g.in_h) {
+            continue;
+          }
+          float* dst = plane + ih * g.in_w;
+          const float* src = row + oh * out_w;
+          for (int64_t ow = 0; ow < out_w; ++ow) {
+            const int64_t iw = ow * g.stride - g.padding + kw;
+            if (iw >= 0 && iw < g.in_w) {
+              dst[iw] += src[ow];
+            }
+          }
+        }
+      }
+    }
+  }
 }
+
+}  // namespace
+
+void Conv2dForward(const Tensor& input, const Tensor& weight, const Tensor& bias,
+                   const ConvGeometry& g, Tensor* out) {
+  g.Check(input, weight, bias);
+  if (UseNaiveKernels()) {
+    ref::Conv2dForward(input, weight, bias, g, out);
+    return;
+  }
+  const int64_t out_h = g.out_h();
+  const int64_t out_w = g.out_w();
+  const int64_t spatial = out_h * out_w;
+  const int64_t patch = g.in_channels * g.kernel * g.kernel;
+  if (out->rank() != 4 || out->dim(0) != g.batch || out->dim(1) != g.out_channels ||
+      out->dim(2) != out_h || out->dim(3) != out_w) {
+    *out = Tensor({g.batch, g.out_channels, out_h, out_w});
+  }
+  // Samples write disjoint output slabs and only read the shared weights, so the batch
+  // loop parallelizes deterministically; each chunk owns a private im2col buffer.
+  ParallelFor(0, g.batch, 1, [&](int64_t /*chunk*/, int64_t lo, int64_t hi) {
+    std::vector<float> col(static_cast<size_t>(patch) * spatial);
+    for (int64_t n = lo; n < hi; ++n) {
+      Im2Col(input.data() + n * g.in_channels * g.in_h * g.in_w, g, col.data());
+      float* cslab = out->data() + n * g.out_channels * spatial;
+      for (int64_t oc = 0; oc < g.out_channels; ++oc) {
+        std::fill(cslab + oc * spatial, cslab + (oc + 1) * spatial, bias[oc]);
+      }
+      // out[n] += W[OC, patch] @ col[patch, spatial]; the weight tensor's [OC, IC, K, K]
+      // storage is already the row-major [OC, patch] matrix.
+      BlockedGemmCore(weight.data(), patch, false, col.data(), spatial, false,
+                      g.out_channels, spatial, patch, 1.0f, cslab, spatial);
+    }
+  });
+}
+
+void Conv2dBackward(const Tensor& input, const Tensor& weight, const Tensor& grad_output,
+                    const ConvGeometry& g, Tensor* grad_weight, Tensor* grad_bias,
+                    Tensor* grad_input) {
+  g.Check(input, weight, *grad_bias);
+  PD_CHECK(grad_weight->SameShape(weight));
+  if (UseNaiveKernels()) {
+    ref::Conv2dBackward(input, weight, grad_output, g, grad_weight, grad_bias, grad_input);
+    return;
+  }
+  const int64_t out_h = g.out_h();
+  const int64_t out_w = g.out_w();
+  const int64_t spatial = out_h * out_w;
+  const int64_t patch = g.in_channels * g.kernel * g.kernel;
+  PD_CHECK_EQ(grad_output.rank(), 4u);
+  PD_CHECK_EQ(grad_output.dim(0), g.batch);
+  PD_CHECK_EQ(grad_output.dim(1), g.out_channels);
+  PD_CHECK_EQ(grad_output.dim(2), out_h);
+  PD_CHECK_EQ(grad_output.dim(3), out_w);
+  if (!grad_input->SameShape(input)) {
+    *grad_input = Tensor(input.shape());
+  } else {
+    grad_input->SetZero();
+  }
+  // Weight/bias gradients accumulate across samples in batch order (deterministic, and
+  // the order the naive reference uses), so this loop stays sequential; the GEMMs inside
+  // parallelize over the pool.
+  std::vector<float> col(static_cast<size_t>(patch) * spatial);
+  std::vector<float> dcol(static_cast<size_t>(patch) * spatial);
+  for (int64_t n = 0; n < g.batch; ++n) {
+    const float* gslab = grad_output.data() + n * g.out_channels * spatial;
+    for (int64_t oc = 0; oc < g.out_channels; ++oc) {
+      const float* grow = gslab + oc * spatial;
+      float acc = 0.0f;
+      for (int64_t i = 0; i < spatial; ++i) {
+        acc += grow[i];
+      }
+      (*grad_bias)[oc] += acc;
+    }
+    Im2Col(input.data() + n * g.in_channels * g.in_h * g.in_w, g, col.data());
+    // dW[OC, patch] += g[OC, spatial] @ col[patch, spatial]^T.
+    BlockedGemmCore(gslab, spatial, false, col.data(), spatial, true, g.out_channels, patch,
+                    spatial, 1.0f, grad_weight->data(), patch);
+    // dcol[patch, spatial] = W[OC, patch]^T @ g[OC, spatial], scattered back via col2im.
+    std::fill(dcol.begin(), dcol.end(), 0.0f);
+    BlockedGemmCore(weight.data(), patch, true, gslab, spatial, false, patch, spatial,
+                    g.out_channels, 1.0f, dcol.data(), spatial);
+    Col2Im(dcol.data(), g, grad_input->data() + n * g.in_channels * g.in_h * g.in_w);
+  }
+}
+
+// ---------------------------------------------------------------------------------------
+// Elementwise ops: disjoint fixed-boundary chunks over the shared pool.
+// ---------------------------------------------------------------------------------------
 
 void Add(const Tensor& a, const Tensor& b, Tensor* out) {
   PD_CHECK(a.SameShape(b));
@@ -87,20 +452,24 @@ void AddInPlace(Tensor* a, const Tensor& b) {
   PD_CHECK(a->SameShape(b));
   float* pa = a->data();
   const float* pb = b.data();
-  const int64_t n = a->numel();
-  for (int64_t i = 0; i < n; ++i) {
-    pa[i] += pb[i];
-  }
+  ParallelFor(0, a->numel(), kElementwiseGrain,
+              [&](int64_t /*chunk*/, int64_t lo, int64_t hi) {
+                for (int64_t i = lo; i < hi; ++i) {
+                  pa[i] += pb[i];
+                }
+              });
 }
 
 void Axpy(float alpha, const Tensor& b, Tensor* a) {
   PD_CHECK(a->SameShape(b));
   float* pa = a->data();
   const float* pb = b.data();
-  const int64_t n = a->numel();
-  for (int64_t i = 0; i < n; ++i) {
-    pa[i] += alpha * pb[i];
-  }
+  ParallelFor(0, a->numel(), kElementwiseGrain,
+              [&](int64_t /*chunk*/, int64_t lo, int64_t hi) {
+                for (int64_t i = lo; i < hi; ++i) {
+                  pa[i] += alpha * pb[i];
+                }
+              });
 }
 
 void Sub(const Tensor& a, const Tensor& b, Tensor* out) {
@@ -108,10 +477,12 @@ void Sub(const Tensor& a, const Tensor& b, Tensor* out) {
   *out = a;
   float* po = out->data();
   const float* pb = b.data();
-  const int64_t n = a.numel();
-  for (int64_t i = 0; i < n; ++i) {
-    po[i] -= pb[i];
-  }
+  ParallelFor(0, a.numel(), kElementwiseGrain,
+              [&](int64_t /*chunk*/, int64_t lo, int64_t hi) {
+                for (int64_t i = lo; i < hi; ++i) {
+                  po[i] -= pb[i];
+                }
+              });
 }
 
 void Mul(const Tensor& a, const Tensor& b, Tensor* out) {
@@ -119,33 +490,45 @@ void Mul(const Tensor& a, const Tensor& b, Tensor* out) {
   *out = a;
   float* po = out->data();
   const float* pb = b.data();
-  const int64_t n = a.numel();
-  for (int64_t i = 0; i < n; ++i) {
-    po[i] *= pb[i];
-  }
+  ParallelFor(0, a.numel(), kElementwiseGrain,
+              [&](int64_t /*chunk*/, int64_t lo, int64_t hi) {
+                for (int64_t i = lo; i < hi; ++i) {
+                  po[i] *= pb[i];
+                }
+              });
 }
 
 void Scale(Tensor* a, float scalar) {
   float* pa = a->data();
-  const int64_t n = a->numel();
-  for (int64_t i = 0; i < n; ++i) {
-    pa[i] *= scalar;
-  }
+  ParallelFor(0, a->numel(), kElementwiseGrain,
+              [&](int64_t /*chunk*/, int64_t lo, int64_t hi) {
+                for (int64_t i = lo; i < hi; ++i) {
+                  pa[i] *= scalar;
+                }
+              });
 }
 
 void AddBiasRows(Tensor* matrix, const Tensor& bias) {
   PD_CHECK_EQ(matrix->rank(), 2u);
   PD_CHECK_EQ(bias.numel(), matrix->dim(1));
-  const int64_t m = matrix->dim(0);
   const int64_t n = matrix->dim(1);
   float* pm = matrix->data();
   const float* pb = bias.data();
-  for (int64_t i = 0; i < m; ++i) {
-    for (int64_t j = 0; j < n; ++j) {
-      pm[i * n + j] += pb[j];
-    }
-  }
+  ParallelFor(0, matrix->dim(0), std::max<int64_t>(1, kElementwiseGrain / std::max<int64_t>(n, 1)),
+              [&](int64_t /*chunk*/, int64_t lo, int64_t hi) {
+                for (int64_t i = lo; i < hi; ++i) {
+                  float* row = pm + i * n;
+                  for (int64_t j = 0; j < n; ++j) {
+                    row[j] += pb[j];
+                  }
+                }
+              });
 }
+
+// ---------------------------------------------------------------------------------------
+// Reductions: fixed-size chunks produce indexed partials combined in chunk order, so the
+// result is a pure function of the input (never of the thread count).
+// ---------------------------------------------------------------------------------------
 
 void AccumulateColumnSums(const Tensor& matrix, Tensor* bias_grad) {
   PD_CHECK_EQ(matrix.rank(), 2u);
@@ -154,29 +537,79 @@ void AccumulateColumnSums(const Tensor& matrix, Tensor* bias_grad) {
   const int64_t n = matrix.dim(1);
   const float* pm = matrix.data();
   float* pg = bias_grad->data();
-  for (int64_t i = 0; i < m; ++i) {
+  const int64_t row_grain = std::max<int64_t>(1, kReduceGrain / std::max<int64_t>(n, 1));
+  const int64_t chunks = ParallelChunkCount(0, m, row_grain);
+  if (chunks <= 1) {
+    for (int64_t i = 0; i < m; ++i) {
+      for (int64_t j = 0; j < n; ++j) {
+        pg[j] += pm[i * n + j];
+      }
+    }
+    return;
+  }
+  std::vector<float> partials(static_cast<size_t>(chunks * n), 0.0f);
+  ParallelFor(0, m, row_grain, [&](int64_t chunk, int64_t lo, int64_t hi) {
+    float* part = partials.data() + chunk * n;
+    for (int64_t i = lo; i < hi; ++i) {
+      for (int64_t j = 0; j < n; ++j) {
+        part[j] += pm[i * n + j];
+      }
+    }
+  });
+  for (int64_t c = 0; c < chunks; ++c) {
+    const float* part = partials.data() + c * n;
     for (int64_t j = 0; j < n; ++j) {
-      pg[j] += pm[i * n + j];
+      pg[j] += part[j];
     }
   }
 }
 
 double Sum(const Tensor& a) {
-  double total = 0.0;
+  if (UseNaiveKernels()) {
+    return ref::Sum(a);
+  }
   const float* pa = a.data();
   const int64_t n = a.numel();
-  for (int64_t i = 0; i < n; ++i) {
-    total += pa[i];
+  const int64_t chunks = ParallelChunkCount(0, n, kReduceGrain);
+  if (chunks <= 1) {
+    return ref::Sum(a);
+  }
+  std::vector<double> partials(static_cast<size_t>(chunks), 0.0);
+  ParallelFor(0, n, kReduceGrain, [&](int64_t chunk, int64_t lo, int64_t hi) {
+    double total = 0.0;
+    for (int64_t i = lo; i < hi; ++i) {
+      total += pa[i];
+    }
+    partials[static_cast<size_t>(chunk)] = total;
+  });
+  double total = 0.0;
+  for (double p : partials) {
+    total += p;
   }
   return total;
 }
 
 double Norm(const Tensor& a) {
-  double total = 0.0;
+  if (UseNaiveKernels()) {
+    return ref::Norm(a);
+  }
   const float* pa = a.data();
   const int64_t n = a.numel();
-  for (int64_t i = 0; i < n; ++i) {
-    total += static_cast<double>(pa[i]) * pa[i];
+  const int64_t chunks = ParallelChunkCount(0, n, kReduceGrain);
+  if (chunks <= 1) {
+    return ref::Norm(a);
+  }
+  std::vector<double> partials(static_cast<size_t>(chunks), 0.0);
+  ParallelFor(0, n, kReduceGrain, [&](int64_t chunk, int64_t lo, int64_t hi) {
+    double total = 0.0;
+    for (int64_t i = lo; i < hi; ++i) {
+      total += static_cast<double>(pa[i]) * pa[i];
+    }
+    partials[static_cast<size_t>(chunk)] = total;
+  });
+  double total = 0.0;
+  for (double p : partials) {
+    total += p;
   }
   return std::sqrt(total);
 }
@@ -204,24 +637,28 @@ void SoftmaxRows(const Tensor& logits, Tensor* probs) {
   const int64_t n = logits.dim(1);
   const float* pl = logits.data();
   float* pp = probs->data();
-  for (int64_t i = 0; i < m; ++i) {
-    const float* row = pl + i * n;
-    float* out = pp + i * n;
-    float max_val = row[0];
-    for (int64_t j = 1; j < n; ++j) {
-      max_val = std::max(max_val, row[j]);
+  // Rows are independent; per-row math matches the reference bit-for-bit.
+  const int64_t row_grain = std::max<int64_t>(1, kElementwiseGrain / std::max<int64_t>(n, 1));
+  ParallelFor(0, m, row_grain, [&](int64_t /*chunk*/, int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      const float* row = pl + i * n;
+      float* out = pp + i * n;
+      float max_val = row[0];
+      for (int64_t j = 1; j < n; ++j) {
+        max_val = std::max(max_val, row[j]);
+      }
+      double denom = 0.0;
+      for (int64_t j = 0; j < n; ++j) {
+        const float e = std::exp(row[j] - max_val);
+        out[j] = e;
+        denom += e;
+      }
+      const float inv = static_cast<float>(1.0 / denom);
+      for (int64_t j = 0; j < n; ++j) {
+        out[j] *= inv;
+      }
     }
-    double denom = 0.0;
-    for (int64_t j = 0; j < n; ++j) {
-      const float e = std::exp(row[j] - max_val);
-      out[j] = e;
-      denom += e;
-    }
-    const float inv = static_cast<float>(1.0 / denom);
-    for (int64_t j = 0; j < n; ++j) {
-      out[j] *= inv;
-    }
-  }
+  });
 }
 
 double MaxAbsDiff(const Tensor& a, const Tensor& b) {

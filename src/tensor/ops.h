@@ -1,7 +1,14 @@
-// Tensor operations: GEMM, elementwise arithmetic, reductions, softmax.
+// Tensor operations: GEMM, convolution, elementwise arithmetic, reductions, softmax.
 //
 // All ops take explicit output tensors (resized as needed) so callers control allocation
 // and the training runtime can reuse buffers across minibatches.
+//
+// Two kernel layers share this API. The default implementations (ops.cc) are cache-blocked,
+// register-tiled, and parallelized over the shared thread pool (src/common/thread_pool.h);
+// the naive seed implementations survive in ref_ops.h as the differential-test oracle and
+// as a runtime escape hatch (PIPEDREAM_NAIVE_KERNELS=1). Both layers are deterministic:
+// results never depend on thread count or scheduling, only on shapes and inputs, so the
+// pipeline-vs-oracle equivalence tests can keep demanding bitwise-equal weights.
 #ifndef SRC_TENSOR_OPS_H_
 #define SRC_TENSOR_OPS_H_
 
@@ -11,6 +18,12 @@
 
 namespace pipedream {
 
+// True when ops dispatch to the naive reference kernels: PIPEDREAM_NAIVE_KERNELS=1 in the
+// environment (read once) or an explicit SetNaiveKernelsForTesting(true).
+bool UseNaiveKernels();
+// Test hook overriding the environment switch for the current process.
+void SetNaiveKernelsForTesting(bool naive);
+
 // out = alpha * op(a) @ op(b) + beta * out, where op transposes when the flag is set.
 // Shapes: op(a) is [m, k], op(b) is [k, n], out is [m, n]. When beta == 0 the previous
 // contents of out are ignored (out is resized to [m, n]).
@@ -19,6 +32,35 @@ void Gemm(const Tensor& a, bool transpose_a, const Tensor& b, bool transpose_b, 
 
 // out = a @ b, convenience wrapper over Gemm with alpha=1, beta=0.
 void MatMul(const Tensor& a, const Tensor& b, Tensor* out);
+
+// NCHW convolution geometry shared by the forward and backward kernels.
+struct ConvGeometry {
+  int64_t batch = 0;
+  int64_t in_channels = 0;
+  int64_t in_h = 0;
+  int64_t in_w = 0;
+  int64_t out_channels = 0;
+  int64_t kernel = 0;
+  int64_t stride = 1;
+  int64_t padding = 0;
+
+  int64_t out_h() const { return (in_h + 2 * padding - kernel) / stride + 1; }
+  int64_t out_w() const { return (in_w + 2 * padding - kernel) / stride + 1; }
+  // Validates shapes of the operands against this geometry.
+  void Check(const Tensor& input, const Tensor& weight, const Tensor& bias) const;
+};
+
+// out[n,oc,oh,ow] = bias[oc] + sum_{ic,kh,kw} input[n,ic,...] * weight[oc,ic,kh,kw].
+// input is [N, IC, H, W], weight [OC, IC, K, K], bias [OC]. The default implementation
+// lowers each sample onto the blocked GEMM via im2col.
+void Conv2dForward(const Tensor& input, const Tensor& weight, const Tensor& bias,
+                   const ConvGeometry& g, Tensor* out);
+
+// Accumulates grad_weight / grad_bias (+=, caller zeroes between steps, matching Parameter
+// semantics) and overwrites grad_input.
+void Conv2dBackward(const Tensor& input, const Tensor& weight, const Tensor& grad_output,
+                    const ConvGeometry& g, Tensor* grad_weight, Tensor* grad_bias,
+                    Tensor* grad_input);
 
 // Elementwise out = a + b (shapes must match).
 void Add(const Tensor& a, const Tensor& b, Tensor* out);

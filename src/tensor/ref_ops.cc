@@ -1,0 +1,228 @@
+#include "src/tensor/ref_ops.h"
+
+#include <cmath>
+
+#include "src/tensor/ops.h"
+
+namespace pipedream {
+namespace ref {
+namespace {
+
+// Extracts the logical (rows, cols) of a possibly transposed rank-2 operand.
+void LogicalDims(const Tensor& t, bool transpose, int64_t* rows, int64_t* cols) {
+  PD_CHECK_EQ(t.rank(), 2u);
+  if (transpose) {
+    *rows = t.dim(1);
+    *cols = t.dim(0);
+  } else {
+    *rows = t.dim(0);
+    *cols = t.dim(1);
+  }
+}
+
+}  // namespace
+
+void Gemm(const Tensor& a, bool transpose_a, const Tensor& b, bool transpose_b, float alpha,
+          float beta, Tensor* out) {
+  int64_t m = 0;
+  int64_t k = 0;
+  int64_t k2 = 0;
+  int64_t n = 0;
+  LogicalDims(a, transpose_a, &m, &k);
+  LogicalDims(b, transpose_b, &k2, &n);
+  PD_CHECK_EQ(k, k2) << "GEMM inner dimensions disagree: " << a.ShapeString() << " x "
+                     << b.ShapeString();
+  if (beta == 0.0f) {
+    if (out->rank() != 2 || out->dim(0) != m || out->dim(1) != n) {
+      *out = Tensor({m, n});
+    } else {
+      out->SetZero();
+    }
+  } else {
+    PD_CHECK(out->rank() == 2 && out->dim(0) == m && out->dim(1) == n)
+        << "GEMM accumulate into mismatched output " << out->ShapeString();
+    if (beta != 1.0f) {
+      Scale(out, beta);
+    }
+  }
+
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = out->data();
+  const int64_t lda = a.dim(1);
+  const int64_t ldb = b.dim(1);
+
+  // i-k-j loop order keeps the innermost loop streaming over contiguous memory for the
+  // common (no-transpose) case; the transposed cases index through strides.
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t kk = 0; kk < k; ++kk) {
+      const float a_ik = transpose_a ? pa[kk * lda + i] : pa[i * lda + kk];
+      if (a_ik == 0.0f) {
+        continue;
+      }
+      const float scaled = alpha * a_ik;
+      float* c_row = pc + i * n;
+      if (!transpose_b) {
+        const float* b_row = pb + kk * ldb;
+        for (int64_t j = 0; j < n; ++j) {
+          c_row[j] += scaled * b_row[j];
+        }
+      } else {
+        for (int64_t j = 0; j < n; ++j) {
+          c_row[j] += scaled * pb[j * ldb + kk];
+        }
+      }
+    }
+  }
+}
+
+void MatMul(const Tensor& a, const Tensor& b, Tensor* out) {
+  ref::Gemm(a, false, b, false, 1.0f, 0.0f, out);
+}
+
+void Conv2dForward(const Tensor& input, const Tensor& weight, const Tensor& bias,
+                   const ConvGeometry& g, Tensor* out) {
+  const int64_t out_h = g.out_h();
+  const int64_t out_w = g.out_w();
+  if (out->rank() != 4 || out->dim(0) != g.batch || out->dim(1) != g.out_channels ||
+      out->dim(2) != out_h || out->dim(3) != out_w) {
+    *out = Tensor({g.batch, g.out_channels, out_h, out_w});
+  }
+  for (int64_t n = 0; n < g.batch; ++n) {
+    for (int64_t oc = 0; oc < g.out_channels; ++oc) {
+      const float b = bias[oc];
+      for (int64_t oh = 0; oh < out_h; ++oh) {
+        for (int64_t ow = 0; ow < out_w; ++ow) {
+          float acc = b;
+          const int64_t h0 = oh * g.stride - g.padding;
+          const int64_t w0 = ow * g.stride - g.padding;
+          for (int64_t ic = 0; ic < g.in_channels; ++ic) {
+            for (int64_t kh = 0; kh < g.kernel; ++kh) {
+              const int64_t ih = h0 + kh;
+              if (ih < 0 || ih >= g.in_h) {
+                continue;
+              }
+              for (int64_t kw = 0; kw < g.kernel; ++kw) {
+                const int64_t iw = w0 + kw;
+                if (iw < 0 || iw >= g.in_w) {
+                  continue;
+                }
+                acc += input.At4(n, ic, ih, iw) * weight.At4(oc, ic, kh, kw);
+              }
+            }
+          }
+          out->At4(n, oc, oh, ow) = acc;
+        }
+      }
+    }
+  }
+}
+
+void Conv2dBackward(const Tensor& input, const Tensor& weight, const Tensor& grad_output,
+                    const ConvGeometry& g, Tensor* grad_weight, Tensor* grad_bias,
+                    Tensor* grad_input) {
+  const int64_t out_h = g.out_h();
+  const int64_t out_w = g.out_w();
+  if (!grad_input->SameShape(input)) {
+    *grad_input = Tensor(input.shape());
+  } else {
+    grad_input->SetZero();
+  }
+  for (int64_t n = 0; n < g.batch; ++n) {
+    for (int64_t oc = 0; oc < g.out_channels; ++oc) {
+      for (int64_t oh = 0; oh < out_h; ++oh) {
+        for (int64_t ow = 0; ow < out_w; ++ow) {
+          const float gr = grad_output.At4(n, oc, oh, ow);
+          if (gr == 0.0f) {
+            continue;
+          }
+          (*grad_bias)[oc] += gr;
+          const int64_t h0 = oh * g.stride - g.padding;
+          const int64_t w0 = ow * g.stride - g.padding;
+          for (int64_t ic = 0; ic < g.in_channels; ++ic) {
+            for (int64_t kh = 0; kh < g.kernel; ++kh) {
+              const int64_t ih = h0 + kh;
+              if (ih < 0 || ih >= g.in_h) {
+                continue;
+              }
+              for (int64_t kw = 0; kw < g.kernel; ++kw) {
+                const int64_t iw = w0 + kw;
+                if (iw < 0 || iw >= g.in_w) {
+                  continue;
+                }
+                grad_weight->At4(oc, ic, kh, kw) += gr * input.At4(n, ic, ih, iw);
+                grad_input->At4(n, ic, ih, iw) += gr * weight.At4(oc, ic, kh, kw);
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+double Sum(const Tensor& a) {
+  double total = 0.0;
+  const float* pa = a.data();
+  const int64_t n = a.numel();
+  for (int64_t i = 0; i < n; ++i) {
+    total += pa[i];
+  }
+  return total;
+}
+
+double Norm(const Tensor& a) {
+  double total = 0.0;
+  const float* pa = a.data();
+  const int64_t n = a.numel();
+  for (int64_t i = 0; i < n; ++i) {
+    total += static_cast<double>(pa[i]) * pa[i];
+  }
+  return std::sqrt(total);
+}
+
+void AccumulateColumnSums(const Tensor& matrix, Tensor* bias_grad) {
+  PD_CHECK_EQ(matrix.rank(), 2u);
+  PD_CHECK_EQ(bias_grad->numel(), matrix.dim(1));
+  const int64_t m = matrix.dim(0);
+  const int64_t n = matrix.dim(1);
+  const float* pm = matrix.data();
+  float* pg = bias_grad->data();
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      pg[j] += pm[i * n + j];
+    }
+  }
+}
+
+void SoftmaxRows(const Tensor& logits, Tensor* probs) {
+  PD_CHECK_EQ(logits.rank(), 2u);
+  if (!probs->SameShape(logits)) {
+    *probs = Tensor(logits.shape());
+  }
+  const int64_t m = logits.dim(0);
+  const int64_t n = logits.dim(1);
+  const float* pl = logits.data();
+  float* pp = probs->data();
+  for (int64_t i = 0; i < m; ++i) {
+    const float* row = pl + i * n;
+    float* out = pp + i * n;
+    float max_val = row[0];
+    for (int64_t j = 1; j < n; ++j) {
+      max_val = std::max(max_val, row[j]);
+    }
+    double denom = 0.0;
+    for (int64_t j = 0; j < n; ++j) {
+      const float e = std::exp(row[j] - max_val);
+      out[j] = e;
+      denom += e;
+    }
+    const float inv = static_cast<float>(1.0 / denom);
+    for (int64_t j = 0; j < n; ++j) {
+      out[j] *= inv;
+    }
+  }
+}
+
+}  // namespace ref
+}  // namespace pipedream

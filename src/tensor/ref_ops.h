@@ -1,0 +1,43 @@
+// Naive single-threaded reference kernels.
+//
+// These are the seed repository's original triple-loop implementations, kept verbatim as
+// (a) the oracle the differential kernel tests compare the blocked/parallel kernels in
+// ops.cc against, and (b) a runtime escape hatch: setting PIPEDREAM_NAIVE_KERNELS=1 (or
+// calling SetNaiveKernelsForTesting) routes every dispatching op in ops.h through this
+// namespace. They favour obviousness over speed — the summation order of each loop nest is
+// the plain textbook order, which is what makes them a trustworthy oracle.
+#ifndef SRC_TENSOR_REF_OPS_H_
+#define SRC_TENSOR_REF_OPS_H_
+
+#include <cstdint>
+
+#include "src/tensor/tensor.h"
+
+namespace pipedream {
+
+struct ConvGeometry;  // defined in ops.h
+
+namespace ref {
+
+// out = alpha * op(a) @ op(b) + beta * out; identical contract to pipedream::Gemm.
+void Gemm(const Tensor& a, bool transpose_a, const Tensor& b, bool transpose_b, float alpha,
+          float beta, Tensor* out);
+
+void MatMul(const Tensor& a, const Tensor& b, Tensor* out);
+
+// Direct-loop NCHW convolution (the original Conv2D layer loops).
+void Conv2dForward(const Tensor& input, const Tensor& weight, const Tensor& bias,
+                   const ConvGeometry& g, Tensor* out);
+void Conv2dBackward(const Tensor& input, const Tensor& weight, const Tensor& grad_output,
+                    const ConvGeometry& g, Tensor* grad_weight, Tensor* grad_bias,
+                    Tensor* grad_input);
+
+double Sum(const Tensor& a);
+double Norm(const Tensor& a);
+void AccumulateColumnSums(const Tensor& matrix, Tensor* bias_grad);
+void SoftmaxRows(const Tensor& logits, Tensor* probs);
+
+}  // namespace ref
+}  // namespace pipedream
+
+#endif  // SRC_TENSOR_REF_OPS_H_

@@ -4,6 +4,7 @@
 
 #include "src/common/rng.h"
 #include "src/graph/activation.h"
+#include "src/graph/attention.h"
 #include "src/graph/conv.h"
 #include "src/graph/dense.h"
 #include "src/graph/embedding.h"
@@ -13,6 +14,7 @@
 #include "src/graph/pool.h"
 #include "src/graph/shape_ops.h"
 #include "src/tensor/init.h"
+#include "src/tensor/ops.h"
 
 namespace pipedream {
 namespace {
@@ -202,6 +204,116 @@ TEST_P(RandomMlpGradTest, Passes) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomMlpGradTest, ::testing::Range(1, 11));
+
+TEST(GradCheckTest, AttentionLayer) {
+  Rng rng(1);
+  Sequential model;
+  model.Add(std::make_unique<Attention>("attn", 5, &rng));
+  model.Add(std::make_unique<TimeFlatten>("tokens"));
+  model.Add(std::make_unique<Dense>("head", 5, 3, &rng));
+  SoftmaxCrossEntropy loss;
+  GradCheckOptions options;
+  options.max_outliers = 1;  // the softmax Jacobian amplifies float32 noise
+  const auto report =
+      CheckGradients(model, loss, RandomInput({2, 4, 5}, 14), RandomLabels(8, 3, 15), options);
+  EXPECT_TRUE(report.passed) << report.worst_param << " rel err "
+                             << report.worst_relative_error;
+}
+
+TEST(GradCheckTest, AttentionSeqModel) {
+  Rng rng(1);
+  const auto model = BuildAttentionSeqModel(/*vocab=*/6, /*embed=*/4, /*hidden=*/5, &rng);
+  SoftmaxCrossEntropy loss;
+  Rng token_rng(16);
+  Tensor tokens({2, 3});
+  for (int64_t i = 0; i < tokens.numel(); ++i) {
+    tokens[i] = static_cast<float>(token_rng.UniformInt(6));
+  }
+  GradCheckOptions options;
+  options.max_outliers = 2;
+  const auto report = CheckGradients(*model, loss, tokens, RandomLabels(6, 6, 17), options);
+  EXPECT_TRUE(report.passed) << report.worst_param << " rel err "
+                             << report.worst_relative_error;
+}
+
+// ---------------------------------------------------------------------------------------
+// Kernel-swap invariance: the blocked/parallel kernels must produce the same gradients as
+// the naive reference kernels on the SAME model and data. The central-difference checks
+// above establish the gradients are mathematically right; these establish the kernel swap
+// did not move them beyond float32 reassociation noise. Shapes are chosen above the
+// tiny-GEMM cutoff so the blocked path genuinely runs.
+// ---------------------------------------------------------------------------------------
+
+// Gradients of `model` on (input, labels) under the current kernel selection.
+std::vector<Tensor> GradsOf(Sequential* model, const Tensor& input, const Tensor& labels) {
+  SoftmaxCrossEntropy loss;
+  model->ZeroGrads();
+  ModelContext ctx;
+  Tensor grad;
+  const Tensor out = model->Forward(input, &ctx, true);
+  loss.Compute(out, labels, &grad);
+  model->Backward(grad, &ctx);
+  std::vector<Tensor> grads;
+  for (Parameter* p : model->Params()) {
+    grads.push_back(p->grad);
+  }
+  return grads;
+}
+
+void ExpectKernelSwapInvariant(Sequential* model, const Tensor& input, const Tensor& labels) {
+  const std::vector<Tensor> blocked = GradsOf(model, input, labels);
+  SetNaiveKernelsForTesting(true);
+  const std::vector<Tensor> naive = GradsOf(model, input, labels);
+  SetNaiveKernelsForTesting(false);
+  ASSERT_EQ(blocked.size(), naive.size());
+  const auto params = model->Params();
+  for (size_t i = 0; i < blocked.size(); ++i) {
+    double scale = 0.0;
+    for (int64_t j = 0; j < naive[i].numel(); ++j) {
+      scale = std::max(scale, static_cast<double>(std::abs(naive[i][j])));
+    }
+    const double tol = 1e-6 + 1e-5 * scale;  // float32 reassociation noise only
+    EXPECT_LE(MaxAbsDiff(blocked[i], naive[i]), tol) << params[i]->name;
+  }
+}
+
+TEST(GradCheckTest, KernelSwapPreservesDenseGradients) {
+  Rng rng(21);
+  Sequential model;
+  model.Add(std::make_unique<Dense>("fc1", 96, 96, &rng));
+  model.Add(std::make_unique<Activation>("act", ActivationKind::kTanh));
+  model.Add(std::make_unique<Dense>("fc2", 96, 10, &rng));
+  ExpectKernelSwapInvariant(&model, RandomInput({8, 96}, 22), RandomLabels(8, 10, 23));
+}
+
+TEST(GradCheckTest, KernelSwapPreservesConvGradients) {
+  Rng rng(31);
+  Sequential model;
+  model.Add(std::make_unique<Conv2D>("conv1", 3, 8, 3, 1, 1, &rng));
+  model.Add(std::make_unique<Activation>("act", ActivationKind::kRelu));
+  model.Add(std::make_unique<Conv2D>("conv2", 8, 8, 3, 2, 1, &rng));
+  model.Add(std::make_unique<Flatten>("flat"));
+  model.Add(std::make_unique<Dense>("fc", 8 * 6 * 6, 4, &rng));
+  ExpectKernelSwapInvariant(&model, RandomInput({4, 3, 12, 12}, 32), RandomLabels(4, 4, 33));
+}
+
+TEST(GradCheckTest, KernelSwapPreservesLstmGradients) {
+  Rng rng(41);
+  Sequential model;
+  model.Add(std::make_unique<Lstm>("lstm", 48, 64, &rng));
+  model.Add(std::make_unique<TimeFlatten>("tokens"));
+  model.Add(std::make_unique<Dense>("head", 64, 5, &rng));
+  ExpectKernelSwapInvariant(&model, RandomInput({4, 6, 48}, 42), RandomLabels(24, 5, 43));
+}
+
+TEST(GradCheckTest, KernelSwapPreservesAttentionGradients) {
+  Rng rng(51);
+  Sequential model;
+  model.Add(std::make_unique<Attention>("attn", 64, &rng));
+  model.Add(std::make_unique<TimeFlatten>("tokens"));
+  model.Add(std::make_unique<Dense>("head", 64, 4, &rng));
+  ExpectKernelSwapInvariant(&model, RandomInput({2, 10, 64}, 52), RandomLabels(20, 4, 53));
+}
 
 }  // namespace
 }  // namespace pipedream

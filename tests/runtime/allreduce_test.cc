@@ -13,7 +13,7 @@ TEST(GradientAllReducerTest, SingleParticipantIsIdentity) {
   Parameter p;
   p.value = Tensor({2}, {0, 0});
   p.grad = Tensor({2}, {3, 4});
-  reducer.AllReduce({&p});
+  reducer.AllReduce(0, {&p});
   EXPECT_EQ(p.grad[0], 3.0f);
 }
 
@@ -29,7 +29,7 @@ TEST(GradientAllReducerTest, AveragesAcrossThreads) {
   }
   for (int i = 0; i < n; ++i) {
     threads.emplace_back(
-        [&reducer, &params, i] { reducer.AllReduce({&params[static_cast<size_t>(i)]}); });
+        [&reducer, &params, i] { reducer.AllReduce(i, {&params[static_cast<size_t>(i)]}); });
   }
   for (auto& t : threads) {
     t.join();
@@ -56,7 +56,7 @@ TEST(GradientAllReducerTest, MultipleRoundsStayConsistent) {
     threads.emplace_back([&, i] {
       for (int r = 0; r < rounds; ++r) {
         params[static_cast<size_t>(i)].grad[0] = static_cast<float>(r * 10 + i);
-        reducer.AllReduce({&params[static_cast<size_t>(i)]});
+        reducer.AllReduce(i, {&params[static_cast<size_t>(i)]});
         results[static_cast<size_t>(i)].push_back(params[static_cast<size_t>(i)].grad[0]);
       }
     });

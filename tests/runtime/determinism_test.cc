@@ -1,0 +1,160 @@
+// Determinism regression under the shared kernel thread pool: two pipeline-trainer runs
+// with identical seeds must produce bitwise-identical final weights even when the blocked
+// kernels fan out across pool threads. This is the invariant the kernel layer promises
+// (chunk boundaries depend only on shape + grain, partials combine in chunk order) and the
+// one the equivalence tests silently rely on; this test forces a multi-threaded pool via
+// PIPEDREAM_NUM_THREADS so a regression cannot hide on a single-core CI machine.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <memory>
+
+#include "src/common/rng.h"
+#include "src/common/thread_pool.h"
+#include "src/data/dataset.h"
+#include "src/graph/loss.h"
+#include "src/graph/models.h"
+#include "src/optim/sgd.h"
+#include "src/runtime/pipeline_trainer.h"
+#include "src/tensor/ops.h"
+
+namespace pipedream {
+namespace {
+
+// The global pool is created lazily on first use, so setting the env var from a static
+// initializer (before main, before any test body touches a kernel) guarantees the pool has
+// 3 workers + callers regardless of the machine's core count.
+const bool kForcePoolSize = [] {
+  setenv("PIPEDREAM_NUM_THREADS", "4", /*overwrite=*/1);
+  return true;
+}();
+
+constexpr int64_t kBatch = 8;
+constexpr uint64_t kSeed = 42;
+constexpr double kLr = 0.05;
+
+double ParamDiff(const Sequential& a, const Sequential& b) {
+  const auto pa = a.Params();
+  const auto pb = b.Params();
+  EXPECT_EQ(pa.size(), pb.size());
+  double worst = 0.0;
+  for (size_t i = 0; i < pa.size(); ++i) {
+    worst = std::max(worst, MaxAbsDiff(pa[i]->value, pb[i]->value));
+  }
+  return worst;
+}
+
+TEST(DeterminismTest, PoolIsActuallyMultiThreaded) {
+  ASSERT_TRUE(kForcePoolSize);
+  EXPECT_EQ(ThreadPool::GlobalThreads(), 4);
+  EXPECT_EQ(ThreadPool::Global().workers(), 3);
+}
+
+// Layers wide enough that Dense matmuls clear the tiny-GEMM threshold and actually take the
+// blocked multi-chunk path (8x256 @ 256x256 = 512K MACs > 32^3).
+std::unique_ptr<Sequential> WideModel() {
+  Rng rng(kSeed);
+  return BuildMlpClassifier(64, {256, 256}, 10, &rng);
+}
+
+Dataset WideData() { return MakeGaussianMixture(10, 64, 16, 0.4, 7); }
+
+TEST(DeterminismTest, OneFOneBIdenticalSeedsGiveBitwiseIdenticalWeights) {
+  const Dataset data = WideData();
+  auto run = [&] {
+    auto model = WideModel();
+    const auto plan = MakeStraightPlan(static_cast<int>(model->size()), {2, 4});
+    SoftmaxCrossEntropy loss;
+    Sgd sgd(kLr);
+    PipelineTrainerOptions options;
+    options.weight_mode = WeightMode::kStashing;
+    PipelineTrainer trainer(*model, plan, &loss, sgd, &data, kBatch, kSeed, options);
+    trainer.TrainEpoch();
+    trainer.TrainEpoch();
+    return trainer.AssembleModel();
+  };
+  const auto a = run();
+  const auto b = run();
+  EXPECT_EQ(ParamDiff(*a, *b), 0.0);
+}
+
+TEST(DeterminismTest, ReplicatedStageIdenticalSeedsGiveBitwiseIdenticalWeights) {
+  // A replicated stage adds out-of-order message arrival and gradient all-reduce across
+  // replica threads on top of the in-kernel parallelism; all three must be deterministic.
+  // Three replicas matter: with two, float addition commutes and a rank-order bug in the
+  // reducer would be invisible.
+  const Dataset data = WideData();
+  auto run = [&] {
+    auto model = WideModel();
+    const auto plan = MakePlanFromShape({{2, 3}, {3, 1}});
+    SoftmaxCrossEntropy loss;
+    Sgd sgd(kLr);
+    PipelineTrainer trainer(*model, plan, &loss, sgd, &data, kBatch, kSeed);
+    trainer.TrainEpoch();
+    return trainer.AssembleModel();
+  };
+  const auto a = run();
+  const auto b = run();
+  EXPECT_EQ(ParamDiff(*a, *b), 0.0);
+}
+
+TEST(DeterminismTest, GPipeIdenticalSeedsGiveBitwiseIdenticalWeights) {
+  const Dataset data = WideData();
+  auto run = [&] {
+    auto model = WideModel();
+    const auto plan = MakeStraightPlan(static_cast<int>(model->size()), {2});
+    SoftmaxCrossEntropy loss;
+    Sgd sgd(kLr);
+    PipelineTrainerOptions options;
+    options.schedule = ScheduleKind::kGPipe;
+    options.gpipe_microbatches = 4;
+    PipelineTrainer trainer(*model, plan, &loss, sgd, &data, kBatch, kSeed, options);
+    trainer.TrainEpoch();
+    return trainer.AssembleModel();
+  };
+  const auto a = run();
+  const auto b = run();
+  EXPECT_EQ(ParamDiff(*a, *b), 0.0);
+}
+
+TEST(DeterminismTest, BlockedKernelsMatchSequentialOracleBitwise) {
+  // The cross-check the equivalence suite depends on: a threaded pipeline run with blocked
+  // parallel kernels against a single-threaded sequential-SGD oracle using the same kernels.
+  // Model parallelism admits one minibatch at a time, so the trajectories must be EQUAL, not
+  // merely close — any thread-count-dependent floating-point reassociation shows up here.
+  const Dataset data = WideData();
+
+  auto reference = WideModel();
+  {
+    MinibatchLoader loader(&data, kBatch, kSeed);
+    SoftmaxCrossEntropy loss;
+    Sgd sgd(kLr);
+    const auto params = reference->Params();
+    Tensor x;
+    Tensor y;
+    Tensor grad;
+    for (int64_t b = 0; b < loader.batches_per_epoch(); ++b) {
+      loader.BatchAt(b, &x, &y);
+      reference->ZeroGrads();
+      ModelContext ctx;
+      const Tensor out = reference->Forward(x, &ctx, true);
+      loss.Compute(out, y, &grad);
+      reference->Backward(grad, &ctx);
+      sgd.Step(params);
+    }
+  }
+
+  auto model = WideModel();
+  const auto plan = MakeStraightPlan(static_cast<int>(model->size()), {2});
+  SoftmaxCrossEntropy loss;
+  Sgd sgd(kLr);
+  PipelineTrainerOptions options;
+  options.schedule = ScheduleKind::kModelParallel;
+  PipelineTrainer trainer(*model, plan, &loss, sgd, &data, kBatch, kSeed, options);
+  trainer.TrainEpoch();
+
+  EXPECT_EQ(ParamDiff(*trainer.AssembleModel(), *reference), 0.0);
+}
+
+}  // namespace
+}  // namespace pipedream
