@@ -1,9 +1,17 @@
-// Fault tolerance scenario (paper §4, "Checkpointing"): every stage dumps its parameters
-// locally at each epoch boundary with no global coordination. This example trains a
-// pipeline, "crashes" it mid-run, restarts from the newest epoch for which every stage has a
-// checkpoint, and shows that training continues from consistent weights.
+// Fault tolerance scenario (paper §4): two acts.
+//
+// Act 1 — checkpointing: every stage dumps its parameters locally at each epoch boundary
+// with no global coordination. The example trains a pipeline, "crashes" it mid-run, and
+// restarts from the newest epoch for which every stage has a checkpoint.
+//
+// Act 2 — live failure and automatic recovery: a FaultInjector kills a stage worker
+// mid-epoch; the trainer's watchdog detects the death, quiesces the in-flight minibatches,
+// restores every stage from the newest complete checkpoint, respawns the worker, and
+// replays — all inside a single TrainEpoch call.
 //
 // Run: ./fault_tolerance
+// Set PIPEDREAM_FAULT_PLAN (e.g. "kill:stage=1,mb=40") or PIPEDREAM_FAULT_SEED=<n> to
+// override Act 2's scripted failure with your own.
 #include <cstdio>
 #include <filesystem>
 
@@ -13,6 +21,7 @@
 #include "src/graph/models.h"
 #include "src/optim/sgd.h"
 #include "src/runtime/checkpoint.h"
+#include "src/runtime/fault.h"
 #include "src/runtime/pipeline_trainer.h"
 
 using namespace pipedream;
@@ -80,6 +89,44 @@ int main() {
     const EpochStats stats = resumed->TrainEpoch();
     std::printf("resumed epoch %d: loss %.4f, acc %.3f\n", epoch, stats.mean_loss,
                 resumed->EvaluateAccuracy(eval, 16));
+  }
+
+  // --- Act 2: a worker dies mid-epoch and the trainer recovers on its own.
+  std::printf("\n== Live failure: injected kill + automatic recovery ==\n\n");
+  const std::filesystem::path dir2 = dir / "live_recovery";
+  std::filesystem::create_directories(dir2);
+  CheckpointManager live_manager(dir2.string());
+
+  auto live = MakeTrainer(&train, &loss);
+  RecoveryOptions recovery;
+  recovery.heartbeat_timeout_ms = 1000;
+  recovery.progress_timeout_ms = 500;
+  recovery.worker_tick_ms = 5;
+  live->EnableRecovery(&live_manager, recovery);
+
+  // The environment (PIPEDREAM_FAULT_PLAN / PIPEDREAM_FAULT_SEED) wins; otherwise kill
+  // stage 1 in the middle of epoch 1.
+  const int64_t bpe = live->batches_per_epoch();
+  FaultPlan fault_plan = FaultPlan::FromEnv(live->plan(), 3 * bpe);
+  if (fault_plan.empty()) {
+    fault_plan.events.push_back({FaultKind::kKillWorker, /*stage=*/1, /*replica=*/0,
+                                 /*minibatch=*/bpe + bpe / 2, WorkType::kForward, 0.0});
+  }
+  std::printf("fault plan: %s\n", fault_plan.ToString().c_str());
+  FaultInjector injector(fault_plan);
+  live->SetFaultInjector(&injector);
+
+  for (int epoch = 0; epoch < 3; ++epoch) {
+    const EpochStats stats = live->TrainEpoch();
+    std::printf("epoch %d: loss %.4f, %lld minibatches, %d failure(s) survived\n", epoch,
+                stats.mean_loss, static_cast<long long>(stats.minibatches),
+                stats.failures_detected);
+  }
+  for (const FailureRecord& failure : live->failures()) {
+    std::printf("detected: %s (stage %d, resumed from epoch %lld%s)\n",
+                failure.reason.c_str(), failure.stage,
+                static_cast<long long>(failure.resumed_epoch),
+                failure.degraded ? ", degraded" : "");
   }
 
   std::filesystem::remove_all(dir);

@@ -1,14 +1,121 @@
 #include "src/runtime/checkpoint.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 
+#include "src/common/crc32.h"
 #include "src/common/strings.h"
 
 namespace pipedream {
 namespace {
 
-constexpr uint64_t kMagic = 0x50444350'30303031ULL;  // "PDCP0001"
+constexpr uint64_t kMagic = 0x50444350'30303031ULL;        // "PDCP0001"
+constexpr uint64_t kFooterMagic = 0x50444346'30303031ULL;  // "PDCF0001"
+// Footer layout (appended after the last parameter payload):
+//   [content crc32 (u64)] [content length (u64)] [kFooterMagic (u64)]
+constexpr size_t kFooterBytes = 24;
+// Sanity caps so a torn header can never drive a multi-gigabyte allocation.
+constexpr uint64_t kMaxParams = 1u << 20;
+constexpr uint64_t kMaxNameLen = 1u << 12;
+constexpr uint64_t kMaxRank = 16;
+
+// Flushes a freshly written file's data to stable storage so the subsequent atomic rename
+// publishes a fully durable checkpoint (a crash after rename must never expose a torn file).
+Status FsyncPath(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::Internal("cannot reopen " + path + " for fsync");
+  }
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) {
+    return Status::Internal("fsync failed for " + path);
+  }
+  return Status::Ok();
+}
+
+// Bounds-checked cursor over an in-memory checkpoint image. Every read reports truncation
+// through ok() instead of walking off the buffer, so corrupt files yield a Status, never UB.
+class ByteReader {
+ public:
+  ByteReader(const char* data, size_t size) : data_(data), size_(size) {}
+
+  bool ok() const { return ok_; }
+  size_t remaining() const { return size_ - pos_; }
+
+  uint64_t ReadU64() {
+    uint64_t v = 0;
+    if (!Take(&v, 8)) {
+      return 0;
+    }
+    return v;
+  }
+
+  bool ReadBytes(void* out, size_t n) { return Take(out, n); }
+
+  std::string ReadString(size_t n) {
+    std::string s(n, '\0');
+    if (!Take(s.data(), n)) {
+      return std::string();
+    }
+    return s;
+  }
+
+ private:
+  bool Take(void* out, size_t n) {
+    if (!ok_ || size_ - pos_ < n) {
+      ok_ = false;
+      return false;
+    }
+    std::memcpy(out, data_ + pos_, n);
+    pos_ += n;
+    return true;
+  }
+
+  const char* data_;
+  size_t size_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+// Reads the whole file and verifies the CRC footer. On success `content` holds the bytes
+// preceding the footer (the parsable checkpoint body).
+Status ReadVerifiedContent(const std::string& path, std::string* content) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) {
+    return Status::NotFound("cannot open " + path);
+  }
+  std::string bytes((std::istreambuf_iterator<char>(file)), std::istreambuf_iterator<char>());
+  if (!file.good() && !file.eof()) {
+    return Status::Internal("read failed for " + path);
+  }
+  if (bytes.size() < kFooterBytes + 16) {
+    return Status::InvalidArgument(path + " is too short to be a PipeDream checkpoint");
+  }
+  ByteReader footer(bytes.data() + bytes.size() - kFooterBytes, kFooterBytes);
+  const uint64_t stored_crc = footer.ReadU64();
+  const uint64_t stored_length = footer.ReadU64();
+  const uint64_t footer_magic = footer.ReadU64();
+  if (footer_magic != kFooterMagic) {
+    return Status::InvalidArgument(path + " has no checkpoint footer (torn or foreign file)");
+  }
+  const size_t content_size = bytes.size() - kFooterBytes;
+  if (stored_length != content_size) {
+    return Status::InvalidArgument(
+        StrFormat("%s footer declares %llu content bytes but file holds %zu", path.c_str(),
+                  static_cast<unsigned long long>(stored_length), content_size));
+  }
+  const uint32_t crc = Crc32(bytes.data(), content_size);
+  if (static_cast<uint64_t>(crc) != stored_crc) {
+    return Status::InvalidArgument(path + " failed CRC32 validation (corrupt checkpoint)");
+  }
+  content->assign(bytes.data(), content_size);
+  return Status::Ok();
+}
 
 }  // namespace
 
@@ -17,66 +124,94 @@ Status SaveParameters(const std::string& path, const std::vector<Parameter*>& pa
   if (!file) {
     return Status::Internal("cannot open " + path + " for writing");
   }
-  auto write_u64 = [&](uint64_t v) { file.write(reinterpret_cast<const char*>(&v), 8); };
+  uint32_t crc = 0;
+  uint64_t written = 0;
+  auto write_bytes = [&](const void* data, size_t n) {
+    file.write(static_cast<const char*>(data), static_cast<std::streamsize>(n));
+    crc = Crc32(data, n, crc);
+    written += n;
+  };
+  auto write_u64 = [&](uint64_t v) { write_bytes(&v, 8); };
   write_u64(kMagic);
   write_u64(params.size());
   for (const Parameter* p : params) {
     write_u64(p->name.size());
-    file.write(p->name.data(), static_cast<std::streamsize>(p->name.size()));
+    write_bytes(p->name.data(), p->name.size());
     write_u64(p->value.rank());
     for (size_t d = 0; d < p->value.rank(); ++d) {
       write_u64(static_cast<uint64_t>(p->value.dim(d)));
     }
-    file.write(reinterpret_cast<const char*>(p->value.data()),
-               static_cast<std::streamsize>(p->value.SizeBytes()));
+    write_bytes(p->value.data(), static_cast<size_t>(p->value.SizeBytes()));
   }
+  // Footer: CRC + length over everything above, so truncation and bit rot are both caught
+  // before a single parameter is parsed.
+  uint64_t footer[3] = {static_cast<uint64_t>(crc), written, kFooterMagic};
+  file.write(reinterpret_cast<const char*>(footer), sizeof(footer));
   if (!file) {
     return Status::Internal("short write to " + path);
   }
-  return Status::Ok();
+  file.close();
+  if (!file) {
+    return Status::Internal("close failed for " + path);
+  }
+  return FsyncPath(path);
+}
+
+Status ValidateCheckpointFile(const std::string& path) {
+  std::string content;
+  return ReadVerifiedContent(path, &content);
 }
 
 Status LoadParameters(const std::string& path, const std::vector<Parameter*>& params) {
-  std::ifstream file(path, std::ios::binary);
-  if (!file) {
-    return Status::NotFound("cannot open " + path);
+  std::string content;
+  const Status verified = ReadVerifiedContent(path, &content);
+  if (!verified.ok()) {
+    return verified;
   }
-  auto read_u64 = [&]() {
-    uint64_t v = 0;
-    file.read(reinterpret_cast<char*>(&v), 8);
-    return v;
-  };
-  if (read_u64() != kMagic) {
+  ByteReader reader(content.data(), content.size());
+  if (reader.ReadU64() != kMagic) {
     return Status::InvalidArgument(path + " is not a PipeDream checkpoint");
   }
-  const uint64_t count = read_u64();
+  const uint64_t count = reader.ReadU64();
+  if (count > kMaxParams) {
+    return Status::InvalidArgument(path + " declares an implausible parameter count");
+  }
   if (count != params.size()) {
     return Status::InvalidArgument(
         StrFormat("checkpoint has %llu parameters, model has %zu",
                   static_cast<unsigned long long>(count), params.size()));
   }
   for (Parameter* p : params) {
-    const uint64_t name_len = read_u64();
-    std::string name(name_len, '\0');
-    file.read(name.data(), static_cast<std::streamsize>(name_len));
+    const uint64_t name_len = reader.ReadU64();
+    if (!reader.ok() || name_len > kMaxNameLen) {
+      return Status::InvalidArgument("truncated or malformed parameter name in " + path);
+    }
+    const std::string name = reader.ReadString(name_len);
+    if (!reader.ok()) {
+      return Status::InvalidArgument("truncated checkpoint " + path);
+    }
     if (name != p->name) {
       return Status::InvalidArgument("parameter order mismatch: checkpoint has '" + name +
                                      "', model expects '" + p->name + "'");
     }
-    const uint64_t rank = read_u64();
+    const uint64_t rank = reader.ReadU64();
+    if (!reader.ok() || rank > kMaxRank) {
+      return Status::InvalidArgument("malformed rank for " + name + " in " + path);
+    }
     if (rank != p->value.rank()) {
       return Status::InvalidArgument("rank mismatch for " + name);
     }
     for (size_t d = 0; d < rank; ++d) {
-      if (read_u64() != static_cast<uint64_t>(p->value.dim(d))) {
+      if (reader.ReadU64() != static_cast<uint64_t>(p->value.dim(d))) {
         return Status::InvalidArgument("shape mismatch for " + name);
       }
     }
-    file.read(reinterpret_cast<char*>(p->value.data()),
-              static_cast<std::streamsize>(p->value.SizeBytes()));
-    if (!file) {
-      return Status::Internal("truncated checkpoint " + path);
+    if (!reader.ReadBytes(p->value.data(), static_cast<size_t>(p->value.SizeBytes()))) {
+      return Status::InvalidArgument("truncated payload for " + name + " in " + path);
     }
+  }
+  if (reader.remaining() != 0) {
+    return Status::InvalidArgument(path + " has trailing bytes after the last parameter");
   }
   return Status::Ok();
 }
@@ -100,6 +235,13 @@ Status CheckpointManager::SaveStage(int stage, int64_t epoch,
   if (std::rename(tmp_path.c_str(), final_path.c_str()) != 0) {
     return Status::Internal("rename failed for " + final_path);
   }
+  // Persist the rename itself: fsync the directory entry so the published name survives a
+  // machine crash, not just a process crash.
+  const int dfd = ::open(directory_.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dfd >= 0) {
+    ::fsync(dfd);
+    ::close(dfd);
+  }
   return Status::Ok();
 }
 
@@ -112,8 +254,9 @@ int64_t CheckpointManager::LatestCompleteEpoch(int num_stages, int64_t max_epoch
   for (int64_t epoch = max_epoch; epoch >= 0; --epoch) {
     bool complete = true;
     for (int s = 0; s < num_stages; ++s) {
-      std::ifstream probe(StagePath(s, epoch), std::ios::binary);
-      if (!probe) {
+      // A stage file only counts if its footer validates: a crash mid-write (or bit rot)
+      // must make recovery fall back to the previous epoch, not restore garbage.
+      if (!ValidateCheckpointFile(StagePath(s, epoch)).ok()) {
         complete = false;
         break;
       }

@@ -13,22 +13,32 @@
 
 namespace pipedream {
 
-// Serializes parameters (names, shapes, fp32 payloads) to a single binary file.
+// Serializes parameters (names, shapes, fp32 payloads) to a single binary file, appends a
+// CRC32 + length footer, and fsyncs before returning — the file on disk is either complete
+// and self-validating or detectably torn.
 Status SaveParameters(const std::string& path, const std::vector<Parameter*>& params);
 
-// Restores parameters saved by SaveParameters. Names and shapes must match exactly.
+// Restores parameters saved by SaveParameters. Names and shapes must match exactly. Returns
+// a descriptive Status (never crashes) on missing footers, CRC mismatches, truncation,
+// shape/rank mismatches, and unknown parameter names.
 Status LoadParameters(const std::string& path, const std::vector<Parameter*>& params);
+
+// Verifies the footer (magic, declared length, CRC32 over the content) without parsing
+// parameters. Cheap enough to gate recovery decisions on.
+Status ValidateCheckpointFile(const std::string& path);
 
 class CheckpointManager {
  public:
   explicit CheckpointManager(std::string directory);
 
-  // Writes stage `stage`'s parameters for `epoch`. Atomic per stage (write + rename).
+  // Writes stage `stage`'s parameters for `epoch`. Atomic and durable per stage
+  // (write + fsync + rename + directory fsync).
   Status SaveStage(int stage, int64_t epoch, const std::vector<Parameter*>& params);
 
   Status LoadStage(int stage, int64_t epoch, const std::vector<Parameter*>& params) const;
 
-  // Newest epoch for which all `num_stages` stage files exist; -1 if none.
+  // Newest epoch for which all `num_stages` stage files exist *and* pass footer validation;
+  // -1 if none. Epochs with torn or corrupt files are skipped, not trusted.
   int64_t LatestCompleteEpoch(int num_stages, int64_t max_epoch) const;
 
   std::string StagePath(int stage, int64_t epoch) const;

@@ -11,12 +11,14 @@
 #ifndef SRC_RUNTIME_MAILBOX_H_
 #define SRC_RUNTIME_MAILBOX_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <map>
 #include <mutex>
 #include <optional>
 
+#include "src/common/crc32.h"
 #include "src/schedule/work.h"
 #include "src/tensor/tensor.h"
 
@@ -31,7 +33,22 @@ struct PipeMessage {
   Tensor payload;
   Tensor targets;             // forward only
   int64_t input_version = 0;  // weight version assigned at the input stage (vertical sync)
+  uint32_t checksum = 0;      // CRC32 over payload + targets, stamped at send time
 };
+
+// CRC32 over a message's tensor contents and identifying fields. Senders stamp, receivers
+// verify — a link that corrupts a payload in flight is detected at receive time instead of
+// silently poisoning the gradient stream.
+inline uint32_t MessageChecksum(const PipeMessage& m) {
+  uint32_t crc = Crc32(&m.minibatch, sizeof(m.minibatch));
+  crc = Crc32(m.payload.data(), static_cast<size_t>(m.payload.SizeBytes()), crc);
+  crc = Crc32(m.targets.data(), static_cast<size_t>(m.targets.SizeBytes()), crc);
+  return crc;
+}
+
+inline void StampChecksum(PipeMessage* m) { m->checksum = MessageChecksum(*m); }
+
+inline bool VerifyChecksum(const PipeMessage& m) { return m.checksum == MessageChecksum(m); }
 
 class Mailbox {
  public:
@@ -51,6 +68,18 @@ class Mailbox {
   void Poke() {
     {
       std::lock_guard<std::mutex> lock(mutex_);
+      ++change_count_;
+    }
+    cv_.notify_one();
+  }
+
+  // Discards all queued messages (between epoch attempts, when in-flight minibatches from an
+  // aborted run must not leak into the replay).
+  void Clear() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      forward_.clear();
+      backward_.clear();
       ++change_count_;
     }
     cv_.notify_one();
@@ -86,6 +115,29 @@ class Mailbox {
       }
       const uint64_t seen = change_count_;
       cv_.wait(lock, [&] { return change_count_ != seen; });
+    }
+  }
+
+  // Deadline-aware WaitUntil: returns true as soon as the predicate holds, false once
+  // `timeout` elapses without it holding. Poke-safe like WaitUntil — every counter bump
+  // re-evaluates the predicate, and the deadline is absolute (repeated wakeups that don't
+  // satisfy the predicate cannot extend it). This is what keeps a worker from blocking
+  // forever on a mailbox whose upstream died: the owner regains control every timeout tick
+  // to emit a heartbeat and check for an epoch abort.
+  template <typename Predicate>
+  bool WaitUntilFor(Predicate predicate, std::chrono::milliseconds timeout) {
+    const auto deadline = std::chrono::steady_clock::now() + timeout;
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+      const int64_t min_fwd = forward_.empty() ? -1 : forward_.begin()->first;
+      const int64_t min_bwd = backward_.empty() ? -1 : backward_.begin()->first;
+      if (predicate(min_fwd, min_bwd)) {
+        return true;
+      }
+      const uint64_t seen = change_count_;
+      if (!cv_.wait_until(lock, deadline, [&] { return change_count_ != seen; })) {
+        return false;
+      }
     }
   }
 

@@ -1,10 +1,12 @@
 #include "src/runtime/pipeline_trainer.h"
 
+#include <algorithm>
 #include <chrono>
 #include <numeric>
 #include <thread>
 
 #include "src/common/logging.h"
+#include "src/common/strings.h"
 #include "src/common/thread_pool.h"
 #include "src/runtime/checkpoint.h"
 #include "src/tensor/ops.h"
@@ -17,6 +19,12 @@ double NowSeconds() {
       .count();
 }
 
+int64_t NowMillis() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
 // Flattens [B, T] sequence targets to the [B*T] layout per-token losses expect.
 Tensor FlattenTargets(const Tensor& targets) {
   if (targets.rank() <= 1) {
@@ -24,6 +32,8 @@ Tensor FlattenTargets(const Tensor& targets) {
   }
   return targets.Reshaped({targets.numel()});
 }
+
+int64_t Lcm(int64_t a, int64_t b) { return a / std::gcd(a, b) * b; }
 
 }  // namespace
 
@@ -33,7 +43,7 @@ struct PipelineTrainer::StageRuntime {
   PipelineTrainer* trainer = nullptr;
   int stage = 0;
   int replica = 0;
-  int stage_replicas = 1;
+  int stage_replicas = 1;  // the plan's replica count (fixed)
   bool is_input = false;
   bool is_output = false;
   std::unique_ptr<Sequential> model;
@@ -43,6 +53,16 @@ struct PipelineTrainer::StageRuntime {
   std::unique_ptr<MinibatchLoader> loader;  // input stages only
   GradientAllReducer* reducer = nullptr;    // replicated stages only
   Mailbox mailbox;
+
+  // --- round-robin rotation (rebalanced when a dead replica is ejected)
+  int rr_rank = 0;  // position in the stage's active rotation
+  int rr_size = 1;  // size of the stage's active rotation
+
+  // --- liveness (worker thread writes, watchdog reads)
+  std::atomic<int64_t> last_beat_ms{0};
+  std::atomic<uint64_t> work_items{0};  // forwards+backwards completed this attempt
+  std::atomic<bool> done{false};
+  std::atomic<bool> dead{false};
 
   // --- per-epoch state (owned by the worker thread during an epoch)
   std::unique_ptr<SchedulingPolicy> policy;
@@ -78,6 +98,14 @@ struct PipelineTrainer::StageRuntime {
     return total;
   }
 
+  void Beat() { last_beat_ms.store(NowMillis(), std::memory_order_release); }
+
+  void ThrowIfEpochAborted() const {
+    if (trainer->epoch_abort_.load(std::memory_order_acquire)) {
+      throw EpochAbortedError{};
+    }
+  }
+
   void PrepareEpoch(int64_t begin, int64_t end, const PipelineTrainerOptions& options,
                     const PipelinePlan& plan);
   void RunEpoch();
@@ -103,7 +131,8 @@ PipelineTrainer::PipelineTrainer(const Sequential& model, const PipelinePlan& pl
       batch_size_(batch_size),
       seed_(seed),
       options_(options),
-      num_model_layers_(static_cast<int>(model.size())) {
+      num_model_layers_(static_cast<int>(model.size())),
+      optimizer_prototype_(optimizer_prototype.CloneFresh()) {
   plan_.Validate(num_model_layers_);
   PD_CHECK(loss != nullptr);
   PD_CHECK(dataset != nullptr);
@@ -126,7 +155,8 @@ PipelineTrainer::PipelineTrainer(const Sequential& model, const PipelinePlan& pl
         << "recompute_activations under 1F1B requires weight stashing or vertical sync";
   }
 
-  // Keep a pristine full copy for AssembleModel's structure.
+  // Keep a pristine full copy for AssembleModel's structure and for recovery when no
+  // checkpoint exists yet.
   template_model_ = model.Clone();
 
   const int num_stages = plan_.num_stages();
@@ -147,6 +177,8 @@ PipelineTrainer::PipelineTrainer(const Sequential& model, const PipelinePlan& pl
       rt->stage = s;
       rt->replica = r;
       rt->stage_replicas = assignment.replicas;
+      rt->rr_rank = r;
+      rt->rr_size = assignment.replicas;
       rt->is_input = s == 0;
       rt->is_output = s == num_stages - 1;
       rt->model = model.CloneSlice(static_cast<size_t>(assignment.begin_layer),
@@ -162,18 +194,43 @@ PipelineTrainer::PipelineTrainer(const Sequential& model, const PipelinePlan& pl
       runtimes_.push_back(std::move(rt));
     }
   }
+  active_by_stage_ = by_stage_;
 }
 
 PipelineTrainer::~PipelineTrainer() = default;
 
+void PipelineTrainer::EnableRecovery(CheckpointManager* manager, RecoveryOptions options) {
+  PD_CHECK_GE(options.heartbeat_timeout_ms, 1);
+  PD_CHECK_GE(options.progress_timeout_ms, 1);
+  PD_CHECK_GE(options.worker_tick_ms, 1);
+  PD_CHECK_GE(options.watchdog_poll_ms, 1);
+  PD_CHECK_GE(options.max_recoveries, 1);
+  manager_ = manager;
+  recovery_ = options;
+  recovery_enabled_ = true;
+}
+
 int64_t PipelineTrainer::batches_per_epoch() const {
-  return by_stage_[0][0]->loader->batches_per_epoch();
+  return ActiveRuntime(0)->loader->batches_per_epoch();
+}
+
+int PipelineTrainer::ActiveReplicas(int stage) const {
+  PD_CHECK(stage >= 0 && stage < plan_.num_stages());
+  return static_cast<int>(active_by_stage_[static_cast<size_t>(stage)].size());
 }
 
 PipelineTrainer::StageRuntime* PipelineTrainer::RuntimeFor(int stage,
                                                            int64_t minibatch) const {
-  const int r = RoundRobinReplica(minibatch, plan_.stage(stage).replicas);
-  return by_stage_[static_cast<size_t>(stage)][static_cast<size_t>(r)];
+  const auto& active = active_by_stage_[static_cast<size_t>(stage)];
+  const int r = RoundRobinReplica(minibatch, static_cast<int>(active.size()));
+  return active[static_cast<size_t>(r)];
+}
+
+PipelineTrainer::StageRuntime* PipelineTrainer::ActiveRuntime(int stage) const {
+  PD_CHECK(stage >= 0 && stage < plan_.num_stages());
+  const auto& active = active_by_stage_[static_cast<size_t>(stage)];
+  PD_CHECK(!active.empty());
+  return active[0];
 }
 
 void PipelineTrainer::StageRuntime::PrepareEpoch(int64_t begin, int64_t end,
@@ -188,28 +245,31 @@ void PipelineTrainer::StageRuntime::PrepareEpoch(int64_t begin, int64_t end,
     admission_cap = GPipeRoundSize();
     policy = std::make_unique<GPipePolicy>(GPipeRoundSize());
   }
-  next_admission = begin + replica;  // this replica's round-robin share
-  next_forward = begin + replica;
-  next_backward = begin + replica;
+  // First minibatch in [begin, end) owned by this replica's rotation slot. `begin` is not
+  // necessarily a multiple of rr_size (a degraded rotation is smaller than the plan's), so
+  // align on the residue rather than assuming begin + rr_rank.
+  const int64_t offset = ((rr_rank - begin) % rr_size + rr_size) % rr_size;
+  const int64_t first = begin + offset;
+  next_admission = first;
+  next_forward = first;
+  next_backward = first;
   in_flight = 0;
   gpipe_round_bwd = 0;
   bwd_done = 0;
   fwd_started = 0;
-  bwd_quota = 0;
-  for (int64_t b = begin; b < end; ++b) {
-    if (RoundRobinReplica(b, stage_replicas) == replica) {
-      ++bwd_quota;
-    }
-  }
+  bwd_quota = first < end ? (end - first + rr_size - 1) / rr_size : 0;
   contexts.clear();
   recompute_inputs.clear();
   accumulated = 0;
 }
 
 void PipelineTrainer::StageRuntime::RunEpoch() {
+  const auto tick = std::chrono::milliseconds(trainer->recovery_.worker_tick_ms);
+  Beat();
   while (bwd_done < bwd_quota) {
+    ThrowIfEpochAborted();
     std::optional<WorkType> action;
-    mailbox.WaitUntil([&](int64_t min_fwd, int64_t min_bwd) {
+    const auto ready = [&](int64_t min_fwd, int64_t min_bwd) {
       // A minibatch is ready only when it is the NEXT one in this replica's round-robin
       // share. Out-of-order arrivals (possible whenever a neighbouring stage is replicated)
       // are held back, so every replica consumes work in a schedule-determined order and the
@@ -229,15 +289,38 @@ void PipelineTrainer::StageRuntime::RunEpoch() {
       const bool exhausted = is_input ? next_admission >= epoch_end : fwd_started == bwd_quota;
       action = policy->Decide(ready_fwd, ready_bwd, exhausted);
       return action.has_value();
-    });
+    };
+    // Deadline-bounded wait: regain control every tick to heartbeat and observe aborts, so
+    // a dead upstream can never wedge this worker forever.
+    while (!mailbox.WaitUntilFor(ready, tick)) {
+      Beat();
+      ThrowIfEpochAborted();
+    }
+    Beat();
     PD_CHECK(action.has_value());
+
+    // Consult the fault plan with the minibatch this action is about to process.
+    if (FaultInjector* injector = trainer->injector_) {
+      const int64_t pending = *action == WorkType::kForward
+                                  ? (is_input ? next_admission : next_forward)
+                                  : next_backward;
+      const FaultInjector::WorkerAction fate =
+          injector->OnWorkStart(stage, replica, pending, *action);
+      if (fate.kill) {
+        throw WorkerKilledError{fate.reason};
+      }
+      if (fate.stall_ms > 0) {
+        std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(fate.stall_ms));
+        Beat();
+      }
+    }
 
     if (*action == WorkType::kForward) {
       PipeMessage message;
       int64_t minibatch;
       if (is_input) {
         minibatch = next_admission;
-        next_admission += stage_replicas;
+        next_admission += rr_size;
         ++in_flight;
         loader->BatchAt(minibatch, &message.payload, &message.targets);
         message.input_version = weights->version();
@@ -245,9 +328,14 @@ void PipelineTrainer::StageRuntime::RunEpoch() {
         std::optional<PipeMessage> taken = mailbox.Take(WorkType::kForward);
         PD_CHECK(taken.has_value());
         PD_CHECK_EQ(taken->minibatch, next_forward);
+        if (!VerifyChecksum(*taken)) {
+          throw MessageCorruptionError{
+              StrFormat("forward payload for minibatch %lld failed its checksum at stage %d",
+                        static_cast<long long>(taken->minibatch), stage)};
+        }
         minibatch = taken->minibatch;
         message = std::move(*taken);
-        next_forward += stage_replicas;
+        next_forward += rr_size;
       }
       policy->OnStarted(WorkType::kForward);
       ++fwd_started;
@@ -256,11 +344,19 @@ void PipelineTrainer::StageRuntime::RunEpoch() {
       std::optional<PipeMessage> taken = mailbox.Take(WorkType::kBackward);
       PD_CHECK(taken.has_value());
       PD_CHECK_EQ(taken->minibatch, next_backward);
-      next_backward += stage_replicas;
+      if (!VerifyChecksum(*taken)) {
+        throw MessageCorruptionError{
+            StrFormat("backward payload for minibatch %lld failed its checksum at stage %d",
+                      static_cast<long long>(taken->minibatch), stage)};
+      }
+      next_backward += rr_size;
       policy->OnStarted(WorkType::kBackward);
       DoBackward(std::move(*taken));
     }
+    work_items.fetch_add(1, std::memory_order_release);
+    Beat();
   }
+  Beat();
 }
 
 void PipelineTrainer::StageRuntime::DoForward(int64_t minibatch, PipeMessage message) {
@@ -291,7 +387,7 @@ void PipelineTrainer::StageRuntime::DoForward(int64_t minibatch, PipeMessage mes
     backward.minibatch = minibatch;
     backward.type = WorkType::kBackward;
     backward.payload = std::move(grad);
-    mailbox.Deliver(std::move(backward));
+    trainer->Send(this, stage, std::move(backward));
   } else {
     PipeMessage forward;
     forward.minibatch = minibatch;
@@ -299,7 +395,7 @@ void PipelineTrainer::StageRuntime::DoForward(int64_t minibatch, PipeMessage mes
     forward.payload = std::move(out);
     forward.targets = std::move(message.targets);
     forward.input_version = message.input_version;
-    trainer->RuntimeFor(stage + 1, minibatch)->mailbox.Deliver(std::move(forward));
+    trainer->Send(this, stage + 1, std::move(forward));
   }
 }
 
@@ -348,7 +444,25 @@ void PipelineTrainer::StageRuntime::DoBackward(PipeMessage message) {
         }
       }
       if (reducer != nullptr) {
-        reducer->AllReduce(replica, params);
+        int slot;
+        int participants;
+        if (accumulation > 1) {
+          // Update rounds are aligned across replicas (one step per `accumulation` of each
+          // replica's own minibatches), so every active replica participates.
+          slot = rr_rank;
+          participants = rr_size;
+        } else {
+          // Per-minibatch rounds cover rr_size consecutive minibatches. A degraded rotation
+          // may leave a short tail round whose membership is smaller; derive both the round
+          // size and this replica's slot from the minibatch id so all participants agree.
+          const int64_t group_begin = minibatch - (minibatch - epoch_begin) % rr_size;
+          participants =
+              static_cast<int>(std::min<int64_t>(rr_size, epoch_end - group_begin));
+          slot = static_cast<int>(minibatch - group_begin);
+        }
+        if (!reducer->AllReduce(slot, params, participants)) {
+          throw EpochAbortedError{};
+        }
       }
       optimizer->Step(params);
       weights->CommitUpdate();
@@ -369,12 +483,15 @@ void PipelineTrainer::StageRuntime::DoBackward(PipeMessage message) {
       gpipe_round_bwd = 0;
       ++bwd_done;  // count before blocking so quotas stay consistent
       if (stage > 0) {
-        trainer->RuntimeFor(stage - 1, minibatch)->mailbox.Deliver(PipeMessage{
-            minibatch, WorkType::kBackward, std::move(grad_in), Tensor(), 0});
+        trainer->Send(this, stage - 1,
+                      PipeMessage{minibatch, WorkType::kBackward, std::move(grad_in),
+                                  Tensor(), 0});
       } else {
         --in_flight;
       }
-      trainer->flush_barrier_->Arrive();
+      if (!trainer->flush_barrier_->Arrive()) {
+        throw EpochAbortedError{};
+      }
       static_cast<GPipePolicy*>(policy.get())->OnFlushComplete();
       mailbox.Poke();
       return;
@@ -387,23 +504,70 @@ void PipelineTrainer::StageRuntime::DoBackward(PipeMessage message) {
     backward.minibatch = minibatch;
     backward.type = WorkType::kBackward;
     backward.payload = std::move(grad_in);
-    trainer->RuntimeFor(stage - 1, minibatch)->mailbox.Deliver(std::move(backward));
+    trainer->Send(this, stage - 1, std::move(backward));
   } else {
     --in_flight;
   }
 }
 
-namespace {
+void PipelineTrainer::Send(StageRuntime* from, int dest_stage, PipeMessage message) {
+  StampChecksum(&message);
+  if (injector_ != nullptr) {
+    const FaultInjector::MessageAction fate =
+        injector_->OnSend(from->stage, from->replica, message.minibatch, message.type);
+    if (fate.drop) {
+      PD_LOG(WARNING) << fate.reason;
+      return;
+    }
+    if (fate.delay_ms > 0) {
+      std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(fate.delay_ms));
+      from->Beat();
+    }
+    if (fate.corrupt) {
+      // After StampChecksum, so the receiver's verification catches it.
+      CorruptBytes(message.payload.data(),
+                   static_cast<size_t>(message.payload.SizeBytes()));
+    }
+  }
+  RuntimeFor(dest_stage, message.minibatch)->mailbox.Deliver(std::move(message));
+}
 
-int64_t Lcm(int64_t a, int64_t b) { return a / std::gcd(a, b) * b; }
+void PipelineTrainer::NoteFailure(StageRuntime* rt, const std::string& reason) {
+  {
+    std::lock_guard<std::mutex> lock(failure_mutex_);
+    FailureRecord record;
+    record.epoch = epochs_completed_;
+    if (rt != nullptr) {
+      record.stage = rt->stage;
+      record.replica = rt->replica;
+    }
+    record.reason = reason;
+    failures_.push_back(std::move(record));
+  }
+  PD_LOG(WARNING) << "failure detected: " << reason;
+  epoch_abort_.store(true, std::memory_order_release);
+  // Wake every blocked worker: mailbox waiters re-check the abort flag, collective waiters
+  // observe the abort and unwind.
+  for (auto& runtime : runtimes_) {
+    runtime->mailbox.Poke();
+  }
+  for (auto& reducer : stage_reducers_) {
+    if (reducer != nullptr) {
+      reducer->Abort();
+    }
+  }
+  if (flush_barrier_ != nullptr) {
+    flush_barrier_->Abort();
+  }
+}
 
-}  // namespace
-
-EpochStats PipelineTrainer::TrainEpoch() {
+int64_t PipelineTrainer::EpochLength() const {
   // Replicated stages synchronize gradients in rounds of `replicas` minibatches, and GPipe
   // flushes in rounds of `microbatches`; an epoch must be a whole number of every such round
   // or the last collective would wait forever. Truncate to the least common multiple (the
-  // dropped tail batches are few and deterministic).
+  // dropped tail batches are few and deterministic). Always computed from the PLAN's replica
+  // counts — not the possibly-degraded active rotation — so epoch boundaries stay aligned
+  // across recoveries.
   int64_t round = 1;
   for (const StageAssignment& stage : plan_.stages()) {
     round = Lcm(round, stage.replicas);
@@ -413,44 +577,278 @@ EpochStats PipelineTrainer::TrainEpoch() {
   }
   const int64_t bpe = batches_per_epoch() / round * round;
   PD_CHECK_GT(bpe, 0) << "dataset too small for one synchronization round per epoch";
-  const int64_t begin = next_global_minibatch_;
-  const int64_t end = begin + bpe;
   PD_CHECK_GE(bpe, plan_.Noam()) << "epoch shorter than the pipeline depth";
+  return bpe;
+}
 
-  for (auto& rt : runtimes_) {
+bool PipelineTrainer::RunRange(int64_t begin, int64_t end, EpochStats* stats) {
+  epoch_abort_.store(false, std::memory_order_release);
+  std::vector<StageRuntime*> active;
+  for (const auto& stage_active : active_by_stage_) {
+    active.insert(active.end(), stage_active.begin(), stage_active.end());
+  }
+  const int64_t now_ms = NowMillis();
+  for (StageRuntime* rt : active) {
+    // Messages in flight when a previous attempt aborted must not leak into this one.
+    rt->mailbox.Clear();
     rt->PrepareEpoch(begin, end, options_, plan_);
     rt->loss_sum = 0.0;
     rt->loss_count = 0;
+    rt->done.store(false, std::memory_order_relaxed);
+    rt->dead.store(false, std::memory_order_relaxed);
+    rt->work_items.store(0, std::memory_order_relaxed);
+    rt->last_beat_ms.store(now_ms, std::memory_order_relaxed);
+  }
+  for (auto& reducer : stage_reducers_) {
+    if (reducer != nullptr) {
+      reducer->Reset();
+    }
+  }
+  if (flush_barrier_ != nullptr) {
+    flush_barrier_->Reset();
   }
 
   const double start = NowSeconds();
   // Every stage replica runs kernels concurrently; split the shared pool's parallelism
   // between them so intra-op threading never oversubscribes the machine.
-  const int kernel_budget = KernelBudgetForWorkers(static_cast<int>(runtimes_.size()));
+  const int kernel_budget = KernelBudgetForWorkers(static_cast<int>(active.size()));
   std::vector<std::thread> threads;
-  threads.reserve(runtimes_.size());
-  for (auto& rt : runtimes_) {
-    threads.emplace_back([worker = rt.get(), kernel_budget] {
+  threads.reserve(active.size());
+  for (StageRuntime* rt : active) {
+    threads.emplace_back([this, rt, kernel_budget] {
       ScopedKernelBudget budget(kernel_budget);
-      worker->RunEpoch();
+      try {
+        rt->RunEpoch();
+        rt->done.store(true, std::memory_order_release);
+      } catch (const WorkerKilledError& killed) {
+        rt->dead.store(true, std::memory_order_release);
+        NoteFailure(rt, killed.reason);
+      } catch (const MessageCorruptionError& corrupt) {
+        // The receiver of a corrupt payload is healthy; the minibatch it rejected is what
+        // needs replaying.
+        rt->done.store(true, std::memory_order_release);
+        NoteFailure(rt, corrupt.reason);
+      } catch (const EpochAbortedError&) {
+        rt->done.store(true, std::memory_order_release);
+      }
     });
   }
+
+  // The watchdog classifies two failure shapes the workers cannot self-report: a worker
+  // gone silent (crashed/stalled — per-worker heartbeat staleness) and a wedged pipeline
+  // (a lost message starves everyone while every worker still heartbeats — global progress
+  // staleness).
+  std::atomic<bool> watchdog_stop{false};
+  std::thread watchdog;
+  if (recovery_enabled_ || injector_ != nullptr) {
+    watchdog = std::thread([this, &active, &watchdog_stop] {
+      int64_t last_progress = -1;
+      int64_t last_progress_ms = NowMillis();
+      while (!watchdog_stop.load(std::memory_order_acquire)) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(recovery_.watchdog_poll_ms));
+        if (watchdog_stop.load(std::memory_order_acquire) ||
+            epoch_abort_.load(std::memory_order_acquire)) {
+          return;
+        }
+        bool all_done = true;
+        int64_t progress = 0;
+        const int64_t now = NowMillis();
+        for (StageRuntime* rt : active) {
+          progress += static_cast<int64_t>(rt->work_items.load(std::memory_order_acquire));
+          if (rt->done.load(std::memory_order_acquire)) {
+            continue;
+          }
+          all_done = false;
+          if (now - rt->last_beat_ms.load(std::memory_order_acquire) >
+              recovery_.heartbeat_timeout_ms) {
+            rt->dead.store(true, std::memory_order_release);
+            NoteFailure(rt, StrFormat("heartbeat timeout: stage %d replica %d silent for "
+                                      "over %d ms",
+                                      rt->stage, rt->replica, recovery_.heartbeat_timeout_ms));
+            return;
+          }
+        }
+        if (all_done) {
+          return;
+        }
+        if (progress != last_progress) {
+          last_progress = progress;
+          last_progress_ms = now;
+        } else if (now - last_progress_ms > recovery_.progress_timeout_ms) {
+          NoteFailure(nullptr, StrFormat("pipeline wedged: no minibatch completed anywhere "
+                                         "for over %d ms (lost message or deadlock)",
+                                         recovery_.progress_timeout_ms));
+          return;
+        }
+      }
+    });
+  }
+
   for (std::thread& t : threads) {
     t.join();
   }
-  const double wall = NowSeconds() - start;
+  watchdog_stop.store(true, std::memory_order_release);
+  if (watchdog.joinable()) {
+    watchdog.join();
+  }
+  // Failed attempts still count toward the epoch's wall time (recovery is not free).
+  stats->wall_seconds += NowSeconds() - start;
+  if (epoch_abort_.load(std::memory_order_acquire)) {
+    return false;
+  }
+
+  stats->mean_loss = 0.0;
+  stats->minibatches = 0;
+  for (StageRuntime* rt : active_by_stage_.back()) {
+    stats->mean_loss += rt->loss_sum;
+    stats->minibatches += rt->loss_count;
+  }
+  if (stats->minibatches > 0) {
+    stats->mean_loss /= static_cast<double>(stats->minibatches);
+  }
+  return true;
+}
+
+void PipelineTrainer::RestoreInitialWeights() {
+  const std::vector<Parameter*> full = template_model_->Params();
+  size_t cursor = 0;
+  for (const auto& stage_rts : by_stage_) {
+    const size_t stage_params = stage_rts[0]->params.size();
+    for (StageRuntime* rt : stage_rts) {
+      PD_CHECK_EQ(rt->params.size(), stage_params);
+      for (size_t i = 0; i < stage_params; ++i) {
+        PD_CHECK_LT(cursor + i, full.size());
+        rt->params[i]->value = full[cursor + i]->value;
+      }
+    }
+    cursor += stage_params;
+  }
+  PD_CHECK_EQ(cursor, full.size());
+}
+
+int64_t PipelineTrainer::HandleFailureAndRestore() {
+  // Decide each dead replica's fate: eject it from a replicated stage (degraded mode) when
+  // allowed, otherwise revive it for a respawn on the next attempt.
+  std::vector<StageRuntime*> dead;
+  for (const auto& stage_active : active_by_stage_) {
+    for (StageRuntime* rt : stage_active) {
+      if (rt->dead.load(std::memory_order_acquire)) {
+        dead.push_back(rt);
+      }
+    }
+  }
+  std::vector<std::pair<int, int>> ejected;
+  for (StageRuntime* rt : dead) {
+    auto& stage_active = active_by_stage_[static_cast<size_t>(rt->stage)];
+    const bool can_eject = recovery_.allow_degraded && stage_active.size() > 1 &&
+                           options_.schedule == ScheduleKind::kOneFOneB &&
+                           options_.accumulation_steps == 1;
+    if (can_eject) {
+      stage_active.erase(std::find(stage_active.begin(), stage_active.end(), rt));
+      ejected.emplace_back(rt->stage, rt->replica);
+      PD_LOG(WARNING) << "ejecting stage " << rt->stage << " replica " << rt->replica
+                      << " (degraded mode: " << stage_active.size() << " survivors)";
+    } else {
+      rt->dead.store(false, std::memory_order_release);
+      PD_LOG(WARNING) << "respawning stage " << rt->stage << " replica " << rt->replica;
+    }
+  }
+
+  // Re-balance every stage's round-robin rotation and rebuild its all-reduce ring over the
+  // survivors.
+  for (size_t s = 0; s < active_by_stage_.size(); ++s) {
+    auto& stage_active = active_by_stage_[s];
+    PD_CHECK(!stage_active.empty());
+    stage_reducers_[s] =
+        stage_active.size() > 1
+            ? std::make_unique<GradientAllReducer>(static_cast<int>(stage_active.size()))
+            : nullptr;
+    for (size_t r = 0; r < stage_active.size(); ++r) {
+      stage_active[r]->rr_rank = static_cast<int>(r);
+      stage_active[r]->rr_size = static_cast<int>(stage_active.size());
+      stage_active[r]->reducer = stage_reducers_[s].get();
+    }
+  }
+
+  // Restore parameters everywhere from the newest complete checkpoint epoch (or the initial
+  // weights when none survives validation).
+  int64_t resume = -1;
+  if (manager_ != nullptr) {
+    resume = manager_->LatestCompleteEpoch(plan_.num_stages(), epochs_completed_);
+  }
+  if (resume >= 0) {
+    const Status restored = LoadCheckpoint(*manager_, resume);
+    PD_CHECK(restored.ok()) << "recovery failed to load checkpoint epoch " << resume << ": "
+                            << restored.ToString();
+  } else {
+    RestoreInitialWeights();
+  }
+  // Checkpoints hold parameters only: weight-version stashes and optimizer state restart
+  // fresh (bitwise replay therefore needs a stateless optimizer; see DESIGN.md).
+  for (auto& rt : runtimes_) {
+    rt->weights = std::make_unique<WeightStore>(rt->params, options_.weight_mode);
+    rt->optimizer = optimizer_prototype_->CloneFresh();
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(failure_mutex_);
+    for (size_t i = resolved_failures_; i < failures_.size(); ++i) {
+      failures_[i].resumed_epoch = resume;
+      for (const auto& [stage, replica] : ejected) {
+        if (failures_[i].stage == stage && failures_[i].replica == replica) {
+          failures_[i].degraded = true;
+        }
+      }
+    }
+    resolved_failures_ = failures_.size();
+  }
+  return resume;
+}
+
+EpochStats PipelineTrainer::TrainEpoch() {
+  const int64_t bpe = EpochLength();
+  const int64_t current_epoch = epochs_completed_;
+  PD_CHECK_EQ(next_global_minibatch_, current_epoch * bpe)
+      << "epoch grid misaligned (EpochLength must stay constant)";
 
   EpochStats stats;
-  stats.wall_seconds = wall;
-  for (StageRuntime* rt : by_stage_.back()) {
-    stats.mean_loss += rt->loss_sum;
-    stats.minibatches += rt->loss_count;
+  const size_t failures_before = failures_.size();
+  int recoveries = 0;
+  int64_t epoch_cursor = current_epoch;
+  for (;;) {
+    const int64_t begin = epoch_cursor * bpe;
+    if (RunRange(begin, begin + bpe, &stats)) {
+      if (recovery_enabled_ && manager_ != nullptr && recovery_.auto_checkpoint) {
+        const Status saved = SaveCheckpoint(manager_, epoch_cursor);
+        if (!saved.ok()) {
+          PD_LOG(WARNING) << "checkpoint for epoch " << epoch_cursor
+                          << " failed: " << saved.ToString();
+        }
+      }
+      if (epoch_cursor == current_epoch) {
+        break;
+      }
+      ++epoch_cursor;  // replaying history after a restore; continue toward the failed epoch
+      continue;
+    }
+    PD_CHECK(recovery_enabled_)
+        << "stage failure detected and recovery is not enabled: " << failures_.back().reason;
+    ++recoveries;
+    PD_CHECK_LE(recoveries, recovery_.max_recoveries)
+        << "giving up after " << recoveries << " recoveries within one epoch; last failure: "
+        << failures_.back().reason;
+    const int64_t resumed = HandleFailureAndRestore();
+    epoch_cursor = resumed + 1;
+    PD_LOG(WARNING) << "restored from "
+                    << (resumed >= 0 ? StrFormat("checkpoint epoch %lld",
+                                                 static_cast<long long>(resumed))
+                                     : std::string("initial weights"))
+                    << "; replaying from epoch " << epoch_cursor;
   }
-  if (stats.minibatches > 0) {
-    stats.mean_loss /= static_cast<double>(stats.minibatches);
-  }
-  next_global_minibatch_ = end;
+  next_global_minibatch_ = (current_epoch + 1) * bpe;
   ++epochs_completed_;
+  stats.recoveries = recoveries;
+  stats.failures_detected = static_cast<int>(failures_.size() - failures_before);
   return stats;
 }
 
@@ -459,7 +857,7 @@ std::unique_ptr<Sequential> PipelineTrainer::AssembleModel() const {
   std::vector<Parameter*> full_params = full->Params();
   size_t cursor = 0;
   for (int s = 0; s < plan_.num_stages(); ++s) {
-    const StageRuntime* rt = by_stage_[static_cast<size_t>(s)][0];
+    const StageRuntime* rt = ActiveRuntime(s);
     for (Parameter* p : rt->params) {
       PD_CHECK_LT(cursor, full_params.size());
       PD_CHECK(full_params[cursor]->value.SameShape(p->value))
@@ -507,8 +905,7 @@ double PipelineTrainer::EvaluateLoss(const Dataset& eval, int64_t eval_batch) co
 
 Status PipelineTrainer::SaveCheckpoint(CheckpointManager* manager, int64_t epoch) const {
   for (int s = 0; s < plan_.num_stages(); ++s) {
-    const Status status =
-        manager->SaveStage(s, epoch, by_stage_[static_cast<size_t>(s)][0]->params);
+    const Status status = manager->SaveStage(s, epoch, ActiveRuntime(s)->params);
     if (!status.ok()) {
       return status;
     }
@@ -530,17 +927,17 @@ Status PipelineTrainer::LoadCheckpoint(const CheckpointManager& manager, int64_t
 
 const RunningStat& PipelineTrainer::StageStaleness(int stage) const {
   PD_CHECK(stage >= 0 && stage < plan_.num_stages());
-  return by_stage_[static_cast<size_t>(stage)][0]->weights->staleness();
+  return ActiveRuntime(stage)->weights->staleness();
 }
 
 int64_t PipelineTrainer::StagePeakStashBytes(int stage) const {
   PD_CHECK(stage >= 0 && stage < plan_.num_stages());
-  return by_stage_[static_cast<size_t>(stage)][0]->peak_stash_bytes;
+  return ActiveRuntime(stage)->peak_stash_bytes;
 }
 
 int64_t PipelineTrainer::StagePeakActivationBytes(int stage) const {
   PD_CHECK(stage >= 0 && stage < plan_.num_stages());
-  return by_stage_[static_cast<size_t>(stage)][0]->peak_activation_bytes;
+  return ActiveRuntime(stage)->peak_activation_bytes;
 }
 
 }  // namespace pipedream

@@ -7,10 +7,23 @@
 // streams can be trained under 1F1B + weight stashing, naive pipelining, vertical sync,
 // GPipe, or BSP data parallelism (a single replicated stage), making statistical-efficiency
 // comparisons (paper §5.2, Figures 11/13) apples-to-apples.
+//
+// Failure handling (paper §4): when recovery is enabled, every worker emits heartbeats, a
+// watchdog classifies silent workers as dead (and a progress stall as a wedged pipeline),
+// and TrainEpoch runs a detection → quiesce → restore → resume state machine: in-flight
+// minibatches are discarded, every stage reloads from the newest complete checkpoint epoch,
+// the dead worker is respawned (or, for a replicated stage, ejected from the gradient
+// all-reduce ring with the 1F1B-RR assignment re-balanced over the survivors), and training
+// replays forward from the restored epoch boundary. Weight stashing makes the replay
+// semantically transparent; with a stateless optimizer it is bitwise identical to an
+// uninterrupted run restored from the same checkpoint.
 #ifndef SRC_RUNTIME_PIPELINE_TRAINER_H_
 #define SRC_RUNTIME_PIPELINE_TRAINER_H_
 
+#include <atomic>
 #include <memory>
+#include <mutex>
+#include <string>
 #include <vector>
 
 #include "src/data/loader.h"
@@ -20,12 +33,15 @@
 #include "src/optim/optimizer.h"
 #include "src/planner/plan.h"
 #include "src/runtime/allreduce.h"
+#include "src/runtime/fault.h"
 #include "src/runtime/mailbox.h"
 #include "src/runtime/weight_store.h"
 #include "src/schedule/policy.h"
 #include "src/simexec/pipeline_sim.h"
 
 namespace pipedream {
+
+class CheckpointManager;
 
 struct PipelineTrainerOptions {
   ScheduleKind schedule = ScheduleKind::kOneFOneB;
@@ -42,10 +58,34 @@ struct PipelineTrainerOptions {
   int accumulation_steps = 1;
 };
 
+// Tuning for failure detection and recovery. Defaults suit unit-test-sized models; real
+// deployments would scale the timeouts with per-minibatch compute time.
+struct RecoveryOptions {
+  int heartbeat_timeout_ms = 2000;  // silent worker -> declared dead
+  int progress_timeout_ms = 4000;   // no completed work anywhere -> wedged pipeline
+  int worker_tick_ms = 20;          // mailbox-wait granularity (heartbeat cadence)
+  int watchdog_poll_ms = 5;
+  int max_recoveries = 8;           // recoveries per TrainEpoch before giving up
+  bool allow_degraded = true;       // eject dead replicas of replicated stages
+  bool auto_checkpoint = true;      // SaveCheckpoint after every successful epoch
+};
+
+// One detected failure and what recovery did about it.
+struct FailureRecord {
+  int64_t epoch = 0;        // epoch being trained when the failure was detected
+  int stage = -1;           // -1 when no specific worker was implicated (e.g. lost message)
+  int replica = -1;
+  std::string reason;
+  bool degraded = false;    // true when the replica was ejected instead of respawned
+  int64_t resumed_epoch = -1;  // checkpoint epoch recovery restored from (-1 = initial)
+};
+
 struct EpochStats {
   double mean_loss = 0.0;
   int64_t minibatches = 0;
   double wall_seconds = 0.0;
+  int recoveries = 0;           // recovery cycles TrainEpoch performed for this epoch
+  int failures_detected = 0;    // failures observed (>= recoveries when several coincide)
 };
 
 class PipelineTrainer {
@@ -61,12 +101,29 @@ class PipelineTrainer {
   PipelineTrainer(const PipelineTrainer&) = delete;
   PipelineTrainer& operator=(const PipelineTrainer&) = delete;
 
+  // Arms crash recovery: on a detected failure TrainEpoch quiesces, restores from
+  // `manager`'s newest complete checkpoint epoch (or the initial weights when none exists),
+  // and resumes. `manager` may be null only for tests that want detection without restore;
+  // it must outlive the trainer.
+  void EnableRecovery(CheckpointManager* manager, RecoveryOptions options = {});
+
+  // Attaches a deterministic fault injector consulted by every worker and send. Pass null
+  // to detach. The injector must outlive the trainer.
+  void SetFaultInjector(FaultInjector* injector) { injector_ = injector; }
+
   // Trains one epoch (batches_per_epoch minibatches through the pipeline) and returns the
-  // mean training loss. Threads are spawned per call; weights persist across epochs.
+  // mean training loss. Threads are spawned per call; weights persist across epochs. With
+  // recovery enabled this call survives injected/real failures: it detects, restores, and
+  // replays until the epoch completes (or max_recoveries is exhausted).
   EpochStats TrainEpoch();
 
   int64_t batches_per_epoch() const;
   int64_t epochs_completed() const { return epochs_completed_; }
+
+  // Every failure detected over the trainer's lifetime, in detection order.
+  const std::vector<FailureRecord>& failures() const { return failures_; }
+  // Replicas of `stage` still in the round-robin rotation (shrinks on degraded recovery).
+  int ActiveReplicas(int stage) const;
 
   // Deep copy of the full model with the current weights (replica 0 of each stage), for
   // evaluation or checkpointing.
@@ -96,6 +153,30 @@ class PipelineTrainer {
   struct StageRuntime;  // one per stage replica; defined in the .cc
 
   StageRuntime* RuntimeFor(int stage, int64_t minibatch) const;
+  StageRuntime* ActiveRuntime(int stage) const;  // replica 0 of the active rotation
+
+  // Epoch length in minibatches: batches_per_epoch truncated to a whole number of every
+  // synchronization round. Constant across the trainer's lifetime (epoch boundaries must
+  // stay aligned across recoveries).
+  int64_t EpochLength() const;
+
+  // Runs the workers (and watchdog) over [begin, end). Returns false if the attempt was
+  // aborted by a failure.
+  bool RunRange(int64_t begin, int64_t end, EpochStats* stats);
+
+  // Checksums + injects + routes one boundary message (called from worker threads).
+  void Send(StageRuntime* from, int dest_stage, PipeMessage message);
+
+  // Records a failure, flips the abort flag, and wakes every blocked worker. `rt` is null
+  // when no specific worker is implicated. Thread-safe.
+  void NoteFailure(StageRuntime* rt, const std::string& reason);
+
+  // Post-quiesce recovery: eject or revive dead replicas, restore weights from the newest
+  // complete checkpoint (or initial weights), reset weight stores and optimizer state.
+  // Returns the epoch to replay from.
+  int64_t HandleFailureAndRestore();
+
+  void RestoreInitialWeights();
 
   PipelinePlan plan_;
   std::unique_ptr<Sequential> template_model_;  // pristine structure for AssembleModel
@@ -105,13 +186,25 @@ class PipelineTrainer {
   uint64_t seed_;
   PipelineTrainerOptions options_;
   int num_model_layers_;
+  std::unique_ptr<Optimizer> optimizer_prototype_;  // fresh-state source for recovery
 
-  std::vector<std::unique_ptr<StageRuntime>> runtimes_;           // flattened
-  std::vector<std::vector<StageRuntime*>> by_stage_;              // [stage][replica]
+  std::vector<std::unique_ptr<StageRuntime>> runtimes_;           // flattened, owns all
+  std::vector<std::vector<StageRuntime*>> by_stage_;              // [stage][replica], fixed
+  std::vector<std::vector<StageRuntime*>> active_by_stage_;       // shrinks on ejection
   std::vector<std::unique_ptr<GradientAllReducer>> stage_reducers_;
   std::unique_ptr<FlushBarrier> flush_barrier_;                   // GPipe only
   int64_t epochs_completed_ = 0;
   int64_t next_global_minibatch_ = 0;
+
+  // --- failure handling
+  FaultInjector* injector_ = nullptr;
+  CheckpointManager* manager_ = nullptr;
+  RecoveryOptions recovery_;
+  bool recovery_enabled_ = false;
+  std::atomic<bool> epoch_abort_{false};
+  std::mutex failure_mutex_;
+  std::vector<FailureRecord> failures_;
+  size_t resolved_failures_ = 0;  // records before this index have resumed_epoch filled in
 };
 
 }  // namespace pipedream

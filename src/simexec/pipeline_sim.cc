@@ -18,6 +18,8 @@ class PipelineSimulation {
                      const HardwareTopology& topology, const SimOptions& options)
       : profile_(profile), plan_(plan), topology_(topology), options_(options) {
     plan.Validate(profile.num_layers());
+    worker_busy_seconds_.assign(static_cast<size_t>(topology.num_workers()), 0.0);
+    stage_peak_stash_merged_.assign(static_cast<size_t>(plan.num_stages()), 0);
     BuildStages();
   }
 
@@ -28,6 +30,7 @@ class PipelineSimulation {
     int stage = 0;
     int replica = 0;
     int worker = 0;
+    bool failed = false;  // victim of an injected fault; dispatches nothing until restart
     std::set<int64_t> ready_forward;   // arrived activations (non-input stages)
     std::set<int64_t> ready_backward;  // arrived gradients (or local loss at the last stage)
     std::unique_ptr<SchedulingPolicy> policy;
@@ -63,6 +66,8 @@ class PipelineSimulation {
   void OnComplete(Replica* r, WorkType type, int64_t minibatch);
   void SendBoundary(Replica* from, int dest_stage, int64_t minibatch, WorkType type);
   void MaybeFlushGPipe();
+  void FireFault(Replica* victim);
+  void Restart();
   bool IsGPipeLike() const {
     return options_.schedule == ScheduleKind::kGPipe ||
            options_.schedule == ScheduleKind::kModelParallel;
@@ -72,7 +77,7 @@ class PipelineSimulation {
   }
 
   const ModelProfile& profile_;
-  const PipelinePlan& plan_;
+  PipelinePlan plan_;  // by value: a degraded restart rebuilds it without the dead replica
   const HardwareTopology& topology_;
   SimOptions options_;
 
@@ -87,6 +92,19 @@ class PipelineSimulation {
   int64_t round_bwd_done_ = 0;  // GPipe: backwards finished in the current round
   int64_t current_round_ = 0;
   ExecutionTrace trace_;
+
+  // --- failure state. A restart rebuilds stages_/replicas_ from scratch; events scheduled
+  // by the previous incarnation are cancelled by the incarnation counter (they check it
+  // before touching any state, so dangling Replica pointers are never dereferenced).
+  uint64_t incarnation_ = 0;
+  int64_t first_minibatch_ = 0;  // this incarnation admits [first_minibatch_, num_minibatches)
+  bool fault_fired_ = false;
+  SimTime fault_time_;
+  SimTime recovery_time_;
+  int64_t completed_at_failure_ = 0;
+  int64_t restart_from_ = 0;
+  std::vector<double> worker_busy_seconds_;  // merged from pre-failure incarnations
+  std::vector<int> stage_peak_stash_merged_;
 };
 
 void PipelineSimulation::BuildStages() {
@@ -135,8 +153,15 @@ void PipelineSimulation::BuildStages() {
       replica->stage = s;
       replica->replica = r;
       replica->worker = assignment.workers[static_cast<size_t>(r)];
-      replica->next_admission = r;  // round-robin share of the input stream
-      for (int64_t b = r; b < options_.num_minibatches; b += assignment.replicas) {
+      // This replica's round-robin share of [first_minibatch_, num_minibatches). The range
+      // start is not necessarily a multiple of the replica count after a mid-run restart, so
+      // align on the residue class.
+      const int64_t first =
+          first_minibatch_ +
+          ((r - first_minibatch_) % assignment.replicas + assignment.replicas) %
+              assignment.replicas;
+      replica->next_admission = first;
+      for (int64_t b = first; b < options_.num_minibatches; b += assignment.replicas) {
         ++replica->fwd_quota;
       }
       if (IsGPipeLike()) {
@@ -162,7 +187,7 @@ PipelineSimulation::Replica* PipelineSimulation::ReplicaFor(int stage, int64_t m
 }
 
 void PipelineSimulation::TryDispatch(Replica* r) {
-  if (r->busy) {
+  if (r->busy || r->failed) {
     return;
   }
   // Input-stage forward availability = admission control; other stages consume arrivals.
@@ -220,6 +245,15 @@ void PipelineSimulation::TryDispatch(Replica* r) {
     duration = stage.bwd_seconds;
   }
 
+  // Injected device failure: the victim dies on the threshold of this work item. Its state
+  // is left as-is (the restart discards the whole incarnation anyway); the rest of the
+  // pipeline keeps running until it starves, which is exactly the throughput dip.
+  if (options_.fault.enabled && !fault_fired_ && r->stage == options_.fault.stage &&
+      r->replica == options_.fault.replica && minibatch >= options_.fault.at_minibatch) {
+    FireFault(r);
+    return;
+  }
+
   r->busy = true;
   r->policy->OnStarted(*action);
   const SimTime start = engine_.now();
@@ -228,7 +262,10 @@ void PipelineSimulation::TryDispatch(Replica* r) {
     trace_.Add({r->worker, r->stage, *action, minibatch, start, start + dur});
   }
   r->busy_time += dur;
-  engine_.ScheduleAfter(dur, [this, r, type = *action, minibatch] {
+  engine_.ScheduleAfter(dur, [this, r, type = *action, minibatch, inc = incarnation_] {
+    if (inc != incarnation_) {
+      return;  // event from a pre-restart incarnation; r may dangle — do not touch it
+    }
     OnComplete(r, type, minibatch);
   });
 }
@@ -248,7 +285,10 @@ void PipelineSimulation::SendBoundary(Replica* from, int dest_stage, int64_t min
     arrival = depart + duration + SimTime::FromSeconds(lat);
     comm_bytes_ += static_cast<double>(bytes);
   }
-  engine_.ScheduleAt(arrival, [this, dest, minibatch, type] {
+  engine_.ScheduleAt(arrival, [this, dest, minibatch, type, inc = incarnation_] {
+    if (inc != incarnation_) {
+      return;
+    }
     if (type == WorkType::kForward) {
       dest->ready_forward.insert(minibatch);
     } else {
@@ -272,6 +312,63 @@ void PipelineSimulation::MaybeFlushGPipe() {
   for (Replica* r : all_replicas_) {
     static_cast<GPipePolicy*>(r->policy.get())->OnFlushComplete();
   }
+  for (Replica* r : all_replicas_) {
+    TryDispatch(r);
+  }
+}
+
+void PipelineSimulation::FireFault(Replica* victim) {
+  fault_fired_ = true;
+  victim->failed = true;
+  fault_time_ = engine_.now();
+  // Detection (heartbeat timeout) plus checkpoint reload / respawn; the pipeline resumes
+  // only after both. Surviving stages keep draining whatever work they already hold.
+  const SimTime resume =
+      fault_time_ + SimTime::FromSeconds(options_.fault.detection_seconds +
+                                         options_.fault.restart_seconds);
+  engine_.ScheduleAt(resume, [this] { Restart(); });
+}
+
+void PipelineSimulation::Restart() {
+  completed_at_failure_ = completed_minibatches_;
+  // Durable progress: roll back to the newest checkpoint boundary (and, under GPipe, to a
+  // whole flush round so the round accounting re-aligns).
+  const int64_t granularity = std::max<int64_t>(1, options_.fault.checkpoint_every);
+  restart_from_ = completed_at_failure_ / granularity * granularity;
+  if (IsGPipeLike()) {
+    restart_from_ = restart_from_ / RoundSize() * RoundSize();
+  }
+  recovery_time_ = engine_.now();
+
+  // Merge the dying incarnation's per-worker accounting before discarding it.
+  for (Replica* r : all_replicas_) {
+    worker_busy_seconds_[static_cast<size_t>(r->worker)] += r->busy_time.ToSeconds();
+    stage_peak_stash_merged_[static_cast<size_t>(r->stage)] = std::max(
+        stage_peak_stash_merged_[static_cast<size_t>(r->stage)], r->peak_stash);
+  }
+
+  if (options_.fault.degraded) {
+    // Eject the dead replica: the stage keeps running on the survivors with the round-robin
+    // minibatch assignment rebalanced over the smaller rotation.
+    std::vector<StageAssignment> stages = plan_.stages();
+    StageAssignment& victim_stage = stages[static_cast<size_t>(options_.fault.stage)];
+    PD_CHECK_GT(victim_stage.replicas, 1)
+        << "cannot eject the only replica of stage " << options_.fault.stage;
+    victim_stage.workers.erase(victim_stage.workers.begin() + options_.fault.replica);
+    --victim_stage.replicas;
+    plan_ = PipelinePlan(std::move(stages));
+  }
+
+  // New incarnation: every event the old one scheduled is now inert.
+  ++incarnation_;
+  stages_.clear();
+  replicas_.clear();
+  all_replicas_.clear();
+  first_minibatch_ = restart_from_;
+  completed_minibatches_ = restart_from_;
+  round_bwd_done_ = 0;
+  current_round_ = IsGPipeLike() ? restart_from_ / RoundSize() : 0;
+  BuildStages();
   for (Replica* r : all_replicas_) {
     TryDispatch(r);
   }
@@ -314,7 +411,10 @@ void PipelineSimulation::OnComplete(Replica* r, WorkType type, int64_t minibatch
         StageInfo* stage_ptr = &stage;
         const int stage_index = r->stage;
         engine_.ScheduleAt(start + SimTime::FromSeconds(stage.sync_seconds),
-                           [this, stage_ptr, stage_index] {
+                           [this, stage_ptr, stage_index, inc = incarnation_] {
+                             if (inc != incarnation_) {
+                               return;
+                             }
                              ++stage_ptr->rounds_synced;
                              for (auto& replica : replicas_[static_cast<size_t>(stage_index)]) {
                                TryDispatch(replica.get());
@@ -370,9 +470,19 @@ SimResult PipelineSimulation::Run() {
   result.worker_utilization.assign(static_cast<size_t>(max_worker), 0.0);
   result.worker_peak_memory.assign(static_cast<size_t>(max_worker), 0);
   result.stage_peak_stash.assign(static_cast<size_t>(plan_.num_stages()), 0);
+  if (result.total_seconds > 0.0) {
+    // Busy time accumulated by pre-restart incarnations (a degraded run's dead worker only
+    // appears here).
+    for (size_t w = 0; w < worker_busy_seconds_.size(); ++w) {
+      result.worker_utilization[w] = worker_busy_seconds_[w] / result.total_seconds;
+    }
+  }
+  for (size_t s = 0; s < stage_peak_stash_merged_.size(); ++s) {
+    result.stage_peak_stash[s] = stage_peak_stash_merged_[s];
+  }
   for (Replica* r : all_replicas_) {
     if (result.total_seconds > 0.0) {
-      result.worker_utilization[static_cast<size_t>(r->worker)] =
+      result.worker_utilization[static_cast<size_t>(r->worker)] +=
           r->busy_time.ToSeconds() / result.total_seconds;
     }
     const StageInfo& stage = stages_[static_cast<size_t>(r->stage)];
@@ -395,6 +505,24 @@ SimResult PipelineSimulation::Run() {
     result.worker_peak_memory[static_cast<size_t>(r->worker)] = memory;
     result.stage_peak_stash[static_cast<size_t>(r->stage)] =
         std::max(result.stage_peak_stash[static_cast<size_t>(r->stage)], r->peak_stash);
+  }
+  if (fault_fired_) {
+    result.fault_seconds = fault_time_.ToSeconds();
+    result.recovery_seconds = recovery_time_.ToSeconds();
+    result.reexecuted_minibatches = completed_at_failure_ - restart_from_;
+    // Steady-state throughput after the pipeline resumed (for degraded runs, the survivors'
+    // sustained rate).
+    int64_t after = 0;
+    for (const SimTime& t : completion_times_) {
+      if (t > recovery_time_) {
+        ++after;
+      }
+    }
+    const double window = (engine_.now() - recovery_time_).ToSeconds();
+    if (after > 0 && window > 0.0) {
+      result.post_recovery_throughput_samples_per_sec =
+          static_cast<double>(after) * static_cast<double>(profile_.minibatch_size) / window;
+    }
   }
   result.trace = std::move(trace_);
   return result;

@@ -25,6 +25,25 @@ enum class ScheduleKind {
   kModelParallel,   // one minibatch in flight (GPipe with one microbatch)
 };
 
+// One injected device failure (mirrors the runtime's FaultPlan at simulation fidelity).
+// The victim worker dies when it is about to process `at_minibatch`; `detection_seconds`
+// later the failure is classified, a restart costing `restart_seconds` reloads the newest
+// checkpoint (minibatch progress rounded down to `checkpoint_every`), and every minibatch
+// past that boundary re-executes. With `degraded` set the victim is instead ejected from its
+// replicated stage and the survivors carry the rebalanced round-robin load.
+// For replicated / GPipe pipelines choose `checkpoint_every` as a multiple of the stage
+// replica counts (and the GPipe round size) so the rollback point is round-aligned.
+struct SimFault {
+  bool enabled = false;
+  int stage = 0;
+  int replica = 0;
+  int64_t at_minibatch = 0;
+  double detection_seconds = 0.5;
+  double restart_seconds = 2.0;
+  int64_t checkpoint_every = 100;
+  bool degraded = false;
+};
+
 struct SimOptions {
   ScheduleKind schedule = ScheduleKind::kOneFOneB;
   int64_t num_minibatches = 200;
@@ -35,6 +54,7 @@ struct SimOptions {
   bool gpipe_discard_activations = false;  // stash only boundary activations (with recompute)
   bool record_trace = false;
   int trace_worker_limit = 16;
+  SimFault fault;                    // optional device-failure event
 };
 
 struct SimResult {
@@ -45,6 +65,11 @@ struct SimResult {
   std::vector<int64_t> worker_peak_memory;    // bytes, per worker
   std::vector<int> stage_peak_stash;          // max in-flight minibatches per stage
   ExecutionTrace trace;                       // populated when record_trace is set
+  // --- failure accounting (only meaningful when options.fault fired)
+  double fault_seconds = -1.0;                // virtual time the device died
+  double recovery_seconds = -1.0;             // virtual time the pipeline resumed
+  int64_t reexecuted_minibatches = 0;         // completed work rolled back by the restart
+  double post_recovery_throughput_samples_per_sec = 0.0;  // steady state after recovery
 };
 
 SimResult SimulatePipeline(const ModelProfile& profile, const PipelinePlan& plan,

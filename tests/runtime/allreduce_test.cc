@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <thread>
 #include <vector>
 
@@ -71,6 +73,76 @@ TEST(GradientAllReducerTest, MultipleRoundsStayConsistent) {
           << "round " << r << " thread " << i;
     }
   }
+}
+
+TEST(GradientAllReducerTest, PartialRoundAveragesOverParticipants) {
+  // Degraded epochs can leave a tail round with fewer arrivals than capacity; the explicit
+  // participant count closes the round early.
+  GradientAllReducer reducer(4);
+  std::vector<Parameter> params(2);
+  for (int i = 0; i < 2; ++i) {
+    params[static_cast<size_t>(i)].value = Tensor({1});
+    params[static_cast<size_t>(i)].grad = Tensor({1}, {static_cast<float>(10 * (i + 1))});
+  }
+  std::thread other([&] {
+    EXPECT_TRUE(reducer.AllReduce(1, {&params[1]}, /*round_participants=*/2));
+  });
+  EXPECT_TRUE(reducer.AllReduce(0, {&params[0]}, /*round_participants=*/2));
+  other.join();
+  EXPECT_NEAR(params[0].grad[0], 15.0f, 1e-6);
+  EXPECT_NEAR(params[1].grad[0], 15.0f, 1e-6);
+}
+
+TEST(GradientAllReducerTest, AbortReleasesBlockedParticipant) {
+  GradientAllReducer reducer(2);
+  Parameter p;
+  p.value = Tensor({1});
+  p.grad = Tensor({1}, {7.0f});
+  std::atomic<bool> returned{false};
+  std::atomic<bool> result{true};
+  std::thread blocked([&] {
+    result = reducer.AllReduce(0, {&p});  // peer never arrives
+    returned = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(returned.load());
+  reducer.Abort();
+  blocked.join();
+  EXPECT_TRUE(returned.load());
+  EXPECT_FALSE(result.load());  // aborted rounds report failure, not a bogus average
+}
+
+TEST(GradientAllReducerTest, ResetReenablesAfterAbort) {
+  GradientAllReducer reducer(2);
+  reducer.Abort();
+  Parameter p;
+  p.value = Tensor({1});
+  p.grad = Tensor({1}, {1.0f});
+  EXPECT_FALSE(reducer.AllReduce(0, {&p}));
+  reducer.Reset();
+  std::vector<Parameter> params(2);
+  for (int i = 0; i < 2; ++i) {
+    params[static_cast<size_t>(i)].value = Tensor({1});
+    params[static_cast<size_t>(i)].grad = Tensor({1}, {static_cast<float>(i)});
+  }
+  std::thread other([&] { EXPECT_TRUE(reducer.AllReduce(1, {&params[1]})); });
+  EXPECT_TRUE(reducer.AllReduce(0, {&params[0]}));
+  other.join();
+  EXPECT_NEAR(params[0].grad[0], 0.5f, 1e-6);
+}
+
+TEST(FlushBarrierTest, AbortReleasesWaitersWithFailure) {
+  FlushBarrier barrier(2);
+  std::atomic<bool> result{true};
+  std::thread blocked([&] { result = barrier.Arrive(); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  barrier.Abort();
+  blocked.join();
+  EXPECT_FALSE(result.load());
+  barrier.Reset();
+  std::thread a([&] { EXPECT_TRUE(barrier.Arrive()); });
+  EXPECT_TRUE(barrier.Arrive());
+  a.join();
 }
 
 TEST(FlushBarrierTest, ReleasesAllParticipants) {

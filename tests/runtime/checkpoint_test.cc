@@ -90,6 +90,66 @@ TEST_F(CheckpointTest, ManagerFindsLatestCompleteEpoch) {
   EXPECT_EQ(manager.LatestCompleteEpoch(3, 5), -1);  // stage 2 never saved
 }
 
+TEST_F(CheckpointTest, LoadRejectsTruncatedFile) {
+  Rng rng(1);
+  const auto model = BuildMlpClassifier(4, {8}, 3, &rng);
+  const std::string path = (dir_ / "model.ckpt").string();
+  ASSERT_TRUE(SaveParameters(path, model->Params()).ok());
+  // Chop off the tail (footer + part of the last tensor) — a partially written file.
+  const auto full_size = std::filesystem::file_size(path);
+  std::filesystem::resize_file(path, full_size / 2);
+  EXPECT_FALSE(ValidateCheckpointFile(path).ok());
+  const Status status = LoadParameters(path, model->Params());
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.code(), StatusCode::kNotFound);  // descriptive, not "missing"
+}
+
+TEST_F(CheckpointTest, LoadRejectsBitFlippedFile) {
+  Rng rng(1);
+  const auto model = BuildMlpClassifier(4, {8}, 3, &rng);
+  const std::string path = (dir_ / "model.ckpt").string();
+  ASSERT_TRUE(SaveParameters(path, model->Params()).ok());
+  ASSERT_TRUE(ValidateCheckpointFile(path).ok());
+  // Flip one byte in the middle of the payload: the CRC32 footer must catch it.
+  const auto size = static_cast<std::streamoff>(std::filesystem::file_size(path));
+  {
+    std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+    f.seekg(size / 2);
+    char byte = 0;
+    f.read(&byte, 1);
+    byte = static_cast<char>(byte ^ 0xFF);
+    f.seekp(size / 2);
+    f.write(&byte, 1);
+  }
+  EXPECT_FALSE(ValidateCheckpointFile(path).ok());
+  EXPECT_FALSE(LoadParameters(path, model->Params()).ok());
+}
+
+TEST_F(CheckpointTest, LatestCompleteEpochSkipsCorruptEpoch) {
+  CheckpointManager manager(dir_.string());
+  Rng rng(1);
+  const auto model = BuildMlpClassifier(4, {8}, 3, &rng);
+  const auto params = model->Params();
+  for (int64_t epoch = 0; epoch < 2; ++epoch) {
+    ASSERT_TRUE(manager.SaveStage(0, epoch, params).ok());
+    ASSERT_TRUE(manager.SaveStage(1, epoch, params).ok());
+  }
+  EXPECT_EQ(manager.LatestCompleteEpoch(2, 5), 1);
+  // Corrupt one stage file of the newest epoch; recovery must fall back to epoch 0.
+  const std::string victim = manager.StagePath(1, 1);
+  const auto size = static_cast<std::streamoff>(std::filesystem::file_size(victim));
+  {
+    std::fstream f(victim, std::ios::binary | std::ios::in | std::ios::out);
+    f.seekg(size / 2);
+    char byte = 0;
+    f.read(&byte, 1);
+    byte = static_cast<char>(byte ^ 0x5A);
+    f.seekp(size / 2);
+    f.write(&byte, 1);
+  }
+  EXPECT_EQ(manager.LatestCompleteEpoch(2, 5), 0);
+}
+
 TEST_F(CheckpointTest, TrainerResumeReproducesRun) {
   // Train 4 epochs straight vs. train 2, checkpoint, restore into a fresh trainer, train 2
   // more — final weights must match exactly (checkpoints at epoch boundaries, §4).

@@ -1,0 +1,153 @@
+// Device-failure events in the cluster simulator: a fault must cost makespan, the recovery
+// timeline must decompose into detection + restart + re-execution, and degraded recovery
+// must trade a replica for a permanent throughput dip instead of a restart.
+#include <gtest/gtest.h>
+
+#include "src/planner/plan.h"
+#include "src/sim/topology.h"
+#include "src/simexec/pipeline_sim.h"
+
+namespace pipedream {
+namespace {
+
+ModelProfile UniformProfile(int layers, double fwd_seconds = 0.010,
+                            int64_t activation_bytes = 1 << 20,
+                            int64_t param_bytes = 4 << 20) {
+  ModelProfile profile;
+  profile.model_name = "uniform";
+  profile.minibatch_size = 32;
+  for (int i = 0; i < layers; ++i) {
+    LayerProfile layer;
+    layer.name = "l" + std::to_string(i);
+    layer.fwd_seconds = fwd_seconds;
+    layer.bwd_seconds = 2.0 * fwd_seconds;
+    layer.activation_bytes = activation_bytes;
+    layer.param_bytes = param_bytes;
+    profile.layers.push_back(layer);
+  }
+  return profile;
+}
+
+TEST(SimFaultTest, FaultlessRunReportsNoFailure) {
+  const auto profile = UniformProfile(8);
+  const auto plan = MakeStraightPlan(8, {2, 4, 6});
+  const auto topo = HardwareTopology::Flat(4, 1e12);
+  SimOptions options;
+  options.num_minibatches = 100;
+  const auto result = SimulatePipeline(profile, plan, topo, options);
+  EXPECT_LT(result.fault_seconds, 0.0);
+  EXPECT_LT(result.recovery_seconds, 0.0);
+  EXPECT_EQ(result.reexecuted_minibatches, 0);
+}
+
+TEST(SimFaultTest, RestartRecoveryCostsDetectionRestartAndReexecution) {
+  const auto profile = UniformProfile(8);
+  const auto plan = MakeStraightPlan(8, {2, 4, 6});
+  const auto topo = HardwareTopology::Flat(4, 1e12);
+  SimOptions options;
+  options.num_minibatches = 200;
+
+  const auto clean = SimulatePipeline(profile, plan, topo, options);
+
+  options.fault.enabled = true;
+  options.fault.stage = 2;
+  options.fault.replica = 0;
+  options.fault.at_minibatch = 120;
+  options.fault.detection_seconds = 0.5;
+  options.fault.restart_seconds = 2.0;
+  options.fault.checkpoint_every = 100;
+  const auto faulty = SimulatePipeline(profile, plan, topo, options);
+
+  // The failure fired and was accounted for.
+  EXPECT_GE(faulty.fault_seconds, 0.0);
+  EXPECT_GE(faulty.recovery_seconds, faulty.fault_seconds);
+  // The pipeline resumes exactly detection + restart after the death.
+  EXPECT_NEAR(faulty.recovery_seconds - faulty.fault_seconds,
+              options.fault.detection_seconds + options.fault.restart_seconds, 1e-9);
+  // Rollback is to the last checkpoint boundary: strictly fewer than checkpoint_every
+  // minibatches re-execute, and at least the work past minibatch 100 is lost.
+  EXPECT_GT(faulty.reexecuted_minibatches, 0);
+  EXPECT_LT(faulty.reexecuted_minibatches, options.fault.checkpoint_every);
+  // A failure can only lengthen the run; the overhead includes the dead time + re-execution.
+  EXPECT_GT(faulty.total_seconds,
+            clean.total_seconds + options.fault.detection_seconds +
+                options.fault.restart_seconds);
+  // After recovery the full pipeline is back: steady-state throughput recovers.
+  EXPECT_GT(faulty.post_recovery_throughput_samples_per_sec,
+            0.5 * clean.throughput_samples_per_sec);
+}
+
+TEST(SimFaultTest, EarlierCheckpointsMeanMoreReexecution) {
+  const auto profile = UniformProfile(8);
+  const auto plan = MakeStraightPlan(8, {2, 4, 6});
+  const auto topo = HardwareTopology::Flat(4, 1e12);
+  SimOptions options;
+  options.num_minibatches = 200;
+  options.fault.enabled = true;
+  options.fault.stage = 1;
+  options.fault.at_minibatch = 150;
+
+  options.fault.checkpoint_every = 100;
+  const auto sparse = SimulatePipeline(profile, plan, topo, options);
+  options.fault.checkpoint_every = 25;
+  const auto dense = SimulatePipeline(profile, plan, topo, options);
+
+  EXPECT_GT(sparse.reexecuted_minibatches, dense.reexecuted_minibatches);
+  EXPECT_GE(sparse.total_seconds, dense.total_seconds);
+}
+
+TEST(SimFaultTest, DegradedRecoveryDipsThroughputWithoutRollingBack) {
+  // 2-replica input stage; ejecting one replica leaves a 3-worker pipeline whose input
+  // stage carries double load, so post-recovery throughput drops but no work re-executes
+  // beyond the round in flight.
+  const auto profile = UniformProfile(8);
+  const auto plan = MakePlanFromShape({{4, 2}, {4, 2}});
+  const auto topo = HardwareTopology::Flat(4, 1e12);
+  SimOptions options;
+  options.num_minibatches = 400;
+
+  const auto clean = SimulatePipeline(profile, plan, topo, options);
+
+  options.fault.enabled = true;
+  options.fault.stage = 0;
+  options.fault.replica = 1;
+  options.fault.at_minibatch = 201;  // replica 1 owns odd minibatches
+  options.fault.detection_seconds = 0.1;
+  options.fault.restart_seconds = 0.5;
+  options.fault.checkpoint_every = 100;
+  options.fault.degraded = true;
+  const auto degraded = SimulatePipeline(profile, plan, topo, options);
+
+  EXPECT_GE(degraded.fault_seconds, 0.0);
+  EXPECT_GE(degraded.recovery_seconds, degraded.fault_seconds);
+  // Half the workers on the victim stage -> the survivor serializes both residue classes;
+  // the tail of the run is visibly slower than the clean pipeline's steady state.
+  EXPECT_LT(degraded.post_recovery_throughput_samples_per_sec,
+            0.9 * clean.throughput_samples_per_sec);
+  EXPECT_GT(degraded.post_recovery_throughput_samples_per_sec, 0.0);
+  EXPECT_GT(degraded.total_seconds, clean.total_seconds);
+}
+
+TEST(SimFaultTest, GPipeFaultRollsBackToRoundAlignedCheckpoint) {
+  const auto profile = UniformProfile(8);
+  const auto plan = MakeStraightPlan(8, {2, 4, 6});
+  const auto topo = HardwareTopology::Flat(4, 1e12);
+  SimOptions options;
+  options.schedule = ScheduleKind::kGPipe;
+  options.gpipe_microbatches = 4;
+  options.num_minibatches = 200;
+  options.fault.enabled = true;
+  options.fault.stage = 3;
+  options.fault.at_minibatch = 130;
+  options.fault.checkpoint_every = 100;
+  const auto result = SimulatePipeline(profile, plan, topo, options);
+
+  EXPECT_GE(result.fault_seconds, 0.0);
+  EXPECT_GT(result.reexecuted_minibatches, 0);
+  // Rollback lands on a flush-round boundary at or below the checkpoint grid.
+  EXPECT_LT(result.reexecuted_minibatches,
+            options.fault.checkpoint_every + options.gpipe_microbatches);
+}
+
+}  // namespace
+}  // namespace pipedream
