@@ -1,0 +1,212 @@
+// Steady-state training throughput with the zero-copy layer on vs off.
+//
+// Usage: bench_steady_state [--json] [--smoke]
+//   --json    emit a machine-readable report (the format stored in BENCH_steady.json)
+//   --smoke   tiny datasets / one timed epoch; fast enough for ctest (`ctest -L perf`)
+//
+// Measures end-to-end minibatches/s of the threaded pipeline runtime on a VGG-ish CNN and a
+// stacked-LSTM pipeline, A/B over the allocator mode: pooled tensors + copy-on-write sharing
+// (the default) vs the PIPEDREAM_NO_POOL=1 escape hatch (heap alloc + eager deep copies —
+// the pre-pool behaviour). Both modes run in one process via the testing override; pool
+// blocks self-describe their size class, so toggling mid-process is safe. The pooled run
+// also reports allocator stats from the post-warm-up epochs: the claim is not just "faster"
+// but "off the heap" — misses after warm-up should be ~0 because every steady-state shape
+// repeats each minibatch.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/data/dataset.h"
+#include "src/graph/loss.h"
+#include "src/graph/models.h"
+#include "src/optim/sgd.h"
+#include "src/runtime/pipeline_trainer.h"
+#include "src/tensor/pool.h"
+
+using namespace pipedream;
+
+namespace {
+
+double NowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+enum class ModelKind { kVgg, kLstm };
+
+struct BenchConfig {
+  std::string name;
+  ModelKind kind = ModelKind::kVgg;
+  int stages = 4;
+  int64_t batch = 16;
+  int timed_epochs = 3;
+  // Dataset scale knobs (interpreted per model kind).
+  int64_t scale = 0;
+};
+
+struct ModeResult {
+  double minibatches_per_s = 0.0;
+  int64_t minibatches = 0;
+  PoolStats steady_stats;  // pooled mode only: stats over the timed epochs
+};
+
+struct Row {
+  std::string name;
+  ModeResult pooled;
+  ModeResult baseline;
+
+  double speedup() const { return pooled.minibatches_per_s / baseline.minibatches_per_s; }
+  double misses_per_minibatch() const {
+    return static_cast<double>(pooled.steady_stats.HeapAllocations()) /
+           static_cast<double>(std::max<int64_t>(1, pooled.minibatches));
+  }
+  double hit_rate() const {
+    const PoolStats& s = pooled.steady_stats;
+    return s.allocations > 0
+               ? static_cast<double>(s.hits) / static_cast<double>(s.allocations)
+               : 0.0;
+  }
+};
+
+Dataset MakeData(const BenchConfig& cfg) {
+  switch (cfg.kind) {
+    case ModelKind::kVgg:
+      // [N, 1, 8, 8] synthetic images, 4 classes.
+      return MakeSyntheticImages(4, 1, 8, /*per_class=*/cfg.scale, 0.9, 11);
+    case ModelKind::kLstm:
+      // [N, 6] token sequences over an 8-symbol vocabulary.
+      return MakeSequenceCopy(8, 6, /*num_sequences=*/cfg.scale, /*reverse=*/false, 13);
+  }
+  return {};
+}
+
+std::unique_ptr<Sequential> MakeModel(const BenchConfig& cfg, Rng* rng) {
+  switch (cfg.kind) {
+    case ModelKind::kVgg:
+      return BuildMiniVgg(1, 8, 4, rng);
+    case ModelKind::kLstm:
+      return BuildLstmSeqModel(8, 12, 24, 2, rng);
+  }
+  return nullptr;
+}
+
+// Trains warm-up + timed epochs under the given allocator mode and returns throughput of
+// the best timed epoch (best-of sheds scheduler noise the same way micro_kernels does).
+// A fresh model/trainer is built per mode so both sides do identical numerical work from
+// identical seeds.
+ModeResult RunMode(const BenchConfig& cfg, bool zero_copy) {
+  BufferPool::SetZeroCopyEnabledForTesting(zero_copy ? 1 : 0);
+  const Dataset data = MakeData(cfg);
+  Rng rng(3);
+  const auto model = MakeModel(cfg, &rng);
+  const int layers = static_cast<int>(model->size());
+  std::vector<int> cuts;
+  for (int s = 1; s < cfg.stages; ++s) {
+    cuts.push_back(std::max(1, layers * s / cfg.stages));
+  }
+  const auto plan = MakeStraightPlan(layers, cuts);
+  SoftmaxCrossEntropy loss;
+  Sgd sgd(0.01, 0.8);
+  PipelineTrainerOptions options;
+  options.weight_mode = WeightMode::kStashing;
+  PipelineTrainer trainer(*model, plan, &loss, sgd, &data, cfg.batch, /*seed=*/5, options);
+
+  trainer.TrainEpoch();  // warm-up: populates the free lists / faults in every code path
+
+  BufferPool* pool = BufferPool::Get();
+  pool->ResetStats();
+  ModeResult result;
+  double best_epoch_seconds = 1e30;
+  int64_t epoch_minibatches = 0;
+  for (int e = 0; e < cfg.timed_epochs; ++e) {
+    const double t0 = NowSeconds();
+    const EpochStats stats = trainer.TrainEpoch();
+    best_epoch_seconds = std::min(best_epoch_seconds, NowSeconds() - t0);
+    epoch_minibatches = stats.minibatches;
+    result.minibatches += stats.minibatches;
+  }
+  result.minibatches_per_s = static_cast<double>(epoch_minibatches) / best_epoch_seconds;
+  if (zero_copy) {
+    result.steady_stats = pool->Snapshot();
+  }
+  BufferPool::SetZeroCopyEnabledForTesting(-1);
+  return result;
+}
+
+Row RunConfig(const BenchConfig& cfg) {
+  Row row;
+  row.name = cfg.name;
+  row.baseline = RunMode(cfg, /*zero_copy=*/false);
+  row.pooled = RunMode(cfg, /*zero_copy=*/true);
+  return row;
+}
+
+int Main(int argc, char** argv) {
+  bool json = false;
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) json = true;
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+
+  std::vector<BenchConfig> configs;
+  {
+    BenchConfig vgg;
+    vgg.name = "vgg_cnn_4stage";
+    vgg.kind = ModelKind::kVgg;
+    vgg.scale = smoke ? 24 : 90;  // images per class
+    vgg.timed_epochs = smoke ? 1 : 3;
+    configs.push_back(vgg);
+
+    BenchConfig lstm;
+    lstm.name = "lstm_seq_4stage";
+    lstm.kind = ModelKind::kLstm;
+    lstm.scale = smoke ? 96 : 480;  // sequences
+    lstm.timed_epochs = smoke ? 1 : 3;
+    configs.push_back(lstm);
+  }
+
+  std::vector<Row> rows;
+  rows.reserve(configs.size());
+  for (const BenchConfig& cfg : configs) {
+    rows.push_back(RunConfig(cfg));
+  }
+
+  if (json) {
+    std::printf("{\n  \"note\": \"steady-state minibatches/s, best epoch after warm-up; "
+                "baseline = PIPEDREAM_NO_POOL=1 (heap alloc + eager deep copies)\",\n");
+    std::printf("  \"configs\": [\n");
+    for (size_t i = 0; i < rows.size(); ++i) {
+      const Row& r = rows[i];
+      std::printf(
+          "    {\"config\": \"%s\", \"pooled_minibatches_per_s\": %.2f, "
+          "\"baseline_minibatches_per_s\": %.2f, \"speedup\": %.3f, "
+          "\"steady_pool_hits\": %lld, \"steady_heap_allocs\": %lld, "
+          "\"misses_per_minibatch\": %.4f, \"hit_rate\": %.4f}%s\n",
+          r.name.c_str(), r.pooled.minibatches_per_s, r.baseline.minibatches_per_s,
+          r.speedup(), static_cast<long long>(r.pooled.steady_stats.hits),
+          static_cast<long long>(r.pooled.steady_stats.HeapAllocations()),
+          r.misses_per_minibatch(), r.hit_rate(), i + 1 < rows.size() ? "," : "");
+    }
+    std::printf("  ]\n}\n");
+    return 0;
+  }
+
+  std::printf("%-18s %14s %14s %9s %12s %10s\n", "config", "pooled mb/s", "no-pool mb/s",
+              "speedup", "miss/mb", "hit rate");
+  for (const Row& r : rows) {
+    std::printf("%-18s %14.2f %14.2f %8.2fx %12.4f %9.1f%%\n", r.name.c_str(),
+                r.pooled.minibatches_per_s, r.baseline.minibatches_per_s, r.speedup(),
+                r.misses_per_minibatch(), 100.0 * r.hit_rate());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return Main(argc, argv); }

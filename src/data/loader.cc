@@ -57,10 +57,10 @@ void MinibatchLoader::GatherExamples(const std::vector<int64_t>& indices, Tensor
   std::vector<int64_t> tgt_shape = dataset_->targets.shape();
   tgt_shape[0] = batch;
   if (inputs->shape() != in_shape) {
-    *inputs = Tensor(in_shape);
+    *inputs = Tensor::Uninitialized(in_shape);  // every row is copied below
   }
   if (targets->shape() != tgt_shape) {
-    *targets = Tensor(tgt_shape);
+    *targets = Tensor::Uninitialized(tgt_shape);
   }
 
   const float* src_in = dataset_->inputs.data();

@@ -12,7 +12,7 @@ namespace {
 Tensor BatchSlice(const Tensor& seq, int64_t b) {
   const int64_t steps = seq.dim(1);
   const int64_t width = seq.dim(2);
-  Tensor out({steps, width});
+  Tensor out = Tensor::Uninitialized({steps, width});
   std::copy(seq.data() + b * steps * width, seq.data() + (b + 1) * steps * width, out.data());
   return out;
 }
@@ -43,11 +43,12 @@ Tensor Attention::Forward(const Tensor& input, LayerContext* ctx, bool training)
   const int64_t batch = input.dim(0);
   const int64_t steps = input.dim(1);
 
-  Tensor output({batch, steps, hidden_});
-  Tensor qs({batch, steps, hidden_});
-  Tensor ks({batch, steps, hidden_});
-  Tensor vs({batch, steps, hidden_});
-  Tensor weights({batch, steps, steps});  // softmax(Q K^T / sqrt(H)) rows
+  // Every batch row is stored below, so these start uninitialized.
+  Tensor output = Tensor::Uninitialized({batch, steps, hidden_});
+  Tensor qs = Tensor::Uninitialized({batch, steps, hidden_});
+  Tensor ks = Tensor::Uninitialized({batch, steps, hidden_});
+  Tensor vs = Tensor::Uninitialized({batch, steps, hidden_});
+  Tensor weights = Tensor::Uninitialized({batch, steps, steps});  // softmax(Q K^T / sqrt(H)) rows
 
   const float scale = 1.0f / std::sqrt(static_cast<float>(hidden_));
   Tensor q;
@@ -91,11 +92,11 @@ Tensor Attention::Backward(const Tensor& grad_output, LayerContext* ctx) {
   const int64_t steps = input.dim(1);
   PD_CHECK(grad_output.SameShape(input));
 
-  Tensor grad_input(input.shape());
+  Tensor grad_input = Tensor::Uninitialized(input.shape());  // every batch row is stored below
   const float scale = 1.0f / std::sqrt(static_cast<float>(hidden_));
   Tensor d_out;
   Tensor d_probs;
-  Tensor d_scores({steps, steps});
+  Tensor d_scores = Tensor::Uninitialized({steps, steps});  // fully written per batch row
   Tensor d_q;
   Tensor d_k;
   Tensor d_v;

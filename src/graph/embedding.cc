@@ -1,5 +1,7 @@
 #include "src/graph/embedding.h"
 
+#include <utility>
+
 #include "src/tensor/init.h"
 
 namespace pipedream {
@@ -16,9 +18,9 @@ Tensor Embedding::Forward(const Tensor& input, LayerContext* ctx, bool training)
   PD_CHECK_EQ(input.rank(), 2u);
   const int64_t batch = input.dim(0);
   const int64_t steps = input.dim(1);
-  Tensor out({batch, steps, embed_dim_});
+  Tensor out = Tensor::Uninitialized({batch, steps, embed_dim_});  // every row is copied below
   const float* ids = input.data();
-  const float* table = table_.value.data();
+  const float* table = std::as_const(table_.value).data();  // const read: must not detach the COW-shared table
   float* po = out.data();
   const int64_t tokens = batch * steps;
   for (int64_t t = 0; t < tokens; ++t) {

@@ -14,7 +14,7 @@ void GatherStep(const Tensor& seq, int64_t t, Tensor* out) {
   const int64_t steps = seq.dim(1);
   const int64_t width = seq.dim(2);
   if (out->rank() != 2 || out->dim(0) != batch || out->dim(1) != width) {
-    *out = Tensor({batch, width});
+    *out = Tensor::Uninitialized({batch, width});  // fully written below
   }
   const float* src = seq.data();
   float* dst = out->data();
@@ -73,12 +73,14 @@ Tensor Lstm::Forward(const Tensor& input, LayerContext* ctx, bool training) {
   const int64_t steps = input.dim(1);
   const int64_t h = hidden_;
 
-  Tensor output({batch, steps, h});
+  // The time loop writes every step of these, so they start uninitialized.
+  Tensor output = Tensor::Uninitialized({batch, steps, h});
   // Stashes, packed as [B, T, X] so one tensor covers all steps.
-  Tensor gates({batch, steps, 4 * h});   // post-activation i, f, g, o
-  Tensor c_prevs({batch, steps, h});     // c_{t-1}
-  Tensor tanh_cs({batch, steps, h});     // tanh(c_t)
-  Tensor h_prevs({batch, steps, h});     // h_{t-1}
+  Tensor gates = Tensor::Uninitialized({batch, steps, 4 * h});    // post-activation i, f, g, o
+  Tensor c_prevs = Tensor::Uninitialized({batch, steps, h});      // c_{t-1}
+  Tensor tanh_cs = Tensor::Uninitialized({batch, steps, h});      // tanh(c_t)
+  Tensor h_prevs = Tensor::Uninitialized({batch, steps, h});      // h_{t-1}
+  float* ptc = tanh_cs.data();
 
   Tensor h_state({batch, h});
   Tensor c_state({batch, h});
@@ -111,7 +113,7 @@ Tensor Lstm::Forward(const Tensor& input, LayerContext* ctx, bool training) {
         const float c_new = gf * pc[b * h + j] + gi * gg;
         pc[b * h + j] = c_new;
         const float tc = std::tanh(c_new);
-        tanh_cs[(b * steps + t) * h + j] = tc;
+        ptc[(b * steps + t) * h + j] = tc;
         ph[b * h + j] = go * tc;
       }
     }
@@ -143,10 +145,10 @@ Tensor Lstm::Backward(const Tensor& grad_output, LayerContext* ctx) {
   PD_CHECK_EQ(grad_output.dim(1), steps);
   PD_CHECK_EQ(grad_output.dim(2), h);
 
-  Tensor grad_input(input.shape());
-  Tensor dh_next({batch, h});
-  Tensor dc_next({batch, h});
-  Tensor dpre({batch, 4 * h});
+  Tensor grad_input = Tensor::Uninitialized(input.shape());  // every step is scattered below
+  Tensor dh_next({batch, h});  // zero: no gradient flows in from beyond the last step
+  Tensor dc_next({batch, h});  // zero, same
+  Tensor dpre = Tensor::Uninitialized({batch, 4 * h});  // fully written per step
   Tensor x_t;
   Tensor h_prev_t;
   Tensor dout_t;

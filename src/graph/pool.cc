@@ -13,9 +13,10 @@ Tensor MaxPool2D::Forward(const Tensor& input, LayerContext* ctx, bool training)
   PD_CHECK_GT(out_h, 0);
   PD_CHECK_GT(out_w, 0);
 
-  Tensor out({batch, channels, out_h, out_w});
+  // Both are fully written below (one store per output element), so skip the zero fill.
+  Tensor out = Tensor::Uninitialized({batch, channels, out_h, out_w});
   // Stores the flat input index of each window's argmax for the backward scatter.
-  Tensor argmax({batch, channels, out_h, out_w});
+  Tensor argmax = Tensor::Uninitialized({batch, channels, out_h, out_w});
   for (int64_t n = 0; n < batch; ++n) {
     for (int64_t c = 0; c < channels; ++c) {
       for (int64_t oh = 0; oh < out_h; ++oh) {
@@ -73,7 +74,7 @@ Tensor AvgPool2D::Forward(const Tensor& input, LayerContext* ctx, bool training)
   PD_CHECK_GT(out_h, 0);
   PD_CHECK_GT(out_w, 0);
 
-  Tensor out({batch, channels, out_h, out_w});
+  Tensor out = Tensor::Uninitialized({batch, channels, out_h, out_w});  // fully written below
   const float inv = 1.0f / static_cast<float>(window_ * window_);
   for (int64_t n = 0; n < batch; ++n) {
     for (int64_t c = 0; c < channels; ++c) {

@@ -40,7 +40,7 @@ Tensor Dropout::Forward(const Tensor& input, LayerContext* ctx, bool training) {
   }
   const float keep = 1.0f - rate_;
   const float scale = 1.0f / keep;
-  Tensor mask(input.shape());
+  Tensor mask = Tensor::Uninitialized(input.shape());  // fully written below
   Tensor out = input;
   float* pm = mask.data();
   float* po = out.data();

@@ -1,6 +1,7 @@
 #include "src/optim/adam.h"
 
 #include <cmath>
+#include <utility>
 
 #include "src/common/check.h"
 
@@ -28,7 +29,7 @@ void Adam::Step(const std::vector<Parameter*>& params) {
     Parameter* p = params[i];
     PD_CHECK(p->grad.SameShape(p->value)) << p->name << ": grad/value shape mismatch";
     float* value = p->value.data();
-    const float* grad = p->grad.data();
+    const float* grad = std::as_const(p->grad).data();  // const read: must not detach the COW-shared grad
     float* m = m_[i].data();
     float* v = v_[i].data();
     const int64_t n = p->value.numel();

@@ -1,6 +1,7 @@
 #include "src/optim/lars.h"
 
 #include <cmath>
+#include <utility>
 
 #include "src/common/check.h"
 #include "src/tensor/ops.h"
@@ -32,7 +33,7 @@ void Lars::Step(const std::vector<Parameter*>& params) {
     }
     const float lr = static_cast<float>(local_lr);
     float* value = p->value.data();
-    const float* grad = p->grad.data();
+    const float* grad = std::as_const(p->grad).data();  // const read: must not detach the COW-shared grad
     float* vel = velocity_[i].data();
     const int64_t n = p->value.numel();
     for (int64_t j = 0; j < n; ++j) {

@@ -1,5 +1,7 @@
 #include "src/optim/sgd.h"
 
+#include <utility>
+
 #include "src/common/check.h"
 
 namespace pipedream {
@@ -19,7 +21,7 @@ void Sgd::Step(const std::vector<Parameter*>& params) {
     Parameter* p = params[i];
     PD_CHECK(p->grad.SameShape(p->value)) << p->name << ": grad/value shape mismatch";
     float* value = p->value.data();
-    const float* grad = p->grad.data();
+    const float* grad = std::as_const(p->grad).data();  // const read: must not detach the COW-shared grad
     const int64_t n = p->value.numel();
     if (momentum_ == 0.0) {
       for (int64_t j = 0; j < n; ++j) {

@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <utility>
 
 #include "src/common/crc32.h"
 #include "src/common/strings.h"
@@ -141,7 +142,7 @@ Status SaveParameters(const std::string& path, const std::vector<Parameter*>& pa
     for (size_t d = 0; d < p->value.rank(); ++d) {
       write_u64(static_cast<uint64_t>(p->value.dim(d)));
     }
-    write_bytes(p->value.data(), static_cast<size_t>(p->value.SizeBytes()));
+    write_bytes(std::as_const(p->value).data(), static_cast<size_t>(p->value.SizeBytes()));
   }
   // Footer: CRC + length over everything above, so truncation and bit rot are both caught
   // before a single parameter is parsed.

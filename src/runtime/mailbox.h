@@ -17,6 +17,7 @@
 #include <map>
 #include <mutex>
 #include <optional>
+#include <type_traits>
 
 #include "src/common/crc32.h"
 #include "src/schedule/work.h"
@@ -35,6 +36,16 @@ struct PipeMessage {
   int64_t input_version = 0;  // weight version assigned at the input stage (vertical sync)
   uint32_t checksum = 0;      // CRC32 over payload + targets, stamped at send time
 };
+
+// The steady-state hop is move-through: senders move tensors into the message, Deliver
+// moves the message into the queue, Take moves it out — zero payload copies end to end.
+// (Receivers that *retain* a payload, e.g. recompute stashes, take a copy-on-write share;
+// see tensor.h.) Nothrow moves keep the std::map emplace/extract paths from ever falling
+// back to copies.
+static_assert(std::is_nothrow_move_constructible_v<PipeMessage>,
+              "PipeMessage moves must be noexcept for the zero-copy mailbox path");
+static_assert(std::is_nothrow_move_assignable_v<PipeMessage>,
+              "PipeMessage moves must be noexcept for the zero-copy mailbox path");
 
 // CRC32 over a message's tensor contents and identifying fields. Senders stamp, receivers
 // verify — a link that corrupts a payload in flight is detected at receive time instead of

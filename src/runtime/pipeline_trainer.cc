@@ -84,7 +84,8 @@ struct PipelineTrainer::StageRuntime {
   // --- metrics
   double loss_sum = 0.0;
   int64_t loss_count = 0;
-  int64_t peak_stash_bytes = 0;
+  int64_t peak_stash_bytes = 0;               // logical (full-clone-equivalent) stash bytes
+  int64_t peak_materialized_stash_bytes = 0;  // COW-aware: bytes stashes actually own
   int64_t peak_activation_bytes = 0;
 
   int64_t ActivationStashBytes() const {
@@ -374,6 +375,8 @@ void PipelineTrainer::StageRuntime::DoForward(int64_t minibatch, PipeMessage mes
   }
   weights->EndForward(minibatch);
   peak_stash_bytes = std::max(peak_stash_bytes, weights->StashBytes());
+  peak_materialized_stash_bytes =
+      std::max(peak_materialized_stash_bytes, weights->MaterializedStashBytes());
   peak_activation_bytes = std::max(peak_activation_bytes, ActivationStashBytes());
 
   if (is_output) {
@@ -466,6 +469,8 @@ void PipelineTrainer::StageRuntime::DoBackward(PipeMessage message) {
       }
       optimizer->Step(params);
       weights->CommitUpdate();
+      peak_materialized_stash_bytes =
+          std::max(peak_materialized_stash_bytes, weights->MaterializedStashBytes());
       accumulated = 0;
     }
   } else {
@@ -480,6 +485,8 @@ void PipelineTrainer::StageRuntime::DoBackward(PipeMessage message) {
       }
       optimizer->Step(params);
       weights->CommitUpdate();
+      peak_materialized_stash_bytes =
+          std::max(peak_materialized_stash_bytes, weights->MaterializedStashBytes());
       gpipe_round_bwd = 0;
       ++bwd_done;  // count before blocking so quotas stay consistent
       if (stage > 0) {
@@ -933,6 +940,11 @@ const RunningStat& PipelineTrainer::StageStaleness(int stage) const {
 int64_t PipelineTrainer::StagePeakStashBytes(int stage) const {
   PD_CHECK(stage >= 0 && stage < plan_.num_stages());
   return ActiveRuntime(stage)->peak_stash_bytes;
+}
+
+int64_t PipelineTrainer::StagePeakMaterializedStashBytes(int stage) const {
+  PD_CHECK(stage >= 0 && stage < plan_.num_stages());
+  return ActiveRuntime(stage)->peak_materialized_stash_bytes;
 }
 
 int64_t PipelineTrainer::StagePeakActivationBytes(int stage) const {

@@ -137,8 +137,12 @@ class PipelineTrainer {
   // Observed update staleness (versions between gradient computation and application) for a
   // stage's replica 0 — validates the §3.3 staleness formulas.
   const RunningStat& StageStaleness(int stage) const;
-  // Peak bytes of stashed weight copies observed on a stage's replica 0.
+  // Peak bytes of stashed weight copies observed on a stage's replica 0 (logical, i.e.
+  // what naive full clones would occupy).
   int64_t StagePeakStashBytes(int stage) const;
+  // Same peak, counting only bytes the stashes actually materialized under copy-on-write
+  // (blocks no longer shared with the live parameters; see WeightStore).
+  int64_t StagePeakMaterializedStashBytes(int stage) const;
   // Peak bytes of stashed activations (layer contexts + recompute inputs) on replica 0.
   int64_t StagePeakActivationBytes(int stage) const;
 

@@ -1,6 +1,7 @@
 #include "src/runtime/weight_store.h"
 
 #include <algorithm>
+#include <unordered_set>
 
 namespace pipedream {
 
@@ -172,6 +173,34 @@ int64_t WeightStore::StashBytes() const {
     for (const Tensor& t : values) {
       total += t.SizeBytes();
     }
+  }
+  return total;
+}
+
+int64_t WeightStore::MaterializedStashBytes() const {
+  std::unordered_set<const void*> live;
+  live.reserve(params_.size());
+  for (const Parameter* p : params_) {
+    live.insert(p->value.StorageKey());
+  }
+  std::unordered_set<const void*> counted;
+  int64_t total = 0;
+  const auto count = [&](const std::vector<Tensor>& values) {
+    for (const Tensor& t : values) {
+      const void* key = t.StorageKey();
+      // Blocks still shared with a live parameter are free; blocks shared between several
+      // stashes of the same version are counted once.
+      if (key == nullptr || live.count(key) != 0 || !counted.insert(key).second) {
+        continue;
+      }
+      total += t.SizeBytes();
+    }
+  };
+  for (const auto& [mb, stash] : stashes_) {
+    count(stash.values);
+  }
+  for (const auto& [v, values] : snapshots_) {
+    count(values);
   }
   return total;
 }

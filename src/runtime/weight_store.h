@@ -58,8 +58,15 @@ class WeightStore {
   // Records that the optimizer applied one update to the (restored) latest weights.
   void CommitUpdate();
 
-  // Bytes held by stashed weight copies (excludes the live parameters).
+  // Logical bytes held by stashed weight copies (excludes the live parameters) — what a
+  // naive full-clone-per-stash implementation would allocate.
   int64_t StashBytes() const;
+  // Bytes of stash/snapshot storage actually materialized. Under copy-on-write a stash
+  // whose tensors still share blocks with the live parameters costs nothing; only tensors
+  // whose storage diverged (the optimizer wrote the parameter since the stash was taken)
+  // are counted, and shared blocks are deduplicated across stashes. Equals StashBytes()
+  // when zero-copy is disabled.
+  int64_t MaterializedStashBytes() const;
   size_t StashCount() const { return stashes_.size(); }
 
   // Staleness of each applied update, in versions: version at update minus version used to

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "src/common/thread_pool.h"
+#include "src/tensor/pool.h"
 #include "src/tensor/ref_ops.h"
 
 namespace pipedream {
@@ -168,7 +169,10 @@ inline void MicroKernel(int64_t kc, const float* __restrict__ apanel,
 void BlockedGemmCore(const float* a, int64_t lda, bool ta, const float* b, int64_t ldb,
                      bool tb, int64_t m, int64_t n, int64_t k, float alpha, float* c,
                      int64_t ldc) {
-  std::vector<float> bpack(static_cast<size_t>(kKc) * kNc);
+  // Packing panels are pooled scratch: every minibatch re-runs the same GEMM shapes, so
+  // these recycle instead of hitting the heap. PackA/PackB fully overwrite the regions
+  // the microkernel reads, so the buffers stay uninitialized.
+  PoolScratch bpack(kKc * kNc);
   const int64_t m_blocks = (m + kMc - 1) / kMc;
   for (int64_t jc = 0; jc < n; jc += kNc) {
     const int64_t n_blk = std::min(kNc, n - jc);
@@ -177,7 +181,7 @@ void BlockedGemmCore(const float* a, int64_t lda, bool ta, const float* b, int64
       const int64_t kc = std::min(kKc, k - pc);
       PackB(b, ldb, tb, pc, kc, jc, n_blk, bpack.data());
       ParallelFor(0, m_blocks, 1, [&](int64_t /*chunk*/, int64_t blk_lo, int64_t blk_hi) {
-        std::vector<float> apack(static_cast<size_t>(kMc) * kKc);
+        PoolScratch apack(kMc * kKc);
         for (int64_t blk = blk_lo; blk < blk_hi; ++blk) {
           const int64_t i0 = blk * kMc;
           const int64_t m_blk = std::min(kMc, m - i0);
@@ -368,12 +372,13 @@ void Conv2dForward(const Tensor& input, const Tensor& weight, const Tensor& bias
   const int64_t patch = g.in_channels * g.kernel * g.kernel;
   if (out->rank() != 4 || out->dim(0) != g.batch || out->dim(1) != g.out_channels ||
       out->dim(2) != out_h || out->dim(3) != out_w) {
-    *out = Tensor({g.batch, g.out_channels, out_h, out_w});
+    // Every element is written below (bias fill + GEMM accumulate), so skip the zero fill.
+    *out = Tensor::Uninitialized({g.batch, g.out_channels, out_h, out_w});
   }
   // Samples write disjoint output slabs and only read the shared weights, so the batch
   // loop parallelizes deterministically; each chunk owns a private im2col buffer.
   ParallelFor(0, g.batch, 1, [&](int64_t /*chunk*/, int64_t lo, int64_t hi) {
-    std::vector<float> col(static_cast<size_t>(patch) * spatial);
+    PoolScratch col(patch * spatial);  // fully written by Im2Col
     for (int64_t n = lo; n < hi; ++n) {
       Im2Col(input.data() + n * g.in_channels * g.in_h * g.in_w, g, col.data());
       float* cslab = out->data() + n * g.out_channels * spatial;
@@ -414,8 +419,8 @@ void Conv2dBackward(const Tensor& input, const Tensor& weight, const Tensor& gra
   // Weight/bias gradients accumulate across samples in batch order (deterministic, and
   // the order the naive reference uses), so this loop stays sequential; the GEMMs inside
   // parallelize over the pool.
-  std::vector<float> col(static_cast<size_t>(patch) * spatial);
-  std::vector<float> dcol(static_cast<size_t>(patch) * spatial);
+  PoolScratch col(patch * spatial);   // fully written by Im2Col
+  PoolScratch dcol(patch * spatial);  // zeroed per sample below
   for (int64_t n = 0; n < g.batch; ++n) {
     const float* gslab = grad_output.data() + n * g.out_channels * spatial;
     for (int64_t oc = 0; oc < g.out_channels; ++oc) {
@@ -431,7 +436,7 @@ void Conv2dBackward(const Tensor& input, const Tensor& weight, const Tensor& gra
     BlockedGemmCore(gslab, spatial, false, col.data(), spatial, true, g.out_channels, patch,
                     spatial, 1.0f, grad_weight->data(), patch);
     // dcol[patch, spatial] = W[OC, patch]^T @ g[OC, spatial], scattered back via col2im.
-    std::fill(dcol.begin(), dcol.end(), 0.0f);
+    std::fill(dcol.data(), dcol.data() + patch * spatial, 0.0f);
     BlockedGemmCore(weight.data(), patch, true, gslab, spatial, false, patch, spatial,
                     g.out_channels, 1.0f, dcol.data(), spatial);
     Col2Im(dcol.data(), g, grad_input->data() + n * g.in_channels * g.in_h * g.in_w);
@@ -547,7 +552,7 @@ void AccumulateColumnSums(const Tensor& matrix, Tensor* bias_grad) {
     }
     return;
   }
-  std::vector<float> partials(static_cast<size_t>(chunks * n), 0.0f);
+  PoolScratch partials(chunks * n, /*zero=*/true);
   ParallelFor(0, m, row_grain, [&](int64_t chunk, int64_t lo, int64_t hi) {
     float* part = partials.data() + chunk * n;
     for (int64_t i = lo; i < hi; ++i) {
@@ -631,7 +636,7 @@ int64_t ArgMaxRow(const Tensor& a, int64_t r) {
 void SoftmaxRows(const Tensor& logits, Tensor* probs) {
   PD_CHECK_EQ(logits.rank(), 2u);
   if (!probs->SameShape(logits)) {
-    *probs = Tensor(logits.shape());
+    *probs = Tensor::Uninitialized(logits.shape());  // every row is fully written below
   }
   const int64_t m = logits.dim(0);
   const int64_t n = logits.dim(1);

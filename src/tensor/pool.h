@@ -1,0 +1,120 @@
+// Recycling buffer-pool allocator for tensor storage (the zero-copy steady state).
+//
+// PipeDream's steady state re-runs the same forward/backward shapes every minibatch, so the
+// same handful of buffer sizes is allocated and freed over and over. The pool turns that
+// churn into pointer swaps: freed blocks park on size-class free lists (a small per-thread
+// cache in front of mutex-guarded global lists) and the next allocation of a similar size
+// reuses them. Fresh blocks come from calloc, so first-use zero-fill is free (the kernel
+// hands back zero pages) and `Tensor`'s zero-filling constructor can skip its memset.
+//
+// Blocks are refcounted: `Tensor` copies share a block (copy-on-write; see tensor.h) and the
+// last owner returns it to the pool. A block records its own size class, so toggling the
+// pool off mid-process can never mis-free a pooled block or pool a bypass block.
+//
+// Escape hatch: PIPEDREAM_NO_POOL=1 disables the whole zero-copy layer — every allocation
+// goes straight to the heap and every tensor copy is deep — restoring the pre-pool
+// allocation behaviour for A/B measurement (bench/steady_state.cpp) and debugging.
+#ifndef SRC_TENSOR_POOL_H_
+#define SRC_TENSOR_POOL_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace pipedream {
+
+// Allocator counters. Reads are racy-but-monotonic (relaxed atomics); use Snapshot deltas
+// around a measured region, not exact equality across threads mid-flight.
+struct PoolStats {
+  int64_t allocations = 0;      // Allocate() calls
+  int64_t hits = 0;             // served by recycling a parked block
+  int64_t misses = 0;           // fresh heap allocation while pooling was on
+  int64_t bypass = 0;           // fresh heap allocation (pool disabled or oversize)
+  int64_t releases = 0;         // blocks whose last reference was dropped
+  int64_t bytes_in_flight = 0;  // payload bytes currently owned by live tensors
+  int64_t peak_bytes_in_flight = 0;
+  int64_t bytes_parked = 0;     // payload bytes sitting on free lists / thread caches
+
+  // Fresh heap allocations (the number the steady-state guard test bounds).
+  int64_t HeapAllocations() const { return misses + bypass; }
+};
+
+// Header of one refcounted storage block. The float payload follows the header in the same
+// heap allocation; alignas keeps the payload 64-byte aligned for the vector kernels.
+struct alignas(64) PoolBlock {
+  std::atomic<int64_t> refs{1};
+  int64_t capacity = 0;    // payload capacity, in floats
+  int32_t size_class = 0;  // kBypassClass when the block is not pool-managed
+
+  float* data() { return reinterpret_cast<float*>(reinterpret_cast<char*>(this) + sizeof(PoolBlock)); }
+  const float* data() const {
+    return reinterpret_cast<const float*>(reinterpret_cast<const char*>(this) + sizeof(PoolBlock));
+  }
+};
+
+class BufferPool {
+ public:
+  static constexpr int32_t kBypassClass = -1;
+
+  // Leaky singleton: outlives every thread-local cache and every static tensor.
+  static BufferPool* Get();
+
+  // True when pooled recycling AND copy-on-write sharing are active (the default). Reads
+  // PIPEDREAM_NO_POOL once; SetZeroCopyEnabledForTesting overrides it for this process.
+  static bool ZeroCopyEnabled();
+  // enabled > 0 forces on, == 0 forces off, < 0 follows the environment again.
+  static void SetZeroCopyEnabledForTesting(int enabled);
+
+  // Returns a block with refs == 1 and capacity >= numel. `*zeroed` reports whether the
+  // payload is known to be all-zero (fresh calloc) so callers can skip redundant fills.
+  PoolBlock* Allocate(int64_t numel, bool* zeroed);
+
+  // Takes ownership of a block whose refcount has reached zero: parks pooled blocks on
+  // their size-class free list, frees bypass blocks. Called via PoolUnref, not directly.
+  void Release(PoolBlock* block);
+
+  PoolStats Snapshot() const;
+  // Zeroes the counters (not the free lists); brackets a measured region.
+  void ResetStats();
+  // Frees every block parked on the global free lists (thread caches drain on thread exit).
+  void TrimFreeLists();
+  // Returns the calling thread's cached blocks to the global free lists.
+  void FlushThreadCache();
+
+ private:
+  BufferPool() = default;
+  struct Impl;
+  Impl* impl();
+};
+
+// Refcount manipulation used by Tensor. Relaxed increment is enough (acquiring a reference
+// requires already holding one); the release-decrement plus the free-list mutex orders all
+// writes to a block before its next reuse.
+inline void PoolRef(PoolBlock* block) { block->refs.fetch_add(1, std::memory_order_relaxed); }
+
+void PoolUnrefSlow(PoolBlock* block);
+
+inline void PoolUnref(PoolBlock* block) {
+  if (block != nullptr && block->refs.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    PoolUnrefSlow(block);
+  }
+}
+
+// RAII pooled float scratch for kernel internals (im2col slabs, GEMM packing panels,
+// reduction partials). Contents are uninitialized unless `zero` is requested.
+class PoolScratch {
+ public:
+  explicit PoolScratch(int64_t numel, bool zero = false);
+  ~PoolScratch() { PoolUnref(block_); }
+
+  PoolScratch(const PoolScratch&) = delete;
+  PoolScratch& operator=(const PoolScratch&) = delete;
+
+  float* data() { return block_->data(); }
+
+ private:
+  PoolBlock* block_;
+};
+
+}  // namespace pipedream
+
+#endif  // SRC_TENSOR_POOL_H_

@@ -1,8 +1,60 @@
 #include "src/tensor/tensor.h"
 
+#include <algorithm>
+#include <cstring>
+
 #include "src/common/strings.h"
 
 namespace pipedream {
+
+Tensor::Tensor(std::vector<int64_t> shape, std::vector<float> data) {
+  const int64_t n = ComputeNumel(shape);
+  PD_CHECK_EQ(n, static_cast<int64_t>(data.size())) << "tensor data size does not match shape";
+  AllocateStorage(std::move(shape), false);
+  std::memcpy(block_->data(), data.data(), static_cast<size_t>(n) * sizeof(float));
+}
+
+void Tensor::AllocateStorage(std::vector<int64_t> shape, bool zero) {
+  numel_ = ComputeNumel(shape);
+  shape_ = std::move(shape);
+  bool zeroed = false;
+  block_ = BufferPool::Get()->Allocate(numel_, &zeroed);
+  if (zero && !zeroed) {
+    std::memset(block_->data(), 0, static_cast<size_t>(numel_) * sizeof(float));
+  }
+}
+
+void Tensor::CloneBlockFrom(const Tensor& other) {
+  bool zeroed = false;
+  block_ = BufferPool::Get()->Allocate(numel_, &zeroed);
+  std::memcpy(block_->data(), other.block_->data(), static_cast<size_t>(numel_) * sizeof(float));
+}
+
+void Tensor::DetachSlow() {
+  PoolBlock* shared = block_;
+  bool zeroed = false;
+  block_ = BufferPool::Get()->Allocate(numel_, &zeroed);
+  std::memcpy(block_->data(), shared->data(), static_cast<size_t>(numel_) * sizeof(float));
+  PoolUnref(shared);
+}
+
+void Tensor::Fill(float value) {
+  if (block_ == nullptr) {
+    return;
+  }
+  // Uniquely owned: fill in place. Shared: drop the reference and take a fresh block
+  // instead of copying payload we are about to overwrite (detach-discard); a calloc-fresh
+  // block makes SetZero free.
+  if (block_->refs.load(std::memory_order_acquire) != 1) {
+    PoolUnref(block_);
+    bool zeroed = false;
+    block_ = BufferPool::Get()->Allocate(numel_, &zeroed);
+    if (value == 0.0f && zeroed) {
+      return;
+    }
+  }
+  std::fill_n(block_->data(), static_cast<size_t>(numel_), value);
+}
 
 std::string Tensor::ShapeString() const {
   std::string out = "[";

@@ -1,20 +1,36 @@
-// A minimal dense float tensor with value semantics.
+// A minimal dense float tensor with value semantics over pooled, copy-on-write storage.
 //
 // This is the numerical substrate for the real (non-simulated) training runtime. It is
 // deliberately simple: row-major contiguous float32 storage, explicit shapes, no views, no
 // broadcasting beyond what the op library implements. The goal is numerically transparent
 // gradient computation (so weight-stashing semantics can be verified exactly), not peak
 // FLOPs.
+//
+// Storage is a refcounted block from the tensor pool (src/tensor/pool.h). Copying a Tensor
+// shares the block; the first *mutating* access (non-const data()/operator[]/At/Fill/...)
+// detaches into a private copy. Observable behaviour is identical to deep-copy value
+// semantics — a copy never sees a later mutation of the original — but the steady-state
+// cost of `Tensor a = b` drops to a refcount bump, which is what makes weight stashing,
+// activation stashing, and mailbox hops near-free (see DESIGN.md §5c).
+//
+// Invariants the copy-on-write scheme relies on:
+//   * Shared payloads are immutable: every write path funnels through Detach().
+//   * A raw pointer from data() is invalidated by copying the tensor; obtain pointers
+//     AFTER all copies/shares of the tensor have been made (the codebase's existing
+//     "copy first, then grab pointers" style already guarantees this).
+//   * const accessors never detach (At(...) const reads the shared payload directly).
 #ifndef SRC_TENSOR_TENSOR_H_
 #define SRC_TENSOR_TENSOR_H_
 
-#include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <initializer_list>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/common/check.h"
+#include "src/tensor/pool.h"
 
 namespace pipedream {
 
@@ -23,19 +39,78 @@ class Tensor {
   Tensor() = default;
 
   // Constructs a zero-filled tensor of the given shape. All dimensions must be positive.
-  explicit Tensor(std::vector<int64_t> shape) : shape_(std::move(shape)) {
-    data_.assign(static_cast<size_t>(ComputeNumel(shape_)), 0.0f);
-  }
+  // When the pool hands back a freshly calloc'd block the redundant fill is skipped.
+  explicit Tensor(std::vector<int64_t> shape) { AllocateStorage(std::move(shape), true); }
 
   Tensor(std::initializer_list<int64_t> shape) : Tensor(std::vector<int64_t>(shape)) {}
 
   // Constructs from explicit contents; data.size() must match the shape's element count.
-  Tensor(std::vector<int64_t> shape, std::vector<float> data)
-      : shape_(std::move(shape)), data_(std::move(data)) {
-    PD_CHECK_EQ(static_cast<int64_t>(data_.size()), ComputeNumel(shape_));
+  Tensor(std::vector<int64_t> shape, std::vector<float> data);
+
+  // A tensor whose payload is NOT zeroed — for buffers the caller overwrites completely
+  // before any read (kernel outputs, gather targets). Reading before writing is UB.
+  static Tensor Uninitialized(std::vector<int64_t> shape) {
+    Tensor t;
+    t.AllocateStorage(std::move(shape), false);
+    return t;
   }
 
   static Tensor Scalar(float value) { return Tensor({1}, {value}); }
+
+  // Copies share storage (refcount bump) while zero-copy is enabled; with
+  // PIPEDREAM_NO_POOL=1 they deep-copy, restoring plain value semantics exactly.
+  Tensor(const Tensor& other) : shape_(other.shape_), numel_(other.numel_) {
+    if (other.block_ == nullptr) {
+      return;
+    }
+    if (BufferPool::ZeroCopyEnabled()) {
+      block_ = other.block_;
+      PoolRef(block_);
+    } else {
+      CloneBlockFrom(other);
+    }
+  }
+
+  Tensor& operator=(const Tensor& other) {
+    if (this != &other) {
+      PoolBlock* old = block_;
+      block_ = nullptr;
+      shape_ = other.shape_;
+      numel_ = other.numel_;
+      if (other.block_ != nullptr) {
+        if (BufferPool::ZeroCopyEnabled()) {
+          block_ = other.block_;
+          PoolRef(block_);
+        } else {
+          CloneBlockFrom(other);
+        }
+      }
+      PoolUnref(old);
+    }
+    return *this;
+  }
+
+  Tensor(Tensor&& other) noexcept
+      : shape_(std::move(other.shape_)), block_(other.block_), numel_(other.numel_) {
+    other.block_ = nullptr;
+    other.numel_ = 0;
+    other.shape_.clear();
+  }
+
+  Tensor& operator=(Tensor&& other) noexcept {
+    if (this != &other) {
+      PoolUnref(block_);
+      shape_ = std::move(other.shape_);
+      block_ = other.block_;
+      numel_ = other.numel_;
+      other.block_ = nullptr;
+      other.numel_ = 0;
+      other.shape_.clear();
+    }
+    return *this;
+  }
+
+  ~Tensor() { PoolUnref(block_); }
 
   const std::vector<int64_t>& shape() const { return shape_; }
   int64_t dim(size_t i) const {
@@ -43,48 +118,63 @@ class Tensor {
     return shape_[i];
   }
   size_t rank() const { return shape_.size(); }
-  int64_t numel() const { return static_cast<int64_t>(data_.size()); }
-  bool empty() const { return data_.empty(); }
+  int64_t numel() const { return numel_; }
+  bool empty() const { return numel_ == 0; }
 
-  float* data() { return data_.data(); }
-  const float* data() const { return data_.data(); }
+  // Mutable payload access: detaches from shared storage first (copy-on-write).
+  float* data() {
+    Detach();
+    return block_ != nullptr ? block_->data() : nullptr;
+  }
+  const float* data() const { return block_ != nullptr ? block_->data() : nullptr; }
 
   float& operator[](int64_t i) {
     PD_DCHECK(i >= 0 && i < numel());
-    return data_[static_cast<size_t>(i)];
+    Detach();
+    return block_->data()[static_cast<size_t>(i)];
   }
   float operator[](int64_t i) const {
     PD_DCHECK(i >= 0 && i < numel());
-    return data_[static_cast<size_t>(i)];
+    return block_->data()[static_cast<size_t>(i)];
   }
 
   // 2-D indexed access (row-major). The tensor must be rank 2.
   float& At(int64_t r, int64_t c) {
     PD_DCHECK(rank() == 2);
     PD_DCHECK(r >= 0 && r < shape_[0] && c >= 0 && c < shape_[1]);
-    return data_[static_cast<size_t>(r * shape_[1] + c)];
+    Detach();
+    return block_->data()[static_cast<size_t>(r * shape_[1] + c)];
   }
-  float At(int64_t r, int64_t c) const { return const_cast<Tensor*>(this)->At(r, c); }
+  float At(int64_t r, int64_t c) const {
+    PD_DCHECK(rank() == 2);
+    PD_DCHECK(r >= 0 && r < shape_[0] && c >= 0 && c < shape_[1]);
+    return block_->data()[static_cast<size_t>(r * shape_[1] + c)];
+  }
 
   // 4-D indexed access (NCHW). The tensor must be rank 4.
   float& At4(int64_t n, int64_t c, int64_t h, int64_t w) {
     PD_DCHECK(rank() == 4);
     const int64_t idx = ((n * shape_[1] + c) * shape_[2] + h) * shape_[3] + w;
     PD_DCHECK(idx >= 0 && idx < numel());
-    return data_[static_cast<size_t>(idx)];
+    Detach();
+    return block_->data()[static_cast<size_t>(idx)];
   }
   float At4(int64_t n, int64_t c, int64_t h, int64_t w) const {
-    return const_cast<Tensor*>(this)->At4(n, c, h, w);
+    PD_DCHECK(rank() == 4);
+    const int64_t idx = ((n * shape_[1] + c) * shape_[2] + h) * shape_[3] + w;
+    PD_DCHECK(idx >= 0 && idx < numel());
+    return block_->data()[static_cast<size_t>(idx)];
   }
 
-  void Fill(float value) { std::fill(data_.begin(), data_.end(), value); }
+  // Fill overwrites everything, so a shared block is replaced without copying it first.
+  void Fill(float value);
   void SetZero() { Fill(0.0f); }
 
-  // Returns a copy with a new shape covering the same number of elements.
+  // Returns a tensor with a new shape covering the same elements. Shares storage (a
+  // reshape never mutates the payload); mutation through either tensor detaches as usual.
   Tensor Reshaped(std::vector<int64_t> new_shape) const {
     Tensor out = *this;
-    PD_CHECK_EQ(ComputeNumel(new_shape), numel());
-    out.shape_ = std::move(new_shape);
+    out.Reshape(std::move(new_shape));
     return out;
   }
 
@@ -96,10 +186,25 @@ class Tensor {
 
   bool SameShape(const Tensor& other) const { return shape_ == other.shape_; }
 
-  // Approximate number of bytes held (payload only).
+  // Approximate number of bytes held (payload only, ignoring size-class rounding).
   int64_t SizeBytes() const { return numel() * static_cast<int64_t>(sizeof(float)); }
 
   std::string ShapeString() const;
+
+  // --- storage introspection (COW-aware accounting and tests) ---
+
+  // True when both tensors alias the same storage block (a mutation of one would trigger
+  // a detach). Distinct empty tensors never share.
+  bool SharesStorageWith(const Tensor& other) const {
+    return block_ != nullptr && block_ == other.block_;
+  }
+  // Identity of the underlying block; tensors with equal keys share one materialized
+  // payload. nullptr for empty tensors.
+  const void* StorageKey() const { return block_; }
+  // True when this tensor is the storage's only owner (mutation would not copy).
+  bool UniquelyOwned() const {
+    return block_ != nullptr && block_->refs.load(std::memory_order_acquire) == 1;
+  }
 
  private:
   static int64_t ComputeNumel(const std::vector<int64_t>& shape) {
@@ -111,8 +216,23 @@ class Tensor {
     return n;
   }
 
+  void AllocateStorage(std::vector<int64_t> shape, bool zero);
+  // Deep-copies other's payload into a fresh block (shape_/numel_ already set).
+  void CloneBlockFrom(const Tensor& other);
+
+  // Copy-on-write gate: after this call the block is uniquely owned. The acquire load
+  // pairs with the release decrement of other owners, so observing refs == 1 means every
+  // other owner's accesses happened-before ours.
+  void Detach() {
+    if (block_ != nullptr && block_->refs.load(std::memory_order_acquire) != 1) {
+      DetachSlow();
+    }
+  }
+  void DetachSlow();
+
   std::vector<int64_t> shape_;
-  std::vector<float> data_;
+  PoolBlock* block_ = nullptr;
+  int64_t numel_ = 0;
 };
 
 }  // namespace pipedream

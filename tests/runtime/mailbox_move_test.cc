@@ -1,0 +1,78 @@
+// Asserts the mailbox hop is move-through: a payload tensor sent through
+// Deliver/Take keeps the exact same storage block and the allocator sees zero new
+// allocations for the hop — the zero-copy steady-state property the trainer relies on.
+#include "src/runtime/mailbox.h"
+
+#include <gtest/gtest.h>
+
+#include <utility>
+
+#include "src/tensor/pool.h"
+
+namespace pipedream {
+namespace {
+
+class MailboxMoveTest : public ::testing::Test {
+ protected:
+  void SetUp() override { BufferPool::SetZeroCopyEnabledForTesting(1); }
+  void TearDown() override { BufferPool::SetZeroCopyEnabledForTesting(-1); }
+};
+
+TEST_F(MailboxMoveTest, DeliverTakeMovesPayloadStorage) {
+  Mailbox mailbox;
+  Tensor payload({1024});
+  payload.Fill(1.5f);
+  Tensor targets({16});
+  const void* payload_key = payload.StorageKey();
+  const void* targets_key = targets.StorageKey();
+
+  PipeMessage message;
+  message.minibatch = 3;
+  message.type = WorkType::kForward;
+  message.payload = std::move(payload);
+  message.targets = std::move(targets);
+  StampChecksum(&message);
+
+  BufferPool* pool = BufferPool::Get();
+  pool->ResetStats();
+  const int64_t allocs_before = pool->Snapshot().allocations;
+
+  mailbox.Deliver(std::move(message));
+  std::optional<PipeMessage> taken = mailbox.Take(WorkType::kForward);
+  ASSERT_TRUE(taken.has_value());
+
+  const PoolStats stats = pool->Snapshot();
+  EXPECT_EQ(stats.allocations - allocs_before, 0)
+      << "a mailbox hop must not allocate payload storage";
+  EXPECT_EQ(taken->payload.StorageKey(), payload_key)
+      << "payload storage must move through the mailbox, not copy";
+  EXPECT_EQ(taken->targets.StorageKey(), targets_key);
+  EXPECT_TRUE(VerifyChecksum(*taken));
+  EXPECT_EQ(std::as_const(taken->payload)[100], 1.5f);
+}
+
+TEST_F(MailboxMoveTest, RetainedShareSurvivesDownstreamMutation) {
+  // Receiver keeps a COW share (as recompute stashing does) and a later consumer mutates
+  // the payload: the retained copy must be untouched, and the mutation is the only
+  // allocation.
+  Mailbox mailbox;
+  PipeMessage message;
+  message.minibatch = 1;
+  message.payload = Tensor({256});
+  message.payload.Fill(2.0f);
+  mailbox.Deliver(std::move(message));
+
+  std::optional<PipeMessage> taken = mailbox.Take(WorkType::kForward);
+  ASSERT_TRUE(taken.has_value());
+  Tensor retained = taken->payload;  // refcount bump only
+  EXPECT_TRUE(retained.SharesStorageWith(taken->payload));
+
+  BufferPool* pool = BufferPool::Get();
+  pool->ResetStats();
+  taken->payload.data()[0] = -9.0f;  // detach
+  EXPECT_EQ(pool->Snapshot().allocations, 1) << "mutation detaches exactly once";
+  EXPECT_EQ(std::as_const(retained)[0], 2.0f);
+}
+
+}  // namespace
+}  // namespace pipedream

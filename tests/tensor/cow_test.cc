@@ -1,0 +1,169 @@
+// Copy-on-write aliasing correctness: a Tensor copy must behave exactly like a deep copy
+// no matter which mutation path fires — direct writes, Fill/SetZero, checkpoint
+// load-into-place, or the fault-injection corrupt path that scribbles on a message
+// payload. These are the invariants the zero-copy steady state rests on (DESIGN.md).
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/graph/models.h"
+#include "src/runtime/checkpoint.h"
+#include "src/runtime/mailbox.h"
+#include "src/tensor/ops.h"
+#include "src/tensor/pool.h"
+#include "src/tensor/tensor.h"
+
+namespace pipedream {
+namespace {
+
+class CowTest : public ::testing::Test {
+ protected:
+  void SetUp() override { BufferPool::SetZeroCopyEnabledForTesting(1); }
+  void TearDown() override { BufferPool::SetZeroCopyEnabledForTesting(-1); }
+};
+
+TEST_F(CowTest, CopySharesUntilMutation) {
+  Tensor a({4}, {1, 2, 3, 4});
+  Tensor b = a;
+  EXPECT_TRUE(a.SharesStorageWith(b));
+  EXPECT_FALSE(a.UniquelyOwned());
+  b[2] = 99.0f;  // detach
+  EXPECT_FALSE(a.SharesStorageWith(b));
+  EXPECT_EQ(a[2], 3.0f);
+  EXPECT_EQ(b[2], 99.0f);
+  EXPECT_EQ(b[1], 2.0f);  // detach copied the payload
+}
+
+TEST_F(CowTest, ConstAccessNeverDetaches) {
+  Tensor a({2, 2}, {1, 2, 3, 4});
+  Tensor b = a;
+  const Tensor& ca = a;
+  EXPECT_EQ(ca.At(1, 1), 4.0f);
+  EXPECT_EQ(ca[0], 1.0f);
+  EXPECT_NE(ca.data(), nullptr);
+  EXPECT_TRUE(a.SharesStorageWith(b)) << "const reads must not break sharing";
+}
+
+TEST_F(CowTest, MutationThroughEveryPathIsolates) {
+  Tensor base({3}, {5, 6, 7});
+  {
+    Tensor c = base;
+    c.data()[0] = -1.0f;
+    EXPECT_EQ(std::as_const(base)[0], 5.0f);
+  }
+  {
+    Tensor c = base;
+    c.Fill(0.5f);
+    EXPECT_EQ(std::as_const(base)[1], 6.0f);
+  }
+  {
+    Tensor c = base;
+    c.SetZero();
+    EXPECT_EQ(std::as_const(base)[2], 7.0f);
+  }
+  {
+    Tensor c = base.Reshaped({3, 1});
+    c.At(0, 0) = 42.0f;
+    EXPECT_EQ(std::as_const(base)[0], 5.0f);
+  }
+}
+
+TEST_F(CowTest, MoveTransfersOwnershipWithoutCopy) {
+  Tensor a({2}, {1, 2});
+  const void* key = a.StorageKey();
+  Tensor b = std::move(a);
+  EXPECT_EQ(b.StorageKey(), key);
+  EXPECT_TRUE(b.UniquelyOwned());
+  Tensor c;
+  c = std::move(b);
+  EXPECT_EQ(c.StorageKey(), key);
+}
+
+TEST_F(CowTest, DisabledZeroCopyDeepCopies) {
+  BufferPool::SetZeroCopyEnabledForTesting(0);
+  Tensor a({2}, {1, 2});
+  Tensor b = a;
+  EXPECT_FALSE(a.SharesStorageWith(b)) << "PIPEDREAM_NO_POOL restores eager deep copies";
+  b[0] = 9.0f;
+  EXPECT_EQ(std::as_const(a)[0], 1.0f);
+}
+
+TEST_F(CowTest, CheckpointLoadDetachesFromStashedCopies) {
+  // Crash-recovery scenario: weight stashes share storage with the live parameters; a
+  // checkpoint load overwrites the live values in place. The stash must keep the
+  // pre-recovery payload (it belongs to an in-flight minibatch of the aborted epoch).
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("pd_cow_" + std::to_string(::getpid()));
+  std::filesystem::create_directories(dir);
+  Rng rng(1);
+  const auto model = BuildMlpClassifier(4, {8}, 3, &rng);
+  const std::string path = (dir / "model.ckpt").string();
+  ASSERT_TRUE(SaveParameters(path, model->Params()).ok());
+
+  // Take COW "stash" copies, then perturb + reload the live parameters.
+  std::vector<Tensor> stash;
+  for (const Parameter* p : model->Params()) {
+    stash.push_back(p->value);
+  }
+  std::vector<Tensor> expected;
+  for (const Tensor& t : stash) {
+    Tensor deep = Tensor::Uninitialized(t.shape());
+    for (int64_t i = 0; i < t.numel(); ++i) {
+      deep[i] = std::as_const(t)[i];
+    }
+    expected.push_back(std::move(deep));
+  }
+  for (Parameter* p : model->Params()) {
+    p->value.Fill(123.0f);
+  }
+  ASSERT_TRUE(LoadParameters(path, model->Params()).ok());
+  for (size_t i = 0; i < stash.size(); ++i) {
+    EXPECT_EQ(MaxAbsDiff(stash[i], expected[i]), 0.0)
+        << "stash " << i << " bled through a checkpoint load";
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST_F(CowTest, CorruptedPayloadDoesNotBleedIntoRetainedCopies) {
+  // Fault-injection scenario: the sender corrupts message.payload after stamping the CRC.
+  // A stage that retained a COW share of that activation (recompute stash, layer context)
+  // must not see the corruption.
+  Tensor activation({8});
+  activation.Fill(3.25f);
+  PipeMessage message;
+  message.minibatch = 7;
+  message.payload = activation;  // retained share, as recompute_inputs does
+  message.targets = Tensor({1});
+  StampChecksum(&message);
+  EXPECT_TRUE(VerifyChecksum(message));
+
+  float* bytes = message.payload.data();  // detaches: the wire copy becomes private
+  bytes[3] = -777.0f;
+  EXPECT_FALSE(VerifyChecksum(message)) << "corruption must be detectable";
+  for (int64_t i = 0; i < activation.numel(); ++i) {
+    EXPECT_EQ(std::as_const(activation)[i], 3.25f) << "retained copy corrupted at " << i;
+  }
+}
+
+TEST_F(CowTest, ZeroFillSkipStillZeroFills) {
+  // Recycled (dirty) blocks must still produce zero-filled tensors from the shape ctor.
+  for (int round = 0; round < 3; ++round) {
+    {
+      Tensor dirty = Tensor::Uninitialized({512});
+      dirty.Fill(13.0f);
+    }
+    Tensor fresh({512});
+    for (int64_t i = 0; i < fresh.numel(); ++i) {
+      ASSERT_EQ(std::as_const(fresh)[i], 0.0f) << "round " << round << " index " << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pipedream

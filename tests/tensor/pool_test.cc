@@ -1,0 +1,211 @@
+// Buffer-pool allocator tests: recycling behaviour, stats accounting, the
+// PIPEDREAM_NO_POOL bypass, and a multi-threaded fuzz workload. The fuzz test is the
+// ThreadSanitizer target for the whole zero-copy layer: random alloc/share/mutate/free
+// traffic across threads exercises the refcount and free-list synchronization.
+#include "src/tensor/pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/tensor/tensor.h"
+
+namespace pipedream {
+namespace {
+
+// Restores the environment-driven zero-copy setting when a test finishes.
+class PoolTest : public ::testing::Test {
+ protected:
+  void SetUp() override { BufferPool::SetZeroCopyEnabledForTesting(1); }
+  void TearDown() override {
+    BufferPool::SetZeroCopyEnabledForTesting(-1);
+    BufferPool::Get()->FlushThreadCache();
+    BufferPool::Get()->TrimFreeLists();
+  }
+};
+
+TEST_F(PoolTest, RecyclesFreedBlocks) {
+  BufferPool* pool = BufferPool::Get();
+  bool zeroed = false;
+  PoolBlock* a = pool->Allocate(1000, &zeroed);
+  EXPECT_TRUE(zeroed);  // fresh calloc
+  EXPECT_GE(a->capacity, 1000);
+  float* payload = a->data();
+  payload[0] = 42.0f;
+  PoolUnref(a);
+
+  pool->ResetStats();
+  PoolBlock* b = pool->Allocate(900, &zeroed);  // same size class as 1000
+  EXPECT_EQ(b, a) << "freed block should be recycled for a same-class request";
+  EXPECT_FALSE(zeroed) << "recycled payloads are dirty";
+  const PoolStats stats = pool->Snapshot();
+  EXPECT_EQ(stats.hits, 1);
+  EXPECT_EQ(stats.misses, 0);
+  PoolUnref(b);
+}
+
+TEST_F(PoolTest, StatsTrackBytesInFlight) {
+  BufferPool* pool = BufferPool::Get();
+  pool->ResetStats();
+  bool zeroed = false;
+  PoolBlock* a = pool->Allocate(64, &zeroed);
+  PoolStats stats = pool->Snapshot();
+  const int64_t a_bytes = a->capacity * static_cast<int64_t>(sizeof(float));
+  EXPECT_GE(stats.bytes_in_flight, a_bytes);
+  EXPECT_GE(stats.peak_bytes_in_flight, stats.bytes_in_flight);
+  const int64_t before_release = stats.bytes_in_flight;
+  PoolUnref(a);
+  stats = pool->Snapshot();
+  EXPECT_EQ(stats.bytes_in_flight, before_release - a_bytes);
+  EXPECT_EQ(stats.releases, 1);
+}
+
+TEST_F(PoolTest, DisabledPoolBypassesFreeLists) {
+  BufferPool::SetZeroCopyEnabledForTesting(0);
+  BufferPool* pool = BufferPool::Get();
+  pool->ResetStats();
+  bool zeroed = false;
+  PoolBlock* a = pool->Allocate(512, &zeroed);
+  EXPECT_TRUE(zeroed);
+  EXPECT_EQ(a->size_class, BufferPool::kBypassClass);
+  PoolUnref(a);
+  const PoolStats stats = pool->Snapshot();
+  EXPECT_EQ(stats.bypass, 1);
+  EXPECT_EQ(stats.hits, 0);
+}
+
+TEST_F(PoolTest, BlocksFreedUnderOppositeModeAreRoutedByTheirOwnClass) {
+  // A block allocated while pooling is on must park on a free list even if pooling was
+  // switched off before its release (and vice versa) — the block's own size_class routes
+  // it, so mid-process toggles never mis-free.
+  BufferPool* pool = BufferPool::Get();
+  bool zeroed = false;
+  PoolBlock* pooled = pool->Allocate(128, &zeroed);
+  BufferPool::SetZeroCopyEnabledForTesting(0);
+  PoolBlock* bypass = pool->Allocate(128, &zeroed);
+  EXPECT_EQ(bypass->size_class, BufferPool::kBypassClass);
+  PoolUnref(pooled);  // pool disabled, but the block still parks (no leak, no double free)
+  PoolUnref(bypass);
+  BufferPool::SetZeroCopyEnabledForTesting(1);
+  PoolBlock* again = pool->Allocate(128, &zeroed);
+  EXPECT_EQ(again, pooled);
+  PoolUnref(again);
+}
+
+TEST_F(PoolTest, OversizeRequestsBypass) {
+  BufferPool* pool = BufferPool::Get();
+  pool->ResetStats();
+  bool zeroed = false;
+  // Above the largest size class (128Mi floats) — must not be parked.
+  PoolBlock* huge = pool->Allocate((int64_t{64} << 21) + 1, &zeroed);
+  EXPECT_EQ(huge->size_class, BufferPool::kBypassClass);
+  PoolUnref(huge);
+  EXPECT_EQ(pool->Snapshot().bypass, 1);
+}
+
+TEST_F(PoolTest, ScratchIsRecycledAcrossUses) {
+  BufferPool* pool = BufferPool::Get();
+  { PoolScratch warm(4096); }
+  pool->ResetStats();
+  for (int i = 0; i < 10; ++i) {
+    PoolScratch s(4096);
+    s.data()[0] = static_cast<float>(i);
+  }
+  const PoolStats stats = pool->Snapshot();
+  EXPECT_EQ(stats.hits, 10);
+  EXPECT_EQ(stats.misses, 0);
+}
+
+TEST_F(PoolTest, ZeroRequestedScratchIsZero) {
+  { PoolScratch dirty(256); std::memset(dirty.data(), 0xAB, 256 * sizeof(float)); }
+  PoolScratch s(256, /*zero=*/true);
+  for (int i = 0; i < 256; ++i) {
+    ASSERT_EQ(s.data()[i], 0.0f) << i;
+  }
+}
+
+// Randomized multi-threaded workload: each thread allocates random-shaped tensors,
+// shares them (copy), mutates copies, round-trips through scratch buffers, and frees in
+// random order. Run under TSan (PIPEDREAM_SANITIZE=thread) this validates the refcount /
+// free-list happens-before edges; under the normal build it validates stat conservation.
+TEST_F(PoolTest, FuzzConcurrentAllocShareMutateFree) {
+  BufferPool* pool = BufferPool::Get();
+  pool->ResetStats();
+  constexpr int kThreads = 4;
+  constexpr int kIters = 2000;
+  std::atomic<int64_t> checksum_failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t, &checksum_failures] {
+      Rng rng(1234 + t);
+      std::vector<Tensor> held;
+      for (int i = 0; i < kIters; ++i) {
+        const int action = static_cast<int>(rng.NextU64() % 5);
+        switch (action) {
+          case 0: {  // allocate a random shape, tag it with a sentinel
+            const int64_t n = 1 + static_cast<int64_t>(rng.NextU64() % 5000);
+            Tensor fresh = Tensor::Uninitialized({n});
+            fresh.Fill(static_cast<float>(t));
+            held.push_back(std::move(fresh));
+            break;
+          }
+          case 1: {  // share + mutate the copy; the original must keep its value
+            if (held.empty()) break;
+            Tensor& orig = held[rng.NextU64() % held.size()];
+            const float expected = std::as_const(orig)[0];
+            Tensor copy = orig;
+            copy[0] = expected + 1.0f;
+            if (std::as_const(orig)[0] != expected) {
+              checksum_failures.fetch_add(1, std::memory_order_relaxed);
+            }
+            held.push_back(std::move(copy));
+            break;
+          }
+          case 2: {  // free a random survivor
+            if (held.empty()) break;
+            const size_t idx = rng.NextU64() % held.size();
+            held[idx] = std::move(held.back());
+            held.pop_back();
+            break;
+          }
+          case 3: {  // scratch round-trip
+            PoolScratch s(1 + static_cast<int64_t>(rng.NextU64() % 3000));
+            s.data()[0] = 1.0f;
+            break;
+          }
+          case 4: {  // reshape shares storage; mutation through the reshape detaches
+            if (held.empty()) break;
+            Tensor& orig = held[rng.NextU64() % held.size()];
+            const float expected = std::as_const(orig)[0];
+            Tensor view = orig.Reshaped({orig.numel()});
+            view[0] = expected - 3.0f;
+            if (std::as_const(orig)[0] != expected) {
+              checksum_failures.fetch_add(1, std::memory_order_relaxed);
+            }
+            break;
+          }
+        }
+        if (held.size() > 64) {
+          held.erase(held.begin(), held.begin() + 32);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  EXPECT_EQ(checksum_failures.load(), 0);
+  // Every allocation was either recycled or fresh; after the threads exit and flush their
+  // caches, live bytes are only what this thread still holds.
+  const PoolStats stats = pool->Snapshot();
+  EXPECT_EQ(stats.allocations, stats.hits + stats.misses + stats.bypass);
+}
+
+}  // namespace
+}  // namespace pipedream
