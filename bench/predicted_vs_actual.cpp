@@ -1,0 +1,219 @@
+// Predicted vs actual: the same (model, plan) run through the virtual-time simulator and the
+// threaded runtime, compared per stage — a machine-checkable analogue of Figure 15, but
+// against the *real* substrate instead of the simulator standing in for it.
+//
+// Usage: bench_predicted_vs_actual [--json] [--smoke] [--traces]
+//   --json    emit the machine-readable report (the format stored in BENCH_obs.json)
+//   --smoke   smaller dataset / fewer epochs; fast enough for ctest (`ctest -L obs`)
+//   --traces  also write sim_trace.json / real_trace.json (identical Chrome schema — load
+//             both in Perfetto to overlay the swimlanes)
+//
+// Method: profile the model's per-layer times (ProfileModel), feed the profile to the
+// discrete-event simulator with record_trace, and train the real 2-stage 1F1B pipeline with
+// the obs trace ring armed. Both substrates emit the same span schema ("fwd"/"bwd" with
+// {stage, minibatch} args), so per-stage mean op times are computed from the two traces by
+// one piece of code and the deltas are the runtime's un-modelled overhead (mailbox hops,
+// weight stashing, scheduling).
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/logging.h"
+#include "src/common/rng.h"
+#include "src/common/stats.h"
+#include "src/common/strings.h"
+#include "src/common/table.h"
+#include "src/data/dataset.h"
+#include "src/data/loader.h"
+#include "src/graph/loss.h"
+#include "src/graph/models.h"
+#include "src/obs/trace.h"
+#include "src/optim/sgd.h"
+#include "src/profile/profiler.h"
+#include "src/runtime/pipeline_trainer.h"
+#include "src/simexec/pipeline_sim.h"
+
+using namespace pipedream;
+
+namespace {
+
+struct OpStat {
+  RunningStat fwd;
+  RunningStat bwd;
+};
+
+// Per-stage mean op times from the simulator's virtual-time trace.
+std::map<int, OpStat> SimStageStats(const ExecutionTrace& trace) {
+  std::map<int, OpStat> stats;
+  for (const TraceEvent& e : trace.events()) {
+    RunningStat& s =
+        e.type == WorkType::kForward ? stats[e.stage].fwd : stats[e.stage].bwd;
+    s.Add((e.end - e.start).ToSeconds());
+  }
+  return stats;
+}
+
+// Per-stage mean op times from the runtime's wall-clock trace (same schema, same math).
+std::map<int, OpStat> RealStageStats(const std::vector<obs::CollectedEvent>& events) {
+  std::map<int, OpStat> stats;
+  for (const obs::CollectedEvent& e : events) {
+    if (e.phase != obs::EventPhase::kSpan || e.stage < 0) {
+      continue;
+    }
+    if (std::strcmp(e.name, "fwd") == 0) {
+      stats[e.stage].fwd.Add(static_cast<double>(e.dur_ns) * 1e-9);
+    } else if (std::strcmp(e.name, "bwd") == 0) {
+      stats[e.stage].bwd.Add(static_cast<double>(e.dur_ns) * 1e-9);
+    }
+  }
+  return stats;
+}
+
+struct StageRow {
+  int stage = 0;
+  const char* op = "";
+  double sim_ms = 0.0;
+  double real_ms = 0.0;
+
+  double delta_pct() const {
+    return sim_ms > 0 ? 100.0 * (real_ms - sim_ms) / sim_ms : 0.0;
+  }
+};
+
+int Main(int argc, char** argv) {
+  bool json = false;
+  bool smoke = false;
+  bool traces = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) json = true;
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strcmp(argv[i], "--traces") == 0) traces = true;
+  }
+
+  const int64_t classes = 4;
+  const int64_t dim = 32;
+  const int64_t batch = 16;
+  const int64_t per_class = smoke ? 160 : 640;
+  const int num_stages = 2;
+
+  const Dataset data = MakeGaussianMixture(classes, dim, per_class, 0.35, 17);
+  Rng rng(7);
+  const auto model = BuildMlpClassifier(dim, {96, 96, 96}, classes, &rng);
+  const int layers = static_cast<int>(model->size());
+
+  // One representative minibatch for the profiler (the paper's single-GPU profiling run).
+  MinibatchLoader sample_loader(&data, batch, /*seed=*/5);
+  Tensor sample_x;
+  Tensor sample_y;
+  sample_loader.NextBatch(&sample_x, &sample_y);
+  const ModelProfile profile = ProfileModel(*model, sample_x, "mlp_pva");
+
+  std::vector<int> cuts;
+  for (int s = 1; s < num_stages; ++s) {
+    cuts.push_back(std::max(1, layers * s / num_stages));
+  }
+  const PipelinePlan plan = MakeStraightPlan(layers, cuts);
+
+  // --- real substrate: 1F1B with weight stashing, trace ring armed for the timed epoch.
+  SoftmaxCrossEntropy loss;
+  Sgd sgd(0.01, 0.8);
+  PipelineTrainerOptions options;
+  options.weight_mode = WeightMode::kStashing;
+  PipelineTrainer trainer(*model, plan, &loss, sgd, &data, batch, /*seed=*/5, options);
+
+  trainer.TrainEpoch();  // warm-up (untraced): faults in code paths, fills the buffer pool
+  obs::ClearTrace();
+  obs::StartTracing();
+  const EpochStats stats = trainer.TrainEpoch();
+  obs::StopTracing();
+  const std::vector<obs::CollectedEvent> real_events = obs::CollectEvents();
+  const double real_mb_per_s =
+      stats.wall_seconds > 0 ? static_cast<double>(stats.minibatches) / stats.wall_seconds
+                             : 0.0;
+
+  // --- simulated substrate: same plan and per-layer profile, one virtual epoch. A flat
+  // high-bandwidth topology approximates in-process mailbox hops.
+  const auto topo = HardwareTopology::Flat(num_stages, /*bandwidth_bytes_per_sec=*/8e9);
+  SimOptions sim_options;
+  sim_options.num_minibatches = stats.minibatches > 0 ? stats.minibatches : 64;
+  sim_options.record_trace = true;
+  const SimResult sim = SimulatePipeline(profile, plan, topo, sim_options);
+  const double sim_mb_per_s = sim.throughput_samples_per_sec / static_cast<double>(batch);
+
+  if (traces) {
+    sim.trace.WriteChromeJson("sim_trace.json");
+    obs::WriteTrace("real_trace.json");
+  }
+
+  const std::map<int, OpStat> sim_stats = SimStageStats(sim.trace);
+  const std::map<int, OpStat> real_stats = RealStageStats(real_events);
+
+  std::vector<StageRow> rows;
+  std::vector<double> sim_means;
+  std::vector<double> real_means;
+  for (int s = 0; s < num_stages; ++s) {
+    const auto sim_it = sim_stats.find(s);
+    const auto real_it = real_stats.find(s);
+    if (sim_it == sim_stats.end() || real_it == real_stats.end()) {
+      PD_LOG(ERROR) << "missing stage " << s << " in a trace (sim " << sim_stats.size()
+                    << " stages, real " << real_stats.size() << " stages)";
+      return 1;
+    }
+    for (const char* op : {"fwd", "bwd"}) {
+      StageRow row;
+      row.stage = s;
+      row.op = op;
+      const bool fwd = std::strcmp(op, "fwd") == 0;
+      row.sim_ms = (fwd ? sim_it->second.fwd : sim_it->second.bwd).mean() * 1e3;
+      row.real_ms = (fwd ? real_it->second.fwd : real_it->second.bwd).mean() * 1e3;
+      sim_means.push_back(row.sim_ms);
+      real_means.push_back(row.real_ms);
+      rows.push_back(row);
+    }
+  }
+  const double correlation = PearsonCorrelation(sim_means, real_means);
+  const double throughput_ratio = sim_mb_per_s > 0 ? real_mb_per_s / sim_mb_per_s : 0.0;
+
+  if (json) {
+    std::printf("{\n  \"note\": \"per-stage mean op time, simulator (profiled per-layer "
+                "times, virtual clock) vs threaded runtime (obs trace ring, wall clock); "
+                "delta_pct is the runtime's un-modelled overhead\",\n");
+    std::printf("  \"model\": \"mlp_%lldx96x96x96x%lld\", \"stages\": %d, \"batch\": %lld, "
+                "\"minibatches\": %lld,\n",
+                static_cast<long long>(dim), static_cast<long long>(classes), num_stages,
+                static_cast<long long>(batch), static_cast<long long>(stats.minibatches));
+    std::printf("  \"stage_ops\": [\n");
+    for (size_t i = 0; i < rows.size(); ++i) {
+      const StageRow& r = rows[i];
+      std::printf("    {\"stage\": %d, \"op\": \"%s\", \"sim_ms\": %.4f, \"real_ms\": %.4f, "
+                  "\"delta_pct\": %.1f}%s\n",
+                  r.stage, r.op, r.sim_ms, r.real_ms, r.delta_pct(),
+                  i + 1 < rows.size() ? "," : "");
+    }
+    std::printf("  ],\n");
+    std::printf("  \"sim_minibatches_per_s\": %.2f, \"real_minibatches_per_s\": %.2f, "
+                "\"real_over_sim_throughput\": %.3f,\n",
+                sim_mb_per_s, real_mb_per_s, throughput_ratio);
+    std::printf("  \"stage_time_correlation\": %.4f\n}\n", correlation);
+    return 0;
+  }
+
+  Table table({"stage", "op", "sim ms", "real ms", "delta"});
+  for (const StageRow& r : rows) {
+    table.AddRow({StrFormat("%d", r.stage), r.op, StrFormat("%.4f", r.sim_ms),
+                  StrFormat("%.4f", r.real_ms), StrFormat("%+.1f%%", r.delta_pct())});
+  }
+  table.Print("predicted (sim) vs actual (runtime) per-stage op times");
+  std::printf("\nthroughput: sim %.2f mb/s, real %.2f mb/s (real/sim = %.3f)\n", sim_mb_per_s,
+              real_mb_per_s, throughput_ratio);
+  std::printf("per-(stage,op) time correlation: %.4f\n", correlation);
+  std::printf("shape check: correlation should be strongly positive and real >= sim "
+              "(the runtime adds overhead the event model omits).\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return Main(argc, argv); }

@@ -16,6 +16,7 @@
 #include <cstring>
 #include <string>
 
+#include "src/common/logging.h"
 #include "src/common/strings.h"
 #include "src/core/pipedream.h"
 #include "src/profile/model_zoo.h"
@@ -28,7 +29,8 @@ namespace {
 int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s <model> <cluster A|B|C> <servers> [config]\n"
-               "models: ");
+               "models: ",
+               argv0);
   for (const auto& name : ModelZooNames()) {
     std::fprintf(stderr, "%s ", name.c_str());
   }
@@ -82,7 +84,7 @@ int main(int argc, char** argv) {
   if (argc == 5) {
     const auto parsed = MakePlanFromConfigString(profile, argv[4], topology.num_workers());
     if (!parsed.ok()) {
-      std::fprintf(stderr, "bad config: %s\n", parsed.status().ToString().c_str());
+      PD_LOG(ERROR) << "bad config: " << parsed.status().ToString();
       return 2;
     }
     plan = *parsed;

@@ -12,6 +12,22 @@ namespace {
 std::atomic<int> g_threshold{static_cast<int>(LogLevel::kInfo)};
 std::mutex g_output_mutex;
 
+std::atomic<int64_t> g_level_counts[4] = {};
+
+// Compact per-thread ids ("t0", "t1", ...) — stable for the thread's lifetime, far more
+// readable than pthread handles when eyeballing interleaved worker logs.
+std::atomic<int> g_next_thread_id{0};
+
+struct ThreadLogState {
+  int id = g_next_thread_id.fetch_add(1, std::memory_order_relaxed);
+  std::string label;
+};
+
+ThreadLogState& GetThreadLogState() {
+  thread_local ThreadLogState state;
+  return state;
+}
+
 char LevelTag(LogLevel level) {
   switch (level) {
     case LogLevel::kDebug:
@@ -40,13 +56,25 @@ LogLevel SetLogThreshold(LogLevel level) {
 
 LogLevel GetLogThreshold() { return static_cast<LogLevel>(g_threshold.load()); }
 
+void SetThreadLogLabel(const std::string& label) { GetThreadLogState().label = label; }
+
+int64_t GetLogCount(LogLevel level) {
+  return g_level_counts[static_cast<int>(level)].load(std::memory_order_relaxed);
+}
+
 namespace internal {
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
     : enabled_(static_cast<int>(level) >= g_threshold.load(std::memory_order_relaxed)),
       level_(level),
       file_(file),
-      line_(line) {}
+      line_(line) {
+  // Count every WARNING/ERROR construction, emitted or not, so suppressed problems still
+  // surface in the metrics dump; DEBUG/INFO only count when actually logged.
+  if (enabled_ || level >= LogLevel::kWarning) {
+    g_level_counts[static_cast<int>(level)].fetch_add(1, std::memory_order_relaxed);
+  }
+}
 
 LogMessage::~LogMessage() {
   if (!enabled_) {
@@ -55,9 +83,16 @@ LogMessage::~LogMessage() {
   using Clock = std::chrono::system_clock;
   const auto now = Clock::now().time_since_epoch();
   const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(now).count();
+  const ThreadLogState& thread = GetThreadLogState();
+  char who[64];
+  if (thread.label.empty()) {
+    std::snprintf(who, sizeof(who), "t%d", thread.id);
+  } else {
+    std::snprintf(who, sizeof(who), "%s", thread.label.c_str());
+  }
   std::lock_guard<std::mutex> lock(g_output_mutex);
-  std::fprintf(stderr, "[%c %lld.%03lld %s:%d] %s\n", LevelTag(level_),
-               static_cast<long long>(ms / 1000), static_cast<long long>(ms % 1000),
+  std::fprintf(stderr, "[%c %lld.%03lld %s %s:%d] %s\n", LevelTag(level_),
+               static_cast<long long>(ms / 1000), static_cast<long long>(ms % 1000), who,
                Basename(file_), line_, stream_.str().c_str());
 }
 

@@ -3,9 +3,16 @@
 // Usage:   PD_LOG(INFO) << "profiled " << n << " layers";
 // Levels:  DEBUG < INFO < WARNING < ERROR. The global threshold defaults to INFO and can be
 // changed with SetLogThreshold() (e.g. tests silence INFO, debugging enables DEBUG).
+//
+// Each line carries a compact per-thread id ("t0", "t1", ...) and, when the thread has
+// called SetThreadLogLabel (usually via obs::SetThreadLabel), that label instead — so
+// interleaved multi-worker logs read "[I 12.345 s1/r0 trainer.cc:88] ...". Lines at
+// WARNING and ERROR are also counted regardless of the threshold; the obs metrics registry
+// exposes the counts as "log/warnings"/"log/errors".
 #ifndef SRC_COMMON_LOGGING_H_
 #define SRC_COMMON_LOGGING_H_
 
+#include <cstdint>
 #include <sstream>
 #include <string>
 
@@ -21,6 +28,15 @@ enum class LogLevel : int {
 // Sets the minimum level that is actually emitted. Returns the previous threshold.
 LogLevel SetLogThreshold(LogLevel level);
 LogLevel GetLogThreshold();
+
+// Names the calling thread in its log prefix ("s1/r0" instead of "t3"). Empty restores the
+// default id. Runtime code should prefer obs::SetThreadLabel, which also names the thread's
+// trace track.
+void SetThreadLogLabel(const std::string& label);
+
+// Number of lines recorded at `level` since process start. WARNING/ERROR lines count even
+// when suppressed by the threshold, so a quiet run still reports its health.
+int64_t GetLogCount(LogLevel level);
 
 namespace internal {
 

@@ -1,0 +1,213 @@
+#include "src/obs/metrics.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <variant>
+
+#include "src/common/check.h"
+#include "src/common/logging.h"
+#include "src/common/strings.h"
+
+namespace pipedream {
+namespace obs {
+namespace {
+
+std::string JsonEscapeName(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+    }
+    out += c;
+  }
+  return out;
+}
+
+// %g keeps integers clean (no trailing .000000) and large/small values readable.
+std::string NumberJson(double v) { return StrFormat("%.17g", v); }
+
+}  // namespace
+
+struct MetricsRegistry::Impl {
+  using Metric = std::variant<std::unique_ptr<Counter>, std::unique_ptr<Gauge>,
+                              std::unique_ptr<Histogram>>;
+  mutable std::mutex mutex;
+  std::map<std::string, Metric> metrics;                        // sorted for stable dumps
+  std::map<std::string, std::function<double()>> callbacks;
+
+  template <typename T>
+  T* GetTyped(const std::string& name) {
+    std::lock_guard<std::mutex> lock(mutex);
+    auto it = metrics.find(name);
+    if (it == metrics.end()) {
+      auto metric = std::make_unique<T>();
+      T* raw = metric.get();
+      metrics.emplace(name, std::move(metric));
+      return raw;
+    }
+    auto* held = std::get_if<std::unique_ptr<T>>(&it->second);
+    PD_CHECK(held != nullptr) << "metric '" << name
+                              << "' already registered as another kind";
+    return held->get();
+  }
+};
+
+MetricsRegistry& MetricsRegistry::Get() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // leaky: usable during atexit
+  return *registry;
+}
+
+MetricsRegistry::MetricsRegistry() : impl_(new Impl()) {
+  // Log-level counts live in common/logging (which cannot depend on this layer); surface
+  // them as dump-time callbacks so WARNING+ diagnostics are visible in every metrics dump.
+  SetCallback("log/warnings", [] {
+    return static_cast<double>(GetLogCount(LogLevel::kWarning));
+  });
+  SetCallback("log/errors",
+              [] { return static_cast<double>(GetLogCount(LogLevel::kError)); });
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  return impl_->GetTyped<Counter>(name);
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  return impl_->GetTyped<Gauge>(name);
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  return impl_->GetTyped<Histogram>(name);
+}
+
+void MetricsRegistry::SetCallback(const std::string& name, std::function<double()> fn) {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  impl_->callbacks[name] = std::move(fn);
+}
+
+std::string MetricsRegistry::ToJson() const {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  std::string counters;
+  std::string gauges;
+  std::string histograms;
+  for (const auto& [name, metric] : impl_->metrics) {
+    const std::string key = "\"" + JsonEscapeName(name) + "\": ";
+    if (const auto* c = std::get_if<std::unique_ptr<Counter>>(&metric)) {
+      if (!counters.empty()) counters += ",\n    ";
+      counters += key + StrFormat("%lld", static_cast<long long>((*c)->value()));
+    } else if (const auto* g = std::get_if<std::unique_ptr<Gauge>>(&metric)) {
+      if (!gauges.empty()) gauges += ",\n    ";
+      gauges += key + StrFormat("%lld", static_cast<long long>((*g)->value()));
+    } else {
+      const RunningStat s = std::get<std::unique_ptr<Histogram>>(metric)->snapshot();
+      if (!histograms.empty()) histograms += ",\n    ";
+      histograms += key +
+                    StrFormat("{\"count\": %lld, \"mean\": %s, \"stddev\": %s, \"min\": %s, "
+                              "\"max\": %s, \"sum\": %s}",
+                              static_cast<long long>(s.count()), NumberJson(s.mean()).c_str(),
+                              NumberJson(s.stddev()).c_str(), NumberJson(s.min()).c_str(),
+                              NumberJson(s.max()).c_str(), NumberJson(s.sum()).c_str());
+    }
+  }
+  std::string values;
+  for (const auto& [name, fn] : impl_->callbacks) {
+    if (!values.empty()) values += ",\n    ";
+    values += "\"" + JsonEscapeName(name) + "\": " + NumberJson(fn());
+  }
+  std::string out = "{\n";
+  out += "  \"counters\": {\n    " + counters + "\n  },\n";
+  out += "  \"gauges\": {\n    " + gauges + "\n  },\n";
+  out += "  \"histograms\": {\n    " + histograms + "\n  },\n";
+  out += "  \"values\": {\n    " + values + "\n  }\n";
+  out += "}\n";
+  return out;
+}
+
+Table MetricsRegistry::ToTable() const {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  Table table({"metric", "kind", "value", "count", "mean", "min", "max"});
+  for (const auto& [name, metric] : impl_->metrics) {
+    if (const auto* c = std::get_if<std::unique_ptr<Counter>>(&metric)) {
+      table.AddRow({name, "counter", StrFormat("%lld", static_cast<long long>((*c)->value())),
+                    "", "", "", ""});
+    } else if (const auto* g = std::get_if<std::unique_ptr<Gauge>>(&metric)) {
+      table.AddRow({name, "gauge", StrFormat("%lld", static_cast<long long>((*g)->value())),
+                    "", "", "", ""});
+    } else {
+      const RunningStat s = std::get<std::unique_ptr<Histogram>>(metric)->snapshot();
+      table.AddRow({name, "histogram", "", StrFormat("%lld", static_cast<long long>(s.count())),
+                    StrFormat("%.6g", s.mean()), StrFormat("%.6g", s.min()),
+                    StrFormat("%.6g", s.max())});
+    }
+  }
+  for (const auto& [name, fn] : impl_->callbacks) {
+    table.AddRow({name, "value", StrFormat("%.6g", fn()), "", "", "", ""});
+  }
+  return table;
+}
+
+bool MetricsRegistry::WriteJson(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    PD_LOG(WARNING) << "cannot open metrics file " << path;
+    return false;
+  }
+  const std::string json = ToJson();
+  const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  std::fclose(f);
+  if (!ok) {
+    PD_LOG(WARNING) << "short write to metrics file " << path;
+  }
+  return ok;
+}
+
+void MetricsRegistry::PrintTable() const { ToTable().Print("metrics"); }
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  for (auto& [name, metric] : impl_->metrics) {
+    if (auto* c = std::get_if<std::unique_ptr<Counter>>(&metric)) {
+      (*c)->Reset();
+    } else if (auto* g = std::get_if<std::unique_ptr<Gauge>>(&metric)) {
+      (*g)->Reset();
+    } else {
+      std::get<std::unique_ptr<Histogram>>(metric)->Reset();
+    }
+  }
+}
+
+namespace {
+
+void DumpMetricsAtExit() {
+  const char* path = std::getenv("PIPEDREAM_METRICS");
+  if (path != nullptr && path[0] != '\0') {
+    if (std::string(path) == "-") {
+      MetricsRegistry::Get().PrintTable();
+    } else {
+      MetricsRegistry::Get().WriteJson(path);
+    }
+  }
+  const char* table = std::getenv("PIPEDREAM_METRICS_TABLE");
+  if (table != nullptr && table[0] == '1') {
+    MetricsRegistry::Get().PrintTable();
+  }
+}
+
+struct MetricsEnvInit {
+  MetricsEnvInit() {
+    const char* path = std::getenv("PIPEDREAM_METRICS");
+    const char* table = std::getenv("PIPEDREAM_METRICS_TABLE");
+    if ((path != nullptr && path[0] != '\0') || (table != nullptr && table[0] == '1')) {
+      MetricsRegistry::Get();  // construct before atexit so destruction never races the dump
+      std::atexit(DumpMetricsAtExit);
+    }
+  }
+};
+MetricsEnvInit g_metrics_env_init;
+
+}  // namespace
+
+}  // namespace obs
+}  // namespace pipedream

@@ -1,0 +1,133 @@
+// Process-wide metrics registry: counters, gauges, and histograms under stable names.
+//
+// Replaces the scattered ad-hoc stats (pool counters read by hand, per-trainer peak-bytes
+// accessors, bench-local RunningStats) with one queryable registry:
+//
+//   obs::Counter* sends = obs::GetCounter("runtime/messages_sent");
+//   sends->Add();                                   // lock-free, relaxed atomic
+//   obs::GetHistogram("runtime/stage0/fwd_seconds")->Observe(dt);
+//
+// Hot paths hold the returned pointer (stable for the process lifetime); the name lookup
+// happens once. Sources that already maintain their own counters (the buffer pool, the
+// logging level counts) surface them through callback gauges — read lazily at dump time, so
+// the registry never inverts a layering dependency.
+//
+// Dumping: PIPEDREAM_METRICS=out.json writes a JSON snapshot at process exit ("-" prints
+// the aligned table to stdout instead); PIPEDREAM_METRICS_TABLE=1 additionally prints the
+// table. Programmatically: ToJson(), WriteJson(), ToTable(), PrintTable().
+//
+// WARNING/ERROR log lines are counted (see logging.h) and exposed as "log/warnings" and
+// "log/errors", so a run's health is visible in the same dump as its throughput.
+#ifndef SRC_OBS_METRICS_H_
+#define SRC_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+
+#include "src/common/stats.h"
+#include "src/common/table.h"
+
+namespace pipedream {
+namespace obs {
+
+// Monotonic event count. Add is wait-free.
+class Counter {
+ public:
+  void Add(int64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  void Increment() { Add(1); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+// Last-written (or maximum) level. Set/SetMax are wait-free.
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  // Raises the gauge to `v` if larger (high-water marks: mailbox depth, peak bytes).
+  void SetMax(int64_t v) {
+    int64_t cur = value_.load(std::memory_order_relaxed);
+    while (v > cur && !value_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+// Streaming distribution (count/mean/stddev/min/max) built on RunningStat. Observe takes an
+// uncontended mutex — cheap relative to the millisecond-scale quantities recorded here.
+class Histogram {
+ public:
+  void Observe(double x) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stat_.Add(x);
+  }
+  RunningStat snapshot() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stat_;
+  }
+  void Reset() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stat_ = RunningStat();
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  RunningStat stat_;
+};
+
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Get();
+
+  // Returns the metric registered under `name`, creating it on first use. The pointer is
+  // stable for the process lifetime. Registering one name as two different kinds aborts.
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  Histogram* GetHistogram(const std::string& name);
+
+  // Registers a value read lazily at dump time (pool stats, log counts — sources that keep
+  // their own counters). Re-registering a name replaces the callback.
+  void SetCallback(const std::string& name, std::function<double()> fn);
+
+  // JSON snapshot: {"counters": {...}, "gauges": {...}, "histograms": {name: {count, mean,
+  // stddev, min, max, sum}}, "values": {callback results}}. Keys sorted.
+  std::string ToJson() const;
+  // One row per metric via common/table (the end-of-run table).
+  Table ToTable() const;
+  bool WriteJson(const std::string& path) const;
+  void PrintTable() const;
+
+  // Zeroes every counter/gauge/histogram (callbacks are left registered). Brackets a
+  // measured region in tests and benches.
+  void Reset();
+
+ private:
+  MetricsRegistry();
+  struct Impl;
+  Impl* impl_;
+};
+
+// Convenience accessors.
+inline Counter* GetCounter(const std::string& name) {
+  return MetricsRegistry::Get().GetCounter(name);
+}
+inline Gauge* GetGauge(const std::string& name) {
+  return MetricsRegistry::Get().GetGauge(name);
+}
+inline Histogram* GetHistogram(const std::string& name) {
+  return MetricsRegistry::Get().GetHistogram(name);
+}
+
+}  // namespace obs
+}  // namespace pipedream
+
+#endif  // SRC_OBS_METRICS_H_

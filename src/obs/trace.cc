@@ -1,0 +1,397 @@
+#include "src/obs/trace.h"
+
+#include <algorithm>
+#include <array>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <deque>
+#include <mutex>
+
+#include "src/common/logging.h"
+#include "src/common/strings.h"
+
+namespace pipedream {
+namespace obs {
+namespace internal {
+
+std::atomic<bool> g_trace_enabled{false};
+
+}  // namespace internal
+
+namespace {
+
+int64_t ProcessStartNs() {
+  static const int64_t t0 = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                std::chrono::steady_clock::now().time_since_epoch())
+                                .count();
+  return t0;
+}
+
+// One ring slot. Every field is a relaxed atomic: the owning thread is the only writer, but
+// a flush may read concurrently (and a wrapping writer may overwrite what a flush is
+// reading) — relaxed atomics make that benign-by-construction instead of UB.
+struct Slot {
+  std::atomic<const char*> name{nullptr};
+  std::atomic<int64_t> start_ns{0};
+  std::atomic<int64_t> dur_ns{0};
+  std::atomic<int64_t> minibatch{-1};
+  std::atomic<int32_t> stage{-1};
+  std::atomic<uint8_t> phase{0};
+};
+
+struct TraceRing {
+  static constexpr uint64_t kCapacity = 1 << 14;  // 16384 events per thread
+
+  std::array<Slot, kCapacity> slots;
+  // Total events ever written; slot index is head % kCapacity. Published with release so a
+  // reader that acquires `head` sees every slot the owner filled before it.
+  std::atomic<uint64_t> head{0};
+
+  int track_id = 0;     // guarded by g_mutex
+  std::string label;    // guarded by g_mutex
+
+  void Record(const char* name, EventPhase phase, int64_t start_ns, int64_t dur_ns, int stage,
+              int64_t minibatch) {
+    const uint64_t i = head.load(std::memory_order_relaxed);
+    Slot& s = slots[i % kCapacity];
+    s.name.store(name, std::memory_order_relaxed);
+    s.start_ns.store(start_ns, std::memory_order_relaxed);
+    s.dur_ns.store(dur_ns, std::memory_order_relaxed);
+    s.minibatch.store(minibatch, std::memory_order_relaxed);
+    s.stage.store(stage, std::memory_order_relaxed);
+    s.phase.store(static_cast<uint8_t>(phase), std::memory_order_relaxed);
+    head.store(i + 1, std::memory_order_release);
+  }
+};
+
+struct Registry {
+  std::mutex mutex;
+  std::vector<TraceRing*> active;        // rings owned by live threads
+  std::vector<TraceRing*> free_rings;    // recycled from exited threads
+  std::deque<CollectedEvent> retired;    // events preserved from exited threads
+  int64_t dropped = 0;                   // ring-overflow overwrites (all time)
+  int next_track_id = 0;
+  std::string flush_path;                // PIPEDREAM_TRACE target ("" = none)
+};
+
+Registry& GetRegistry() {
+  static Registry* r = new Registry();  // leaky: outlives every thread and the atexit flush
+  return *r;
+}
+
+// Reads min(head, capacity) events out of a ring, oldest first. Caller holds no lock (slot
+// reads are atomic); `head` is acquired so fully published events are seen consistently.
+void DrainRing(const TraceRing& ring, int64_t* dropped, std::vector<CollectedEvent>* out) {
+  const uint64_t h = ring.head.load(std::memory_order_acquire);
+  const uint64_t n = std::min<uint64_t>(h, TraceRing::kCapacity);
+  *dropped += static_cast<int64_t>(h - n);
+  for (uint64_t i = h - n; i < h; ++i) {
+    const Slot& s = ring.slots[i % TraceRing::kCapacity];
+    const char* name = s.name.load(std::memory_order_relaxed);
+    if (name == nullptr) {
+      continue;  // slot claimed but not yet fully written by a racing writer
+    }
+    CollectedEvent e;
+    e.track_id = ring.track_id;
+    e.track = ring.label;
+    e.name = name;
+    e.phase = static_cast<EventPhase>(s.phase.load(std::memory_order_relaxed));
+    e.start_ns = s.start_ns.load(std::memory_order_relaxed);
+    e.dur_ns = s.dur_ns.load(std::memory_order_relaxed);
+    e.stage = static_cast<int>(s.stage.load(std::memory_order_relaxed));
+    e.minibatch = s.minibatch.load(std::memory_order_relaxed);
+    out->push_back(std::move(e));
+  }
+}
+
+// Thread-local handle. On thread exit the ring's events are preserved in the retired
+// backlog and the ring storage is recycled — worker threads are spawned per epoch, so rings
+// must not leak per thread.
+struct ThreadRingHandle {
+  TraceRing* ring = nullptr;
+  std::string pending_label;  // label set before the ring existed
+
+  ~ThreadRingHandle() {
+    if (ring == nullptr) {
+      return;
+    }
+    Registry& reg = GetRegistry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    std::vector<CollectedEvent> events;
+    DrainRing(*ring, &reg.dropped, &events);
+    for (CollectedEvent& e : events) {
+      reg.retired.push_back(std::move(e));
+    }
+    ring->head.store(0, std::memory_order_relaxed);
+    ring->label.clear();
+    reg.active.erase(std::find(reg.active.begin(), reg.active.end(), ring));
+    reg.free_rings.push_back(ring);
+  }
+};
+
+thread_local ThreadRingHandle t_ring_handle;
+
+TraceRing* GetThreadRing() {
+  ThreadRingHandle& handle = t_ring_handle;
+  if (handle.ring == nullptr) {
+    Registry& reg = GetRegistry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    TraceRing* ring;
+    if (!reg.free_rings.empty()) {
+      ring = reg.free_rings.back();
+      reg.free_rings.pop_back();
+    } else {
+      ring = new TraceRing();  // leaked by design; recycled across threads
+    }
+    ring->track_id = reg.next_track_id++;
+    ring->label = handle.pending_label.empty() ? StrFormat("thread-%d", ring->track_id)
+                                               : handle.pending_label;
+    reg.active.push_back(ring);
+    handle.ring = ring;
+  }
+  return handle.ring;
+}
+
+void FlushAtExit() {
+  Registry& reg = GetRegistry();
+  std::string path;
+  {
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    path = reg.flush_path;
+  }
+  if (!path.empty()) {
+    WriteTrace(path);
+  }
+}
+
+// Arms tracing from the environment. Runs once when any binary linking the tracer starts.
+struct TraceEnvInit {
+  TraceEnvInit() {
+    ProcessStartNs();  // pin the trace epoch as early as possible
+    const char* path = std::getenv("PIPEDREAM_TRACE");
+    if (path != nullptr && path[0] != '\0') {
+      GetRegistry().flush_path = path;
+      internal::g_trace_enabled.store(true, std::memory_order_relaxed);
+      std::atexit(FlushAtExit);
+    }
+  }
+};
+TraceEnvInit g_trace_env_init;
+
+// Escapes the characters JSON strings cannot contain raw. Labels and span names are ASCII
+// identifiers in practice; this keeps arbitrary input from producing invalid JSON.
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StrFormat("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string ArgsJson(int stage, int64_t minibatch) {
+  std::string args;
+  if (stage >= 0) {
+    args += StrFormat("\"stage\":%d", stage);
+  }
+  if (minibatch >= 0) {
+    if (!args.empty()) {
+      args += ',';
+    }
+    args += StrFormat("\"minibatch\":%lld", static_cast<long long>(minibatch));
+  }
+  return "{" + args + "}";
+}
+
+}  // namespace
+
+namespace internal {
+
+void RecordEvent(const char* name, EventPhase phase, int64_t start_ns, int64_t dur_ns,
+                 int stage, int64_t minibatch) {
+  GetThreadRing()->Record(name, phase, start_ns, dur_ns, stage, minibatch);
+}
+
+}  // namespace internal
+
+int64_t TraceClockNs() {
+  const int64_t now = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                          std::chrono::steady_clock::now().time_since_epoch())
+                          .count();
+  return now - ProcessStartNs();
+}
+
+void StartTracing() { internal::g_trace_enabled.store(true, std::memory_order_relaxed); }
+
+void StopTracing() { internal::g_trace_enabled.store(false, std::memory_order_relaxed); }
+
+void ClearTrace() {
+  Registry& reg = GetRegistry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  reg.retired.clear();
+  reg.dropped = 0;
+  for (TraceRing* ring : reg.active) {
+    ring->head.store(0, std::memory_order_relaxed);
+  }
+}
+
+std::vector<CollectedEvent> CollectEvents() {
+  Registry& reg = GetRegistry();
+  std::vector<CollectedEvent> events;
+  {
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    events.assign(reg.retired.begin(), reg.retired.end());
+    int64_t dropped = 0;
+    for (const TraceRing* ring : reg.active) {
+      DrainRing(*ring, &dropped, &events);
+    }
+  }
+  std::stable_sort(events.begin(), events.end(),
+                   [](const CollectedEvent& a, const CollectedEvent& b) {
+                     return a.start_ns < b.start_ns;
+                   });
+  return events;
+}
+
+int64_t DroppedEvents() {
+  Registry& reg = GetRegistry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  int64_t dropped = reg.dropped;
+  for (const TraceRing* ring : reg.active) {
+    const uint64_t h = ring->head.load(std::memory_order_acquire);
+    if (h > TraceRing::kCapacity) {
+      dropped += static_cast<int64_t>(h - TraceRing::kCapacity);
+    }
+  }
+  return dropped;
+}
+
+void SetThreadLabel(const std::string& label) {
+  SetThreadLogLabel(label);
+  ThreadRingHandle& handle = t_ring_handle;
+  handle.pending_label = label;
+  if (handle.ring != nullptr) {
+    Registry& reg = GetRegistry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    handle.ring->label = label;
+  }
+}
+
+void ChromeTraceWriter::AddThreadName(int tid, const std::string& name) {
+  lines_.push_back(StrFormat(
+      "{\"ph\":\"M\",\"pid\":0,\"tid\":%d,\"name\":\"thread_name\",\"args\":{\"name\":\"%s\"}}",
+      tid, JsonEscape(name).c_str()));
+}
+
+void ChromeTraceWriter::AddComplete(int tid, const char* name, int64_t ts_ns, int64_t dur_ns,
+                                    int stage, int64_t minibatch) {
+  // Chrome's ts/dur are microseconds; three decimals keep full nanosecond precision.
+  lines_.push_back(StrFormat("{\"ph\":\"X\",\"pid\":0,\"tid\":%d,\"name\":\"%s\",\"ts\":%.3f,"
+                             "\"dur\":%.3f,\"args\":%s}",
+                             tid, JsonEscape(name).c_str(),
+                             static_cast<double>(ts_ns) * 1e-3,
+                             static_cast<double>(dur_ns) * 1e-3,
+                             ArgsJson(stage, minibatch).c_str()));
+}
+
+void ChromeTraceWriter::AddInstant(int tid, const char* name, int64_t ts_ns, int stage,
+                                   int64_t minibatch) {
+  lines_.push_back(StrFormat("{\"ph\":\"i\",\"pid\":0,\"tid\":%d,\"name\":\"%s\",\"ts\":%.3f,"
+                             "\"s\":\"t\",\"args\":%s}",
+                             tid, JsonEscape(name).c_str(),
+                             static_cast<double>(ts_ns) * 1e-3,
+                             ArgsJson(stage, minibatch).c_str()));
+}
+
+std::string ChromeTraceWriter::ToJson() const {
+  std::string out = "{\n\"displayTimeUnit\":\"ms\",\n\"traceEvents\":[\n";
+  for (size_t i = 0; i < lines_.size(); ++i) {
+    out += lines_[i];
+    if (i + 1 < lines_.size()) {
+      out += ',';
+    }
+    out += '\n';
+  }
+  out += "]\n}\n";
+  return out;
+}
+
+bool ChromeTraceWriter::WriteTo(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    PD_LOG(WARNING) << "cannot open trace file " << path;
+    return false;
+  }
+  const std::string json = ToJson();
+  const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  std::fclose(f);
+  if (!ok) {
+    PD_LOG(WARNING) << "short write to trace file " << path;
+  }
+  return ok;
+}
+
+std::string TraceToChromeJson() {
+  const std::vector<CollectedEvent> events = CollectEvents();
+  ChromeTraceWriter writer;
+  // One thread_name metadata record per track, emitted before any of its events.
+  std::vector<int> named;
+  for (const CollectedEvent& e : events) {
+    if (std::find(named.begin(), named.end(), e.track_id) == named.end()) {
+      writer.AddThreadName(e.track_id, e.track);
+      named.push_back(e.track_id);
+    }
+  }
+  for (const CollectedEvent& e : events) {
+    if (e.phase == EventPhase::kSpan) {
+      writer.AddComplete(e.track_id, e.name, e.start_ns, e.dur_ns, e.stage, e.minibatch);
+    } else {
+      writer.AddInstant(e.track_id, e.name, e.start_ns, e.stage, e.minibatch);
+    }
+  }
+  return writer.ToJson();
+}
+
+bool WriteTrace(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    PD_LOG(WARNING) << "cannot open trace file " << path;
+    return false;
+  }
+  const std::string json = TraceToChromeJson();
+  const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  std::fclose(f);
+  if (!ok) {
+    PD_LOG(WARNING) << "short write to trace file " << path;
+    return false;
+  }
+  const int64_t dropped = DroppedEvents();
+  if (dropped > 0) {
+    PD_LOG(WARNING) << "trace ring overflow: " << dropped << " oldest events were dropped";
+  }
+  PD_LOG(INFO) << "wrote trace to " << path;
+  return true;
+}
+
+}  // namespace obs
+}  // namespace pipedream

@@ -1,0 +1,167 @@
+// Per-thread event tracing: the runtime's swimlane recorder.
+//
+// Every instrumented thread owns a fixed-capacity ring of timestamped events. Recording a
+// span costs one relaxed atomic load when tracing is disabled (the macro's constructor
+// checks a single global flag and does nothing else) and a handful of relaxed stores into
+// the calling thread's own ring when enabled — no locks on the hot path, no allocation, no
+// cross-thread contention. Rings are registered once per thread and drained at flush time
+// into Chrome trace_event JSON (chrome://tracing, Perfetto), one track per thread, so a
+// `piperun` 1F1B run renders as the paper's pipeline swimlane diagrams.
+//
+// Arming: set PIPEDREAM_TRACE=out.json in the environment and the trace is recorded for the
+// whole process and flushed to that path at exit; or call StartTracing()/StopTracing() and
+// WriteTrace()/CollectEvents() programmatically (tests, benches).
+//
+// The same JSON schema is emitted for the simulator's virtual-time traces via
+// ExecutionTrace::ToChromeJson (src/schedule/trace.h), so sim and real runs of one schedule
+// are directly overlayable — span names ("fwd", "bwd", ...) and args (stage, minibatch)
+// match event for event.
+//
+// Concurrency contract: each ring has exactly one writer (its owning thread). Readers
+// (CollectEvents / WriteTrace) synchronize on the ring's published head; every slot field is
+// a relaxed atomic, so a reader racing a wrapping writer may observe a mixed event but never
+// tears memory or trips TSan. Flush with workers quiesced for exact traces (the runtime
+// joins its workers per epoch, and the atexit flush runs after main).
+#ifndef SRC_OBS_TRACE_H_
+#define SRC_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pipedream {
+namespace obs {
+
+enum class EventPhase : uint8_t {
+  kSpan = 0,     // has a duration ("X" complete event in Chrome terms)
+  kInstant = 1,  // a point in time ("i")
+};
+
+// One event as drained from the rings (flush-side representation).
+struct CollectedEvent {
+  int track_id = 0;
+  std::string track;  // thread label (SetThreadLabel) or "thread-<id>"
+  const char* name = "";
+  EventPhase phase = EventPhase::kSpan;
+  int64_t start_ns = 0;
+  int64_t dur_ns = 0;
+  int stage = -1;        // -1 = not stage-scoped
+  int64_t minibatch = -1;  // -1 = not minibatch-scoped
+};
+
+namespace internal {
+extern std::atomic<bool> g_trace_enabled;
+void RecordEvent(const char* name, EventPhase phase, int64_t start_ns, int64_t dur_ns,
+                 int stage, int64_t minibatch);
+}  // namespace internal
+
+// Monotonic nanoseconds since process start (the trace clock).
+int64_t TraceClockNs();
+
+// True when events are being recorded. The only cost instrumentation pays when tracing is
+// off is this one relaxed load.
+inline bool TracingEnabled() {
+  return internal::g_trace_enabled.load(std::memory_order_relaxed);
+}
+
+// Programmatic arm/disarm. PIPEDREAM_TRACE=path arms at startup and writes at exit.
+void StartTracing();
+void StopTracing();
+
+// Drops every recorded event (all rings and the retired-thread backlog). Call only while no
+// instrumented thread is running — typically between runs in a test or bench.
+void ClearTrace();
+
+// Snapshot of all recorded events, oldest first (by start time). Events from threads that
+// have exited are included. If a ring overflowed, only its newest `capacity` events survive
+// (DroppedEvents() counts the overwritten ones).
+std::vector<CollectedEvent> CollectEvents();
+int64_t DroppedEvents();
+
+// Chrome trace_event JSON of everything recorded so far. WriteTrace returns false (and logs
+// a warning) on I/O failure.
+std::string TraceToChromeJson();
+bool WriteTrace(const std::string& path);
+
+// Names the calling thread's swimlane in the trace AND prefixes its PD_LOG lines (see
+// logging.h). The runtime labels its workers "s<stage>/r<replica>".
+void SetThreadLabel(const std::string& label);
+
+// Records an explicit span (for call sites that time a region themselves rather than using
+// the RAII macro — e.g. the mailbox stall accounting). No-op when tracing is off.
+inline void RecordSpan(const char* name, int64_t start_ns, int64_t dur_ns, int stage = -1,
+                       int64_t minibatch = -1) {
+  if (TracingEnabled()) {
+    internal::RecordEvent(name, EventPhase::kSpan, start_ns, dur_ns, stage, minibatch);
+  }
+}
+
+inline void RecordInstant(const char* name, int stage = -1, int64_t minibatch = -1) {
+  if (TracingEnabled()) {
+    internal::RecordEvent(name, EventPhase::kInstant, TraceClockNs(), 0, stage, minibatch);
+  }
+}
+
+// RAII span: records [construction, destruction) under `name`. `name` must be a string
+// literal (the ring stores the pointer, not a copy).
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name, int stage = -1, int64_t minibatch = -1) {
+    if (TracingEnabled()) {
+      name_ = name;
+      stage_ = stage;
+      minibatch_ = minibatch;
+      start_ns_ = TraceClockNs();
+    }
+  }
+  ~ScopedSpan() {
+    if (name_ != nullptr) {
+      internal::RecordEvent(name_, EventPhase::kSpan, start_ns_, TraceClockNs() - start_ns_,
+                            stage_, minibatch_);
+    }
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  const char* name_ = nullptr;
+  int64_t start_ns_ = 0;
+  int64_t minibatch_ = -1;
+  int stage_ = -1;
+};
+
+// Serializes events (wall-clock or virtual-time) as Chrome trace_event JSON. Shared by the
+// runtime flush and the simulator's ExecutionTrace::ToChromeJson so both substrates emit an
+// identical schema: one "M"/thread_name metadata event per track, "X" complete events with
+// ts/dur in microseconds and {stage, minibatch} args, "i" instants.
+class ChromeTraceWriter {
+ public:
+  void AddThreadName(int tid, const std::string& name);
+  void AddComplete(int tid, const char* name, int64_t ts_ns, int64_t dur_ns, int stage,
+                   int64_t minibatch);
+  void AddInstant(int tid, const char* name, int64_t ts_ns, int stage, int64_t minibatch);
+
+  std::string ToJson() const;
+  bool WriteTo(const std::string& path) const;
+
+ private:
+  std::vector<std::string> lines_;
+};
+
+}  // namespace obs
+}  // namespace pipedream
+
+#define PD_TRACE_CONCAT_INNER(a, b) a##b
+#define PD_TRACE_CONCAT(a, b) PD_TRACE_CONCAT_INNER(a, b)
+
+// PD_TRACE_SPAN("fwd", stage, minibatch) / PD_TRACE_SPAN("allreduce") — scoped span over
+// the rest of the enclosing block. ~single-atomic-load cheap when tracing is disabled.
+#define PD_TRACE_SPAN(...) \
+  ::pipedream::obs::ScopedSpan PD_TRACE_CONCAT(pd_trace_span_, __COUNTER__)(__VA_ARGS__)
+
+// PD_TRACE_INSTANT("deliver", stage, minibatch) — a point event on the calling thread.
+#define PD_TRACE_INSTANT(...) ::pipedream::obs::RecordInstant(__VA_ARGS__)
+
+#endif  // SRC_OBS_TRACE_H_

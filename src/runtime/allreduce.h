@@ -18,6 +18,7 @@
 
 #include "src/common/check.h"
 #include "src/graph/layer.h"
+#include "src/obs/trace.h"
 #include "src/tensor/ops.h"
 
 namespace pipedream {
@@ -42,6 +43,7 @@ class GradientAllReducer {
     if (round_participants == 1) {
       return true;
     }
+    PD_TRACE_SPAN("allreduce");
     PD_CHECK(slot >= 0 && slot < round_participants);
     std::unique_lock<std::mutex> lock(mutex_);
     if (aborted_) {
@@ -144,6 +146,7 @@ class FlushBarrier {
 
   // Blocks until all participants arrive. Returns false if the barrier was aborted.
   bool Arrive() {
+    PD_TRACE_SPAN("flush_wait");
     std::unique_lock<std::mutex> lock(mutex_);
     if (aborted_) {
       return false;

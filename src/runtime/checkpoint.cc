@@ -10,6 +10,8 @@
 
 #include "src/common/crc32.h"
 #include "src/common/strings.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 
 namespace pipedream {
 namespace {
@@ -227,6 +229,8 @@ std::string CheckpointManager::StagePath(int stage, int64_t epoch) const {
 
 Status CheckpointManager::SaveStage(int stage, int64_t epoch,
                                     const std::vector<Parameter*>& params) {
+  PD_TRACE_SPAN("checkpoint_save", stage);
+  obs::GetCounter("checkpoint/saves")->Increment();
   const std::string final_path = StagePath(stage, epoch);
   const std::string tmp_path = final_path + ".tmp";
   const Status status = SaveParameters(tmp_path, params);
@@ -248,6 +252,8 @@ Status CheckpointManager::SaveStage(int stage, int64_t epoch,
 
 Status CheckpointManager::LoadStage(int stage, int64_t epoch,
                                     const std::vector<Parameter*>& params) const {
+  PD_TRACE_SPAN("checkpoint_load", stage);
+  obs::GetCounter("checkpoint/loads")->Increment();
   return LoadParameters(StagePath(stage, epoch), params);
 }
 

@@ -20,6 +20,7 @@
 #include <type_traits>
 
 #include "src/common/crc32.h"
+#include "src/obs/trace.h"
 #include "src/schedule/work.h"
 #include "src/tensor/tensor.h"
 
@@ -65,11 +66,17 @@ class Mailbox {
  public:
   // Delivers a message (called from other workers' threads).
   void Deliver(PipeMessage message) {
+    PD_TRACE_INSTANT(message.type == WorkType::kForward ? "send_fwd" : "send_bwd", -1,
+                     message.minibatch);
     {
       std::lock_guard<std::mutex> lock(mutex_);
       auto& queue = message.type == WorkType::kForward ? forward_ : backward_;
       queue.emplace(message.minibatch, std::move(message));
       ++change_count_;
+      const int64_t depth = static_cast<int64_t>(forward_.size() + backward_.size());
+      if (depth > depth_hwm_) {
+        depth_hwm_ = depth;
+      }
     }
     cv_.notify_one();
   }
@@ -105,7 +112,16 @@ class Mailbox {
     }
     PipeMessage message = std::move(queue.begin()->second);
     queue.erase(queue.begin());
+    PD_TRACE_INSTANT(type == WorkType::kForward ? "recv_fwd" : "recv_bwd", -1,
+                     message.minibatch);
     return message;
+  }
+
+  // Largest queue occupancy (both work types) ever observed at delivery time. Survives
+  // Clear() so an epoch's peak backlog is still readable after the epoch drains.
+  int64_t DepthHighWater() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return depth_hwm_;
   }
 
   // Blocks until predicate(min_forward_id, min_backward_id) returns true, where each
@@ -153,11 +169,12 @@ class Mailbox {
   }
 
  private:
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable cv_;
   std::map<int64_t, PipeMessage> forward_;
   std::map<int64_t, PipeMessage> backward_;
   uint64_t change_count_ = 0;
+  int64_t depth_hwm_ = 0;
 };
 
 }  // namespace pipedream

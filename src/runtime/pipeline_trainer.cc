@@ -8,6 +8,8 @@
 #include "src/common/logging.h"
 #include "src/common/strings.h"
 #include "src/common/thread_pool.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/runtime/checkpoint.h"
 #include "src/tensor/ops.h"
 
@@ -34,6 +36,23 @@ Tensor FlattenTargets(const Tensor& targets) {
 }
 
 int64_t Lcm(int64_t a, int64_t b) { return a / std::gcd(a, b) * b; }
+
+// Times a scope into a registry histogram (seconds). Unlike ScopedSpan this is always on —
+// the metrics registry is the runtime's permanent record, not an opt-in trace.
+class ScopedHistTimer {
+ public:
+  explicit ScopedHistTimer(obs::Histogram* hist) : hist_(hist), t0_(obs::TraceClockNs()) {}
+  ~ScopedHistTimer() {
+    hist_->Observe(static_cast<double>(obs::TraceClockNs() - t0_) * 1e-9);
+  }
+
+  ScopedHistTimer(const ScopedHistTimer&) = delete;
+  ScopedHistTimer& operator=(const ScopedHistTimer&) = delete;
+
+ private:
+  obs::Histogram* hist_;
+  int64_t t0_;
+};
 
 }  // namespace
 
@@ -87,6 +106,15 @@ struct PipelineTrainer::StageRuntime {
   int64_t peak_stash_bytes = 0;               // logical (full-clone-equivalent) stash bytes
   int64_t peak_materialized_stash_bytes = 0;  // COW-aware: bytes stashes actually own
   int64_t peak_activation_bytes = 0;
+
+  // Registry metrics, resolved once per replica (name lookup off the hot path). Shared by
+  // all replicas of a stage — every underlying cell is thread-safe.
+  obs::Histogram* fwd_hist = nullptr;    // runtime/stage<N>/fwd_seconds
+  obs::Histogram* bwd_hist = nullptr;    // runtime/stage<N>/bwd_seconds
+  obs::Histogram* step_hist = nullptr;   // runtime/stage<N>/step_seconds
+  obs::Gauge* depth_gauge = nullptr;     // runtime/stage<N>/mailbox_depth_hwm
+  obs::Histogram* stall_frac = nullptr;  // runtime/stage<N>/stall_fraction (per epoch)
+  int64_t epoch_stall_ns = 0;            // time spent waiting for work this epoch attempt
 
   int64_t ActivationStashBytes() const {
     int64_t total = 0;
@@ -191,6 +219,11 @@ PipelineTrainer::PipelineTrainer(const Sequential& model, const PipelinePlan& pl
       if (rt->is_input) {
         rt->loader = std::make_unique<MinibatchLoader>(dataset_, batch_size_, seed_);
       }
+      rt->fwd_hist = obs::GetHistogram(StrFormat("runtime/stage%d/fwd_seconds", s));
+      rt->bwd_hist = obs::GetHistogram(StrFormat("runtime/stage%d/bwd_seconds", s));
+      rt->step_hist = obs::GetHistogram(StrFormat("runtime/stage%d/step_seconds", s));
+      rt->depth_gauge = obs::GetGauge(StrFormat("runtime/stage%d/mailbox_depth_hwm", s));
+      rt->stall_frac = obs::GetHistogram(StrFormat("runtime/stage%d/stall_fraction", s));
       by_stage_[static_cast<size_t>(s)].push_back(rt.get());
       runtimes_.push_back(std::move(rt));
     }
@@ -293,11 +326,17 @@ void PipelineTrainer::StageRuntime::RunEpoch() {
     };
     // Deadline-bounded wait: regain control every tick to heartbeat and observe aborts, so
     // a dead upstream can never wedge this worker forever.
+    const int64_t wait_begin_ns = obs::TraceClockNs();
     while (!mailbox.WaitUntilFor(ready, tick)) {
       Beat();
       ThrowIfEpochAborted();
     }
     Beat();
+    const int64_t waited_ns = obs::TraceClockNs() - wait_begin_ns;
+    if (waited_ns > 10'000) {  // ignore sub-10µs predicate churn; count real starvation
+      epoch_stall_ns += waited_ns;
+      obs::RecordSpan("stall", wait_begin_ns, waited_ns, stage);
+    }
     PD_CHECK(action.has_value());
 
     // Consult the fault plan with the minibatch this action is about to process.
@@ -361,6 +400,8 @@ void PipelineTrainer::StageRuntime::RunEpoch() {
 }
 
 void PipelineTrainer::StageRuntime::DoForward(int64_t minibatch, PipeMessage message) {
+  ScopedHistTimer fwd_timer(fwd_hist);
+  PD_TRACE_SPAN("fwd", stage, minibatch);
   weights->BeginForward(minibatch, message.input_version);
   Tensor out;
   if (trainer->options_.recompute_activations) {
@@ -404,6 +445,8 @@ void PipelineTrainer::StageRuntime::DoForward(int64_t minibatch, PipeMessage mes
 
 void PipelineTrainer::StageRuntime::DoBackward(PipeMessage message) {
   const int64_t minibatch = message.minibatch;
+  ScopedHistTimer bwd_timer(bwd_hist);
+  PD_TRACE_SPAN("bwd", stage, minibatch);
 
   weights->BeginBackward(minibatch);
   ModelContext recomputed;
@@ -467,8 +510,12 @@ void PipelineTrainer::StageRuntime::DoBackward(PipeMessage message) {
           throw EpochAbortedError{};
         }
       }
-      optimizer->Step(params);
-      weights->CommitUpdate();
+      {
+        ScopedHistTimer step_timer(step_hist);
+        PD_TRACE_SPAN("step", stage, minibatch);
+        optimizer->Step(params);
+        weights->CommitUpdate();
+      }
       peak_materialized_stash_bytes =
           std::max(peak_materialized_stash_bytes, weights->MaterializedStashBytes());
       accumulated = 0;
@@ -483,8 +530,12 @@ void PipelineTrainer::StageRuntime::DoBackward(PipeMessage message) {
       for (Parameter* p : params) {
         Scale(&p->grad, inv);
       }
-      optimizer->Step(params);
-      weights->CommitUpdate();
+      {
+        ScopedHistTimer step_timer(step_hist);
+        PD_TRACE_SPAN("step", stage, minibatch);
+        optimizer->Step(params);
+        weights->CommitUpdate();
+      }
       peak_materialized_stash_bytes =
           std::max(peak_materialized_stash_bytes, weights->MaterializedStashBytes());
       gpipe_round_bwd = 0;
@@ -552,6 +603,12 @@ void PipelineTrainer::NoteFailure(StageRuntime* rt, const std::string& reason) {
     failures_.push_back(std::move(record));
   }
   PD_LOG(WARNING) << "failure detected: " << reason;
+  obs::GetCounter("runtime/failures")->Increment();
+  PD_TRACE_INSTANT("failure");
+  // Start the recovery-latency clock at the FIRST failure of a burst (coincident failures
+  // are resolved by one recovery pass, whose latency is what the operator feels).
+  int64_t expected = 0;
+  failure_noted_ns_.compare_exchange_strong(expected, obs::TraceClockNs());
   epoch_abort_.store(true, std::memory_order_release);
   // Wake every blocked worker: mailbox waiters re-check the abort flag, collective waiters
   // observe the abort and unwind.
@@ -601,6 +658,7 @@ bool PipelineTrainer::RunRange(int64_t begin, int64_t end, EpochStats* stats) {
     rt->PrepareEpoch(begin, end, options_, plan_);
     rt->loss_sum = 0.0;
     rt->loss_count = 0;
+    rt->epoch_stall_ns = 0;
     rt->done.store(false, std::memory_order_relaxed);
     rt->dead.store(false, std::memory_order_relaxed);
     rt->work_items.store(0, std::memory_order_relaxed);
@@ -624,6 +682,7 @@ bool PipelineTrainer::RunRange(int64_t begin, int64_t end, EpochStats* stats) {
   for (StageRuntime* rt : active) {
     threads.emplace_back([this, rt, kernel_budget] {
       ScopedKernelBudget budget(kernel_budget);
+      obs::SetThreadLabel(StrFormat("s%d/r%d", rt->stage, rt->replica));
       try {
         rt->RunEpoch();
         rt->done.store(true, std::memory_order_release);
@@ -649,6 +708,7 @@ bool PipelineTrainer::RunRange(int64_t begin, int64_t end, EpochStats* stats) {
   std::thread watchdog;
   if (recovery_enabled_ || injector_ != nullptr) {
     watchdog = std::thread([this, &active, &watchdog_stop] {
+      obs::SetThreadLabel("watchdog");
       int64_t last_progress = -1;
       int64_t last_progress_ms = NowMillis();
       while (!watchdog_stop.load(std::memory_order_acquire)) {
@@ -699,7 +759,15 @@ bool PipelineTrainer::RunRange(int64_t begin, int64_t end, EpochStats* stats) {
     watchdog.join();
   }
   // Failed attempts still count toward the epoch's wall time (recovery is not free).
-  stats->wall_seconds += NowSeconds() - start;
+  const double attempt_seconds = NowSeconds() - start;
+  stats->wall_seconds += attempt_seconds;
+  for (StageRuntime* rt : active) {
+    rt->depth_gauge->SetMax(rt->mailbox.DepthHighWater());
+    if (attempt_seconds > 0) {
+      rt->stall_frac->Observe(static_cast<double>(rt->epoch_stall_ns) * 1e-9 /
+                              attempt_seconds);
+    }
+  }
   if (epoch_abort_.load(std::memory_order_acquire)) {
     return false;
   }
@@ -734,6 +802,8 @@ void PipelineTrainer::RestoreInitialWeights() {
 }
 
 int64_t PipelineTrainer::HandleFailureAndRestore() {
+  PD_TRACE_SPAN("recover");
+  obs::GetCounter("runtime/recoveries")->Increment();
   // Decide each dead replica's fate: eject it from a replicated stage (degraded mode) when
   // allowed, otherwise revive it for a respawn on the next attempt.
   std::vector<StageRuntime*> dead;
@@ -809,6 +879,11 @@ int64_t PipelineTrainer::HandleFailureAndRestore() {
     }
     resolved_failures_ = failures_.size();
   }
+  const int64_t noted_ns = failure_noted_ns_.exchange(0);
+  if (noted_ns != 0) {
+    obs::GetHistogram("runtime/recovery_seconds")
+        ->Observe(static_cast<double>(obs::TraceClockNs() - noted_ns) * 1e-9);
+  }
   return resume;
 }
 
@@ -856,6 +931,10 @@ EpochStats PipelineTrainer::TrainEpoch() {
   ++epochs_completed_;
   stats.recoveries = recoveries;
   stats.failures_detected = static_cast<int>(failures_.size() - failures_before);
+  if (stats.wall_seconds > 0 && stats.minibatches > 0) {
+    obs::GetHistogram("runtime/epoch_minibatches_per_sec")
+        ->Observe(static_cast<double>(stats.minibatches) / stats.wall_seconds);
+  }
   return stats;
 }
 

@@ -206,6 +206,7 @@ class PipelineTrainer {
   RecoveryOptions recovery_;
   bool recovery_enabled_ = false;
   std::atomic<bool> epoch_abort_{false};
+  std::atomic<int64_t> failure_noted_ns_{0};  // recovery-latency clock (first failure of a burst)
   std::mutex failure_mutex_;
   std::vector<FailureRecord> failures_;
   size_t resolved_failures_ = 0;  // records before this index have resumed_epoch filled in

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <map>
+#include <set>
 
 #include "src/common/strings.h"
+#include "src/obs/trace.h"
 
 namespace pipedream {
 
@@ -123,6 +125,34 @@ double ExecutionTrace::WorkerUtilization(int worker) const {
     return 0.0;
   }
   return busy.ToSeconds() / (last - first).ToSeconds();
+}
+
+namespace {
+
+obs::ChromeTraceWriter BuildChromeWriter(const std::vector<TraceEvent>& events) {
+  obs::ChromeTraceWriter writer;
+  std::set<int> workers;
+  for (const TraceEvent& e : events) {
+    workers.insert(e.worker);
+  }
+  for (int w : workers) {
+    writer.AddThreadName(w, StrFormat("worker %d", w));
+  }
+  for (const TraceEvent& e : events) {
+    writer.AddComplete(e.worker, e.type == WorkType::kForward ? "fwd" : "bwd",
+                       e.start.nanos(), (e.end - e.start).nanos(), e.stage, e.minibatch);
+  }
+  return writer;
+}
+
+}  // namespace
+
+std::string ExecutionTrace::ToChromeJson() const {
+  return BuildChromeWriter(events_).ToJson();
+}
+
+bool ExecutionTrace::WriteChromeJson(const std::string& path) const {
+  return BuildChromeWriter(events_).WriteTo(path);
 }
 
 std::string ExecutionTrace::RenderAscii(SimTime slot, int num_workers, int max_columns) const {

@@ -48,6 +48,13 @@ class ExecutionTrace {
   // the minibatch id, backward passes the id with a trailing '*', idle time a dot.
   std::string RenderAscii(SimTime slot, int num_workers, int max_columns = 64) const;
 
+  // Chrome trace_event JSON of this (virtual-time) trace, one track per worker. The schema —
+  // span names "fwd"/"bwd", {stage, minibatch} args — is identical to the runtime's
+  // wall-clock traces (src/obs/trace.h), so sim and real runs of one schedule overlay
+  // directly in Perfetto. WriteChromeJson returns false (and logs) on I/O failure.
+  std::string ToChromeJson() const;
+  bool WriteChromeJson(const std::string& path) const;
+
  private:
   std::vector<TraceEvent> events_;
 };

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "src/common/check.h"
+#include "src/obs/metrics.h"
 
 namespace pipedream {
 namespace {
@@ -122,6 +123,31 @@ BufferPool::Impl* BufferPool::impl() {
 BufferPool* BufferPool::Get() {
   static BufferPool* instance = new BufferPool;
   instance->impl();  // force Impl construction before any thread cache exists
+  // Surface the pool's own counters in the metrics registry as dump-time callbacks (reading
+  // the live atomics costs nothing until someone asks for a dump).
+  static const bool metrics_registered = [] {
+    obs::MetricsRegistry& metrics = obs::MetricsRegistry::Get();
+    metrics.SetCallback("pool/hits", [] {
+      return static_cast<double>(BufferPool::Get()->Snapshot().hits);
+    });
+    metrics.SetCallback("pool/misses", [] {
+      return static_cast<double>(BufferPool::Get()->Snapshot().misses);
+    });
+    metrics.SetCallback("pool/bypass", [] {
+      return static_cast<double>(BufferPool::Get()->Snapshot().bypass);
+    });
+    metrics.SetCallback("pool/bytes_in_flight", [] {
+      return static_cast<double>(BufferPool::Get()->Snapshot().bytes_in_flight);
+    });
+    metrics.SetCallback("pool/peak_bytes_in_flight", [] {
+      return static_cast<double>(BufferPool::Get()->Snapshot().peak_bytes_in_flight);
+    });
+    metrics.SetCallback("pool/bytes_parked", [] {
+      return static_cast<double>(BufferPool::Get()->Snapshot().bytes_parked);
+    });
+    return true;
+  }();
+  (void)metrics_registered;
   return instance;
 }
 

@@ -103,6 +103,31 @@ TEST(RunningStatTest, MeanAndVariance) {
   EXPECT_DOUBLE_EQ(stat.max(), 9.0);
 }
 
+TEST(RunningStatTest, EmptyStatReportsZeroNotSentinels) {
+  // min()/max() are initialized with +/-1e300 sentinels internally; an empty stat must never
+  // leak them (metric dumps and tables print min/max before any Add).
+  RunningStat stat;
+  EXPECT_EQ(stat.count(), 0);
+  EXPECT_DOUBLE_EQ(stat.min(), 0.0);
+  EXPECT_DOUBLE_EQ(stat.max(), 0.0);
+  EXPECT_DOUBLE_EQ(stat.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(stat.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(stat.stddev(), 0.0);
+  EXPECT_DOUBLE_EQ(stat.sum(), 0.0);
+}
+
+TEST(RunningStatTest, OneSample) {
+  RunningStat stat;
+  stat.Add(-3.5);
+  EXPECT_EQ(stat.count(), 1);
+  EXPECT_DOUBLE_EQ(stat.min(), -3.5);
+  EXPECT_DOUBLE_EQ(stat.max(), -3.5);
+  EXPECT_DOUBLE_EQ(stat.mean(), -3.5);
+  EXPECT_DOUBLE_EQ(stat.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(stat.stddev(), 0.0);
+  EXPECT_DOUBLE_EQ(stat.sum(), -3.5);
+}
+
 TEST(SampleSetTest, Quantiles) {
   SampleSet set;
   for (int i = 100; i >= 1; --i) {

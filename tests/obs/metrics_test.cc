@@ -1,0 +1,160 @@
+// Metrics registry: counter/gauge/histogram semantics, callback gauges, JSON/table dumps,
+// name-kind conflict detection, and thread-safety of concurrent updates.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/logging.h"
+#include "src/obs/metrics.h"
+
+namespace pipedream {
+namespace {
+
+TEST(MetricsTest, CounterAddsAndResets) {
+  obs::Counter* c = obs::GetCounter("test/counter_basic");
+  c->Reset();
+  c->Increment();
+  c->Add(4);
+  EXPECT_EQ(c->value(), 5);
+  // Same name returns the same object — hot paths cache the pointer.
+  EXPECT_EQ(obs::GetCounter("test/counter_basic"), c);
+  c->Reset();
+  EXPECT_EQ(c->value(), 0);
+}
+
+TEST(MetricsTest, GaugeSetAndSetMax) {
+  obs::Gauge* g = obs::GetGauge("test/gauge_basic");
+  g->Reset();
+  g->Set(7);
+  EXPECT_EQ(g->value(), 7);
+  g->SetMax(3);  // lower: no-op
+  EXPECT_EQ(g->value(), 7);
+  g->SetMax(11);  // higher: raises
+  EXPECT_EQ(g->value(), 11);
+}
+
+TEST(MetricsTest, HistogramObservesDistribution) {
+  obs::Histogram* h = obs::GetHistogram("test/hist_basic");
+  h->Reset();
+  for (double x : {1.0, 2.0, 3.0}) {
+    h->Observe(x);
+  }
+  const RunningStat stat = h->snapshot();
+  EXPECT_EQ(stat.count(), 3);
+  EXPECT_DOUBLE_EQ(stat.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(stat.min(), 1.0);
+  EXPECT_DOUBLE_EQ(stat.max(), 3.0);
+  EXPECT_DOUBLE_EQ(stat.sum(), 6.0);
+}
+
+TEST(MetricsTest, CallbackValuesAreReadAtDumpTime) {
+  int reads = 0;
+  obs::MetricsRegistry::Get().SetCallback("test/callback_value", [&reads] {
+    ++reads;
+    return 42.5;
+  });
+  EXPECT_EQ(reads, 0);  // lazy: registration does not invoke
+  const std::string json = obs::MetricsRegistry::Get().ToJson();
+  EXPECT_GE(reads, 1);
+  EXPECT_NE(json.find("\"test/callback_value\""), std::string::npos);
+  EXPECT_NE(json.find("42.5"), std::string::npos);
+  // Replace and confirm the new callback wins.
+  obs::MetricsRegistry::Get().SetCallback("test/callback_value", [] { return 7.0; });
+  const std::string json2 = obs::MetricsRegistry::Get().ToJson();
+  EXPECT_NE(json2.find("\"test/callback_value\": 7"), std::string::npos);
+}
+
+TEST(MetricsTest, JsonHasAllSectionsAndSortedMetrics) {
+  obs::GetCounter("test/json_counter")->Add(3);
+  obs::GetGauge("test/json_gauge")->Set(9);
+  obs::GetHistogram("test/json_hist")->Observe(0.25);
+  const std::string json = obs::MetricsRegistry::Get().ToJson();
+  const size_t counters = json.find("\"counters\"");
+  const size_t gauges = json.find("\"gauges\"");
+  const size_t histograms = json.find("\"histograms\"");
+  const size_t values = json.find("\"values\"");
+  ASSERT_NE(counters, std::string::npos);
+  ASSERT_NE(gauges, std::string::npos);
+  ASSERT_NE(histograms, std::string::npos);
+  ASSERT_NE(values, std::string::npos);
+  EXPECT_LT(counters, gauges);
+  EXPECT_LT(gauges, histograms);
+  EXPECT_LT(histograms, values);
+  EXPECT_NE(json.find("\"test/json_counter\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"test/json_gauge\": 9"), std::string::npos);
+  EXPECT_NE(json.find("\"test/json_hist\""), std::string::npos);
+  EXPECT_NE(json.find("\"count\": 1"), std::string::npos);
+  // The log-level callbacks are pre-registered by the registry itself.
+  EXPECT_NE(json.find("\"log/warnings\""), std::string::npos);
+  EXPECT_NE(json.find("\"log/errors\""), std::string::npos);
+}
+
+TEST(MetricsTest, TableListsEveryMetric) {
+  obs::GetCounter("test/table_counter")->Add(2);
+  obs::GetHistogram("test/table_hist")->Observe(1.5);
+  const Table table = obs::MetricsRegistry::Get().ToTable();
+  const std::string text = table.ToText();
+  EXPECT_NE(text.find("test/table_counter"), std::string::npos);
+  EXPECT_NE(text.find("test/table_hist"), std::string::npos);
+  EXPECT_NE(text.find("counter"), std::string::npos);
+  EXPECT_NE(text.find("histogram"), std::string::npos);
+}
+
+TEST(MetricsTest, ResetZeroesEverything) {
+  obs::Counter* c = obs::GetCounter("test/reset_counter");
+  obs::Gauge* g = obs::GetGauge("test/reset_gauge");
+  obs::Histogram* h = obs::GetHistogram("test/reset_hist");
+  c->Add(5);
+  g->Set(5);
+  h->Observe(5.0);
+  obs::MetricsRegistry::Get().Reset();
+  EXPECT_EQ(c->value(), 0);
+  EXPECT_EQ(g->value(), 0);
+  EXPECT_EQ(h->snapshot().count(), 0);
+}
+
+TEST(MetricsTest, ConcurrentCountersAreExact) {
+  obs::Counter* c = obs::GetCounter("test/concurrent_counter");
+  c->Reset();
+  obs::Gauge* g = obs::GetGauge("test/concurrent_gauge");
+  g->Reset();
+  obs::Histogram* h = obs::GetHistogram("test/concurrent_hist");
+  h->Reset();
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([=] {
+      for (int i = 0; i < kPerThread; ++i) {
+        c->Increment();
+        g->SetMax(t * kPerThread + i);
+        h->Observe(1.0);
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(c->value(), kThreads * kPerThread);
+  EXPECT_EQ(g->value(), kThreads * kPerThread - 1);  // the max ever fed to SetMax
+  EXPECT_EQ(h->snapshot().count(), kThreads * kPerThread);
+}
+
+TEST(MetricsTest, LogWarningsFlowIntoRegistry) {
+  const int64_t before = GetLogCount(LogLevel::kWarning);
+  PD_LOG(WARNING) << "metrics_test deliberate warning";
+  EXPECT_EQ(GetLogCount(LogLevel::kWarning), before + 1);
+  // The callback gauge reads the live count at dump time.
+  const std::string after_json = obs::MetricsRegistry::Get().ToJson();
+  EXPECT_NE(after_json.find("\"log/warnings\""), std::string::npos);
+}
+
+TEST(MetricsDeathTest, NameKindConflictAborts) {
+  obs::GetCounter("test/kind_conflict");
+  EXPECT_DEATH(obs::GetGauge("test/kind_conflict"), "kind");
+}
+
+}  // namespace
+}  // namespace pipedream

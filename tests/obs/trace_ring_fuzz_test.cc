@@ -1,0 +1,146 @@
+// Concurrency fuzz for the trace ring: many writer threads hammering their per-thread rings
+// while the main thread concurrently collects, flushes, and toggles tracing. The assertions
+// are deliberately weak (no crashes, no torn invariants that the API promises); the real
+// check is running this under TSan (`ctest -L fuzz` in the tsan preset), which proves the
+// relaxed-atomic slot protocol is data-race-free.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/strings.h"
+#include "src/obs/trace.h"
+
+namespace pipedream {
+namespace {
+
+class TraceRingFuzzTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::StopTracing();
+    obs::ClearTrace();
+  }
+  void TearDown() override {
+    obs::StopTracing();
+    obs::ClearTrace();
+  }
+};
+
+TEST_F(TraceRingFuzzTest, ConcurrentWritersAndReaders) {
+  constexpr int kWriters = 4;
+  constexpr int kEventsPerWriter = 50000;  // > ring capacity: exercises wrap + drop counting
+
+  obs::StartTracing();
+  std::atomic<bool> stop{false};
+  std::atomic<int> started{0};
+
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([w, &started] {
+      obs::SetThreadLabel(StrFormat("fuzz-%d", w));
+      started.fetch_add(1);
+      for (int i = 0; i < kEventsPerWriter; ++i) {
+        if ((i & 7) == 0) {
+          PD_TRACE_INSTANT("tick", w, i);
+        } else {
+          PD_TRACE_SPAN("work", w, i);
+        }
+      }
+    });
+  }
+
+  // Reader thread: collect + serialize concurrently with the writers (the documented racy
+  // read path — must be TSan-clean and must never return malformed events).
+  std::thread reader([&stop] {
+    while (!stop.load()) {
+      const auto events = obs::CollectEvents();
+      for (const auto& e : events) {
+        // Names always come from the literal pool; a torn slot is skipped, never invented.
+        ASSERT_TRUE(std::strcmp(e.name, "work") == 0 || std::strcmp(e.name, "tick") == 0);
+        ASSERT_GE(e.stage, -1);
+      }
+      (void)obs::TraceToChromeJson();
+      (void)obs::DroppedEvents();
+    }
+  });
+
+  for (auto& t : writers) {
+    t.join();
+  }
+  stop.store(true);
+  reader.join();
+  obs::StopTracing();
+
+  // Post-quiesce accounting must be exact: every event was either collected or counted
+  // as dropped.
+  const auto events = obs::CollectEvents();
+  const int64_t total = static_cast<int64_t>(kWriters) * kEventsPerWriter;
+  EXPECT_EQ(static_cast<int64_t>(events.size()) + obs::DroppedEvents(), total);
+
+  // Writer threads exited, so their events live in the retired backlog with their labels.
+  std::set<std::string> tracks;
+  for (const auto& e : events) {
+    tracks.insert(e.track);
+  }
+  for (int w = 0; w < kWriters; ++w) {
+    EXPECT_TRUE(tracks.count(StrFormat("fuzz-%d", w))) << "missing track fuzz-" << w;
+  }
+}
+
+TEST_F(TraceRingFuzzTest, StartStopTogglingUnderLoad) {
+  constexpr int kWriters = 3;
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([w, &stop] {
+      int64_t i = 0;
+      while (!stop.load()) {
+        PD_TRACE_SPAN("toggled", w, i++);
+      }
+    });
+  }
+  for (int round = 0; round < 200; ++round) {
+    obs::StartTracing();
+    std::this_thread::yield();
+    obs::StopTracing();
+  }
+  stop.store(true);
+  for (auto& t : writers) {
+    t.join();
+  }
+  // No assertion beyond "did not crash / race": the toggle is a relaxed flag, so events may
+  // or may not have landed. Collect once to exercise the drain path too.
+  (void)obs::CollectEvents();
+}
+
+TEST_F(TraceRingFuzzTest, RingRecyclingAcrossThreadGenerations) {
+  // Worker threads are spawned per epoch in the runtime; rings must recycle without losing
+  // retired events or leaking labels across generations.
+  obs::StartTracing();
+  for (int gen = 0; gen < 8; ++gen) {
+    std::thread t([gen] {
+      obs::SetThreadLabel(StrFormat("gen-%d", gen));
+      for (int i = 0; i < 100; ++i) {
+        PD_TRACE_SPAN("work", 0, gen * 100 + i);
+      }
+    });
+    t.join();
+  }
+  obs::StopTracing();
+  const auto events = obs::CollectEvents();
+  EXPECT_EQ(events.size(), 800u);
+  std::set<std::string> tracks;
+  for (const auto& e : events) {
+    tracks.insert(e.track);
+  }
+  for (int gen = 0; gen < 8; ++gen) {
+    EXPECT_TRUE(tracks.count(StrFormat("gen-%d", gen))) << "label lost in recycling: gen-" << gen;
+  }
+}
+
+}  // namespace
+}  // namespace pipedream

@@ -1,0 +1,375 @@
+// Trace-ring correctness: API behavior, Chrome JSON validity, and the end-to-end
+// 1F1B-ordering guarantee — a deterministic 2-stage/4-minibatch run whose emitted trace is
+// parsed back and asserted to contain exactly the expected span sequence per worker track,
+// with no overlapping compute spans on any track.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/data/dataset.h"
+#include "src/graph/loss.h"
+#include "src/graph/models.h"
+#include "src/obs/trace.h"
+#include "src/optim/sgd.h"
+#include "src/planner/plan.h"
+#include "src/profile/model_zoo.h"
+#include "src/runtime/pipeline_trainer.h"
+#include "src/simexec/pipeline_sim.h"
+
+namespace pipedream {
+namespace {
+
+// Minimal recursive-descent JSON validator — enough to prove the emitted trace is
+// structurally valid JSON (what chrome://tracing / Perfetto requires) without a JSON dep.
+class JsonScanner {
+ public:
+  explicit JsonScanner(const std::string& text) : text_(text) {}
+
+  bool Valid() {
+    SkipWs();
+    if (!Value()) {
+      return false;
+    }
+    SkipWs();
+    return pos_ == text_.size();
+  }
+
+ private:
+  bool Value() {
+    if (pos_ >= text_.size()) return false;
+    switch (text_[pos_]) {
+      case '{':
+        return Object();
+      case '[':
+        return Array();
+      case '"':
+        return String();
+      case 't':
+        return Literal("true");
+      case 'f':
+        return Literal("false");
+      case 'n':
+        return Literal("null");
+      default:
+        return Number();
+    }
+  }
+
+  bool Object() {
+    ++pos_;  // '{'
+    SkipWs();
+    if (Peek() == '}') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      SkipWs();
+      if (!String()) return false;
+      SkipWs();
+      if (Peek() != ':') return false;
+      ++pos_;
+      SkipWs();
+      if (!Value()) return false;
+      SkipWs();
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (Peek() == '}') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool Array() {
+    ++pos_;  // '['
+    SkipWs();
+    if (Peek() == ']') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      SkipWs();
+      if (!Value()) return false;
+      SkipWs();
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (Peek() == ']') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool String() {
+    if (Peek() != '"') return false;
+    ++pos_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '\\') {
+        pos_ += 2;
+        continue;
+      }
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      ++pos_;
+    }
+    return false;
+  }
+
+  bool Number() {
+    const size_t start = pos_;
+    if (Peek() == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E' || text_[pos_] == '+' ||
+            text_[pos_] == '-')) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  bool Literal(const char* word) {
+    const size_t n = std::strlen(word);
+    if (text_.compare(pos_, n, word) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  char Peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+  void SkipWs() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::StopTracing();
+    obs::ClearTrace();
+  }
+  void TearDown() override {
+    obs::StopTracing();
+    obs::ClearTrace();
+  }
+};
+
+TEST_F(TraceTest, DisabledRecordsNothing) {
+  ASSERT_FALSE(obs::TracingEnabled());
+  { PD_TRACE_SPAN("fwd", 0, 1); }
+  PD_TRACE_INSTANT("deliver", 0, 1);
+  EXPECT_TRUE(obs::CollectEvents().empty());
+}
+
+TEST_F(TraceTest, RecordsSpansAndInstants) {
+  obs::StartTracing();
+  {
+    PD_TRACE_SPAN("fwd", 2, 7);
+  }
+  PD_TRACE_INSTANT("deliver", 1, 3);
+  obs::RecordSpan("stall", /*start_ns=*/100, /*dur_ns=*/50, /*stage=*/0);
+  obs::StopTracing();
+
+  const auto events = obs::CollectEvents();
+  ASSERT_EQ(events.size(), 3u);
+  // CollectEvents sorts by start time; the explicit stall span has start_ns=100 (earliest).
+  EXPECT_STREQ(events[0].name, "stall");
+  EXPECT_EQ(events[0].dur_ns, 50);
+  EXPECT_EQ(events[0].stage, 0);
+  EXPECT_EQ(events[0].minibatch, -1);
+
+  const auto fwd = std::find_if(events.begin(), events.end(), [](const auto& e) {
+    return std::strcmp(e.name, "fwd") == 0;
+  });
+  ASSERT_NE(fwd, events.end());
+  EXPECT_EQ(fwd->phase, obs::EventPhase::kSpan);
+  EXPECT_EQ(fwd->stage, 2);
+  EXPECT_EQ(fwd->minibatch, 7);
+  EXPECT_GE(fwd->dur_ns, 0);
+
+  const auto inst = std::find_if(events.begin(), events.end(), [](const auto& e) {
+    return std::strcmp(e.name, "deliver") == 0;
+  });
+  ASSERT_NE(inst, events.end());
+  EXPECT_EQ(inst->phase, obs::EventPhase::kInstant);
+}
+
+TEST_F(TraceTest, ThreadLabelNamesTheTrack) {
+  obs::StartTracing();
+  obs::SetThreadLabel("s0/r0");
+  { PD_TRACE_SPAN("fwd", 0, 0); }
+  obs::StopTracing();
+  const auto events = obs::CollectEvents();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].track, "s0/r0");
+  obs::SetThreadLabel("");  // don't leak the label into other tests on this thread
+}
+
+TEST_F(TraceTest, ChromeJsonIsValidJson) {
+  obs::StartTracing();
+  obs::SetThreadLabel("s0/r0");
+  { PD_TRACE_SPAN("fwd", 0, 0); }
+  { PD_TRACE_SPAN("bwd", 0, 0); }
+  PD_TRACE_INSTANT("send_fwd", -1, 0);
+  obs::StopTracing();
+  obs::SetThreadLabel("");
+
+  const std::string json = obs::TraceToChromeJson();
+  JsonScanner scanner(json);
+  EXPECT_TRUE(scanner.Valid()) << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"thread_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"stage\":0"), std::string::npos);
+  EXPECT_NE(json.find("\"minibatch\":0"), std::string::npos);
+}
+
+TEST_F(TraceTest, JsonEscapesHostileLabels) {
+  obs::StartTracing();
+  obs::SetThreadLabel("evil\"label\\with\nnewline");
+  { PD_TRACE_SPAN("fwd", 0, 0); }
+  obs::StopTracing();
+  obs::SetThreadLabel("");
+  const std::string json = obs::TraceToChromeJson();
+  JsonScanner scanner(json);
+  EXPECT_TRUE(scanner.Valid()) << json;
+}
+
+TEST_F(TraceTest, RingOverflowDropsOldestAndCounts) {
+  obs::StartTracing();
+  constexpr int kOver = 100;
+  constexpr int kCapacity = 1 << 14;  // must match TraceRing::kCapacity
+  for (int i = 0; i < kCapacity + kOver; ++i) {
+    obs::RecordSpan("fwd", /*start_ns=*/i, /*dur_ns=*/1);
+  }
+  obs::StopTracing();
+  const auto events = obs::CollectEvents();
+  EXPECT_EQ(events.size(), static_cast<size_t>(kCapacity));
+  EXPECT_GE(obs::DroppedEvents(), static_cast<int64_t>(kOver));
+  // The survivors are the NEWEST events: the oldest surviving start_ns is exactly kOver.
+  int64_t min_start = events.front().start_ns;
+  for (const auto& e : events) {
+    min_start = std::min(min_start, e.start_ns);
+  }
+  EXPECT_EQ(min_start, kOver);
+}
+
+// The acceptance-criteria test: a deterministic 2-stage/4-minibatch 1F1B run, traced,
+// parsed back, and checked for (a) the exact 1F1B op sequence per stage and (b) no
+// overlapping compute spans on one track.
+TEST_F(TraceTest, TwoStage1F1BTraceHasExactScheduleOrder) {
+  // 2 classes x 32 samples / batch 16 = 4 minibatches per epoch.
+  const Dataset data = MakeGaussianMixture(2, 8, 32, 0.3, 11);
+  Rng rng(3);
+  const auto model = BuildMlpClassifier(8, {16, 16}, 2, &rng);
+  const int layers = static_cast<int>(model->size());
+  const PipelinePlan plan = MakeStraightPlan(layers, {layers / 2});
+  SoftmaxCrossEntropy loss;
+  Sgd sgd(0.01, 0.0);
+  PipelineTrainer trainer(*model, plan, &loss, sgd, &data, 16, /*seed=*/5);
+  ASSERT_EQ(trainer.batches_per_epoch(), 4);
+
+  obs::StartTracing();
+  trainer.TrainEpoch();
+  obs::StopTracing();
+
+  // Group compute spans by track; keep (name, minibatch) in start order.
+  struct Op {
+    std::string name;
+    int64_t minibatch;
+    int64_t start_ns;
+    int64_t end_ns;
+    int stage;
+  };
+  std::map<std::string, std::vector<Op>> by_track;
+  for (const auto& e : obs::CollectEvents()) {
+    if (e.phase != obs::EventPhase::kSpan) {
+      continue;
+    }
+    if (std::strcmp(e.name, "fwd") != 0 && std::strcmp(e.name, "bwd") != 0) {
+      continue;
+    }
+    by_track[e.track].push_back({e.name, e.minibatch, e.start_ns, e.start_ns + e.dur_ns,
+                                 e.stage});
+  }
+  ASSERT_EQ(by_track.size(), 2u) << "expected one track per stage worker";
+  ASSERT_TRUE(by_track.count("s0/r0"));
+  ASSERT_TRUE(by_track.count("s1/r1") == 0);  // replica index is per stage
+  ASSERT_TRUE(by_track.count("s1/r0"));
+
+  for (auto& [track, ops] : by_track) {
+    std::sort(ops.begin(), ops.end(),
+              [](const Op& a, const Op& b) { return a.start_ns < b.start_ns; });
+    // (b) worker exclusivity: compute spans on one track never overlap.
+    for (size_t i = 1; i < ops.size(); ++i) {
+      EXPECT_GE(ops[i].start_ns, ops[i - 1].end_ns)
+          << track << ": " << ops[i - 1].name << " mb " << ops[i - 1].minibatch
+          << " overlaps " << ops[i].name << " mb " << ops[i].minibatch;
+    }
+    for (const Op& op : ops) {
+      EXPECT_EQ(op.stage, track == "s0/r0" ? 0 : 1);
+    }
+  }
+
+  // (a) exact 1F1B order. Stage 0 has startup depth 2 (it admits two forwards before its
+  // first backward); stage 1 strictly alternates from the start.
+  const auto sequence = [&](const std::string& track) {
+    std::vector<std::pair<std::string, int64_t>> seq;
+    for (const Op& op : by_track[track]) {
+      seq.emplace_back(op.name, op.minibatch);
+    }
+    return seq;
+  };
+  const std::vector<std::pair<std::string, int64_t>> expected_s0 = {
+      {"fwd", 0}, {"fwd", 1}, {"bwd", 0}, {"fwd", 2},
+      {"bwd", 1}, {"fwd", 3}, {"bwd", 2}, {"bwd", 3}};
+  const std::vector<std::pair<std::string, int64_t>> expected_s1 = {
+      {"fwd", 0}, {"bwd", 0}, {"fwd", 1}, {"bwd", 1},
+      {"fwd", 2}, {"bwd", 2}, {"fwd", 3}, {"bwd", 3}};
+  EXPECT_EQ(sequence("s0/r0"), expected_s0);
+  EXPECT_EQ(sequence("s1/r0"), expected_s1);
+}
+
+// Sim parity: the virtual-time trace emits the same schema and passes the same validator.
+TEST_F(TraceTest, SimTraceEmitsIdenticalSchema) {
+  const ModelProfile profile = MakeVgg16Profile();
+  const PipelinePlan plan = MakeStraightPlan(profile.num_layers(), {10});
+  const auto topo = HardwareTopology::Flat(2, 1e9);
+  SimOptions options;
+  options.num_minibatches = 8;
+  options.record_trace = true;
+  const SimResult sim = SimulatePipeline(profile, plan, topo, options);
+  ASSERT_GT(sim.trace.size(), 0u);
+
+  const std::string json = sim.trace.ToChromeJson();
+  JsonScanner scanner(json);
+  EXPECT_TRUE(scanner.Valid()) << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"fwd\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"bwd\""), std::string::npos);
+  EXPECT_NE(json.find("\"stage\":"), std::string::npos);
+  EXPECT_NE(json.find("\"minibatch\":"), std::string::npos);
+  EXPECT_NE(json.find("worker 0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pipedream
