@@ -235,6 +235,7 @@ PartitionResult PartitionFlat(const ModelProfile& profile, int workers,
   result.plan = PipelinePlan(std::move(stages));
   result.plan.Validate(n);
   result.bottleneck_seconds = tables.A(0, n - 1, usable);
+  ChooseWeightModes(profile, options.device_memory_bytes, &result.plan);
   return result;
 }
 
@@ -316,6 +317,7 @@ PartitionResult PartitionHierarchical(const ModelProfile& profile,
   result.plan = PipelinePlan(std::move(stages));
   result.plan.Validate(n);
   result.bottleneck_seconds = top.A(0, n - 1, top_m);
+  ChooseWeightModes(profile, options.device_memory_bytes, &result.plan);
   return result;
 }
 
@@ -340,6 +342,39 @@ PartitionResult Partition(const ModelProfile& profile, const HardwareTopology& t
     }
   }
   return best;
+}
+
+int ChooseWeightModes(const ModelProfile& profile, int64_t device_memory_bytes,
+                      PipelinePlan* plan) {
+  if (device_memory_bytes <= 0 || plan->num_stages() == 0) {
+    return 0;
+  }
+  const int num_stages = plan->num_stages();
+  const int noam = plan->Noam();
+  std::vector<StageAssignment> stages = plan->stages();
+  int flipped = 0;
+  for (int s = 0; s < num_stages; ++s) {
+    StageAssignment& stage = stages[static_cast<size_t>(s)];
+    // 1F1B stash depth at this stage (same model as the predictor): the input stage holds
+    // NOAM in-flight minibatches, tapering to 1 at the output.
+    const int in_flight = std::max(
+        1, static_cast<int>(std::ceil(static_cast<double>(noam) *
+                                      static_cast<double>(num_stages - s) / num_stages)));
+    const int64_t weights = profile.ParamBytes(stage.begin_layer, stage.end_layer);
+    const int64_t activations = profile.ActivationBytes(stage.begin_layer, stage.end_layer);
+    const int64_t stashing_peak =
+        weights * (in_flight + 1) + activations * static_cast<int64_t>(in_flight);
+    if (stashing_peak > device_memory_bytes) {
+      // 2BW footprint (weights * 3 + activation stashes) is what the DP's stage_fits
+      // admitted, so the flipped stage is guaranteed to fit.
+      stage.weight_mode = WeightMode::kDoubleBuffered;
+      ++flipped;
+    }
+  }
+  if (flipped > 0) {
+    *plan = PipelinePlan(std::move(stages));
+  }
+  return flipped;
 }
 
 }  // namespace pipedream

@@ -57,6 +57,16 @@ PartitionResult PartitionHierarchical(const ModelProfile& profile,
 PartitionResult Partition(const ModelProfile& profile, const HardwareTopology& topology,
                           const PartitionerOptions& options = {});
 
+// Per-stage weight-mode selection under a device memory budget (2BW, the follow-up paper):
+// any stage whose kStashing peak — weights * (in_flight + 1) + activations * in_flight,
+// with in_flight the 1F1B stash depth — exceeds `device_memory_bytes` is flipped to
+// kDoubleBuffered, whose footprint (weights * 3 + activations * in_flight) is constant in
+// the pipeline depth. Returns the number of stages flipped; a zero/negative budget is
+// unconstrained and leaves the plan untouched. Called automatically by the Partition*
+// entry points when options.device_memory_bytes is set.
+int ChooseWeightModes(const ModelProfile& profile, int64_t device_memory_bytes,
+                      PipelinePlan* plan);
+
 }  // namespace pipedream
 
 #endif  // SRC_PLANNER_PARTITIONER_H_

@@ -12,6 +12,7 @@
 
 #include "src/common/check.h"
 #include "src/common/status.h"
+#include "src/common/weight_mode.h"
 #include "src/profile/layer_profile.h"
 
 namespace pipedream {
@@ -21,6 +22,10 @@ struct StageAssignment {
   int end_layer = 0;    // exclusive
   int replicas = 1;
   std::vector<int> workers;  // global worker ids; size() == replicas
+  // Weight-update discipline for this stage (§3.3; 2BW from the follow-up paper). The
+  // partitioner flips memory-squeezed stages to kDoubleBuffered when given a device budget;
+  // runtime options or PIPEDREAM_WEIGHT_MODE override it globally.
+  WeightMode weight_mode = WeightMode::kStashing;
 
   int num_layers() const { return end_layer - begin_layer; }
 };

@@ -95,10 +95,26 @@ PlanPrediction PredictPlan(const ModelProfile& profile, const PipelinePlan& plan
     sp.in_flight = std::max(
         1, static_cast<int>(std::ceil(static_cast<double>(noam) *
                                       static_cast<double>(num_stages - s) / num_stages)));
-    // Current weights + gradient buffer + (in_flight - 1) stashed versions + activation
-    // stashes for every in-flight minibatch.
-    sp.peak_memory_bytes = sp.weight_bytes * (sp.in_flight + 1) +
-                           sp.activation_stash_bytes * sp.in_flight;
+    // Activation stashes are held for every in-flight minibatch regardless of mode; the
+    // weight term is where the modes differ (§3.3 vs the 2BW follow-up).
+    sp.weight_mode = stage.weight_mode;
+    const int64_t weight_term = [&]() -> int64_t {
+      switch (stage.weight_mode) {
+        case WeightMode::kNaive:
+          // Current weights + gradient buffer, no versioning.
+          return sp.weight_bytes * 2;
+        case WeightMode::kDoubleBuffered:
+          // Current weights + ONE shadow buffer + the gradient accumulator — constant in
+          // the in-flight depth (the whole point of 2BW).
+          return sp.weight_bytes * 3;
+        case WeightMode::kStashing:
+        case WeightMode::kVerticalSync:
+          // Current weights + gradient buffer + (in_flight - 1) stashed versions.
+          return sp.weight_bytes * (sp.in_flight + 1);
+      }
+      return sp.weight_bytes * (sp.in_flight + 1);
+    }();
+    sp.peak_memory_bytes = weight_term + sp.activation_stash_bytes * sp.in_flight;
     prediction.max_worker_memory_bytes =
         std::max(prediction.max_worker_memory_bytes, sp.peak_memory_bytes);
   }

@@ -20,6 +20,7 @@ struct StagePrediction {
   int64_t weight_bytes = 0;            // per replica
   int64_t activation_stash_bytes = 0;  // per replica, one in-flight minibatch
   int in_flight = 1;                   // stashed minibatch depth at this stage under 1F1B
+  WeightMode weight_mode = WeightMode::kStashing;  // mode the memory model was priced under
   int64_t peak_memory_bytes = 0;       // per replica: weights, grads, stashes
 };
 

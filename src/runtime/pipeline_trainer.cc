@@ -68,6 +68,7 @@ struct PipelineTrainer::StageRuntime {
   std::unique_ptr<Sequential> model;
   std::vector<Parameter*> params;
   std::unique_ptr<Optimizer> optimizer;
+  WeightMode weight_mode = WeightMode::kStashing;  // resolved per stage at construction
   std::unique_ptr<WeightStore> weights;
   std::unique_ptr<MinibatchLoader> loader;  // input stages only
   GradientAllReducer* reducer = nullptr;    // replicated stages only
@@ -165,6 +166,20 @@ PipelineTrainer::PipelineTrainer(const Sequential& model, const PipelinePlan& pl
   plan_.Validate(num_model_layers_);
   PD_CHECK(loss != nullptr);
   PD_CHECK(dataset != nullptr);
+  if (const std::optional<WeightMode> env_mode = WeightModeFromEnv()) {
+    options_.weight_mode = env_mode;
+    if (*env_mode == WeightMode::kDoubleBuffered &&
+        options_.schedule == ScheduleKind::kOneFOneB) {
+      // The env override retrofits 2BW onto programs that never chose an accumulation
+      // boundary; raise it to the deepest stage's admission depth (the 2BW m >= d
+      // requirement) rather than aborting in the validation below. Programmatic callers
+      // still get the strict check.
+      for (int s = 0; s < plan_.num_stages(); ++s) {
+        options_.accumulation_steps =
+            std::max(options_.accumulation_steps, StartupDepth(plan_, s));
+      }
+    }
+  }
   if (options_.schedule != ScheduleKind::kOneFOneB) {
     PD_CHECK(plan_.IsStraight() || plan_.num_stages() == 1)
         << "GPipe/model-parallel runtime requires an unreplicated pipeline";
@@ -172,16 +187,31 @@ PipelineTrainer::PipelineTrainer(const Sequential& model, const PipelinePlan& pl
     // unnecessary (this is exactly GPipe's correctness argument).
     options_.weight_mode = WeightMode::kNaive;
   }
-  if (options_.weight_mode == WeightMode::kVerticalSync) {
-    PD_CHECK(plan_.IsStraight() || plan_.num_stages() == 1)
-        << "vertical sync is implemented for straight pipelines";
-  }
   PD_CHECK_GE(options_.accumulation_steps, 1);
-  if (options_.recompute_activations) {
-    // Recomputation re-runs the forward under the stashed weights, which requires a weight
-    // version that is pinned per minibatch.
-    PD_CHECK(options_.weight_mode != WeightMode::kNaive || options_.schedule != ScheduleKind::kOneFOneB)
-        << "recompute_activations under 1F1B requires weight stashing or vertical sync";
+  for (int s = 0; s < plan_.num_stages(); ++s) {
+    switch (StageWeightMode(s)) {
+      case WeightMode::kVerticalSync:
+        PD_CHECK(plan_.IsStraight() || plan_.num_stages() == 1)
+            << "vertical sync is implemented for straight pipelines";
+        break;
+      case WeightMode::kDoubleBuffered:
+        // Two buffers cover the in-flight minibatches only when at most one update commits
+        // between any minibatch's forward and backward — i.e. the accumulation boundary is
+        // at least this stage's 1F1B admission depth (the 2BW paper's m >= d requirement).
+        PD_CHECK_GE(options_.accumulation_steps, StartupDepth(plan_, s))
+            << "2BW at stage " << s << " needs accumulation_steps >= its in-flight depth "
+            << StartupDepth(plan_, s);
+        break;
+      case WeightMode::kNaive:
+      case WeightMode::kStashing:
+        break;
+    }
+    if (options_.recompute_activations && options_.schedule == ScheduleKind::kOneFOneB) {
+      // Recomputation re-runs the forward under the stashed weights, which requires a
+      // weight version that is pinned per minibatch.
+      PD_CHECK(StageWeightMode(s) != WeightMode::kNaive)
+          << "recompute_activations under 1F1B requires a versioned weight mode";
+    }
   }
 
   // Keep a pristine full copy for AssembleModel's structure and for recovery when no
@@ -214,7 +244,8 @@ PipelineTrainer::PipelineTrainer(const Sequential& model, const PipelinePlan& pl
                                    static_cast<size_t>(assignment.end_layer));
       rt->params = rt->model->Params();
       rt->optimizer = optimizer_prototype.CloneFresh();
-      rt->weights = std::make_unique<WeightStore>(rt->params, options_.weight_mode);
+      rt->weight_mode = StageWeightMode(s);
+      rt->weights = std::make_unique<WeightStore>(rt->params, rt->weight_mode);
       rt->reducer = stage_reducers_[static_cast<size_t>(s)].get();
       if (rt->is_input) {
         rt->loader = std::make_unique<MinibatchLoader>(dataset_, batch_size_, seed_);
@@ -232,6 +263,13 @@ PipelineTrainer::PipelineTrainer(const Sequential& model, const PipelinePlan& pl
 }
 
 PipelineTrainer::~PipelineTrainer() = default;
+
+WeightMode PipelineTrainer::StageWeightMode(int stage) const {
+  PD_CHECK(stage >= 0 && stage < plan_.num_stages());
+  // The global override (set explicitly, by PIPEDREAM_WEIGHT_MODE, or by a GPipe-family
+  // schedule forcing kNaive) wins; otherwise each stage runs the mode the planner assigned.
+  return options_.weight_mode ? *options_.weight_mode : plan_.stage(stage).weight_mode;
+}
 
 void PipelineTrainer::EnableRecovery(CheckpointManager* manager, RecoveryOptions options) {
   PD_CHECK_GE(options.heartbeat_timeout_ms, 1);
@@ -513,9 +551,11 @@ void PipelineTrainer::StageRuntime::DoBackward(PipeMessage message) {
       {
         ScopedHistTimer step_timer(step_hist);
         PD_TRACE_SPAN("step", stage, minibatch);
+        weights->BeginUpdate();  // 2BW: park the pre-update weights in the shadow buffer
         optimizer->Step(params);
         weights->CommitUpdate();
       }
+      peak_stash_bytes = std::max(peak_stash_bytes, weights->StashBytes());
       peak_materialized_stash_bytes =
           std::max(peak_materialized_stash_bytes, weights->MaterializedStashBytes());
       accumulated = 0;
@@ -533,6 +573,7 @@ void PipelineTrainer::StageRuntime::DoBackward(PipeMessage message) {
       {
         ScopedHistTimer step_timer(step_hist);
         PD_TRACE_SPAN("step", stage, minibatch);
+        weights->BeginUpdate();  // no-op: GPipe-family schedules force kNaive
         optimizer->Step(params);
         weights->CommitUpdate();
       }
@@ -638,6 +679,12 @@ int64_t PipelineTrainer::EpochLength() const {
   }
   if (options_.schedule == ScheduleKind::kGPipe) {
     round = Lcm(round, options_.gpipe_microbatches);
+  }
+  if (options_.schedule == ScheduleKind::kOneFOneB && options_.accumulation_steps > 1) {
+    // Update boundaries must also land on epoch boundaries: a tail shorter than one
+    // accumulation round would silently drop its gradients, and 2BW recovery relies on the
+    // accumulator being empty (and the shadow buffer dead) at every epoch boundary.
+    round = Lcm(round, options_.accumulation_steps);
   }
   const int64_t bpe = batches_per_epoch() / round * round;
   PD_CHECK_GT(bpe, 0) << "dataset too small for one synchronization round per epoch";
@@ -863,7 +910,7 @@ int64_t PipelineTrainer::HandleFailureAndRestore() {
   // Checkpoints hold parameters only: weight-version stashes and optimizer state restart
   // fresh (bitwise replay therefore needs a stateless optimizer; see DESIGN.md).
   for (auto& rt : runtimes_) {
-    rt->weights = std::make_unique<WeightStore>(rt->params, options_.weight_mode);
+    rt->weights = std::make_unique<WeightStore>(rt->params, rt->weight_mode);
     rt->optimizer = optimizer_prototype_->CloneFresh();
   }
 

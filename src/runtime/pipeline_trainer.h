@@ -23,6 +23,7 @@
 #include <atomic>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -45,7 +46,12 @@ class CheckpointManager;
 
 struct PipelineTrainerOptions {
   ScheduleKind schedule = ScheduleKind::kOneFOneB;
-  WeightMode weight_mode = WeightMode::kStashing;
+  // Global weight-mode override. Unset (the default), every stage uses the mode recorded in
+  // its PipelinePlan StageAssignment (kStashing unless the planner chose otherwise — the
+  // per-stage knob that lets a memory-squeezed stage run 2BW while its neighbours stash).
+  // Set, it forces one mode everywhere, as does the PIPEDREAM_WEIGHT_MODE env variable
+  // (naive|stashing|vertical_sync|double_buffered|2bw), which takes precedence over both.
+  std::optional<WeightMode> weight_mode;
   int gpipe_microbatches = 4;  // round size for ScheduleKind::kGPipe
   // Activation recomputation (§3.3 / Chen et al.): stash only each minibatch's stage *input*
   // and re-run the forward pass (under the stashed weights) just before the backward,
@@ -55,6 +61,8 @@ struct PipelineTrainerOptions {
   // Gradient accumulation (§3.3's "gradient aggregation"): apply the optimizer every
   // `accumulation_steps` minibatches with the summed gradients scaled by 1/steps, reducing
   // update frequency (and replica sync frequency) without changing the data stream.
+  // kDoubleBuffered requires this to cover each 2BW stage's in-flight depth (checked at
+  // construction) so two weight buffers always suffice.
   int accumulation_steps = 1;
 };
 
@@ -147,6 +155,11 @@ class PipelineTrainer {
   int64_t StagePeakActivationBytes(int stage) const;
 
   const PipelinePlan& plan() const { return plan_; }
+
+  // The weight mode `stage` actually runs: the PIPEDREAM_WEIGHT_MODE / options override
+  // when present, otherwise the plan's per-stage assignment (GPipe-family schedules force
+  // kNaive everywhere — flushes make versioning unnecessary).
+  WeightMode StageWeightMode(int stage) const;
 
   // Per-stage checkpointing (§4): each stage's replica-0 parameters are written for the
   // given epoch; LoadCheckpoint restores every stage (and broadcasts to replicas).

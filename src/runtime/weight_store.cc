@@ -5,18 +5,6 @@
 
 namespace pipedream {
 
-const char* WeightModeName(WeightMode mode) {
-  switch (mode) {
-    case WeightMode::kNaive:
-      return "naive";
-    case WeightMode::kStashing:
-      return "stashing";
-    case WeightMode::kVerticalSync:
-      return "vertical_sync";
-  }
-  return "?";
-}
-
 WeightStore::WeightStore(std::vector<Parameter*> params, WeightMode mode)
     : params_(std::move(params)), mode_(mode) {
   if (mode_ == WeightMode::kVerticalSync) {
@@ -48,6 +36,11 @@ void WeightStore::BeginForward(int64_t minibatch, int64_t input_version) {
       // Forward uses the latest weights as-is; the stash is taken in EndForward.
       stashes_[minibatch].version = version_;
       return;
+    case WeightMode::kDoubleBuffered:
+      // Forward always reads the latest buffer; only the version is recorded (the values
+      // live in either the live parameters or the shadow buffer at backward time).
+      stashes_[minibatch].version = version_;
+      return;
     case WeightMode::kVerticalSync: {
       const auto it = snapshots_.find(input_version);
       PD_CHECK(it != snapshots_.end())
@@ -77,6 +70,8 @@ void WeightStore::EndForward(int64_t minibatch) {
       stash.values = CopyParams();
       return;
     }
+    case WeightMode::kDoubleBuffered:
+      return;
     case WeightMode::kVerticalSync:
       PD_CHECK(swapped_);
       LoadParams(latest_);
@@ -103,6 +98,27 @@ int64_t WeightStore::BeginBackward(int64_t minibatch) {
       }
       pending_backward_version_ = it->second.version;
       return it->second.version;
+    }
+    case WeightMode::kDoubleBuffered: {
+      const auto it = stashes_.find(minibatch);
+      PD_CHECK(it != stashes_.end()) << "backward for unrecorded minibatch " << minibatch;
+      const int64_t v = it->second.version;
+      PD_CHECK(!swapped_);
+      if (v != version_) {
+        // The 2BW invariant: with gradient accumulation spanning at least the pipeline's
+        // in-flight depth, at most ONE update can commit between a minibatch's forward and
+        // its backward — so the shadow buffer always holds the version it needs.
+        PD_CHECK_EQ(v, version_ - 1)
+            << "2BW staleness invariant violated for minibatch " << minibatch
+            << ": forward ran at version " << v << " but the store is at version "
+            << version_ << " (accumulation boundary smaller than the in-flight depth?)";
+        PD_CHECK_EQ(shadow_version_, v);
+        latest_ = CopyParams();
+        LoadParams(shadow_);
+        swapped_ = true;
+      }
+      pending_backward_version_ = v;
+      return v;
     }
     case WeightMode::kVerticalSync: {
       const auto it = stashes_.find(minibatch);
@@ -150,8 +166,22 @@ void WeightStore::EndBackward(int64_t minibatch) {
   stashes_.erase(minibatch);
 }
 
+void WeightStore::BeginUpdate() {
+  if (mode_ != WeightMode::kDoubleBuffered) {
+    return;
+  }
+  PD_CHECK(!swapped_) << "update started while stashed weights are swapped in";
+  // Buffer flip: the weights the optimizer is about to overwrite become the shadow version.
+  // Copy-on-write makes this a refcount bump; bytes materialize only as the optimizer
+  // writes each parameter (MaterializedStashBytes tracks exactly that).
+  shadow_ = CopyParams();
+  shadow_version_ = version_;
+}
+
 void WeightStore::CommitUpdate() {
   PD_CHECK(!swapped_) << "update committed while stashed weights are swapped in";
+  PD_CHECK(mode_ != WeightMode::kDoubleBuffered || shadow_version_ == version_)
+      << "2BW update committed without a buffer flip (BeginUpdate not called)";
   if (pending_backward_version_ >= 0) {
     staleness_.Add(static_cast<double>(version_ - pending_backward_version_));
     pending_backward_version_ = -1;
@@ -173,6 +203,9 @@ int64_t WeightStore::StashBytes() const {
     for (const Tensor& t : values) {
       total += t.SizeBytes();
     }
+  }
+  for (const Tensor& t : shadow_) {
+    total += t.SizeBytes();
   }
   return total;
 }
@@ -202,6 +235,7 @@ int64_t WeightStore::MaterializedStashBytes() const {
   for (const auto& [v, values] : snapshots_) {
     count(values);
   }
+  count(shadow_);
   return total;
 }
 

@@ -1,20 +1,19 @@
-// Weight versioning for pipeline-parallel training (paper §3.3).
-//
-// Modes:
-//   kNaive        — no versioning. Forward and backward both use whatever the parameters are
-//                   at that moment, so a minibatch's backward generally runs against weights
-//                   that already absorbed other minibatches' updates — the "invalid
-//                   gradients" baseline the paper warns about.
-//   kStashing     — weight stashing: the forward pass uses the latest weights and stashes a
-//                   copy; the matching backward swaps the stash back in, so the gradient is a
-//                   valid gradient of the loss at the stashed weights.
-//   kVerticalSync — additionally pins the version *across* stages: each minibatch carries the
-//                   input stage's version number, and every stage runs both passes with its
-//                   own snapshot of that version.
+// Weight versioning for pipeline-parallel training (paper §3.3; 2BW from the follow-up
+// Memory-Efficient Pipeline-Parallel DNN Training — see src/common/weight_mode.h for the
+// mode taxonomy).
 //
 // The store wraps a stage replica's parameters in place: callers bracket passes with
-// BeginForward/EndForward and BeginBackward/EndBackward, and call CommitUpdate after each
-// optimizer step.
+// BeginForward/EndForward and BeginBackward/EndBackward, call BeginUpdate just before the
+// optimizer step, and CommitUpdate just after it.
+//
+// kDoubleBuffered protocol: the forward pass always reads the live (latest) weights and
+// records their version; the matching backward swaps in the *shadow* buffer when exactly
+// one update committed in between (the 2BW staleness-1 rule), and runs on the live weights
+// when none did. BeginUpdate parks the pre-update weights in the shadow buffer (a
+// copy-on-write bump), so the store holds at most two weight versions — current + shadow —
+// plus the gradient accumulator, regardless of how many minibatches are in flight. A
+// version gap of two or more aborts: it means the accumulation boundary is smaller than the
+// pipeline's in-flight depth, which 2BW forbids.
 #ifndef SRC_RUNTIME_WEIGHT_STORE_H_
 #define SRC_RUNTIME_WEIGHT_STORE_H_
 
@@ -23,17 +22,10 @@
 #include <vector>
 
 #include "src/common/stats.h"
+#include "src/common/weight_mode.h"
 #include "src/graph/layer.h"
 
 namespace pipedream {
-
-enum class WeightMode {
-  kNaive,
-  kStashing,
-  kVerticalSync,
-};
-
-const char* WeightModeName(WeightMode mode);
 
 class WeightStore {
  public:
@@ -54,6 +46,11 @@ class WeightStore {
   // applies to them) and releases the stash.
   int64_t BeginBackward(int64_t minibatch);
   void EndBackward(int64_t minibatch);
+
+  // Called immediately before the optimizer step. Under kDoubleBuffered this flips the
+  // buffers: the about-to-be-overwritten weights become the shadow version that in-flight
+  // minibatches forwarded under them will read at backward time. No-op in other modes.
+  void BeginUpdate();
 
   // Records that the optimizer applied one update to the (restored) latest weights.
   void CommitUpdate();
@@ -87,9 +84,15 @@ class WeightStore {
     int64_t version = 0;
   };
   std::map<int64_t, Stash> stashes_;        // minibatch id -> weights used by its forward
+                                            // (version only, no values, under 2BW)
   std::vector<Tensor> latest_;              // current weights parked during a swapped pass
   bool swapped_ = false;
   int64_t pending_backward_version_ = -1;   // version used by the in-progress backward
+
+  // Double buffering (2BW): the previous weight version, parked by BeginUpdate. Exactly one
+  // shadow exists no matter the pipeline depth.
+  std::vector<Tensor> shadow_;
+  int64_t shadow_version_ = -1;
 
   // Vertical sync: snapshots of this stage's weights by version, plus reference counts from
   // in-flight minibatches.

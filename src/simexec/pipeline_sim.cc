@@ -75,6 +75,18 @@ class PipelineSimulation {
   int RoundSize() const {
     return options_.schedule == ScheduleKind::kModelParallel ? 1 : options_.gpipe_microbatches;
   }
+  // Resolved weight mode for a stage: global override wins, otherwise the plan's per-stage
+  // assignment; GPipe-family schedules flush between rounds so versioning never applies.
+  WeightMode StageMode(int s) const {
+    if (IsGPipeLike()) {
+      return WeightMode::kNaive;
+    }
+    return options_.weight_mode ? *options_.weight_mode : plan_.stage(s).weight_mode;
+  }
+  // Backwards per replica between weight-sync collectives (gradient accumulation).
+  int64_t SyncRoundPerReplica() const {
+    return std::max(1, options_.accumulation_steps);
+  }
 
   const ModelProfile& profile_;
   PipelinePlan plan_;  // by value: a degraded restart rebuilds it without the dead replica
@@ -212,7 +224,7 @@ void PipelineSimulation::TryDispatch(Replica* r) {
   // single-replicated-stage special case) to the all_reduce rate.
   const StageInfo& stage_info = stages_[static_cast<size_t>(r->stage)];
   if (ready_bwd > 0 && plan_.stage(r->stage).replicas > 1 &&
-      r->bwd_done > stage_info.rounds_synced + 1) {
+      r->bwd_done > (stage_info.rounds_synced + 1) * SyncRoundPerReplica()) {
     ready_bwd = 0;
   }
   const bool exhausted = r->stage == 0 ? r->next_admission >= options_.num_minibatches
@@ -401,7 +413,9 @@ void PipelineSimulation::OnComplete(Replica* r, WorkType type, int64_t minibatch
     // engine.
     const int replicas = plan_.stage(r->stage).replicas;
     if (replicas > 1) {
-      if (++stage.bwd_in_round == replicas) {
+      // One collective per accumulation round: `replicas * accumulation_steps` backwards
+      // contribute to each synchronized update.
+      if (++stage.bwd_in_round == replicas * SyncRoundPerReplica()) {
         stage.bwd_in_round = 0;
         ++stage.rounds_started;
         const SimTime start = stage.sync_timeline.Acquire(
@@ -486,9 +500,23 @@ SimResult PipelineSimulation::Run() {
           r->busy_time.ToSeconds() / result.total_seconds;
     }
     const StageInfo& stage = stages_[static_cast<size_t>(r->stage)];
-    // Weight versions: current + gradient + (stash) stashed copies under weight stashing;
-    // GPipe keeps a single version (updates only at flushes).
-    const int64_t weight_copies = IsGPipeLike() ? 2 : 2 + std::max(0, r->peak_stash - 1);
+    // Weight-buffer count by mode: GPipe/naive keep current + gradient; stashing adds
+    // (stash depth - 1) full versions; 2BW adds exactly one shadow buffer regardless of the
+    // stash depth (the follow-up paper's constant-memory property).
+    int64_t weight_copies;
+    switch (StageMode(r->stage)) {
+      case WeightMode::kNaive:
+        weight_copies = 2;
+        break;
+      case WeightMode::kDoubleBuffered:
+        weight_copies = 3;
+        break;
+      case WeightMode::kStashing:
+      case WeightMode::kVerticalSync:
+      default:
+        weight_copies = 2 + std::max(0, r->peak_stash - 1);
+        break;
+    }
     int64_t activation_footprint;
     if (IsGPipeLike() && options_.gpipe_discard_activations) {
       // Only boundary inputs are stashed; one full activation set materializes during the

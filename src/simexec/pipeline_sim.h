@@ -10,8 +10,10 @@
 #ifndef SRC_SIMEXEC_PIPELINE_SIM_H_
 #define SRC_SIMEXEC_PIPELINE_SIM_H_
 
+#include <optional>
 #include <vector>
 
+#include "src/common/weight_mode.h"
 #include "src/planner/plan.h"
 #include "src/profile/layer_profile.h"
 #include "src/schedule/trace.h"
@@ -49,6 +51,15 @@ struct SimOptions {
   int64_t num_minibatches = 200;
   int gpipe_microbatches = 4;        // pipeline depth per flush for kGPipe
   int pipeline_depth_override = 0;   // 1F1B in-flight depth; 0 = the plan's startup depths
+  // Weight-update discipline, mirroring the runtime: unset = the plan's per-stage modes;
+  // set = a global override. Affects the memory model (kStashing scales with the stash
+  // depth, kDoubleBuffered is a constant 3x weights) — GPipe-family schedules are priced as
+  // kNaive regardless.
+  std::optional<WeightMode> weight_mode;
+  // Gradient accumulation boundary (§3.3 aggregation / the 2BW minibatch): replicated
+  // stages launch one weight-sync collective per `replicas * accumulation_steps` backwards
+  // instead of per `replicas`.
+  int accumulation_steps = 1;
   double gpipe_recompute_overhead = 0.0;  // extra backward time as a fraction of forward
                                           // (activation recomputation, Chen et al.)
   bool gpipe_discard_activations = false;  // stash only boundary activations (with recompute)

@@ -1,0 +1,39 @@
+#!/bin/sh
+# Documentation guard: every PIPEDREAM_* environment flag referenced anywhere in src/ must
+# be documented in README.md. Registered with ctest (label `docs`) so adding a flag without
+# documenting it fails the suite.
+#
+# Usage: check_env_flags.sh <repo_root>
+set -u
+
+repo_root="${1:-$(cd "$(dirname "$0")/../.." && pwd)}"
+readme="$repo_root/README.md"
+
+if [ ! -f "$readme" ]; then
+  echo "FAIL: README.md not found at $readme"
+  exit 1
+fi
+
+# Header guards (…_H_) match the same pattern but are not flags; drop them.
+flags=$(grep -rhoE 'PIPEDREAM_[A-Z_]+' "$repo_root/src" | grep -v '_H_$' | sort -u)
+
+if [ -z "$flags" ]; then
+  echo "FAIL: no PIPEDREAM_* flags found under $repo_root/src (wrong root?)"
+  exit 1
+fi
+
+missing=0
+for flag in $flags; do
+  if ! grep -q "$flag" "$readme"; then
+    echo "FAIL: $flag is referenced in src/ but not documented in README.md"
+    missing=1
+  fi
+done
+
+if [ "$missing" -ne 0 ]; then
+  exit 1
+fi
+
+count=$(echo "$flags" | wc -l)
+echo "OK: all $count PIPEDREAM_* env flags are documented in README.md"
+exit 0

@@ -157,6 +157,54 @@ TEST_F(FaultInjectionTest, KilledWorkerRecoversBitwise) {
   ExpectBitwiseEqual(*clean, *faulty);
 }
 
+TEST_F(FaultInjectionTest, Killed2bwWorkerRecoversBitwise) {
+  // Same kill/recover/replay scenario under WeightMode::kDoubleBuffered: param-only
+  // checkpoints are still sufficient for bitwise replay because the pipeline drains at
+  // epoch boundaries — the gradient accumulator is empty and the shadow buffer is dead
+  // (no in-flight minibatch can reference it), so a fresh WeightStore loses nothing.
+  const Dataset data = MakeGaussianMixture(3, 4, 48, 0.4, 7);
+  SoftmaxCrossEntropy loss;
+  Sgd sgd(0.05);
+  auto make_trainer = [&] {
+    Rng rng(1);
+    const auto model = BuildMlpClassifier(4, {8}, 3, &rng);
+    const auto plan = MakeStraightPlan(static_cast<int>(model->size()), {2});
+    PipelineTrainerOptions options;
+    options.weight_mode = WeightMode::kDoubleBuffered;
+    options.accumulation_steps = 2;  // covers the 2-stage pipeline's in-flight depth
+    return std::make_unique<PipelineTrainer>(*model, plan, &loss, sgd, &data, 8, /*seed=*/5,
+                                             options);
+  };
+
+  auto clean = make_trainer();
+  CheckpointManager clean_manager(Subdir("clean_2bw"));
+  clean->EnableRecovery(&clean_manager, FastRecovery());
+  for (int e = 0; e < 4; ++e) {
+    clean->TrainEpoch();
+  }
+
+  auto faulty = make_trainer();
+  CheckpointManager faulty_manager(Subdir("faulty_2bw"));
+  faulty->EnableRecovery(&faulty_manager, FastRecovery());
+  const int64_t bpe = faulty->batches_per_epoch();
+  FaultPlan plan;
+  plan.events.push_back({FaultKind::kKillWorker, /*stage=*/1, /*replica=*/0,
+                         /*minibatch=*/bpe + bpe / 2, WorkType::kForward, 0.0});
+  FaultInjector injector(plan);
+  faulty->SetFaultInjector(&injector);
+
+  faulty->TrainEpoch();                         // epoch 0: clean, checkpointed
+  const EpochStats hit = faulty->TrainEpoch();  // epoch 1: killed, recovered, replayed
+  EXPECT_EQ(hit.recoveries, 1);
+  faulty->TrainEpoch();
+  faulty->TrainEpoch();
+
+  EXPECT_EQ(injector.faults_fired(), 1);
+  ASSERT_EQ(faulty->failures().size(), 1u);
+  EXPECT_EQ(faulty->failures()[0].resumed_epoch, 0);
+  ExpectBitwiseEqual(*clean, *faulty);
+}
+
 TEST_F(FaultInjectionTest, KillBeforeFirstCheckpointRestoresInitialWeights) {
   const Dataset data = MakeGaussianMixture(3, 4, 48, 0.4, 7);
   SoftmaxCrossEntropy loss;

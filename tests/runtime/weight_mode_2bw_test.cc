@@ -1,0 +1,259 @@
+// PipeDream-2BW (WeightMode::kDoubleBuffered) semantics: the two-buffer version schedule,
+// equivalence with vanilla SGD in the degenerate single-stage case, and the constant-memory
+// property (one shadow buffer per stage regardless of the pipeline's in-flight depth).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/data/dataset.h"
+#include "src/data/loader.h"
+#include "src/graph/loss.h"
+#include "src/graph/models.h"
+#include "src/optim/sgd.h"
+#include "src/runtime/pipeline_trainer.h"
+#include "src/runtime/weight_store.h"
+#include "src/tensor/ops.h"
+
+namespace pipedream {
+namespace {
+
+constexpr int64_t kBatch = 8;
+constexpr uint64_t kSeed = 42;
+constexpr double kLr = 0.05;
+
+Dataset TestData() { return MakeGaussianMixture(3, 4, 32, 0.4, 7); }
+
+std::unique_ptr<Sequential> TestModel() {
+  Rng rng(kSeed);
+  return BuildMlpClassifier(4, {8}, 3, &rng);  // Dense, ReLU, Dense — 3 layers
+}
+
+// A deeper MLP that splits into 4 nonempty stages with the same total parameter count no
+// matter where the cuts land.
+std::unique_ptr<Sequential> DeepModel() {
+  Rng rng(kSeed);
+  return BuildMlpClassifier(4, {8, 8, 8}, 3, &rng);  // 7 layers
+}
+
+double ParamDiff(const Sequential& a, const Sequential& b) {
+  const auto pa = a.Params();
+  const auto pb = b.Params();
+  EXPECT_EQ(pa.size(), pb.size());
+  double worst = 0.0;
+  for (size_t i = 0; i < pa.size(); ++i) {
+    worst = std::max(worst, MaxAbsDiff(pa[i]->value, pb[i]->value));
+  }
+  return worst;
+}
+
+void SequentialSgd(Sequential* model, const Dataset& data, int64_t count) {
+  MinibatchLoader loader(&data, kBatch, kSeed);
+  SoftmaxCrossEntropy loss;
+  Sgd sgd(kLr);
+  const auto params = model->Params();
+  Tensor x;
+  Tensor y;
+  Tensor grad;
+  for (int64_t b = 0; b < count; ++b) {
+    loader.BatchAt(b, &x, &y);
+    model->ZeroGrads();
+    ModelContext ctx;
+    const Tensor out = model->Forward(x, &ctx, true);
+    loss.Compute(out, y, &grad);
+    model->Backward(grad, &ctx);
+    sgd.Step(params);
+  }
+}
+
+// Drives a WeightStore through the exact interleaving a 2-deep 1F1B stage sees with an
+// accumulation boundary of two, asserting the 2BW rule at every step: forwards read the
+// latest buffer, a backward whose forward ran one version ago reads the shadow buffer
+// (bitwise the pre-update weights), and BeginUpdate is what flips the buffers.
+TEST(WeightMode2bwTest, BufferVersionScheduleMatches2bwRule) {
+  auto model = TestModel();
+  const auto params = model->Params();
+  WeightStore store(params, WeightMode::kDoubleBuffered);
+  EXPECT_EQ(store.mode(), WeightMode::kDoubleBuffered);
+
+  // Warm-up phase: minibatches 0 and 1 forward and backward entirely at version 0.
+  store.BeginForward(0, 0);
+  store.EndForward(0);
+  store.BeginForward(1, 0);
+  store.EndForward(1);
+  EXPECT_EQ(store.BeginBackward(0), 0);
+  store.EndBackward(0);
+  // Minibatch 2 forwards at version 0 but will run its backward after the first update —
+  // the case the shadow buffer exists for.
+  store.BeginForward(2, 0);
+  store.EndForward(2);
+  EXPECT_EQ(store.BeginBackward(1), 0);
+  store.EndBackward(1);
+
+  // Snapshot the version-0 weights, then apply the "optimizer step" (any in-place write).
+  std::vector<Tensor> v0;
+  for (const Parameter* p : params) {
+    v0.push_back(p->value);
+  }
+  store.BeginUpdate();
+  for (Parameter* p : params) {
+    Scale(&p->value, 0.5f);
+  }
+  store.CommitUpdate();
+  EXPECT_EQ(store.version(), 1);
+
+  // A post-update forward reads the new buffer.
+  store.BeginForward(3, 0);
+  store.EndForward(3);
+
+  // Minibatch 2's backward: version gap of exactly one, so the store swaps the shadow in —
+  // the live parameters must be bitwise the pre-update weights for the whole pass.
+  std::vector<Tensor> v1;
+  for (const Parameter* p : params) {
+    v1.push_back(p->value);
+  }
+  EXPECT_EQ(store.BeginBackward(2), 0);
+  for (size_t i = 0; i < params.size(); ++i) {
+    EXPECT_EQ(MaxAbsDiff(params[i]->value, v0[i]), 0.0)
+        << "2BW backward did not read the shadow (pre-update) buffer";
+  }
+  store.EndBackward(2);
+  // EndBackward restores the current buffer.
+  for (size_t i = 0; i < params.size(); ++i) {
+    EXPECT_EQ(MaxAbsDiff(params[i]->value, v1[i]), 0.0);
+  }
+
+  // Minibatch 3 forwarded at version 1 == current: no swap, backward on the live buffer.
+  EXPECT_EQ(store.BeginBackward(3), 1);
+  for (size_t i = 0; i < params.size(); ++i) {
+    EXPECT_EQ(MaxAbsDiff(params[i]->value, v1[i]), 0.0);
+  }
+  store.EndBackward(3);
+}
+
+// Degenerate 2BW: one stage, accumulation boundary one. Every backward runs at the version
+// of its forward (the pipeline admits one minibatch at a time), so 2BW must be bitwise
+// vanilla SGD — the same guarantee stashing gives, via the other buffer-management scheme.
+TEST(WeightMode2bwTest, SingleStage2bwEqualsSequentialSgdBitwise) {
+  const Dataset data = TestData();
+  auto reference = TestModel();
+  const int64_t bpe = data.size() / kBatch;
+  SequentialSgd(reference.get(), data, 2 * bpe);
+
+  auto model = TestModel();
+  const auto plan = MakeDataParallelPlan(static_cast<int>(model->size()), 1);
+  SoftmaxCrossEntropy loss;
+  Sgd sgd(kLr);
+  PipelineTrainerOptions options;
+  options.weight_mode = WeightMode::kDoubleBuffered;
+  PipelineTrainer trainer(*model, plan, &loss, sgd, &data, kBatch, kSeed, options);
+  EXPECT_EQ(trainer.StageWeightMode(0), WeightMode::kDoubleBuffered);
+  trainer.TrainEpoch();
+  trainer.TrainEpoch();
+
+  EXPECT_EQ(ParamDiff(*trainer.AssembleModel(), *reference), 0.0);
+}
+
+// 2BW staleness is a constant one version for every stage (the follow-up paper's update
+// rule W(t+1) = W(t) - lr * grad(W(t-1))), unlike stashing's depth-dependent n-1-s.
+TEST(WeightMode2bwTest, StalenessBoundedByOneAtEveryStage) {
+  const Dataset data = TestData();
+  auto model = TestModel();
+  const auto plan = MakeStraightPlan(static_cast<int>(model->size()), {2});
+  SoftmaxCrossEntropy loss;
+  Sgd sgd(kLr);
+  PipelineTrainerOptions options;
+  options.weight_mode = WeightMode::kDoubleBuffered;
+  options.accumulation_steps = 2;  // covers the 2-stage pipeline's in-flight depth
+  PipelineTrainer trainer(*model, plan, &loss, sgd, &data, kBatch, kSeed, options);
+  trainer.TrainEpoch();
+  trainer.TrainEpoch();
+
+  for (int s = 0; s < plan.num_stages(); ++s) {
+    EXPECT_GT(trainer.StageStaleness(s).count(), 0);
+    EXPECT_LE(trainer.StageStaleness(s).max(), 1.0) << "stage " << s;
+  }
+}
+
+// The constant-memory property: summed across stages, 2BW's materialized stash bytes are
+// exactly one copy of the model regardless of depth, while kStashing's footprint grows
+// with the in-flight depth.
+TEST(WeightMode2bwTest, MaterializedStashBytesConstantInDepth) {
+  const Dataset data = TestData();  // 12 batches/epoch, divisible by both boundaries below
+
+  const auto run = [&](WeightMode mode, const std::vector<int>& cuts,
+                       int accumulation) -> int64_t {
+    auto model = DeepModel();
+    const auto plan = MakeStraightPlan(static_cast<int>(model->size()), cuts);
+    SoftmaxCrossEntropy loss;
+    Sgd sgd(kLr);
+    PipelineTrainerOptions options;
+    options.weight_mode = mode;
+    options.accumulation_steps = accumulation;
+    PipelineTrainer trainer(*model, plan, &loss, sgd, &data, kBatch, kSeed, options);
+    trainer.TrainEpoch();
+    trainer.TrainEpoch();
+    int64_t total = 0;
+    for (int s = 0; s < plan.num_stages(); ++s) {
+      total += trainer.StagePeakMaterializedStashBytes(s);
+    }
+    return total;
+  };
+
+  const std::vector<int> depth2 = {3};
+  const std::vector<int> depth4 = {2, 4, 6};
+  const int64_t two_bw_d2 = run(WeightMode::kDoubleBuffered, depth2, /*accumulation=*/2);
+  const int64_t two_bw_d4 = run(WeightMode::kDoubleBuffered, depth4, /*accumulation=*/4);
+  const int64_t stash_d2 = run(WeightMode::kStashing, depth2, /*accumulation=*/1);
+  const int64_t stash_d4 = run(WeightMode::kStashing, depth4, /*accumulation=*/1);
+
+  // One shadow copy of the whole model, independent of how it is partitioned.
+  EXPECT_GT(two_bw_d2, 0);
+  EXPECT_EQ(two_bw_d2, two_bw_d4);
+  // Stashing holds (in-flight - 1) extra versions per stage; deepening the pipeline grows
+  // the footprint.
+  EXPECT_GT(stash_d4, stash_d2);
+}
+
+// Per-stage mode resolution: a plan may mix disciplines, and the runtime must honour each
+// stage's assignment when no global override is set.
+TEST(WeightMode2bwTest, PerStagePlanModesAreHonoured) {
+  const Dataset data = TestData();
+  auto model = TestModel();
+  std::vector<StageAssignment> stages;
+  StageAssignment s0;
+  s0.begin_layer = 0;
+  s0.end_layer = 2;
+  s0.workers = {0};
+  s0.weight_mode = WeightMode::kDoubleBuffered;
+  stages.push_back(s0);
+  StageAssignment s1;
+  s1.begin_layer = 2;
+  s1.end_layer = 3;
+  s1.workers = {1};
+  s1.weight_mode = WeightMode::kStashing;
+  stages.push_back(s1);
+  const PipelinePlan plan(std::move(stages));
+
+  SoftmaxCrossEntropy loss;
+  Sgd sgd(kLr);
+  PipelineTrainerOptions options;
+  options.accumulation_steps = 2;  // the 2BW stage's in-flight depth
+  PipelineTrainer trainer(*model, plan, &loss, sgd, &data, kBatch, kSeed, options);
+  EXPECT_EQ(trainer.StageWeightMode(0), WeightMode::kDoubleBuffered);
+  EXPECT_EQ(trainer.StageWeightMode(1), WeightMode::kStashing);
+  const EpochStats stats = trainer.TrainEpoch();
+  EXPECT_GT(stats.minibatches, 0);
+  EXPECT_LE(trainer.StageStaleness(0).max(), 1.0);
+
+  // A global override beats the plan's per-stage assignments.
+  PipelineTrainerOptions forced = options;
+  forced.weight_mode = WeightMode::kStashing;
+  PipelineTrainer forced_trainer(*model, plan, &loss, sgd, &data, kBatch, kSeed, forced);
+  EXPECT_EQ(forced_trainer.StageWeightMode(0), WeightMode::kStashing);
+  EXPECT_EQ(forced_trainer.StageWeightMode(1), WeightMode::kStashing);
+}
+
+}  // namespace
+}  // namespace pipedream
