@@ -31,6 +31,24 @@ std::string NumberJson(double v) { return StrFormat("%.17g", v); }
 
 }  // namespace
 
+double Histogram::Quantile(double q) const {
+  PD_CHECK(q >= 0.0 && q <= 1.0);
+  std::vector<double> sorted;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    sorted = samples_;
+  }
+  if (sorted.empty()) {
+    return 0.0;
+  }
+  std::sort(sorted.begin(), sorted.end());
+  const double idx = q * static_cast<double>(sorted.size() - 1);
+  const size_t lo = static_cast<size_t>(idx);
+  const size_t hi = lo + 1 < sorted.size() ? lo + 1 : lo;
+  const double frac = idx - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
 struct MetricsRegistry::Impl {
   using Metric = std::variant<std::unique_ptr<Counter>, std::unique_ptr<Gauge>,
                               std::unique_ptr<Histogram>>;

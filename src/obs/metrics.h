@@ -26,6 +26,7 @@
 #include <functional>
 #include <mutex>
 #include <string>
+#include <vector>
 
 #include "src/common/stats.h"
 #include "src/common/table.h"
@@ -62,26 +63,49 @@ class Gauge {
   std::atomic<int64_t> value_{0};
 };
 
-// Streaming distribution (count/mean/stddev/min/max) built on RunningStat. Observe takes an
-// uncontended mutex — cheap relative to the millisecond-scale quantities recorded here.
+// Streaming distribution (count/mean/stddev/min/max plus quantiles) built on RunningStat
+// and a bounded sample reservoir. Observe takes an uncontended mutex — cheap relative to
+// the millisecond-scale quantities recorded here.
 class Histogram {
  public:
   void Observe(double x) {
     std::lock_guard<std::mutex> lock(mutex_);
     stat_.Add(x);
+    if (samples_.size() < kMaxSamples) {
+      samples_.push_back(x);
+    } else {
+      // Uniform reservoir sampling with a deterministic (seeded) generator: every
+      // observation survives with probability kMaxSamples / count, and identical
+      // observation sequences produce identical quantiles.
+      rng_ = rng_ * 6364136223846793005ULL + 1442695040888963407ULL;
+      const uint64_t slot = (rng_ >> 33) % static_cast<uint64_t>(stat_.count());
+      if (slot < kMaxSamples) {
+        samples_[static_cast<size_t>(slot)] = x;
+      }
+    }
   }
   RunningStat snapshot() const {
     std::lock_guard<std::mutex> lock(mutex_);
     return stat_;
   }
+  // Quantile in [0, 1] by linear interpolation over the retained samples — exact while the
+  // observation count is below the reservoir bound (65536), a uniform subsample beyond.
+  // Returns 0 for an empty histogram. This is what tail-latency consumers (the serving
+  // runtime's p50/p99/p999) read.
+  double Quantile(double q) const;
   void Reset() {
     std::lock_guard<std::mutex> lock(mutex_);
     stat_ = RunningStat();
+    samples_.clear();
   }
 
  private:
+  static constexpr size_t kMaxSamples = 1 << 16;
+
   mutable std::mutex mutex_;
   RunningStat stat_;
+  std::vector<double> samples_;
+  uint64_t rng_ = 0x9E3779B97F4A7C15ULL;
 };
 
 class MetricsRegistry {

@@ -4,11 +4,19 @@
 // barrier: each iteration snapshots the current shared weights, computes gradients locally,
 // and applies them to whatever the shared weights have become — the classic stale-gradient
 // regime whose poor statistical efficiency the paper contrasts with 1F1B + weight stashing.
+//
+// Structurally the parameter store is a server: workers ship each minibatch's gradient as a
+// message over the same MessageTransport the pipeline runtime uses, and a parameter-server
+// loop applies arrivals in order. A worker blocks until its own gradient is acknowledged
+// before snapshotting again (its own update is never stale to itself, matching the classic
+// in-place formulation); staleness still comes from the other workers' interleaving — or,
+// single-threaded, from the controlled `staleness_depth` snapshot delay.
 #ifndef SRC_RUNTIME_ASP_TRAINER_H_
 #define SRC_RUNTIME_ASP_TRAINER_H_
 
-#include <memory>
+#include <condition_variable>
 #include <deque>
+#include <memory>
 #include <mutex>
 #include <vector>
 
@@ -16,6 +24,7 @@
 #include "src/graph/loss.h"
 #include "src/graph/sequential.h"
 #include "src/optim/optimizer.h"
+#include "src/runtime/transport.h"
 
 namespace pipedream {
 
@@ -43,6 +52,9 @@ class AspTrainer {
   int64_t epochs_completed() const { return epochs_completed_; }
 
  private:
+  // Applies one gradient message to the shared parameters (parameter-server loop body).
+  void ApplyGradient(PipeMessage message);
+
   int workers_;
   const Loss* loss_;
   const Dataset* dataset_;
@@ -56,6 +68,14 @@ class AspTrainer {
   int staleness_depth_;
   // Ring buffer of past parameter versions (guarded by mutex_), newest last.
   std::deque<std::vector<Tensor>> history_;
+
+  // Gradient ingress: workers send to endpoint (0, 0); the epoch's server loop drains it.
+  std::unique_ptr<MessageTransport> transport_;
+  Mailbox* server_inbox_ = nullptr;
+  std::vector<int64_t> acked_;  // per-worker applied-gradient counts (guarded by ack_mutex_)
+  std::mutex ack_mutex_;
+  std::condition_variable ack_cv_;
+
   int64_t epochs_completed_ = 0;
   int64_t next_global_batch_ = 0;
 };

@@ -72,7 +72,7 @@ struct PipelineTrainer::StageRuntime {
   std::unique_ptr<WeightStore> weights;
   std::unique_ptr<MinibatchLoader> loader;  // input stages only
   GradientAllReducer* reducer = nullptr;    // replicated stages only
-  Mailbox mailbox;
+  Mailbox* mailbox = nullptr;  // this worker's transport endpoint (owned by the transport)
 
   // --- round-robin rotation (rebalanced when a dead replica is ejected)
   int rr_rank = 0;  // position in the stage's active rotation
@@ -218,6 +218,15 @@ PipelineTrainer::PipelineTrainer(const Sequential& model, const PipelinePlan& pl
   // checkpoint exists yet.
   template_model_ = model.Clone();
 
+  // Resolve the stage-to-stage transport: env override, then the programmatic choice, then
+  // in-proc mailboxes. Every worker inbox is an endpoint of this one transport, so no
+  // runtime component ever routes around it.
+  std::optional<TransportKind> transport_kind = TransportKindFromEnv();
+  if (!transport_kind.has_value()) {
+    transport_kind = options_.transport;
+  }
+  transport_ = MakeTransport(transport_kind.value_or(TransportKind::kInProc));
+
   const int num_stages = plan_.num_stages();
   stage_reducers_.resize(static_cast<size_t>(num_stages));
   by_stage_.resize(static_cast<size_t>(num_stages));
@@ -247,6 +256,7 @@ PipelineTrainer::PipelineTrainer(const Sequential& model, const PipelinePlan& pl
       rt->weight_mode = StageWeightMode(s);
       rt->weights = std::make_unique<WeightStore>(rt->params, rt->weight_mode);
       rt->reducer = stage_reducers_[static_cast<size_t>(s)].get();
+      rt->mailbox = transport_->AddEndpoint(s, r);
       if (rt->is_input) {
         rt->loader = std::make_unique<MinibatchLoader>(dataset_, batch_size_, seed_);
       }
@@ -260,6 +270,8 @@ PipelineTrainer::PipelineTrainer(const Sequential& model, const PipelinePlan& pl
     }
   }
   active_by_stage_ = by_stage_;
+  const Status started = transport_->Start();
+  PD_CHECK(started.ok()) << "transport start failed: " << started.ToString();
 }
 
 PipelineTrainer::~PipelineTrainer() = default;
@@ -365,7 +377,7 @@ void PipelineTrainer::StageRuntime::RunEpoch() {
     // Deadline-bounded wait: regain control every tick to heartbeat and observe aborts, so
     // a dead upstream can never wedge this worker forever.
     const int64_t wait_begin_ns = obs::TraceClockNs();
-    while (!mailbox.WaitUntilFor(ready, tick)) {
+    while (!mailbox->WaitUntilFor(ready, tick)) {
       Beat();
       ThrowIfEpochAborted();
     }
@@ -403,7 +415,7 @@ void PipelineTrainer::StageRuntime::RunEpoch() {
         loader->BatchAt(minibatch, &message.payload, &message.targets);
         message.input_version = weights->version();
       } else {
-        std::optional<PipeMessage> taken = mailbox.Take(WorkType::kForward);
+        std::optional<PipeMessage> taken = mailbox->Take(WorkType::kForward);
         PD_CHECK(taken.has_value());
         PD_CHECK_EQ(taken->minibatch, next_forward);
         if (!VerifyChecksum(*taken)) {
@@ -419,7 +431,7 @@ void PipelineTrainer::StageRuntime::RunEpoch() {
       ++fwd_started;
       DoForward(minibatch, std::move(message));
     } else {
-      std::optional<PipeMessage> taken = mailbox.Take(WorkType::kBackward);
+      std::optional<PipeMessage> taken = mailbox->Take(WorkType::kBackward);
       PD_CHECK(taken.has_value());
       PD_CHECK_EQ(taken->minibatch, next_backward);
       if (!VerifyChecksum(*taken)) {
@@ -592,7 +604,7 @@ void PipelineTrainer::StageRuntime::DoBackward(PipeMessage message) {
         throw EpochAbortedError{};
       }
       static_cast<GPipePolicy*>(policy.get())->OnFlushComplete();
-      mailbox.Poke();
+      mailbox->Poke();
       return;
     }
   }
@@ -628,7 +640,10 @@ void PipelineTrainer::Send(StageRuntime* from, int dest_stage, PipeMessage messa
                    static_cast<size_t>(message.payload.SizeBytes()));
     }
   }
-  RuntimeFor(dest_stage, message.minibatch)->mailbox.Deliver(std::move(message));
+  // Route by the active rotation (a degraded stage re-maps minibatches to survivors), but
+  // address the transport endpoint by the destination's fixed plan coordinates.
+  StageRuntime* dest = RuntimeFor(dest_stage, message.minibatch);
+  transport_->Send(dest->stage, dest->replica, std::move(message));
 }
 
 void PipelineTrainer::NoteFailure(StageRuntime* rt, const std::string& reason) {
@@ -654,7 +669,7 @@ void PipelineTrainer::NoteFailure(StageRuntime* rt, const std::string& reason) {
   // Wake every blocked worker: mailbox waiters re-check the abort flag, collective waiters
   // observe the abort and unwind.
   for (auto& runtime : runtimes_) {
-    runtime->mailbox.Poke();
+    runtime->mailbox->Poke();
   }
   for (auto& reducer : stage_reducers_) {
     if (reducer != nullptr) {
@@ -699,9 +714,12 @@ bool PipelineTrainer::RunRange(int64_t begin, int64_t end, EpochStats* stats) {
     active.insert(active.end(), stage_active.begin(), stage_active.end());
   }
   const int64_t now_ms = NowMillis();
+  // Settle the transport before clearing inboxes: a frame still crossing a socket when the
+  // previous attempt aborted must land (and be discarded) now, not mid-replay.
+  transport_->Drain();
   for (StageRuntime* rt : active) {
     // Messages in flight when a previous attempt aborted must not leak into this one.
-    rt->mailbox.Clear();
+    rt->mailbox->Clear();
     rt->PrepareEpoch(begin, end, options_, plan_);
     rt->loss_sum = 0.0;
     rt->loss_count = 0;
@@ -809,7 +827,7 @@ bool PipelineTrainer::RunRange(int64_t begin, int64_t end, EpochStats* stats) {
   const double attempt_seconds = NowSeconds() - start;
   stats->wall_seconds += attempt_seconds;
   for (StageRuntime* rt : active) {
-    rt->depth_gauge->SetMax(rt->mailbox.DepthHighWater());
+    rt->depth_gauge->SetMax(rt->mailbox->DepthHighWater());
     if (attempt_seconds > 0) {
       rt->stall_frac->Observe(static_cast<double>(rt->epoch_stall_ns) * 1e-9 /
                               attempt_seconds);

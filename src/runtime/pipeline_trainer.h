@@ -36,6 +36,7 @@
 #include "src/runtime/allreduce.h"
 #include "src/runtime/fault.h"
 #include "src/runtime/mailbox.h"
+#include "src/runtime/transport.h"
 #include "src/runtime/weight_store.h"
 #include "src/schedule/policy.h"
 #include "src/simexec/pipeline_sim.h"
@@ -64,6 +65,10 @@ struct PipelineTrainerOptions {
   // kDoubleBuffered requires this to cover each 2BW stage's in-flight depth (checked at
   // construction) so two weight buffers always suffice.
   int accumulation_steps = 1;
+  // Stage-to-stage message transport. Unset = in-proc mailboxes; the PIPEDREAM_TRANSPORT
+  // env variable (inproc|socket) takes precedence over both, mirroring the weight-mode
+  // override discipline.
+  std::optional<TransportKind> transport;
 };
 
 // Tuning for failure detection and recovery. Defaults suit unit-test-sized models; real
@@ -205,6 +210,7 @@ class PipelineTrainer {
   int num_model_layers_;
   std::unique_ptr<Optimizer> optimizer_prototype_;  // fresh-state source for recovery
 
+  std::unique_ptr<MessageTransport> transport_;  // owns every stage inbox; outlives runtimes_
   std::vector<std::unique_ptr<StageRuntime>> runtimes_;           // flattened, owns all
   std::vector<std::vector<StageRuntime*>> by_stage_;              // [stage][replica], fixed
   std::vector<std::vector<StageRuntime*>> active_by_stage_;       // shrinks on ejection

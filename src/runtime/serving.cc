@@ -1,0 +1,221 @@
+#include "src/runtime/serving.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <string>
+#include <utility>
+
+#include "src/common/check.h"
+#include "src/common/thread_pool.h"
+#include "src/obs/metrics.h"
+
+namespace pipedream {
+namespace {
+
+int64_t NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// PIPEDREAM_SERVE_QUEUE_DEPTH override for the admission window. Aborts on garbage (a typo
+// silently keeping the default would invalidate a backpressure measurement).
+int AdmissionWindowFromEnvOr(int fallback) {
+  const char* raw = std::getenv("PIPEDREAM_SERVE_QUEUE_DEPTH");
+  if (raw == nullptr || raw[0] == '\0') {
+    return fallback;
+  }
+  char* end = nullptr;
+  const long value = std::strtol(raw, &end, 10);
+  PD_CHECK(end != raw && *end == '\0' && value >= 1)
+      << "PIPEDREAM_SERVE_QUEUE_DEPTH must be a positive integer, got '" << raw << "'";
+  return static_cast<int>(value);
+}
+
+}  // namespace
+
+PipelineServer::PipelineServer(const Sequential& model, const PipelinePlan& plan,
+                               ServingOptions options)
+    : plan_(plan), options_(options) {
+  plan_.Validate(static_cast<int>(model.size()));
+  PD_CHECK(plan_.IsStraight())
+      << "PipelineServer serves straight plans only (one replica per stage)";
+  max_inflight_ = AdmissionWindowFromEnvOr(options_.max_inflight);
+  PD_CHECK_GE(max_inflight_, 1);
+
+  std::optional<TransportKind> kind = TransportKindFromEnv();
+  if (!kind.has_value()) {
+    kind = options_.transport;
+  }
+  transport_ = MakeTransport(kind);
+
+  const int stages = plan_.num_stages();
+  stage_models_.reserve(static_cast<size_t>(stages));
+  stage_inboxes_.reserve(static_cast<size_t>(stages) + 1);
+  for (int s = 0; s < stages; ++s) {
+    const StageAssignment& assignment = plan_.stage(s);
+    stage_models_.push_back(model.CloneSlice(static_cast<size_t>(assignment.begin_layer),
+                                             static_cast<size_t>(assignment.end_layer)));
+    stage_inboxes_.push_back(transport_->AddEndpoint(s, 0));
+  }
+  // The egress collector is one endpoint past the last stage: the final stage "sends
+  // downstream" exactly as it would in training, and the collector is just another server.
+  egress_ = transport_->AddEndpoint(stages, 0);
+  stage_inboxes_.push_back(egress_);
+
+  latency_ = obs::GetHistogram(std::string("serve/") + transport_->name() +
+                               "/request_seconds");
+}
+
+PipelineServer::~PipelineServer() { Stop(); }
+
+Status PipelineServer::Start() {
+  PD_CHECK(!started_) << "PipelineServer::Start called twice";
+  started_ = true;
+  const Status status = transport_->Start();
+  if (!status.ok()) {
+    return status;
+  }
+  const int stages = plan_.num_stages();
+  const int kernel_budget = KernelBudgetForWorkers(stages);
+  stage_threads_.reserve(static_cast<size_t>(stages));
+  for (int s = 0; s < stages; ++s) {
+    stage_threads_.emplace_back([this, s, kernel_budget] {
+      ScopedKernelBudget budget(kernel_budget);
+      StageLoop(s);
+    });
+  }
+  collector_ = std::thread([this] { CollectLoop(); });
+  return Status::Ok();
+}
+
+int64_t PipelineServer::Submit(Tensor input) {
+  int64_t id;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    PD_CHECK(started_ && !stopped_) << "Submit outside the Start/Stop window";
+    window_cv_.wait(lock, [this] { return inflight_ < max_inflight_; });
+    id = next_id_++;
+    ++inflight_;
+    start_ns_[id] = NowNs();
+  }
+  PipeMessage message;
+  message.minibatch = id;
+  message.type = WorkType::kForward;
+  message.payload = std::move(input);
+  StampChecksum(&message);
+  transport_->Send(0, 0, std::move(message));
+  return id;
+}
+
+Tensor PipelineServer::Wait(int64_t id) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  result_cv_.wait(lock, [this, id] { return results_.count(id) != 0; });
+  auto it = results_.find(id);
+  Tensor out = std::move(it->second);
+  results_.erase(it);
+  return out;
+}
+
+Tensor PipelineServer::Infer(const Tensor& input) { return Wait(Submit(input)); }
+
+void PipelineServer::StageLoop(int stage) {
+  Mailbox* inbox = stage_inboxes_[static_cast<size_t>(stage)];
+  const Sequential& model = *stage_models_[static_cast<size_t>(stage)];
+  const auto tick = std::chrono::milliseconds(options_.worker_tick_ms);
+  for (;;) {
+    // Drain everything queued before honouring stop: Stop() only flips the flag once the
+    // window is empty, but the message for an admitted request may still be in flight.
+    std::optional<PipeMessage> message = inbox->Take(WorkType::kForward);
+    if (!message.has_value()) {
+      if (stop_.load(std::memory_order_acquire)) {
+        return;
+      }
+      inbox->WaitUntilFor([](int64_t min_fwd, int64_t) { return min_fwd >= 0; }, tick);
+      continue;
+    }
+    PD_CHECK(VerifyChecksum(*message))
+        << "serving request " << message->minibatch << " corrupted before stage " << stage;
+    ModelContext ctx;  // per-request, discarded: inference stashes nothing
+    Tensor out = model.Forward(message->payload, &ctx, /*training=*/false);
+    PipeMessage next;
+    next.minibatch = message->minibatch;
+    next.type = WorkType::kForward;
+    next.payload = std::move(out);
+    StampChecksum(&next);
+    transport_->Send(stage + 1, 0, std::move(next));
+  }
+}
+
+void PipelineServer::CollectLoop() {
+  const auto tick = std::chrono::milliseconds(options_.worker_tick_ms);
+  for (;;) {
+    std::optional<PipeMessage> message = egress_->Take(WorkType::kForward);
+    if (!message.has_value()) {
+      if (stop_.load(std::memory_order_acquire)) {
+        return;
+      }
+      egress_->WaitUntilFor([](int64_t min_fwd, int64_t) { return min_fwd >= 0; }, tick);
+      continue;
+    }
+    PD_CHECK(VerifyChecksum(*message))
+        << "serving result " << message->minibatch << " corrupted after the last stage";
+    const int64_t id = message->minibatch;
+    const int64_t end_ns = NowNs();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      auto it = start_ns_.find(id);
+      PD_CHECK(it != start_ns_.end()) << "result for unknown request " << id;
+      latency_->Observe(static_cast<double>(end_ns - it->second) * 1e-9);
+      start_ns_.erase(it);
+      results_.emplace(id, std::move(message->payload));
+      ++completed_;
+      --inflight_;
+    }
+    window_cv_.notify_all();
+    result_cv_.notify_all();
+  }
+}
+
+void PipelineServer::Stop() {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (!started_ || stopped_) {
+      return;
+    }
+    stopped_ = true;
+    // Quiesce: every admitted request must reach the collector before the loops stop.
+    window_cv_.wait(lock, [this] { return inflight_ == 0; });
+  }
+  stop_.store(true, std::memory_order_release);
+  for (Mailbox* inbox : stage_inboxes_) {
+    inbox->Poke();
+  }
+  for (std::thread& t : stage_threads_) {
+    t.join();
+  }
+  collector_.join();
+  transport_->Drain();
+  transport_->Shutdown();
+  obs::GetGauge("serve/ingress_depth_hwm")->SetMax(IngressDepthHighWater());
+}
+
+ServingStats PipelineServer::Stats() const {
+  ServingStats stats;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stats.completed = completed_;
+  }
+  stats.p50_seconds = latency_->Quantile(0.50);
+  stats.p99_seconds = latency_->Quantile(0.99);
+  stats.p999_seconds = latency_->Quantile(0.999);
+  const RunningStat snapshot = latency_->snapshot();
+  stats.mean_seconds = snapshot.count() > 0 ? snapshot.mean() : 0.0;
+  return stats;
+}
+
+int64_t PipelineServer::IngressDepthHighWater() const {
+  return stage_inboxes_.front()->DepthHighWater();
+}
+
+}  // namespace pipedream

@@ -290,8 +290,15 @@ void PipelineSimulation::SendBoundary(Replica* from, int dest_stage, int64_t min
                             : stages_[static_cast<size_t>(dest_stage)].boundary_out_bytes;
   SimTime arrival = engine_.now();
   if (bytes > 0 && from->worker != dest->worker) {
-    const double bw = topology_.EffectiveP2pBandwidthBetween(from->worker, dest->worker);
-    const double lat = topology_.LatencyBetween(from->worker, dest->worker);
+    // The transport cost model (SimOptions) composes with the topology: the message-framing
+    // overhead adds to the physical link latency, and the framed-stream bandwidth cap
+    // tightens (never loosens) the link rate.
+    double bw = topology_.EffectiveP2pBandwidthBetween(from->worker, dest->worker);
+    if (options_.transport_bandwidth_bytes_per_s > 0.0) {
+      bw = std::min(bw, options_.transport_bandwidth_bytes_per_s);
+    }
+    const double lat = topology_.LatencyBetween(from->worker, dest->worker) +
+                       options_.transport_latency_s;
     const SimTime duration = SimTime::FromSeconds(static_cast<double>(bytes) / bw);
     const SimTime depart = from->egress.Acquire(engine_.now(), duration);
     arrival = depart + duration + SimTime::FromSeconds(lat);

@@ -66,6 +66,14 @@ struct SimOptions {
   bool record_trace = false;
   int trace_worker_limit = 16;
   SimFault fault;                    // optional device-failure event
+  // Transport cost model, matching the runtime's pluggable transport layer: a per-message
+  // software overhead (serialize + frame + syscall) added to every inter-worker boundary
+  // transfer, and an optional bandwidth cap below the topology's link rate (a framed byte
+  // stream rarely reaches line rate). Zero means "free"/"uncapped" — the in-proc transport.
+  // bench_serving fits these from BENCH_serve.json so the simulator can price a socket
+  // deployment without running one.
+  double transport_latency_s = 0.0;
+  double transport_bandwidth_bytes_per_s = 0.0;
 };
 
 struct SimResult {
