@@ -1,8 +1,10 @@
 #include "src/planner/partitioner.h"
 
+#include <algorithm>
 #include <cmath>
 #include <functional>
 #include <limits>
+#include <numeric>
 
 #include "src/common/logging.h"
 
@@ -235,6 +237,218 @@ PartitionResult PartitionFlat(const ModelProfile& profile, int workers,
   result.plan = PipelinePlan(std::move(stages));
   result.plan.Validate(n);
   result.bottleneck_seconds = tables.A(0, n - 1, usable);
+  ChooseWeightModes(profile, options.device_memory_bytes, &result.plan);
+  return result;
+}
+
+namespace {
+
+// One DP pass over a fixed worker order: H[j][c] is the slowest-stage time of the best
+// pipeline covering layers 0..j (inclusive) using exactly the first c workers of `order`,
+// where every stage is a contiguous block of the order. HetChoice records the last stage's
+// layer split and worker count for reconstruction.
+struct HetChoice {
+  int split = -1;       // -1: single stage over layers 0..j; else last stage starts at split+1
+  int right_workers = 0;  // workers in the last stage's block when split >= 0
+};
+
+struct HetSolution {
+  double bottleneck = kInf;
+  std::vector<StageAssignment> stages;
+};
+
+HetSolution SolveHeterogeneousOrdered(const ModelProfile& profile,
+                                      const std::vector<WorkerSpec>& specs,
+                                      const std::vector<int>& order, double bandwidth,
+                                      const PartitionerOptions& options) {
+  const int n = profile.num_layers();
+  const int w = static_cast<int>(order.size());
+  const double coll_bw = bandwidth * options.collective_efficiency;
+  const double p2p_bw = bandwidth * options.p2p_efficiency;
+  constexpr int64_t kNoBudget = std::numeric_limits<int64_t>::max();
+
+  // Block [a, b) aggregates: slowest member gates the round-robin round; tightest memory
+  // budget gates feasibility (per-worker memory_bytes overrides the global option).
+  std::vector<double> min_speed(static_cast<size_t>(w) * (w + 1), 0.0);
+  std::vector<int64_t> min_budget(static_cast<size_t>(w) * (w + 1), kNoBudget);
+  auto block_index = [w](int a, int b) { return static_cast<size_t>(a) * (w + 1) + b; };
+  for (int a = 0; a < w; ++a) {
+    double speed = kInf;
+    int64_t budget = kNoBudget;
+    for (int b = a + 1; b <= w; ++b) {
+      const WorkerSpec& spec = specs[static_cast<size_t>(order[static_cast<size_t>(b - 1)])];
+      speed = std::min(speed, spec.speed);
+      const int64_t device = spec.memory_bytes > 0 ? spec.memory_bytes
+                             : options.device_memory_bytes > 0 ? options.device_memory_bytes
+                                                               : kNoBudget;
+      budget = std::min(budget, device);
+      min_speed[block_index(a, b)] = speed;
+      min_budget[block_index(a, b)] = budget;
+    }
+  }
+
+  // Stage over layers [i..j] replicated across the worker block [a, b) of the order.
+  auto stage_time = [&](int i, int j, int a, int b) -> double {
+    const int m = b - a;
+    const double compute =
+        profile.ComputeSeconds(i, j + 1) / min_speed[block_index(a, b)];
+    const int64_t weights = profile.ParamBytes(i, j + 1);
+    const int64_t budget = min_budget[block_index(a, b)];
+    if (budget != kNoBudget &&
+        3 * weights + profile.ActivationBytes(i, j + 1) > budget) {
+      return kInf;
+    }
+    if (m == 1) {
+      return compute;
+    }
+    if (!options.allow_replication) {
+      return kInf;
+    }
+    const double ring_divisor = options.collective_shared_bus ? 1.0 : static_cast<double>(m);
+    const double sync = 2.0 * static_cast<double>(m - 1) * static_cast<double>(weights) /
+                        (ring_divisor * coll_bw);
+    return std::max(compute, sync) / static_cast<double>(m);
+  };
+
+  std::vector<double> best(static_cast<size_t>(n) * (w + 1), kInf);
+  std::vector<HetChoice> choice(static_cast<size_t>(n) * (w + 1));
+  auto dp_index = [w](int j, int c) { return static_cast<size_t>(j) * (w + 1) + c; };
+  for (int j = 0; j < n; ++j) {
+    for (int c = 1; c <= w; ++c) {
+      double b = stage_time(0, j, 0, c);
+      HetChoice ch;
+      for (int s = 0; s < j; ++s) {
+        const double boundary =
+            2.0 * static_cast<double>(profile.BoundaryActivationBytes(s)) / p2p_bw;
+        for (int mp = 1; mp < c; ++mp) {
+          const double left = best[dp_index(s, c - mp)];
+          if (left >= kInf) {
+            continue;
+          }
+          const double right = stage_time(s + 1, j, c - mp, c);
+          if (right >= kInf) {
+            continue;
+          }
+          const double candidate = std::max({left, boundary, right});
+          if (candidate < b) {
+            b = candidate;
+            ch.split = s;
+            ch.right_workers = mp;
+          }
+        }
+      }
+      best[dp_index(j, c)] = b;
+      choice[dp_index(j, c)] = ch;
+    }
+  }
+
+  HetSolution solution;
+  solution.bottleneck = best[dp_index(n - 1, w)];
+  if (solution.bottleneck >= kInf) {
+    return solution;
+  }
+  // Reconstruct back to front: each stage is a block [c - right, c) of the order.
+  std::vector<StageAssignment> reversed;
+  int j = n - 1;
+  int c = w;
+  while (true) {
+    const HetChoice& ch = choice[dp_index(j, c)];
+    StageAssignment stage;
+    if (ch.split < 0) {
+      stage.begin_layer = 0;
+      stage.end_layer = j + 1;
+      stage.replicas = c;
+      stage.workers.assign(order.begin(), order.begin() + c);
+      std::sort(stage.workers.begin(), stage.workers.end());
+      reversed.push_back(std::move(stage));
+      break;
+    }
+    stage.begin_layer = ch.split + 1;
+    stage.end_layer = j + 1;
+    stage.replicas = ch.right_workers;
+    stage.workers.assign(order.begin() + (c - ch.right_workers), order.begin() + c);
+    std::sort(stage.workers.begin(), stage.workers.end());
+    reversed.push_back(std::move(stage));
+    j = ch.split;
+    c -= ch.right_workers;
+  }
+  solution.stages.assign(reversed.rbegin(), reversed.rend());
+  return solution;
+}
+
+}  // namespace
+
+PartitionResult PartitionHeterogeneous(const ModelProfile& profile,
+                                       const std::vector<WorkerSpec>& workers,
+                                       double bandwidth_bytes_per_sec,
+                                       const PartitionerOptions& options) {
+  PD_CHECK(!workers.empty());
+  PD_CHECK_GT(bandwidth_bytes_per_sec, 0.0);
+  const int n = profile.num_layers();
+
+  // Worker ids sorted fastest-first; an optional cap keeps the fastest devices.
+  std::vector<int> by_speed(workers.size());
+  std::iota(by_speed.begin(), by_speed.end(), 0);
+  std::stable_sort(by_speed.begin(), by_speed.end(), [&](int a, int b) {
+    return workers[static_cast<size_t>(a)].speed > workers[static_cast<size_t>(b)].speed;
+  });
+  if (options.max_workers_used > 0 &&
+      static_cast<int>(by_speed.size()) > options.max_workers_used) {
+    by_speed.resize(static_cast<size_t>(options.max_workers_used));
+  }
+
+  bool uniform = true;
+  for (int id : by_speed) {
+    const WorkerSpec& spec = workers[static_cast<size_t>(id)];
+    PD_CHECK_GT(spec.speed, 0.0) << "worker " << id << " has non-positive speed";
+    uniform = uniform && spec.speed == workers[static_cast<size_t>(by_speed[0])].speed &&
+              spec.memory_bytes == workers[static_cast<size_t>(by_speed[0])].memory_bytes;
+  }
+  if (uniform) {
+    // Identical devices: delegate to the flat DP on a speed-scaled profile so plans and
+    // bottlenecks line up exactly with the homogeneous path.
+    const WorkerSpec& spec = workers[static_cast<size_t>(by_speed[0])];
+    PartitionerOptions flat_options = options;
+    flat_options.max_workers_used = 0;  // the cap was applied above
+    if (spec.memory_bytes > 0) {
+      flat_options.device_memory_bytes = spec.memory_bytes;
+    }
+    PartitionResult result =
+        PartitionFlat(profile.Scaled(spec.speed, 1.0), static_cast<int>(by_speed.size()),
+                      bandwidth_bytes_per_sec, flat_options);
+    if (static_cast<int>(by_speed.size()) < static_cast<int>(workers.size())) {
+      // Remap the flat DP's dense 0..k-1 ids onto the retained (fastest) workers.
+      std::vector<StageAssignment> stages = result.plan.stages();
+      for (StageAssignment& stage : stages) {
+        for (int& id : stage.workers) {
+          id = by_speed[static_cast<size_t>(id)];
+        }
+        std::sort(stage.workers.begin(), stage.workers.end());
+      }
+      result.plan = PipelinePlan(std::move(stages));
+      result.plan.Validate(n);
+    }
+    return result;
+  }
+
+  // Heterogeneous: contiguous blocks of the speed-sorted order, tried in both directions
+  // (fastest-first puts fast workers on the deep input stages; slowest-first the reverse).
+  HetSolution best = SolveHeterogeneousOrdered(profile, workers, by_speed,
+                                               bandwidth_bytes_per_sec, options);
+  std::vector<int> reversed(by_speed.rbegin(), by_speed.rend());
+  HetSolution alt = SolveHeterogeneousOrdered(profile, workers, reversed,
+                                              bandwidth_bytes_per_sec, options);
+  if (alt.bottleneck < best.bottleneck) {
+    best = std::move(alt);
+  }
+  PD_CHECK(best.bottleneck < kInf)
+      << "no feasible heterogeneous partition of " << profile.model_name << " over "
+      << by_speed.size() << " workers";
+
+  PartitionResult result;
+  result.plan = PipelinePlan(std::move(best.stages));
+  result.plan.Validate(n);
+  result.bottleneck_seconds = best.bottleneck;
   ChooseWeightModes(profile, options.device_memory_bytes, &result.plan);
   return result;
 }

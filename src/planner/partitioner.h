@@ -47,6 +47,20 @@ PartitionResult PartitionFlat(const ModelProfile& profile, int workers,
                               double bandwidth_bytes_per_sec,
                               const PartitionerOptions& options = {});
 
+// Dynamic program over heterogeneous devices joined by links of a single bandwidth.
+// `workers[w].speed` stretches any stage hosted on worker w by 1/speed, and a replicated
+// stage's round-robin round is gated by its slowest member, so a block's effective compute
+// is raw_compute / min(speed). The search considers contiguous blocks of the speed-sorted
+// worker order (both directions, keeping the better plan) — slow devices end up grouped on
+// thin layer ranges, the BaPipe-style behavior the skewed-cluster tests assert. Worker ids
+// in the returned plan index into `workers`; every worker is used unless
+// options.max_workers_used caps the count (the fastest are kept). Per-worker memory_bytes,
+// when set, overrides options.device_memory_bytes for that device.
+PartitionResult PartitionHeterogeneous(const ModelProfile& profile,
+                                       const std::vector<WorkerSpec>& workers,
+                                       double bandwidth_bytes_per_sec,
+                                       const PartitionerOptions& options = {});
+
 // Level-by-level dynamic program over a hierarchical topology. Worker ids in the returned
 // plan respect component boundaries (replicated sub-pipelines land on distinct components).
 PartitionResult PartitionHierarchical(const ModelProfile& profile,

@@ -30,6 +30,16 @@ struct StageAssignment {
   int num_layers() const { return end_layer - begin_layer; }
 };
 
+// One physical worker as the elastic planner sees it. `speed` is a relative compute factor
+// against the profile's reference device (0.5 = half speed, so any stage hosted there takes
+// 1/speed longer); `memory_bytes` optionally overrides the global
+// PartitionerOptions::device_memory_bytes budget for this device (0 = use the global
+// budget). Membership changes re-run the partitioner over the live WorkerSpec set.
+struct WorkerSpec {
+  double speed = 1.0;
+  int64_t memory_bytes = 0;
+};
+
 class PipelinePlan {
  public:
   PipelinePlan() = default;

@@ -46,7 +46,28 @@ double MinCrossP2pBandwidth(const HardwareTopology& topology, const std::vector<
 
 PlanPrediction PredictPlan(const ModelProfile& profile, const PipelinePlan& plan,
                            const HardwareTopology& topology, int pipeline_depth) {
+  return PredictPlan(profile, plan, topology, std::vector<WorkerSpec>(), pipeline_depth);
+}
+
+PlanPrediction PredictPlan(const ModelProfile& profile, const PipelinePlan& plan,
+                           const HardwareTopology& topology,
+                           const std::vector<WorkerSpec>& workers, int pipeline_depth) {
   plan.Validate(profile.num_layers());
+  // Compute on a replicated stage proceeds at the pace of its slowest member: round-robin
+  // hands every replica an equal share, so the round closes when the slowest finishes.
+  auto stage_speed = [&](const StageAssignment& stage) -> double {
+    if (workers.empty()) {
+      return 1.0;
+    }
+    double speed = 1e300;
+    for (int w : stage.workers) {
+      PD_CHECK(w >= 0 && w < static_cast<int>(workers.size()))
+          << "plan worker " << w << " outside the WorkerSpec set";
+      speed = std::min(speed, workers[static_cast<size_t>(w)].speed);
+    }
+    PD_CHECK_GT(speed, 0.0);
+    return speed;
+  };
   const int num_stages = plan.num_stages();
   const int noam = pipeline_depth > 0 ? pipeline_depth : plan.Noam();
   const int64_t batch = profile.minibatch_size;
@@ -62,7 +83,8 @@ PlanPrediction PredictPlan(const ModelProfile& profile, const PipelinePlan& plan
     StagePrediction& sp = prediction.stages[static_cast<size_t>(s)];
     const int m = stage.replicas;
 
-    sp.compute_seconds = profile.ComputeSeconds(stage.begin_layer, stage.end_layer);
+    sp.compute_seconds =
+        profile.ComputeSeconds(stage.begin_layer, stage.end_layer) / stage_speed(stage);
     sp.weight_bytes = profile.ParamBytes(stage.begin_layer, stage.end_layer);
     sp.activation_stash_bytes = profile.ActivationBytes(stage.begin_layer, stage.end_layer);
 

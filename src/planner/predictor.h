@@ -43,6 +43,15 @@ struct PlanPrediction {
 PlanPrediction PredictPlan(const ModelProfile& profile, const PipelinePlan& plan,
                            const HardwareTopology& topology, int pipeline_depth = 0);
 
+// Heterogeneity-aware variant: `workers[w].speed` stretches compute hosted on worker w by
+// 1/speed, and a replicated stage's round-robin round is gated by its slowest replica, so
+// stage compute is scaled by 1 / min(speed over the stage's workers). An empty vector means
+// uniform unit speed (the overload above delegates here). Plan worker ids must index into
+// `workers` when it is non-empty.
+PlanPrediction PredictPlan(const ModelProfile& profile, const PipelinePlan& plan,
+                           const HardwareTopology& topology,
+                           const std::vector<WorkerSpec>& workers, int pipeline_depth = 0);
+
 }  // namespace pipedream
 
 #endif  // SRC_PLANNER_PREDICTOR_H_

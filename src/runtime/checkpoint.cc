@@ -16,8 +16,9 @@
 namespace pipedream {
 namespace {
 
-constexpr uint64_t kMagic = 0x50444350'30303031ULL;        // "PDCP0001"
-constexpr uint64_t kFooterMagic = 0x50444346'30303031ULL;  // "PDCF0001"
+constexpr uint64_t kMagic = 0x50444350'30303031ULL;          // "PDCP0001"
+constexpr uint64_t kFooterMagic = 0x50444346'30303031ULL;    // "PDCF0001"
+constexpr uint64_t kManifestMagic = 0x5044504D'30303031ULL;  // "PDPM0001"
 // Footer layout (appended after the last parameter payload):
 //   [content crc32 (u64)] [content length (u64)] [kFooterMagic (u64)]
 constexpr size_t kFooterBytes = 24;
@@ -120,7 +121,103 @@ Status ReadVerifiedContent(const std::string& path, std::string* content) {
   return Status::Ok();
 }
 
+// Serializes a manifest body (magic, generation, layer count, per-stage ranges) with the
+// standard CRC footer, so ValidateCheckpointFile and ReadVerifiedContent apply unchanged.
+Status SaveManifestFile(const std::string& path, const PlanManifest& manifest) {
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  if (!file) {
+    return Status::Internal("cannot open " + path + " for writing");
+  }
+  uint32_t crc = 0;
+  uint64_t written = 0;
+  auto write_u64 = [&](uint64_t v) {
+    file.write(reinterpret_cast<const char*>(&v), 8);
+    crc = Crc32(&v, 8, crc);
+    written += 8;
+  };
+  write_u64(kManifestMagic);
+  write_u64(static_cast<uint64_t>(manifest.plan_generation));
+  write_u64(static_cast<uint64_t>(manifest.num_layers));
+  write_u64(manifest.stage_layers.size());
+  for (const auto& [begin, end] : manifest.stage_layers) {
+    write_u64(static_cast<uint64_t>(begin));
+    write_u64(static_cast<uint64_t>(end));
+  }
+  uint64_t footer[3] = {static_cast<uint64_t>(crc), written, kFooterMagic};
+  file.write(reinterpret_cast<const char*>(footer), sizeof(footer));
+  if (!file) {
+    return Status::Internal("short write to " + path);
+  }
+  file.close();
+  if (!file) {
+    return Status::Internal("close failed for " + path);
+  }
+  return FsyncPath(path);
+}
+
+Status LoadManifestFile(const std::string& path, PlanManifest* manifest) {
+  std::string content;
+  const Status verified = ReadVerifiedContent(path, &content);
+  if (!verified.ok()) {
+    return verified;
+  }
+  ByteReader reader(content.data(), content.size());
+  if (reader.ReadU64() != kManifestMagic) {
+    return Status::InvalidArgument(path + " is not a plan manifest");
+  }
+  manifest->plan_generation = static_cast<int64_t>(reader.ReadU64());
+  manifest->num_layers = static_cast<int>(reader.ReadU64());
+  const uint64_t stages = reader.ReadU64();
+  if (!reader.ok() || stages == 0 || stages > kMaxParams) {
+    return Status::InvalidArgument(path + " declares an implausible stage count");
+  }
+  manifest->stage_layers.clear();
+  manifest->stage_layers.reserve(stages);
+  int expected_begin = 0;
+  for (uint64_t s = 0; s < stages; ++s) {
+    const int begin = static_cast<int>(reader.ReadU64());
+    const int end = static_cast<int>(reader.ReadU64());
+    if (!reader.ok() || begin != expected_begin || end <= begin ||
+        end > manifest->num_layers) {
+      return Status::InvalidArgument(path + " has a non-contiguous stage layer range");
+    }
+    manifest->stage_layers.emplace_back(begin, end);
+    expected_begin = end;
+  }
+  if (expected_begin != manifest->num_layers || reader.remaining() != 0) {
+    return Status::InvalidArgument(path + " does not cover the model's layers");
+  }
+  return Status::Ok();
+}
+
+// Publishes `tmp_path` (already written + fsynced) as `final_path` and fsyncs the directory
+// entry so the name survives a machine crash, not just a process crash.
+Status PublishAtomically(const std::string& directory, const std::string& tmp_path,
+                         const std::string& final_path) {
+  if (std::rename(tmp_path.c_str(), final_path.c_str()) != 0) {
+    return Status::Internal("rename failed for " + final_path);
+  }
+  const int dfd = ::open(directory.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dfd >= 0) {
+    ::fsync(dfd);
+    ::close(dfd);
+  }
+  return Status::Ok();
+}
+
 }  // namespace
+
+PlanManifest PlanManifest::FromPlan(const PipelinePlan& plan, int num_layers,
+                                    int64_t plan_generation) {
+  PlanManifest manifest;
+  manifest.plan_generation = plan_generation;
+  manifest.num_layers = num_layers;
+  manifest.stage_layers.reserve(static_cast<size_t>(plan.num_stages()));
+  for (const StageAssignment& stage : plan.stages()) {
+    manifest.stage_layers.emplace_back(stage.begin_layer, stage.end_layer);
+  }
+  return manifest;
+}
 
 Status SaveParameters(const std::string& path, const std::vector<Parameter*>& params) {
   std::ofstream file(path, std::ios::binary | std::ios::trunc);
@@ -237,17 +334,26 @@ Status CheckpointManager::SaveStage(int stage, int64_t epoch,
   if (!status.ok()) {
     return status;
   }
-  if (std::rename(tmp_path.c_str(), final_path.c_str()) != 0) {
-    return Status::Internal("rename failed for " + final_path);
+  return PublishAtomically(directory_, tmp_path, final_path);
+}
+
+std::string CheckpointManager::ManifestPath(int64_t epoch) const {
+  return StrFormat("%s/manifest.epoch%lld.ckpt", directory_.c_str(),
+                   static_cast<long long>(epoch));
+}
+
+Status CheckpointManager::SaveManifest(int64_t epoch, const PlanManifest& manifest) {
+  const std::string final_path = ManifestPath(epoch);
+  const std::string tmp_path = final_path + ".tmp";
+  const Status status = SaveManifestFile(tmp_path, manifest);
+  if (!status.ok()) {
+    return status;
   }
-  // Persist the rename itself: fsync the directory entry so the published name survives a
-  // machine crash, not just a process crash.
-  const int dfd = ::open(directory_.c_str(), O_RDONLY | O_DIRECTORY);
-  if (dfd >= 0) {
-    ::fsync(dfd);
-    ::close(dfd);
-  }
-  return Status::Ok();
+  return PublishAtomically(directory_, tmp_path, final_path);
+}
+
+Status CheckpointManager::LoadManifest(int64_t epoch, PlanManifest* manifest) const {
+  return LoadManifestFile(ManifestPath(epoch), manifest);
 }
 
 Status CheckpointManager::LoadStage(int stage, int64_t epoch,
@@ -259,8 +365,19 @@ Status CheckpointManager::LoadStage(int stage, int64_t epoch,
 
 int64_t CheckpointManager::LatestCompleteEpoch(int num_stages, int64_t max_epoch) const {
   for (int64_t epoch = max_epoch; epoch >= 0; --epoch) {
+    // The manifest — when present — is the authority on how many stage files this epoch
+    // should have: a checkpoint written under a 3-stage re-plan must not be judged against
+    // the caller's 4-stage view (or vice versa). A torn manifest poisons the whole epoch.
+    int expected_stages = num_stages;
+    PlanManifest manifest;
+    const Status mstat = LoadManifestFile(ManifestPath(epoch), &manifest);
+    if (mstat.ok()) {
+      expected_stages = manifest.num_stages();
+    } else if (mstat.code() != StatusCode::kNotFound) {
+      continue;
+    }
     bool complete = true;
-    for (int s = 0; s < num_stages; ++s) {
+    for (int s = 0; s < expected_stages; ++s) {
       // A stage file only counts if its footer validates: a crash mid-write (or bit rot)
       // must make recovery fall back to the previous epoch, not restore garbage.
       if (!ValidateCheckpointFile(StagePath(s, epoch)).ok()) {

@@ -6,12 +6,31 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/common/status.h"
 #include "src/graph/layer.h"
+#include "src/planner/plan.h"
 
 namespace pipedream {
+
+// The plan a checkpoint epoch was written under, stamped alongside the stage files. Elastic
+// re-planning changes the stage count and layer boundaries between save and restore, so a
+// loader must not trust its *own* plan's stage indices: the manifest records how many stage
+// files epoch E has and which layer range each covers, letting restore remap layers->stages.
+// Serialized with the same CRC32+length footer as stage files (torn manifests are detected,
+// never trusted).
+struct PlanManifest {
+  int64_t plan_generation = 0;               // monotonically bumped on every re-plan
+  int num_layers = 0;                        // full model layer count (remap sanity check)
+  std::vector<std::pair<int, int>> stage_layers;  // per stage: [begin_layer, end_layer)
+
+  int num_stages() const { return static_cast<int>(stage_layers.size()); }
+
+  static PlanManifest FromPlan(const PipelinePlan& plan, int num_layers,
+                               int64_t plan_generation);
+};
 
 // Serializes parameters (names, shapes, fp32 payloads) to a single binary file, appends a
 // CRC32 + length footer, and fsyncs before returning — the file on disk is either complete
@@ -37,11 +56,24 @@ class CheckpointManager {
 
   Status LoadStage(int stage, int64_t epoch, const std::vector<Parameter*>& params) const;
 
-  // Newest epoch for which all `num_stages` stage files exist *and* pass footer validation;
-  // -1 if none. Epochs with torn or corrupt files are skipped, not trusted.
+  // Writes the plan manifest for `epoch` (atomic + durable, like SaveStage). Call after the
+  // stage files so a validating manifest implies a restorable epoch.
+  Status SaveManifest(int64_t epoch, const PlanManifest& manifest);
+
+  // Loads and validates epoch `epoch`'s manifest. NotFound for pre-manifest (legacy)
+  // epochs; InvalidArgument for torn or corrupt manifests.
+  Status LoadManifest(int64_t epoch, PlanManifest* manifest) const;
+
+  // Newest epoch whose stage files all exist *and* pass footer validation; -1 if none.
+  // Epochs with torn or corrupt files are skipped, not trusted. When epoch E carries a
+  // manifest, the stage count is taken from it — NOT from `num_stages` — so an epoch written
+  // under a different plan (elastic re-plan shrinking 4 stages to 3) is still found instead
+  // of being silently mismatched against the caller's current stage count. `num_stages` is
+  // only the fallback for legacy manifest-less epochs.
   int64_t LatestCompleteEpoch(int num_stages, int64_t max_epoch) const;
 
   std::string StagePath(int stage, int64_t epoch) const;
+  std::string ManifestPath(int64_t epoch) const;
 
  private:
   std::string directory_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdlib>
 #include <numeric>
 #include <thread>
 
@@ -272,6 +273,14 @@ PipelineTrainer::PipelineTrainer(const Sequential& model, const PipelinePlan& pl
   active_by_stage_ = by_stage_;
   const Status started = transport_->Start();
   PD_CHECK(started.ok()) << "transport start failed: " << started.ToString();
+
+  // Position the trainer on the global epoch grid. A re-planned trainer picks up exactly
+  // where its predecessor stopped: same minibatch stream, new plan. EpochLength() also
+  // validates any epoch_length override against this plan's synchronization round.
+  PD_CHECK_GE(options_.start_epoch, 0);
+  const int64_t bpe = EpochLength();
+  epochs_completed_ = options_.start_epoch;
+  next_global_minibatch_ = options_.start_epoch * bpe;
 }
 
 PipelineTrainer::~PipelineTrainer() = default;
@@ -289,6 +298,10 @@ void PipelineTrainer::EnableRecovery(CheckpointManager* manager, RecoveryOptions
   PD_CHECK_GE(options.worker_tick_ms, 1);
   PD_CHECK_GE(options.watchdog_poll_ms, 1);
   PD_CHECK_GE(options.max_recoveries, 1);
+  if (const char* env = std::getenv("PIPEDREAM_REJOIN_PROBATION")) {
+    options.rejoin_probation_epochs = std::atoi(env);
+  }
+  PD_CHECK_GE(options.rejoin_probation_epochs, 0);
   manager_ = manager;
   recovery_ = options;
   recovery_enabled_ = true;
@@ -656,6 +669,8 @@ void PipelineTrainer::NoteFailure(StageRuntime* rt, const std::string& reason) {
       record.replica = rt->replica;
     }
     record.reason = reason;
+    record.worker_dead = rt != nullptr && rt->dead.load(std::memory_order_acquire);
+    last_failure_epoch_ = epochs_completed_;  // any failure restarts rejoin probation
     failures_.push_back(std::move(record));
   }
   PD_LOG(WARNING) << "failure detected: " << reason;
@@ -700,6 +715,16 @@ int64_t PipelineTrainer::EpochLength() const {
     // accumulation round would silently drop its gradients, and 2BW recovery relies on the
     // accumulator being empty (and the shadow buffer dead) at every epoch boundary.
     round = Lcm(round, options_.accumulation_steps);
+  }
+  if (options_.epoch_length > 0) {
+    // The elastic layer pins one epoch length across plan generations so checkpoints from
+    // different plans land on the same global minibatch grid. It still has to be a whole
+    // number of THIS plan's synchronization rounds.
+    PD_CHECK_EQ(options_.epoch_length % round, 0)
+        << "epoch_length " << options_.epoch_length
+        << " is not a multiple of the plan's synchronization round " << round;
+    PD_CHECK_GE(options_.epoch_length, plan_.Noam()) << "epoch shorter than the pipeline depth";
+    return options_.epoch_length;
   }
   const int64_t bpe = batches_per_epoch() / round * round;
   PD_CHECK_GT(bpe, 0) << "dataset too small for one synchronization round per epoch";
@@ -888,6 +913,7 @@ int64_t PipelineTrainer::HandleFailureAndRestore() {
     if (can_eject) {
       stage_active.erase(std::find(stage_active.begin(), stage_active.end(), rt));
       ejected.emplace_back(rt->stage, rt->replica);
+      ejected_replicas_.push_back({rt, epochs_completed_});
       PD_LOG(WARNING) << "ejecting stage " << rt->stage << " replica " << rt->replica
                       << " (degraded mode: " << stage_active.size() << " survivors)";
     } else {
@@ -952,7 +978,61 @@ int64_t PipelineTrainer::HandleFailureAndRestore() {
   return resume;
 }
 
+void PipelineTrainer::MaybeRejoinEjected() {
+  if (recovery_.rejoin_probation_epochs <= 0 || ejected_replicas_.empty()) {
+    return;
+  }
+  std::vector<size_t> rejoined_stages;
+  for (auto it = ejected_replicas_.begin(); it != ejected_replicas_.end();) {
+    StageRuntime* rt = it->rt;
+    // Probation: the replica sits out until `rejoin_probation_epochs` consecutive epochs
+    // completed cleanly since both its ejection and the cluster's last failure of any kind.
+    const int64_t clean_since = std::max(it->ejected_epoch, last_failure_epoch_);
+    if (epochs_completed_ - clean_since < recovery_.rejoin_probation_epochs) {
+      ++it;
+      continue;
+    }
+    // Re-admit at an update boundary: surviving replicas hold bitwise-identical weights
+    // here, so the rejoiner copies replica state from any survivor. Stashes and optimizer
+    // state restart fresh, exactly as they do for a respawned worker.
+    auto& stage_active = active_by_stage_[static_cast<size_t>(rt->stage)];
+    StageRuntime* survivor = stage_active[0];
+    PD_CHECK_EQ(survivor->params.size(), rt->params.size());
+    for (size_t i = 0; i < rt->params.size(); ++i) {
+      rt->params[i]->value = survivor->params[i]->value;
+    }
+    rt->weights = std::make_unique<WeightStore>(rt->params, rt->weight_mode);
+    rt->optimizer = optimizer_prototype_->CloneFresh();
+    rt->dead.store(false, std::memory_order_release);
+    stage_active.push_back(rt);
+    // Restore the plan's original rotation order so a fully healed stage is
+    // indistinguishable from one that never degraded.
+    std::sort(stage_active.begin(), stage_active.end(),
+              [](const StageRuntime* a, const StageRuntime* b) { return a->replica < b->replica; });
+    rejoined_stages.push_back(static_cast<size_t>(rt->stage));
+    PD_LOG(WARNING) << "re-admitting stage " << rt->stage << " replica " << rt->replica
+                    << " after " << recovery_.rejoin_probation_epochs
+                    << " clean probation epochs (" << stage_active.size() << " replicas)";
+    obs::GetCounter("runtime/rejoins")->Increment();
+    it = ejected_replicas_.erase(it);
+  }
+  // Rebuild each healed stage's rotation and all-reduce ring over the restored membership.
+  for (size_t s : rejoined_stages) {
+    auto& stage_active = active_by_stage_[s];
+    stage_reducers_[s] =
+        stage_active.size() > 1
+            ? std::make_unique<GradientAllReducer>(static_cast<int>(stage_active.size()))
+            : nullptr;
+    for (size_t r = 0; r < stage_active.size(); ++r) {
+      stage_active[r]->rr_rank = static_cast<int>(r);
+      stage_active[r]->rr_size = static_cast<int>(stage_active.size());
+      stage_active[r]->reducer = stage_reducers_[s].get();
+    }
+  }
+}
+
 EpochStats PipelineTrainer::TrainEpoch() {
+  MaybeRejoinEjected();
   const int64_t bpe = EpochLength();
   const int64_t current_epoch = epochs_completed_;
   PD_CHECK_EQ(next_global_minibatch_, current_epoch * bpe)
@@ -1061,15 +1141,75 @@ Status PipelineTrainer::SaveCheckpoint(CheckpointManager* manager, int64_t epoch
       return status;
     }
   }
-  return Status::Ok();
+  // Stamp the plan manifest last: a validating manifest therefore implies every stage file
+  // it names landed, which is what makes the epoch restorable under a *different* plan.
+  return manager->SaveManifest(
+      epoch, PlanManifest::FromPlan(plan_, num_model_layers_, options_.plan_generation));
 }
 
 Status PipelineTrainer::LoadCheckpoint(const CheckpointManager& manager, int64_t epoch) {
+  // The manifest tells us which plan wrote this epoch. Same layer layout (or a legacy
+  // manifest-less checkpoint): restore stage->stage as before. Different layout (the epoch
+  // predates a re-plan): remap by LAYER RANGE — load the checkpoint's stages into a full
+  // model, then slice it along OUR stage boundaries.
+  PlanManifest manifest;
+  const Status mstat = manager.LoadManifest(epoch, &manifest);
+  bool same_layout = true;
+  if (mstat.ok()) {
+    if (manifest.num_layers != num_model_layers_) {
+      return Status::InvalidArgument(
+          StrFormat("checkpoint epoch %lld was written for a %d-layer model, not %d layers",
+                    static_cast<long long>(epoch), manifest.num_layers, num_model_layers_));
+    }
+    same_layout = manifest.num_stages() == plan_.num_stages();
+    for (int s = 0; same_layout && s < plan_.num_stages(); ++s) {
+      same_layout = manifest.stage_layers[static_cast<size_t>(s)] ==
+                    std::make_pair(plan_.stage(s).begin_layer, plan_.stage(s).end_layer);
+    }
+  } else if (mstat.code() != StatusCode::kNotFound) {
+    return mstat;  // a torn manifest must not be silently treated as legacy
+  }
+
+  if (same_layout) {
+    for (int s = 0; s < plan_.num_stages(); ++s) {
+      for (StageRuntime* rt : by_stage_[static_cast<size_t>(s)]) {
+        const Status status = manager.LoadStage(s, epoch, rt->params);
+        if (!status.ok()) {
+          return status;
+        }
+      }
+    }
+    return Status::Ok();
+  }
+
+  // Per-layer parameter spans of the full model (parameter names live on layers, so the
+  // checkpoint's sliced-model names match the full model's for the same layer range).
+  auto full = template_model_->Clone();
+  const std::vector<Parameter*> full_params = full->Params();
+  std::vector<size_t> layer_offset(static_cast<size_t>(num_model_layers_) + 1, 0);
+  for (int l = 0; l < num_model_layers_; ++l) {
+    layer_offset[static_cast<size_t>(l + 1)] =
+        layer_offset[static_cast<size_t>(l)] + full->layer(static_cast<size_t>(l))->Params().size();
+  }
+  PD_CHECK_EQ(layer_offset.back(), full_params.size());
+  for (int ms = 0; ms < manifest.num_stages(); ++ms) {
+    const auto [begin_layer, end_layer] = manifest.stage_layers[static_cast<size_t>(ms)];
+    const std::vector<Parameter*> span(
+        full_params.begin() + static_cast<long>(layer_offset[static_cast<size_t>(begin_layer)]),
+        full_params.begin() + static_cast<long>(layer_offset[static_cast<size_t>(end_layer)]));
+    const Status status = manager.LoadStage(ms, epoch, span);
+    if (!status.ok()) {
+      return status;
+    }
+  }
   for (int s = 0; s < plan_.num_stages(); ++s) {
+    const StageAssignment& stage = plan_.stage(s);
+    const size_t begin = layer_offset[static_cast<size_t>(stage.begin_layer)];
     for (StageRuntime* rt : by_stage_[static_cast<size_t>(s)]) {
-      const Status status = manager.LoadStage(s, epoch, rt->params);
-      if (!status.ok()) {
-        return status;
+      PD_CHECK_EQ(rt->params.size(),
+                  layer_offset[static_cast<size_t>(stage.end_layer)] - begin);
+      for (size_t i = 0; i < rt->params.size(); ++i) {
+        rt->params[i]->value = full_params[begin + i]->value;
       }
     }
   }

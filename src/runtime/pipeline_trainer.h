@@ -69,6 +69,19 @@ struct PipelineTrainerOptions {
   // env variable (inproc|socket) takes precedence over both, mirroring the weight-mode
   // override discipline.
   std::optional<TransportKind> transport;
+  // --- elastic re-planning hooks (see src/runtime/elastic.h) ---
+  // First epoch this trainer trains. A trainer rebuilt under a new plan after a re-plan
+  // resumes at the epoch the old trainer stopped at, keeping the global epoch grid (and the
+  // deterministic minibatch stream) intact instead of restarting at 0.
+  int64_t start_epoch = 0;
+  // Epoch length override in minibatches (0 = derive from the dataset and plan). Re-planning
+  // changes the plan's natural synchronization round, so the elastic layer pins one global
+  // epoch length divisible by every candidate plan's round; it must be a multiple of this
+  // plan's round and at least the pipeline depth.
+  int64_t epoch_length = 0;
+  // Plan generation stamped into checkpoint manifests; the elastic layer bumps it on every
+  // re-plan so checkpoints record which plan wrote them.
+  int64_t plan_generation = 0;
 };
 
 // Tuning for failure detection and recovery. Defaults suit unit-test-sized models; real
@@ -81,6 +94,12 @@ struct RecoveryOptions {
   int max_recoveries = 8;           // recoveries per TrainEpoch before giving up
   bool allow_degraded = true;       // eject dead replicas of replicated stages
   bool auto_checkpoint = true;      // SaveCheckpoint after every successful epoch
+  // Re-admission of ejected replicas: a replica ejected into degraded mode rejoins its
+  // stage's rotation once this many consecutive epochs complete with no failure anywhere
+  // (the epoch-grid analog of a heartbeat probation window — the respawned worker must sit
+  // out N clean epochs before it is trusted with minibatches again). 0 disables rejoin
+  // (the pre-elastic behavior). The PIPEDREAM_REJOIN_PROBATION env variable overrides.
+  int rejoin_probation_epochs = 0;
 };
 
 // One detected failure and what recovery did about it.
@@ -90,6 +109,7 @@ struct FailureRecord {
   int replica = -1;
   std::string reason;
   bool degraded = false;    // true when the replica was ejected instead of respawned
+  bool worker_dead = false;  // the implicated worker itself died (vs a lost/corrupt message)
   int64_t resumed_epoch = -1;  // checkpoint epoch recovery restored from (-1 = initial)
 };
 
@@ -198,6 +218,11 @@ class PipelineTrainer {
   // Returns the epoch to replay from.
   int64_t HandleFailureAndRestore();
 
+  // Re-admits ejected replicas whose probation window has elapsed (called at the top of
+  // TrainEpoch, i.e. at an update boundary where surviving replicas hold bitwise-identical
+  // weights a rejoiner can copy). Restores the stage's original replica rotation order.
+  void MaybeRejoinEjected();
+
   void RestoreInitialWeights();
 
   PipelinePlan plan_;
@@ -229,6 +254,14 @@ class PipelineTrainer {
   std::mutex failure_mutex_;
   std::vector<FailureRecord> failures_;
   size_t resolved_failures_ = 0;  // records before this index have resumed_epoch filled in
+
+  // --- rejoin probation (ejected replicas awaiting re-admission)
+  struct EjectedReplica {
+    StageRuntime* rt = nullptr;
+    int64_t ejected_epoch = 0;
+  };
+  std::vector<EjectedReplica> ejected_replicas_;
+  int64_t last_failure_epoch_ = -1;  // any failure resets every pending probation clock
 };
 
 }  // namespace pipedream

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <memory>
 #include <set>
+#include <vector>
 
 #include "src/common/logging.h"
+#include "src/planner/partitioner.h"
 #include "src/schedule/policy.h"
 #include "src/sim/engine.h"
 
@@ -18,6 +20,24 @@ class PipelineSimulation {
                      const HardwareTopology& topology, const SimOptions& options)
       : profile_(profile), plan_(plan), topology_(topology), options_(options) {
     plan.Validate(profile.num_layers());
+    if (!options.worker_speeds.empty()) {
+      PD_CHECK_GE(static_cast<int>(options.worker_speeds.size()), topology.num_workers())
+          << "worker_speeds must cover every topology worker";
+      for (double s : options.worker_speeds) {
+        PD_CHECK_GT(s, 0.0) << "worker speeds must be positive";
+      }
+    }
+    if (options.fault.replan || options.fault.join_enabled) {
+      PD_CHECK(!IsGPipeLike()) << "elastic re-planning requires a 1F1B schedule";
+    }
+    if (options.fault.join_enabled) {
+      PD_CHECK(options.fault.join_worker >= 0 &&
+               options.fault.join_worker < topology.num_workers())
+          << "join_worker must be a topology worker id";
+    }
+    for (const StageAssignment& stage : plan_.stages()) {
+      live_workers_.insert(stage.workers.begin(), stage.workers.end());
+    }
     worker_busy_seconds_.assign(static_cast<size_t>(topology.num_workers()), 0.0);
     stage_peak_stash_merged_.assign(static_cast<size_t>(plan.num_stages()), 0);
     BuildStages();
@@ -40,6 +60,8 @@ class PipelineSimulation {
     int admission_cap = 1;
     int stash = 0;
     int peak_stash = 0;
+    double fwd_seconds = 0.0;  // stage compute scaled by this worker's 1/speed
+    double bwd_seconds = 0.0;
     SimTime busy_time;
     int64_t fwd_started = 0;
     int64_t fwd_quota = 0;  // total forwards this replica will ever run
@@ -61,6 +83,17 @@ class PipelineSimulation {
   };
 
   void BuildStages();
+  double SpeedOf(int worker) const {
+    if (options_.worker_speeds.empty()) {
+      return 1.0;
+    }
+    PD_CHECK(worker >= 0 && worker < static_cast<int>(options_.worker_speeds.size()));
+    return options_.worker_speeds[static_cast<size_t>(worker)];
+  }
+  // Heterogeneous partition over the current live worker set (the sim-side mirror of
+  // ElasticTrainer::PlanOverLive); partitioner ids are remapped back to topology ids.
+  PipelinePlan ReplanOverLive() const;
+  void JoinRestart();
   Replica* ReplicaFor(int stage, int64_t minibatch);
   void TryDispatch(Replica* r);
   void OnComplete(Replica* r, WorkType type, int64_t minibatch);
@@ -110,6 +143,10 @@ class PipelineSimulation {
   // before touching any state, so dangling Replica pointers are never dereferenced).
   uint64_t incarnation_ = 0;
   int64_t first_minibatch_ = 0;  // this incarnation admits [first_minibatch_, num_minibatches)
+  std::set<int> live_workers_;   // topology ids currently in the plan
+  int replans_ = 0;
+  double replan_latency_seconds_ = 0.0;
+  bool join_fired_ = false;
   bool fault_fired_ = false;
   SimTime fault_time_;
   SimTime recovery_time_;
@@ -165,6 +202,8 @@ void PipelineSimulation::BuildStages() {
       replica->stage = s;
       replica->replica = r;
       replica->worker = assignment.workers[static_cast<size_t>(r)];
+      replica->fwd_seconds = info.fwd_seconds / SpeedOf(replica->worker);
+      replica->bwd_seconds = info.bwd_seconds / SpeedOf(replica->worker);
       // This replica's round-robin share of [first_minibatch_, num_minibatches). The range
       // start is not necessarily a multiple of the replica count after a mid-run restart, so
       // align on the residue class.
@@ -237,7 +276,6 @@ void PipelineSimulation::TryDispatch(Replica* r) {
 
   int64_t minibatch;
   double duration;
-  StageInfo& stage = stages_[static_cast<size_t>(r->stage)];
   if (*action == WorkType::kForward) {
     if (r->stage == 0) {
       minibatch = r->next_admission;
@@ -250,11 +288,11 @@ void PipelineSimulation::TryDispatch(Replica* r) {
     ++r->stash;
     ++r->fwd_started;
     r->peak_stash = std::max(r->peak_stash, r->stash);
-    duration = stage.fwd_seconds;
+    duration = r->fwd_seconds;
   } else {
     minibatch = *r->ready_backward.begin();
     r->ready_backward.erase(r->ready_backward.begin());
-    duration = stage.bwd_seconds;
+    duration = r->bwd_seconds;
   }
 
   // Injected device failure: the victim dies on the threshold of this work item. Its state
@@ -341,10 +379,13 @@ void PipelineSimulation::FireFault(Replica* victim) {
   victim->failed = true;
   fault_time_ = engine_.now();
   // Detection (heartbeat timeout) plus checkpoint reload / respawn; the pipeline resumes
-  // only after both. Surviving stages keep draining whatever work they already hold.
-  const SimTime resume =
-      fault_time_ + SimTime::FromSeconds(options_.fault.detection_seconds +
-                                         options_.fault.restart_seconds);
+  // only after both. A re-planning restart additionally pays the partitioner + migration
+  // latency. Surviving stages keep draining whatever work they already hold.
+  double stall = options_.fault.detection_seconds + options_.fault.restart_seconds;
+  if (options_.fault.replan) {
+    stall += options_.fault.replan_seconds;
+  }
+  const SimTime resume = fault_time_ + SimTime::FromSeconds(stall);
   engine_.ScheduleAt(resume, [this] { Restart(); });
 }
 
@@ -360,13 +401,28 @@ void PipelineSimulation::Restart() {
   recovery_time_ = engine_.now();
 
   // Merge the dying incarnation's per-worker accounting before discarding it.
+  if (stage_peak_stash_merged_.size() < stages_.size()) {
+    stage_peak_stash_merged_.resize(stages_.size(), 0);
+  }
   for (Replica* r : all_replicas_) {
     worker_busy_seconds_[static_cast<size_t>(r->worker)] += r->busy_time.ToSeconds();
     stage_peak_stash_merged_[static_cast<size_t>(r->stage)] = std::max(
         stage_peak_stash_merged_[static_cast<size_t>(r->stage)], r->peak_stash);
   }
 
-  if (options_.fault.degraded) {
+  if (options_.fault.replan) {
+    // Elastic restart: the victim leaves the cluster for good and the partitioner re-plans
+    // over the survivors' speeds — layer ranges move, so the new plan may have a different
+    // stage count entirely. State migrates through the checkpoint (layer-range restore).
+    const StageAssignment& victim_stage = plan_.stage(options_.fault.stage);
+    PD_CHECK(options_.fault.replica >= 0 &&
+             options_.fault.replica < static_cast<int>(victim_stage.workers.size()));
+    live_workers_.erase(victim_stage.workers[static_cast<size_t>(options_.fault.replica)]);
+    PD_CHECK(!live_workers_.empty()) << "every worker is dead";
+    plan_ = ReplanOverLive();
+    ++replans_;
+    replan_latency_seconds_ += options_.fault.replan_seconds;
+  } else if (options_.fault.degraded) {
     // Eject the dead replica: the stage keeps running on the survivors with the round-robin
     // minibatch assignment rebalanced over the smaller rotation.
     std::vector<StageAssignment> stages = plan_.stages();
@@ -387,6 +443,61 @@ void PipelineSimulation::Restart() {
   completed_minibatches_ = restart_from_;
   round_bwd_done_ = 0;
   current_round_ = IsGPipeLike() ? restart_from_ / RoundSize() : 0;
+  BuildStages();
+  for (Replica* r : all_replicas_) {
+    TryDispatch(r);
+  }
+}
+
+PipelinePlan PipelineSimulation::ReplanOverLive() const {
+  std::vector<WorkerSpec> specs;
+  const std::vector<int> ids(live_workers_.begin(), live_workers_.end());
+  for (int w : ids) {
+    WorkerSpec spec;
+    spec.speed = SpeedOf(w);
+    specs.push_back(spec);
+  }
+  // Flat-interconnect approximation for the partitioner's communication model: the p2p rate
+  // between the first live pair (uniform topologies, the common sim configuration).
+  double bandwidth = 1e9;
+  if (ids.size() >= 2) {
+    bandwidth = topology_.EffectiveP2pBandwidthBetween(ids[0], ids[1]);
+  }
+  const PartitionResult repartition = PartitionHeterogeneous(profile_, specs, bandwidth);
+  std::vector<StageAssignment> stages = repartition.plan.stages();
+  for (StageAssignment& stage : stages) {
+    for (int& id : stage.workers) {
+      id = ids[static_cast<size_t>(id)];
+    }
+    std::sort(stage.workers.begin(), stage.workers.end());
+  }
+  PipelinePlan plan{std::move(stages)};
+  plan.Validate(profile_.num_layers());
+  return plan;
+}
+
+void PipelineSimulation::JoinRestart() {
+  // Quiesce-and-migrate at a checkpoint boundary: completed work survives (the boundary
+  // writes a fresh plan-tagged checkpoint), only in-flight minibatches re-execute.
+  if (stage_peak_stash_merged_.size() < stages_.size()) {
+    stage_peak_stash_merged_.resize(stages_.size(), 0);
+  }
+  for (Replica* r : all_replicas_) {
+    worker_busy_seconds_[static_cast<size_t>(r->worker)] += r->busy_time.ToSeconds();
+    stage_peak_stash_merged_[static_cast<size_t>(r->stage)] = std::max(
+        stage_peak_stash_merged_[static_cast<size_t>(r->stage)], r->peak_stash);
+  }
+  live_workers_.insert(options_.fault.join_worker);
+  plan_ = ReplanOverLive();
+  ++replans_;
+  replan_latency_seconds_ += options_.fault.replan_seconds;
+  ++incarnation_;
+  stages_.clear();
+  replicas_.clear();
+  all_replicas_.clear();
+  first_minibatch_ = completed_minibatches_;
+  round_bwd_done_ = 0;
+  current_round_ = 0;
   BuildStages();
   for (Replica* r : all_replicas_) {
     TryDispatch(r);
@@ -414,6 +525,19 @@ void PipelineSimulation::OnComplete(Replica* r, WorkType type, int64_t minibatch
       --r->in_flight;
       ++completed_minibatches_;
       completion_times_.push_back(engine_.now());
+      // Elastic join: once enough minibatches completed, the new worker is admitted after
+      // one replan_seconds window (the partitioner runs while the old plan keeps working;
+      // whatever is in flight when the switch lands re-executes under the new plan).
+      if (options_.fault.join_enabled && !join_fired_ &&
+          completed_minibatches_ >= options_.fault.join_at_minibatch) {
+        join_fired_ = true;
+        engine_.ScheduleAfter(SimTime::FromSeconds(options_.fault.replan_seconds),
+                              [this, inc = incarnation_] {
+                                if (inc == incarnation_) {
+                                  JoinRestart();
+                                }
+                              });
+      }
     }
     // Replicated-stage weight synchronization: one collective per round of `replicas`
     // backwards, overlapped with compute (wait-free), serialized on the stage's collective
@@ -498,7 +622,8 @@ SimResult PipelineSimulation::Run() {
       result.worker_utilization[w] = worker_busy_seconds_[w] / result.total_seconds;
     }
   }
-  for (size_t s = 0; s < stage_peak_stash_merged_.size(); ++s) {
+  for (size_t s = 0;
+       s < std::min(stage_peak_stash_merged_.size(), result.stage_peak_stash.size()); ++s) {
     result.stage_peak_stash[s] = stage_peak_stash_merged_[s];
   }
   for (Replica* r : all_replicas_) {
@@ -559,6 +684,9 @@ SimResult PipelineSimulation::Run() {
           static_cast<double>(after) * static_cast<double>(profile_.minibatch_size) / window;
     }
   }
+  result.replans = replans_;
+  result.replan_latency_seconds = replan_latency_seconds_;
+  result.final_plan = plan_;
   result.trace = std::move(trace_);
   return result;
 }

@@ -35,6 +35,16 @@ enum class ScheduleKind {
 // replicated stage and the survivors carry the rebalanced round-robin load.
 // For replicated / GPipe pipelines choose `checkpoint_every` as a multiple of the stage
 // replica counts (and the GPipe round size) so the rollback point is round-aligned.
+//
+// Elastic events (mirroring ElasticTrainer): with `replan` set, the restart does not respawn
+// or eject in place — it re-runs the heterogeneous partitioner over the SURVIVING workers
+// (speeds from SimOptions::worker_speeds) and resumes under the new plan, charging
+// `replan_seconds` of partitioner + migration latency on top of detection + restart. A join
+// event (`join_enabled`) fires once `join_at_minibatch` minibatches have completed: the
+// pipeline quiesces, `join_worker` is admitted to the live set, and the partitioner re-plans
+// over the enlarged cluster — no completed work is rolled back (the quiesce point writes a
+// fresh checkpoint), only in-flight minibatches re-execute. Both require a non-GPipe
+// schedule.
 struct SimFault {
   bool enabled = false;
   int stage = 0;
@@ -44,6 +54,12 @@ struct SimFault {
   double restart_seconds = 2.0;
   int64_t checkpoint_every = 100;
   bool degraded = false;
+  // --- elastic re-planning
+  bool replan = false;           // re-partition over survivors instead of respawn/eject
+  double replan_seconds = 0.5;   // partitioner + state-migration latency per re-plan
+  bool join_enabled = false;     // admit a new worker mid-run
+  int64_t join_at_minibatch = 0;
+  int join_worker = 0;           // topology worker id joining (not in the initial plan)
 };
 
 struct SimOptions {
@@ -74,6 +90,10 @@ struct SimOptions {
   // deployment without running one.
   double transport_latency_s = 0.0;
   double transport_bandwidth_bytes_per_s = 0.0;
+  // Per-worker relative speed factors indexed by topology worker id (1.0 = the profile's
+  // reference device; 0.5 = half speed, so compute takes 2x). Empty = uniform. Replica
+  // compute time scales by 1/speed; re-plans feed these to PartitionHeterogeneous.
+  std::vector<double> worker_speeds;
 };
 
 struct SimResult {
@@ -89,6 +109,10 @@ struct SimResult {
   double recovery_seconds = -1.0;             // virtual time the pipeline resumed
   int64_t reexecuted_minibatches = 0;         // completed work rolled back by the restart
   double post_recovery_throughput_samples_per_sec = 0.0;  // steady state after recovery
+  // --- elastic accounting (only meaningful when fault.replan / fault.join_enabled fired)
+  int replans = 0;                            // partitioner re-runs (death + join events)
+  double replan_latency_seconds = 0.0;        // total replan_seconds charged
+  PipelinePlan final_plan;                    // the plan the run finished under
 };
 
 SimResult SimulatePipeline(const ModelProfile& profile, const PipelinePlan& plan,

@@ -6,7 +6,9 @@
 
 #include "src/common/rng.h"
 #include "src/planner/partitioner.h"
+#include "src/planner/predictor.h"
 #include "src/profile/model_zoo.h"
+#include "src/sim/topology.h"
 
 namespace pipedream {
 namespace {
@@ -265,6 +267,89 @@ TEST(PartitionerTest, MemoryConstraintForcesMoreStages) {
   EXPECT_GE(constrained.plan.num_stages(), 2);
   // The constrained optimum cannot beat the unconstrained one.
   EXPECT_GE(constrained.bottleneck_seconds, loose.bottleneck_seconds - 1e-12);
+}
+
+ModelProfile UniformComputeProfile(int layers, double fwd_seconds) {
+  ModelProfile profile;
+  profile.model_name = "uniform";
+  profile.minibatch_size = 32;
+  for (int i = 0; i < layers; ++i) {
+    LayerProfile layer;
+    layer.name = "l" + std::to_string(i);
+    layer.fwd_seconds = fwd_seconds;
+    layer.bwd_seconds = 2.0 * fwd_seconds;
+    layer.activation_bytes = 1 << 10;  // negligible: the plan is compute-bound
+    layer.param_bytes = 1 << 10;
+    profile.layers.push_back(layer);
+  }
+  return profile;
+}
+
+TEST(PartitionerTest, HeterogeneousUniformSpeedsMatchesFlat) {
+  // With every speed equal, the heterogeneous DP must reduce to the flat DP (the uniform
+  // fast path literally delegates); a non-1.0 common speed just rescales the bottleneck.
+  const auto profile = RandomProfile(10, 77);
+  for (int workers = 2; workers <= 4; ++workers) {
+    const auto flat = PartitionFlat(profile, workers, 1e9);
+    const std::vector<WorkerSpec> specs(workers, WorkerSpec{1.0, 0});
+    const auto het = PartitionHeterogeneous(profile, specs, 1e9);
+    EXPECT_NEAR(het.bottleneck_seconds, flat.bottleneck_seconds,
+                1e-12 * flat.bottleneck_seconds)
+        << workers << " workers";
+    const std::vector<WorkerSpec> half(workers, WorkerSpec{0.5, 0});
+    const auto het_half = PartitionHeterogeneous(profile, half, 1e9);
+    EXPECT_NEAR(het_half.bottleneck_seconds, 2.0 * flat.bottleneck_seconds,
+                1e-9 * flat.bottleneck_seconds);
+  }
+}
+
+TEST(PartitionerTest, SkewedClusterShiftsLayersOffSlowWorker) {
+  // Speeds {1, 1, 0.5} over 12 uniform layers: a uniform split {4,4,4} leaves the half-
+  // speed device holding 4 layers at 2x cost (effective 0.24 s); the heterogeneous DP
+  // gives it a thin tail instead (e.g. {5,5,2} -> 0.15 s bottleneck).
+  const auto profile = UniformComputeProfile(12, 0.010);
+  const std::vector<WorkerSpec> specs = {{1.0, 0}, {1.0, 0}, {0.5, 0}};
+  PartitionerOptions options;
+  options.allow_replication = false;  // isolate the layer-placement effect
+  const auto het = PartitionHeterogeneous(profile, specs, 1e12, options);
+  het.plan.Validate(profile.num_layers());
+  ASSERT_EQ(het.plan.num_stages(), 3);
+  EXPECT_EQ(het.plan.total_workers(), 3);  // every worker is used
+
+  int slow_layers = -1;
+  for (const StageAssignment& stage : het.plan.stages()) {
+    ASSERT_EQ(stage.workers.size(), 1u);
+    if (stage.workers[0] == 2) slow_layers = stage.num_layers();
+  }
+  ASSERT_GE(slow_layers, 1) << "slow worker missing from the plan";
+  EXPECT_LT(slow_layers, 4) << "slow worker still holds a uniform share";
+  // Per-layer fwd+bwd = 0.03 s; the optimum puts 2 layers on the slow device: all three
+  // stages land at 0.10-0.15 s and the bottleneck is the slow stage at 0.12 s... the DP
+  // knows best — just pin the bound the uniform split cannot beat.
+  EXPECT_LT(het.bottleneck_seconds, 0.24 - 1e-9);
+  EXPECT_GE(het.bottleneck_seconds, 12 * 0.030 / (1.0 + 1.0 + 0.5) - 1e-9);  // work bound
+}
+
+TEST(PartitionerTest, SkewedPredictionBeatsUniformPlan) {
+  // The speed-aware predictor prices both plans on the same skewed cluster: the
+  // heterogeneous plan's predicted throughput strictly beats the uniform plan's.
+  const auto profile = UniformComputeProfile(12, 0.010);
+  const std::vector<WorkerSpec> specs = {{1.0, 0}, {1.0, 0}, {0.5, 0}};
+  PartitionerOptions options;
+  options.allow_replication = false;
+  const auto het = PartitionHeterogeneous(profile, specs, 1e12, options);
+  const auto uniform = PartitionFlat(profile, 3, 1e12, options);
+
+  const auto topology = HardwareTopology::Flat(3, 1e12);
+  const auto het_pred = PredictPlan(profile, het.plan, topology, specs);
+  const auto uniform_pred = PredictPlan(profile, uniform.plan, topology, specs);
+  EXPECT_GT(het_pred.throughput_samples_per_sec,
+            uniform_pred.throughput_samples_per_sec * 1.2)
+      << "het " << het.plan.ConfigString(profile.num_layers()) << " vs uniform "
+      << uniform.plan.ConfigString(profile.num_layers());
+  // Prediction and DP agree on the heterogeneous bottleneck.
+  EXPECT_NEAR(het_pred.bottleneck_seconds, het.bottleneck_seconds,
+              1e-9 + 0.01 * het.bottleneck_seconds);
 }
 
 TEST(PartitionerTest, RunsFastOnAllZooModels) {

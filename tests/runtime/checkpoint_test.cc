@@ -150,6 +150,118 @@ TEST_F(CheckpointTest, LatestCompleteEpochSkipsCorruptEpoch) {
   EXPECT_EQ(manager.LatestCompleteEpoch(2, 5), 0);
 }
 
+TEST_F(CheckpointTest, ManifestRoundTripAndLegacyFallback) {
+  CheckpointManager manager(dir_.string());
+  PlanManifest manifest;
+  manifest.plan_generation = 3;
+  manifest.num_layers = 7;
+  manifest.stage_layers = {{0, 5}, {5, 7}};
+  ASSERT_TRUE(manager.SaveManifest(4, manifest).ok());
+
+  PlanManifest loaded;
+  ASSERT_TRUE(manager.LoadManifest(4, &loaded).ok());
+  EXPECT_EQ(loaded.plan_generation, 3);
+  EXPECT_EQ(loaded.num_layers, 7);
+  ASSERT_EQ(loaded.num_stages(), 2);
+  EXPECT_EQ(loaded.stage_layers[0], (std::pair<int, int>{0, 5}));
+  EXPECT_EQ(loaded.stage_layers[1], (std::pair<int, int>{5, 7}));
+
+  // Legacy (pre-manifest) epochs report NotFound, not corruption.
+  EXPECT_EQ(manager.LoadManifest(9, &loaded).code(), StatusCode::kNotFound);
+}
+
+TEST_F(CheckpointTest, ManifestAuthoritativeForStageCountAcrossReplans) {
+  // Epoch 0 is written under a 3-stage plan, epoch 1 under a re-planned 2-stage plan. A
+  // caller still configured for 3 stages must find epoch 1 anyway: the manifest, not the
+  // caller's stage count, is the authority for manifest-carrying epochs. This is the exact
+  // mismatch that silently lost checkpoints before elastic re-planning landed.
+  CheckpointManager manager(dir_.string());
+  Rng rng(1);
+  const auto model = BuildMlpClassifier(4, {8}, 3, &rng);
+  const auto params = model->Params();
+
+  for (int stage = 0; stage < 3; ++stage) {
+    ASSERT_TRUE(manager.SaveStage(stage, 0, params).ok());
+  }
+  PlanManifest gen0;
+  gen0.plan_generation = 0;
+  gen0.num_layers = 3;
+  gen0.stage_layers = {{0, 1}, {1, 2}, {2, 3}};
+  ASSERT_TRUE(manager.SaveManifest(0, gen0).ok());
+
+  for (int stage = 0; stage < 2; ++stage) {
+    ASSERT_TRUE(manager.SaveStage(stage, 1, params).ok());
+  }
+  PlanManifest gen1;
+  gen1.plan_generation = 1;
+  gen1.num_layers = 3;
+  gen1.stage_layers = {{0, 2}, {2, 3}};
+  ASSERT_TRUE(manager.SaveManifest(1, gen1).ok());
+
+  EXPECT_EQ(manager.LatestCompleteEpoch(3, 5), 1);  // stale caller still finds epoch 1
+  EXPECT_EQ(manager.LatestCompleteEpoch(2, 5), 1);
+  EXPECT_EQ(manager.LatestCompleteEpoch(2, 0), 0);  // capped search respects the manifest
+}
+
+TEST_F(CheckpointTest, TornManifestPoisonsEpoch) {
+  // A manifest that fails footer validation marks the whole epoch untrustworthy — the
+  // stage files may belong to a different plan than the torn manifest described.
+  CheckpointManager manager(dir_.string());
+  Rng rng(1);
+  const auto model = BuildMlpClassifier(4, {8}, 3, &rng);
+  const auto params = model->Params();
+  for (int64_t epoch = 0; epoch < 2; ++epoch) {
+    for (int stage = 0; stage < 2; ++stage) {
+      ASSERT_TRUE(manager.SaveStage(stage, epoch, params).ok());
+    }
+    PlanManifest manifest;
+    manifest.plan_generation = epoch;
+    manifest.num_layers = 3;
+    manifest.stage_layers = {{0, 2}, {2, 3}};
+    ASSERT_TRUE(manager.SaveManifest(epoch, manifest).ok());
+  }
+  EXPECT_EQ(manager.LatestCompleteEpoch(2, 5), 1);
+
+  const auto victim = manager.ManifestPath(1);
+  const auto full_size = std::filesystem::file_size(victim);
+  std::filesystem::resize_file(victim, full_size - 3);
+  PlanManifest loaded;
+  EXPECT_EQ(manager.LoadManifest(1, &loaded).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(manager.LatestCompleteEpoch(2, 5), 0);  // fell back to the intact epoch
+}
+
+TEST_F(CheckpointTest, CrossPlanRestoreRemapsByLayerRange) {
+  // Save under a 2-stage plan with the cut at layer 2, restore into a 2-stage plan with
+  // the cut at layer 1: stage->stage restore would feed stage 1 the wrong layers, so the
+  // loader must remap through the manifest's layer ranges.
+  const Dataset data = MakeGaussianMixture(3, 4, 48, 0.4, 7);
+  SoftmaxCrossEntropy loss;
+  Sgd sgd(0.05);
+  auto make_trainer = [&](const std::vector<int>& cuts) {
+    Rng rng(1);
+    const auto model = BuildMlpClassifier(4, {8}, 3, &rng);
+    const auto plan = MakeStraightPlan(static_cast<int>(model->size()), cuts);
+    return std::make_unique<PipelineTrainer>(*model, plan, &loss, sgd, &data, 8,
+                                             /*seed=*/5);
+  };
+
+  auto writer = make_trainer({2});
+  writer->TrainEpoch();
+  CheckpointManager manager(dir_.string());
+  ASSERT_TRUE(writer->SaveCheckpoint(&manager, 0).ok());
+
+  auto reader = make_trainer({1});  // different stage boundaries, same model
+  ASSERT_TRUE(reader->LoadCheckpoint(manager, 0).ok());
+  const auto a = writer->AssembleModel();
+  const auto b = reader->AssembleModel();
+  const auto pa = a->Params();
+  const auto pb = b->Params();
+  ASSERT_EQ(pa.size(), pb.size());
+  for (size_t i = 0; i < pa.size(); ++i) {
+    EXPECT_EQ(MaxAbsDiff(pa[i]->value, pb[i]->value), 0.0) << pa[i]->name;
+  }
+}
+
 TEST_F(CheckpointTest, TrainerResumeReproducesRun) {
   // Train 4 epochs straight vs. train 2, checkpoint, restore into a fresh trainer, train 2
   // more — final weights must match exactly (checkpoints at epoch boundaries, §4).

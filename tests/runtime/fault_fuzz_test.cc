@@ -19,6 +19,7 @@
 #include "src/runtime/checkpoint.h"
 #include "src/runtime/fault.h"
 #include "src/runtime/pipeline_trainer.h"
+#include "src/tensor/ops.h"
 
 namespace pipedream {
 namespace {
@@ -96,6 +97,67 @@ TEST(FaultFuzzTest, RandomPlansNeverDeadlockOrLoseMinibatches) {
   // The sweep is vacuous if no fault ever fires; Random targets [0, 2*bpe) so most plans hit.
   EXPECT_GT(total_fired, 0);
   std::filesystem::remove_all(base_dir);
+}
+
+TEST(FaultFuzzTest, SecondKillDuringRecoveryReplaysBitwise) {
+  // Double fault with deterministic ordering: stage 0 dies at minibatch bpe+5, so no input
+  // past bpe+4 ever reaches stage 1 before the rollback — the stage-1 kill at bpe+12 can
+  // only fire DURING the replay of the first recovery. Nested recovery must roll back
+  // again and still converge to the clean run bitwise on the epoch grid.
+  const Dataset data = MakeGaussianMixture(3, 4, 48, 0.4, 7);
+  SoftmaxCrossEntropy loss;
+  Sgd sgd(0.05);
+  RecoveryOptions recovery;
+  recovery.heartbeat_timeout_ms = 1000;
+  recovery.progress_timeout_ms = 400;
+  recovery.worker_tick_ms = 5;
+  recovery.watchdog_poll_ms = 2;
+
+  const auto ckpt_dir = std::filesystem::temp_directory_path() /
+                        ("pd_fault_fuzz_double_" + std::to_string(::getpid()));
+  std::filesystem::create_directories(ckpt_dir);
+
+  auto make_trainer = [&]() {
+    Rng rng(1);
+    const auto model = BuildMlpClassifier(4, {8}, 3, &rng);
+    return std::make_unique<PipelineTrainer>(*model, MakeStraightPlan(3, {2}), &loss, sgd,
+                                             &data, 8, /*seed=*/5);
+  };
+
+  auto clean = make_trainer();
+  auto faulty = make_trainer();
+  CheckpointManager manager(ckpt_dir.string());
+  faulty->EnableRecovery(&manager, recovery);
+  const int64_t bpe = faulty->batches_per_epoch();
+
+  FaultPlan fault_plan;
+  fault_plan.events.push_back({FaultKind::kKillWorker, /*stage=*/0, /*replica=*/0,
+                               /*minibatch=*/bpe + 5, WorkType::kForward, 0.0});
+  fault_plan.events.push_back({FaultKind::kKillWorker, /*stage=*/1, /*replica=*/0,
+                               /*minibatch=*/bpe + 12, WorkType::kForward, 0.0});
+  FaultInjector injector(fault_plan);
+  faulty->SetFaultInjector(&injector);
+
+  int64_t recoveries = 0;
+  for (int epoch = 0; epoch < 3; ++epoch) {
+    clean->TrainEpoch();
+    const EpochStats stats = faulty->TrainEpoch();
+    EXPECT_EQ(stats.minibatches, bpe) << "lost minibatches in epoch " << epoch;
+    EXPECT_TRUE(std::isfinite(stats.mean_loss));
+    recoveries += stats.recoveries;
+  }
+  EXPECT_EQ(injector.faults_fired(), 2);
+  EXPECT_GE(recoveries, 2);  // each kill cost its own rollback
+
+  const auto a = clean->AssembleModel();
+  const auto b = faulty->AssembleModel();
+  const auto pa = a->Params();
+  const auto pb = b->Params();
+  ASSERT_EQ(pa.size(), pb.size());
+  for (size_t i = 0; i < pa.size(); ++i) {
+    EXPECT_EQ(MaxAbsDiff(pa[i]->value, pb[i]->value), 0.0) << pa[i]->name;
+  }
+  std::filesystem::remove_all(ckpt_dir);
 }
 
 }  // namespace

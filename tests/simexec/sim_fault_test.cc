@@ -149,5 +149,102 @@ TEST(SimFaultTest, GPipeFaultRollsBackToRoundAlignedCheckpoint) {
             options.fault.checkpoint_every + options.gpipe_microbatches);
 }
 
+TEST(SimFaultTest, WorkerSpeedsScaleCompute) {
+  // A uniformly half-speed cluster takes ~2x the compute-bound makespan.
+  const auto profile = UniformProfile(8, 0.010, /*activation_bytes=*/1 << 10,
+                                      /*param_bytes=*/1 << 10);
+  const auto plan = MakeStraightPlan(8, {2, 4, 6});
+  const auto topo = HardwareTopology::Flat(4, 1e12);
+  SimOptions options;
+  options.num_minibatches = 200;
+  const auto fast = SimulatePipeline(profile, plan, topo, options);
+  options.worker_speeds = {0.5, 0.5, 0.5, 0.5};
+  const auto slow = SimulatePipeline(profile, plan, topo, options);
+  EXPECT_NEAR(slow.total_seconds, 2.0 * fast.total_seconds, 0.05 * slow.total_seconds);
+  EXPECT_NEAR(slow.throughput_samples_per_sec, 0.5 * fast.throughput_samples_per_sec,
+              0.05 * fast.throughput_samples_per_sec);
+
+  // One slow worker on the bottleneck stage gates its stage at 2x.
+  options.worker_speeds = {1.0, 1.0, 0.5, 1.0};
+  const auto skewed = SimulatePipeline(profile, plan, topo, options);
+  EXPECT_GT(skewed.total_seconds, 1.5 * fast.total_seconds);
+  EXPECT_LT(skewed.total_seconds, slow.total_seconds);
+}
+
+TEST(SimFaultTest, ReplanRecoveryBeatsDegradedForever) {
+  // Kill one input-stage replica on a skewed 4-worker cluster. Degraded mode leaves the
+  // surviving replica serializing both residue classes forever; elastic re-planning
+  // re-partitions the layers over the three survivors and recovers strictly more
+  // steady-state throughput — the tentpole claim, priced in virtual time.
+  const auto profile = UniformProfile(8, 0.010, /*activation_bytes=*/1 << 10,
+                                      /*param_bytes=*/1 << 10);
+  const auto plan = MakePlanFromShape({{4, 2}, {4, 2}});
+  const auto topo = HardwareTopology::Flat(4, 1e12);
+  SimOptions options;
+  options.num_minibatches = 400;
+  options.worker_speeds = {1.0, 1.0, 1.0, 0.5};
+  options.fault.enabled = true;
+  options.fault.stage = 0;
+  options.fault.replica = 1;
+  options.fault.at_minibatch = 201;  // replica 1 owns odd minibatches
+  options.fault.detection_seconds = 0.1;
+  options.fault.restart_seconds = 0.5;
+  options.fault.checkpoint_every = 100;
+
+  options.fault.degraded = true;
+  const auto degraded = SimulatePipeline(profile, plan, topo, options);
+
+  options.fault.degraded = false;
+  options.fault.replan = true;
+  options.fault.replan_seconds = 0.5;
+  const auto replanned = SimulatePipeline(profile, plan, topo, options);
+
+  ASSERT_GE(replanned.fault_seconds, 0.0);
+  EXPECT_EQ(replanned.replans, 1);
+  EXPECT_NEAR(replanned.replan_latency_seconds, options.fault.replan_seconds, 1e-9);
+  // The re-plan pause covers partition + migration on top of detection + restart.
+  EXPECT_NEAR(replanned.recovery_seconds - replanned.fault_seconds,
+              options.fault.detection_seconds + options.fault.restart_seconds +
+                  options.fault.replan_seconds,
+              1e-9);
+  // The final plan runs on the three survivors; the dead worker (stage 0 replica 1 =
+  // worker 1) appears in no stage.
+  EXPECT_EQ(replanned.final_plan.total_workers(), 3);
+  for (const StageAssignment& stage : replanned.final_plan.stages()) {
+    for (int worker : stage.workers) {
+      EXPECT_NE(worker, 1);
+    }
+  }
+  // The acceptance bar: re-planned steady state strictly beats degraded-forever.
+  EXPECT_GT(replanned.post_recovery_throughput_samples_per_sec,
+            degraded.post_recovery_throughput_samples_per_sec);
+}
+
+TEST(SimFaultTest, JoinWorkerReplansAndFinishes) {
+  // A 3-worker pipeline; worker 3 joins after minibatch 150. The join re-plans over the
+  // enlarged cluster without rolling back completed work, and the run finishes faster
+  // than never admitting the newcomer.
+  const auto profile = UniformProfile(8, 0.010, /*activation_bytes=*/1 << 10,
+                                      /*param_bytes=*/1 << 10);
+  const auto plan = MakeStraightPlan(8, {3, 6});
+  const auto topo = HardwareTopology::Flat(4, 1e12);
+  SimOptions options;
+  options.num_minibatches = 400;
+  const auto baseline = SimulatePipeline(profile, plan, topo, options);
+
+  options.fault.join_enabled = true;
+  options.fault.join_at_minibatch = 150;
+  options.fault.join_worker = 3;
+  options.fault.replan_seconds = 0.5;
+  const auto joined = SimulatePipeline(profile, plan, topo, options);
+
+  EXPECT_EQ(joined.replans, 1);
+  EXPECT_EQ(joined.final_plan.total_workers(), 4);
+  EXPECT_EQ(joined.reexecuted_minibatches, 0);  // quiesce point: nothing rolls back
+  // 4 workers on the back half beats 3 workers throughout, even after paying the
+  // re-plan pause.
+  EXPECT_LT(joined.total_seconds, baseline.total_seconds);
+}
+
 }  // namespace
 }  // namespace pipedream
