@@ -1,11 +1,15 @@
-// Naive-vs-blocked kernel throughput: GFLOP/s for matmul and conv across sizes.
+// Kernel-variant throughput + roofline: GFLOP/s for matmul and conv across sizes, for
+// every kernel variant (naive / blocked / simd), against the measured micro-kernel peak.
 //
 // Usage: bench_micro_kernels [--json]
 //   --json   emit a machine-readable report (the format stored in BENCH_kernels.json)
 //
-// Both kernels are timed from the same binary with identical compiler flags, so the ratio
-// isolates the algorithmic win (cache blocking + register tiling + packing) from compiler
-// settings. Timings use best-of-N to shed scheduler noise.
+// All variants are timed from the same binary with identical compiler flags, so the
+// ratios isolate the algorithmic win (cache blocking, register tiling, packing, explicit
+// SIMD) from compiler settings. The roofline ceiling is the in-L1 register-tile rate from
+// MicroKernelPeakGflops: pct_peak says how much of the pure-FMA rate survives packing,
+// cache traffic, and edge tiles. Timings use best-of-N to shed scheduler noise, and every
+// variant of a case runs in one process so ratios hold under host frequency drift.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -16,10 +20,13 @@
 #include "src/common/rng.h"
 #include "src/tensor/init.h"
 #include "src/tensor/ops.h"
-#include "src/tensor/ref_ops.h"
 
 namespace pipedream {
 namespace {
+
+constexpr KernelVariant kVariants[] = {KernelVariant::kNaive, KernelVariant::kBlocked,
+                                       KernelVariant::kSimd};
+constexpr int kNumVariants = 3;
 
 double NowSeconds() {
   return std::chrono::duration<double>(
@@ -42,27 +49,36 @@ double TimeBest(int reps, Fn&& fn) {
 struct Row {
   std::string label;
   double flops = 0.0;
-  double naive_seconds = 0.0;
-  double blocked_seconds = 0.0;
+  double seconds[kNumVariants] = {0.0, 0.0, 0.0};
 
-  double naive_gflops() const { return flops / naive_seconds / 1e9; }
-  double blocked_gflops() const { return flops / blocked_seconds / 1e9; }
-  double speedup() const { return naive_seconds / blocked_seconds; }
+  double gflops(int v) const { return flops / seconds[v] / 1e9; }
+  // Interleaving the variants' timing loops would be fairer still, but best-of-N per
+  // variant back to back keeps each measurement inside one frequency regime in practice.
+  double speedup_vs_naive(int v) const { return seconds[0] / seconds[v]; }
+  double simd_over_blocked() const { return seconds[1] / seconds[2]; }
 };
+
+// Times fn() once per kernel variant (the variant is pinned around each run).
+template <typename Fn>
+void TimeVariants(int reps, Row* row, Fn&& fn) {
+  for (int v = 0; v < kNumVariants; ++v) {
+    SetKernelVariantForTesting(kVariants[v]);
+    row->seconds[v] = TimeBest(reps, fn);
+  }
+  ClearKernelVariantForTesting();
+}
 
 Row BenchMatmul(int64_t n, int reps) {
   Rng rng(1);
   Tensor a({n, n});
   Tensor b({n, n});
-  Tensor c_naive;
-  Tensor c_blocked;
+  Tensor c;
   InitGaussian(&a, 1.0f, &rng);
   InitGaussian(&b, 1.0f, &rng);
   Row row;
   row.label = "matmul " + std::to_string(n) + "x" + std::to_string(n) + "x" + std::to_string(n);
   row.flops = 2.0 * static_cast<double>(n) * n * n;
-  row.naive_seconds = TimeBest(reps, [&] { ref::Gemm(a, false, b, false, 1.0f, 0.0f, &c_naive); });
-  row.blocked_seconds = TimeBest(reps, [&] { Gemm(a, false, b, false, 1.0f, 0.0f, &c_blocked); });
+  TimeVariants(reps, &row, [&] { Gemm(a, false, b, false, 1.0f, 0.0f, &c); });
   return row;
 }
 
@@ -80,8 +96,7 @@ Row BenchConv(int64_t batch, int64_t ic, int64_t oc, int64_t hw, int64_t k, int 
   Tensor input({batch, ic, hw, hw});
   Tensor weight({oc, ic, k, k});
   Tensor bias({oc});
-  Tensor out_naive;
-  Tensor out_blocked;
+  Tensor out;
   InitGaussian(&input, 1.0f, &rng);
   InitGaussian(&weight, 0.1f, &rng);
   Row row;
@@ -92,32 +107,46 @@ Row BenchConv(int64_t batch, int64_t ic, int64_t oc, int64_t hw, int64_t k, int 
                 static_cast<long long>(hw), static_cast<long long>(k));
   row.label = label;
   row.flops = 2.0 * static_cast<double>(batch) * oc * g.out_h() * g.out_w() * ic * k * k;
-  row.naive_seconds = TimeBest(reps, [&] { ref::Conv2dForward(input, weight, bias, g, &out_naive); });
-  row.blocked_seconds = TimeBest(reps, [&] { Conv2dForward(input, weight, bias, g, &out_blocked); });
+  TimeVariants(reps, &row, [&] { Conv2dForward(input, weight, bias, g, &out); });
   return row;
 }
 
 int Main(int argc, char** argv) {
   const bool json = argc > 1 && std::strcmp(argv[1], "--json") == 0;
+  // Micro-kernel peaks first (cold caches elsewhere don't matter: panels live in L1).
+  const double peak_blocked = MicroKernelPeakGflops(KernelVariant::kBlocked);
+  const double peak_simd = MicroKernelPeakGflops(KernelVariant::kSimd);
+  const double ceiling = std::max(peak_blocked, peak_simd);
+
   std::vector<Row> matmul;
   for (const int64_t n : {128, 256, 384, 512}) {
-    matmul.push_back(BenchMatmul(n, n <= 256 ? 5 : 3));
+    matmul.push_back(BenchMatmul(n, n <= 256 ? 9 : 7));
   }
   std::vector<Row> conv;
-  conv.push_back(BenchConv(4, 8, 16, 32, 3, 5));
-  conv.push_back(BenchConv(8, 16, 32, 32, 3, 3));
-  conv.push_back(BenchConv(4, 32, 64, 16, 3, 3));
+  conv.push_back(BenchConv(4, 8, 16, 32, 3, 7));
+  conv.push_back(BenchConv(8, 16, 32, 32, 3, 5));
+  conv.push_back(BenchConv(4, 32, 64, 16, 3, 5));
 
   if (json) {
-    std::printf("{\n  \"note\": \"GFLOP/s, best-of-N wall time, single thread\",\n");
-    auto emit = [](const char* key, const std::vector<Row>& rows, bool last) {
+    std::printf("{\n  \"note\": \"GFLOP/s, best-of-N wall time, single thread; pct_peak "
+                "is vs the measured in-L1 micro-kernel roofline\",\n");
+    std::printf("  \"simd_isa\": \"%s\",\n", SimdKernelIsa());
+    std::printf("  \"micro_kernel_peak_gflops\": {\"blocked\": %.3f, \"simd\": %.3f},\n",
+                peak_blocked, peak_simd);
+    std::printf("  \"roofline_ceiling_gflops\": %.3f,\n", ceiling);
+    auto emit = [&](const char* key, const std::vector<Row>& rows, bool last) {
       std::printf("  \"%s\": [\n", key);
       for (size_t i = 0; i < rows.size(); ++i) {
         const Row& r = rows[i];
-        std::printf("    {\"case\": \"%s\", \"naive_gflops\": %.3f, \"blocked_gflops\": %.3f, "
-                    "\"speedup\": %.2f}%s\n",
-                    r.label.c_str(), r.naive_gflops(), r.blocked_gflops(), r.speedup(),
-                    i + 1 < rows.size() ? "," : "");
+        for (int v = 0; v < kNumVariants; ++v) {
+          const bool end = i + 1 == rows.size() && v + 1 == kNumVariants;
+          std::printf("    {\"case\": \"%s\", \"kernel_variant\": \"%s\", "
+                      "\"gflops\": %.3f, \"pct_peak\": %.1f, \"speedup_vs_naive\": %.2f, "
+                      "\"simd_over_blocked\": %.2f}%s\n",
+                      r.label.c_str(), KernelVariantName(kVariants[v]), r.gflops(v),
+                      100.0 * r.gflops(v) / ceiling, r.speedup_vs_naive(v),
+                      r.simd_over_blocked(), end ? "" : ",");
+        }
       }
       std::printf("  ]%s\n", last ? "" : ",");
     };
@@ -127,11 +156,18 @@ int Main(int argc, char** argv) {
     return 0;
   }
 
-  std::printf("%-28s %12s %12s %9s\n", "case", "naive GF/s", "blocked GF/s", "speedup");
+  std::printf("micro-kernel roofline: blocked %.1f GF/s, simd(%s) %.1f GF/s, ceiling %.1f GF/s\n\n",
+              peak_blocked, SimdKernelIsa(), peak_simd, ceiling);
+  std::printf("%-28s %10s %9s %7s %11s %11s\n", "case", "variant", "GF/s", "%peak",
+              "vs naive", "simd/blkd");
   for (const auto& rows : {&matmul, &conv}) {
     for (const Row& r : *rows) {
-      std::printf("%-28s %12.3f %12.3f %8.2fx\n", r.label.c_str(), r.naive_gflops(),
-                  r.blocked_gflops(), r.speedup());
+      for (int v = 0; v < kNumVariants; ++v) {
+        std::printf("%-28s %10s %9.3f %6.1f%% %10.2fx %10.2fx\n", r.label.c_str(),
+                    KernelVariantName(kVariants[v]), r.gflops(v),
+                    100.0 * r.gflops(v) / ceiling, r.speedup_vs_naive(v),
+                    v == 2 ? r.simd_over_blocked() : 0.0);
+      }
     }
   }
   return 0;

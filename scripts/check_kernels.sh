@@ -1,0 +1,29 @@
+#!/bin/sh
+# Kernel dispatch matrix check: builds the tree twice (native ISA and the portable
+# baseline with -march=native disabled) and runs the `kernels` ctest label in each.
+# Within every run the label covers the remaining axes itself: ops_test/kernel_diff_test
+# run under default dispatch, their *_naive duplicates re-run with PIPEDREAM_NAIVE_KERNELS=1,
+# and the variant-pinned suites inside kernel_diff_test exercise blocked and simd
+# explicitly (on the portable build "simd" is its scalar restrict fallback — the point of
+# the second build: that fallback must keep compiling and passing without a vector ISA).
+#
+# Usage: scripts/check_kernels.sh [build-dir-prefix]   (default: build-kcheck)
+set -eu
+
+cd "$(dirname "$0")/.."
+prefix="${1:-build-kcheck}"
+
+run_one() {
+  dir="$1"
+  shift
+  echo "== configure $dir ($*)"
+  cmake -B "$dir" -S . "$@" > /dev/null
+  cmake --build "$dir" -j > /dev/null
+  echo "== ctest -L kernels in $dir"
+  (cd "$dir" && ctest -L kernels --output-on-failure)
+}
+
+run_one "${prefix}-native"
+run_one "${prefix}-portable" -DPIPEDREAM_PORTABLE=ON
+
+echo "kernel matrix OK: native + portable builds, default and naive dispatch"

@@ -1,0 +1,49 @@
+#include "src/planner/calibration.h"
+
+#include <algorithm>
+
+namespace pipedream {
+
+std::vector<std::pair<int, int>> StageLayerRanges(const PipelinePlan& plan) {
+  std::vector<std::pair<int, int>> ranges;
+  ranges.reserve(static_cast<size_t>(plan.num_stages()));
+  for (const StageAssignment& stage : plan.stages()) {
+    ranges.emplace_back(stage.begin_layer, stage.end_layer);
+  }
+  return ranges;
+}
+
+MeasuredProfile CollectMeasuredProfileForPlan(const PipelinePlan& plan) {
+  return CollectMeasuredProfile(StageLayerRanges(plan));
+}
+
+std::vector<WorkerSpec> MeasuredWorkerSpecs(const ModelProfile& estimated,
+                                            const PipelinePlan& plan,
+                                            const MeasuredProfile& measured) {
+  int max_worker = -1;
+  for (const StageAssignment& stage : plan.stages()) {
+    for (int w : stage.workers) {
+      max_worker = std::max(max_worker, w);
+    }
+  }
+  std::vector<WorkerSpec> specs(static_cast<size_t>(max_worker + 1));
+  for (const MeasuredStageOps& ops : measured.stages) {
+    if (ops.stage < 0 || ops.stage >= plan.num_stages()) {
+      continue;
+    }
+    if (ops.samples <= 0 || ops.total_seconds() <= 0.0) {
+      continue;
+    }
+    const double est = estimated.ComputeSeconds(ops.begin_layer, ops.end_layer);
+    if (est <= 0.0) {
+      continue;
+    }
+    const double speed = est / ops.total_seconds();
+    for (int w : plan.stage(ops.stage).workers) {
+      specs[static_cast<size_t>(w)].speed = speed;
+    }
+  }
+  return specs;
+}
+
+}  // namespace pipedream

@@ -1,0 +1,40 @@
+// Measured-speed feedback: closes the paper's profiler loop (§3.1) over a live run.
+//
+// The estimated ModelProfile seeds the first plan; once the pipeline has run, the obs
+// layer holds per-stage op-time histograms. This module maps those measurements back onto
+// planner inputs: a recalibrated per-layer profile (RecalibrateProfile, layer_profile.h)
+// and per-worker WorkerSpec.speed values, so PartitionHeterogeneous and PredictPlan run on
+// observed numbers instead of configured ones.
+#ifndef SRC_PLANNER_CALIBRATION_H_
+#define SRC_PLANNER_CALIBRATION_H_
+
+#include <utility>
+#include <vector>
+
+#include "src/planner/plan.h"
+#include "src/profile/layer_profile.h"
+#include "src/profile/profiler.h"
+
+namespace pipedream {
+
+// The [begin, end) layer range each stage of `plan` hosts, indexed by stage.
+std::vector<std::pair<int, int>> StageLayerRanges(const PipelinePlan& plan);
+
+// Aggregates the metrics registry's runtime/stage<s>/{fwd,bwd}_seconds histograms for
+// every stage of `plan` (CollectMeasuredProfile over StageLayerRanges).
+MeasuredProfile CollectMeasuredProfileForPlan(const PipelinePlan& plan);
+
+// Derives per-worker speeds from measured stage times: every worker hosting stage s gets
+// speed = estimated_stage_seconds / measured_stage_seconds, i.e. how much faster (>1) or
+// slower (<1) the device ran the stage than the profile's reference device predicted.
+// Replicas of a stage share one histogram, so they share one measured speed. The result is
+// indexed by global worker id (size = max worker id + 1); workers outside the plan and
+// stages with no samples or a zero estimate keep speed 1. Feed the result to
+// PartitionHeterogeneous / PredictPlan to re-plan on observed throughput.
+std::vector<WorkerSpec> MeasuredWorkerSpecs(const ModelProfile& estimated,
+                                            const PipelinePlan& plan,
+                                            const MeasuredProfile& measured);
+
+}  // namespace pipedream
+
+#endif  // SRC_PLANNER_CALIBRATION_H_

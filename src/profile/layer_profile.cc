@@ -46,6 +46,38 @@ ModelProfile ModelProfile::Scaled(double compute_speedup, double byte_factor) co
   return out;
 }
 
+ModelProfile RecalibrateProfile(const ModelProfile& estimated, const MeasuredProfile& measured) {
+  ModelProfile out = estimated;
+  for (const MeasuredStageOps& stage : measured.stages) {
+    PD_CHECK(stage.begin_layer >= 0 && stage.begin_layer <= stage.end_layer &&
+             stage.end_layer <= out.num_layers())
+        << "measured stage " << stage.stage << " covers layers [" << stage.begin_layer
+        << ", " << stage.end_layer << ") outside the profile";
+    if (stage.samples <= 0 || stage.begin_layer == stage.end_layer) {
+      continue;
+    }
+    double est_fwd = 0.0;
+    double est_bwd = 0.0;
+    for (int i = stage.begin_layer; i < stage.end_layer; ++i) {
+      est_fwd += out.layers[static_cast<size_t>(i)].fwd_seconds;
+      est_bwd += out.layers[static_cast<size_t>(i)].bwd_seconds;
+    }
+    const int layer_count = stage.end_layer - stage.begin_layer;
+    for (int i = stage.begin_layer; i < stage.end_layer; ++i) {
+      LayerProfile& layer = out.layers[static_cast<size_t>(i)];
+      // Scale within the stage so the sum matches the measurement; with no estimate to
+      // apportion by, spread uniformly.
+      layer.fwd_seconds = est_fwd > 0.0
+                              ? layer.fwd_seconds * (stage.fwd_seconds / est_fwd)
+                              : stage.fwd_seconds / layer_count;
+      layer.bwd_seconds = est_bwd > 0.0
+                              ? layer.bwd_seconds * (stage.bwd_seconds / est_bwd)
+                              : stage.bwd_seconds / layer_count;
+    }
+  }
+  return out;
+}
+
 ModelProfile ModelProfile::WithBatchScaled(double factor) const {
   PD_CHECK_GT(factor, 0.0);
   ModelProfile out = *this;

@@ -70,6 +70,48 @@ struct ModelProfile {
   ModelProfile WithBatchScaled(double factor) const;
 };
 
+// Measured per-stage op times for one pipeline stage, aggregated from a live run (the
+// runtime's runtime/stage<s>/{fwd,bwd}_seconds histograms): mean seconds per minibatch on
+// one replica, plus the layer range the stage hosted so the times map back onto a
+// ModelProfile. This is the feedback half of the paper's profiler loop (§3.1): estimates
+// seed the first plan, measurements recalibrate the next one.
+struct MeasuredStageOps {
+  int stage = 0;
+  int begin_layer = 0;  // inclusive
+  int end_layer = 0;    // exclusive
+  double fwd_seconds = 0.0;  // mean per minibatch
+  double bwd_seconds = 0.0;  // mean per minibatch
+  int64_t samples = 0;       // observations behind the means (0 = stage never ran)
+
+  double total_seconds() const { return fwd_seconds + bwd_seconds; }
+};
+
+// A runtime-measured profile: one entry per pipeline stage, covering disjoint layer
+// ranges. Produced by CollectMeasuredProfile (profiler.h); consumed by RecalibrateProfile
+// and the planner's MeasuredWorkerSpecs.
+struct MeasuredProfile {
+  std::string source;  // e.g. "runtime" — where the measurements came from
+  std::vector<MeasuredStageOps> stages;
+
+  // True when no stage recorded any observation (nothing to recalibrate from).
+  bool empty() const {
+    for (const MeasuredStageOps& s : stages) {
+      if (s.samples > 0) {
+        return false;
+      }
+    }
+    return true;
+  }
+};
+
+// Replaces estimated per-layer costs with measured ones: within each measured stage's
+// layer range, per-layer fwd/bwd times are scaled so their sums match the stage's measured
+// means (intra-stage ratios are preserved; a stage whose estimated time is zero spreads
+// the measurement uniformly over its layers). Stages with no samples and layers outside
+// every measured range keep their estimates. Sizes (activation/param bytes) are exact
+// already and pass through untouched.
+ModelProfile RecalibrateProfile(const ModelProfile& estimated, const MeasuredProfile& measured);
+
 }  // namespace pipedream
 
 #endif  // SRC_PROFILE_LAYER_PROFILE_H_

@@ -1,6 +1,10 @@
 #include "src/profile/profiler.h"
 
+#include <algorithm>
 #include <chrono>
+
+#include "src/common/strings.h"
+#include "src/obs/metrics.h"
 
 namespace pipedream {
 namespace {
@@ -58,6 +62,33 @@ ModelProfile ProfileModel(const Sequential& model, const Tensor& sample_input,
     profile.layers[i].param_bytes = model.layer(i)->ParamBytes();
   }
   return profile;
+}
+
+MeasuredProfile CollectMeasuredProfile(const std::vector<std::pair<int, int>>& stage_layers) {
+  MeasuredProfile measured;
+  measured.source = "runtime";
+  measured.stages.reserve(stage_layers.size());
+  for (size_t s = 0; s < stage_layers.size(); ++s) {
+    MeasuredStageOps ops;
+    ops.stage = static_cast<int>(s);
+    ops.begin_layer = stage_layers[s].first;
+    ops.end_layer = stage_layers[s].second;
+    const RunningStat fwd =
+        obs::GetHistogram(StrFormat("runtime/stage%d/fwd_seconds", ops.stage))->snapshot();
+    const RunningStat bwd =
+        obs::GetHistogram(StrFormat("runtime/stage%d/bwd_seconds", ops.stage))->snapshot();
+    // A forward-only tail (pipeline drain) can leave the counts slightly unequal; the
+    // means are per-op either way. `samples` reports the smaller side so consumers can
+    // judge confidence.
+    ops.fwd_seconds = fwd.count() > 0 ? fwd.mean() : 0.0;
+    ops.bwd_seconds = bwd.count() > 0 ? bwd.mean() : 0.0;
+    ops.samples = std::min(fwd.count(), bwd.count());
+    if (ops.samples == 0) {
+      ops.samples = std::max(fwd.count(), bwd.count());
+    }
+    measured.stages.push_back(ops);
+  }
+  return measured;
 }
 
 }  // namespace pipedream

@@ -4,6 +4,9 @@
 #ifndef SRC_PROFILE_PROFILER_H_
 #define SRC_PROFILE_PROFILER_H_
 
+#include <utility>
+#include <vector>
+
 #include "src/graph/sequential.h"
 #include "src/profile/layer_profile.h"
 
@@ -19,6 +22,14 @@ struct ProfilerOptions {
 // The backward pass is seeded with a uniform gradient of the output's shape.
 ModelProfile ProfileModel(const Sequential& model, const Tensor& sample_input,
                           const std::string& model_name, const ProfilerOptions& options = {});
+
+// The feedback half of the paper's profiler loop: aggregates the live runtime's per-stage
+// op-time histograms (runtime/stage<s>/{fwd,bwd}_seconds in the metrics registry) into a
+// MeasuredProfile. `stage_layers[s]` is the [begin, end) layer range stage s hosted (see
+// planner/calibration.h for the plan-driven convenience). Stages whose histograms recorded
+// nothing come back with samples == 0. Bracket the measured region with
+// obs::MetricsRegistry::Get().Reset() so warmup minibatches don't dilute the means.
+MeasuredProfile CollectMeasuredProfile(const std::vector<std::pair<int, int>>& stage_layers);
 
 }  // namespace pipedream
 

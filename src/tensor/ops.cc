@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <cstdlib>
 #include <cstring>
@@ -11,15 +12,23 @@
 #include "src/tensor/pool.h"
 #include "src/tensor/ref_ops.h"
 
+#if defined(__AVX512F__) || (defined(__AVX2__) && defined(__FMA__))
+#include <immintrin.h>
+#endif
+
 namespace pipedream {
 namespace {
 
 // ---------------------------------------------------------------------------------------
-// Kernel dispatch: PIPEDREAM_NAIVE_KERNELS=1 (or the test hook) routes every op through
-// the naive reference implementations in ref_ops.cc.
+// Kernel dispatch. Three variants share the ops API: the naive reference oracle
+// (ref_ops.cc), the cache-blocked compiler-vectorized kernel, and the explicit-SIMD
+// register-tiled kernel. PIPEDREAM_NAIVE_KERNELS=1 (or the test hook) forces the oracle;
+// PIPEDREAM_KERNEL_VARIANT picks among all three; the default is the best variant the
+// build supports.
 // ---------------------------------------------------------------------------------------
 
-std::atomic<int> g_naive_override{-1};  // -1 = follow the environment
+std::atomic<int> g_naive_override{-1};    // -1 = follow the environment
+std::atomic<int> g_variant_override{-1};  // -1 = follow the environment, else KernelVariant
 
 bool NaiveKernelsFromEnv() {
   static const bool value = [] {
@@ -29,19 +38,49 @@ bool NaiveKernelsFromEnv() {
   return value;
 }
 
+KernelVariant DefaultKernelVariant() {
+#if defined(__AVX512F__) || (defined(__AVX2__) && defined(__FMA__))
+  return KernelVariant::kSimd;
+#else
+  // The simd variant's scalar fallback stays available for testing, but the blocked
+  // kernel's compiler-vectorized tile is the better default without a vector ISA.
+  return KernelVariant::kBlocked;
+#endif
+}
+
+KernelVariant KernelVariantFromEnv() {
+  static const KernelVariant value = [] {
+    const char* env = std::getenv("PIPEDREAM_KERNEL_VARIANT");
+    if (env == nullptr || env[0] == '\0') {
+      return DefaultKernelVariant();
+    }
+    if (std::strcmp(env, "naive") == 0) return KernelVariant::kNaive;
+    if (std::strcmp(env, "blocked") == 0) return KernelVariant::kBlocked;
+    if (std::strcmp(env, "simd") == 0) return KernelVariant::kSimd;
+    PD_CHECK(false) << "PIPEDREAM_KERNEL_VARIANT must be naive, blocked, or simd; got '"
+                    << env << "'";
+    return DefaultKernelVariant();
+  }();
+  return value;
+}
+
 // ---------------------------------------------------------------------------------------
-// Blocked GEMM.
+// Packed GEMM.
 //
-// Goto-style three-level blocking: B panels of kKc x kNc are packed into NR-wide column
-// strips, A blocks of kMc x kKc into MR-tall row strips, and a register-tiled MR x NR
+// Goto-style three-level blocking: B panels of KC x NC are packed into NR-wide column
+// strips, A blocks of MC x KC into MR-tall row strips, and a register-tiled MR x NR
 // microkernel accumulates over the packed K block. Packing normalizes both transpose
 // flags, so one microkernel serves all four operand layouts. Work is parallelized over
 // the MC row blocks of C: every block owns a disjoint row slice of the output and the K
 // loop stays sequential, so results are bitwise independent of the thread count.
+//
+// Two kernels drive the shared macro loop: the blocked kernel (6x16 tile, GCC/Clang
+// vector extensions) and the simd kernel (explicit intrinsics sized to the widest ISA
+// the build targets, with a direct-to-C epilogue for full interior tiles).
 // ---------------------------------------------------------------------------------------
 
-constexpr int64_t kMr = 6;    // microkernel rows (register tiling)
-constexpr int64_t kNr = 16;   // microkernel columns (two 8-float vectors)
+constexpr int64_t kMr = 6;    // blocked microkernel rows (register tiling)
+constexpr int64_t kNr = 16;   // blocked microkernel columns (two 8-float vectors)
 constexpr int64_t kMc = 96;   // rows of C per packed A block (multiple of kMr)
 constexpr int64_t kKc = 256;  // K extent of packed blocks
 constexpr int64_t kNc = 512;  // columns of C per packed B panel (multiple of kNr)
@@ -55,18 +94,27 @@ inline float OpAt(const float* p, int64_t ld, bool transpose, int64_t r, int64_t
 
 // Packs rows [i0, i0+m_blk) x cols [k0, k0+kc) of op(A) into MR-tall strips:
 // buf[strip][kk][r], zero-padded to a whole strip.
+template <int64_t MR>
 void PackA(const float* a, int64_t lda, bool ta, int64_t i0, int64_t m_blk, int64_t k0,
            int64_t kc, float* buf) {
-  const int64_t strips = (m_blk + kMr - 1) / kMr;
+  const int64_t strips = (m_blk + MR - 1) / MR;
   for (int64_t s = 0; s < strips; ++s) {
-    const int64_t rows = std::min(kMr, m_blk - s * kMr);
-    float* dst = buf + s * kc * kMr;
+    const int64_t rows = std::min(MR, m_blk - s * MR);
+    float* dst = buf + s * kc * MR;
+    if (ta && rows == MR) {
+      // Fast path: a full strip of op(A)'s k-major data is MR contiguous floats per k.
+      const float* src = a + k0 * lda + i0 + s * MR;
+      for (int64_t kk = 0; kk < kc; ++kk) {
+        std::memcpy(dst + kk * MR, src + kk * lda, MR * sizeof(float));
+      }
+      continue;
+    }
     for (int64_t kk = 0; kk < kc; ++kk) {
       for (int64_t r = 0; r < rows; ++r) {
-        dst[kk * kMr + r] = OpAt(a, lda, ta, i0 + s * kMr + r, k0 + kk);
+        dst[kk * MR + r] = OpAt(a, lda, ta, i0 + s * MR + r, k0 + kk);
       }
-      for (int64_t r = rows; r < kMr; ++r) {
-        dst[kk * kMr + r] = 0.0f;
+      for (int64_t r = rows; r < MR; ++r) {
+        dst[kk * MR + r] = 0.0f;
       }
     }
   }
@@ -74,26 +122,27 @@ void PackA(const float* a, int64_t lda, bool ta, int64_t i0, int64_t m_blk, int6
 
 // Packs rows [k0, k0+kc) x cols [j0, j0+n_blk) of op(B) into NR-wide strips:
 // buf[strip][kk][j], zero-padded to a whole strip.
+template <int64_t NR>
 void PackB(const float* b, int64_t ldb, bool tb, int64_t k0, int64_t kc, int64_t j0,
            int64_t n_blk, float* buf) {
-  const int64_t strips = (n_blk + kNr - 1) / kNr;
+  const int64_t strips = (n_blk + NR - 1) / NR;
   for (int64_t s = 0; s < strips; ++s) {
-    const int64_t cols = std::min(kNr, n_blk - s * kNr);
-    float* dst = buf + s * kc * kNr;
-    if (!tb && cols == kNr) {
-      // Fast path: op(B) rows are contiguous 16-float runs.
-      const float* src = b + k0 * ldb + j0 + s * kNr;
+    const int64_t cols = std::min(NR, n_blk - s * NR);
+    float* dst = buf + s * kc * NR;
+    if (!tb && cols == NR) {
+      // Fast path: op(B) rows are contiguous NR-float runs.
+      const float* src = b + k0 * ldb + j0 + s * NR;
       for (int64_t kk = 0; kk < kc; ++kk) {
-        std::memcpy(dst + kk * kNr, src + kk * ldb, kNr * sizeof(float));
+        std::memcpy(dst + kk * NR, src + kk * ldb, NR * sizeof(float));
       }
       continue;
     }
     for (int64_t kk = 0; kk < kc; ++kk) {
       for (int64_t j = 0; j < cols; ++j) {
-        dst[kk * kNr + j] = OpAt(b, ldb, tb, k0 + kk, j0 + s * kNr + j);
+        dst[kk * NR + j] = OpAt(b, ldb, tb, k0 + kk, j0 + s * NR + j);
       }
-      for (int64_t j = cols; j < kNr; ++j) {
-        dst[kk * kNr + j] = 0.0f;
+      for (int64_t j = cols; j < NR; ++j) {
+        dst[kk * NR + j] = 0.0f;
       }
     }
   }
@@ -164,40 +213,234 @@ inline void MicroKernel(int64_t kc, const float* __restrict__ apanel,
 
 #endif
 
+// ---------------------------------------------------------------------------------------
+// Explicit-SIMD micro-kernels. Tile sizes follow the register file of the widest ISA the
+// build targets; the scalar fallback keeps the same interface so the macro loop and the
+// dispatch table never change shape. Each ISA provides two entry points:
+//   Edge:   acc[MR][NR] = A-strip @ B-strip over kc (acc is fully written), used for
+//           partial tiles whose writeback must be clipped to rows x cols.
+//   Direct: C[MR][NR] += alpha * A-strip @ B-strip at row stride ldc, used for full
+//           interior tiles — skips the acc spill and the scalar writeback loop.
+// ---------------------------------------------------------------------------------------
+
+#if defined(__AVX512F__)
+
+constexpr int64_t kSimdMr = 14;   // 28 zmm accumulators + 2 B vectors + 1 broadcast = 31
+constexpr int64_t kSimdNr = 32;   // two 16-float zmm vectors
+constexpr int64_t kSimdMc = 140;  // multiple of kSimdMr
+constexpr int64_t kSimdKc = 256;
+constexpr int64_t kSimdNc = 512;  // multiple of kSimdNr
+constexpr char kSimdIsaName[] = "avx512";
+
+// The accumulator tile is an indexed array, unlike the blocked kernel's named vectors:
+// with constant trip counts GCC/Clang fully unroll these loops and promote all 28
+// accumulators to zmm registers (verified against the named-variable form).
+inline void SimdAccumulate(int64_t kc, const float* __restrict__ apanel,
+                           const float* __restrict__ bpanel, __m512 c[kSimdMr][2]) {
+  for (int64_t r = 0; r < kSimdMr; ++r) {
+    c[r][0] = _mm512_setzero_ps();
+    c[r][1] = _mm512_setzero_ps();
+  }
+  for (int64_t kk = 0; kk < kc; ++kk) {
+    const __m512 b0 = _mm512_loadu_ps(bpanel + kk * kSimdNr);
+    const __m512 b1 = _mm512_loadu_ps(bpanel + kk * kSimdNr + 16);
+    const float* a = apanel + kk * kSimdMr;
+    for (int64_t r = 0; r < kSimdMr; ++r) {
+      const __m512 av = _mm512_set1_ps(a[r]);
+      c[r][0] = _mm512_fmadd_ps(av, b0, c[r][0]);
+      c[r][1] = _mm512_fmadd_ps(av, b1, c[r][1]);
+    }
+  }
+}
+
+void SimdMicroKernel(int64_t kc, const float* __restrict__ apanel,
+                     const float* __restrict__ bpanel, float* __restrict__ acc) {
+  __m512 c[kSimdMr][2];
+  SimdAccumulate(kc, apanel, bpanel, c);
+  for (int64_t r = 0; r < kSimdMr; ++r) {
+    _mm512_storeu_ps(acc + r * kSimdNr, c[r][0]);
+    _mm512_storeu_ps(acc + r * kSimdNr + 16, c[r][1]);
+  }
+}
+
+void SimdMicroKernelDirect(int64_t kc, const float* __restrict__ apanel,
+                           const float* __restrict__ bpanel, float alpha,
+                           float* __restrict__ cblk, int64_t ldc) {
+  __m512 c[kSimdMr][2];
+  SimdAccumulate(kc, apanel, bpanel, c);
+  const __m512 va = _mm512_set1_ps(alpha);
+  for (int64_t r = 0; r < kSimdMr; ++r) {
+    float* p = cblk + r * ldc;
+    _mm512_storeu_ps(p, _mm512_fmadd_ps(va, c[r][0], _mm512_loadu_ps(p)));
+    _mm512_storeu_ps(p + 16, _mm512_fmadd_ps(va, c[r][1], _mm512_loadu_ps(p + 16)));
+  }
+}
+
+#elif defined(__AVX2__) && defined(__FMA__)
+
+constexpr int64_t kSimdMr = 6;   // 12 ymm accumulators + 2 B vectors + 1 broadcast = 15
+constexpr int64_t kSimdNr = 16;  // two 8-float ymm vectors
+constexpr int64_t kSimdMc = 96;
+constexpr int64_t kSimdKc = 256;
+constexpr int64_t kSimdNc = 512;
+constexpr char kSimdIsaName[] = "avx2";
+
+inline void SimdAccumulate(int64_t kc, const float* __restrict__ apanel,
+                           const float* __restrict__ bpanel, __m256 c[kSimdMr][2]) {
+  for (int64_t r = 0; r < kSimdMr; ++r) {
+    c[r][0] = _mm256_setzero_ps();
+    c[r][1] = _mm256_setzero_ps();
+  }
+  for (int64_t kk = 0; kk < kc; ++kk) {
+    const __m256 b0 = _mm256_loadu_ps(bpanel + kk * kSimdNr);
+    const __m256 b1 = _mm256_loadu_ps(bpanel + kk * kSimdNr + 8);
+    const float* a = apanel + kk * kSimdMr;
+    for (int64_t r = 0; r < kSimdMr; ++r) {
+      const __m256 av = _mm256_broadcast_ss(a + r);
+      c[r][0] = _mm256_fmadd_ps(av, b0, c[r][0]);
+      c[r][1] = _mm256_fmadd_ps(av, b1, c[r][1]);
+    }
+  }
+}
+
+void SimdMicroKernel(int64_t kc, const float* __restrict__ apanel,
+                     const float* __restrict__ bpanel, float* __restrict__ acc) {
+  __m256 c[kSimdMr][2];
+  SimdAccumulate(kc, apanel, bpanel, c);
+  for (int64_t r = 0; r < kSimdMr; ++r) {
+    _mm256_storeu_ps(acc + r * kSimdNr, c[r][0]);
+    _mm256_storeu_ps(acc + r * kSimdNr + 8, c[r][1]);
+  }
+}
+
+void SimdMicroKernelDirect(int64_t kc, const float* __restrict__ apanel,
+                           const float* __restrict__ bpanel, float alpha,
+                           float* __restrict__ cblk, int64_t ldc) {
+  __m256 c[kSimdMr][2];
+  SimdAccumulate(kc, apanel, bpanel, c);
+  const __m256 va = _mm256_set1_ps(alpha);
+  for (int64_t r = 0; r < kSimdMr; ++r) {
+    float* p = cblk + r * ldc;
+    _mm256_storeu_ps(p, _mm256_fmadd_ps(va, c[r][0], _mm256_loadu_ps(p)));
+    _mm256_storeu_ps(p + 8, _mm256_fmadd_ps(va, c[r][1], _mm256_loadu_ps(p + 8)));
+  }
+}
+
+#else  // restrict-qualified scalar fallback (no vector ISA targeted)
+
+constexpr int64_t kSimdMr = 6;
+constexpr int64_t kSimdNr = 16;
+constexpr int64_t kSimdMc = 96;
+constexpr int64_t kSimdKc = 256;
+constexpr int64_t kSimdNc = 512;
+constexpr char kSimdIsaName[] = "scalar";
+
+void SimdMicroKernel(int64_t kc, const float* __restrict__ apanel,
+                     const float* __restrict__ bpanel, float* __restrict__ acc) {
+  for (int64_t r = 0; r < kSimdMr * kSimdNr; ++r) {
+    acc[r] = 0.0f;
+  }
+  for (int64_t kk = 0; kk < kc; ++kk) {
+    const float* __restrict__ a = apanel + kk * kSimdMr;
+    const float* __restrict__ b = bpanel + kk * kSimdNr;
+    for (int64_t r = 0; r < kSimdMr; ++r) {
+      const float av = a[r];
+      float* __restrict__ c = acc + r * kSimdNr;
+      for (int64_t j = 0; j < kSimdNr; ++j) {
+        c[j] += av * b[j];
+      }
+    }
+  }
+}
+
+void SimdMicroKernelDirect(int64_t kc, const float* __restrict__ apanel,
+                           const float* __restrict__ bpanel, float alpha,
+                           float* __restrict__ cblk, int64_t ldc) {
+  float acc[kSimdMr * kSimdNr];
+  SimdMicroKernel(kc, apanel, bpanel, acc);
+  for (int64_t r = 0; r < kSimdMr; ++r) {
+    float* __restrict__ p = cblk + r * ldc;
+    for (int64_t j = 0; j < kSimdNr; ++j) {
+      p[j] += alpha * acc[r * kSimdNr + j];
+    }
+  }
+}
+
+#endif
+
+// ---------------------------------------------------------------------------------------
+// Macro loop, generic over the kernel descriptor.
+// ---------------------------------------------------------------------------------------
+
+// Largest tile any kernel uses; bounds the stack accumulator in the macro loop.
+constexpr int64_t kMaxMr = 16;
+constexpr int64_t kMaxNr = 64;
+static_assert(kMr <= kMaxMr && kNr <= kMaxNr, "blocked tile exceeds acc buffer");
+static_assert(kSimdMr <= kMaxMr && kSimdNr <= kMaxNr, "simd tile exceeds acc buffer");
+static_assert(kMc % kMr == 0 && kNc % kNr == 0, "blocked blocking must tile evenly");
+static_assert(kSimdMc % kSimdMr == 0 && kSimdNc % kSimdNr == 0,
+              "simd blocking must tile evenly");
+
+// A register-tile kernel plus the blocking geometry its macro loop runs under. `direct`
+// may be null (partial tiles and kernels without a fused epilogue go through `edge` and
+// a clipped scalar writeback).
+struct GemmKernel {
+  int64_t mr, nr, mc, kc, nc;
+  void (*edge)(int64_t kc, const float* apanel, const float* bpanel, float* acc);
+  void (*direct)(int64_t kc, const float* apanel, const float* bpanel, float alpha,
+                 float* cblk, int64_t ldc);
+  void (*pack_a)(const float* a, int64_t lda, bool ta, int64_t i0, int64_t m_blk,
+                 int64_t k0, int64_t kc, float* buf);
+  void (*pack_b)(const float* b, int64_t ldb, bool tb, int64_t k0, int64_t kc, int64_t j0,
+                 int64_t n_blk, float* buf);
+};
+
+constexpr GemmKernel kBlockedKernel = {
+    kMr, kNr, kMc, kKc, kNc, &MicroKernel, nullptr, &PackA<kMr>, &PackB<kNr>};
+
+constexpr GemmKernel kSimdKernel = {
+    kSimdMr,          kSimdNr,                kSimdMc,         kSimdKc,        kSimdNc,
+    &SimdMicroKernel, &SimdMicroKernelDirect, &PackA<kSimdMr>, &PackB<kSimdNr>};
+
 // C[m, n] (leading dimension ldc) += alpha * op(A) @ op(B). C must already hold its beta
 // contribution. Deterministic for fixed shapes regardless of threading.
-void BlockedGemmCore(const float* a, int64_t lda, bool ta, const float* b, int64_t ldb,
-                     bool tb, int64_t m, int64_t n, int64_t k, float alpha, float* c,
-                     int64_t ldc) {
+void PackedGemmCore(const GemmKernel& kern, const float* a, int64_t lda, bool ta,
+                    const float* b, int64_t ldb, bool tb, int64_t m, int64_t n, int64_t k,
+                    float alpha, float* c, int64_t ldc) {
   // Packing panels are pooled scratch: every minibatch re-runs the same GEMM shapes, so
   // these recycle instead of hitting the heap. PackA/PackB fully overwrite the regions
   // the microkernel reads, so the buffers stay uninitialized.
-  PoolScratch bpack(kKc * kNc);
-  const int64_t m_blocks = (m + kMc - 1) / kMc;
-  for (int64_t jc = 0; jc < n; jc += kNc) {
-    const int64_t n_blk = std::min(kNc, n - jc);
-    const int64_t n_strips = (n_blk + kNr - 1) / kNr;
-    for (int64_t pc = 0; pc < k; pc += kKc) {
-      const int64_t kc = std::min(kKc, k - pc);
-      PackB(b, ldb, tb, pc, kc, jc, n_blk, bpack.data());
+  PoolScratch bpack(kern.kc * kern.nc);
+  const int64_t m_blocks = (m + kern.mc - 1) / kern.mc;
+  for (int64_t jc = 0; jc < n; jc += kern.nc) {
+    const int64_t n_blk = std::min(kern.nc, n - jc);
+    const int64_t n_strips = (n_blk + kern.nr - 1) / kern.nr;
+    for (int64_t pc = 0; pc < k; pc += kern.kc) {
+      const int64_t kc = std::min(kern.kc, k - pc);
+      kern.pack_b(b, ldb, tb, pc, kc, jc, n_blk, bpack.data());
       ParallelFor(0, m_blocks, 1, [&](int64_t /*chunk*/, int64_t blk_lo, int64_t blk_hi) {
-        PoolScratch apack(kMc * kKc);
+        PoolScratch apack(kern.mc * kern.kc);
         for (int64_t blk = blk_lo; blk < blk_hi; ++blk) {
-          const int64_t i0 = blk * kMc;
-          const int64_t m_blk = std::min(kMc, m - i0);
-          PackA(a, lda, ta, i0, m_blk, pc, kc, apack.data());
-          const int64_t m_strips = (m_blk + kMr - 1) / kMr;
+          const int64_t i0 = blk * kern.mc;
+          const int64_t m_blk = std::min(kern.mc, m - i0);
+          kern.pack_a(a, lda, ta, i0, m_blk, pc, kc, apack.data());
+          const int64_t m_strips = (m_blk + kern.mr - 1) / kern.mr;
           for (int64_t js = 0; js < n_strips; ++js) {
-            const int64_t cols = std::min(kNr, n_blk - js * kNr);
+            const int64_t cols = std::min(kern.nr, n_blk - js * kern.nr);
+            const float* bp = bpack.data() + js * kc * kern.nr;
             for (int64_t is = 0; is < m_strips; ++is) {
-              const int64_t rows = std::min(kMr, m_blk - is * kMr);
-              float acc[kMr * kNr];  // fully written by MicroKernel
-              MicroKernel(kc, apack.data() + is * kc * kMr, bpack.data() + js * kc * kNr,
-                          acc);
-              float* cblk = c + (i0 + is * kMr) * ldc + jc + js * kNr;
+              const int64_t rows = std::min(kern.mr, m_blk - is * kern.mr);
+              const float* ap = apack.data() + is * kc * kern.mr;
+              float* cblk = c + (i0 + is * kern.mr) * ldc + jc + js * kern.nr;
+              if (kern.direct != nullptr && rows == kern.mr && cols == kern.nr) {
+                kern.direct(kc, ap, bp, alpha, cblk, ldc);
+                continue;
+              }
+              alignas(64) float acc[kMaxMr * kMaxNr];  // fully written by the edge kernel
+              kern.edge(kc, ap, bp, acc);
               for (int64_t r = 0; r < rows; ++r) {
                 for (int64_t j = 0; j < cols; ++j) {
-                  cblk[r * ldc + j] += alpha * acc[r * kNr + j];
+                  cblk[r * ldc + j] += alpha * acc[r * kern.nr + j];
                 }
               }
             }
@@ -206,6 +449,16 @@ void BlockedGemmCore(const float* a, int64_t lda, bool ta, const float* b, int64
       });
     }
   }
+}
+
+const GemmKernel& ActiveGemmKernel() {
+  return ActiveKernelVariant() == KernelVariant::kSimd ? kSimdKernel : kBlockedKernel;
+}
+
+// Variant-dispatched entry point used by Gemm and the im2col conv lowerings.
+void GemmCore(const float* a, int64_t lda, bool ta, const float* b, int64_t ldb, bool tb,
+              int64_t m, int64_t n, int64_t k, float alpha, float* c, int64_t ldc) {
+  PackedGemmCore(ActiveGemmKernel(), a, lda, ta, b, ldb, tb, m, n, k, alpha, c, ldc);
 }
 
 // Extracts the logical (rows, cols) of a possibly transposed rank-2 operand.
@@ -227,16 +480,87 @@ constexpr int64_t kReduceGrain = 1 << 15;
 
 }  // namespace
 
-bool UseNaiveKernels() {
-  const int override_value = g_naive_override.load(std::memory_order_relaxed);
-  if (override_value >= 0) {
-    return override_value != 0;
+KernelVariant ActiveKernelVariant() {
+  const int naive = g_naive_override.load(std::memory_order_relaxed);
+  if (naive > 0) {
+    return KernelVariant::kNaive;
   }
-  return NaiveKernelsFromEnv();
+  const int pinned = g_variant_override.load(std::memory_order_relaxed);
+  if (pinned >= 0) {
+    return static_cast<KernelVariant>(pinned);
+  }
+  if (naive < 0 && NaiveKernelsFromEnv()) {
+    return KernelVariant::kNaive;
+  }
+  const KernelVariant from_env = KernelVariantFromEnv();
+  if (naive == 0 && from_env == KernelVariant::kNaive) {
+    // SetNaiveKernelsForTesting(false) must defeat a naive environment either way.
+    return DefaultKernelVariant();
+  }
+  return from_env;
 }
+
+bool UseNaiveKernels() { return ActiveKernelVariant() == KernelVariant::kNaive; }
 
 void SetNaiveKernelsForTesting(bool naive) {
   g_naive_override.store(naive ? 1 : 0, std::memory_order_relaxed);
+}
+
+void SetKernelVariantForTesting(KernelVariant v) {
+  g_variant_override.store(static_cast<int>(v), std::memory_order_relaxed);
+}
+
+void ClearKernelVariantForTesting() {
+  g_variant_override.store(-1, std::memory_order_relaxed);
+}
+
+const char* KernelVariantName(KernelVariant v) {
+  switch (v) {
+    case KernelVariant::kNaive:
+      return "naive";
+    case KernelVariant::kBlocked:
+      return "blocked";
+    case KernelVariant::kSimd:
+      return "simd";
+  }
+  return "unknown";
+}
+
+const char* SimdKernelIsa() { return kSimdIsaName; }
+
+double MicroKernelPeakGflops(KernelVariant v, double min_seconds) {
+  PD_CHECK(v == KernelVariant::kBlocked || v == KernelVariant::kSimd)
+      << "no micro-kernel for variant " << KernelVariantName(v);
+  const GemmKernel& kern = v == KernelVariant::kSimd ? kSimdKernel : kBlockedKernel;
+  const int64_t kc = kern.kc;
+  // One A-strip + one B-strip at full KC fit in L1 alongside the accumulator tile, so
+  // this measures pure register-tile throughput — the roofline over any full GEMM.
+  std::vector<float> apanel(static_cast<size_t>(kern.mr * kc), 1.0f);
+  std::vector<float> bpanel(static_cast<size_t>(kern.nr * kc), 0.5f);
+  alignas(64) float acc[kMaxMr * kMaxNr];
+  const double flops_per_call = 2.0 * static_cast<double>(kern.mr * kern.nr * kc);
+  // ~2ms batches; best batch wins so scheduler preemption lowers no estimate.
+  const int64_t reps = std::max<int64_t>(1, static_cast<int64_t>(4.0e8 / flops_per_call));
+  double best = 0.0;
+  float sink = 0.0f;
+  for (double elapsed = 0.0; elapsed < min_seconds;) {
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int64_t i = 0; i < reps; ++i) {
+      kern.edge(kc, apanel.data(), bpanel.data(), acc);
+      sink += acc[0];
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    const double dt = std::chrono::duration<double>(t1 - t0).count();
+    elapsed += dt;
+    if (dt > 0.0) {
+      best = std::max(best, flops_per_call * static_cast<double>(reps) / dt / 1e9);
+    }
+  }
+  // The compiler cannot prove this false, which keeps the timing loop live.
+  if (sink == 0.12345f) {
+    return 0.0;
+  }
+  return best;
 }
 
 void Gemm(const Tensor& a, bool transpose_a, const Tensor& b, bool transpose_b, float alpha,
@@ -266,8 +590,8 @@ void Gemm(const Tensor& a, bool transpose_a, const Tensor& b, bool transpose_b, 
       Scale(out, beta);
     }
   }
-  BlockedGemmCore(a.data(), a.dim(1), transpose_a, b.data(), b.dim(1), transpose_b, m, n, k,
-                  alpha, out->data(), n);
+  GemmCore(a.data(), a.dim(1), transpose_a, b.data(), b.dim(1), transpose_b, m, n, k,
+           alpha, out->data(), n);
 }
 
 void MatMul(const Tensor& a, const Tensor& b, Tensor* out) {
@@ -387,8 +711,8 @@ void Conv2dForward(const Tensor& input, const Tensor& weight, const Tensor& bias
       }
       // out[n] += W[OC, patch] @ col[patch, spatial]; the weight tensor's [OC, IC, K, K]
       // storage is already the row-major [OC, patch] matrix.
-      BlockedGemmCore(weight.data(), patch, false, col.data(), spatial, false,
-                      g.out_channels, spatial, patch, 1.0f, cslab, spatial);
+      GemmCore(weight.data(), patch, false, col.data(), spatial, false, g.out_channels,
+               spatial, patch, 1.0f, cslab, spatial);
     }
   });
 }
@@ -433,12 +757,12 @@ void Conv2dBackward(const Tensor& input, const Tensor& weight, const Tensor& gra
     }
     Im2Col(input.data() + n * g.in_channels * g.in_h * g.in_w, g, col.data());
     // dW[OC, patch] += g[OC, spatial] @ col[patch, spatial]^T.
-    BlockedGemmCore(gslab, spatial, false, col.data(), spatial, true, g.out_channels, patch,
-                    spatial, 1.0f, grad_weight->data(), patch);
+    GemmCore(gslab, spatial, false, col.data(), spatial, true, g.out_channels, patch,
+             spatial, 1.0f, grad_weight->data(), patch);
     // dcol[patch, spatial] = W[OC, patch]^T @ g[OC, spatial], scattered back via col2im.
     std::fill(dcol.data(), dcol.data() + patch * spatial, 0.0f);
-    BlockedGemmCore(weight.data(), patch, true, gslab, spatial, false, patch, spatial,
-                    g.out_channels, 1.0f, dcol.data(), spatial);
+    GemmCore(weight.data(), patch, true, gslab, spatial, false, patch, spatial,
+             g.out_channels, 1.0f, dcol.data(), spatial);
     Col2Im(dcol.data(), g, grad_input->data() + n * g.in_channels * g.in_h * g.in_w);
   }
 }

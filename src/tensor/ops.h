@@ -24,6 +24,32 @@ bool UseNaiveKernels();
 // Test hook overriding the environment switch for the current process.
 void SetNaiveKernelsForTesting(bool naive);
 
+// Which GEMM/conv kernel implementation ops dispatch to. kNaive is the ref:: oracle,
+// kBlocked the cache-blocked compiler-vectorized kernel, kSimd the explicit-SIMD
+// register-tiled micro-kernel (AVX-512 or AVX2/FMA intrinsics when the build targets
+// them, a restrict-qualified scalar micro-kernel otherwise).
+enum class KernelVariant : int { kNaive = 0, kBlocked = 1, kSimd = 2 };
+
+// Resolves the variant for the current process, in precedence order:
+// SetNaiveKernelsForTesting(true), SetKernelVariantForTesting, PIPEDREAM_NAIVE_KERNELS=1,
+// PIPEDREAM_KERNEL_VARIANT=naive|blocked|simd (read once), then the best variant this
+// build supports (simd when compiled for a vector ISA, blocked otherwise).
+KernelVariant ActiveKernelVariant();
+// Test hook pinning the variant for the current process (overrides the environment).
+void SetKernelVariantForTesting(KernelVariant v);
+// Reverts SetKernelVariantForTesting back to environment-driven dispatch.
+void ClearKernelVariantForTesting();
+// "naive" | "blocked" | "simd".
+const char* KernelVariantName(KernelVariant v);
+// Instruction set the simd variant's micro-kernel was compiled for: "avx512", "avx2", or
+// "scalar" (the restrict-qualified fallback when the build targets no vector ISA).
+const char* SimdKernelIsa();
+// Measures the in-cache GFLOP/s of a variant's register-tile micro-kernel (packed panels
+// resident in L1, best observed rate over >= min_seconds of sampling). This is the compute
+// roofline the GEMM macro loop runs under; bench_micro_kernels reports full-GEMM rates
+// against it. The naive variant has no micro-kernel and is not a valid argument.
+double MicroKernelPeakGflops(KernelVariant v, double min_seconds = 0.05);
+
 // out = alpha * op(a) @ op(b) + beta * out, where op transposes when the flag is set.
 // Shapes: op(a) is [m, k], op(b) is [k, n], out is [m, n]. When beta == 0 the previous
 // contents of out are ignored (out is resized to [m, n]).

@@ -241,6 +241,72 @@ TEST(KernelDiffTest, ElementwiseOps) {
   }
 }
 
+// --------------------------------------------------------------------------------------
+// Variant-parameterized differentials: the same oracle checks, but with the kernel pinned
+// via SetKernelVariantForTesting so both register-tiled implementations are exercised in
+// every build regardless of which one dispatch would pick. The pin outranks both
+// PIPEDREAM_NAIVE_KERNELS and PIPEDREAM_KERNEL_VARIANT, so these tests still cover
+// blocked/simd in the env-naive ctest duplicates.
+
+class KernelVariantDiffTest : public ::testing::TestWithParam<KernelVariant> {
+ protected:
+  void SetUp() override { SetKernelVariantForTesting(GetParam()); }
+  void TearDown() override { ClearKernelVariantForTesting(); }
+};
+
+TEST_P(KernelVariantDiffTest, GemmTileBoundaries) {
+  // Shapes straddle the simd kernel's tiling (MR=14 / NR=32 / MC=140 / KC=256 / NC=512 on
+  // avx512, 6x16 on avx2 and the scalar fallback) as well as the blocked kernel's 6x16:
+  // one below, exactly at, and one past each boundary, plus both-kernels-edge combos.
+  const std::vector<std::array<int64_t, 3>> shapes = {
+      {13, 100, 31},  {14, 256, 32},  {15, 257, 33},  {6, 64, 16},   {7, 65, 17},
+      {5, 16, 15},    {28, 300, 64},  {139, 300, 63}, {140, 512, 96}, {141, 100, 97},
+      {42, 513, 511}, {20, 511, 513},
+  };
+  uint64_t seed = 5000;
+  for (const auto& s : shapes) {
+    RunGemmCase({s[0], s[1], s[2], false, false, 1.0f, 0.0f}, seed++);
+  }
+}
+
+TEST_P(KernelVariantDiffTest, GemmTransposeAlphaBeta) {
+  uint64_t seed = 6000;
+  for (const bool ta : {false, true}) {
+    for (const bool tb : {false, true}) {
+      for (const auto& [alpha, beta] : std::vector<std::pair<float, float>>{
+               {1.0f, 0.0f}, {1.0f, 1.0f}, {0.5f, 2.0f}, {-1.0f, 0.5f}}) {
+        RunGemmCase({43, 170, 77, ta, tb, alpha, beta}, seed++);
+        RunGemmCase({14, 256, 32, ta, tb, alpha, beta}, seed++);
+      }
+    }
+  }
+}
+
+TEST_P(KernelVariantDiffTest, GemmAlignmentEdges) {
+  // Odd leading dimensions put successive C/B rows off 64-byte boundaries, so the
+  // direct-to-C epilogue's unaligned loads/stores and the edge path's clipped writeback
+  // both run against misaligned rows. m one past a tile keeps a 1-row edge strip live.
+  uint64_t seed = 7000;
+  for (const int64_t n : {1, 2, 3, 31, 33, 63, 65}) {
+    RunGemmCase({15, 64, n, false, false, 1.0f, 0.0f}, seed++);
+    RunGemmCase({7, 33, n, false, true, 1.0f, 1.0f}, seed++);
+  }
+}
+
+TEST_P(KernelVariantDiffTest, ConvGeometries) {
+  uint64_t seed = 8000;
+  RunConvCase(MakeGeometry(2, 3, 14, 9, 9, 3, 1, 1), seed++);
+  RunConvCase(MakeGeometry(1, 4, 15, 11, 5, 3, 2, 0), seed++);
+  RunConvCase(MakeGeometry(4, 8, 32, 16, 16, 3, 1, 1), seed++);
+  RunConvCase(MakeGeometry(2, 16, 33, 12, 12, 3, 2, 1), seed++);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllVariants, KernelVariantDiffTest,
+                         ::testing::Values(KernelVariant::kBlocked, KernelVariant::kSimd),
+                         [](const ::testing::TestParamInfo<KernelVariant>& param) {
+                           return KernelVariantName(param.param);
+                         });
+
 // The PIPEDREAM_NAIVE_KERNELS escape hatch must reproduce the reference bit-for-bit.
 TEST(KernelDiffTest, NaiveSwitchRoutesToReference) {
   Rng rng(13);
@@ -258,6 +324,40 @@ TEST(KernelDiffTest, NaiveSwitchRoutesToReference) {
   EXPECT_EQ(MaxAbsDiff(got, want), 0.0);
   // And the blocked path is genuinely different code (it may differ in low bits).
   EXPECT_FALSE(UseNaiveKernels());
+}
+
+// Dispatch precedence and introspection. Runs last in the file: it flips the process-wide
+// naive override, and every earlier test must see the environment's choice untouched so
+// the env-naive ctest duplicates genuinely exercise the naive route.
+TEST(KernelDispatchTest, VariantPrecedenceAndIntrospection) {
+  // A pinned variant outranks both env knobs.
+  for (const KernelVariant v :
+       {KernelVariant::kNaive, KernelVariant::kBlocked, KernelVariant::kSimd}) {
+    SetKernelVariantForTesting(v);
+    EXPECT_EQ(ActiveKernelVariant(), v) << KernelVariantName(v);
+    EXPECT_EQ(UseNaiveKernels(), v == KernelVariant::kNaive);
+  }
+  // SetNaiveKernelsForTesting(true) outranks even a pinned variant...
+  SetKernelVariantForTesting(KernelVariant::kSimd);
+  SetNaiveKernelsForTesting(true);
+  EXPECT_EQ(ActiveKernelVariant(), KernelVariant::kNaive);
+  // ...and (false) restores the pin, then defeats any naive environment once unpinned.
+  SetNaiveKernelsForTesting(false);
+  EXPECT_EQ(ActiveKernelVariant(), KernelVariant::kSimd);
+  ClearKernelVariantForTesting();
+  EXPECT_NE(ActiveKernelVariant(), KernelVariant::kNaive);
+
+  EXPECT_STREQ(KernelVariantName(KernelVariant::kNaive), "naive");
+  EXPECT_STREQ(KernelVariantName(KernelVariant::kBlocked), "blocked");
+  EXPECT_STREQ(KernelVariantName(KernelVariant::kSimd), "simd");
+  // The simd variant always exists; without a vector ISA it reports its scalar fallback.
+  const std::string isa = SimdKernelIsa();
+  EXPECT_TRUE(isa == "avx512" || isa == "avx2" || isa == "scalar") << isa;
+
+  // Both micro-kernels sustain a measurable in-L1 rate (short window: this is a liveness
+  // check, not the roofline measurement — bench_micro_kernels owns that).
+  EXPECT_GT(MicroKernelPeakGflops(KernelVariant::kBlocked, /*min_seconds=*/0.01), 0.0);
+  EXPECT_GT(MicroKernelPeakGflops(KernelVariant::kSimd, /*min_seconds=*/0.01), 0.0);
 }
 
 }  // namespace
