@@ -25,6 +25,8 @@
 //      *_raw fields keep the estimate-only values for comparison. MeasuredWorkerSpecs
 //      closes the same loop for the planner: PredictPlan runs on measured speeds.
 #include <algorithm>
+#include <array>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <map>
@@ -40,6 +42,7 @@
 #include "src/data/loader.h"
 #include "src/graph/loss.h"
 #include "src/graph/models.h"
+#include "src/obs/bubble.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 #include "src/optim/sgd.h"
@@ -94,6 +97,54 @@ double MeasureSpanCostNs(int64_t iters) {
   const int64_t end = obs::TraceClockNs();
   return static_cast<double>(end - begin) / static_cast<double>(iters);
 }
+
+// Sim-side bubble attribution: classify each stage's idle gaps in the virtual-time trace
+// by what ends them — the SAME rule the runtime's stall attribution applies (waiting on a
+// forward from upstream is starvation; anything else, including waiting to admit or for a
+// gradient, is backpressure). Returns per-stage per-cause idle nanoseconds.
+std::map<int, std::array<double, obs::kNumStallCauses>> SimBubbleNs(
+    const ExecutionTrace& trace) {
+  std::map<int, std::vector<const TraceEvent*>> by_stage;
+  for (const TraceEvent& e : trace.events()) {
+    by_stage[e.stage].push_back(&e);
+  }
+  std::map<int, std::array<double, obs::kNumStallCauses>> out;
+  for (auto& [stage, ops] : by_stage) {
+    std::sort(ops.begin(), ops.end(),
+              [](const TraceEvent* a, const TraceEvent* b) { return a->start < b->start; });
+    std::array<double, obs::kNumStallCauses>& ns = out[stage];
+    ns.fill(0.0);
+    SimTime cursor;  // zero: the pipeline-fill wait is a real (startup) bubble
+    for (const TraceEvent* e : ops) {
+      if (e->start > cursor) {
+        const obs::StallCause cause = e->type == WorkType::kForward && stage > 0
+                                          ? obs::StallCause::kStarvedUpstream
+                                          : obs::StallCause::kBackpressuredDownstream;
+        ns[static_cast<size_t>(cause)] +=
+            static_cast<double>((e->start - cursor).nanos());
+      }
+      cursor = std::max(cursor, e->end);
+    }
+  }
+  return out;
+}
+
+struct BubbleRow {
+  int stage = 0;
+  const char* cause = "";
+  double real_frac = 0.0;  // runtime BubbleAccountant counters / epoch wall time
+  double sim_frac = 0.0;   // virtual-time idle-gap classification / sim makespan
+
+  // 1 = fractions coincide; 0 = one substrate saw a bubble class the other missed
+  // entirely. Both-zero counts as perfect agreement.
+  double agreement() const {
+    const double hi = std::max(real_frac, sim_frac);
+    if (hi <= 1e-9) {
+      return 1.0;
+    }
+    return 1.0 - std::min(1.0, std::abs(real_frac - sim_frac) / hi);
+  }
+};
 
 struct StageRow {
   int stage = 0;
@@ -244,6 +295,30 @@ int Main(int argc, char** argv) {
       rows.push_back(row);
     }
   }
+  // --- bubble attribution, sim vs real: the runtime's per-cause stall counters (filled
+  // during the timed epoch; the registry reset dropped the warm-up's) against the
+  // recalibrated simulator's classified idle gaps, both as fractions of their own window.
+  const auto sim_bubbles = SimBubbleNs(sim_recal.trace);
+  const double sim_window_ns = static_cast<double>(sim_recal.trace.end_time().nanos());
+  std::vector<BubbleRow> bubble_rows;
+  for (int s = 0; s < num_stages; ++s) {
+    const auto sim_it = sim_bubbles.find(s);
+    for (int c = 0; c < obs::kNumStallCauses; ++c) {
+      BubbleRow row;
+      row.stage = s;
+      row.cause = obs::StallCauseName(static_cast<obs::StallCause>(c));
+      const int64_t real_ns =
+          obs::GetCounter(StrFormat("runtime/stage%d/bubble/%s_ns", s, row.cause))->value();
+      row.real_frac = stats.wall_seconds > 0
+                          ? static_cast<double>(real_ns) * 1e-9 / stats.wall_seconds
+                          : 0.0;
+      row.sim_frac = sim_it != sim_bubbles.end() && sim_window_ns > 0
+                         ? sim_it->second[static_cast<size_t>(c)] / sim_window_ns
+                         : 0.0;
+      bubble_rows.push_back(row);
+    }
+  }
+
   const double correlation_raw = PearsonCorrelation(sim_means, real_means);
   const double correlation = PearsonCorrelation(recal_means, real_means);
   const double throughput_ratio_raw = sim_mb_per_s > 0 ? real_mb_per_s / sim_mb_per_s : 0.0;
@@ -281,6 +356,15 @@ int Main(int argc, char** argv) {
     std::printf("  \"real_over_sim_throughput_raw\": %.3f, "
                 "\"real_over_sim_throughput\": %.3f,\n",
                 throughput_ratio_raw, throughput_ratio);
+    std::printf("  \"bubble_attribution\": [\n");
+    for (size_t i = 0; i < bubble_rows.size(); ++i) {
+      const BubbleRow& b = bubble_rows[i];
+      std::printf("    {\"stage\": %d, \"cause\": \"%s\", \"real_frac\": %.4f, "
+                  "\"sim_frac\": %.4f, \"agreement\": %.3f}%s\n",
+                  b.stage, b.cause, b.real_frac, b.sim_frac, b.agreement(),
+                  i + 1 < bubble_rows.size() ? "," : "");
+    }
+    std::printf("  ],\n");
     std::printf("  \"stage_time_correlation_raw\": %.4f,\n", correlation_raw);
     std::printf("  \"stage_time_correlation\": %.4f\n}\n", correlation);
     return 0;
@@ -305,6 +389,12 @@ int Main(int argc, char** argv) {
     std::printf(" %.3f", w.speed);
   }
   std::printf("  (predictor on measured specs: %.2f mb/s)\n", predicted_mb_per_s);
+  Table bubbles({"stage", "cause", "real frac", "sim frac", "agreement"});
+  for (const BubbleRow& b : bubble_rows) {
+    bubbles.AddRow({StrFormat("%d", b.stage), b.cause, StrFormat("%.4f", b.real_frac),
+                    StrFormat("%.4f", b.sim_frac), StrFormat("%.3f", b.agreement())});
+  }
+  bubbles.Print("bubble attribution, runtime stall counters vs simulated idle gaps");
   std::printf("per-(stage,op) time correlation: raw %.4f, recalibrated %.4f\n",
               correlation_raw, correlation);
   std::printf("shape check: recalibrated correlation should approach 1 and the "

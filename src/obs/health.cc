@@ -1,0 +1,342 @@
+#include "src/obs/health.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstddef>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "src/common/logging.h"
+#include "src/common/strings.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+
+namespace pipedream {
+namespace obs {
+namespace {
+
+constexpr int kPollIntervalMs = 100;
+constexpr size_t kMaxRequestBytes = 4096;
+constexpr int64_t kDefaultTraceWindow = 256;
+
+const char* StatusText(int status) {
+  switch (status) {
+    case 200:
+      return "OK";
+    case 404:
+      return "Not Found";
+    case 503:
+      return "Service Unavailable";
+    default:
+      return "Bad Request";
+  }
+}
+
+// "?last=8" → 8. Only the keys the endpoints understand are parsed; everything else is
+// ignored so a future client can pass extra parameters without breaking an old server.
+int64_t QueryInt(const std::string& query, const std::string& key, int64_t fallback) {
+  size_t at = 0;
+  while (at < query.size()) {
+    size_t end = query.find('&', at);
+    if (end == std::string::npos) {
+      end = query.size();
+    }
+    const std::string pair = query.substr(at, end - at);
+    const size_t eq = pair.find('=');
+    if (eq != std::string::npos && pair.substr(0, eq) == key) {
+      return std::atoll(pair.c_str() + eq + 1);
+    }
+    at = end + 1;
+  }
+  return fallback;
+}
+
+std::string QueryString(const std::string& query, const std::string& key) {
+  size_t at = 0;
+  while (at < query.size()) {
+    size_t end = query.find('&', at);
+    if (end == std::string::npos) {
+      end = query.size();
+    }
+    const std::string pair = query.substr(at, end - at);
+    const size_t eq = pair.find('=');
+    if (eq != std::string::npos && pair.substr(0, eq) == key) {
+      return pair.substr(eq + 1);
+    }
+    at = end + 1;
+  }
+  return "";
+}
+
+// Per-stage liveness, read back out of the gauges the trainer's watchdog maintains. A
+// process that never armed the watchdog (pure serving, no recovery) reports zero stages —
+// that is "healthy by absence", not an error.
+HealthServer::Response Healthz() {
+  const auto alive = MetricsRegistry::Get().GaugesWithPrefix("runtime/stage");
+  std::string stages;
+  bool all_alive = true;
+  for (const auto& [name, value] : alive) {
+    // runtime/stage<N>/alive
+    const size_t slash = name.find('/', std::strlen("runtime/"));
+    if (slash == std::string::npos || name.substr(slash) != "/alive") {
+      continue;
+    }
+    const int stage = std::atoi(name.c_str() + std::strlen("runtime/stage"));
+    const auto beat = MetricsRegistry::Get().GaugesWithPrefix(
+        StrFormat("runtime/stage%d/beat_age_ms", stage));
+    const int64_t beat_age_ms = beat.empty() ? -1 : beat.front().second;
+    if (!stages.empty()) {
+      stages += ",\n    ";
+    }
+    stages += StrFormat("{\"stage\": %d, \"alive\": %s, \"beat_age_ms\": %lld}", stage,
+                        value != 0 ? "true" : "false",
+                        static_cast<long long>(beat_age_ms));
+    all_alive = all_alive && value != 0;
+  }
+  HealthServer::Response r;
+  r.status = all_alive ? 200 : 503;
+  r.content_type = "application/json";
+  r.body = std::string("{\n  \"status\": \"") + (all_alive ? "ok" : "degraded") +
+           "\",\n  \"stages\": [\n    " + stages + "\n  ]\n}\n";
+  return r;
+}
+
+HealthServer::Response TraceWindow(int64_t last) {
+  if (last <= 0) {
+    last = kDefaultTraceWindow;
+  }
+  std::vector<CollectedEvent> events = CollectEvents();  // sorted oldest-first
+  if (static_cast<int64_t>(events.size()) > last) {
+    events.erase(events.begin(),
+                 events.end() - static_cast<std::ptrdiff_t>(last));
+  }
+  ChromeTraceWriter writer;
+  std::vector<int> named;
+  for (const CollectedEvent& e : events) {
+    if (std::find(named.begin(), named.end(), e.track_id) == named.end()) {
+      writer.AddThreadName(e.track_id, e.track);
+      named.push_back(e.track_id);
+    }
+  }
+  for (const CollectedEvent& e : events) {
+    switch (e.phase) {
+      case EventPhase::kSpan:
+        writer.AddComplete(e.track_id, e.name, e.start_ns, e.dur_ns, e.stage, e.minibatch);
+        break;
+      case EventPhase::kInstant:
+        writer.AddInstant(e.track_id, e.name, e.start_ns, e.stage, e.minibatch);
+        break;
+      case EventPhase::kFlowStart:
+        writer.AddFlow(e.track_id, e.name, e.start_ns, 's', e.flow_id, e.stage, e.minibatch);
+        break;
+      case EventPhase::kFlowStep:
+        writer.AddFlow(e.track_id, e.name, e.start_ns, 't', e.flow_id, e.stage, e.minibatch);
+        break;
+      case EventPhase::kFlowEnd:
+        writer.AddFlow(e.track_id, e.name, e.start_ns, 'f', e.flow_id, e.stage, e.minibatch);
+        break;
+    }
+  }
+  HealthServer::Response r;
+  r.content_type = "application/json";
+  r.body = writer.ToJson();
+  return r;
+}
+
+}  // namespace
+
+HealthServer::HealthServer(std::string socket_path) : path_(std::move(socket_path)) {}
+
+HealthServer::~HealthServer() { Stop(); }
+
+HealthServer::Response HealthServer::Handle(const std::string& target) {
+  std::string route = target;
+  std::string query;
+  const size_t q = target.find('?');
+  if (q != std::string::npos) {
+    route = target.substr(0, q);
+    query = target.substr(q + 1);
+  }
+  if (route == "/metrics") {
+    Response r;
+    if (QueryString(query, "format") == "json") {
+      r.content_type = "application/json";
+      r.body = MetricsRegistry::Get().ToJson();
+    } else {
+      r.content_type = "text/plain; version=0.0.4";
+      r.body = MetricsRegistry::Get().ToPrometheus();
+    }
+    return r;
+  }
+  if (route == "/healthz") {
+    return Healthz();
+  }
+  if (route == "/trace") {
+    return TraceWindow(QueryInt(query, "last", kDefaultTraceWindow));
+  }
+  Response r;
+  r.status = 404;
+  r.content_type = "text/plain";
+  r.body = "unknown endpoint: " + route +
+           " (try /metrics, /metrics?format=json, /healthz, /trace?last=N)\n";
+  return r;
+}
+
+Status HealthServer::Start() {
+  if (started_) {
+    return Status::FailedPrecondition("health server already started");
+  }
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) {
+    return Status::Internal(StrFormat("socket(AF_UNIX): %s", std::strerror(errno)));
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path_.size() >= sizeof(addr.sun_path)) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::InvalidArgument("health socket path too long: " + path_);
+  }
+  std::memcpy(addr.sun_path, path_.c_str(), path_.size() + 1);
+  ::unlink(path_.c_str());  // replace a stale socket from a dead process
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(listen_fd_, 8) != 0) {
+    const Status status =
+        Status::Internal(StrFormat("bind/listen %s: %s", path_.c_str(),
+                                   std::strerror(errno)));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  stop_.store(false, std::memory_order_relaxed);
+  acceptor_ = std::thread([this] {
+    SetThreadLabel("health");
+    AcceptLoop();
+  });
+  started_ = true;
+  PD_LOG(INFO) << "health endpoint listening on " << path_;
+  return Status::Ok();
+}
+
+void HealthServer::Stop() {
+  if (!started_) {
+    return;
+  }
+  stop_.store(true, std::memory_order_relaxed);
+  if (acceptor_.joinable()) {
+    acceptor_.join();
+  }
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  ::unlink(path_.c_str());
+  started_ = false;
+}
+
+void HealthServer::AcceptLoop() {
+  while (!stop_.load(std::memory_order_relaxed)) {
+    pollfd pfd{};
+    pfd.fd = listen_fd_;
+    pfd.events = POLLIN;
+    const int ready = ::poll(&pfd, 1, kPollIntervalMs);
+    if (ready <= 0) {
+      continue;  // timeout (re-check stop_) or EINTR
+    }
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      continue;
+    }
+    // Requests are tiny and local; serving inline keeps the loop single-threaded and the
+    // stop discipline trivial. A stuck client can only stall the *next* poller.
+    ServeConnection(fd);
+    ::close(fd);
+  }
+}
+
+void HealthServer::ServeConnection(int fd) {
+  // Read until the request line is complete (clients send at most a few hundred bytes).
+  std::string request;
+  char buf[512];
+  while (request.size() < kMaxRequestBytes &&
+         request.find("\r\n") == std::string::npos &&
+         request.find('\n') == std::string::npos) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n <= 0) {
+      break;
+    }
+    request.append(buf, static_cast<size_t>(n));
+  }
+  // "GET <target> HTTP/1.x" — anything else is a 400-class response with status text only.
+  std::string target;
+  if (request.compare(0, 4, "GET ") == 0) {
+    const size_t end = request.find(' ', 4);
+    if (end != std::string::npos) {
+      target = request.substr(4, end - 4);
+    }
+  }
+  Response response;
+  if (target.empty()) {
+    response.status = 400;
+    response.content_type = "text/plain";
+    response.body = "only GET requests are supported\n";
+  } else {
+    response = Handle(target);
+  }
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  const std::string header = StrFormat(
+      "HTTP/1.0 %d %s\r\nContent-Type: %s\r\nContent-Length: %zu\r\nConnection: close"
+      "\r\n\r\n",
+      response.status, StatusText(response.status), response.content_type.c_str(),
+      response.body.size());
+  std::string reply = header + response.body;
+  size_t sent = 0;
+  while (sent < reply.size()) {
+    const ssize_t n = ::write(fd, reply.data() + sent, reply.size() - sent);
+    if (n <= 0) {
+      break;
+    }
+    sent += static_cast<size_t>(n);
+  }
+}
+
+HealthServer* StartHealthServerFromEnv() {
+  static std::mutex mutex;
+  static HealthServer* server = nullptr;
+  static bool attempted = false;
+  std::lock_guard<std::mutex> lock(mutex);
+  if (attempted) {
+    return server;
+  }
+  attempted = true;
+  const char* path = std::getenv("PIPEDREAM_HEALTH_SOCK");
+  if (path == nullptr || path[0] == '\0') {
+    return nullptr;
+  }
+  auto* candidate = new HealthServer(path);  // leaky: serves until process exit
+  const Status status = candidate->Start();
+  if (!status.ok()) {
+    PD_LOG(WARNING) << "PIPEDREAM_HEALTH_SOCK: " << status.ToString();
+    delete candidate;
+    return nullptr;
+  }
+  server = candidate;
+  std::atexit([] {
+    std::lock_guard<std::mutex> exit_lock(mutex);
+    if (server != nullptr) {
+      server->Stop();
+    }
+  });
+  return server;
+}
+
+}  // namespace obs
+}  // namespace pipedream

@@ -14,7 +14,9 @@
 //
 // Dumping: PIPEDREAM_METRICS=out.json writes a JSON snapshot at process exit ("-" prints
 // the aligned table to stdout instead); PIPEDREAM_METRICS_TABLE=1 additionally prints the
-// table. Programmatically: ToJson(), WriteJson(), ToTable(), PrintTable().
+// table; PIPEDREAM_METRICS_INTERVAL_S=<n> re-writes the snapshot every n seconds mid-run
+// (atomic rename, so a tailing reader never sees a torn file). Programmatically: ToJson(),
+// ToPrometheus(), WriteJson(), WriteJsonAtomic(), ToTable(), PrintTable().
 //
 // WARNING/ERROR log lines are counted (see logging.h) and exposed as "log/warnings" and
 // "log/errors", so a run's health is visible in the same dump as its throughput.
@@ -26,6 +28,7 @@
 #include <functional>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/common/stats.h"
@@ -97,15 +100,20 @@ class Histogram {
     std::lock_guard<std::mutex> lock(mutex_);
     stat_ = RunningStat();
     samples_.clear();
+    // Re-seed so a Reset() bracket behaves exactly like a fresh histogram: identical
+    // observation sequences always yield identical reservoirs (and quantiles), whether or
+    // not the histogram was used before the bracket.
+    rng_ = kReservoirSeed;
   }
 
  private:
   static constexpr size_t kMaxSamples = 1 << 16;
+  static constexpr uint64_t kReservoirSeed = 0x9E3779B97F4A7C15ULL;
 
   mutable std::mutex mutex_;
   RunningStat stat_;
   std::vector<double> samples_;
-  uint64_t rng_ = 0x9E3779B97F4A7C15ULL;
+  uint64_t rng_ = kReservoirSeed;
 };
 
 class MetricsRegistry {
@@ -125,10 +133,23 @@ class MetricsRegistry {
   // JSON snapshot: {"counters": {...}, "gauges": {...}, "histograms": {name: {count, mean,
   // stddev, min, max, sum}}, "values": {callback results}}. Keys sorted.
   std::string ToJson() const;
+  // Prometheus text exposition (version 0.0.4): counters as `counter`, gauges and callback
+  // values as `gauge`, histograms as `summary` with quantile 0.5/0.99/0.999 labels plus
+  // _sum/_count. Names are sanitized to [a-zA-Z0-9_:] and prefixed "pipedream_". This is
+  // what the HealthServer's /metrics endpoint serves.
+  std::string ToPrometheus() const;
   // One row per metric via common/table (the end-of-run table).
   Table ToTable() const;
   bool WriteJson(const std::string& path) const;
+  // Like WriteJson but writes to `path + ".tmp"` and rename()s into place, so a concurrent
+  // reader of a periodic snapshot (PIPEDREAM_METRICS_INTERVAL_S) never sees a torn file.
+  bool WriteJsonAtomic(const std::string& path) const;
   void PrintTable() const;
+
+  // Snapshot of every gauge whose name starts with `prefix` (name → value). The health
+  // endpoint uses this to enumerate per-stage liveness gauges without knowing stage counts.
+  std::vector<std::pair<std::string, int64_t>> GaugesWithPrefix(
+      const std::string& prefix) const;
 
   // Zeroes every counter/gauge/histogram (callbacks are left registered). Brackets a
   // measured region in tests and benches.

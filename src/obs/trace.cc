@@ -36,6 +36,7 @@ struct Slot {
   std::atomic<int64_t> start_ns{0};
   std::atomic<int64_t> dur_ns{0};
   std::atomic<int64_t> minibatch{-1};
+  std::atomic<int64_t> flow_id{-1};
   std::atomic<int32_t> stage{-1};
   std::atomic<uint8_t> phase{0};
 };
@@ -52,13 +53,14 @@ struct TraceRing {
   std::string label;    // guarded by g_mutex
 
   void Record(const char* name, EventPhase phase, int64_t start_ns, int64_t dur_ns, int stage,
-              int64_t minibatch) {
+              int64_t minibatch, int64_t flow) {
     const uint64_t i = head.load(std::memory_order_relaxed);
     Slot& s = slots[i % kCapacity];
     s.name.store(name, std::memory_order_relaxed);
     s.start_ns.store(start_ns, std::memory_order_relaxed);
     s.dur_ns.store(dur_ns, std::memory_order_relaxed);
     s.minibatch.store(minibatch, std::memory_order_relaxed);
+    s.flow_id.store(flow, std::memory_order_relaxed);
     s.stage.store(stage, std::memory_order_relaxed);
     s.phase.store(static_cast<uint8_t>(phase), std::memory_order_relaxed);
     head.store(i + 1, std::memory_order_release);
@@ -101,6 +103,7 @@ void DrainRing(const TraceRing& ring, int64_t* dropped, std::vector<CollectedEve
     e.dur_ns = s.dur_ns.load(std::memory_order_relaxed);
     e.stage = static_cast<int>(s.stage.load(std::memory_order_relaxed));
     e.minibatch = s.minibatch.load(std::memory_order_relaxed);
+    e.flow_id = s.flow_id.load(std::memory_order_relaxed);
     out->push_back(std::move(e));
   }
 }
@@ -198,9 +201,20 @@ std::string JsonEscape(const std::string& s) {
       case '\t':
         out += "\\t";
         break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
       default:
         if (static_cast<unsigned char>(c) < 0x20) {
-          out += StrFormat("\\u%04x", c);
+          // Cast before the varargs promotion: a negative signed char would otherwise
+          // sign-extend and format as \\uffffffXX, which is not a JSON escape.
+          out += StrFormat("\\u%04x", static_cast<unsigned char>(c));
         } else {
           out += c;
         }
@@ -228,8 +242,8 @@ std::string ArgsJson(int stage, int64_t minibatch) {
 namespace internal {
 
 void RecordEvent(const char* name, EventPhase phase, int64_t start_ns, int64_t dur_ns,
-                 int stage, int64_t minibatch) {
-  GetThreadRing()->Record(name, phase, start_ns, dur_ns, stage, minibatch);
+                 int stage, int64_t minibatch, int64_t flow_id) {
+  GetThreadRing()->Record(name, phase, start_ns, dur_ns, stage, minibatch, flow_id);
 }
 
 }  // namespace internal
@@ -323,6 +337,18 @@ void ChromeTraceWriter::AddInstant(int tid, const char* name, int64_t ts_ns, int
                              ArgsJson(stage, minibatch).c_str()));
 }
 
+void ChromeTraceWriter::AddFlow(int tid, const char* name, int64_t ts_ns, char phase,
+                                int64_t flow_id, int stage, int64_t minibatch) {
+  // "bp":"e" binds the hop to the slice enclosing ts on this track; without it the flow
+  // attaches to the next slice and Perfetto draws the arrow one op too late.
+  lines_.push_back(StrFormat(
+      "{\"ph\":\"%c\",\"pid\":0,\"tid\":%d,\"name\":\"%s\",\"cat\":\"%s\",\"id\":%lld,"
+      "\"ts\":%.3f,\"bp\":\"e\",\"args\":%s}",
+      phase, tid, JsonEscape(name).c_str(), JsonEscape(name).c_str(),
+      static_cast<long long>(flow_id), static_cast<double>(ts_ns) * 1e-3,
+      ArgsJson(stage, minibatch).c_str()));
+}
+
 std::string ChromeTraceWriter::ToJson() const {
   std::string out = "{\n\"displayTimeUnit\":\"ms\",\n\"traceEvents\":[\n";
   for (size_t i = 0; i < lines_.size(); ++i) {
@@ -363,10 +389,22 @@ std::string TraceToChromeJson() {
     }
   }
   for (const CollectedEvent& e : events) {
-    if (e.phase == EventPhase::kSpan) {
-      writer.AddComplete(e.track_id, e.name, e.start_ns, e.dur_ns, e.stage, e.minibatch);
-    } else {
-      writer.AddInstant(e.track_id, e.name, e.start_ns, e.stage, e.minibatch);
+    switch (e.phase) {
+      case EventPhase::kSpan:
+        writer.AddComplete(e.track_id, e.name, e.start_ns, e.dur_ns, e.stage, e.minibatch);
+        break;
+      case EventPhase::kInstant:
+        writer.AddInstant(e.track_id, e.name, e.start_ns, e.stage, e.minibatch);
+        break;
+      case EventPhase::kFlowStart:
+        writer.AddFlow(e.track_id, e.name, e.start_ns, 's', e.flow_id, e.stage, e.minibatch);
+        break;
+      case EventPhase::kFlowStep:
+        writer.AddFlow(e.track_id, e.name, e.start_ns, 't', e.flow_id, e.stage, e.minibatch);
+        break;
+      case EventPhase::kFlowEnd:
+        writer.AddFlow(e.track_id, e.name, e.start_ns, 'f', e.flow_id, e.stage, e.minibatch);
+        break;
     }
   }
   return writer.ToJson();

@@ -34,8 +34,11 @@ namespace pipedream {
 namespace obs {
 
 enum class EventPhase : uint8_t {
-  kSpan = 0,     // has a duration ("X" complete event in Chrome terms)
-  kInstant = 1,  // a point in time ("i")
+  kSpan = 0,       // has a duration ("X" complete event in Chrome terms)
+  kInstant = 1,    // a point in time ("i")
+  kFlowStart = 2,  // first hop of a causal chain ("s"), keyed by flow_id
+  kFlowStep = 3,   // intermediate hop ("t")
+  kFlowEnd = 4,    // final hop ("f")
 };
 
 // One event as drained from the rings (flush-side representation).
@@ -48,12 +51,13 @@ struct CollectedEvent {
   int64_t dur_ns = 0;
   int stage = -1;        // -1 = not stage-scoped
   int64_t minibatch = -1;  // -1 = not minibatch-scoped
+  int64_t flow_id = -1;  // causal-chain key for kFlow* phases; -1 otherwise
 };
 
 namespace internal {
 extern std::atomic<bool> g_trace_enabled;
 void RecordEvent(const char* name, EventPhase phase, int64_t start_ns, int64_t dur_ns,
-                 int stage, int64_t minibatch);
+                 int stage, int64_t minibatch, int64_t flow_id = -1);
 }  // namespace internal
 
 // Monotonic nanoseconds since process start (the trace clock).
@@ -103,6 +107,35 @@ inline void RecordInstant(const char* name, int stage = -1, int64_t minibatch = 
   }
 }
 
+// Causal-chain markers: every event recorded with the same `flow_id` (and the same `name`,
+// which becomes the flow's category) is stitched into one arrow chain by Perfetto. The
+// training runtime keys flows by minibatch id, serving by request id. Record these *inside*
+// the compute span they belong to — the writer emits them with `bp:"e"` so the renderer
+// binds each hop to its enclosing slice.
+inline void RecordFlowStart(const char* name, int64_t flow_id, int stage = -1,
+                            int64_t minibatch = -1) {
+  if (TracingEnabled()) {
+    internal::RecordEvent(name, EventPhase::kFlowStart, TraceClockNs(), 0, stage, minibatch,
+                          flow_id);
+  }
+}
+
+inline void RecordFlowStep(const char* name, int64_t flow_id, int stage = -1,
+                           int64_t minibatch = -1) {
+  if (TracingEnabled()) {
+    internal::RecordEvent(name, EventPhase::kFlowStep, TraceClockNs(), 0, stage, minibatch,
+                          flow_id);
+  }
+}
+
+inline void RecordFlowEnd(const char* name, int64_t flow_id, int stage = -1,
+                          int64_t minibatch = -1) {
+  if (TracingEnabled()) {
+    internal::RecordEvent(name, EventPhase::kFlowEnd, TraceClockNs(), 0, stage, minibatch,
+                          flow_id);
+  }
+}
+
 // RAII span: records [construction, destruction) under `name`. `name` must be a string
 // literal (the ring stores the pointer, not a copy).
 class ScopedSpan {
@@ -142,6 +175,11 @@ class ChromeTraceWriter {
   void AddComplete(int tid, const char* name, int64_t ts_ns, int64_t dur_ns, int stage,
                    int64_t minibatch);
   void AddInstant(int tid, const char* name, int64_t ts_ns, int stage, int64_t minibatch);
+  // Flow hop: `phase` is the Chrome flow phase character ('s' start, 't' step, 'f' end).
+  // `name` doubles as the flow category, `flow_id` keys the chain; `bp:"e"` binds the hop
+  // to the slice enclosing its timestamp so Perfetto draws arrows between compute spans.
+  void AddFlow(int tid, const char* name, int64_t ts_ns, char phase, int64_t flow_id,
+               int stage, int64_t minibatch);
 
   std::string ToJson() const;
   bool WriteTo(const std::string& path) const;

@@ -79,6 +79,13 @@ ElasticTrainer::ElasticTrainer(const Sequential& model, const ModelProfile& prof
   if (const char* env = std::getenv("PIPEDREAM_ELASTIC_REPLAN")) {
     options_.replan_on_failure = std::atoi(env) != 0;
   }
+  if (const char* env = std::getenv("PIPEDREAM_STRAGGLER_REPLAN")) {
+    char* end = nullptr;
+    const double threshold = std::strtod(env, &end);
+    PD_CHECK(end != env && *end == 0 && threshold >= 0.0)
+        << "PIPEDREAM_STRAGGLER_REPLAN must be a non-negative number, got '" << env << "'";
+    options_.straggler_replan_threshold = threshold;
+  }
   alive_.assign(cluster_.size(), true);
 
   // Pin the global epoch grid: one epoch length every plan generation can live on.
@@ -220,6 +227,27 @@ EpochStats ElasticTrainer::TrainEpoch() {
   }
   EpochStats stats = trainer_->TrainEpoch();
   ScanFailures();
+  // Proactive drift check: a stage scoring past the straggler threshold is healed like a
+  // failure, but before it degrades to one. The rebuilt trainer starts a fresh detector,
+  // so one drifting stage triggers at most one re-plan per drift episode.
+  if (options_.straggler_replan_threshold > 0.0 && !pending_replan_) {
+    const obs::StragglerDetector& detector = trainer_->straggler();
+    const int worst = detector.WorstStage(options_.straggler_replan_threshold);
+    if (worst >= 0) {
+      const double score = detector.Score(worst);
+      // Fold the observed drift into the straggling workers' speed factors so the
+      // re-partition moves layers off them instead of reproducing the old plan.
+      for (const int w : plan_.stage(worst).workers) {
+        cluster_[static_cast<size_t>(w)].speed /= 1.0 + score;
+      }
+      obs::GetCounter("elastic/straggler_replans")->Increment();
+      PD_LOG(WARNING) << "stage " << worst << " straggling (score "
+                      << StrFormat("%.2f", score) << " >= "
+                      << StrFormat("%.2f", options_.straggler_replan_threshold)
+                      << "); re-plan scheduled for the next epoch";
+      pending_replan_ = true;
+    }
+  }
   if (stats.wall_seconds > 0 && stats.minibatches > 0) {
     // Per-generation throughput: one callback gauge per plan generation, so a dump shows
     // the degraded-vs-replanned recovery the bench quantifies.

@@ -51,6 +51,12 @@ struct ElasticOptions {
   // Re-plan when a worker is lost (vs staying degraded forever, the pre-elastic behavior).
   // The PIPEDREAM_ELASTIC_REPLAN env variable (0|1) overrides.
   bool replan_on_failure = true;
+  // Proactive straggler-triggered re-planning: when > 0, a stage whose smoothed straggler
+  // score (obs/straggler.h) reaches this threshold at an epoch boundary schedules a
+  // re-plan, first scaling the straggling workers' speed factors down by the observed
+  // drift so the re-partition actually moves layers off them. The
+  // PIPEDREAM_STRAGGLER_REPLAN env variable (a non-negative double) overrides; 0 disables.
+  double straggler_replan_threshold = 0.0;
 };
 
 // Parses PIPEDREAM_WORKER_SPEEDS ("1,1,0.5" = three workers, the third at half speed) into

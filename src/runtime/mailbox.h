@@ -35,7 +35,13 @@ struct PipeMessage {
   Tensor payload;
   Tensor targets;             // forward only
   int64_t input_version = 0;  // weight version assigned at the input stage (vertical sync)
+  int64_t trace_id = -1;      // causal-chain key: minibatch id (training) / request id
+                              // (serving); travels the wire so flow events line up across
+                              // stages even over the socket transport
   uint32_t checksum = 0;      // CRC32 over payload + targets, stamped at send time
+  int64_t delivered_ns = 0;   // local metadata: TraceClockNs() at mailbox delivery. NOT
+                              // serialized — single-host receive-side timestamp used for
+                              // the serving latency decomposition (queue vs transport)
 };
 
 // The steady-state hop is move-through: senders move tensors into the message, Deliver
@@ -53,6 +59,7 @@ static_assert(std::is_nothrow_move_assignable_v<PipeMessage>,
 // silently poisoning the gradient stream.
 inline uint32_t MessageChecksum(const PipeMessage& m) {
   uint32_t crc = Crc32(&m.minibatch, sizeof(m.minibatch));
+  crc = Crc32(&m.trace_id, sizeof(m.trace_id), crc);
   crc = Crc32(m.payload.data(), static_cast<size_t>(m.payload.SizeBytes()), crc);
   crc = Crc32(m.targets.data(), static_cast<size_t>(m.targets.SizeBytes()), crc);
   return crc;
@@ -68,6 +75,7 @@ class Mailbox {
   void Deliver(PipeMessage message) {
     PD_TRACE_INSTANT(message.type == WorkType::kForward ? "send_fwd" : "send_bwd", -1,
                      message.minibatch);
+    message.delivered_ns = obs::TraceClockNs();
     {
       std::lock_guard<std::mutex> lock(mutex_);
       auto& queue = message.type == WorkType::kForward ? forward_ : backward_;

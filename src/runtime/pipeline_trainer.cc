@@ -9,6 +9,7 @@
 #include "src/common/logging.h"
 #include "src/common/strings.h"
 #include "src/common/thread_pool.h"
+#include "src/obs/health.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 #include "src/runtime/checkpoint.h"
@@ -39,12 +40,19 @@ Tensor FlattenTargets(const Tensor& targets) {
 int64_t Lcm(int64_t a, int64_t b) { return a / std::gcd(a, b) * b; }
 
 // Times a scope into a registry histogram (seconds). Unlike ScopedSpan this is always on —
-// the metrics registry is the runtime's permanent record, not an opt-in trace.
+// the metrics registry is the runtime's permanent record, not an opt-in trace. When a
+// straggler detector is attached the same duration also feeds its per-stage baseline.
 class ScopedHistTimer {
  public:
-  explicit ScopedHistTimer(obs::Histogram* hist) : hist_(hist), t0_(obs::TraceClockNs()) {}
+  explicit ScopedHistTimer(obs::Histogram* hist, obs::StragglerDetector* straggler = nullptr,
+                           int stage = -1)
+      : hist_(hist), straggler_(straggler), stage_(stage), t0_(obs::TraceClockNs()) {}
   ~ScopedHistTimer() {
-    hist_->Observe(static_cast<double>(obs::TraceClockNs() - t0_) * 1e-9);
+    const double seconds = static_cast<double>(obs::TraceClockNs() - t0_) * 1e-9;
+    hist_->Observe(seconds);
+    if (straggler_ != nullptr) {
+      straggler_->Observe(stage_, seconds);
+    }
   }
 
   ScopedHistTimer(const ScopedHistTimer&) = delete;
@@ -52,6 +60,8 @@ class ScopedHistTimer {
 
  private:
   obs::Histogram* hist_;
+  obs::StragglerDetector* straggler_;
+  int stage_;
   int64_t t0_;
 };
 
@@ -116,6 +126,8 @@ struct PipelineTrainer::StageRuntime {
   obs::Histogram* step_hist = nullptr;   // runtime/stage<N>/step_seconds
   obs::Gauge* depth_gauge = nullptr;     // runtime/stage<N>/mailbox_depth_hwm
   obs::Histogram* stall_frac = nullptr;  // runtime/stage<N>/stall_fraction (per epoch)
+  obs::Gauge* alive_gauge = nullptr;     // runtime/stage<N>/alive (watchdog-maintained)
+  obs::Gauge* beat_age_gauge = nullptr;  // runtime/stage<N>/beat_age_ms (worst replica)
   int64_t epoch_stall_ns = 0;            // time spent waiting for work this epoch attempt
 
   int64_t ActivationStashBytes() const {
@@ -266,11 +278,19 @@ PipelineTrainer::PipelineTrainer(const Sequential& model, const PipelinePlan& pl
       rt->step_hist = obs::GetHistogram(StrFormat("runtime/stage%d/step_seconds", s));
       rt->depth_gauge = obs::GetGauge(StrFormat("runtime/stage%d/mailbox_depth_hwm", s));
       rt->stall_frac = obs::GetHistogram(StrFormat("runtime/stage%d/stall_fraction", s));
+      rt->alive_gauge = obs::GetGauge(StrFormat("runtime/stage%d/alive", s));
+      rt->beat_age_gauge = obs::GetGauge(StrFormat("runtime/stage%d/beat_age_ms", s));
+      rt->alive_gauge->Set(1);  // every stage starts healthy; the watchdog takes over
       by_stage_[static_cast<size_t>(s)].push_back(rt.get());
       runtimes_.push_back(std::move(rt));
     }
   }
   active_by_stage_ = by_stage_;
+  bubbles_ = std::make_unique<obs::BubbleAccountant>(num_stages);
+  straggler_ = std::make_unique<obs::StragglerDetector>(num_stages);
+  // Arm the live pipeline-health endpoint if PIPEDREAM_HEALTH_SOCK names a socket path.
+  // Idempotent and process-wide: a re-planned trainer reuses the running server.
+  health_ = obs::StartHealthServerFromEnv();
   const Status started = transport_->Start();
   PD_CHECK(started.ok()) << "transport start failed: " << started.ToString();
 
@@ -396,11 +416,20 @@ void PipelineTrainer::StageRuntime::RunEpoch() {
     }
     Beat();
     const int64_t waited_ns = obs::TraceClockNs() - wait_begin_ns;
+    PD_CHECK(action.has_value());
     if (waited_ns > 10'000) {  // ignore sub-10µs predicate churn; count real starvation
       epoch_stall_ns += waited_ns;
-      obs::RecordSpan("stall", wait_begin_ns, waited_ns, stage);
+      // Attribute the bubble by what finally unblocked us: waiting on a forward from a
+      // neighbour means the *upstream* was late (starvation); waiting to be allowed to
+      // admit, or for a gradient to come back, means the *downstream* side of the loop is
+      // the bottleneck (backpressure). Weight-sync and recovery bubbles are attributed at
+      // their own sites, not here.
+      const obs::StallCause cause = (*action == WorkType::kForward && !is_input)
+                                        ? obs::StallCause::kStarvedUpstream
+                                        : obs::StallCause::kBackpressuredDownstream;
+      obs::RecordSpan(obs::StallCauseSpanName(cause), wait_begin_ns, waited_ns, stage);
+      trainer->bubbles_->Add(stage, cause, waited_ns);
     }
-    PD_CHECK(action.has_value());
 
     // Consult the fault plan with the minibatch this action is about to process.
     if (FaultInjector* injector = trainer->injector_) {
@@ -463,8 +492,17 @@ void PipelineTrainer::StageRuntime::RunEpoch() {
 }
 
 void PipelineTrainer::StageRuntime::DoForward(int64_t minibatch, PipeMessage message) {
-  ScopedHistTimer fwd_timer(fwd_hist);
+  ScopedHistTimer fwd_timer(fwd_hist, trainer->straggler_.get(), stage);
   PD_TRACE_SPAN("fwd", stage, minibatch);
+  // Causal flow: one "mb" chain per minibatch, started at the input stage's forward and
+  // threaded through every later hop. Recorded inside the fwd span so Perfetto binds the
+  // arrow to the enclosing slice.
+  const int64_t flow = message.trace_id >= 0 ? message.trace_id : minibatch;
+  if (is_input) {
+    obs::RecordFlowStart("mb", flow, stage, minibatch);
+  } else {
+    obs::RecordFlowStep("mb", flow, stage, minibatch);
+  }
   weights->BeginForward(minibatch, message.input_version);
   Tensor out;
   if (trainer->options_.recompute_activations) {
@@ -494,6 +532,7 @@ void PipelineTrainer::StageRuntime::DoForward(int64_t minibatch, PipeMessage mes
     backward.minibatch = minibatch;
     backward.type = WorkType::kBackward;
     backward.payload = std::move(grad);
+    backward.trace_id = flow;
     trainer->Send(this, stage, std::move(backward));
   } else {
     PipeMessage forward;
@@ -502,14 +541,22 @@ void PipelineTrainer::StageRuntime::DoForward(int64_t minibatch, PipeMessage mes
     forward.payload = std::move(out);
     forward.targets = std::move(message.targets);
     forward.input_version = message.input_version;
+    forward.trace_id = flow;
     trainer->Send(this, stage + 1, std::move(forward));
   }
 }
 
 void PipelineTrainer::StageRuntime::DoBackward(PipeMessage message) {
   const int64_t minibatch = message.minibatch;
-  ScopedHistTimer bwd_timer(bwd_hist);
+  ScopedHistTimer bwd_timer(bwd_hist, trainer->straggler_.get(), stage);
   PD_TRACE_SPAN("bwd", stage, minibatch);
+  // The causal chain ends where the gradient comes home: stage 0's backward.
+  const int64_t flow = message.trace_id >= 0 ? message.trace_id : minibatch;
+  if (stage == 0) {
+    obs::RecordFlowEnd("mb", flow, stage, minibatch);
+  } else {
+    obs::RecordFlowStep("mb", flow, stage, minibatch);
+  }
 
   weights->BeginBackward(minibatch);
   ModelContext recomputed;
@@ -569,8 +616,17 @@ void PipelineTrainer::StageRuntime::DoBackward(PipeMessage message) {
               static_cast<int>(std::min<int64_t>(rr_size, epoch_end - group_begin));
           slot = static_cast<int>(minibatch - group_begin);
         }
+        // A long wait inside the collective is a bubble like any other, but with a
+        // distinct cause: replicas pacing each other for weight synchronization.
+        const int64_t sync_begin_ns = obs::TraceClockNs();
         if (!reducer->AllReduce(slot, params, participants)) {
           throw EpochAbortedError{};
+        }
+        const int64_t sync_ns = obs::TraceClockNs() - sync_begin_ns;
+        if (sync_ns > 10'000) {
+          obs::RecordSpan(obs::StallCauseSpanName(obs::StallCause::kWeightSync),
+                          sync_begin_ns, sync_ns, stage);
+          trainer->bubbles_->Add(stage, obs::StallCause::kWeightSync, sync_ns);
         }
       }
       {
@@ -607,9 +663,12 @@ void PipelineTrainer::StageRuntime::DoBackward(PipeMessage message) {
       gpipe_round_bwd = 0;
       ++bwd_done;  // count before blocking so quotas stay consistent
       if (stage > 0) {
-        trainer->Send(this, stage - 1,
-                      PipeMessage{minibatch, WorkType::kBackward, std::move(grad_in),
-                                  Tensor(), 0});
+        PipeMessage backward;
+        backward.minibatch = minibatch;
+        backward.type = WorkType::kBackward;
+        backward.payload = std::move(grad_in);
+        backward.trace_id = flow;
+        trainer->Send(this, stage - 1, std::move(backward));
       } else {
         --in_flight;
       }
@@ -628,6 +687,7 @@ void PipelineTrainer::StageRuntime::DoBackward(PipeMessage message) {
     backward.minibatch = minibatch;
     backward.type = WorkType::kBackward;
     backward.payload = std::move(grad_in);
+    backward.trace_id = flow;
     trainer->Send(this, stage - 1, std::move(backward));
   } else {
     --in_flight;
@@ -635,6 +695,11 @@ void PipelineTrainer::StageRuntime::DoBackward(PipeMessage message) {
 }
 
 void PipelineTrainer::Send(StageRuntime* from, int dest_stage, PipeMessage message) {
+  if (message.trace_id < 0) {
+    // Training messages are keyed by minibatch; any hop that forgot to thread the id
+    // through still joins the right causal chain.
+    message.trace_id = message.minibatch;
+  }
   StampChecksum(&message);
   if (injector_ != nullptr) {
     const FaultInjector::MessageAction fate =
@@ -793,11 +858,14 @@ bool PipelineTrainer::RunRange(int64_t begin, int64_t end, EpochStats* stats) {
   // The watchdog classifies two failure shapes the workers cannot self-report: a worker
   // gone silent (crashed/stalled — per-worker heartbeat staleness) and a wedged pipeline
   // (a lost message starves everyone while every worker still heartbeats — global progress
-  // staleness).
+  // staleness). It also maintains the per-stage alive/beat_age_ms gauges that /healthz
+  // reads, so it runs (in observe-only mode) whenever the health endpoint is armed even if
+  // recovery is not.
   std::atomic<bool> watchdog_stop{false};
   std::thread watchdog;
-  if (recovery_enabled_ || injector_ != nullptr) {
-    watchdog = std::thread([this, &active, &watchdog_stop] {
+  const bool enforce = recovery_enabled_ || injector_ != nullptr;
+  if (enforce || health_ != nullptr) {
+    watchdog = std::thread([this, &active, &watchdog_stop, enforce] {
       obs::SetThreadLabel("watchdog");
       int64_t last_progress = -1;
       int64_t last_progress_ms = NowMillis();
@@ -810,23 +878,46 @@ bool PipelineTrainer::RunRange(int64_t begin, int64_t end, EpochStats* stats) {
         bool all_done = true;
         int64_t progress = 0;
         const int64_t now = NowMillis();
+        // Worst replica per stage: a stage is alive only if every active replica is, and
+        // its published beat age is the stalest replica's.
+        std::vector<int64_t> stage_beat_age(active_by_stage_.size(), 0);
+        std::vector<bool> stage_alive(active_by_stage_.size(), true);
         for (StageRuntime* rt : active) {
+          const size_t s = static_cast<size_t>(rt->stage);
+          const bool rt_done = rt->done.load(std::memory_order_acquire);
+          const int64_t age =
+              rt_done ? 0 : now - rt->last_beat_ms.load(std::memory_order_acquire);
+          stage_beat_age[s] = std::max(stage_beat_age[s], age);
+          if (rt->dead.load(std::memory_order_acquire)) {
+            stage_alive[s] = false;
+          }
           progress += static_cast<int64_t>(rt->work_items.load(std::memory_order_acquire));
-          if (rt->done.load(std::memory_order_acquire)) {
+          if (rt_done) {
             continue;
           }
           all_done = false;
-          if (now - rt->last_beat_ms.load(std::memory_order_acquire) >
-              recovery_.heartbeat_timeout_ms) {
+          if (enforce && age > recovery_.heartbeat_timeout_ms) {
             rt->dead.store(true, std::memory_order_release);
+            rt->alive_gauge->Set(0);
+            rt->beat_age_gauge->Set(age);
             NoteFailure(rt, StrFormat("heartbeat timeout: stage %d replica %d silent for "
                                       "over %d ms",
                                       rt->stage, rt->replica, recovery_.heartbeat_timeout_ms));
             return;
           }
         }
+        for (size_t s = 0; s < active_by_stage_.size(); ++s) {
+          StageRuntime* any = active_by_stage_[s].empty() ? nullptr : active_by_stage_[s][0];
+          if (any != nullptr) {
+            any->alive_gauge->Set(stage_alive[s] ? 1 : 0);
+            any->beat_age_gauge->Set(stage_beat_age[s]);
+          }
+        }
         if (all_done) {
           return;
+        }
+        if (!enforce) {
+          continue;  // observe-only: gauges refreshed, no failure classification
         }
         if (progress != last_progress) {
           last_progress = progress;
@@ -857,6 +948,11 @@ bool PipelineTrainer::RunRange(int64_t begin, int64_t end, EpochStats* stats) {
       rt->stall_frac->Observe(static_cast<double>(rt->epoch_stall_ns) * 1e-9 /
                               attempt_seconds);
     }
+  }
+  // Close the attempt's bubble-attribution window: per-stage per-cause fractions become
+  // visible to /metrics as runtime/stage<N>/bubble_frac/<cause>.
+  for (int s = 0; s < plan_.num_stages(); ++s) {
+    bubbles_->FinishWindow(s, attempt_seconds);
   }
   if (epoch_abort_.load(std::memory_order_acquire)) {
     return false;
@@ -972,8 +1068,11 @@ int64_t PipelineTrainer::HandleFailureAndRestore() {
   }
   const int64_t noted_ns = failure_noted_ns_.exchange(0);
   if (noted_ns != 0) {
+    const int64_t recovery_ns = obs::TraceClockNs() - noted_ns;
     obs::GetHistogram("runtime/recovery_seconds")
-        ->Observe(static_cast<double>(obs::TraceClockNs() - noted_ns) * 1e-9);
+        ->Observe(static_cast<double>(recovery_ns) * 1e-9);
+    // Recovery idles the whole pipeline at once, so every stage eats the bubble.
+    bubbles_->AddAll(obs::StallCause::kRecovery, recovery_ns);
   }
   return resume;
 }

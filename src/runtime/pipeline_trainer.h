@@ -31,6 +31,8 @@
 #include "src/graph/loss.h"
 #include "src/graph/models.h"
 #include "src/graph/sequential.h"
+#include "src/obs/bubble.h"
+#include "src/obs/straggler.h"
 #include "src/optim/optimizer.h"
 #include "src/planner/plan.h"
 #include "src/runtime/allreduce.h"
@@ -44,6 +46,9 @@
 namespace pipedream {
 
 class CheckpointManager;
+namespace obs {
+class HealthServer;
+}
 
 struct PipelineTrainerOptions {
   ScheduleKind schedule = ScheduleKind::kOneFOneB;
@@ -181,6 +186,13 @@ class PipelineTrainer {
 
   const PipelinePlan& plan() const { return plan_; }
 
+  // Per-stage bubble-time attribution (starved / backpressured / weight-sync / recovery)
+  // aggregated over the current epoch window; always on. See obs/bubble.h.
+  const obs::BubbleAccountant& bubbles() const { return *bubbles_; }
+  // Online per-stage straggler scores (smoothed positive z of op times); the elastic layer
+  // polls this as a proactive re-plan trigger. See obs/straggler.h.
+  const obs::StragglerDetector& straggler() const { return *straggler_; }
+
   // The weight mode `stage` actually runs: the PIPEDREAM_WEIGHT_MODE / options override
   // when present, otherwise the plan's per-stage assignment (GPipe-family schedules force
   // kNaive everywhere — flushes make versioning unnecessary).
@@ -234,6 +246,10 @@ class PipelineTrainer {
   PipelineTrainerOptions options_;
   int num_model_layers_;
   std::unique_ptr<Optimizer> optimizer_prototype_;  // fresh-state source for recovery
+
+  std::unique_ptr<obs::BubbleAccountant> bubbles_;     // per-stage stall attribution
+  std::unique_ptr<obs::StragglerDetector> straggler_;  // per-stage slow-drift scores
+  obs::HealthServer* health_ = nullptr;  // process-wide endpoint (null unless env-armed)
 
   std::unique_ptr<MessageTransport> transport_;  // owns every stage inbox; outlives runtimes_
   std::vector<std::unique_ptr<StageRuntime>> runtimes_;           // flattened, owns all

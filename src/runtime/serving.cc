@@ -6,8 +6,11 @@
 #include <utility>
 
 #include "src/common/check.h"
+#include "src/common/strings.h"
 #include "src/common/thread_pool.h"
+#include "src/obs/health.h"
 #include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 
 namespace pipedream {
 namespace {
@@ -65,6 +68,22 @@ PipelineServer::PipelineServer(const Sequential& model, const PipelinePlan& plan
 
   latency_ = obs::GetHistogram(std::string("serve/") + transport_->name() +
                                "/request_seconds");
+  const std::string prefix = std::string("serve/") + transport_->name();
+  transport_hist_.reserve(static_cast<size_t>(stages));
+  queue_hist_.reserve(static_cast<size_t>(stages));
+  compute_hist_.reserve(static_cast<size_t>(stages));
+  for (int s = 0; s < stages; ++s) {
+    transport_hist_.push_back(
+        obs::GetHistogram(StrFormat("%s/stage%d/transport_seconds", prefix.c_str(), s)));
+    queue_hist_.push_back(
+        obs::GetHistogram(StrFormat("%s/stage%d/queue_seconds", prefix.c_str(), s)));
+    compute_hist_.push_back(
+        obs::GetHistogram(StrFormat("%s/stage%d/compute_seconds", prefix.c_str(), s)));
+  }
+  egress_transport_hist_ =
+      obs::GetHistogram(StrFormat("%s/egress/transport_seconds", prefix.c_str()));
+  // Serving processes expose the same live health endpoint as training ones.
+  obs::StartHealthServerFromEnv();
 }
 
 PipelineServer::~PipelineServer() { Stop(); }
@@ -103,9 +122,27 @@ int64_t PipelineServer::Submit(Tensor input) {
   message.minibatch = id;
   message.type = WorkType::kForward;
   message.payload = std::move(input);
+  message.trace_id = id;  // the request id is the causal-chain key over the wire
   StampChecksum(&message);
+  NoteSent(0, id);
   transport_->Send(0, 0, std::move(message));
   return id;
+}
+
+void PipelineServer::NoteSent(int dest_stage, int64_t id) {
+  std::lock_guard<std::mutex> lock(sent_mutex_);
+  sent_ns_[{dest_stage, id}] = obs::TraceClockNs();
+}
+
+std::optional<int64_t> PipelineServer::TakeSentNs(int dest_stage, int64_t id) {
+  std::lock_guard<std::mutex> lock(sent_mutex_);
+  const auto it = sent_ns_.find({dest_stage, id});
+  if (it == sent_ns_.end()) {
+    return std::nullopt;
+  }
+  const int64_t ns = it->second;
+  sent_ns_.erase(it);
+  return ns;
 }
 
 Tensor PipelineServer::Wait(int64_t id) {
@@ -134,15 +171,42 @@ void PipelineServer::StageLoop(int stage) {
       inbox->WaitUntilFor([](int64_t min_fwd, int64_t) { return min_fwd >= 0; }, tick);
       continue;
     }
+    const int64_t take_ns = obs::TraceClockNs();
     PD_CHECK(VerifyChecksum(*message))
         << "serving request " << message->minibatch << " corrupted before stage " << stage;
-    ModelContext ctx;  // per-request, discarded: inference stashes nothing
-    Tensor out = model.Forward(message->payload, &ctx, /*training=*/false);
+    const int64_t id = message->minibatch;
+    const int64_t flow = message->trace_id >= 0 ? message->trace_id : id;
+    // Decompose the hop into this stage: transport (send to mailbox delivery) and queue
+    // (delivery to dequeue). Compute is timed around Forward below.
+    if (message->delivered_ns > 0) {
+      queue_hist_[static_cast<size_t>(stage)]->Observe(
+          static_cast<double>(take_ns - message->delivered_ns) * 1e-9);
+      if (const std::optional<int64_t> sent = TakeSentNs(stage, id)) {
+        transport_hist_[static_cast<size_t>(stage)]->Observe(
+            static_cast<double>(message->delivered_ns - *sent) * 1e-9);
+      }
+    }
+    Tensor out;
+    {
+      PD_TRACE_SPAN("serve", stage, id);
+      if (stage == 0) {
+        obs::RecordFlowStart("req", flow, stage, id);
+      } else {
+        obs::RecordFlowStep("req", flow, stage, id);
+      }
+      const int64_t compute_begin_ns = obs::TraceClockNs();
+      ModelContext ctx;  // per-request, discarded: inference stashes nothing
+      out = model.Forward(message->payload, &ctx, /*training=*/false);
+      compute_hist_[static_cast<size_t>(stage)]->Observe(
+          static_cast<double>(obs::TraceClockNs() - compute_begin_ns) * 1e-9);
+    }
     PipeMessage next;
-    next.minibatch = message->minibatch;
+    next.minibatch = id;
     next.type = WorkType::kForward;
     next.payload = std::move(out);
+    next.trace_id = flow;
     StampChecksum(&next);
+    NoteSent(stage + 1, id);
     transport_->Send(stage + 1, 0, std::move(next));
   }
 }
@@ -162,6 +226,19 @@ void PipelineServer::CollectLoop() {
         << "serving result " << message->minibatch << " corrupted after the last stage";
     const int64_t id = message->minibatch;
     const int64_t end_ns = NowNs();
+    if (message->delivered_ns > 0) {
+      if (const std::optional<int64_t> sent = TakeSentNs(plan_.num_stages(), id)) {
+        egress_transport_hist_->Observe(
+            static_cast<double>(message->delivered_ns - *sent) * 1e-9);
+      }
+    }
+    {
+      // The chain ends where the result is handed back; a tiny span gives the flow arrow
+      // a slice to bind to.
+      PD_TRACE_SPAN("collect", plan_.num_stages(), id);
+      obs::RecordFlowEnd("req", message->trace_id >= 0 ? message->trace_id : id,
+                         plan_.num_stages(), id);
+    }
     {
       std::lock_guard<std::mutex> lock(mutex_);
       auto it = start_ns_.find(id);

@@ -15,8 +15,15 @@
 //
 // Every request's wall latency is recorded in the "serve/<transport>/request_seconds"
 // histogram (obs/metrics.h), whose reservoir quantiles provide the p50/p99/p999 read back
-// by Stats(). The transport is pluggable exactly as in training: in-proc mailboxes or the
-// CRC-framed socket transport, selected by options or PIPEDREAM_TRANSPORT.
+// by Stats(). On top of the wall number, each request's journey is decomposed per stage
+// into three histograms — serve/<transport>/stage<N>/{transport,queue,compute}_seconds:
+// transport is send-to-delivery of the hop into the stage, queue is delivery-to-dequeue
+// inside the stage's inbox, compute is the stage's Forward. The last hop (final stage to
+// the egress collector) lands in serve/<transport>/egress/transport_seconds. Requests also
+// carry their id as the wire-level trace id, emitting one "req" flow chain per request so
+// a Perfetto trace shows each request hopping stage to stage. The transport is pluggable
+// exactly as in training: in-proc mailboxes or the CRC-framed socket transport, selected
+// by options or PIPEDREAM_TRANSPORT.
 #ifndef SRC_RUNTIME_SERVING_H_
 #define SRC_RUNTIME_SERVING_H_
 
@@ -28,6 +35,7 @@
 #include <mutex>
 #include <optional>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "src/common/status.h"
@@ -106,6 +114,11 @@ class PipelineServer {
   void StageLoop(int stage);
   void CollectLoop();
 
+  // Single-host hop timing: the sender notes its send timestamp per (dest stage, request),
+  // the receiver pairs it with the mailbox's delivery stamp to get transport time.
+  void NoteSent(int dest_stage, int64_t id);
+  std::optional<int64_t> TakeSentNs(int dest_stage, int64_t id);
+
   PipelinePlan plan_;
   ServingOptions options_;
   int max_inflight_;
@@ -130,6 +143,15 @@ class PipelineServer {
   std::map<int64_t, Tensor> results_;    // finished, not yet Wait()ed
 
   obs::Histogram* latency_ = nullptr;  // "serve/<transport>/request_seconds"
+
+  // Per-stage latency decomposition (see header comment).
+  std::vector<obs::Histogram*> transport_hist_;  // serve/<t>/stage<N>/transport_seconds
+  std::vector<obs::Histogram*> queue_hist_;      // serve/<t>/stage<N>/queue_seconds
+  std::vector<obs::Histogram*> compute_hist_;    // serve/<t>/stage<N>/compute_seconds
+  obs::Histogram* egress_transport_hist_ = nullptr;  // serve/<t>/egress/transport_seconds
+
+  std::mutex sent_mutex_;
+  std::map<std::pair<int, int64_t>, int64_t> sent_ns_;  // (dest stage, id) -> send ts (ns)
 };
 
 }  // namespace pipedream

@@ -21,7 +21,7 @@ namespace pipedream {
 namespace {
 
 constexpr uint32_t kFrameMagic = 0x314D4450;  // "PDM1" little-endian
-constexpr uint8_t kBodyVersion = 1;
+constexpr uint8_t kBodyVersion = 2;  // v2 added trace_id after input_version
 constexpr size_t kFrameHeaderBytes = 8;   // magic + body_len
 constexpr size_t kFrameTrailerBytes = 4;  // body CRC
 // Implausible-length guard: a corrupted length field must not make the decoder buffer
@@ -144,6 +144,7 @@ std::vector<uint8_t> SerializeMessage(const PipeMessage& message) {
   AppendPod<uint8_t>(&body, message.type == WorkType::kForward ? 0 : 1);
   AppendPod<int64_t>(&body, message.minibatch);
   AppendPod<int64_t>(&body, message.input_version);
+  AppendPod<int64_t>(&body, message.trace_id);
   AppendPod<uint32_t>(&body, message.checksum);
   AppendTensor(&body, message.payload);
   AppendTensor(&body, message.targets);
@@ -163,7 +164,7 @@ Result<PipeMessage> DeserializeMessage(const uint8_t* data, size_t size) {
   }
   message.type = type == 0 ? WorkType::kForward : WorkType::kBackward;
   if (!r.Read(&message.minibatch) || !r.Read(&message.input_version) ||
-      !r.Read(&message.checksum)) {
+      !r.Read(&message.trace_id) || !r.Read(&message.checksum)) {
     return Status::InvalidArgument("truncated message header");
   }
   if (!ReadTensor(&r, &message.payload) || !ReadTensor(&r, &message.targets)) {

@@ -19,9 +19,13 @@
 //
 // Wire format (all integers little-endian):
 //   frame  := magic u32 ('PDM1') | body_len u32 | body | body_crc u32 (CRC32 over body)
-//   body   := version u8 | type u8 | minibatch i64 | input_version i64 | checksum u32
-//             | tensor(payload) | tensor(targets)
+//   body   := version u8 | type u8 | minibatch i64 | input_version i64 | trace_id i64
+//             | checksum u32 | tensor(payload) | tensor(targets)
 //   tensor := rank u32 | dims i64[rank] | data f32[numel]   (rank 0xFFFFFFFF = empty tensor)
+//
+// Body version history: v1 had no trace_id; v2 (current) inserts the causal trace id after
+// input_version so cross-stage flow events line up over the wire. Decoding is strict
+// same-version (a mixed-version pipeline is a deployment error, not a protocol state).
 //
 // The body-level `checksum` is the sender-stamped message checksum from mailbox.h — it
 // travels the wire so end-to-end corruption (injected before serialization) is still caught

@@ -142,6 +142,27 @@ obs::ChromeTraceWriter BuildChromeWriter(const std::vector<TraceEvent>& events) 
     writer.AddComplete(e.worker, e.type == WorkType::kForward ? "fwd" : "bwd",
                        e.start.nanos(), (e.end - e.start).nanos(), e.stage, e.minibatch);
   }
+  // Flow parity with the runtime: the same "mb" chain per minibatch that real stage
+  // workers emit, so a simulated trace and a measured one render identically in Perfetto.
+  // Hops are ordered by start time; each flow point sits at its event's midpoint so it
+  // falls inside the slice it binds to (bp:"e").
+  std::map<int64_t, std::vector<const TraceEvent*>> by_minibatch;
+  for (const TraceEvent& e : events) {
+    by_minibatch[e.minibatch].push_back(&e);
+  }
+  for (auto& [minibatch, hops] : by_minibatch) {
+    if (hops.size() < 2) {
+      continue;  // a single-event chain has no hop to draw
+    }
+    std::sort(hops.begin(), hops.end(),
+              [](const TraceEvent* a, const TraceEvent* b) { return a->start < b->start; });
+    for (size_t i = 0; i < hops.size(); ++i) {
+      const TraceEvent& e = *hops[i];
+      const int64_t mid_ns = e.start.nanos() + (e.end - e.start).nanos() / 2;
+      const char phase = i == 0 ? 's' : (i + 1 == hops.size() ? 'f' : 't');
+      writer.AddFlow(e.worker, "mb", mid_ns, phase, minibatch, e.stage, minibatch);
+    }
+  }
   return writer;
 }
 

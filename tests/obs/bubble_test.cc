@@ -1,0 +1,104 @@
+// Bubble accounting: per-(stage, cause) stall attribution — window accumulation, the
+// cumulative counters the bench reads, the published per-window fractions, and the
+// re-registration discipline elastic re-plans depend on (a new trainer generation builds a
+// new accountant over the same metric names).
+#include "src/obs/bubble.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "src/obs/metrics.h"
+
+namespace pipedream {
+namespace {
+
+TEST(BubbleTest, CauseNamesAreStableIdentifiers) {
+  EXPECT_STREQ(obs::StallCauseName(obs::StallCause::kStarvedUpstream), "starved_upstream");
+  EXPECT_STREQ(obs::StallCauseName(obs::StallCause::kBackpressuredDownstream),
+               "backpressured_downstream");
+  EXPECT_STREQ(obs::StallCauseName(obs::StallCause::kWeightSync), "weight_sync");
+  EXPECT_STREQ(obs::StallCauseName(obs::StallCause::kRecovery), "recovery");
+  EXPECT_STREQ(obs::StallCauseSpanName(obs::StallCause::kStarvedUpstream),
+               "stall/starved_upstream");
+  EXPECT_STREQ(obs::StallCauseSpanName(obs::StallCause::kRecovery), "stall/recovery");
+}
+
+TEST(BubbleTest, AddAccumulatesWindowAndCumulativeCounter) {
+  obs::MetricsRegistry::Get().Reset();
+  obs::BubbleAccountant accountant(2);
+  accountant.Add(0, obs::StallCause::kStarvedUpstream, 1000);
+  accountant.Add(0, obs::StallCause::kStarvedUpstream, 500);
+  accountant.Add(1, obs::StallCause::kWeightSync, 250);
+
+  EXPECT_EQ(accountant.WindowNs(0, obs::StallCause::kStarvedUpstream), 1500);
+  EXPECT_EQ(accountant.WindowNs(0, obs::StallCause::kWeightSync), 0);
+  EXPECT_EQ(accountant.WindowNs(1, obs::StallCause::kWeightSync), 250);
+  EXPECT_EQ(obs::GetCounter("runtime/stage0/bubble/starved_upstream_ns")->value(), 1500);
+  EXPECT_EQ(obs::GetCounter("runtime/stage1/bubble/weight_sync_ns")->value(), 250);
+
+  // Out-of-range stages and non-positive durations are dropped, not recorded.
+  accountant.Add(-1, obs::StallCause::kRecovery, 100);
+  accountant.Add(2, obs::StallCause::kRecovery, 100);
+  accountant.Add(0, obs::StallCause::kRecovery, 0);
+  accountant.Add(0, obs::StallCause::kRecovery, -5);
+  EXPECT_EQ(accountant.WindowNs(0, obs::StallCause::kRecovery), 0);
+}
+
+TEST(BubbleTest, AddAllChargesEveryStage) {
+  obs::MetricsRegistry::Get().Reset();
+  obs::BubbleAccountant accountant(3);
+  accountant.AddAll(obs::StallCause::kRecovery, 400);
+  for (int s = 0; s < 3; ++s) {
+    EXPECT_EQ(accountant.WindowNs(s, obs::StallCause::kRecovery), 400) << "stage " << s;
+  }
+}
+
+TEST(BubbleTest, FinishWindowPublishesFractionAndClearsWindow) {
+  obs::MetricsRegistry::Get().Reset();
+  obs::BubbleAccountant accountant(1);
+  // 250ms of starvation inside a 1s window: fraction 0.25 exactly.
+  accountant.Add(0, obs::StallCause::kStarvedUpstream, 250'000'000);
+  accountant.FinishWindow(0, /*window_seconds=*/1.0);
+
+  EXPECT_EQ(accountant.WindowNs(0, obs::StallCause::kStarvedUpstream), 0)
+      << "FinishWindow must clear the window accumulator";
+  EXPECT_EQ(obs::GetCounter("runtime/stage0/bubble/starved_upstream_ns")->value(),
+            250'000'000)
+      << "the cumulative counter must survive the window boundary";
+  const std::string json = obs::MetricsRegistry::Get().ToJson();
+  EXPECT_NE(json.find("\"runtime/stage0/bubble_frac/starved_upstream\": 0.25"),
+            std::string::npos)
+      << json;
+
+  // The fraction stays readable until the next window finishes, then updates.
+  accountant.FinishWindow(0, 1.0);
+  const std::string json2 = obs::MetricsRegistry::Get().ToJson();
+  EXPECT_EQ(json2.find("\"runtime/stage0/bubble_frac/starved_upstream\": 0.25"),
+            std::string::npos)
+      << "an empty second window must replace the previous fraction";
+}
+
+TEST(BubbleTest, RebuildingAccountantRebindsCallbacksWithoutAborting) {
+  // Elastic re-plans construct a fresh trainer — and with it a fresh accountant — over the
+  // same metric names. SetCallback overwrites, so the newest generation's cells win.
+  obs::MetricsRegistry::Get().Reset();
+  auto first = std::make_unique<obs::BubbleAccountant>(2);
+  first->Add(0, obs::StallCause::kBackpressuredDownstream, 500'000'000);
+  first->FinishWindow(0, 1.0);
+
+  auto second = std::make_unique<obs::BubbleAccountant>(2);
+  second->Add(0, obs::StallCause::kBackpressuredDownstream, 100'000'000);
+  second->FinishWindow(0, 1.0);
+  first.reset();  // the registry must not read through the dead generation
+
+  const std::string json = obs::MetricsRegistry::Get().ToJson();
+  EXPECT_NE(json.find("\"runtime/stage0/bubble_frac/backpressured_downstream\": 0.1"),
+            std::string::npos)
+      << json;
+}
+
+}  // namespace
+}  // namespace pipedream

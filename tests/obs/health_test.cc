@@ -1,0 +1,170 @@
+// Health endpoint: route handling (/metrics in both formats, /healthz liveness semantics,
+// /trace windowing, 404), and a live AF_UNIX round trip — a raw-socket client speaking the
+// same plain HTTP a `curl --unix-socket` poller would.
+#include "src/obs/health.h"
+
+#include <gtest/gtest.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+
+namespace pipedream {
+namespace {
+
+using Response = obs::HealthServer::Response;
+
+TEST(HealthHandleTest, MetricsDefaultsToPrometheusText) {
+  obs::GetCounter("test/health_counter")->Add(2);
+  const Response r = obs::HealthServer::Handle("/metrics");
+  EXPECT_EQ(r.status, 200);
+  EXPECT_EQ(r.content_type, "text/plain; version=0.0.4");
+  EXPECT_NE(r.body.find("# TYPE pipedream_test_health_counter counter"),
+            std::string::npos);
+  EXPECT_NE(r.body.find("pipedream_test_health_counter 2"), std::string::npos);
+}
+
+TEST(HealthHandleTest, MetricsJsonFormatSelectsSnapshot) {
+  const Response r = obs::HealthServer::Handle("/metrics?format=json");
+  EXPECT_EQ(r.status, 200);
+  EXPECT_EQ(r.content_type, "application/json");
+  EXPECT_NE(r.body.find("\"counters\""), std::string::npos);
+  EXPECT_NE(r.body.find("\"histograms\""), std::string::npos);
+}
+
+TEST(HealthHandleTest, HealthzReflectsLivenessGauges) {
+  // No watchdog gauges yet (beyond whatever this binary registered): healthy by absence is
+  // exercised implicitly by the all-alive case below.
+  obs::GetGauge("runtime/stage0/alive")->Set(1);
+  obs::GetGauge("runtime/stage0/beat_age_ms")->Set(12);
+  obs::GetGauge("runtime/stage1/alive")->Set(1);
+  obs::GetGauge("runtime/stage1/beat_age_ms")->Set(7);
+
+  Response r = obs::HealthServer::Handle("/healthz");
+  EXPECT_EQ(r.status, 200);
+  EXPECT_EQ(r.content_type, "application/json");
+  EXPECT_NE(r.body.find("\"status\": \"ok\""), std::string::npos);
+  EXPECT_NE(r.body.find("\"stage\": 0"), std::string::npos);
+  EXPECT_NE(r.body.find("\"stage\": 1"), std::string::npos);
+  EXPECT_NE(r.body.find("\"beat_age_ms\": 12"), std::string::npos);
+
+  // One dead stage degrades the whole pipeline: 503, so a poller's alerting needs no JSON
+  // parsing at all.
+  obs::GetGauge("runtime/stage1/alive")->Set(0);
+  r = obs::HealthServer::Handle("/healthz");
+  EXPECT_EQ(r.status, 503);
+  EXPECT_NE(r.body.find("\"status\": \"degraded\""), std::string::npos);
+  EXPECT_NE(r.body.find("\"alive\": false"), std::string::npos);
+  obs::GetGauge("runtime/stage1/alive")->Set(1);  // restore for later tests
+}
+
+TEST(HealthHandleTest, TraceWindowReturnsNewestEvents) {
+  obs::StopTracing();
+  obs::ClearTrace();
+  obs::StartTracing();
+  for (int i = 0; i < 6; ++i) {
+    obs::RecordSpan("fwd", /*start_ns=*/i * 100, /*dur_ns=*/10, /*stage=*/0,
+                    /*minibatch=*/i);
+  }
+  obs::StopTracing();
+
+  const Response r = obs::HealthServer::Handle("/trace?last=2");
+  EXPECT_EQ(r.status, 200);
+  EXPECT_EQ(r.content_type, "application/json");
+  size_t spans = 0;
+  for (size_t at = r.body.find("\"ph\":\"X\""); at != std::string::npos;
+       at = r.body.find("\"ph\":\"X\"", at + 1)) {
+    ++spans;
+  }
+  EXPECT_EQ(spans, 2u) << r.body;
+  // The newest events survive the window, not the oldest.
+  EXPECT_NE(r.body.find("\"minibatch\":5"), std::string::npos);
+  EXPECT_EQ(r.body.find("\"minibatch\":0"), std::string::npos);
+  obs::ClearTrace();
+}
+
+TEST(HealthHandleTest, UnknownRouteIs404WithHints) {
+  const Response r = obs::HealthServer::Handle("/nope");
+  EXPECT_EQ(r.status, 404);
+  EXPECT_NE(r.body.find("/metrics"), std::string::npos);
+  EXPECT_NE(r.body.find("/healthz"), std::string::npos);
+}
+
+// Raw AF_UNIX client: connect, send one HTTP/1.0 GET, read to EOF. This is exactly what
+// `curl --unix-socket <path> http://x/metrics` does on the wire.
+std::string HttpGet(const std::string& socket_path, const std::string& target) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return "";
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return "";
+  }
+  const std::string request = "GET " + target + " HTTP/1.0\r\n\r\n";
+  size_t sent = 0;
+  while (sent < request.size()) {
+    const ssize_t n = ::write(fd, request.data() + sent, request.size() - sent);
+    if (n <= 0) {
+      break;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  std::string reply;
+  char buf[1024];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n <= 0) {
+      break;
+    }
+    reply.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return reply;
+}
+
+TEST(HealthServerTest, ServesMetricsOverUnixSocket) {
+  const std::string path = ::testing::TempDir() + "/pd_health_test.sock";
+  obs::HealthServer server(path);
+  ASSERT_TRUE(server.Start().ok());
+  EXPECT_FALSE(server.Start().ok()) << "double Start must be rejected";
+
+  obs::GetCounter("test/health_live_counter")->Add(5);
+  const std::string reply = HttpGet(path, "/metrics");
+  EXPECT_NE(reply.find("HTTP/1.0 200 OK"), std::string::npos) << reply;
+  EXPECT_NE(reply.find("Content-Type: text/plain; version=0.0.4"), std::string::npos);
+  EXPECT_NE(reply.find("pipedream_test_health_live_counter 5"), std::string::npos);
+
+  const std::string missing = HttpGet(path, "/nope");
+  EXPECT_NE(missing.find("HTTP/1.0 404"), std::string::npos);
+  EXPECT_GE(server.requests_served(), 2);
+
+  server.Stop();
+  server.Stop();  // idempotent
+  EXPECT_EQ(::access(path.c_str(), F_OK), -1) << "socket file must be unlinked on Stop";
+}
+
+TEST(HealthServerTest, StartFromEnvIsIdempotent) {
+  const std::string path = ::testing::TempDir() + "/pd_health_env_test.sock";
+  ::setenv("PIPEDREAM_HEALTH_SOCK", path.c_str(), 1);
+  obs::HealthServer* first = obs::StartHealthServerFromEnv();
+  ASSERT_NE(first, nullptr);
+  EXPECT_EQ(first->path(), path);
+  // Second call (as every trainer/server constructor makes) returns the same instance.
+  EXPECT_EQ(obs::StartHealthServerFromEnv(), first);
+  const std::string reply = HttpGet(path, "/healthz");
+  EXPECT_NE(reply.find("HTTP/1.0"), std::string::npos) << reply;
+  ::unsetenv("PIPEDREAM_HEALTH_SOCK");
+}
+
+}  // namespace
+}  // namespace pipedream

@@ -2,6 +2,10 @@
 // name-kind conflict detection, and thread-safety of concurrent updates.
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -149,6 +153,108 @@ TEST(MetricsTest, LogWarningsFlowIntoRegistry) {
   // The callback gauge reads the live count at dump time.
   const std::string after_json = obs::MetricsRegistry::Get().ToJson();
   EXPECT_NE(after_json.find("\"log/warnings\""), std::string::npos);
+}
+
+TEST(MetricsTest, QuantilesExactBelowReservoirBound) {
+  obs::Histogram* h = obs::GetHistogram("test/quantile_small");
+  h->Reset();
+  // 1..100: below the reservoir bound the quantile is linear interpolation over all
+  // retained (= all) samples, so these values are pinned exactly.
+  for (int i = 1; i <= 100; ++i) {
+    h->Observe(static_cast<double>(i));
+  }
+  EXPECT_DOUBLE_EQ(h->Quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(h->Quantile(0.5), 50.5);    // idx 49.5 between 50 and 51
+  EXPECT_DOUBLE_EQ(h->Quantile(0.99), 99.01);  // idx 98.01 between 99 and 100
+  EXPECT_DOUBLE_EQ(h->Quantile(1.0), 100.0);
+  EXPECT_DOUBLE_EQ(obs::GetHistogram("test/quantile_empty")->Quantile(0.5), 0.0);
+}
+
+TEST(MetricsTest, OverflowingReservoirIsDeterministicAndAccurate) {
+  // Past the 65536-sample bound the reservoir subsamples — but with a fixed seed restored
+  // by Reset(), so identical observation sequences yield bit-identical quantiles, and a
+  // uniform input still reads back accurate p50/p99/p999.
+  constexpr int kCount = (1 << 16) + 20000;
+  const auto feed = [](obs::Histogram* h) {
+    uint64_t x = 12345;
+    for (int i = 0; i < kCount; ++i) {
+      x = x * 2862933555777941757ULL + 3037000493ULL;  // deterministic input stream
+      h->Observe(static_cast<double>(x >> 44) / 1048576.0);  // uniform-ish in [0, 1)
+    }
+  };
+  obs::Histogram* a = obs::GetHistogram("test/quantile_overflow_a");
+  obs::Histogram* b = obs::GetHistogram("test/quantile_overflow_b");
+  a->Reset();
+  b->Reset();
+  feed(a);
+  feed(b);
+  for (const double q : {0.5, 0.99, 0.999}) {
+    EXPECT_DOUBLE_EQ(a->Quantile(q), b->Quantile(q))
+        << "reservoir is not deterministic at q=" << q;
+  }
+  EXPECT_NEAR(a->Quantile(0.5), 0.5, 0.02);
+  EXPECT_NEAR(a->Quantile(0.99), 0.99, 0.02);
+  EXPECT_NEAR(a->Quantile(0.999), 0.999, 0.02);
+  EXPECT_EQ(a->snapshot().count(), kCount);
+
+  // A Reset() bracket behaves exactly like a fresh histogram: same stream, same quantiles.
+  a->Reset();
+  feed(a);
+  EXPECT_DOUBLE_EQ(a->Quantile(0.5), b->Quantile(0.5));
+  EXPECT_DOUBLE_EQ(a->Quantile(0.999), b->Quantile(0.999));
+}
+
+TEST(MetricsTest, PrometheusExpositionCoversEveryKind) {
+  obs::GetCounter("test/prom_counter")->Add(3);
+  obs::GetGauge("test/prom_gauge")->Set(9);
+  obs::Histogram* h = obs::GetHistogram("test/prom-hist.latency");
+  h->Reset();
+  h->Observe(0.5);
+  h->Observe(1.5);
+  obs::MetricsRegistry::Get().SetCallback("test/prom_callback", [] { return 2.5; });
+
+  const std::string text = obs::MetricsRegistry::Get().ToPrometheus();
+  EXPECT_NE(text.find("# TYPE pipedream_test_prom_counter counter"), std::string::npos);
+  EXPECT_NE(text.find("pipedream_test_prom_counter 3"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE pipedream_test_prom_gauge gauge"), std::string::npos);
+  EXPECT_NE(text.find("pipedream_test_prom_gauge 9"), std::string::npos);
+  // Histogram names sanitize '-' and '.' to '_' and expose summary quantiles + _sum/_count.
+  EXPECT_NE(text.find("# TYPE pipedream_test_prom_hist_latency summary"), std::string::npos);
+  EXPECT_NE(text.find("pipedream_test_prom_hist_latency{quantile=\"0.5\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("pipedream_test_prom_hist_latency{quantile=\"0.99\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("pipedream_test_prom_hist_latency{quantile=\"0.999\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("pipedream_test_prom_hist_latency_sum 2"), std::string::npos);
+  EXPECT_NE(text.find("pipedream_test_prom_hist_latency_count 2"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE pipedream_test_prom_callback gauge"), std::string::npos);
+  EXPECT_NE(text.find("pipedream_test_prom_callback 2.5"), std::string::npos);
+  // Exposition format: every non-comment line is "name value" with no stray '{' left from
+  // unsanitized characters (quantile labels are the only braces).
+  for (size_t at = 0; at < text.size();) {
+    size_t end = text.find('\n', at);
+    if (end == std::string::npos) end = text.size();
+    const std::string line = text.substr(at, end - at);
+    if (!line.empty() && line[0] != '#') {
+      EXPECT_NE(line.find(' '), std::string::npos) << "malformed line: " << line;
+    }
+    at = end + 1;
+  }
+}
+
+TEST(MetricsTest, WriteJsonAtomicLeavesNoTempBehind) {
+  obs::GetCounter("test/atomic_write_counter")->Add(1);
+  const std::string path = ::testing::TempDir() + "/pd_metrics_atomic_test.json";
+  ASSERT_TRUE(obs::MetricsRegistry::Get().WriteJsonAtomic(path));
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "snapshot file missing: " << path;
+  std::stringstream content;
+  content << in.rdbuf();
+  EXPECT_NE(content.str().find("\"test/atomic_write_counter\""), std::string::npos);
+  std::ifstream tmp(path + ".tmp");
+  EXPECT_FALSE(tmp.good()) << "temp file must be renamed away";
+  std::remove(path.c_str());
 }
 
 TEST(MetricsDeathTest, NameKindConflictAborts) {

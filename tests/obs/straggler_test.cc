@@ -1,0 +1,105 @@
+// Straggler detection: the per-stage EWMA z-score must stay silent on steady and jittery
+// stages, fire on genuine slow drift, recover when the drift ends, and respect the warmup
+// before judging anything.
+#include "src/obs/straggler.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/obs/metrics.h"
+
+namespace pipedream {
+namespace {
+
+// Small deterministic jitter so the baseline variance is non-zero (a perfectly constant
+// stream has var == 0 and scoring stays disabled by design).
+double Jittered(double base, int i) { return base * (1.0 + 0.02 * ((i % 5) - 2)); }
+
+TEST(StragglerTest, SteadyStageStaysBelowReplanThresholds) {
+  // Benign jitter produces a small positive-z floor (only positive deviations count), but
+  // it must stay well below any score a re-plan threshold would be set to.
+  obs::StragglerDetector detector(2);
+  for (int i = 0; i < 200; ++i) {
+    detector.Observe(0, Jittered(0.001, i));
+    detector.Observe(1, Jittered(0.001, i));
+  }
+  EXPECT_LT(detector.Score(0), 1.0);
+  EXPECT_LT(detector.Score(1), 1.0);
+  EXPECT_EQ(detector.WorstStage(/*threshold=*/1.0), -1);
+}
+
+TEST(StragglerTest, WarmupSuppressesEarlyJudgment) {
+  obs::StragglerOptions options;
+  options.warmup = 16;
+  obs::StragglerDetector detector(1, options);
+  // A wild first impression must not register: scoring starts only after warmup.
+  detector.Observe(0, 0.001);
+  detector.Observe(0, 1.0);
+  detector.Observe(0, 0.001);
+  EXPECT_EQ(detector.Score(0), 0.0);
+}
+
+TEST(StragglerTest, SlowDriftRaisesScoreOnTheDriftingStageOnly) {
+  obs::StragglerDetector detector(2);
+  for (int i = 0; i < 100; ++i) {
+    detector.Observe(0, Jittered(0.001, i));
+    detector.Observe(1, Jittered(0.001, i));
+  }
+  // Stage 1 drifts to 10x; stage 0 stays on its baseline. The score spikes at drift ONSET
+  // (the observation is judged against the pre-drift baseline) and then relaxes as the
+  // EWMA baseline absorbs the new level — so sample it the way the elastic trigger does,
+  // shortly after the drift begins.
+  for (int i = 0; i < 5; ++i) {
+    detector.Observe(0, Jittered(0.001, i));
+    detector.Observe(1, 0.010);
+  }
+  EXPECT_GT(detector.Score(1), 1.0) << "a 10x slowdown must push the smoothed z well up";
+  EXPECT_LT(detector.Score(0), 1.0);
+  EXPECT_EQ(detector.WorstStage(/*threshold=*/1.0), 1);
+  EXPECT_EQ(detector.WorstStage(/*threshold=*/1e9), -1);
+}
+
+TEST(StragglerTest, ScoreDecaysWhenDriftEnds) {
+  obs::StragglerDetector detector(1);
+  for (int i = 0; i < 100; ++i) {
+    detector.Observe(0, Jittered(0.001, i));
+  }
+  for (int i = 0; i < 5; ++i) {
+    detector.Observe(0, 0.010);
+  }
+  const double peak = detector.Score(0);
+  ASSERT_GT(peak, 1.0);
+  // The EWMA baseline absorbs the new level; once observations match it again, the
+  // positive-z score drains toward zero.
+  for (int i = 0; i < 400; ++i) {
+    detector.Observe(0, Jittered(0.010, i));
+  }
+  EXPECT_LT(detector.Score(0), peak * 0.5) << "score must decay after the drift episode";
+}
+
+TEST(StragglerTest, PublishesCallbackGaugePerStage) {
+  obs::StragglerDetector detector(2);
+  for (int i = 0; i < 100; ++i) {
+    detector.Observe(0, Jittered(0.001, i));
+  }
+  for (int i = 0; i < 30; ++i) {
+    detector.Observe(0, 0.010);
+  }
+  const std::string json = obs::MetricsRegistry::Get().ToJson();
+  EXPECT_NE(json.find("\"obs/straggler_score/stage0\""), std::string::npos);
+  EXPECT_NE(json.find("\"obs/straggler_score/stage1\""), std::string::npos);
+}
+
+TEST(StragglerTest, IgnoresOutOfRangeAndInvalidObservations) {
+  obs::StragglerDetector detector(1);
+  detector.Observe(-1, 0.001);
+  detector.Observe(1, 0.001);
+  detector.Observe(0, -0.5);
+  EXPECT_EQ(detector.Score(-1), 0.0);
+  EXPECT_EQ(detector.Score(1), 0.0);
+  EXPECT_EQ(detector.Score(0), 0.0);
+}
+
+}  // namespace
+}  // namespace pipedream

@@ -254,6 +254,92 @@ TEST_F(TraceTest, JsonEscapesHostileLabels) {
   EXPECT_TRUE(scanner.Valid()) << json;
 }
 
+TEST_F(TraceTest, JsonEscapesControlCharactersAsFourHexDigits) {
+  // Regression: control characters below 0x20 must escape as exactly \u00XX. The escaper
+  // once formatted the raw (signed) char, so anything that sign-extended produced an
+  // eight-digit escape — not valid JSON, and chrome://tracing rejected the whole file.
+  obs::StartTracing();
+  obs::SetThreadLabel(std::string("ctl\x01\x1f") + "end");
+  { PD_TRACE_SPAN("fwd", 0, 0); }
+  obs::StopTracing();
+  // Serialize before clearing the label: tracks are named at flush time.
+  const std::string json = obs::TraceToChromeJson();
+  obs::SetThreadLabel("");
+  JsonScanner scanner(json);
+  EXPECT_TRUE(scanner.Valid()) << json;
+  EXPECT_NE(json.find("\\u0001"), std::string::npos);
+  EXPECT_NE(json.find("\\u001f"), std::string::npos);
+  EXPECT_EQ(json.find("\\uffffff"), std::string::npos)
+      << "signed-char sign extension leaked into a unicode escape";
+}
+
+TEST_F(TraceTest, FlowEventsCarryTheirChainKey) {
+  obs::StartTracing();
+  {
+    PD_TRACE_SPAN("fwd", 0, 5);
+    obs::RecordFlowStart("mb", /*flow_id=*/5, /*stage=*/0, /*minibatch=*/5);
+  }
+  {
+    PD_TRACE_SPAN("fwd", 1, 5);
+    obs::RecordFlowStep("mb", 5, 1, 5);
+  }
+  {
+    PD_TRACE_SPAN("bwd", 0, 5);
+    obs::RecordFlowEnd("mb", 5, 0, 5);
+  }
+  obs::StopTracing();
+
+  int starts = 0;
+  int steps = 0;
+  int ends = 0;
+  for (const auto& e : obs::CollectEvents()) {
+    if (e.phase == obs::EventPhase::kFlowStart) {
+      ++starts;
+      EXPECT_EQ(e.flow_id, 5);
+    } else if (e.phase == obs::EventPhase::kFlowStep) {
+      ++steps;
+      EXPECT_EQ(e.flow_id, 5);
+    } else if (e.phase == obs::EventPhase::kFlowEnd) {
+      ++ends;
+      EXPECT_EQ(e.flow_id, 5);
+    } else {
+      EXPECT_EQ(e.flow_id, -1) << "non-flow events must not carry a chain key";
+    }
+  }
+  EXPECT_EQ(starts, 1);
+  EXPECT_EQ(steps, 1);
+  EXPECT_EQ(ends, 1);
+}
+
+TEST_F(TraceTest, FlowJsonHasChromePhasesAndEnclosingBinding) {
+  obs::StartTracing();
+  {
+    PD_TRACE_SPAN("fwd", 0, 3);
+    obs::RecordFlowStart("mb", 3, 0, 3);
+  }
+  {
+    PD_TRACE_SPAN("fwd", 1, 3);
+    obs::RecordFlowStep("mb", 3, 1, 3);
+  }
+  {
+    PD_TRACE_SPAN("bwd", 0, 3);
+    obs::RecordFlowEnd("mb", 3, 0, 3);
+  }
+  obs::StopTracing();
+
+  const std::string json = obs::TraceToChromeJson();
+  JsonScanner scanner(json);
+  EXPECT_TRUE(scanner.Valid()) << json;
+  // Chrome flow grammar: s/t/f phases sharing an id, with bp:"e" so each hop binds to its
+  // enclosing slice (the flow points were recorded inside the compute spans above).
+  EXPECT_NE(json.find("\"ph\":\"s\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"t\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"f\""), std::string::npos);
+  EXPECT_NE(json.find("\"id\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"bp\":\"e\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"mb\""), std::string::npos);
+}
+
 TEST_F(TraceTest, RingOverflowDropsOldestAndCounts) {
   obs::StartTracing();
   constexpr int kOver = 100;
@@ -349,6 +435,56 @@ TEST_F(TraceTest, TwoStage1F1BTraceHasExactScheduleOrder) {
   EXPECT_EQ(sequence("s1/r0"), expected_s1);
 }
 
+// Every minibatch of a real 1F1B run must form one complete causal chain: a flow start at
+// its first hop (input-stage forward), steps across stages, and a flow end back at stage 0
+// (where its backward retires). This is the property that makes a Perfetto trace navigable
+// — click any compute slice and follow the arrows for that minibatch's whole journey.
+TEST_F(TraceTest, TwoStage1F1BRunLinksEveryMinibatchAcrossStages) {
+  const Dataset data = MakeGaussianMixture(2, 8, 32, 0.3, 11);
+  Rng rng(3);
+  const auto model = BuildMlpClassifier(8, {16, 16}, 2, &rng);
+  const int layers = static_cast<int>(model->size());
+  const PipelinePlan plan = MakeStraightPlan(layers, {layers / 2});
+  SoftmaxCrossEntropy loss;
+  Sgd sgd(0.01, 0.0);
+  PipelineTrainer trainer(*model, plan, &loss, sgd, &data, 16, /*seed=*/5);
+  ASSERT_EQ(trainer.batches_per_epoch(), 4);
+
+  obs::StartTracing();
+  trainer.TrainEpoch();
+  obs::StopTracing();
+
+  struct Chain {
+    int starts = 0;
+    int steps = 0;
+    int ends = 0;
+  };
+  std::map<int64_t, Chain> chains;  // flow_id (== minibatch) -> hop counts
+  for (const auto& e : obs::CollectEvents()) {
+    if (std::strcmp(e.name, "mb") != 0) {
+      continue;
+    }
+    if (e.phase == obs::EventPhase::kFlowStart) {
+      ++chains[e.flow_id].starts;
+      EXPECT_EQ(e.stage, 0) << "training flows start at the input stage's forward";
+    } else if (e.phase == obs::EventPhase::kFlowStep) {
+      ++chains[e.flow_id].steps;
+    } else if (e.phase == obs::EventPhase::kFlowEnd) {
+      ++chains[e.flow_id].ends;
+      EXPECT_EQ(e.stage, 0) << "training flows end where the backward retires";
+    }
+  }
+  ASSERT_EQ(chains.size(), 4u) << "one flow chain per minibatch";
+  for (const auto& [id, chain] : chains) {
+    EXPECT_GE(id, 0);
+    EXPECT_LT(id, 4);
+    EXPECT_EQ(chain.starts, 1) << "minibatch " << id;
+    // 2 stages: fwd s0 (start), fwd s1 (step), bwd s1 (step), bwd s0 (end).
+    EXPECT_EQ(chain.steps, 2) << "minibatch " << id;
+    EXPECT_EQ(chain.ends, 1) << "minibatch " << id;
+  }
+}
+
 // Sim parity: the virtual-time trace emits the same schema and passes the same validator.
 TEST_F(TraceTest, SimTraceEmitsIdenticalSchema) {
   const ModelProfile profile = MakeVgg16Profile();
@@ -369,6 +505,13 @@ TEST_F(TraceTest, SimTraceEmitsIdenticalSchema) {
   EXPECT_NE(json.find("\"stage\":"), std::string::npos);
   EXPECT_NE(json.find("\"minibatch\":"), std::string::npos);
   EXPECT_NE(json.find("worker 0"), std::string::npos);
+  // Flow parity: the simulator emits the same "mb" chains the real runtime does, so both
+  // traces render with identical arrows in Perfetto.
+  EXPECT_NE(json.find("\"ph\":\"s\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"t\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"f\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"mb\""), std::string::npos);
+  EXPECT_NE(json.find("\"bp\":\"e\""), std::string::npos);
 }
 
 }  // namespace

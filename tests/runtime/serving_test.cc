@@ -165,6 +165,55 @@ TEST_P(ServingTest, BackpressureBoundsIngressDepthUnderOverAdmission) {
   EXPECT_GE(hwm, 1);
 }
 
+TEST_P(ServingTest, LatencyDecompositionAccountsForEveryRequest) {
+  // Every request's wall latency decomposes per stage into transport (send to delivery),
+  // queue (delivery to dequeue), and compute (Forward), plus the egress hop. Each component
+  // histogram must see every request, and — since the components are disjoint sub-intervals
+  // of the submit-to-collect window on one clock — their means must sum to no more than the
+  // wall mean Wait() observes.
+  obs::MetricsRegistry::Get().Reset();
+  const auto model = MakeModel();
+  const auto plan = MakeStraightPlan(static_cast<int>(model->size()), {1, 3});
+  PipelineServer server(*model, plan, Options(/*max_inflight=*/4));
+  ASSERT_TRUE(server.Start().ok());
+
+  constexpr int kRequests = 16;
+  std::vector<int64_t> ids;
+  ids.reserve(kRequests);
+  for (int i = 0; i < kRequests; ++i) {
+    ids.push_back(server.Submit(MakeRequest(2, static_cast<float>(i))));
+  }
+  for (const int64_t id : ids) {
+    server.Wait(id);
+  }
+  const ServingStats stats = server.Stats();
+  const std::string prefix = std::string("serve/") + server.transport_name();
+  const int num_stages = server.num_stages();
+  double component_mean_sum = 0.0;
+  for (int s = 0; s < num_stages; ++s) {
+    for (const char* part : {"transport", "queue", "compute"}) {
+      const RunningStat snap =
+          obs::GetHistogram(prefix + "/stage" + std::to_string(s) + "/" + part +
+                            "_seconds")
+              ->snapshot();
+      EXPECT_EQ(snap.count(), kRequests)
+          << "stage " << s << " " << part << " histogram missed requests";
+      EXPECT_GE(snap.min(), 0.0) << "negative " << part << " time at stage " << s;
+      component_mean_sum += snap.mean();
+    }
+  }
+  const RunningStat egress =
+      obs::GetHistogram(prefix + "/egress/transport_seconds")->snapshot();
+  EXPECT_EQ(egress.count(), kRequests);
+  component_mean_sum += egress.mean();
+  server.Stop();
+
+  EXPECT_EQ(stats.completed, kRequests);
+  EXPECT_GT(component_mean_sum, 0.0);
+  EXPECT_LE(component_mean_sum, stats.mean_seconds * 1.0001 + 1e-9)
+      << "per-stage components exceed the wall latency they decompose";
+}
+
 TEST_P(ServingTest, StopIsIdempotentAndDestructorSafe) {
   const auto model = MakeModel();
   const auto plan = MakeStraightPlan(static_cast<int>(model->size()), {2});

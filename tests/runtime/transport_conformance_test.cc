@@ -16,6 +16,7 @@
 
 #include <chrono>
 #include <cstdlib>
+#include <limits>
 #include <optional>
 #include <string>
 #include <thread>
@@ -39,6 +40,7 @@ PipeMessage MakeMessage(int64_t minibatch, WorkType type, float fill, int64_t nu
     message.targets.Fill(fill + 1.0f);
   }
   message.input_version = minibatch * 10;
+  message.trace_id = minibatch * 1000 + 7;
   StampChecksum(&message);
   return message;
 }
@@ -233,6 +235,62 @@ TEST_P(TransportConformanceTest, ConcurrentSendersNeverTearMessages) {
     EXPECT_EQ(std::as_const(taken->payload)[0], static_cast<float>(id));
     ++delivered;
   }
+}
+
+TEST_P(TransportConformanceTest, TraceIdSurvivesDeliveryBitExact) {
+  // The causal trace id is part of the checksummed body (wire format v2): it must arrive
+  // exactly as sent over every transport, for every bit pattern a flow key could take —
+  // including the "unset" sentinel and values with the high bit flipped.
+  const auto transport = Make();
+  Mailbox* inbox = transport->AddEndpoint(0, 0);
+  ASSERT_TRUE(transport->Start().ok());
+
+  const std::vector<int64_t> patterns = {
+      -1, 0, 1, int64_t{0x7EADBEEFCAFEF00D}, std::numeric_limits<int64_t>::max(),
+      std::numeric_limits<int64_t>::min()};
+  for (size_t i = 0; i < patterns.size(); ++i) {
+    PipeMessage message =
+        MakeMessage(static_cast<int64_t>(i), WorkType::kForward, static_cast<float>(i));
+    message.trace_id = patterns[i];
+    StampChecksum(&message);  // re-stamp: the checksum covers trace_id
+    transport->Send(0, 0, std::move(message));
+  }
+  transport->Drain();
+  for (size_t i = 0; i < patterns.size(); ++i) {
+    ASSERT_TRUE(AwaitForward(inbox));
+    const std::optional<PipeMessage> taken = inbox->Take(WorkType::kForward);
+    ASSERT_TRUE(taken.has_value());
+    EXPECT_EQ(taken->trace_id, patterns[i]) << "trace id torn in transit (message " << i
+                                            << ")";
+    EXPECT_TRUE(VerifyChecksum(*taken));
+  }
+}
+
+TEST(WireFormatTest, SerializedTraceIdRoundTripsBitExact) {
+  // Serialize/deserialize without a transport in the loop: the v2 body layout itself must
+  // carry the id bit-exactly.
+  for (const int64_t id : {int64_t{-1}, int64_t{0}, int64_t{0x0123456789ABCDEF},
+                           std::numeric_limits<int64_t>::min()}) {
+    PipeMessage message = MakeMessage(4, WorkType::kForward, 0.5f);
+    message.trace_id = id;
+    StampChecksum(&message);
+    const std::vector<uint8_t> body = SerializeMessage(message);
+    const Result<PipeMessage> parsed = DeserializeMessage(body.data(), body.size());
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed->trace_id, id);
+    EXPECT_EQ(parsed->minibatch, 4);
+    EXPECT_EQ(parsed->input_version, 40);
+    EXPECT_TRUE(VerifyChecksum(*parsed));
+  }
+}
+
+TEST(WireFormatTest, ChecksumCoversTraceId) {
+  // A flipped trace id must not verify: the flow key is load-bearing (it routes Perfetto
+  // arrows and serving results), so corruption must be detectable end to end.
+  PipeMessage message = MakeMessage(2, WorkType::kForward, 1.0f);
+  ASSERT_TRUE(VerifyChecksum(message));
+  message.trace_id ^= 1;
+  EXPECT_FALSE(VerifyChecksum(message));
 }
 
 INSTANTIATE_TEST_SUITE_P(AllTransports, TransportConformanceTest,

@@ -1,0 +1,86 @@
+// health_probe: a curl-equivalent for the AF_UNIX health endpoint.
+//
+//   health_probe /tmp/pd.sock /metrics            # body to stdout, exit 0 iff HTTP 200
+//   health_probe /tmp/pd.sock /healthz            # exit 1 on 503 (degraded) or no answer
+//
+// Speaks the same plain HTTP/1.0 `curl --unix-socket` would, with no dependencies, so CI
+// (scripts/check_obs.sh) can assert on live-endpoint output anywhere the repo builds.
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+int main(int argc, char** argv) {
+  if (argc != 3) {
+    std::fprintf(stderr, "usage: %s <socket-path> <target>\n", argv[0]);
+    return 2;
+  }
+  const std::string path = argv[1];
+  const std::string target = argv[2];
+
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    std::perror("socket");
+    return 1;
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    std::fprintf(stderr, "socket path too long: %s\n", path.c_str());
+    ::close(fd);
+    return 2;
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    std::perror(("connect " + path).c_str());
+    ::close(fd);
+    return 1;
+  }
+
+  const std::string request = "GET " + target + " HTTP/1.0\r\n\r\n";
+  size_t sent = 0;
+  while (sent < request.size()) {
+    const ssize_t n = ::write(fd, request.data() + sent, request.size() - sent);
+    if (n <= 0) {
+      std::perror("write");
+      ::close(fd);
+      return 1;
+    }
+    sent += static_cast<size_t>(n);
+  }
+
+  std::string reply;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      std::perror("read");
+      ::close(fd);
+      return 1;
+    }
+    if (n == 0) {
+      break;
+    }
+    reply.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+
+  // "HTTP/1.0 200 OK\r\n...\r\n\r\n<body>"
+  int status = 0;
+  const size_t space = reply.find(' ');
+  if (space != std::string::npos) {
+    status = std::atoi(reply.c_str() + space + 1);
+  }
+  const size_t body_at = reply.find("\r\n\r\n");
+  const std::string body =
+      body_at == std::string::npos ? reply : reply.substr(body_at + 4);
+  std::fwrite(body.data(), 1, body.size(), stdout);
+  if (status != 200) {
+    std::fprintf(stderr, "%s%s -> HTTP %d\n", path.c_str(), target.c_str(), status);
+    return 1;
+  }
+  return 0;
+}

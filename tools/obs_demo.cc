@@ -1,0 +1,95 @@
+// Observability demo: the ISSUE-9 acceptance scenario as one runnable binary.
+//
+// Trains a 4-stage 1F1B pipeline over the CRC-framed AF_UNIX socket transport with the
+// trace ring armed, then writes a Perfetto-loadable Chrome trace in which every minibatch's
+// fwd/bwd spans are linked across all four stages by "mb" flow arrows. While it runs, the
+// live health endpoint (PIPEDREAM_HEALTH_SOCK=/path.sock, started by the trainer's
+// constructor) answers /metrics with Prometheus text that includes the per-stage
+// bubble-fraction-by-cause gauges, /healthz with per-stage liveness, and /trace?last=N —
+// scripts/check_obs.sh polls it mid-run via tools/health_probe.
+//
+// Usage: obs_demo [--trace out.json] [--epochs N] [--stall-ms M]
+//   --trace     Chrome trace output path (default obs_demo_trace.json)
+//   --epochs    training epochs to run (default 3; raise to keep the process alive longer
+//               for health polling)
+//   --stall-ms  sleep this long between epochs so an external poller has a window where
+//               the pipeline is provably mid-run (default 0)
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "src/common/rng.h"
+#include "src/data/dataset.h"
+#include "src/graph/loss.h"
+#include "src/graph/models.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+#include "src/optim/sgd.h"
+#include "src/planner/plan.h"
+#include "src/runtime/pipeline_trainer.h"
+
+using namespace pipedream;
+
+int main(int argc, char** argv) {
+  std::string trace_path = "obs_demo_trace.json";
+  int epochs = 3;
+  int stall_ms = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--epochs") == 0 && i + 1 < argc) {
+      epochs = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--stall-ms") == 0 && i + 1 < argc) {
+      stall_ms = std::atoi(argv[++i]);
+    } else {
+      std::fprintf(stderr, "usage: %s [--trace out.json] [--epochs N] [--stall-ms M]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  const int64_t classes = 4;
+  const int64_t dim = 16;
+  const int64_t batch = 16;
+  const Dataset data = MakeGaussianMixture(classes, dim, /*per_class=*/320, 0.35, 17);
+  Rng rng(7);
+  const auto model = BuildMlpClassifier(dim, {48, 48, 48, 48}, classes, &rng);
+  const int layers = static_cast<int>(model->size());
+
+  constexpr int kStages = 4;
+  std::vector<int> cuts;
+  for (int s = 1; s < kStages; ++s) {
+    cuts.push_back(std::max(s, layers * s / kStages));
+  }
+  const PipelinePlan plan = MakeStraightPlan(layers, cuts);
+
+  SoftmaxCrossEntropy loss;
+  Sgd sgd(0.01, 0.8);
+  PipelineTrainerOptions options;
+  options.weight_mode = WeightMode::kStashing;
+  options.transport = TransportKind::kUnixSocket;  // the acceptance run is socket-framed
+  PipelineTrainer trainer(*model, plan, &loss, sgd, &data, batch, /*seed=*/5, options);
+
+  obs::StartTracing();
+  for (int e = 0; e < epochs; ++e) {
+    const EpochStats stats = trainer.TrainEpoch();
+    std::printf("epoch %d: loss %.4f, %lld minibatches, %.3fs wall\n", e, stats.mean_loss,
+                static_cast<long long>(stats.minibatches), stats.wall_seconds);
+    std::fflush(stdout);
+    if (stall_ms > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(stall_ms));
+    }
+  }
+  obs::StopTracing();
+
+  if (!obs::WriteTrace(trace_path)) {
+    std::fprintf(stderr, "failed to write %s\n", trace_path.c_str());
+    return 1;
+  }
+  std::printf("wrote %s (%d stages, socket transport, \"mb\" flow chains)\n",
+              trace_path.c_str(), kStages);
+  return 0;
+}
