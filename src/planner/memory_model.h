@@ -1,0 +1,86 @@
+// The per-stage peak-memory model shared by the predictor, the partitioner's
+// ChooseWeightModes/ChooseRecompute post-passes, and the event simulator's accounting — one
+// implementation so "planner-predicted" and "sim-priced" peaks agree by construction (the
+// schedule_memory tests pin the runtime-measured peak against it too). The formulas are the
+// ones documented in docs/SCHEDULES.md.
+#ifndef SRC_PLANNER_MEMORY_MODEL_H_
+#define SRC_PLANNER_MEMORY_MODEL_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+#include "src/common/schedule.h"
+#include "src/common/weight_mode.h"
+
+namespace pipedream {
+
+// Peak number of minibatches whose state stage `stage` of `num_stages` holds at once.
+//
+//   1F1B / interleaved:  ceil(noam * (S - s) / S)      — the §3.2 stash-depth ramp; for a
+//                                                        straight pipeline this is S - s.
+//   GPipe:               m (flush_microbatches)        — all m forwards complete before any
+//                                                        backward frees a stash.
+//   model parallel:      1
+//   PipeDream-Flush:     min(ceil ramp, m)             — 1F1B ordering inside the round caps
+//                                                        live stashes at the 1F1B depth, and
+//                                                        the round size caps them at m.
+inline int InFlightDepth(int noam, int num_stages, int stage, ScheduleKind kind,
+                         int flush_microbatches) {
+  const int base = std::max(
+      1, static_cast<int>(std::ceil(static_cast<double>(noam) *
+                                    static_cast<double>(num_stages - stage) / num_stages)));
+  switch (kind) {
+    case ScheduleKind::kGPipe:
+      return flush_microbatches;
+    case ScheduleKind::kModelParallel:
+      return 1;
+    case ScheduleKind::kPipeDreamFlush:
+      return std::min(base, flush_microbatches);
+    case ScheduleKind::kOneFOneB:
+    case ScheduleKind::kInterleaved:
+      return base;
+  }
+  return base;
+}
+
+// Peak bytes one replica of a stage holds:
+//
+//   weight term   kNaive           2w   (current weights + gradient buffer)
+//                 kDoubleBuffered  3w   (+ one shadow version — constant in depth: 2BW)
+//                 kStashing /      (in_flight + 1) w   (+ in_flight - 1 stashed versions)
+//                 kVerticalSync
+//   activation    stashing      act * in_flight
+//   term          recompute     boundary_in * in_flight + act
+//
+// Recompute keeps only the stage's *input* activation per in-flight minibatch and re-runs
+// the forward before the backward, so exactly one full working set (`act`) is ever
+// materialized; it trades ~1 extra stage-forward of compute for dropping the
+// act * (in_flight - 1) stash overhang. `boundary_in_bytes` is the inbound boundary
+// activation (0 at the input stage, whose input comes from the data loader).
+inline int64_t StagePeakMemoryBytes(int64_t weight_bytes, int64_t activation_bytes,
+                                    int64_t boundary_in_bytes, WeightMode mode,
+                                    bool recompute, int in_flight) {
+  int64_t weight_copies;
+  switch (mode) {
+    case WeightMode::kNaive:
+      weight_copies = 2;
+      break;
+    case WeightMode::kDoubleBuffered:
+      weight_copies = 3;
+      break;
+    case WeightMode::kStashing:
+    case WeightMode::kVerticalSync:
+    default:
+      weight_copies = in_flight + 1;
+      break;
+  }
+  const int64_t activation_term =
+      recompute ? boundary_in_bytes * in_flight + activation_bytes
+                : activation_bytes * in_flight;
+  return weight_bytes * weight_copies + activation_term;
+}
+
+}  // namespace pipedream
+
+#endif  // SRC_PLANNER_MEMORY_MODEL_H_

@@ -7,6 +7,7 @@
 #include <numeric>
 
 #include "src/common/logging.h"
+#include "src/planner/memory_model.h"
 
 namespace pipedream {
 namespace {
@@ -238,6 +239,7 @@ PartitionResult PartitionFlat(const ModelProfile& profile, int workers,
   result.plan.Validate(n);
   result.bottleneck_seconds = tables.A(0, n - 1, usable);
   ChooseWeightModes(profile, options.device_memory_bytes, &result.plan);
+  ChooseRecompute(profile, options.device_memory_bytes, &result.plan);
   return result;
 }
 
@@ -450,6 +452,7 @@ PartitionResult PartitionHeterogeneous(const ModelProfile& profile,
   result.plan.Validate(n);
   result.bottleneck_seconds = best.bottleneck;
   ChooseWeightModes(profile, options.device_memory_bytes, &result.plan);
+  ChooseRecompute(profile, options.device_memory_bytes, &result.plan);
   return result;
 }
 
@@ -532,6 +535,7 @@ PartitionResult PartitionHierarchical(const ModelProfile& profile,
   result.plan.Validate(n);
   result.bottleneck_seconds = top.A(0, n - 1, top_m);
   ChooseWeightModes(profile, options.device_memory_bytes, &result.plan);
+  ChooseRecompute(profile, options.device_memory_bytes, &result.plan);
   return result;
 }
 
@@ -569,19 +573,58 @@ int ChooseWeightModes(const ModelProfile& profile, int64_t device_memory_bytes,
   int flipped = 0;
   for (int s = 0; s < num_stages; ++s) {
     StageAssignment& stage = stages[static_cast<size_t>(s)];
-    // 1F1B stash depth at this stage (same model as the predictor): the input stage holds
-    // NOAM in-flight minibatches, tapering to 1 at the output.
-    const int in_flight = std::max(
-        1, static_cast<int>(std::ceil(static_cast<double>(noam) *
-                                      static_cast<double>(num_stages - s) / num_stages)));
+    // 1F1B stash depth at this stage (the predictor's shared model in memory_model.h): the
+    // input stage holds NOAM in-flight minibatches, tapering to 1 at the output.
+    const int in_flight =
+        InFlightDepth(noam, num_stages, s, ScheduleKind::kOneFOneB, /*flush_microbatches=*/1);
     const int64_t weights = profile.ParamBytes(stage.begin_layer, stage.end_layer);
     const int64_t activations = profile.ActivationBytes(stage.begin_layer, stage.end_layer);
     const int64_t stashing_peak =
-        weights * (in_flight + 1) + activations * static_cast<int64_t>(in_flight);
+        StagePeakMemoryBytes(weights, activations, /*boundary_in_bytes=*/0,
+                             WeightMode::kStashing, /*recompute=*/false, in_flight);
     if (stashing_peak > device_memory_bytes) {
       // 2BW footprint (weights * 3 + activation stashes) is what the DP's stage_fits
       // admitted, so the flipped stage is guaranteed to fit.
       stage.weight_mode = WeightMode::kDoubleBuffered;
+      ++flipped;
+    }
+  }
+  if (flipped > 0) {
+    *plan = PipelinePlan(std::move(stages));
+  }
+  return flipped;
+}
+
+int ChooseRecompute(const ModelProfile& profile, int64_t device_memory_bytes,
+                    PipelinePlan* plan) {
+  if (device_memory_bytes <= 0 || plan->num_stages() == 0) {
+    return 0;
+  }
+  const int num_stages = plan->num_stages();
+  const int noam = plan->Noam();
+  std::vector<StageAssignment> stages = plan->stages();
+  int flipped = 0;
+  for (int s = 0; s < num_stages; ++s) {
+    StageAssignment& stage = stages[static_cast<size_t>(s)];
+    const int in_flight =
+        InFlightDepth(noam, num_stages, s, ScheduleKind::kOneFOneB, /*flush_microbatches=*/1);
+    const int64_t weights = profile.ParamBytes(stage.begin_layer, stage.end_layer);
+    const int64_t activations = profile.ActivationBytes(stage.begin_layer, stage.end_layer);
+    const int64_t boundary_in =
+        s > 0 ? profile.BoundaryActivationBytes(stages[static_cast<size_t>(s - 1)].end_layer - 1)
+              : 0;
+    const int64_t current_peak = StagePeakMemoryBytes(
+        weights, activations, boundary_in, stage.weight_mode, stage.recompute, in_flight);
+    if (current_peak <= device_memory_bytes || stage.recompute) {
+      continue;
+    }
+    // Still busting the budget after weight-mode selection: drop the stash term if that
+    // actually shrinks the peak (it always does unless the stage's working set is a single
+    // boundary-sized activation already).
+    const int64_t recompute_peak = StagePeakMemoryBytes(
+        weights, activations, boundary_in, stage.weight_mode, /*recompute=*/true, in_flight);
+    if (recompute_peak < current_peak) {
+      stage.recompute = true;
       ++flipped;
     }
   }

@@ -81,6 +81,17 @@ PartitionResult Partition(const ModelProfile& profile, const HardwareTopology& t
 int ChooseWeightModes(const ModelProfile& profile, int64_t device_memory_bytes,
                       PipelinePlan* plan);
 
+// Per-stage activation-recompute selection, run after ChooseWeightModes: any stage whose
+// peak under its chosen weight mode still exceeds `device_memory_bytes` is flipped to
+// recompute (StageAssignment::recompute), which replaces the act * in_flight stash with
+// boundary_in * in_flight + one materialized working set (src/planner/memory_model.h) at
+// the cost of ~1 extra stage-forward per minibatch. Stages are only flipped when recompute
+// actually shrinks the peak. Returns the number of stages flipped; a zero/negative budget
+// leaves the plan untouched. Called automatically by the Partition* entry points when
+// options.device_memory_bytes is set.
+int ChooseRecompute(const ModelProfile& profile, int64_t device_memory_bytes,
+                    PipelinePlan* plan);
+
 }  // namespace pipedream
 
 #endif  // SRC_PLANNER_PARTITIONER_H_

@@ -26,6 +26,13 @@ struct StageAssignment {
   // partitioner flips memory-squeezed stages to kDoubleBuffered when given a device budget;
   // runtime options or PIPEDREAM_WEIGHT_MODE override it globally.
   WeightMode weight_mode = WeightMode::kStashing;
+  // Activation recomputation for this stage: stash only the inbound boundary activation and
+  // re-run the forward (under the minibatch's stashed weights) just before the backward,
+  // trading ~1 extra stage-forward for dropping the act * (in_flight - 1) stash overhang
+  // (docs/SCHEDULES.md). Set by the partitioner's ChooseRecompute post-pass when a stage
+  // still busts device_memory_bytes after weight-mode selection; PIPEDREAM_RECOMPUTE
+  // overrides it globally.
+  bool recompute = false;
 
   int num_layers() const { return end_layer - begin_layer; }
 };

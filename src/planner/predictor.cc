@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/planner/memory_model.h"
+
 namespace pipedream {
 namespace {
 
@@ -52,6 +54,15 @@ PlanPrediction PredictPlan(const ModelProfile& profile, const PipelinePlan& plan
 PlanPrediction PredictPlan(const ModelProfile& profile, const PipelinePlan& plan,
                            const HardwareTopology& topology,
                            const std::vector<WorkerSpec>& workers, int pipeline_depth) {
+  return PredictPlanScheduled(profile, plan, topology, ScheduleSpec(), workers,
+                              pipeline_depth);
+}
+
+PlanPrediction PredictPlanScheduled(const ModelProfile& profile, const PipelinePlan& plan,
+                                    const HardwareTopology& topology,
+                                    const ScheduleSpec& schedule,
+                                    const std::vector<WorkerSpec>& workers,
+                                    int pipeline_depth) {
   plan.Validate(profile.num_layers());
   // Compute on a replicated stage proceeds at the pace of its slowest member: round-robin
   // hands every replica an equal share, so the round closes when the slowest finishes.
@@ -71,12 +82,27 @@ PlanPrediction PredictPlan(const ModelProfile& profile, const PipelinePlan& plan
   const int num_stages = plan.num_stages();
   const int noam = pipeline_depth > 0 ? pipeline_depth : plan.Noam();
   const int64_t batch = profile.minibatch_size;
+  const bool flush_family = IsFlushFamily(schedule.kind);
+  const bool interleaved = schedule.kind == ScheduleKind::kInterleaved;
+  const int chunks = interleaved ? schedule.interleave_chunks : 1;
+  if (interleaved) {
+    PD_CHECK(plan.IsStraight()) << "interleaved schedules need an unreplicated plan";
+    PD_CHECK_GE(chunks, 1);
+    PD_CHECK(num_stages % chunks == 0)
+        << "interleaving needs num_stages (" << num_stages << ") divisible by chunks ("
+        << chunks << ")";
+  }
+  const int physical_workers = interleaved ? num_stages / chunks : num_stages;
 
   PlanPrediction prediction;
   prediction.stages.resize(static_cast<size_t>(num_stages));
 
   double bottleneck = 0.0;
   double bytes_per_minibatch = 0.0;
+  // Interleaved accounting: a physical worker hosts chunk-stages {w, W + w, ...}, so its
+  // occupancy and memory are sums over those chunks, not a single stage's.
+  std::vector<double> worker_occupancy(static_cast<size_t>(physical_workers), 0.0);
+  std::vector<int64_t> worker_memory(static_cast<size_t>(physical_workers), 0);
 
   for (int s = 0; s < num_stages; ++s) {
     const StageAssignment& stage = plan.stage(s);
@@ -87,6 +113,16 @@ PlanPrediction PredictPlan(const ModelProfile& profile, const PipelinePlan& plan
         profile.ComputeSeconds(stage.begin_layer, stage.end_layer) / stage_speed(stage);
     sp.weight_bytes = profile.ParamBytes(stage.begin_layer, stage.end_layer);
     sp.activation_stash_bytes = profile.ActivationBytes(stage.begin_layer, stage.end_layer);
+
+    // Recompute trades ~1 extra stage-forward per minibatch for dropping the stash term.
+    sp.recompute = schedule.recompute.value_or(stage.recompute);
+    if (sp.recompute) {
+      double fwd_seconds = 0.0;
+      for (int l = stage.begin_layer; l < stage.end_layer; ++l) {
+        fwd_seconds += profile.layers[static_cast<size_t>(l)].fwd_seconds;
+      }
+      sp.compute_seconds += fwd_seconds / stage_speed(stage);
+    }
 
     if (m > 1) {
       // All_reduce wall time per round of m minibatches (the §3.1 sync term in its
@@ -100,7 +136,11 @@ PlanPrediction PredictPlan(const ModelProfile& profile, const PipelinePlan& plan
           static_cast<double>(m);
     }
     sp.effective_seconds = std::max(sp.compute_seconds, sp.sync_seconds) / m;
-    bottleneck = std::max(bottleneck, sp.effective_seconds);
+    if (interleaved) {
+      worker_occupancy[static_cast<size_t>(s % physical_workers)] += sp.effective_seconds;
+    } else {
+      bottleneck = std::max(bottleneck, sp.effective_seconds);
+    }
 
     if (s > 0) {
       const StageAssignment& prev = plan.stage(s - 1);
@@ -112,33 +152,38 @@ PlanPrediction PredictPlan(const ModelProfile& profile, const PipelinePlan& plan
       bytes_per_minibatch += 2.0 * static_cast<double>(boundary_bytes);
     }
 
-    // 1F1B stash depth: the input stage holds NOAM in-flight minibatches; later stages hold
-    // proportionally fewer, down to 1 at the output stage.
-    sp.in_flight = std::max(
-        1, static_cast<int>(std::ceil(static_cast<double>(noam) *
-                                      static_cast<double>(num_stages - s) / num_stages)));
-    // Activation stashes are held for every in-flight minibatch regardless of mode; the
-    // weight term is where the modes differ (§3.3 vs the 2BW follow-up).
-    sp.weight_mode = stage.weight_mode;
-    const int64_t weight_term = [&]() -> int64_t {
-      switch (stage.weight_mode) {
-        case WeightMode::kNaive:
-          // Current weights + gradient buffer, no versioning.
-          return sp.weight_bytes * 2;
-        case WeightMode::kDoubleBuffered:
-          // Current weights + ONE shadow buffer + the gradient accumulator — constant in
-          // the in-flight depth (the whole point of 2BW).
-          return sp.weight_bytes * 3;
-        case WeightMode::kStashing:
-        case WeightMode::kVerticalSync:
-          // Current weights + gradient buffer + (in_flight - 1) stashed versions.
-          return sp.weight_bytes * (sp.in_flight + 1);
-      }
-      return sp.weight_bytes * (sp.in_flight + 1);
-    }();
-    sp.peak_memory_bytes = weight_term + sp.activation_stash_bytes * sp.in_flight;
-    prediction.max_worker_memory_bytes =
-        std::max(prediction.max_worker_memory_bytes, sp.peak_memory_bytes);
+    // Stash depth and peak memory come from the shared model (memory_model.h): the schedule
+    // sets how many minibatches are live at this stage, the weight mode sets the number of
+    // weight copies, and recompute swaps the act * in_flight stash for boundary_in *
+    // in_flight + one materialized working set. Flush-family schedules are priced under
+    // kNaive — no update commits inside a round, so the runtime forces it.
+    sp.in_flight =
+        InFlightDepth(noam, num_stages, s, schedule.kind, schedule.flush_microbatches);
+    sp.weight_mode = flush_family ? WeightMode::kNaive : stage.weight_mode;
+    const int64_t boundary_in =
+        s > 0 ? profile.BoundaryActivationBytes(plan.stage(s - 1).end_layer - 1) : 0;
+    sp.peak_memory_bytes =
+        StagePeakMemoryBytes(sp.weight_bytes, sp.activation_stash_bytes, boundary_in,
+                             sp.weight_mode, sp.recompute, sp.in_flight);
+    worker_memory[static_cast<size_t>(interleaved ? s % physical_workers : s)] +=
+        sp.peak_memory_bytes;
+  }
+  for (int64_t memory : worker_memory) {
+    prediction.max_worker_memory_bytes = std::max(prediction.max_worker_memory_bytes, memory);
+  }
+  if (interleaved) {
+    for (double occupancy : worker_occupancy) {
+      bottleneck = std::max(bottleneck, occupancy);
+    }
+  }
+  if (flush_family) {
+    // Each round of m minibatches pays a full pipeline drain: (m + S - 1) slots of work for
+    // m outputs, so the steady-state interval stretches by (m + S - 1) / m. kModelParallel
+    // (m = 1) degenerates to no pipelining at all, factor S.
+    const int m = schedule.kind == ScheduleKind::kModelParallel
+                      ? 1
+                      : std::max(1, schedule.flush_microbatches);
+    bottleneck *= static_cast<double>(m + num_stages - 1) / static_cast<double>(m);
   }
 
   prediction.bottleneck_seconds = bottleneck;

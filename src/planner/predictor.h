@@ -4,31 +4,55 @@
 #ifndef SRC_PLANNER_PREDICTOR_H_
 #define SRC_PLANNER_PREDICTOR_H_
 
+#include <optional>
 #include <vector>
 
+#include "src/common/schedule.h"
 #include "src/planner/plan.h"
 #include "src/profile/layer_profile.h"
 #include "src/sim/topology.h"
 
 namespace pipedream {
 
+// The schedule dimension of a prediction — which member of the zoo (docs/SCHEDULES.md) the
+// plan will run under, plus its shape parameters. The planner prices every (schedule,
+// weight-mode, recompute) cell through PredictPlanScheduled before the runtime commits to
+// one (EnumerateScheduleFrontier in schedule_frontier.h).
+struct ScheduleSpec {
+  ScheduleKind kind = ScheduleKind::kOneFOneB;
+  // Round size m for the flush family (kGPipe / kPipeDreamFlush); kModelParallel is m = 1.
+  int flush_microbatches = 4;
+  // Virtual chunks per physical worker for kInterleaved; the plan must be straight with
+  // num_stages divisible by this. 1 elsewhere.
+  int interleave_chunks = 1;
+  // Global activation-recompute override: set → every stage priced with/without recompute;
+  // unset → each stage follows its plan flag (StageAssignment::recompute).
+  std::optional<bool> recompute;
+};
+
 struct StagePrediction {
-  double compute_seconds = 0.0;        // per-minibatch fwd+bwd on one replica
+  double compute_seconds = 0.0;        // per-minibatch fwd+bwd on one replica (incl. recompute)
   double sync_seconds = 0.0;           // weight-sync wall time if replicated (whole iteration)
   double effective_seconds = 0.0;      // max(compute, sync) / replicas
   double input_comm_seconds = 0.0;     // activation+gradient transfer on the inbound boundary
   int64_t weight_bytes = 0;            // per replica
   int64_t activation_stash_bytes = 0;  // per replica, one in-flight minibatch
-  int in_flight = 1;                   // stashed minibatch depth at this stage under 1F1B
+  int in_flight = 1;                   // stashed minibatch depth under the priced schedule
   WeightMode weight_mode = WeightMode::kStashing;  // mode the memory model was priced under
+  bool recompute = false;              // whether the memory model dropped the stash term
   int64_t peak_memory_bytes = 0;       // per replica: weights, grads, stashes
 };
 
 struct PlanPrediction {
   std::vector<StagePrediction> stages;
-  double bottleneck_seconds = 0.0;          // pipeline emits one minibatch per this interval
+  // Steady-state minibatch interval. For the flush family this already includes the
+  // amortized drain bubble — the per-stage bottleneck scaled by (m + S - 1) / m — and for
+  // interleaved plans it is the per-physical-worker occupancy (sum over the worker's
+  // chunks), not the per-chunk time.
+  double bottleneck_seconds = 0.0;
   double throughput_samples_per_sec = 0.0;  // minibatch_size / bottleneck
   double comm_bytes_per_sample = 0.0;       // total network bytes / samples processed
+  // Max over *physical workers* (an interleaved worker sums its chunks' peaks).
   int64_t max_worker_memory_bytes = 0;
 
   double EpochSeconds(int64_t dataset_samples) const {
@@ -51,6 +75,20 @@ PlanPrediction PredictPlan(const ModelProfile& profile, const PipelinePlan& plan
 PlanPrediction PredictPlan(const ModelProfile& profile, const PipelinePlan& plan,
                            const HardwareTopology& topology,
                            const std::vector<WorkerSpec>& workers, int pipeline_depth = 0);
+
+// Schedule-aware prediction: prices the plan under any member of the schedule zoo, folding
+// recompute-vs-stash into the memory objective (src/planner/memory_model.h) and the extra
+// recompute forward into compute. Flush-family schedules are priced with kNaive weights
+// (what the runtime enforces — no update commits inside a round) and their throughput
+// carries the (m + S - 1) / m drain bubble; interleaved plans must be straight with
+// num_stages divisible by interleave_chunks, and memory/occupancy aggregate over the k
+// chunk-stages each physical worker (stage mod num_workers) hosts. The two PredictPlan
+// overloads above are this with a default-constructed ScheduleSpec (plain 1F1B).
+PlanPrediction PredictPlanScheduled(const ModelProfile& profile, const PipelinePlan& plan,
+                                    const HardwareTopology& topology,
+                                    const ScheduleSpec& schedule,
+                                    const std::vector<WorkerSpec>& workers = {},
+                                    int pipeline_depth = 0);
 
 }  // namespace pipedream
 

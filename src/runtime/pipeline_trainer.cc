@@ -80,6 +80,7 @@ struct PipelineTrainer::StageRuntime {
   std::vector<Parameter*> params;
   std::unique_ptr<Optimizer> optimizer;
   WeightMode weight_mode = WeightMode::kStashing;  // resolved per stage at construction
+  bool recompute = false;  // activation recomputation, resolved per stage at construction
   std::unique_ptr<WeightStore> weights;
   std::unique_ptr<MinibatchLoader> loader;  // input stages only
   GradientAllReducer* reducer = nullptr;    // replicated stages only
@@ -155,7 +156,9 @@ struct PipelineTrainer::StageRuntime {
   void DoForward(int64_t minibatch, PipeMessage message);
   void DoBackward(PipeMessage message);
   bool GPipeMode() const {
-    return trainer->options_.schedule != ScheduleKind::kOneFOneB;
+    // Round-gated admission, per-round gradient aggregation, and the flush barrier are
+    // shared by the whole flush family; kInterleaved is per-chunk 1F1B and stays out.
+    return IsFlushFamily(trainer->options_.schedule);
   }
   int GPipeRoundSize() const {
     return trainer->options_.schedule == ScheduleKind::kModelParallel
@@ -179,10 +182,20 @@ PipelineTrainer::PipelineTrainer(const Sequential& model, const PipelinePlan& pl
   plan_.Validate(num_model_layers_);
   PD_CHECK(loss != nullptr);
   PD_CHECK(dataset != nullptr);
+  // Schedule-zoo env overrides first: the weight-mode retrofit below and every validation
+  // check must see the schedule that will actually run.
+  if (const std::optional<ScheduleKind> env_schedule = ScheduleKindFromEnv()) {
+    options_.schedule = *env_schedule;
+  }
+  if (const std::optional<int> env_chunks = InterleaveChunksFromEnv()) {
+    options_.interleave_chunks = *env_chunks;
+  }
+  recompute_override_ = RecomputeFromEnv();
   if (const std::optional<WeightMode> env_mode = WeightModeFromEnv()) {
     options_.weight_mode = env_mode;
     if (*env_mode == WeightMode::kDoubleBuffered &&
-        options_.schedule == ScheduleKind::kOneFOneB) {
+        (options_.schedule == ScheduleKind::kOneFOneB ||
+         options_.schedule == ScheduleKind::kInterleaved)) {
       // The env override retrofits 2BW onto programs that never chose an accumulation
       // boundary; raise it to the deepest stage's admission depth (the 2BW m >= d
       // requirement) rather than aborting in the validation below. Programmatic callers
@@ -193,12 +206,19 @@ PipelineTrainer::PipelineTrainer(const Sequential& model, const PipelinePlan& pl
       }
     }
   }
-  if (options_.schedule != ScheduleKind::kOneFOneB) {
+  if (IsFlushFamily(options_.schedule)) {
     PD_CHECK(plan_.IsStraight() || plan_.num_stages() == 1)
-        << "GPipe/model-parallel runtime requires an unreplicated pipeline";
+        << "flush-family runtime requires an unreplicated pipeline";
     // Weights do not change between a round's forward and backward passes, so versioning is
     // unnecessary (this is exactly GPipe's correctness argument).
     options_.weight_mode = WeightMode::kNaive;
+  } else if (options_.schedule == ScheduleKind::kInterleaved) {
+    PD_CHECK_GE(options_.interleave_chunks, 1);
+    PD_CHECK(plan_.IsStraight())
+        << "interleaved virtual stages require an unreplicated straight pipeline";
+    PD_CHECK_EQ(plan_.num_stages() % options_.interleave_chunks, 0)
+        << "interleaved plan has " << plan_.num_stages() << " chunk-stages, not a multiple "
+        << "of " << options_.interleave_chunks << " chunks per worker";
   }
   PD_CHECK_GE(options_.accumulation_steps, 1);
   for (int s = 0; s < plan_.num_stages(); ++s) {
@@ -219,11 +239,13 @@ PipelineTrainer::PipelineTrainer(const Sequential& model, const PipelinePlan& pl
       case WeightMode::kStashing:
         break;
     }
-    if (options_.recompute_activations && options_.schedule == ScheduleKind::kOneFOneB) {
+    if (StageRecompute(s) && !IsFlushFamily(options_.schedule)) {
       // Recomputation re-runs the forward under the stashed weights, which requires a
-      // weight version that is pinned per minibatch.
+      // weight version that is pinned per minibatch. (Flush-family rounds never commit an
+      // update between a minibatch's forward and backward, so kNaive is already safe.)
       PD_CHECK(StageWeightMode(s) != WeightMode::kNaive)
-          << "recompute_activations under 1F1B requires a versioned weight mode";
+          << "activation recomputation under 1F1B-family schedules requires a versioned "
+          << "weight mode at stage " << s;
     }
   }
 
@@ -243,7 +265,7 @@ PipelineTrainer::PipelineTrainer(const Sequential& model, const PipelinePlan& pl
   const int num_stages = plan_.num_stages();
   stage_reducers_.resize(static_cast<size_t>(num_stages));
   by_stage_.resize(static_cast<size_t>(num_stages));
-  if (options_.schedule != ScheduleKind::kOneFOneB) {
+  if (IsFlushFamily(options_.schedule)) {
     flush_barrier_ = std::make_unique<FlushBarrier>(num_stages);
   }
   for (int s = 0; s < num_stages; ++s) {
@@ -267,6 +289,7 @@ PipelineTrainer::PipelineTrainer(const Sequential& model, const PipelinePlan& pl
       rt->params = rt->model->Params();
       rt->optimizer = optimizer_prototype.CloneFresh();
       rt->weight_mode = StageWeightMode(s);
+      rt->recompute = StageRecompute(s);
       rt->weights = std::make_unique<WeightStore>(rt->params, rt->weight_mode);
       rt->reducer = stage_reducers_[static_cast<size_t>(s)].get();
       rt->mailbox = transport_->AddEndpoint(s, r);
@@ -307,9 +330,17 @@ PipelineTrainer::~PipelineTrainer() = default;
 
 WeightMode PipelineTrainer::StageWeightMode(int stage) const {
   PD_CHECK(stage >= 0 && stage < plan_.num_stages());
-  // The global override (set explicitly, by PIPEDREAM_WEIGHT_MODE, or by a GPipe-family
+  // The global override (set explicitly, by PIPEDREAM_WEIGHT_MODE, or by a flush-family
   // schedule forcing kNaive) wins; otherwise each stage runs the mode the planner assigned.
   return options_.weight_mode ? *options_.weight_mode : plan_.stage(stage).weight_mode;
+}
+
+bool PipelineTrainer::StageRecompute(int stage) const {
+  PD_CHECK(stage >= 0 && stage < plan_.num_stages());
+  if (recompute_override_.has_value()) {
+    return *recompute_override_;  // PIPEDREAM_RECOMPUTE: a global on/off, plan flags and all
+  }
+  return options_.recompute_activations || plan_.stage(stage).recompute;
 }
 
 void PipelineTrainer::EnableRecovery(CheckpointManager* manager, RecoveryOptions options) {
@@ -358,6 +389,16 @@ void PipelineTrainer::StageRuntime::PrepareEpoch(int64_t begin, int64_t end,
   if (options.schedule == ScheduleKind::kOneFOneB) {
     admission_cap = StartupDepth(plan, stage);
     policy = std::make_unique<OneFOneBPolicy>(admission_cap);
+  } else if (options.schedule == ScheduleKind::kInterleaved) {
+    // The statically generated op list (RunWorkerInterleaved) is the schedule; the policy
+    // object is never consulted. The list scheduler caps stage-0 admissions at num_stages.
+    admission_cap = plan.num_stages();
+    policy = std::make_unique<OneFOneBPolicy>(admission_cap);
+  } else if (options.schedule == ScheduleKind::kPipeDreamFlush) {
+    // 1F1B order within each round of m, then the same drain + aggregated update as GPipe.
+    admission_cap = GPipeRoundSize();
+    policy =
+        std::make_unique<PipeDreamFlushPolicy>(StartupDepth(plan, stage), GPipeRoundSize());
   } else {
     admission_cap = GPipeRoundSize();
     policy = std::make_unique<GPipePolicy>(GPipeRoundSize());
@@ -505,7 +546,7 @@ void PipelineTrainer::StageRuntime::DoForward(int64_t minibatch, PipeMessage mes
   }
   weights->BeginForward(minibatch, message.input_version);
   Tensor out;
-  if (trainer->options_.recompute_activations) {
+  if (recompute) {
     // Keep only the stage input; the full context is rebuilt at backward time under the
     // same (stashed) weights.
     ModelContext scratch;
@@ -561,7 +602,7 @@ void PipelineTrainer::StageRuntime::DoBackward(PipeMessage message) {
   weights->BeginBackward(minibatch);
   ModelContext recomputed;
   ModelContext* ctx;
-  if (trainer->options_.recompute_activations) {
+  if (recompute) {
     const auto input_it = recompute_inputs.find(minibatch);
     PD_CHECK(input_it != recompute_inputs.end())
         << "backward for minibatch " << minibatch << " without a stashed input";
@@ -675,7 +716,7 @@ void PipelineTrainer::StageRuntime::DoBackward(PipeMessage message) {
       if (!trainer->flush_barrier_->Arrive()) {
         throw EpochAbortedError{};
       }
-      static_cast<GPipePolicy*>(policy.get())->OnFlushComplete();
+      static_cast<RoundPolicy*>(policy.get())->OnFlushComplete();
       mailbox->Poke();
       return;
     }
@@ -691,6 +732,105 @@ void PipelineTrainer::StageRuntime::DoBackward(PipeMessage message) {
     trainer->Send(this, stage - 1, std::move(backward));
   } else {
     --in_flight;
+  }
+}
+
+void PipelineTrainer::RunWorkerInterleaved(const std::vector<StageRuntime*>& owned,
+                                           const std::vector<ChunkOp>& ops,
+                                           StageRuntime** current) {
+  const int physical_workers = plan_.num_stages() / options_.interleave_chunks;
+  const auto tick = std::chrono::milliseconds(recovery_.worker_tick_ms);
+  // The watchdog tracks heartbeats per chunk runtime; a worker waiting on one chunk must
+  // not let its other chunks look dead.
+  const auto beat_all = [&owned] {
+    for (StageRuntime* rt : owned) {
+      rt->Beat();
+    }
+  };
+  beat_all();
+  for (const ChunkOp& op : ops) {
+    // Executing the generated list strictly in order is what makes interleaving both
+    // deadlock-free (the list is a feasible execution) and bitwise-deterministic (each op
+    // consumes exactly one schedule-determined message, regardless of thread timing).
+    StageRuntime* rt = owned[static_cast<size_t>(op.stage / physical_workers)];
+    *current = rt;
+    rt->ThrowIfEpochAborted();
+    const bool is_fwd = op.type == WorkType::kForward;
+    const int64_t wait_begin_ns = obs::TraceClockNs();
+    if (!(is_fwd && rt->is_input)) {
+      const auto ready = [&](int64_t min_fwd, int64_t min_bwd) {
+        return is_fwd ? min_fwd == rt->next_forward : min_bwd == rt->next_backward;
+      };
+      while (!rt->mailbox->WaitUntilFor(ready, tick)) {
+        beat_all();
+        rt->ThrowIfEpochAborted();
+      }
+    }
+    beat_all();
+    const int64_t waited_ns = obs::TraceClockNs() - wait_begin_ns;
+    if (waited_ns > 10'000) {
+      rt->epoch_stall_ns += waited_ns;
+      const obs::StallCause cause = (is_fwd && !rt->is_input)
+                                        ? obs::StallCause::kStarvedUpstream
+                                        : obs::StallCause::kBackpressuredDownstream;
+      obs::RecordSpan(obs::StallCauseSpanName(cause), wait_begin_ns, waited_ns, rt->stage);
+      bubbles_->Add(rt->stage, cause, waited_ns);
+    }
+    if (injector_ != nullptr) {
+      const int64_t pending = is_fwd ? (rt->is_input ? rt->next_admission : rt->next_forward)
+                                     : rt->next_backward;
+      const FaultInjector::WorkerAction fate =
+          injector_->OnWorkStart(rt->stage, rt->replica, pending, op.type);
+      if (fate.kill) {
+        throw WorkerKilledError{fate.reason};
+      }
+      if (fate.stall_ms > 0) {
+        std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(fate.stall_ms));
+        beat_all();
+      }
+    }
+    if (is_fwd) {
+      PipeMessage message;
+      int64_t minibatch;
+      if (rt->is_input) {
+        minibatch = rt->next_admission;
+        rt->next_admission += 1;  // interleaved plans are unreplicated: rr_size == 1
+        ++rt->in_flight;
+        rt->loader->BatchAt(minibatch, &message.payload, &message.targets);
+        message.input_version = rt->weights->version();
+      } else {
+        std::optional<PipeMessage> taken = rt->mailbox->Take(WorkType::kForward);
+        PD_CHECK(taken.has_value());
+        PD_CHECK_EQ(taken->minibatch, rt->next_forward);
+        if (!VerifyChecksum(*taken)) {
+          throw MessageCorruptionError{StrFormat(
+              "forward payload for minibatch %lld failed its checksum at stage %d",
+              static_cast<long long>(taken->minibatch), rt->stage)};
+        }
+        minibatch = taken->minibatch;
+        message = std::move(*taken);
+        rt->next_forward += 1;
+      }
+      ++rt->fwd_started;
+      rt->DoForward(minibatch, std::move(message));
+    } else {
+      std::optional<PipeMessage> taken = rt->mailbox->Take(WorkType::kBackward);
+      PD_CHECK(taken.has_value());
+      PD_CHECK_EQ(taken->minibatch, rt->next_backward);
+      if (!VerifyChecksum(*taken)) {
+        throw MessageCorruptionError{StrFormat(
+            "backward payload for minibatch %lld failed its checksum at stage %d",
+            static_cast<long long>(taken->minibatch), rt->stage)};
+      }
+      rt->next_backward += 1;
+      rt->DoBackward(std::move(*taken));
+    }
+    rt->work_items.fetch_add(1, std::memory_order_release);
+    beat_all();
+  }
+  for (StageRuntime* rt : owned) {
+    PD_CHECK_EQ(rt->bwd_done, rt->bwd_quota)
+        << "interleaved worker finished its op list with stage " << rt->stage << " short";
   }
 }
 
@@ -772,10 +912,13 @@ int64_t PipelineTrainer::EpochLength() const {
   for (const StageAssignment& stage : plan_.stages()) {
     round = Lcm(round, stage.replicas);
   }
-  if (options_.schedule == ScheduleKind::kGPipe) {
+  if (options_.schedule == ScheduleKind::kGPipe ||
+      options_.schedule == ScheduleKind::kPipeDreamFlush) {
     round = Lcm(round, options_.gpipe_microbatches);
   }
-  if (options_.schedule == ScheduleKind::kOneFOneB && options_.accumulation_steps > 1) {
+  if ((options_.schedule == ScheduleKind::kOneFOneB ||
+       options_.schedule == ScheduleKind::kInterleaved) &&
+      options_.accumulation_steps > 1) {
     // Update boundaries must also land on epoch boundaries: a tail shorter than one
     // accumulation round would silently drop its gradients, and 2BW recovery relies on the
     // accumulator being empty (and the shadow buffer dead) at every epoch boundary.
@@ -829,30 +972,71 @@ bool PipelineTrainer::RunRange(int64_t begin, int64_t end, EpochStats* stats) {
   }
 
   const double start = NowSeconds();
-  // Every stage replica runs kernels concurrently; split the shared pool's parallelism
-  // between them so intra-op threading never oversubscribes the machine.
-  const int kernel_budget = KernelBudgetForWorkers(static_cast<int>(active.size()));
+  const bool interleaved = options_.schedule == ScheduleKind::kInterleaved;
+  const int physical_workers =
+      interleaved ? plan_.num_stages() / options_.interleave_chunks : 0;
+  // Every stage replica runs kernels concurrently (one thread per PHYSICAL worker under
+  // kInterleaved, which serializes its chunks); split the shared pool's parallelism between
+  // them so intra-op threading never oversubscribes the machine.
+  const int kernel_budget = KernelBudgetForWorkers(
+      interleaved ? physical_workers : static_cast<int>(active.size()));
   std::vector<std::thread> threads;
-  threads.reserve(active.size());
-  for (StageRuntime* rt : active) {
-    threads.emplace_back([this, rt, kernel_budget] {
-      ScopedKernelBudget budget(kernel_budget);
-      obs::SetThreadLabel(StrFormat("s%d/r%d", rt->stage, rt->replica));
-      try {
-        rt->RunEpoch();
-        rt->done.store(true, std::memory_order_release);
-      } catch (const WorkerKilledError& killed) {
-        rt->dead.store(true, std::memory_order_release);
-        NoteFailure(rt, killed.reason);
-      } catch (const MessageCorruptionError& corrupt) {
-        // The receiver of a corrupt payload is healthy; the minibatch it rejected is what
-        // needs replaying.
-        rt->done.store(true, std::memory_order_release);
-        NoteFailure(rt, corrupt.reason);
-      } catch (const EpochAbortedError&) {
-        rt->done.store(true, std::memory_order_release);
+  if (interleaved) {
+    const std::vector<std::vector<ChunkOp>> ops = BuildInterleavedSchedule(
+        plan_.num_stages(), options_.interleave_chunks, end - begin);
+    threads.reserve(static_cast<size_t>(physical_workers));
+    for (int w = 0; w < physical_workers; ++w) {
+      std::vector<StageRuntime*> owned;
+      for (int s = w; s < plan_.num_stages(); s += physical_workers) {
+        owned.push_back(ActiveRuntime(s));
       }
-    });
+      std::vector<ChunkOp> worker_ops = ops[static_cast<size_t>(w)];
+      threads.emplace_back([this, w, owned = std::move(owned),
+                            worker_ops = std::move(worker_ops), kernel_budget] {
+        ScopedKernelBudget budget(kernel_budget);
+        obs::SetThreadLabel(StrFormat("w%d", w));
+        StageRuntime* current = owned.front();
+        const auto finish_all = [&owned] {
+          for (StageRuntime* rt : owned) {
+            rt->done.store(true, std::memory_order_release);
+          }
+        };
+        try {
+          RunWorkerInterleaved(owned, worker_ops, &current);
+          finish_all();
+        } catch (const WorkerKilledError& killed) {
+          current->dead.store(true, std::memory_order_release);
+          NoteFailure(current, killed.reason);
+        } catch (const MessageCorruptionError& corrupt) {
+          finish_all();
+          NoteFailure(current, corrupt.reason);
+        } catch (const EpochAbortedError&) {
+          finish_all();
+        }
+      });
+    }
+  } else {
+    threads.reserve(active.size());
+    for (StageRuntime* rt : active) {
+      threads.emplace_back([this, rt, kernel_budget] {
+        ScopedKernelBudget budget(kernel_budget);
+        obs::SetThreadLabel(StrFormat("s%d/r%d", rt->stage, rt->replica));
+        try {
+          rt->RunEpoch();
+          rt->done.store(true, std::memory_order_release);
+        } catch (const WorkerKilledError& killed) {
+          rt->dead.store(true, std::memory_order_release);
+          NoteFailure(rt, killed.reason);
+        } catch (const MessageCorruptionError& corrupt) {
+          // The receiver of a corrupt payload is healthy; the minibatch it rejected is what
+          // needs replaying.
+          rt->done.store(true, std::memory_order_release);
+          NoteFailure(rt, corrupt.reason);
+        } catch (const EpochAbortedError&) {
+          rt->done.store(true, std::memory_order_release);
+        }
+      });
+    }
   }
 
   // The watchdog classifies two failure shapes the workers cannot self-report: a worker

@@ -1,11 +1,14 @@
 // Multi-threaded pipeline-parallel training runtime.
 //
 // One OS thread per stage replica plays the role of a GPU worker: it owns a deep copy of its
-// stage's layers, an optimizer, a versioned weight store, and a 1F1B (or GPipe) scheduling
-// policy, and exchanges activations/gradients with neighbouring stages through mailboxes.
-// This is the real-numerics counterpart of the cluster simulator: identical minibatch
-// streams can be trained under 1F1B + weight stashing, naive pipelining, vertical sync,
-// GPipe, or BSP data parallelism (a single replicated stage), making statistical-efficiency
+// stage's layers, an optimizer, a versioned weight store, and a scheduling policy from the
+// zoo of docs/SCHEDULES.md (1F1B, GPipe, PipeDream-Flush, interleaved virtual stages), and
+// exchanges activations/gradients with neighbouring stages through mailboxes. Under
+// kInterleaved one thread per *physical worker* instead serializes that worker's chunk-stage
+// runtimes in a statically generated order (src/schedule/interleaved.h). This is the
+// real-numerics counterpart of the cluster simulator: identical minibatch streams can be
+// trained under 1F1B + weight stashing, naive pipelining, vertical sync, GPipe, flush, or
+// BSP data parallelism (a single replicated stage), making statistical-efficiency
 // comparisons (paper §5.2, Figures 11/13) apples-to-apples.
 //
 // Failure handling (paper §4): when recovery is enabled, every worker emits heartbeats, a
@@ -40,6 +43,7 @@
 #include "src/runtime/mailbox.h"
 #include "src/runtime/transport.h"
 #include "src/runtime/weight_store.h"
+#include "src/schedule/interleaved.h"
 #include "src/schedule/policy.h"
 #include "src/simexec/pipeline_sim.h"
 
@@ -51,6 +55,8 @@ class HealthServer;
 }
 
 struct PipelineTrainerOptions {
+  // Which entry of the schedule zoo (docs/SCHEDULES.md) to execute. The PIPEDREAM_SCHEDULE
+  // env variable (1f1b|gpipe|model_parallel|flush|interleaved) takes precedence.
   ScheduleKind schedule = ScheduleKind::kOneFOneB;
   // Global weight-mode override. Unset (the default), every stage uses the mode recorded in
   // its PipelinePlan StageAssignment (kStashing unless the planner chose otherwise — the
@@ -58,11 +64,20 @@ struct PipelineTrainerOptions {
   // Set, it forces one mode everywhere, as does the PIPEDREAM_WEIGHT_MODE env variable
   // (naive|stashing|vertical_sync|double_buffered|2bw), which takes precedence over both.
   std::optional<WeightMode> weight_mode;
-  int gpipe_microbatches = 4;  // round size for ScheduleKind::kGPipe
+  int gpipe_microbatches = 4;  // round size per flush (kGPipe / kPipeDreamFlush)
+  // Virtual chunk-stages per physical worker for ScheduleKind::kInterleaved: the (straight)
+  // plan's num_stages must be divisible by this, chunk-stage s runs on physical worker
+  // s mod (num_stages / interleave_chunks), and each worker executes its chunks' ops in the
+  // statically generated order of BuildInterleavedSchedule (src/schedule/interleaved.h).
+  // The PIPEDREAM_CHUNKS env variable takes precedence. Ignored by other schedules.
+  int interleave_chunks = 1;
   // Activation recomputation (§3.3 / Chen et al.): stash only each minibatch's stage *input*
   // and re-run the forward pass (under the stashed weights) just before the backward,
   // trading compute for activation memory. Identical gradients for deterministic layers;
-  // incompatible with Dropout (whose mask would be redrawn).
+  // incompatible with Dropout (whose mask would be redrawn). `true` forces recomputation on
+  // every stage; `false` defers to the planner's per-stage StageAssignment::recompute flags
+  // (set by ChooseRecompute when a stage busts the device budget). The PIPEDREAM_RECOMPUTE
+  // env variable (0|1|on|off|true|false) overrides both, globally.
   bool recompute_activations = false;
   // Gradient accumulation (§3.3's "gradient aggregation"): apply the optimizer every
   // `accumulation_steps` minibatches with the summed gradients scaled by 1/steps, reducing
@@ -194,9 +209,13 @@ class PipelineTrainer {
   const obs::StragglerDetector& straggler() const { return *straggler_; }
 
   // The weight mode `stage` actually runs: the PIPEDREAM_WEIGHT_MODE / options override
-  // when present, otherwise the plan's per-stage assignment (GPipe-family schedules force
+  // when present, otherwise the plan's per-stage assignment (flush-family schedules force
   // kNaive everywhere — flushes make versioning unnecessary).
   WeightMode StageWeightMode(int stage) const;
+
+  // Whether `stage` actually recomputes activations: the PIPEDREAM_RECOMPUTE override when
+  // present, otherwise options.recompute_activations OR'd with the plan's per-stage flag.
+  bool StageRecompute(int stage) const;
 
   // Per-stage checkpointing (§4): each stage's replica-0 parameters are written for the
   // given epoch; LoadCheckpoint restores every stage (and broadcasts to replicas).
@@ -217,6 +236,12 @@ class PipelineTrainer {
   // Runs the workers (and watchdog) over [begin, end). Returns false if the attempt was
   // aborted by a failure.
   bool RunRange(int64_t begin, int64_t end, EpochStats* stats);
+
+  // Executes one physical worker's statically generated interleaved op list strictly in
+  // order over its owned chunk-stage runtimes (kInterleaved only). `*current` tracks the
+  // runtime of the op being executed so a thrown failure is attributed to the right stage.
+  void RunWorkerInterleaved(const std::vector<StageRuntime*>& owned,
+                            const std::vector<ChunkOp>& ops, StageRuntime** current);
 
   // Checksums + injects + routes one boundary message (called from worker threads).
   void Send(StageRuntime* from, int dest_stage, PipeMessage message);
@@ -256,7 +281,8 @@ class PipelineTrainer {
   std::vector<std::vector<StageRuntime*>> by_stage_;              // [stage][replica], fixed
   std::vector<std::vector<StageRuntime*>> active_by_stage_;       // shrinks on ejection
   std::vector<std::unique_ptr<GradientAllReducer>> stage_reducers_;
-  std::unique_ptr<FlushBarrier> flush_barrier_;                   // GPipe only
+  std::unique_ptr<FlushBarrier> flush_barrier_;                   // flush-family schedules
+  std::optional<bool> recompute_override_;  // PIPEDREAM_RECOMPUTE, when set
   int64_t epochs_completed_ = 0;
   int64_t next_global_minibatch_ = 0;
 

@@ -1,0 +1,119 @@
+#include "src/schedule/interleaved.h"
+
+#include <memory>
+
+#include "src/common/check.h"
+#include "src/schedule/policy.h"
+
+namespace pipedream {
+
+namespace {
+
+struct Delivery {
+  int stage;
+  WorkType type;
+};
+
+}  // namespace
+
+std::vector<std::vector<ChunkOp>> BuildInterleavedSchedule(int num_stages, int chunks,
+                                                           int64_t num_minibatches) {
+  PD_CHECK_GE(chunks, 1);
+  PD_CHECK_GE(num_stages, 1);
+  PD_CHECK(num_stages % chunks == 0)
+      << "interleaving needs num_stages (" << num_stages << ") divisible by chunks ("
+      << chunks << ")";
+  PD_CHECK_GE(num_minibatches, 0);
+  const int num_workers = num_stages / chunks;
+
+  // Per-chunk 1F1B state, exactly mirroring the threaded runtime's: the straight-pipeline
+  // startup depth S - s, strict alternation, and NOAM admission control at stage 0.
+  std::vector<std::unique_ptr<OneFOneBPolicy>> policies;
+  policies.reserve(num_stages);
+  for (int s = 0; s < num_stages; ++s) {
+    policies.push_back(std::make_unique<OneFOneBPolicy>(num_stages - s));
+  }
+  std::vector<int> ready_fwd(num_stages, 0);
+  std::vector<int> ready_bwd(num_stages, 0);
+  std::vector<int64_t> fwd_started(num_stages, 0);
+  std::vector<int64_t> bwd_started(num_stages, 0);
+  int64_t admitted = 0;
+  int in_flight = 0;
+  const int admission_cap = num_stages;  // NOAM of a straight S-stage pipeline
+
+  std::vector<std::vector<ChunkOp>> ops(num_workers);
+  std::vector<Delivery> pending;  // outputs of ops started this tick, visible next tick
+
+  auto all_done = [&] {
+    for (int s = 0; s < num_stages; ++s) {
+      if (bwd_started[s] < num_minibatches) return false;
+    }
+    return true;
+  };
+
+  while (!all_done()) {
+    // Deliver last tick's outputs before scanning: an op's result becomes consumable one
+    // unit-time step after it started.
+    const bool delivered = !pending.empty();
+    for (const Delivery& d : pending) {
+      if (d.type == WorkType::kForward) {
+        if (d.stage + 1 < num_stages) {
+          ++ready_fwd[d.stage + 1];
+        } else {
+          ++ready_bwd[d.stage];  // output stage computes the loss and turns around locally
+        }
+      } else {
+        if (d.stage > 0) {
+          ++ready_bwd[d.stage - 1];
+        } else {
+          --in_flight;  // minibatch fully retired; stage 0 may admit another
+        }
+      }
+    }
+    pending.clear();
+
+    bool started = false;
+    for (int w = 0; w < num_workers; ++w) {
+      // Deepest chunk first: the chunk closest to the output reaches its backward phase
+      // soonest, so giving it priority keeps the pipe draining and avoids starving the
+      // stages everyone downstream depends on.
+      for (int c = chunks - 1; c >= 0; --c) {
+        const int s = c * num_workers + w;
+        const bool is_input = s == 0;
+        const int available_fwd =
+            is_input ? ((admitted < num_minibatches && in_flight < admission_cap) ? 1 : 0)
+                     : ready_fwd[s];
+        const bool exhausted =
+            is_input ? admitted >= num_minibatches : fwd_started[s] >= num_minibatches;
+        const std::optional<WorkType> op =
+            policies[s]->Decide(available_fwd, ready_bwd[s], exhausted);
+        if (!op.has_value()) {
+          continue;
+        }
+        if (*op == WorkType::kForward) {
+          if (is_input) {
+            ++admitted;
+            ++in_flight;
+          } else {
+            --ready_fwd[s];
+          }
+          ++fwd_started[s];
+        } else {
+          --ready_bwd[s];
+          ++bwd_started[s];
+        }
+        policies[s]->OnStarted(*op);
+        ops[w].push_back(ChunkOp{s, *op});
+        pending.push_back(Delivery{s, *op});
+        started = true;
+        break;  // the worker is busy for the rest of this tick
+      }
+    }
+    PD_CHECK(started || delivered)
+        << "interleaved schedule generation wedged at admitted=" << admitted
+        << " in_flight=" << in_flight << " — no worker can act and nothing is in flight";
+  }
+  return ops;
+}
+
+}  // namespace pipedream

@@ -1,0 +1,50 @@
+// Static schedule generation for interleaved virtual stages (ScheduleKind::kInterleaved).
+//
+// An interleaved plan is a straight pipeline of S = k * W chunk-stages where physical
+// worker w hosts the k non-contiguous chunks {w, W + w, 2W + w, ...} (stage s lives on
+// worker s mod W). Interleaving shrinks the early-worker activation bill: each chunk is
+// ~1/k of the worker's layers and the chunk stash depths S - s average out across the
+// worker's chunks, so worker 0's stash falls from ~act to ~act * (k + 1) / (2k).
+//
+// Because one worker owns several stages, the per-stage policy objects alone cannot drive
+// execution — two chunks may both be actionable and the tie-break decides the timeline. We
+// therefore *generate* the schedule up front: a unit-time list scheduler runs the per-chunk
+// 1F1B policies against simulated readiness, serializes each worker's chunks (deepest chunk
+// first, which drains the pipe and provably never wedges), and records per-worker op lists.
+// The runtime and simulator then execute the lists *strictly in order*, which makes
+// interleaved execution deadlock-free by construction (the generated order is a valid
+// execution) and bitwise-deterministic regardless of thread timing. With k = 1 the
+// generated per-stage order is exactly plain 1F1B's, which the equivalence tests pin down.
+#ifndef SRC_SCHEDULE_INTERLEAVED_H_
+#define SRC_SCHEDULE_INTERLEAVED_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/schedule/work.h"
+
+namespace pipedream {
+
+// One slot of a physical worker's schedule. The minibatch id is implicit: a straight
+// pipeline consumes each stage's forwards and backwards strictly in minibatch order, so
+// the executor's per-stage next_forward/next_backward counters supply it.
+struct ChunkOp {
+  int stage = 0;
+  WorkType type = WorkType::kForward;
+};
+
+// Physical worker hosting chunk-stage `stage` when `num_workers` workers interleave.
+inline int InterleavedWorkerOfStage(int stage, int num_workers) {
+  return stage % num_workers;
+}
+
+// Builds the per-worker op lists for `num_minibatches` through a straight pipeline of
+// `num_stages` chunk-stages interleaved over num_stages / chunks physical workers.
+// Requires chunks >= 1 and num_stages % chunks == 0. Result[w] is worker w's complete
+// schedule; every stage performs exactly num_minibatches forwards and backwards.
+std::vector<std::vector<ChunkOp>> BuildInterleavedSchedule(int num_stages, int chunks,
+                                                           int64_t num_minibatches);
+
+}  // namespace pipedream
+
+#endif  // SRC_SCHEDULE_INTERLEAVED_H_

@@ -1,5 +1,7 @@
 #include "src/schedule/policy.h"
 
+#include <algorithm>
+
 #include "src/common/check.h"
 
 namespace pipedream {
@@ -91,6 +93,62 @@ void GPipePolicy::OnFlushComplete() {
   PD_CHECK(waiting_for_flush_) << "flush completed while the stage was still working";
   forwards_started_ = 0;
   backwards_started_ = 0;
+  waiting_for_flush_ = false;
+}
+
+PipeDreamFlushPolicy::PipeDreamFlushPolicy(int startup_depth, int microbatches)
+    : startup_depth_(startup_depth), microbatches_(microbatches) {
+  PD_CHECK_GE(startup_depth, 1);
+  PD_CHECK_GE(microbatches, 1);
+}
+
+std::optional<WorkType> PipeDreamFlushPolicy::Decide(int ready_forward, int ready_backward,
+                                                     bool forwards_exhausted) {
+  if (waiting_for_flush_) {
+    return std::nullopt;
+  }
+  const int warm = std::min(startup_depth_, microbatches_);
+  if (backwards_started_ == 0 && forwards_started_ < warm) {
+    // Warm-up: fill the pipeline to this stage's depth (capped by the round size).
+    if (ready_forward > 0) {
+      return WorkType::kForward;
+    }
+    if (forwards_exhausted && ready_backward > 0) {
+      return WorkType::kBackward;  // run shorter than the pipeline depth — drain early
+    }
+    return std::nullopt;
+  }
+  // Steady state: strict 1F1B alternation, switching to pure drain once all m forwards of
+  // the round have started. Waiting for the due direction (not just "anything ready")
+  // keeps every worker's op sequence a deterministic function of the schedule.
+  if (preference_ == WorkType::kBackward || forwards_started_ >= microbatches_ ||
+      forwards_exhausted) {
+    return ready_backward > 0 ? std::optional<WorkType>(WorkType::kBackward) : std::nullopt;
+  }
+  return ready_forward > 0 ? std::optional<WorkType>(WorkType::kForward) : std::nullopt;
+}
+
+void PipeDreamFlushPolicy::OnStarted(WorkType type) {
+  if (type == WorkType::kForward) {
+    PD_CHECK_LT(forwards_started_, microbatches_);
+    ++forwards_started_;
+    if (forwards_started_ >= std::min(startup_depth_, microbatches_)) {
+      preference_ = WorkType::kBackward;  // warm-up over (or steady F done): backward next
+    }
+  } else {
+    PD_CHECK_LT(backwards_started_, microbatches_);
+    ++backwards_started_;
+    preference_ = WorkType::kForward;
+    if (backwards_started_ == microbatches_) {
+      waiting_for_flush_ = true;  // round complete; stall for the pipeline drain + update
+    }
+  }
+}
+
+void PipeDreamFlushPolicy::OnFlushComplete() {
+  forwards_started_ = 0;
+  backwards_started_ = 0;
+  preference_ = WorkType::kForward;
   waiting_for_flush_ = false;
 }
 

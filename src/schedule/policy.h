@@ -52,26 +52,67 @@ class OneFOneBPolicy : public SchedulingPolicy {
   WorkType preference_ = WorkType::kForward;
 };
 
+// Policies that work in rounds of m microbatches separated by pipeline drains: after the
+// round's last backward the stage stalls until the flush barrier releases the next round
+// (owner signals it via OnFlushComplete). Covers GPipe, model parallelism, and
+// PipeDream-Flush — the IsFlushFamily(ScheduleKind) schedules.
+class RoundPolicy : public SchedulingPolicy {
+ public:
+  // Called when all stages finished the round and weights were updated.
+  virtual void OnFlushComplete() = 0;
+
+  virtual bool waiting_for_flush() const = 0;
+};
+
 // GPipe-style scheduling (§2.2, Figure 3): run `microbatches` forwards, then the matching
-// backwards, then stall until the flush barrier releases the next round. The owner signals
-// the barrier via OnFlushComplete().
-class GPipePolicy : public SchedulingPolicy {
+// backwards, then stall until the flush barrier releases the next round.
+class GPipePolicy : public RoundPolicy {
  public:
   explicit GPipePolicy(int microbatches);
 
   std::optional<WorkType> Decide(int ready_forward, int ready_backward,
                                  bool forwards_exhausted) override;
   void OnStarted(WorkType type) override;
+  void OnFlushComplete() override;
 
-  // Called when all stages finished the round and weights were updated.
-  void OnFlushComplete();
-
-  bool waiting_for_flush() const { return waiting_for_flush_; }
+  bool waiting_for_flush() const override { return waiting_for_flush_; }
 
  private:
   int microbatches_;
   int forwards_started_ = 0;
   int backwards_started_ = 0;
+  bool waiting_for_flush_ = false;
+};
+
+// PipeDream-Flush (the schedule of the 2BW follow-up paper, arXiv 2006.09503): 1F1B
+// ordering *within* a round of `microbatches` minibatches, then a pipeline drain and one
+// aggregated weight update. Warm-up runs min(startup_depth, microbatches) forwards, steady
+// state alternates 1F1B, and once all m forwards of the round have started the stage drains
+// backwards until the flush. Compared to GPipe's all-forwards-then-all-backwards order the
+// bubble is identical, but at most min(startup_depth, microbatches) activation stashes are
+// ever live instead of m — the schedule's whole point. Weight semantics match GPipe's: no
+// update commits inside a round, so kNaive weights are exact and the per-round gradient sum
+// is bitwise-identical to GPipe's over the same minibatches.
+class PipeDreamFlushPolicy : public RoundPolicy {
+ public:
+  PipeDreamFlushPolicy(int startup_depth, int microbatches);
+
+  std::optional<WorkType> Decide(int ready_forward, int ready_backward,
+                                 bool forwards_exhausted) override;
+  void OnStarted(WorkType type) override;
+
+  // Tolerant of mid-round flushes (a short final round when the run length is not a
+  // multiple of the round size): counters reset whether or not the stage was stalled.
+  void OnFlushComplete() override;
+
+  bool waiting_for_flush() const override { return waiting_for_flush_; }
+
+ private:
+  int startup_depth_;
+  int microbatches_;
+  int forwards_started_ = 0;
+  int backwards_started_ = 0;
+  WorkType preference_ = WorkType::kForward;
   bool waiting_for_flush_ = false;
 };
 

@@ -6,7 +6,9 @@
 #include <vector>
 
 #include "src/common/logging.h"
+#include "src/planner/memory_model.h"
 #include "src/planner/partitioner.h"
+#include "src/schedule/interleaved.h"
 #include "src/schedule/policy.h"
 #include "src/sim/engine.h"
 
@@ -28,7 +30,17 @@ class PipelineSimulation {
       }
     }
     if (options.fault.replan || options.fault.join_enabled) {
-      PD_CHECK(!IsGPipeLike()) << "elastic re-planning requires a 1F1B schedule";
+      PD_CHECK(options.schedule == ScheduleKind::kOneFOneB)
+          << "elastic re-planning requires a 1F1B schedule";
+    }
+    if (Interleaved()) {
+      PD_CHECK(plan.IsStraight()) << "interleaved simulation requires an unreplicated plan";
+      PD_CHECK_GE(options.interleave_chunks, 1);
+      PD_CHECK(plan.num_stages() % options.interleave_chunks == 0)
+          << "interleaving needs num_stages divisible by interleave_chunks";
+      PD_CHECK(!options.fault.enabled) << "fault injection is not modelled for interleaved";
+      PD_CHECK_EQ(options.pipeline_depth_override, 0)
+          << "pipeline_depth_override does not apply to the static interleaved schedule";
     }
     if (options.fault.join_enabled) {
       PD_CHECK(options.fault.join_worker >= 0 &&
@@ -83,6 +95,7 @@ class PipelineSimulation {
   };
 
   void BuildStages();
+  void TryDispatchInterleaved(int physical_worker);
   double SpeedOf(int worker) const {
     if (options_.worker_speeds.empty()) {
       return 1.0;
@@ -101,20 +114,27 @@ class PipelineSimulation {
   void MaybeFlushGPipe();
   void FireFault(Replica* victim);
   void Restart();
-  bool IsGPipeLike() const {
-    return options_.schedule == ScheduleKind::kGPipe ||
-           options_.schedule == ScheduleKind::kModelParallel;
-  }
+  bool IsGPipeLike() const { return IsFlushFamily(options_.schedule); }
+  bool Interleaved() const { return options_.schedule == ScheduleKind::kInterleaved; }
+  int InterleavedWorkers() const { return plan_.num_stages() / options_.interleave_chunks; }
   int RoundSize() const {
     return options_.schedule == ScheduleKind::kModelParallel ? 1 : options_.gpipe_microbatches;
   }
   // Resolved weight mode for a stage: global override wins, otherwise the plan's per-stage
-  // assignment; GPipe-family schedules flush between rounds so versioning never applies.
+  // assignment; flush-family schedules drain between rounds so versioning never applies.
   WeightMode StageMode(int s) const {
     if (IsGPipeLike()) {
       return WeightMode::kNaive;
     }
     return options_.weight_mode ? *options_.weight_mode : plan_.stage(s).weight_mode;
+  }
+  // Resolved activation recomputation for a stage: global override wins, otherwise the
+  // plan's per-stage flag; the legacy gpipe_discard_activations switch also counts.
+  bool StageRecompute(int s) const {
+    if (IsGPipeLike() && options_.gpipe_discard_activations) {
+      return true;
+    }
+    return options_.recompute.value_or(plan_.stage(s).recompute);
   }
   // Backwards per replica between weight-sync collectives (gradient accumulation).
   int64_t SyncRoundPerReplica() const {
@@ -134,9 +154,16 @@ class PipelineSimulation {
   double comm_bytes_ = 0.0;
   int64_t completed_minibatches_ = 0;
   std::vector<SimTime> completion_times_;
-  int64_t round_bwd_done_ = 0;  // GPipe: backwards finished in the current round
+  int64_t round_bwd_done_ = 0;  // flush family: backwards finished in the current round
   int64_t current_round_ = 0;
   ExecutionTrace trace_;
+
+  // --- interleaved execution: each physical worker runs its statically generated op list
+  // strictly in order; the cursor advances only when an op completes, and the per-worker
+  // busy flag serializes its chunks on the shared device.
+  std::vector<std::vector<ChunkOp>> interleaved_ops_;   // [physical worker]
+  std::vector<size_t> interleaved_cursor_;
+  std::vector<bool> interleaved_worker_busy_;
 
   // --- failure state. A restart rebuilds stages_/replicas_ from scratch; events scheduled
   // by the previous incarnation are cancelled by the incarnation counter (they check it
@@ -171,7 +198,11 @@ void PipelineSimulation::BuildStages() {
       info.fwd_seconds += profile_.layers[static_cast<size_t>(l)].fwd_seconds;
       info.bwd_seconds += profile_.layers[static_cast<size_t>(l)].bwd_seconds;
     }
-    if (IsGPipeLike() && options_.gpipe_recompute_overhead > 0.0) {
+    if (options_.recompute.value_or(assignment.recompute)) {
+      // Activation recomputation: the backward first re-runs the stage's forward from the
+      // stashed boundary input.
+      info.bwd_seconds += info.fwd_seconds;
+    } else if (IsGPipeLike() && options_.gpipe_recompute_overhead > 0.0) {
       info.bwd_seconds += options_.gpipe_recompute_overhead * info.fwd_seconds;
     }
     info.weight_bytes = profile_.ParamBytes(assignment.begin_layer, assignment.end_layer);
@@ -201,7 +232,9 @@ void PipelineSimulation::BuildStages() {
       auto replica = std::make_unique<Replica>();
       replica->stage = s;
       replica->replica = r;
-      replica->worker = assignment.workers[static_cast<size_t>(r)];
+      replica->worker = Interleaved()
+                            ? plan_.stage(s % InterleavedWorkers()).workers[0]
+                            : assignment.workers[static_cast<size_t>(r)];
       replica->fwd_seconds = info.fwd_seconds / SpeedOf(replica->worker);
       replica->bwd_seconds = info.bwd_seconds / SpeedOf(replica->worker);
       // This replica's round-robin share of [first_minibatch_, num_minibatches). The range
@@ -216,7 +249,12 @@ void PipelineSimulation::BuildStages() {
         ++replica->fwd_quota;
       }
       if (IsGPipeLike()) {
-        replica->policy = std::make_unique<GPipePolicy>(RoundSize());
+        if (options_.schedule == ScheduleKind::kPipeDreamFlush) {
+          replica->policy =
+              std::make_unique<PipeDreamFlushPolicy>(StartupDepth(plan_, s), RoundSize());
+        } else {
+          replica->policy = std::make_unique<GPipePolicy>(RoundSize());
+        }
         replica->admission_cap = RoundSize();
       } else {
         int depth = StartupDepth(plan_, s);
@@ -230,6 +268,12 @@ void PipelineSimulation::BuildStages() {
       replicas_[static_cast<size_t>(s)].push_back(std::move(replica));
     }
   }
+  if (Interleaved()) {
+    interleaved_ops_ = BuildInterleavedSchedule(num_stages, options_.interleave_chunks,
+                                                options_.num_minibatches);
+    interleaved_cursor_.assign(interleaved_ops_.size(), 0);
+    interleaved_worker_busy_.assign(interleaved_ops_.size(), false);
+  }
 }
 
 PipelineSimulation::Replica* PipelineSimulation::ReplicaFor(int stage, int64_t minibatch) {
@@ -238,6 +282,12 @@ PipelineSimulation::Replica* PipelineSimulation::ReplicaFor(int stage, int64_t m
 }
 
 void PipelineSimulation::TryDispatch(Replica* r) {
+  if (Interleaved()) {
+    // The op order is static; the only question is whether the physical worker hosting
+    // this chunk can run its next listed op yet.
+    TryDispatchInterleaved(r->stage % InterleavedWorkers());
+    return;
+  }
   if (r->busy || r->failed) {
     return;
   }
@@ -320,6 +370,57 @@ void PipelineSimulation::TryDispatch(Replica* r) {
   });
 }
 
+void PipelineSimulation::TryDispatchInterleaved(int physical_worker) {
+  const size_t w = static_cast<size_t>(physical_worker);
+  if (interleaved_worker_busy_[w] || interleaved_cursor_[w] >= interleaved_ops_[w].size()) {
+    return;
+  }
+  const ChunkOp op = interleaved_ops_[w][interleaved_cursor_[w]];
+  Replica* r = replicas_[static_cast<size_t>(op.stage)][0].get();
+  int64_t minibatch;
+  double duration;
+  if (op.type == WorkType::kForward) {
+    if (r->stage == 0) {
+      // Admission control is baked into the generated list (the generator ran the NOAM
+      // gate); in_flight is kept for accounting only.
+      PD_CHECK_LT(r->next_admission, options_.num_minibatches);
+      minibatch = r->next_admission;
+      ++r->next_admission;
+      ++r->in_flight;
+    } else {
+      if (r->ready_forward.empty()) {
+        return;  // the listed op's input has not arrived yet
+      }
+      minibatch = *r->ready_forward.begin();
+      r->ready_forward.erase(r->ready_forward.begin());
+    }
+    ++r->stash;
+    ++r->fwd_started;
+    r->peak_stash = std::max(r->peak_stash, r->stash);
+    duration = r->fwd_seconds;
+  } else {
+    if (r->ready_backward.empty()) {
+      return;
+    }
+    minibatch = *r->ready_backward.begin();
+    r->ready_backward.erase(r->ready_backward.begin());
+    duration = r->bwd_seconds;
+  }
+  ++interleaved_cursor_[w];
+  interleaved_worker_busy_[w] = true;
+  r->busy = true;
+  const SimTime start = engine_.now();
+  const SimTime dur = SimTime::FromSeconds(duration);
+  if (options_.record_trace) {
+    trace_.Add({r->worker, r->stage, op.type, minibatch, start, start + dur});
+  }
+  r->busy_time += dur;
+  engine_.ScheduleAfter(dur, [this, r, w, type = op.type, minibatch] {
+    interleaved_worker_busy_[w] = false;
+    OnComplete(r, type, minibatch);
+  });
+}
+
 void PipelineSimulation::SendBoundary(Replica* from, int dest_stage, int64_t minibatch,
                                       WorkType type) {
   Replica* dest = ReplicaFor(dest_stage, minibatch);
@@ -367,7 +468,7 @@ void PipelineSimulation::MaybeFlushGPipe() {
   round_bwd_done_ = 0;
   ++current_round_;
   for (Replica* r : all_replicas_) {
-    static_cast<GPipePolicy*>(r->policy.get())->OnFlushComplete();
+    static_cast<RoundPolicy*>(r->policy.get())->OnFlushComplete();
   }
   for (Replica* r : all_replicas_) {
     TryDispatch(r);
@@ -632,37 +733,20 @@ SimResult PipelineSimulation::Run() {
           r->busy_time.ToSeconds() / result.total_seconds;
     }
     const StageInfo& stage = stages_[static_cast<size_t>(r->stage)];
-    // Weight-buffer count by mode: GPipe/naive keep current + gradient; stashing adds
-    // (stash depth - 1) full versions; 2BW adds exactly one shadow buffer regardless of the
-    // stash depth (the follow-up paper's constant-memory property).
-    int64_t weight_copies;
-    switch (StageMode(r->stage)) {
-      case WeightMode::kNaive:
-        weight_copies = 2;
-        break;
-      case WeightMode::kDoubleBuffered:
-        weight_copies = 3;
-        break;
-      case WeightMode::kStashing:
-      case WeightMode::kVerticalSync:
-      default:
-        weight_copies = 2 + std::max(0, r->peak_stash - 1);
-        break;
-    }
-    int64_t activation_footprint;
-    if (IsGPipeLike() && options_.gpipe_discard_activations) {
-      // Only boundary inputs are stashed; one full activation set materializes during the
-      // recomputed backward.
-      const int64_t boundary = r->stage > 0
-                                   ? profile_.BoundaryActivationBytes(
-                                         plan_.stage(r->stage).begin_layer - 1)
-                                   : 0;
-      activation_footprint = boundary * r->peak_stash + stage.activation_bytes;
-    } else {
-      activation_footprint = stage.activation_bytes * r->peak_stash;
-    }
-    const int64_t memory = stage.weight_bytes * weight_copies + activation_footprint;
-    result.worker_peak_memory[static_cast<size_t>(r->worker)] = memory;
+    // Peak memory via the shared model (src/planner/memory_model.h), fed the *measured*
+    // stash depth: naive keeps current weights + gradient, stashing adds (depth - 1) full
+    // versions, 2BW a single shadow buffer; a recomputing stage stashes only boundary
+    // inputs and materializes one full activation set during the recomputed backward.
+    const int64_t boundary_in =
+        r->stage > 0
+            ? profile_.BoundaryActivationBytes(plan_.stage(r->stage).begin_layer - 1)
+            : 0;
+    const int64_t memory = StagePeakMemoryBytes(
+        stage.weight_bytes, stage.activation_bytes, boundary_in, StageMode(r->stage),
+        StageRecompute(r->stage), std::max(1, r->peak_stash));
+    // += rather than =: an interleaved physical worker hosts several chunk-stages and pays
+    // for all of them (plans without chunking assign each worker exactly once).
+    result.worker_peak_memory[static_cast<size_t>(r->worker)] += memory;
     result.stage_peak_stash[static_cast<size_t>(r->stage)] =
         std::max(result.stage_peak_stash[static_cast<size_t>(r->stage)], r->peak_stash);
   }

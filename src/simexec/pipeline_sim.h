@@ -13,6 +13,7 @@
 #include <optional>
 #include <vector>
 
+#include "src/common/schedule.h"
 #include "src/common/weight_mode.h"
 #include "src/planner/plan.h"
 #include "src/profile/layer_profile.h"
@@ -21,11 +22,8 @@
 
 namespace pipedream {
 
-enum class ScheduleKind {
-  kOneFOneB,        // PipeDream's 1F1B / 1F1B-RR (replicated stages round-robin)
-  kGPipe,           // microbatch rounds with a pipeline flush per round
-  kModelParallel,   // one minibatch in flight (GPipe with one microbatch)
-};
+// ScheduleKind — the zoo of docs/SCHEDULES.md — lives in src/common/schedule.h; this header
+// re-exports it for its historical users (the sim was its first home).
 
 // One injected device failure (mirrors the runtime's FaultPlan at simulation fidelity).
 // The victim worker dies when it is about to process `at_minibatch`; `detection_seconds`
@@ -65,8 +63,19 @@ struct SimFault {
 struct SimOptions {
   ScheduleKind schedule = ScheduleKind::kOneFOneB;
   int64_t num_minibatches = 200;
-  int gpipe_microbatches = 4;        // pipeline depth per flush for kGPipe
+  int gpipe_microbatches = 4;        // round size per flush (kGPipe / kPipeDreamFlush)
   int pipeline_depth_override = 0;   // 1F1B in-flight depth; 0 = the plan's startup depths
+  // Virtual chunk-stages per physical worker for kInterleaved: the (straight) plan's
+  // num_stages must be divisible by this, stage s runs on physical worker s mod
+  // (num_stages / interleave_chunks), and each worker executes its chunks' ops in the
+  // statically generated order of BuildInterleavedSchedule. 1 elsewhere.
+  int interleave_chunks = 1;
+  // Per-stage activation recomputation, mirroring the runtime: unset = the plan's per-stage
+  // StageAssignment::recompute flags; set = a global override. A recomputing stage stashes
+  // only its inbound boundary activation per in-flight minibatch (the memory model drops
+  // the act * in_flight term) and re-runs its forward before each backward (backward time
+  // grows by one forward).
+  std::optional<bool> recompute;
   // Weight-update discipline, mirroring the runtime: unset = the plan's per-stage modes;
   // set = a global override. Affects the memory model (kStashing scales with the stash
   // depth, kDoubleBuffered is a constant 3x weights) — GPipe-family schedules are priced as

@@ -1,18 +1,20 @@
 #!/bin/sh
 # Documentation guard: every PIPEDREAM_* environment flag referenced anywhere in src/ must
-# be documented in README.md. Registered with ctest (label `docs`) so adding a flag without
-# documenting it fails the suite.
+# be documented in BOTH README.md (the user-facing table) and DESIGN.md (the env-knob
+# index). Registered with ctest (label `docs`) so adding a flag without documenting it
+# fails the suite.
 #
 # Usage: check_env_flags.sh <repo_root>
 set -u
 
 repo_root="${1:-$(cd "$(dirname "$0")/../.." && pwd)}"
-readme="$repo_root/README.md"
 
-if [ ! -f "$readme" ]; then
-  echo "FAIL: README.md not found at $readme"
-  exit 1
-fi
+for doc in README.md DESIGN.md; do
+  if [ ! -f "$repo_root/$doc" ]; then
+    echo "FAIL: $doc not found at $repo_root/$doc"
+    exit 1
+  fi
+done
 
 # Header guards (…_H_) match the same pattern but are not flags; drop them.
 flags=$(grep -rhoE 'PIPEDREAM_[A-Z_]+' "$repo_root/src" | grep -v '_H_$' | sort -u)
@@ -24,10 +26,12 @@ fi
 
 missing=0
 for flag in $flags; do
-  if ! grep -q "$flag" "$readme"; then
-    echo "FAIL: $flag is referenced in src/ but not documented in README.md"
-    missing=1
-  fi
+  for doc in README.md DESIGN.md; do
+    if ! grep -q "$flag" "$repo_root/$doc"; then
+      echo "FAIL: $flag is referenced in src/ but not documented in $doc"
+      missing=1
+    fi
+  done
 done
 
 if [ "$missing" -ne 0 ]; then
@@ -35,5 +39,5 @@ if [ "$missing" -ne 0 ]; then
 fi
 
 count=$(echo "$flags" | wc -l)
-echo "OK: all $count PIPEDREAM_* env flags are documented in README.md"
+echo "OK: all $count PIPEDREAM_* env flags are documented in README.md and DESIGN.md"
 exit 0

@@ -269,6 +269,73 @@ TEST(PartitionerTest, MemoryConstraintForcesMoreStages) {
   EXPECT_GE(constrained.bottleneck_seconds, loose.bottleneck_seconds - 1e-12);
 }
 
+// Activation-heavy profile: tiny weights, 1 MB activations per layer — the regime where
+// weight-mode selection (2BW) cannot rescue a busting stage but recomputation can.
+ModelProfile ActivationHeavyProfile(int layers) {
+  ModelProfile profile;
+  profile.model_name = "act_heavy";
+  profile.minibatch_size = 32;
+  for (int i = 0; i < layers; ++i) {
+    LayerProfile layer;
+    layer.name = "l" + std::to_string(i);
+    layer.fwd_seconds = 0.01;
+    layer.bwd_seconds = 0.02;
+    layer.activation_bytes = 1'000'000;
+    layer.param_bytes = 1'000;
+    profile.layers.push_back(layer);
+  }
+  return profile;
+}
+
+TEST(ChooseRecomputeTest, FlipsOnlyTheMemoryBustingStage) {
+  // 2 stages of 4 layers each (noam = 2). Stage 0 stashes 2 in-flight working sets:
+  // 3w + 2 * 4 MB ≈ 8 MB, busting a 6 MB device; recompute drops it to 3w + 4 MB (its
+  // inbound boundary is the data loader, priced at 0). Stage 1 holds one working set
+  // (~4 MB) and already fits — it must not be touched.
+  const auto profile = ActivationHeavyProfile(8);
+  auto plan = MakeStraightPlan(8, {4});
+  EXPECT_EQ(ChooseRecompute(profile, 6'000'000, &plan), 1);
+  EXPECT_TRUE(plan.stage(0).recompute);
+  EXPECT_FALSE(plan.stage(1).recompute);
+  // Idempotent: the flipped plan already fits (or is already recomputing).
+  EXPECT_EQ(ChooseRecompute(profile, 6'000'000, &plan), 0);
+}
+
+TEST(ChooseRecomputeTest, UnconstrainedBudgetLeavesThePlanAlone) {
+  const auto profile = ActivationHeavyProfile(8);
+  auto plan = MakeStraightPlan(8, {4});
+  EXPECT_EQ(ChooseRecompute(profile, 0, &plan), 0);
+  EXPECT_EQ(ChooseRecompute(profile, -1, &plan), 0);
+  for (const StageAssignment& stage : plan.stages()) {
+    EXPECT_FALSE(stage.recompute);
+  }
+}
+
+TEST(ChooseRecomputeTest, SkipsStagesRecomputeCannotShrink) {
+  // Single-layer stages: a stage's working set *is* one boundary-sized activation, so
+  // recompute (boundary_in * in_flight + act) only helps where the stash depth exceeds 1.
+  // Stage 1 (in_flight = 1) would grow from 2w + act to 2w + boundary + act — even an
+  // impossible budget must not flip it.
+  const auto profile = ActivationHeavyProfile(2);
+  auto plan = MakeStraightPlan(2, {1});
+  EXPECT_EQ(ChooseRecompute(profile, 1, &plan), 1);
+  EXPECT_TRUE(plan.stage(0).recompute);   // 3w + 2 act -> 3w + 1 act: shrinks
+  EXPECT_FALSE(plan.stage(1).recompute);  // would grow: left stashing
+}
+
+TEST(ChooseRecomputeTest, RunsAfterWeightModesInThePartitionPipeline) {
+  // The documented order: ChooseWeightModes first (2BW caps the weight term), then
+  // ChooseRecompute for stages still busting on activations. With tiny weights the 2BW
+  // pass is a no-op here and the recompute pass does the real work.
+  const auto profile = ActivationHeavyProfile(8);
+  auto plan = MakeStraightPlan(8, {2, 4, 6});  // 4 stages, noam = 4
+  const int64_t budget = 5'000'000;
+  ChooseWeightModes(profile, budget, &plan);
+  const int flipped = ChooseRecompute(profile, budget, &plan);
+  EXPECT_GE(flipped, 1);
+  EXPECT_TRUE(plan.stage(0).recompute);  // deepest stash ramp busts first
+}
+
 ModelProfile UniformComputeProfile(int layers, double fwd_seconds) {
   ModelProfile profile;
   profile.model_name = "uniform";

@@ -403,5 +403,84 @@ TEST_F(FaultInjectionTest, GPipeKillRecoversBitwise) {
   ExpectBitwiseEqual(*clean, *faulty);
 }
 
+TEST_F(FaultInjectionTest, PipeDreamFlushKillRecoversBitwise) {
+  // Same kill/recover/replay contract under the flush schedule: the checkpoint is taken at
+  // an epoch boundary (pipeline drained, round counters reset), so replay re-runs whole
+  // rounds and lands on identical weights.
+  const Dataset data = MakeGaussianMixture(3, 4, 48, 0.4, 7);
+  SoftmaxCrossEntropy loss;
+  Sgd sgd(0.05);
+  PipelineTrainerOptions options;
+  options.schedule = ScheduleKind::kPipeDreamFlush;
+  options.gpipe_microbatches = 4;
+  auto make_trainer = [&] {
+    Rng rng(1);
+    const auto model = BuildMlpClassifier(4, {8}, 3, &rng);
+    const auto plan = MakeStraightPlan(static_cast<int>(model->size()), {2});
+    return std::make_unique<PipelineTrainer>(*model, plan, &loss, sgd, &data, 8, /*seed=*/5,
+                                             options);
+  };
+  auto clean = make_trainer();
+  CheckpointManager clean_manager(Subdir("clean"));
+  clean->EnableRecovery(&clean_manager, FastRecovery());
+  clean->TrainEpoch();
+  clean->TrainEpoch();
+
+  auto faulty = make_trainer();
+  CheckpointManager faulty_manager(Subdir("faulty"));
+  faulty->EnableRecovery(&faulty_manager, FastRecovery());
+  const int64_t bpe = faulty->batches_per_epoch();
+  FaultPlan plan;
+  plan.events.push_back({FaultKind::kKillWorker, /*stage=*/1, /*replica=*/0,
+                         /*minibatch=*/bpe + 1, WorkType::kBackward, 0.0});
+  FaultInjector injector(plan);
+  faulty->SetFaultInjector(&injector);
+  faulty->TrainEpoch();
+  const EpochStats hit = faulty->TrainEpoch();
+  EXPECT_EQ(hit.recoveries, 1);
+  ExpectBitwiseEqual(*clean, *faulty);
+}
+
+TEST_F(FaultInjectionTest, InterleavedKillRecoversBitwise) {
+  // Interleaved virtual stages: killing chunk-stage 1 takes down physical worker 1 and both
+  // chunks it hosts. Recovery rebuilds every stage from the epoch checkpoint and the static
+  // op lists replay deterministically, so the rerun matches an uninterrupted run bitwise.
+  const Dataset data = MakeGaussianMixture(3, 4, 48, 0.4, 7);
+  SoftmaxCrossEntropy loss;
+  Sgd sgd(0.05);
+  PipelineTrainerOptions options;
+  options.schedule = ScheduleKind::kInterleaved;
+  options.interleave_chunks = 2;
+  auto make_trainer = [&] {
+    Rng rng(1);
+    const auto model = BuildMlpClassifier(4, {8, 8}, 3, &rng);  // 5 layers
+    const auto plan = MakeStraightPlan(static_cast<int>(model->size()), {1, 2, 3});
+    return std::make_unique<PipelineTrainer>(*model, plan, &loss, sgd, &data, 8, /*seed=*/5,
+                                             options);
+  };
+  auto clean = make_trainer();
+  CheckpointManager clean_manager(Subdir("clean"));
+  clean->EnableRecovery(&clean_manager, FastRecovery());
+  clean->TrainEpoch();
+  clean->TrainEpoch();
+
+  auto faulty = make_trainer();
+  CheckpointManager faulty_manager(Subdir("faulty"));
+  faulty->EnableRecovery(&faulty_manager, FastRecovery());
+  const int64_t bpe = faulty->batches_per_epoch();
+  FaultPlan plan;
+  plan.events.push_back({FaultKind::kKillWorker, /*stage=*/1, /*replica=*/0,
+                         /*minibatch=*/bpe + bpe / 2, WorkType::kForward, 0.0});
+  FaultInjector injector(plan);
+  faulty->SetFaultInjector(&injector);
+  faulty->TrainEpoch();
+  const EpochStats hit = faulty->TrainEpoch();
+  EXPECT_EQ(hit.recoveries, 1);
+  EXPECT_EQ(injector.faults_fired(), 1);
+  ASSERT_EQ(faulty->failures().size(), 1u);
+  EXPECT_EQ(faulty->failures()[0].stage, 1);
+  ExpectBitwiseEqual(*clean, *faulty);
+}
+
 }  // namespace
 }  // namespace pipedream

@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <vector>
+
+#include "src/schedule/interleaved.h"
 #include "src/schedule/policy.h"
 
 namespace pipedream {
@@ -130,6 +133,150 @@ TEST(ModelParallelPolicyTest, OneMinibatchAtATime) {
   EXPECT_EQ(*b, WorkType::kBackward);
   policy.OnStarted(*b);
   EXPECT_TRUE(policy.waiting_for_flush());
+}
+
+// Runs `policy` with both directions always ready and records the op sequence until the
+// policy stalls (flush wait) or `limit` ops were taken.
+std::vector<WorkType> DrainSequence(SchedulingPolicy* policy, int limit) {
+  std::vector<WorkType> ops;
+  while (static_cast<int>(ops.size()) < limit) {
+    const auto action = policy->Decide(1, 1, false);
+    if (!action.has_value()) {
+      break;
+    }
+    policy->OnStarted(*action);
+    ops.push_back(*action);
+  }
+  return ops;
+}
+
+TEST(PipeDreamFlushPolicyTest, WarmupAlternationDrainThenFlush) {
+  // Stage with startup depth 2 in a round of m = 4: two warm-up forwards, strict 1F1B
+  // alternation, then a pure backward drain once all 4 forwards have started.
+  PipeDreamFlushPolicy policy(/*startup_depth=*/2, /*microbatches=*/4);
+  const std::vector<WorkType> expected = {WorkType::kForward,  WorkType::kForward,
+                                          WorkType::kBackward, WorkType::kForward,
+                                          WorkType::kBackward, WorkType::kForward,
+                                          WorkType::kBackward, WorkType::kBackward};
+  EXPECT_EQ(DrainSequence(&policy, 16), expected);
+  // Round complete: stall until the drain barrier reports the aggregated update committed.
+  EXPECT_TRUE(policy.waiting_for_flush());
+  EXPECT_FALSE(policy.Decide(1, 1, false).has_value());
+  policy.OnFlushComplete();
+  EXPECT_FALSE(policy.waiting_for_flush());
+  const auto next = policy.Decide(1, 0, false);
+  ASSERT_TRUE(next.has_value());
+  EXPECT_EQ(*next, WorkType::kForward);  // the next round starts fresh
+}
+
+TEST(PipeDreamFlushPolicyTest, LastStageAlternatesFromTheFirstMinibatch) {
+  PipeDreamFlushPolicy policy(/*startup_depth=*/1, /*microbatches=*/3);
+  const std::vector<WorkType> expected = {WorkType::kForward,  WorkType::kBackward,
+                                          WorkType::kForward,  WorkType::kBackward,
+                                          WorkType::kForward,  WorkType::kBackward};
+  EXPECT_EQ(DrainSequence(&policy, 16), expected);
+  EXPECT_TRUE(policy.waiting_for_flush());
+}
+
+TEST(PipeDreamFlushPolicyTest, RoundSizeCapsTheWarmup) {
+  // A deep stage in a small round: the warm-up is min(startup_depth, m) = 2, after which
+  // the stage drains — live stashes never exceed the round size.
+  PipeDreamFlushPolicy policy(/*startup_depth=*/4, /*microbatches=*/2);
+  const std::vector<WorkType> expected = {WorkType::kForward, WorkType::kForward,
+                                          WorkType::kBackward, WorkType::kBackward};
+  EXPECT_EQ(DrainSequence(&policy, 16), expected);
+  EXPECT_TRUE(policy.waiting_for_flush());
+}
+
+TEST(PipeDreamFlushPolicyTest, StrictWaitsForDueDirection) {
+  PipeDreamFlushPolicy policy(/*startup_depth=*/2, /*microbatches=*/4);
+  policy.OnStarted(*policy.Decide(1, 0, false));
+  policy.OnStarted(*policy.Decide(1, 0, false));
+  // Warm-up done; the due direction is backward — a ready forward must not be taken.
+  EXPECT_FALSE(policy.Decide(1, 0, false).has_value());
+  const auto action = policy.Decide(1, 1, false);
+  ASSERT_TRUE(action.has_value());
+  EXPECT_EQ(*action, WorkType::kBackward);
+}
+
+TEST(InterleavedScheduleTest, ChunksOneIsPlainOneFOneBPerStage) {
+  // k = 1: worker w owns exactly stage w and its op list is the plain 1F1B order.
+  const auto schedule = BuildInterleavedSchedule(/*num_stages=*/2, /*chunks=*/1,
+                                                 /*num_minibatches=*/3);
+  ASSERT_EQ(schedule.size(), 2u);
+  const std::vector<WorkType> stage0 = {WorkType::kForward,  WorkType::kForward,
+                                        WorkType::kBackward, WorkType::kForward,
+                                        WorkType::kBackward, WorkType::kBackward};
+  const std::vector<WorkType> stage1 = {WorkType::kForward, WorkType::kBackward,
+                                        WorkType::kForward, WorkType::kBackward,
+                                        WorkType::kForward, WorkType::kBackward};
+  ASSERT_EQ(schedule[0].size(), stage0.size());
+  ASSERT_EQ(schedule[1].size(), stage1.size());
+  for (size_t i = 0; i < stage0.size(); ++i) {
+    EXPECT_EQ(schedule[0][i].stage, 0);
+    EXPECT_EQ(schedule[0][i].type, stage0[i]) << i;
+  }
+  for (size_t i = 0; i < stage1.size(); ++i) {
+    EXPECT_EQ(schedule[1][i].stage, 1);
+    EXPECT_EQ(schedule[1][i].type, stage1[i]) << i;
+  }
+}
+
+TEST(InterleavedScheduleTest, GeneratedListsAreCompleteAndExecutable) {
+  // 6 chunk-stages on 3 workers, 5 minibatches: every stage must run every minibatch's
+  // forward and backward exactly once, each worker only touches its own chunks, and a
+  // global replay of the lists (execute any worker's head op whose dataflow inputs are
+  // ready) must finish without wedging — the deadlock-freedom-by-construction claim.
+  const int kStages = 6;
+  const int kChunks = 2;
+  const int64_t kMinibatches = 5;
+  const int workers = kStages / kChunks;
+  const auto schedule = BuildInterleavedSchedule(kStages, kChunks, kMinibatches);
+  ASSERT_EQ(schedule.size(), static_cast<size_t>(workers));
+
+  std::vector<int64_t> fwd_count(kStages, 0);
+  std::vector<int64_t> bwd_count(kStages, 0);
+  for (int w = 0; w < workers; ++w) {
+    for (const ChunkOp& op : schedule[w]) {
+      EXPECT_EQ(InterleavedWorkerOfStage(op.stage, workers), w);
+      (op.type == WorkType::kForward ? fwd_count : bwd_count)[op.stage] += 1;
+    }
+  }
+  for (int s = 0; s < kStages; ++s) {
+    EXPECT_EQ(fwd_count[s], kMinibatches) << s;
+    EXPECT_EQ(bwd_count[s], kMinibatches) << s;
+  }
+
+  // Replay: op heads execute when their producer is ahead of them.
+  std::vector<size_t> next(workers, 0);
+  std::vector<int64_t> fwd_done(kStages, 0);
+  std::vector<int64_t> bwd_done(kStages, 0);
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (int w = 0; w < workers; ++w) {
+      while (next[w] < schedule[w].size()) {
+        const ChunkOp& op = schedule[w][next[w]];
+        const int s = op.stage;
+        bool ready;
+        if (op.type == WorkType::kForward) {
+          ready = s == 0 || fwd_done[s - 1] > fwd_done[s];
+        } else {
+          ready = s == kStages - 1 ? fwd_done[s] > bwd_done[s]
+                                   : bwd_done[s + 1] > bwd_done[s];
+        }
+        if (!ready) {
+          break;
+        }
+        (op.type == WorkType::kForward ? fwd_done : bwd_done)[s] += 1;
+        ++next[w];
+        progress = true;
+      }
+    }
+  }
+  for (int w = 0; w < workers; ++w) {
+    EXPECT_EQ(next[w], schedule[w].size()) << "worker " << w << " wedged";
+  }
 }
 
 TEST(RoundRobinTest, ReplicaAssignment) {
